@@ -1,0 +1,323 @@
+//! Baran-style error *correction* (Mahdavi & Abedjan \[16\]).
+//!
+//! Skeleton of the original's unified context representation: three
+//! corrector models propose candidates for each detected cell and the most
+//! confident wins —
+//!
+//! * **value model**: exact value remappings learned from the labelled
+//!   corrections (systematic errors repeat, so one label generalises);
+//! * **transformation model**: string-edit rules learned from labels
+//!   (numeric-prefix extraction "91%"→"91", boolean normalisation
+//!   "yes"→"True", case folding) applied column-wide. Arithmetic
+//!   conversions ("1 hr. 30 min." → 90) are NOT learnable string edits —
+//!   the limitation Appendix B measures;
+//! * **vicinity model**: majority vote among rows agreeing on another
+//!   column (how Raha+Baran repair the Flights actual-time variations).
+
+use crate::common::LabeledCell;
+use cocoon_table::{Table, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A learned column-wide transformation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transform {
+    /// Keep the leading number, dropping a unit suffix ("91%" → "91").
+    NumericPrefix,
+    /// Map yes/no-like tokens to "True"/"False".
+    BooleanNormalize,
+    /// Lowercase the value.
+    Lowercase,
+}
+
+fn apply_transform(t: Transform, value: &str) -> Option<String> {
+    match t {
+        Transform::NumericPrefix => {
+            let trimmed = value.trim();
+            let end = trimmed
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                .unwrap_or(trimmed.len());
+            if end == 0 {
+                return None;
+            }
+            let prefix = &trimmed[..end];
+            prefix.parse::<f64>().ok()?;
+            Some(prefix.to_string())
+        }
+        Transform::BooleanNormalize => match value.trim().to_lowercase().as_str() {
+            "yes" | "y" | "true" | "t" | "1" => Some("True".to_string()),
+            "no" | "n" | "false" | "f" | "0" => Some("False".to_string()),
+            _ => None,
+        },
+        Transform::Lowercase => {
+            if value.chars().any(|c| c.is_uppercase()) {
+                Some(value.to_lowercase())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Learns which transforms each column supports from the labels: a rule is
+/// adopted for a column when some label's correction is reproduced by it.
+fn learn_transforms(labels: &[LabeledCell]) -> HashMap<usize, Vec<Transform>> {
+    let mut rules: HashMap<usize, Vec<Transform>> = HashMap::new();
+    for label in labels {
+        let (Some(dirty), clean) = (label.dirty.as_text(), label.clean.render()) else {
+            continue;
+        };
+        for t in [Transform::NumericPrefix, Transform::BooleanNormalize, Transform::Lowercase] {
+            if let Some(result) = apply_transform(t, dirty) {
+                // Numeric results compare numerically ("91" vs "91.0").
+                let matches = result == clean
+                    || matches!(
+                        (result.parse::<f64>(), clean.parse::<f64>()),
+                        (Ok(a), Ok(b)) if (a - b).abs() < 1e-9
+                    );
+                if matches {
+                    let entry = rules.entry(label.col).or_default();
+                    if !entry.contains(&t) {
+                        entry.push(t);
+                    }
+                }
+            }
+        }
+    }
+    rules
+}
+
+/// Corrects the detected cells of `table`.
+pub fn correct(
+    table: &Table,
+    detected: &HashSet<(usize, usize)>,
+    labels: &[LabeledCell],
+) -> Table {
+    let mut out = table.clone();
+
+    // Value model: exact remaps per column. A remap only generalises when
+    // the label's dirty value is rare in its column — a frequent dirty
+    // value is a valid value that happened to be wrong *in that row* (an
+    // FD swap), and remapping every occurrence would corrupt clean cells.
+    let mut value_map: HashMap<(usize, String), String> = HashMap::new();
+    for label in labels {
+        if label.dirty == label.clean || label.dirty.is_null() {
+            continue;
+        }
+        let count = table
+            .column(label.col)
+            .map(|c| c.values().iter().filter(|v| **v == label.dirty).count())
+            .unwrap_or(0);
+        if count < 5 {
+            value_map.insert((label.col, label.dirty.render()), label.clean.render());
+        }
+    }
+    let transforms = learn_transforms(labels);
+
+    // Group the remaining (value/transform-model misses) by column so the
+    // vicinity censuses are built once per (anchor, column) pair rather
+    // than per cell.
+    let mut vicinity_queue: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &(row, col) in detected {
+        let Ok(current) = table.cell(row, col) else { continue };
+        if current.is_null() {
+            continue;
+        }
+        let text = current.render();
+
+        // Missing tokens carry no recoverable value: no model can ground a
+        // correction, so Baran abstains.
+        if ["n/a", "null", "-", "unknown", "none", "missing", "?"]
+            .contains(&text.trim().to_lowercase().as_str())
+        {
+            continue;
+        }
+
+        // 1. value model
+        if let Some(correction) = value_map.get(&(col, text.clone())) {
+            let _ = out.set_cell(row, col, Value::Text(correction.clone()));
+            continue;
+        }
+        // 2. transformation model
+        if let Some(rules) = transforms.get(&col) {
+            let mut applied = false;
+            for &t in rules {
+                if let Some(result) = apply_transform(t, &text) {
+                    if result != text {
+                        let _ = out.set_cell(row, col, Value::Text(result));
+                        applied = true;
+                        break;
+                    }
+                }
+            }
+            if applied {
+                continue;
+            }
+        }
+        vicinity_queue.entry(col).or_default().push(row);
+    }
+
+    // 3. vicinity model, batched per column.
+    for (col, rows) in vicinity_queue {
+        let candidates = vicinity_candidates(table, col, &rows, detected);
+        for (row, candidate) in rows.into_iter().zip(candidates) {
+            if let Some(value) = candidate {
+                let _ = out.set_cell(row, col, Value::Text(value));
+            }
+        }
+    }
+    out
+}
+
+/// For each queried row, the majority value of `col` among undetected rows
+/// sharing another column's value with it — requiring ≥3 supporters and a
+/// 60% share; the best-supported anchor wins. If ANY strong anchor already
+/// supports the row's current value, the corrector abstains: the detection
+/// was probably reacting to an error in a *different* column of the row
+/// (e.g. a corrupted zip making a correct city look like a violation).
+fn vicinity_candidates(
+    table: &Table,
+    col: usize,
+    rows: &[usize],
+    detected: &HashSet<(usize, usize)>,
+) -> Vec<Option<String>> {
+    // (votes, value) best per queried row.
+    let mut best: Vec<Option<(usize, String)>> = vec![None; rows.len()];
+    let mut supported: Vec<bool> = vec![false; rows.len()];
+    let target = match table.column(col) {
+        Ok(c) => c,
+        Err(_) => return vec![None; rows.len()],
+    };
+    for anchor in 0..table.width() {
+        if anchor == col {
+            continue;
+        }
+        let anchor_col = match table.column(anchor) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        // Census of target values per anchor value. Detected cells vote
+        // too: aggressive detection may flag whole value classes, and
+        // removing them would hand the majority to unrelated values — the
+        // abstain rule below protects cells the majority agrees with.
+        let mut censuses: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        for r in 0..table.height() {
+            let a = &anchor_col.values()[r];
+            let t = &target.values()[r];
+            if a.is_null() || t.is_null() {
+                continue;
+            }
+            *censuses.entry(a.render()).or_default().entry(t.render()).or_insert(0) += 1;
+        }
+        let _ = detected;
+        for (i, &row) in rows.iter().enumerate() {
+            let a = &anchor_col.values()[row];
+            if a.is_null() {
+                continue;
+            }
+            let Some(census) = censuses.get(&a.render()) else { continue };
+            let total: usize = census.values().sum();
+            if total < 3 {
+                continue;
+            }
+            let Some((value, votes)) = census
+                .iter()
+                .max_by(|x, y| x.1.cmp(y.1).then_with(|| y.0.cmp(x.0)))
+                .map(|(v, n)| (v.clone(), *n))
+            else {
+                continue;
+            };
+            if votes * 10 >= total * 6 {
+                if value == target.values()[row].render() {
+                    supported[i] = true;
+                }
+                match &best[i] {
+                    Some((best_votes, _)) if *best_votes >= votes => {}
+                    _ => best[i] = Some((votes, value)),
+                }
+            }
+        }
+    }
+    best.into_iter()
+        .zip(supported)
+        .map(|(b, ok_as_is)| if ok_as_is { None } else { b.map(|(_, value)| value) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: Vec<Vec<&str>>, names: &[&str]) -> Table {
+        let data: Vec<Vec<String>> =
+            rows.into_iter().map(|r| r.into_iter().map(str::to_string).collect()).collect();
+        Table::from_text_rows(names, &data).unwrap()
+    }
+
+    fn label(row: usize, col: usize, dirty: &str, clean: Value) -> LabeledCell {
+        LabeledCell { row, col, dirty: Value::from(dirty), clean }
+    }
+
+    #[test]
+    fn value_model_repairs_repeated_error() {
+        let table = t(
+            vec![vec!["English"], vec!["eng"], vec!["English"]],
+            &["lang"],
+        );
+        let detected: HashSet<_> = [(0, 0), (2, 0)].into_iter().collect();
+        let labels = vec![label(0, 0, "English", Value::from("eng"))];
+        let out = correct(&table, &detected, &labels);
+        assert_eq!(out.cell(0, 0).unwrap().render(), "eng");
+        assert_eq!(out.cell(2, 0).unwrap().render(), "eng");
+    }
+
+    #[test]
+    fn transformation_model_generalises_percent_strip() {
+        let table = t(vec![vec!["91%"], vec!["85%"], vec!["77%"]], &["score"]);
+        let detected: HashSet<_> = [(0, 0), (1, 0), (2, 0)].into_iter().collect();
+        let labels = vec![label(0, 0, "91%", Value::Float(91.0))];
+        let out = correct(&table, &detected, &labels);
+        assert_eq!(out.cell(1, 0).unwrap().render(), "85");
+        assert_eq!(out.cell(2, 0).unwrap().render(), "77");
+    }
+
+    #[test]
+    fn transformation_model_boolean() {
+        let table = t(vec![vec!["yes"], vec!["no"]], &["es"]);
+        let detected: HashSet<_> = [(0, 0), (1, 0)].into_iter().collect();
+        let labels = vec![label(0, 0, "yes", Value::Bool(true))];
+        let out = correct(&table, &detected, &labels);
+        assert_eq!(out.cell(0, 0).unwrap().render(), "True");
+        assert_eq!(out.cell(1, 0).unwrap().render(), "False");
+    }
+
+    #[test]
+    fn arithmetic_conversion_not_learnable() {
+        // Appendix B: "1 hr. 30 min." → 90 is not a string edit.
+        let table = t(vec![vec!["1 hr. 30 min."], vec!["95 min"]], &["duration"]);
+        let detected: HashSet<_> = [(0, 0), (1, 0)].into_iter().collect();
+        let labels = vec![label(0, 0, "1 hr. 30 min.", Value::Float(90.0))];
+        let out = correct(&table, &detected, &labels);
+        // The hr-style value cannot be repaired to 90 by any learned rule;
+        // at best the min-style value is prefix-stripped.
+        assert_ne!(out.cell(0, 0).unwrap().render(), "90");
+    }
+
+    #[test]
+    fn vicinity_model_uses_group_majority() {
+        let mut rows: Vec<Vec<&str>> = (0..5).map(|_| vec!["AA-1", "10:30 p.m."]).collect();
+        rows.push(vec!["AA-1", "10:39 p.m."]);
+        rows.push(vec!["UA-2", "8:00 a.m."]);
+        let table = t(rows, &["flight", "actual_arrival"]);
+        let detected: HashSet<_> = [(5, 1)].into_iter().collect();
+        let out = correct(&table, &detected, &[]);
+        assert_eq!(out.cell(5, 1).unwrap().render(), "10:30 p.m.");
+    }
+
+    #[test]
+    fn undetected_cells_untouched() {
+        let table = t(vec![vec!["91%"], vec!["85%"]], &["score"]);
+        let labels = vec![label(0, 0, "91%", Value::Float(91.0))];
+        let out = correct(&table, &HashSet::new(), &labels);
+        assert_eq!(out, table);
+    }
+}

@@ -1,0 +1,127 @@
+//! CleanAgent-style standardisation (Qi & Wang \[21\]).
+//!
+//! The original is an LLM agent that standardises columns of recognised
+//! categories (email, phone, date). §3.2: "CleanAgent achieves low results
+//! as it focuses on standardizing categories" — it normalises formats
+//! rather than repairing errors, so its edits rarely match benchmark
+//! truths. The 2 MB file limit ("CleanAgent doesn't accept files >2MB") is
+//! honoured via `ctx.row_cap`.
+
+use crate::common::{BenchmarkContext, CleaningSystem};
+use cocoon_semantic::{standardize_date, DateFormat};
+use cocoon_table::{Table, Value};
+
+/// The CleanAgent-style baseline.
+#[derive(Debug, Default, Clone)]
+pub struct CleanAgent;
+
+impl CleaningSystem for CleanAgent {
+    fn name(&self) -> &'static str {
+        "CleanAgent"
+    }
+
+    fn clean(&self, dirty: &Table, ctx: &BenchmarkContext) -> Table {
+        let mut table = match ctx.row_cap {
+            Some(cap) if dirty.height() > cap => dirty.head(cap),
+            _ => dirty.clone(),
+        };
+        for col in 0..table.width() {
+            let column = table.column(col).expect("in range");
+            let non_null: Vec<String> = column.non_null().map(Value::render).collect();
+            if non_null.is_empty() {
+                continue;
+            }
+            // Date standardisation: if most values parse as dates, rewrite
+            // every one of them into ISO form.
+            let date_like =
+                non_null.iter().filter(|v| cocoon_semantic::parse_date(v).is_some()).count();
+            if date_like * 10 >= non_null.len() * 6 {
+                let column = table.column_mut(col).expect("in range");
+                column.map_in_place(|v| match v.as_text() {
+                    Some(text) => match standardize_date(text, DateFormat::Iso) {
+                        Some(iso) => Value::Text(iso),
+                        None => v.clone(),
+                    },
+                    None => v.clone(),
+                });
+                continue;
+            }
+            // Phone standardisation: strip separators to bare digits.
+            let phone_like = non_null
+                .iter()
+                .filter(|v| {
+                    let digits = v.chars().filter(char::is_ascii_digit).count();
+                    digits >= 7 && v.chars().all(|c| c.is_ascii_digit() || "-() .".contains(c))
+                })
+                .count();
+            if phone_like * 10 >= non_null.len() * 6 {
+                let column = table.column_mut(col).expect("in range");
+                column.map_in_place(|v| match v.as_text() {
+                    Some(text) => {
+                        let digits: String =
+                            text.chars().filter(char::is_ascii_digit).collect();
+                        if digits.len() >= 7 && digits != text {
+                            Value::Text(digits)
+                        } else {
+                            v.clone()
+                        }
+                    }
+                    None => v.clone(),
+                });
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_dates_to_iso() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["1/2/2003".into()],
+            vec!["11/12/2014".into()],
+            vec!["2003-04-05".into()],
+        ];
+        let dirty = Table::from_text_rows(&["d"], &rows).unwrap();
+        let out = CleanAgent.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(0, 0).unwrap().render(), "2003-01-02");
+        assert_eq!(out.cell(2, 0).unwrap().render(), "2003-04-05");
+    }
+
+    #[test]
+    fn strips_phone_separators() {
+        let rows: Vec<Vec<String>> =
+            vec![vec!["205-555-0001".into()], vec!["(212) 555-0199".into()]];
+        let dirty = Table::from_text_rows(&["phone"], &rows).unwrap();
+        let out = CleanAgent.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(0, 0).unwrap().render(), "2055550001");
+    }
+
+    #[test]
+    fn leaves_free_text_alone() {
+        let rows: Vec<Vec<String>> = vec![vec!["austin".into()], vec!["dallas".into()]];
+        let dirty = Table::from_text_rows(&["city"], &rows).unwrap();
+        let out = CleanAgent.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out, dirty);
+    }
+
+    #[test]
+    fn honours_row_cap() {
+        let rows: Vec<Vec<String>> = (0..10).map(|i| vec![format!("{i}")]).collect();
+        let dirty = Table::from_text_rows(&["x"], &rows).unwrap();
+        let ctx = BenchmarkContext::default().with_row_cap(4);
+        assert_eq!(CleanAgent.clean(&dirty, &ctx).height(), 4);
+    }
+
+    #[test]
+    fn does_not_fix_typos() {
+        let rows: Vec<Vec<String>> =
+            vec![vec!["austin".into()], vec!["autsin".into()], vec!["austin".into()]];
+        let dirty = Table::from_text_rows(&["city"], &rows).unwrap();
+        let out = CleanAgent.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(1, 0).unwrap().render(), "autsin");
+    }
+}

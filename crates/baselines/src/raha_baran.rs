@@ -1,0 +1,68 @@
+//! The combined Raha + Baran system evaluated as one row of Table 1
+//! ("Raha first detects errors, and Baran cleans them", §3.1).
+
+use crate::baran::correct;
+use crate::common::{BenchmarkContext, CleaningSystem};
+use crate::raha::detect;
+use cocoon_table::Table;
+
+/// Raha detection piped into Baran correction.
+#[derive(Debug, Default, Clone)]
+pub struct RahaBaran;
+
+impl CleaningSystem for RahaBaran {
+    fn name(&self) -> &'static str {
+        "Raha+Baran"
+    }
+
+    fn clean(&self, dirty: &Table, ctx: &BenchmarkContext) -> Table {
+        let detected = detect(dirty, &ctx.labeled_cells);
+        correct(dirty, &detected, &ctx.labeled_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::LabeledCell;
+    use cocoon_table::Value;
+
+    #[test]
+    fn end_to_end_detection_and_correction() {
+        // zip → city with a minority violation: detected by the group
+        // detector, corrected by the vicinity model.
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let cities = ["austin", "waco", "laredo", "houston", "dallas"];
+        for (g, city) in cities.iter().enumerate() {
+            for _ in 0..6 {
+                rows.push(vec![format!("z{g}"), city.to_string()]);
+            }
+        }
+        rows.push(vec!["z0".into(), "dallas".into()]); // violates z0 → austin
+        let dirty = Table::from_text_rows(&["zip_code", "city"], &rows).unwrap();
+        let out = RahaBaran.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(30, 1).unwrap().render(), "austin");
+    }
+
+    #[test]
+    fn labels_drive_systematic_fixes() {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![format!("{}%", 80 + i)]);
+        }
+        let dirty = Table::from_text_rows(&["score"], &rows).unwrap();
+        let ctx = BenchmarkContext {
+            labeled_cells: vec![LabeledCell {
+                row: 0,
+                col: 0,
+                dirty: Value::from("80%"),
+                clean: Value::Float(80.0),
+            }],
+            ..Default::default()
+        };
+        let out = RahaBaran.clean(&dirty, &ctx);
+        // The labelled cluster ("NN%" cells share features) is flagged and
+        // the learned percent-strip repairs all of them.
+        assert_eq!(out.cell(5, 0).unwrap().render(), "85");
+    }
+}

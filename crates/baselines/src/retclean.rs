@@ -1,0 +1,175 @@
+//! RetClean-style retrieval + foundation-model cleaning (Ahmad et al. \[1\]).
+//!
+//! The original retrieves correct values from user-provided clean tables in
+//! a data lake, with a foundation model fixing what retrieval misses. §3.1
+//! notes "we do not have any \[tables\] to provide", and §3.2 that RetClean
+//! "only performs well on Rayyan because Rayyan contains a large number of
+//! typos obvious for LLMs to fix". Accordingly: the lake lookup is real but
+//! empty in benchmarks, and the model half only repairs values it can
+//! ground in public knowledge — famous named entities (journals, languages,
+//! countries) — plus letter-stutter artifacts. Local entities (specific
+//! hospitals, breweries, flights, movie casts) are not in any model's
+//! reliable memory, which is why the other four benchmarks stay at zero.
+
+use crate::common::{BenchmarkContext, CleaningSystem};
+use cocoon_datasets::pools::JOURNALS;
+use cocoon_semantic::{damerau_levenshtein, has_letter_stutter, languages::LANGUAGES};
+use cocoon_table::{Table, Value};
+use std::collections::HashMap;
+
+/// The RetClean-style baseline.
+#[derive(Debug, Default, Clone)]
+pub struct RetClean;
+
+/// The "public knowledge" dictionary the foundation model can ground typo
+/// fixes in, split by entity category so a journal typo is never "fixed"
+/// toward a language code. Bibliographic entities and ISO language codes
+/// are famous; specific hospitals, breweries, flights and movie casts are
+/// not — which is why RetClean only moves the needle on Rayyan (§3.2).
+fn knowledge_categories() -> Vec<Vec<String>> {
+    let mut titles = Vec::new();
+    let mut abbreviations = Vec::new();
+    let mut issns = Vec::new();
+    for (title, abbreviation, issn) in JOURNALS {
+        titles.push(title.to_string());
+        abbreviations.push(abbreviation.to_string());
+        issns.push(issn.to_string());
+    }
+    let codes: Vec<String> = LANGUAGES.iter().map(|(_, code)| code.to_string()).collect();
+    vec![titles, abbreviations, issns, codes]
+}
+
+impl CleaningSystem for RetClean {
+    fn name(&self) -> &'static str {
+        "RetClean"
+    }
+
+    fn clean(&self, dirty: &Table, ctx: &BenchmarkContext) -> Table {
+        let categories = knowledge_categories();
+        let mut table = dirty.clone();
+        for col in 0..table.width() {
+            let column_name = table.schema().field(col).expect("in range").name().to_string();
+            let lake_values: Vec<String> = ctx
+                .lake
+                .iter()
+                .filter_map(|t| t.column_by_name(&column_name).ok())
+                .flat_map(|c| c.non_null().map(Value::render).collect::<Vec<_>>())
+                .collect();
+
+            // Weighted census: the category gate must count cells, not
+            // distinct values, or a typo-heavy column looks unknown.
+            let census: Vec<(String, usize)> = table
+                .column(col)
+                .expect("in range")
+                .value_counts()
+                .into_iter()
+                .filter_map(|(v, n)| v.as_text().map(|t| (t.to_string(), n)))
+                .collect();
+            let total_weight: usize = census.iter().map(|(_, n)| n).sum();
+            // The category whose entities dominate this column, if any.
+            let column_category = categories.iter().find(|category| {
+                let weight: usize = census
+                    .iter()
+                    .filter(|(v, _)| category.iter().any(|d| d.eq_ignore_ascii_case(v)))
+                    .map(|(_, n)| n)
+                    .sum();
+                total_weight > 0 && weight * 2 >= total_weight
+            });
+
+            let mut remap: HashMap<String, String> = HashMap::new();
+            for (value, _) in &census {
+                // Retrieval from the lake (exact schema match, 1 edit).
+                if let Some(hit) =
+                    lake_values.iter().find(|lv| damerau_levenshtein(value, lv) == 1)
+                {
+                    remap.insert(value.clone(), hit.clone());
+                    continue;
+                }
+                let Some(category) = column_category else { continue };
+                if category.iter().any(|d| d.eq_ignore_ascii_case(value)) {
+                    continue; // already a known entity
+                }
+                // Obvious typo of a known entity of the SAME category:
+                // stutter or ≤2 edits.
+                let lowered = value.to_lowercase();
+                let best = category
+                    .iter()
+                    .map(|d| (damerau_levenshtein(&lowered, &d.to_lowercase()), d))
+                    .min_by_key(|(dist, _)| *dist);
+                if let Some((dist, entity)) = best {
+                    let limit = if has_letter_stutter(value) { 3 } else { 2 };
+                    if dist <= limit {
+                        remap.insert(value.clone(), entity.clone());
+                    }
+                }
+            }
+            if remap.is_empty() {
+                continue;
+            }
+            let column = table.column_mut(col).expect("in range");
+            column.map_in_place(|v| match v.as_text() {
+                Some(text) => match remap.get(text) {
+                    Some(new_value) => Value::Text(new_value.clone()),
+                    None => v.clone(),
+                },
+                None => v.clone(),
+            });
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(values: Vec<&str>, name: &str) -> Table {
+        let rows: Vec<Vec<String>> = values.into_iter().map(|v| vec![v.to_string()]).collect();
+        Table::from_text_rows(&[name], &rows).unwrap()
+    }
+
+    #[test]
+    fn fixes_typos_of_known_journals() {
+        let dirty = t(
+            vec!["the lancet", "the lancxt", "bmj", "trials"],
+            "journal_title",
+        );
+        let out = RetClean.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(1, 0).unwrap().render(), "the lancet");
+        assert_eq!(out.cell(0, 0).unwrap().render(), "the lancet");
+    }
+
+    #[test]
+    fn ignores_unknown_entity_columns() {
+        // Hospital-style local entities: not in any model's memory.
+        let dirty = t(
+            vec!["birmingham medical center", "birmxngham medical center"],
+            "hospital_name",
+        );
+        let out = RetClean.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out, dirty);
+    }
+
+    #[test]
+    fn fixes_language_typos() {
+        let dirty = t(vec!["eng", "fre", "enhg", "ger"], "article_language");
+        let out = RetClean.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(2, 0).unwrap().render(), "eng");
+    }
+
+    #[test]
+    fn lake_retrieval_fixes_when_available() {
+        let dirty = t(vec!["austn", "dallas"], "city");
+        let lake_table = t(vec!["austin", "dallas"], "city");
+        let ctx = BenchmarkContext { lake: vec![lake_table], ..Default::default() };
+        let out = RetClean.clean(&dirty, &ctx);
+        assert_eq!(out.cell(0, 0).unwrap().render(), "austin");
+    }
+
+    #[test]
+    fn empty_lake_unknown_column_untouched() {
+        let dirty = t(vec!["austn", "dallas"], "city");
+        let out = RetClean.clean(&dirty, &BenchmarkContext::default());
+        assert_eq!(out.cell(0, 0).unwrap().render(), "austn");
+    }
+}

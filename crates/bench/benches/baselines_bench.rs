@@ -1,0 +1,22 @@
+//! Timing: each comparison system on the Hospital benchmark.
+
+use cocoon_baselines::BenchmarkContext;
+use cocoon_bench::{systems, LABEL_SEED};
+use cocoon_eval::Equivalence;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_systems(c: &mut Criterion) {
+    let dataset = cocoon_datasets::hospital::generate();
+    let ctx = BenchmarkContext::for_dataset(&dataset, LABEL_SEED, Equivalence::Lenient);
+    let mut group = c.benchmark_group("baselines/Hospital");
+    group.sample_size(10);
+    for system in systems() {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| system.clean(black_box(&dataset.dirty), &ctx))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Timing: the regex substrate (compile, match, replace, digests) on the
+//! pattern workloads the pipeline actually runs (§2.1.2).
+
+use cocoon_pattern::{exact_digest, loose_digest, Regex};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("pattern/compile date regex", |b| {
+        b.iter(|| Regex::new(black_box(r"(\d{2})/(\d{2})/(\d{4})")).unwrap())
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let re = Regex::new(r"\d{2}/\d{2}/\d{4}").unwrap();
+    let values: Vec<String> = (0..512)
+        .map(|i| {
+            if i % 7 == 0 {
+                format!("{:04}-{:02}-{:02}", 1950 + i % 70, 1 + i % 12, 1 + i % 28)
+            } else {
+                format!("{:02}/{:02}/{:04}", 1 + i % 12, 1 + i % 28, 1950 + i % 70)
+            }
+        })
+        .collect();
+    c.bench_function("pattern/full_match 512 cells", |b| {
+        b.iter(|| values.iter().filter(|v| re.full_match(black_box(v))).count())
+    });
+}
+
+fn bench_replace(c: &mut Criterion) {
+    let re = Regex::new(r"^(\d{2})/(\d{2})/(\d{4})$").unwrap();
+    c.bench_function("pattern/replace date format", |b| {
+        b.iter(|| re.replace_all(black_box("01/02/2003"), "$3-$1-$2"))
+    });
+}
+
+fn bench_digests(c: &mut Criterion) {
+    let values: Vec<String> =
+        (0..512).map(|i| format!("AA-{}-ORD-PHX {}%", 1000 + i, i % 100)).collect();
+    c.bench_function("pattern/exact_digest 512 cells", |b| {
+        b.iter(|| values.iter().map(|v| exact_digest(black_box(v)).len()).sum::<usize>())
+    });
+    c.bench_function("pattern/loose_digest 512 cells", |b| {
+        b.iter(|| values.iter().map(|v| loose_digest(black_box(v)).len()).sum::<usize>())
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_match, bench_replace, bench_digests);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Timing: statistical profiling (the per-issue statistical detection that
+//! feeds every LLM prompt) over the benchmark tables.
+
+use cocoon_profile::{fd_candidates, pattern_census, profile_table, ProfileOptions};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_profile_hospital(c: &mut Criterion) {
+    let dataset = cocoon_datasets::hospital::generate();
+    c.bench_function("profile/full table profile (Hospital 1000x19)", |b| {
+        b.iter(|| profile_table(black_box(&dataset.dirty), &ProfileOptions::default()))
+    });
+}
+
+fn bench_fd_discovery(c: &mut Criterion) {
+    let hospital = cocoon_datasets::hospital::generate();
+    c.bench_function("profile/fd candidates (Hospital)", |b| {
+        b.iter(|| fd_candidates(black_box(&hospital.dirty), 0.6, 0.95))
+    });
+    let flights = cocoon_datasets::flights::generate();
+    c.bench_function("profile/fd candidates (Flights)", |b| {
+        b.iter(|| fd_candidates(black_box(&flights.dirty), 0.6, 0.95))
+    });
+}
+
+fn bench_pattern_census(c: &mut Criterion) {
+    let dataset = cocoon_datasets::flights::generate();
+    let col = dataset.dirty.column_by_name("actual_arrival_time").unwrap();
+    c.bench_function("profile/pattern census (2376 times)", |b| {
+        b.iter(|| pattern_census(black_box(col), true))
+    });
+}
+
+criterion_group!(benches, bench_profile_hospital, bench_fd_discovery, bench_pattern_census);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Diagnostic: per-column wrong/correct change counts for one system.
+
+use cocoon_baselines::BenchmarkContext;
+use cocoon_bench::LABEL_SEED;
+use cocoon_eval::{values_equivalent, Equivalence};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("Beers");
+    let d = cocoon_datasets::by_name(name).expect("dataset");
+    let ctx = BenchmarkContext::for_dataset(&d, LABEL_SEED, Equivalence::Lenient);
+    let sys_name = std::env::args().nth(2).unwrap_or_else(|| "Cocoon".into());
+    let system = cocoon_bench::systems().into_iter().find(|s| s.name() == sys_name).expect("system");
+    let cleaned = system.clean(&d.dirty, &ctx);
+    let mode = Equivalence::Lenient;
+    let mut per_col: BTreeMap<String, (usize, usize, Vec<String>)> = BTreeMap::new();
+    for r in 0..d.dirty.height().min(cleaned.height()) {
+        for c in 0..d.dirty.width() {
+            let dv = d.dirty.cell(r, c).unwrap();
+            let ov = cleaned.cell(r, c).unwrap();
+            let tv = d.truth.cell(r, c).unwrap();
+            if !values_equivalent(ov, dv, mode) {
+                let col = d.dirty.schema().field(c).unwrap().name().to_string();
+                let e = per_col.entry(col).or_insert((0, 0, Vec::new()));
+                if values_equivalent(ov, tv, mode) {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                    if e.2.len() < 3 {
+                        e.2.push(format!("dirty={:?} out={:?} truth={:?}", dv.render(), ov.render(), tv.render()));
+                    }
+                }
+            }
+        }
+    }
+    println!("== {} : correct/wrong changes per column", name);
+    for (col, (ok, bad, ex)) in &per_col {
+        println!("{col}: +{ok} / -{bad}");
+        for e in ex { println!("    {e}"); }
+    }
+    // Unrepaired error summary
+    let mut missed: BTreeMap<String, usize> = BTreeMap::new();
+    for r in 0..d.dirty.height().min(cleaned.height()) {
+        for c in 0..d.dirty.width() {
+            let dv = d.dirty.cell(r, c).unwrap();
+            let ov = cleaned.cell(r, c).unwrap();
+            let tv = d.truth.cell(r, c).unwrap();
+            if !values_equivalent(dv, tv, mode) && !values_equivalent(ov, tv, mode) {
+                *missed.entry(d.dirty.schema().field(c).unwrap().name().to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    println!("-- missed errors per column:");
+    for (col, n) in &missed { println!("{col}: {n}"); }
+}

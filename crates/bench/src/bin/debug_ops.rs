@@ -1,0 +1,13 @@
+use cocoon_core::Cleaner;
+use cocoon_llm::SimLlm;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Beers".into());
+    let d = cocoon_datasets::by_name(&name).expect("dataset");
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).unwrap();
+    println!("height {} -> {}", d.dirty.height(), run.table.height());
+    for op in &run.ops {
+        println!("{} {:?} changed={}", op.issue.name(), op.column, op.cells_changed);
+    }
+    for n in &run.notes { println!("note: {n}"); }
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figures 2–5: the detection prompt (Fig. 2), the cleaning
+//! prompt (Fig. 3), and the commented SQL output (Figs. 4–5), using the
+//! paper's own running example — the Rayyan `article_language` column.
+
+use cocoon_core::Cleaner;
+use cocoon_llm::{prompts, SimLlm};
+
+fn main() {
+    let census = vec![
+        ("eng".to_string(), 464),
+        ("English".to_string(), 95),
+        ("fre".to_string(), 130),
+        ("French".to_string(), 12),
+        ("ger".to_string(), 100),
+        ("German".to_string(), 8),
+        ("chi".to_string(), 80),
+        ("Chinese".to_string(), 6),
+    ];
+
+    println!("=== Figure 2: prompt for semantic detection of string outliers ===\n");
+    println!("{}", prompts::string_outliers_detect("article_language", &census));
+
+    println!("\n=== Figure 3: prompt for semantic cleaning of string outliers ===\n");
+    println!(
+        "{}",
+        prompts::string_outliers_clean(
+            "article_language",
+            "values mix ISO codes and full language names",
+            &census
+        )
+    );
+
+    println!("\n=== Figures 4–5: commented SQL output of a full cleaning run ===\n");
+    let dataset = cocoon_datasets::by_name("Rayyan").expect("dataset");
+    let run = Cleaner::new(SimLlm::new()).clean(&dataset.dirty).expect("pipeline");
+    println!("{}", run.sql_script());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 3 (Appendix B): the Hospital/Movies comparison when
+//! column-type and DMV errors are counted — i.e. the strict evaluation
+//! conventions.
+
+use cocoon_bench::{paper_table3, run_comparison};
+use cocoon_datasets::catalog;
+use cocoon_eval::{render_results_table, Equivalence};
+
+fn main() {
+    let datasets: Vec<_> = catalog::all()
+        .into_iter()
+        .filter(|d| d.name == "Hospital" || d.name == "Movies")
+        .collect();
+    let names: Vec<&str> = datasets.iter().map(|d| d.name).collect();
+    eprintln!("running 5 systems under strict conventions…");
+    let rows = run_comparison(&datasets, Equivalence::Strict);
+    println!("Table 3 (reproduced): comparison when column-type and DMV errors count");
+    println!("{}", render_results_table(&names, &rows));
+    println!("\nTable 3 (paper-reported, for comparison; Raha row = Raha+Baran):");
+    println!("{}", render_results_table(&names, &paper_table3()));
+}

@@ -1,0 +1,170 @@
+//! The experiment harness behind every table of the paper.
+
+use cocoon_baselines::{
+    BenchmarkContext, CleanAgent, CleaningSystem, HoloClean, RahaBaran, RetClean,
+};
+use cocoon_core::Cleaner;
+use cocoon_datasets::{Dataset, ErrorType};
+use cocoon_eval::{evaluate, Equivalence, Evaluation, Prf, SystemRow};
+use cocoon_llm::SimLlm;
+use cocoon_table::Table;
+
+/// Deterministic seed for label sampling (the 20 ground-truth cells).
+pub const LABEL_SEED: u64 = 0xFEED;
+/// Sample size forced on HoloClean (OOM) and CleanAgent (2 MB limit) for
+/// Movies — Table 1's `*` footnote.
+pub const MOVIES_SAMPLE_ROWS: usize = 1000;
+
+/// Cocoon as a [`CleaningSystem`]: the full pipeline with the simulated
+/// LLM, auto-approved (the paper's benchmark mode).
+#[derive(Debug, Default, Clone)]
+pub struct CocoonSystem;
+
+impl CleaningSystem for CocoonSystem {
+    fn name(&self) -> &'static str {
+        "Cocoon"
+    }
+
+    fn clean(&self, dirty: &Table, _ctx: &BenchmarkContext) -> Table {
+        let cleaner = Cleaner::new(SimLlm::new());
+        match cleaner.clean(dirty) {
+            Ok(run) => run.table,
+            Err(_) => dirty.clone(),
+        }
+    }
+}
+
+/// Whether a system is subject to the Movies sampling footnote.
+fn needs_movies_cap(system_name: &str) -> bool {
+    matches!(system_name, "HoloClean" | "CleanAgent")
+}
+
+/// Runs one system on one dataset under the paper's context rules and
+/// scores it. Returns the evaluation and whether the sampled-run footnote
+/// applies.
+pub fn run_system(
+    system: &dyn CleaningSystem,
+    dataset: &Dataset,
+    mode: Equivalence,
+) -> (Evaluation, bool) {
+    let mut ctx = BenchmarkContext::for_dataset(dataset, LABEL_SEED, mode);
+    let mut footnote = false;
+    if dataset.name == "Movies" && needs_movies_cap(system.name()) {
+        ctx = ctx.with_row_cap(MOVIES_SAMPLE_ROWS);
+        footnote = true;
+    }
+    let cleaned = system.clean(&dataset.dirty, &ctx);
+    (evaluate(&dataset.dirty, &cleaned, &dataset.truth, mode), footnote)
+}
+
+/// The five systems, in Table 1 row order.
+pub fn systems() -> Vec<Box<dyn CleaningSystem>> {
+    vec![
+        Box::new(HoloClean),
+        Box::new(RahaBaran),
+        Box::new(CleanAgent),
+        Box::new(RetClean),
+        Box::new(CocoonSystem),
+    ]
+}
+
+/// Runs the full Table-1 (or Table-3) comparison over `datasets`.
+pub fn run_comparison(datasets: &[Dataset], mode: Equivalence) -> Vec<SystemRow> {
+    systems()
+        .iter()
+        .map(|system| {
+            let scores = datasets
+                .iter()
+                .map(|dataset| {
+                    let (eval, footnote) = run_system(system.as_ref(), dataset, mode);
+                    (eval.prf, if footnote { Some("*") } else { None })
+                })
+                .collect();
+            SystemRow { system: system.name().to_string(), scores }
+        })
+        .collect()
+}
+
+/// Paper-reported Table 1 values, for side-by-side comparison in the
+/// harness output and EXPERIMENTS.md.
+pub fn paper_table1() -> Vec<SystemRow> {
+    let row = |system: &str, scores: [(f64, f64); 5]| SystemRow {
+        system: system.to_string(),
+        scores: scores.iter().map(|&(p, r)| (Prf::new(p, r), None)).collect(),
+    };
+    vec![
+        row("HoloClean", [(1.00, 0.46), (0.73, 0.34), (0.05, 0.04), (0.53, 0.67), (0.00, 0.00)]),
+        row("Raha+Baran", [(0.91, 0.60), (0.84, 0.61), (0.97, 0.96), (0.83, 0.35), (0.85, 0.75)]),
+        row("CleanAgent", [(0.00, 0.00), (0.00, 0.00), (0.00, 0.00), (0.00, 0.00), (0.00, 0.00)]),
+        row("RetClean", [(0.00, 0.00), (0.00, 0.00), (0.00, 0.00), (0.52, 0.48), (0.00, 0.00)]),
+        row("Cocoon", [(0.87, 0.93), (0.91, 0.42), (0.99, 0.96), (0.88, 0.84), (0.91, 0.83)]),
+    ]
+}
+
+/// Paper-reported Table 3 values (Hospital, Movies — strict conventions).
+pub fn paper_table3() -> Vec<SystemRow> {
+    let row = |system: &str, scores: [(f64, f64); 2]| SystemRow {
+        system: system.to_string(),
+        scores: scores.iter().map(|&(p, r)| (Prf::new(p, r), None)).collect(),
+    };
+    vec![
+        row("HoloClean", [(1.00, 0.13), (0.00, 0.00)]),
+        row("Raha", [(1.00, 0.97), (0.57, 0.55)]),
+        row("CleanAgent", [(0.00, 0.00), (0.00, 0.00)]),
+        row("RetClean", [(0.00, 0.00), (0.00, 0.00)]),
+        row("Cocoon", [(0.99, 0.99), (0.96, 0.91)]),
+    ]
+}
+
+/// Table 2 row for a dataset: size + counts per error type, "–" when zero.
+pub fn table2_row(dataset: &Dataset, columns: &[ErrorType]) -> (String, String, Vec<String>) {
+    let counts = dataset.error_counts();
+    let cells = columns
+        .iter()
+        .map(|e| match counts.get(e) {
+            Some(&n) if n > 0 => n.to_string(),
+            _ => "–".to_string(),
+        })
+        .collect();
+    (dataset.name.to_string(), dataset.size_label(), cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_datasets::hospital;
+
+    #[test]
+    fn cocoon_system_cleans() {
+        let d = hospital::generate();
+        let ctx = BenchmarkContext::for_dataset(&d, LABEL_SEED, Equivalence::Lenient);
+        let cleaned = CocoonSystem.clean(&d.dirty, &ctx);
+        assert_eq!(cleaned.height(), d.dirty.height());
+        // It must actually repair something.
+        let eval = evaluate(&d.dirty, &cleaned, &d.truth, Equivalence::Lenient);
+        assert!(eval.counts.changes > 0);
+    }
+
+    #[test]
+    fn paper_tables_have_expected_shape() {
+        let t1 = paper_table1();
+        assert_eq!(t1.len(), 5);
+        assert!(t1.iter().all(|r| r.scores.len() == 5));
+        let t3 = paper_table3();
+        assert_eq!(t3.len(), 5);
+        assert!(t3.iter().all(|r| r.scores.len() == 2));
+        // Spot-check one value: Cocoon Hospital F1 ≈ 0.90.
+        let cocoon = &t1[4];
+        assert!((cocoon.scores[0].0.f1 - 0.8988).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_rows_render_dashes() {
+        let d = hospital::generate();
+        let (name, size, cells) =
+            table2_row(&d, &[ErrorType::Typo, ErrorType::Misplacement]);
+        assert_eq!(name, "Hospital");
+        assert_eq!(size, "1000 × 19");
+        assert_eq!(cells, vec!["213".to_string(), "–".to_string()]);
+    }
+}

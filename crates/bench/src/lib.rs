@@ -1,0 +1,20 @@
+//! # cocoon-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the paper's
+//! evaluation:
+//!
+//! * `table1` — the main comparison (5 systems × 5 benchmarks, lenient
+//!   conventions),
+//! * `table2` — error distributions of Hospital and Movies,
+//! * `table3` — the Appendix-B comparison under strict conventions,
+//! * `figure1_workflow` — the two-dimensional decomposition trace,
+//! * `figures_prompts_sql` — the Figure 2/3 prompts and Figure 4/5 SQL.
+//!
+//! Criterion timing benches live under `benches/`.
+
+pub mod harness;
+
+pub use harness::{
+    paper_table1, paper_table3, run_comparison, run_system, systems, table2_row,
+    CocoonSystem, LABEL_SEED, MOVIES_SAMPLE_ROWS,
+};

@@ -1,0 +1,149 @@
+//! Pipeline configuration.
+
+use crate::error::{CoreError, Result};
+
+/// Which issue types (§2.1.1–2.1.8) the pipeline runs. All on by default;
+/// the ablation benches toggle these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueToggles {
+    pub string_outliers: bool,
+    pub pattern_outliers: bool,
+    pub disguised_missing: bool,
+    pub column_type: bool,
+    pub numeric_outliers: bool,
+    pub functional_dependencies: bool,
+    pub duplication: bool,
+    pub uniqueness: bool,
+}
+
+impl Default for IssueToggles {
+    fn default() -> Self {
+        IssueToggles {
+            string_outliers: true,
+            pattern_outliers: true,
+            disguised_missing: true,
+            column_type: true,
+            numeric_outliers: true,
+            functional_dependencies: true,
+            duplication: true,
+            uniqueness: true,
+        }
+    }
+}
+
+/// Tunables of the cleaning pipeline; defaults follow the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanerConfig {
+    /// Frequent distinct values sampled for string-outlier review
+    /// (paper default 1000).
+    pub sample_size: usize,
+    /// Distinct values cleaned per LLM call (paper default 1000).
+    pub batch_size: usize,
+    /// Minimum entropy strength for FD candidates handed to the LLM.
+    pub fd_min_strength: f64,
+    /// Key-likeness cutoff for FD left-hand sides.
+    pub fd_max_unique_ratio: f64,
+    /// Type-inference tolerance (fraction of values that must parse).
+    pub type_tolerance: f64,
+    /// Unique-ratio threshold above which a column is reviewed for
+    /// semantic uniqueness (§2.1.8).
+    pub uniqueness_review_threshold: f64,
+    /// Which issues run.
+    pub issues: IssueToggles,
+    /// Include statistical profiles in prompts (ablation: the paper's claim
+    /// is that statistics give the LLM context; turning this off degrades
+    /// detection).
+    pub statistical_context: bool,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        CleanerConfig {
+            sample_size: 1000,
+            batch_size: 1000,
+            fd_min_strength: 0.6,
+            fd_max_unique_ratio: 0.95,
+            type_tolerance: 0.90,
+            uniqueness_review_threshold: 0.95,
+            issues: IssueToggles::default(),
+            statistical_context: true,
+        }
+    }
+}
+
+impl CleanerConfig {
+    /// Validates ranges, returning self for chaining.
+    pub fn validated(self) -> Result<Self> {
+        if self.sample_size == 0 {
+            return Err(CoreError::Config("sample_size must be positive".into()));
+        }
+        for (name, v) in [
+            ("fd_min_strength", self.fd_min_strength),
+            ("fd_max_unique_ratio", self.fd_max_unique_ratio),
+            ("type_tolerance", self.type_tolerance),
+            ("uniqueness_review_threshold", self.uniqueness_review_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(CoreError::Config(format!("{name} must be in [0,1], got {v}")));
+            }
+        }
+        Ok(self)
+    }
+
+    /// A configuration with every semantic step disabled except `only` —
+    /// used by ablations.
+    pub fn only_issue(issue: &str) -> Self {
+        let mut toggles = IssueToggles {
+            string_outliers: false,
+            pattern_outliers: false,
+            disguised_missing: false,
+            column_type: false,
+            numeric_outliers: false,
+            functional_dependencies: false,
+            duplication: false,
+            uniqueness: false,
+        };
+        match issue {
+            "string_outliers" => toggles.string_outliers = true,
+            "pattern_outliers" => toggles.pattern_outliers = true,
+            "disguised_missing" => toggles.disguised_missing = true,
+            "column_type" => toggles.column_type = true,
+            "numeric_outliers" => toggles.numeric_outliers = true,
+            "functional_dependencies" => toggles.functional_dependencies = true,
+            "duplication" => toggles.duplication = true,
+            "uniqueness" => toggles.uniqueness = true,
+            _ => {}
+        }
+        CleanerConfig { issues: toggles, ..CleanerConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let c = CleanerConfig::default();
+        assert_eq!(c.sample_size, 1000);
+        assert_eq!(c.batch_size, 1000);
+        assert!(c.issues.string_outliers && c.issues.uniqueness);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CleanerConfig::default().validated().is_ok());
+        let bad = CleanerConfig { sample_size: 0, ..CleanerConfig::default() };
+        assert!(bad.validated().is_err());
+        let bad = CleanerConfig { fd_min_strength: 1.5, ..CleanerConfig::default() };
+        assert!(bad.validated().is_err());
+    }
+
+    #[test]
+    fn only_issue_isolates() {
+        let c = CleanerConfig::only_issue("column_type");
+        assert!(c.issues.column_type);
+        assert!(!c.issues.string_outliers);
+        assert!(!c.issues.functional_dependencies);
+    }
+}

@@ -1,0 +1,152 @@
+//! Human-in-the-loop decision hooks.
+//!
+//! "Cocoon is designed to be a human-in-the-loop process for user feedback.
+//! For each error detection and data cleaning step, we present the LLM
+//! reasoning and ask humans to verify and adjust" (§2.2, Appendix A).
+//! The pipeline consults a [`DecisionHook`] at both points; the benchmark
+//! runs use [`AutoApprove`] exactly as the paper's experiments "skip these
+//! and use the LLM provided ground truth" (§3.1).
+
+use crate::ops::IssueKind;
+
+/// What the human decided about a proposed step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Apply the step as proposed.
+    Approve,
+    /// Skip the step entirely.
+    Reject,
+    /// Apply with an adjusted value mapping (old → new pairs).
+    AdjustMapping(Vec<(String, String)>),
+}
+
+/// A proposed detection shown to the human.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionReview<'a> {
+    pub issue: IssueKind,
+    pub column: Option<&'a str>,
+    pub statistical_evidence: &'a str,
+    pub llm_reasoning: &'a str,
+}
+
+/// A proposed cleaning shown to the human.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningReview<'a> {
+    pub issue: IssueKind,
+    pub column: Option<&'a str>,
+    pub llm_explanation: &'a str,
+    /// old → new pairs ("" = NULL).
+    pub mapping: &'a [(String, String)],
+    pub sql_preview: &'a str,
+}
+
+/// The human-in-the-loop boundary.
+pub trait DecisionHook {
+    /// Review a semantic detection verdict before cleaning is attempted.
+    fn review_detection(&mut self, review: &DetectionReview<'_>) -> Decision;
+    /// Review a proposed cleaning before it is applied.
+    fn review_cleaning(&mut self, review: &CleaningReview<'_>) -> Decision;
+}
+
+/// Approves everything — the paper's benchmark mode.
+#[derive(Debug, Default, Clone)]
+pub struct AutoApprove;
+
+impl DecisionHook for AutoApprove {
+    fn review_detection(&mut self, _review: &DetectionReview<'_>) -> Decision {
+        Decision::Approve
+    }
+
+    fn review_cleaning(&mut self, _review: &CleaningReview<'_>) -> Decision {
+        Decision::Approve
+    }
+}
+
+/// Rejects specific issue kinds (e.g. a user who never wants row dedup).
+#[derive(Debug, Clone, Default)]
+pub struct RejectIssues {
+    pub rejected: Vec<IssueKind>,
+}
+
+impl DecisionHook for RejectIssues {
+    fn review_detection(&mut self, review: &DetectionReview<'_>) -> Decision {
+        if self.rejected.contains(&review.issue) {
+            Decision::Reject
+        } else {
+            Decision::Approve
+        }
+    }
+
+    fn review_cleaning(&mut self, review: &CleaningReview<'_>) -> Decision {
+        if self.rejected.contains(&review.issue) {
+            Decision::Reject
+        } else {
+            Decision::Approve
+        }
+    }
+}
+
+/// Records every review it sees (testing aid) while approving.
+#[derive(Debug, Default)]
+pub struct RecordingHook {
+    pub detections: Vec<(IssueKind, Option<String>)>,
+    pub cleanings: Vec<(IssueKind, usize)>,
+}
+
+impl DecisionHook for RecordingHook {
+    fn review_detection(&mut self, review: &DetectionReview<'_>) -> Decision {
+        self.detections.push((review.issue, review.column.map(str::to_string)));
+        Decision::Approve
+    }
+
+    fn review_cleaning(&mut self, review: &CleaningReview<'_>) -> Decision {
+        self.cleanings.push((review.issue, review.mapping.len()));
+        Decision::Approve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_approve_approves() {
+        let mut hook = AutoApprove;
+        let review = DetectionReview {
+            issue: IssueKind::StringOutliers,
+            column: Some("x"),
+            statistical_evidence: "",
+            llm_reasoning: "",
+        };
+        assert_eq!(hook.review_detection(&review), Decision::Approve);
+    }
+
+    #[test]
+    fn reject_issues_filters() {
+        let mut hook = RejectIssues { rejected: vec![IssueKind::Duplication] };
+        let review = DetectionReview {
+            issue: IssueKind::Duplication,
+            column: None,
+            statistical_evidence: "",
+            llm_reasoning: "",
+        };
+        assert_eq!(hook.review_detection(&review), Decision::Reject);
+        let review = DetectionReview { issue: IssueKind::ColumnType, ..review };
+        assert_eq!(hook.review_detection(&review), Decision::Approve);
+    }
+
+    #[test]
+    fn recording_hook_records() {
+        let mut hook = RecordingHook::default();
+        let mapping = vec![("a".to_string(), "b".to_string())];
+        let review = CleaningReview {
+            issue: IssueKind::StringOutliers,
+            column: Some("c"),
+            llm_explanation: "e",
+            mapping: &mapping,
+            sql_preview: "SELECT",
+        };
+        hook.review_cleaning(&review);
+        assert_eq!(hook.cleanings, vec![(IssueKind::StringOutliers, 1)]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Pipeline errors.
+
+use cocoon_llm::LlmError;
+use cocoon_sql::SqlError;
+use cocoon_table::TableError;
+use std::fmt;
+
+/// Errors surfaced by the cleaning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Table(TableError),
+    Sql(SqlError),
+    Llm(LlmError),
+    /// A configuration value is out of range.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Table(e) => write!(f, "table: {e}"),
+            CoreError::Sql(e) => write!(f, "sql: {e}"),
+            CoreError::Llm(e) => write!(f, "llm: {e}"),
+            CoreError::Config(msg) => write!(f, "config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<TableError> for CoreError {
+    fn from(e: TableError) -> Self {
+        CoreError::Table(e)
+    }
+}
+
+impl From<SqlError> for CoreError {
+    fn from(e: SqlError) -> Self {
+        CoreError::Sql(e)
+    }
+}
+
+impl From<LlmError> for CoreError {
+    fn from(e: LlmError) -> Self {
+        CoreError::Llm(e)
+    }
+}
+
+/// Result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = TableError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("table:"));
+        let e: CoreError = SqlError::DivisionByZero.into();
+        assert!(e.to_string().contains("sql:"));
+        let e: CoreError = LlmError::Empty.into();
+        assert!(e.to_string().contains("llm:"));
+        assert!(CoreError::Config("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,246 @@
+//! §2.1.4 Column Type.
+//!
+//! Statistical detection reads the declared catalog type and the parse
+//! census; the LLM suggests the semantically right type ("yes"/"no" ⇒
+//! BOOLEAN); cleaning is a `CAST` — preceded, for numeric targets with
+//! non-numeric spellings ("1 hr. 30 min."), by a semantic value map
+//! (Appendix B).
+
+use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values, restrict_mapping};
+use crate::decision::{Decision, DetectionReview};
+use crate::ops::{CleaningOp, IssueKind};
+use crate::state::PipelineState;
+use cocoon_llm::{parse_cleaning_map, parse_type_verdict, prompts};
+use cocoon_sql::Expr;
+use cocoon_table::{infer_column_type, DataType};
+
+/// Runs column-type review and casting over every text column.
+pub fn run(state: &mut PipelineState<'_>) {
+    for index in 0..state.table.width() {
+        let field = match state.table.schema().field(index) {
+            Ok(f) => f.clone(),
+            Err(_) => continue,
+        };
+        if field.data_type() != DataType::Text {
+            continue;
+        }
+        if let Err(err) = run_column(state, index, field.name()) {
+            state.note(format!(
+                "column-type review on {:?} degraded to statistical-only: {err}",
+                field.name()
+            ));
+        }
+    }
+}
+
+fn run_column(
+    state: &mut PipelineState<'_>,
+    index: usize,
+    column: &str,
+) -> crate::error::Result<()> {
+    let census = state.census(index, 50);
+    if census.is_empty() {
+        return Ok(());
+    }
+    let inference = infer_column_type(state.table.column(index)?, state.config.type_tolerance);
+    let declared = state.table.schema().field(index)?.data_type();
+
+    let response = state.ask(prompts::column_type(
+        column,
+        declared.sql_name(),
+        inference.data_type.sql_name(),
+        inference.confidence,
+        &census,
+    ))?;
+    let verdict = parse_type_verdict(&response)?;
+    let Some(target) = DataType::from_sql_name(&verdict.type_name) else {
+        state.note(format!(
+            "column-type review on {column:?} suggested unknown type {:?}",
+            verdict.type_name
+        ));
+        return Ok(());
+    };
+    if target == DataType::Text {
+        return Ok(());
+    }
+    let evidence = format!(
+        "declared {}, inferred {} at {:.0}% confidence",
+        declared.sql_name(),
+        inference.data_type.sql_name(),
+        inference.confidence * 100.0
+    );
+    let detection = DetectionReview {
+        issue: IssueKind::ColumnType,
+        column: Some(column),
+        statistical_evidence: &evidence,
+        llm_reasoning: &verdict.reasoning,
+    };
+    if state.hook.review_detection(&detection) == Decision::Reject {
+        state.note(format!("column-type cast on {column:?} rejected by reviewer"));
+        return Ok(());
+    }
+
+    // For numeric targets, values that don't parse as numbers first get a
+    // semantic numeric-conversion map (Appendix B: "1 hr. 30 min." → 90).
+    // The map must cover the column's full distinct census — the 50-value
+    // sample shown in the type prompt is not enough to cast every cell.
+    let mut inner = Expr::col(column);
+    let mut conversion_reasoning = String::new();
+    if target.is_numeric() {
+        let full_census = state.census(index, state.config.sample_size);
+        let failing: Vec<(String, usize)> = full_census
+            .iter()
+            .filter(|(v, _)| v.trim().parse::<f64>().is_err())
+            .cloned()
+            .collect();
+        if !failing.is_empty() {
+            let response = state.ask(prompts::numeric_conversion(column, &failing))?;
+            let map = parse_cleaning_map(&response)?;
+            let mapping = restrict_mapping(&map.mapping, &failing);
+            if !mapping.is_empty() {
+                inner = Expr::Case {
+                    operand: Some(Box::new(Expr::col(column))),
+                    arms: mapping_to_values(&mapping)
+                        .into_iter()
+                        .map(|(old, new)| (Expr::Literal(old), Expr::Literal(new)))
+                        .collect(),
+                    otherwise: Some(Box::new(Expr::col(column))),
+                };
+                conversion_reasoning = map.explanation;
+            }
+        }
+    }
+
+    let expr = Expr::try_cast(inner, target);
+    let select = column_rewrite_select(&state.table, column, expr);
+    let (table, changed) = apply_and_count(&select, &state.table)?;
+    // A cast that empties the column means the suggestion was wrong; the
+    // human-in-the-loop would reject it, and so do we.
+    let nulls_before = state.table.column(index)?.null_count();
+    let nulls_after = table.column(index)?.null_count();
+    let non_null_before = state.table.height() - nulls_before;
+    if non_null_before > 0 {
+        let lost = nulls_after.saturating_sub(nulls_before);
+        if lost * 2 > non_null_before {
+            state.note(format!(
+                "cast of {column:?} to {} abandoned: it would null {lost}/{non_null_before} values",
+                target.sql_name()
+            ));
+            return Ok(());
+        }
+    }
+    state.table = table;
+    state.ops.push(CleaningOp {
+        issue: IssueKind::ColumnType,
+        column: Some(column.to_string()),
+        statistical_evidence: evidence,
+        llm_reasoning: format!("{} {}", verdict.reasoning, conversion_reasoning)
+            .trim()
+            .to_string(),
+        sql: select,
+        cells_changed: changed,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CleanerConfig;
+    use crate::decision::AutoApprove;
+    use cocoon_llm::SimLlm;
+    use cocoon_table::{Table, Value};
+
+    fn run_on(table: Table) -> (Table, Vec<CleaningOp>) {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table, &llm, &config, &mut hook);
+        run(&mut state);
+        (state.table, state.ops)
+    }
+
+    #[test]
+    fn yes_no_becomes_boolean() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["yes".into()],
+            vec!["no".into()],
+            vec!["yes".into()],
+        ];
+        let table = Table::from_text_rows(&["EmergencyService"], &rows).unwrap();
+        let (cleaned, ops) = run_on(table);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(cleaned.schema().field(0).unwrap().data_type(), DataType::Bool);
+        assert_eq!(cleaned.cell(0, 0).unwrap(), &Value::Bool(true));
+        assert_eq!(cleaned.render_cell(0, 0).unwrap(), "True");
+        assert!(ops[0].rendered_sql().contains("TRY_CAST"));
+    }
+
+    #[test]
+    fn durations_convert_then_cast() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["90 min".into()],
+            vec!["1 hr. 30 min.".into()],
+            vec!["100 min".into()],
+        ];
+        let table = Table::from_text_rows(&["duration"], &rows).unwrap();
+        let (cleaned, ops) = run_on(table);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(cleaned.schema().field(0).unwrap().data_type(), DataType::Float);
+        // Appendix B: both spellings become the float 90.
+        assert_eq!(cleaned.cell(0, 0).unwrap(), &Value::Float(90.0));
+        assert_eq!(cleaned.cell(1, 0).unwrap(), &Value::Float(90.0));
+        assert_eq!(cleaned.cell(2, 0).unwrap(), &Value::Float(100.0));
+    }
+
+    #[test]
+    fn integer_column_cast() {
+        let rows: Vec<Vec<String>> = (1..=20).map(|i| vec![i.to_string()]).collect();
+        let table = Table::from_text_rows(&["count"], &rows).unwrap();
+        let (cleaned, ops) = run_on(table);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(cleaned.schema().field(0).unwrap().data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn free_text_stays_text() {
+        let rows: Vec<Vec<String>> = vec![vec!["alice".into()], vec!["bob".into()]];
+        let table = Table::from_text_rows(&["name"], &rows).unwrap();
+        let (cleaned, ops) = run_on(table.clone());
+        assert!(ops.is_empty());
+        assert_eq!(cleaned, table);
+    }
+
+    #[test]
+    fn zip_codes_stay_text() {
+        let rows: Vec<Vec<String>> = vec![vec!["35233".into()], vec!["02139".into()]];
+        let table = Table::from_text_rows(&["zip_code"], &rows).unwrap();
+        let (cleaned, ops) = run_on(table);
+        assert!(ops.is_empty());
+        assert_eq!(cleaned.schema().field(0).unwrap().data_type(), DataType::Text);
+    }
+
+    #[test]
+    fn destructive_cast_abandoned() {
+        // A (scripted) model wrongly suggests BIGINT for free text; the
+        // cast would null most values, so the pipeline abandons it.
+        use cocoon_llm::ScriptedLlm;
+        let rows: Vec<Vec<String>> = vec![
+            vec!["hello".into()],
+            vec!["world".into()],
+            vec!["7".into()],
+        ];
+        let table = Table::from_text_rows(&["stuff"], &rows).unwrap();
+        let llm = ScriptedLlm::new([
+            r#"{"Reasoning": "looks numeric", "Type": "BIGINT"}"#,
+            "```yml\nexplanation: >\n  nothing converts\nmapping:\n```\n",
+        ]);
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table.clone(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert!(state.ops.is_empty());
+        assert!(state.notes.iter().any(|n| n.contains("abandoned")));
+        assert_eq!(state.table, table);
+    }
+}

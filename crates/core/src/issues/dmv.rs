@@ -1,0 +1,168 @@
+//! §2.1.3 Disguised Missing Values.
+//!
+//! Statistical detection shows the column's values; the LLM identifies
+//! not-NULL values that semantically mean "missing" ("N/A", "null", "-");
+//! cleaning is `CASE WHEN … THEN NULL`.
+
+use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values};
+use crate::decision::{CleaningReview, Decision};
+use crate::ops::{CleaningOp, IssueKind};
+use crate::state::PipelineState;
+use cocoon_llm::{parse_dmv_verdict, prompts};
+use cocoon_sql::{render_select, Expr};
+use cocoon_table::DataType;
+
+/// Runs DMV detection and cleaning over every text column.
+pub fn run(state: &mut PipelineState<'_>) {
+    for index in 0..state.table.width() {
+        let field = match state.table.schema().field(index) {
+            Ok(f) => f.clone(),
+            Err(_) => continue,
+        };
+        if field.data_type() != DataType::Text {
+            continue;
+        }
+        if let Err(err) = run_column(state, index, field.name()) {
+            state.note(format!(
+                "DMV detection on {:?} degraded to statistical-only: {err}",
+                field.name()
+            ));
+        }
+    }
+}
+
+fn run_column(
+    state: &mut PipelineState<'_>,
+    index: usize,
+    column: &str,
+) -> crate::error::Result<()> {
+    let census = state.census(index, state.config.sample_size);
+    if census.is_empty() {
+        return Ok(());
+    }
+    // Numeric share guides whether sentinel values (9999, -1) count as DMVs.
+    let total: usize = census.iter().map(|(_, c)| c).sum();
+    let numeric: usize = census
+        .iter()
+        .filter(|(v, _)| v.trim().parse::<f64>().is_ok())
+        .map(|(_, c)| c)
+        .sum();
+    let numeric_share = if total == 0 { 0.0 } else { numeric as f64 / total as f64 };
+
+    let response = state.ask(prompts::dmv_detect(column, &census, numeric_share))?;
+    let verdict = parse_dmv_verdict(&response)?;
+    let tokens: Vec<String> = verdict
+        .tokens
+        .into_iter()
+        .filter(|t| census.iter().any(|(v, _)| v == t))
+        .collect();
+    if tokens.is_empty() {
+        return Ok(());
+    }
+
+    let mapping: Vec<(String, String)> =
+        tokens.iter().map(|t| (t.clone(), String::new())).collect();
+    let expr = Expr::value_map(column, &mapping_to_values(&mapping));
+    let select = column_rewrite_select(&state.table, column, expr);
+    let preview = render_select(&select);
+    let evidence = format!("{} distinct values reviewed; numeric share {numeric_share:.2}", census.len());
+    let review = CleaningReview {
+        issue: IssueKind::DisguisedMissing,
+        column: Some(column),
+        llm_explanation: &verdict.reasoning,
+        mapping: &mapping,
+        sql_preview: &preview,
+    };
+    let mapping = match state.hook.review_cleaning(&review) {
+        Decision::Reject => {
+            state.note(format!("DMV cleaning on {column:?} rejected by reviewer"));
+            return Ok(());
+        }
+        Decision::AdjustMapping(adjusted) => adjusted,
+        Decision::Approve => mapping,
+    };
+    let expr = Expr::value_map(column, &mapping_to_values(&mapping));
+    let select = column_rewrite_select(&state.table, column, expr);
+    let (table, changed) = apply_and_count(&select, &state.table)?;
+    if changed == 0 {
+        return Ok(());
+    }
+    state.table = table;
+    state.ops.push(CleaningOp {
+        issue: IssueKind::DisguisedMissing,
+        column: Some(column.to_string()),
+        statistical_evidence: evidence,
+        llm_reasoning: verdict.reasoning,
+        sql: select,
+        cells_changed: changed,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CleanerConfig;
+    use crate::decision::AutoApprove;
+    use cocoon_llm::SimLlm;
+    use cocoon_table::{Table, Value};
+
+    fn with_dmvs() -> Table {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["Austin".into()],
+            vec!["N/A".into()],
+            vec!["Dallas".into()],
+            vec!["null".into()],
+            vec!["-".into()],
+        ];
+        Table::from_text_rows(&["city"], &rows).unwrap()
+    }
+
+    #[test]
+    fn dmvs_become_null() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(with_dmvs(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert_eq!(state.ops.len(), 1);
+        assert_eq!(state.ops[0].cells_changed, 3);
+        assert_eq!(state.table.cell(1, 0).unwrap(), &Value::Null);
+        assert_eq!(state.table.cell(3, 0).unwrap(), &Value::Null);
+        assert_eq!(state.table.cell(4, 0).unwrap(), &Value::Null);
+        assert_eq!(state.table.cell(0, 0).unwrap(), &Value::from("Austin"));
+        assert!(state.ops[0].rendered_sql().contains("THEN NULL"));
+    }
+
+    #[test]
+    fn sentinels_nulled_only_in_numeric_columns() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["10".into()],
+            vec!["20".into()],
+            vec!["30".into()],
+            vec!["40".into()],
+            vec!["9999".into()],
+        ];
+        let table = Table::from_text_rows(&["score"], &rows).unwrap();
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table, &llm, &config, &mut hook);
+        run(&mut state);
+        assert_eq!(state.ops.len(), 1);
+        assert_eq!(state.table.cell(4, 0).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn clean_column_untouched() {
+        let rows: Vec<Vec<String>> = vec![vec!["Austin".into()], vec!["Dallas".into()]];
+        let table = Table::from_text_rows(&["city"], &rows).unwrap();
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table.clone(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert!(state.ops.is_empty());
+        assert_eq!(state.table, table);
+    }
+}

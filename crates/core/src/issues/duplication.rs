@@ -1,0 +1,128 @@
+//! §2.1.7 Duplication.
+//!
+//! Statistical detection finds exact duplicate rows; the LLM decides
+//! whether they are semantically acceptable (coarse-grained logging) or
+//! erroneous; cleaning is `SELECT DISTINCT`.
+
+use crate::apply::apply_and_count;
+use crate::decision::{Decision, DetectionReview};
+use crate::ops::{CleaningOp, IssueKind};
+use crate::state::PipelineState;
+use cocoon_llm::{parse_dup_verdict, prompts};
+use cocoon_profile::duplicate_profile;
+use cocoon_sql::Select;
+
+/// Runs duplicate-row review over the whole table.
+pub fn run(state: &mut PipelineState<'_>) {
+    if let Err(err) = run_inner(state) {
+        state.note(format!("duplication review degraded to statistical-only: {err}"));
+    }
+}
+
+fn run_inner(state: &mut PipelineState<'_>) -> crate::error::Result<()> {
+    let profile = duplicate_profile(&state.table);
+    if profile.duplicate_rows == 0 {
+        return Ok(());
+    }
+    let columns: Vec<String> =
+        state.table.schema().names().iter().map(|s| s.to_string()).collect();
+    let response = state.ask(prompts::duplication_review(
+        profile.duplicate_rows,
+        profile.rows,
+        &columns,
+    ))?;
+    let verdict = parse_dup_verdict(&response)?;
+    let evidence = format!(
+        "{} of {} rows are exact duplicates ({} groups)",
+        profile.duplicate_rows, profile.rows, profile.duplicated_groups
+    );
+    if verdict.acceptable {
+        state.note(format!("duplicates kept as semantically acceptable: {}", verdict.reasoning));
+        return Ok(());
+    }
+    let detection = DetectionReview {
+        issue: IssueKind::Duplication,
+        column: None,
+        statistical_evidence: &evidence,
+        llm_reasoning: &verdict.reasoning,
+    };
+    if state.hook.review_detection(&detection) == Decision::Reject {
+        state.note("duplicate removal rejected by reviewer".to_string());
+        return Ok(());
+    }
+    let mut select = Select::star("input");
+    select.distinct = true;
+    let (table, removed) = apply_and_count(&select, &state.table)?;
+    state.table = table;
+    state.ops.push(CleaningOp {
+        issue: IssueKind::Duplication,
+        column: None,
+        statistical_evidence: evidence,
+        llm_reasoning: verdict.reasoning,
+        sql: select,
+        cells_changed: removed,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CleanerConfig;
+    use crate::decision::AutoApprove;
+    use cocoon_llm::SimLlm;
+    use cocoon_table::Table;
+
+    fn run_on(table: Table) -> (Table, Vec<CleaningOp>, Vec<String>) {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table, &llm, &config, &mut hook);
+        run(&mut state);
+        (state.table, state.ops, state.notes)
+    }
+
+    #[test]
+    fn entity_duplicates_removed() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["1".into(), "a".into()],
+            vec!["1".into(), "a".into()],
+            vec!["2".into(), "b".into()],
+        ];
+        let table = Table::from_text_rows(&["id", "name"], &rows).unwrap();
+        let (cleaned, ops, _) = run_on(table);
+        assert_eq!(cleaned.height(), 2);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].cells_changed, 1);
+        assert!(ops[0].rendered_sql().contains("SELECT DISTINCT"));
+    }
+
+    #[test]
+    fn log_duplicates_kept() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["12:00".into(), "42".into()],
+            vec!["12:00".into(), "42".into()],
+        ];
+        let table = Table::from_text_rows(&["event_time", "reading"], &rows).unwrap();
+        let (cleaned, ops, notes) = run_on(table.clone());
+        assert_eq!(cleaned, table);
+        assert!(ops.is_empty());
+        assert!(notes.iter().any(|n| n.contains("acceptable")));
+    }
+
+    #[test]
+    fn no_duplicates_no_llm_call() {
+        use cocoon_llm::{ChatModel, Transcript};
+        let rows: Vec<Vec<String>> =
+            vec![vec!["1".into()], vec!["2".into()]];
+        let table = Table::from_text_rows(&["id"], &rows).unwrap();
+        let llm = Transcript::new(SimLlm::new());
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table, &llm, &config, &mut hook);
+        run(&mut state);
+        let _ = llm.model_name();
+        assert_eq!(llm.call_count(), 0);
+        assert!(state.ops.is_empty());
+    }
+}

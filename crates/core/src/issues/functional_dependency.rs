@@ -1,0 +1,289 @@
+//! §2.1.6 Functional Dependencies.
+//!
+//! Following Baran, only single-attribute FDs are considered. Statistical
+//! detection ranks column pairs by conditional entropy; the LLM reviews
+//! whether a statistically strong FD is *semantically* meaningful (the
+//! Flights `flight → actual time` FD is the canonical rejection); for
+//! meaningful FDs the LLM maps each violating group's wrong values to the
+//! correct one, compiled to a group-scoped `CASE WHEN`.
+
+use crate::apply::apply_and_count;
+use crate::decision::{CleaningReview, Decision, DetectionReview};
+use crate::ops::{CleaningOp, IssueKind};
+use crate::state::PipelineState;
+use cocoon_llm::{parse_cleaning_map, parse_fd_verdict, prompts};
+use cocoon_profile::{fd_candidates, fd_violating_groups};
+use cocoon_sql::{render_select, Expr, Projection, Select};
+use cocoon_table::Value;
+
+/// Runs FD review and repair over the whole table.
+pub fn run(state: &mut PipelineState<'_>) {
+    let candidates = fd_candidates(
+        &state.table,
+        state.config.fd_min_strength,
+        state.config.fd_max_unique_ratio,
+    );
+    for candidate in candidates {
+        if let Err(err) = run_candidate(state, candidate.lhs, candidate.rhs, candidate.strength)
+        {
+            state.note(format!("FD repair degraded to statistical-only: {err}"));
+        }
+    }
+}
+
+fn run_candidate(
+    state: &mut PipelineState<'_>,
+    lhs: usize,
+    rhs: usize,
+    strength: f64,
+) -> crate::error::Result<()> {
+    let lhs_name = state.table.schema().field(lhs)?.name().to_string();
+    let rhs_name = state.table.schema().field(rhs)?.name().to_string();
+    let groups = {
+        let lhs_col = state.table.column(lhs)?;
+        let rhs_col = state.table.column(rhs)?;
+        fd_violating_groups(lhs_col.values(), rhs_col.values())
+    };
+    if groups.is_empty() {
+        return Ok(());
+    }
+    let groups_text: Vec<(String, Vec<(String, usize)>)> = groups
+        .iter()
+        .map(|(l, census)| {
+            (
+                l.render(),
+                census.iter().map(|(v, c)| (v.render(), *c)).collect(),
+            )
+        })
+        .collect();
+
+    // Semantic review of the FD itself.
+    let response = state.ask(prompts::fd_review(
+        &lhs_name,
+        &rhs_name,
+        strength,
+        groups.len(),
+        &groups_text[..groups_text.len().min(5)],
+    ))?;
+    let verdict = parse_fd_verdict(&response)?;
+    let evidence = format!(
+        "entropy strength {strength:.3}; {} violating groups",
+        groups.len()
+    );
+    if !verdict.meaningful {
+        state.note(format!(
+            "FD {lhs_name} → {rhs_name} rejected as not semantically meaningful: {}",
+            verdict.reasoning
+        ));
+        return Ok(());
+    }
+    let detection = DetectionReview {
+        issue: IssueKind::FunctionalDependency,
+        column: Some(&rhs_name),
+        statistical_evidence: &evidence,
+        llm_reasoning: &verdict.reasoning,
+    };
+    if state.hook.review_detection(&detection) == Decision::Reject {
+        state.note(format!("FD {lhs_name} → {rhs_name} rejected by reviewer"));
+        return Ok(());
+    }
+
+    // Semantic cleaning: the LLM provides the correct mapping per group.
+    let response = state.ask(prompts::fd_mapping(&lhs_name, &rhs_name, &groups_text))?;
+    let map = parse_cleaning_map(&response)?;
+    if map.mapping.is_empty() {
+        return Ok(());
+    }
+
+    // Compile group-scoped CASE arms: a pair (old → new) applies only inside
+    // groups that contain `old` and whose plurality value is `new`. Literals
+    // are parsed back into the column's declared type so repairs keep
+    // working after a CAST step retyped the column.
+    let lhs_type = state.table.schema().field(lhs)?.data_type();
+    let rhs_type = state.table.schema().field(rhs)?.data_type();
+    let typed = |raw: &str, ty: cocoon_table::DataType| -> Value {
+        let text = Value::Text(raw.to_string());
+        text.cast(ty).unwrap_or(text)
+    };
+    let mut arms: Vec<(Expr, Expr)> = Vec::new();
+    let mut pairs_for_review: Vec<(String, String)> = Vec::new();
+    for (lhs_value, census) in &groups_text {
+        let Some((top_value, _)) = census.first() else { continue };
+        for (old, new) in &map.mapping {
+            if new != top_value || old == new {
+                continue;
+            }
+            if !census.iter().any(|(v, _)| v == old) {
+                continue;
+            }
+            let condition = Expr::and(
+                Expr::eq(Expr::col(&lhs_name), Expr::Literal(typed(lhs_value, lhs_type))),
+                Expr::eq(Expr::col(&rhs_name), Expr::Literal(typed(old, rhs_type))),
+            );
+            arms.push((condition, Expr::Literal(typed(new, rhs_type))));
+            pairs_for_review.push((old.clone(), new.clone()));
+        }
+    }
+    if arms.is_empty() {
+        return Ok(());
+    }
+    let expr = Expr::Case {
+        operand: None,
+        arms,
+        otherwise: Some(Box::new(Expr::col(&rhs_name))),
+    };
+    let projections = state
+        .table
+        .schema()
+        .fields()
+        .iter()
+        .map(|field| {
+            if field.name() == rhs_name {
+                Projection::aliased(expr.clone(), field.name())
+            } else {
+                Projection::Expr { expr: Expr::col(field.name()), alias: None }
+            }
+        })
+        .collect();
+    let select = Select {
+        distinct: false,
+        projections,
+        from: "input".into(),
+        where_clause: None,
+        qualify: None,
+        comment: None,
+    };
+    let preview = render_select(&select);
+    let review = CleaningReview {
+        issue: IssueKind::FunctionalDependency,
+        column: Some(&rhs_name),
+        llm_explanation: &map.explanation,
+        mapping: &pairs_for_review,
+        sql_preview: &preview,
+    };
+    if state.hook.review_cleaning(&review) == Decision::Reject {
+        state.note(format!("FD repair {lhs_name} → {rhs_name} rejected by reviewer"));
+        return Ok(());
+    }
+    let (table, changed) = apply_and_count(&select, &state.table)?;
+    if changed == 0 {
+        return Ok(());
+    }
+    state.table = table;
+    state.ops.push(CleaningOp {
+        issue: IssueKind::FunctionalDependency,
+        column: Some(rhs_name.clone()),
+        statistical_evidence: format!("{lhs_name} → {rhs_name}: {evidence}"),
+        llm_reasoning: format!("{} {}", verdict.reasoning, map.explanation),
+        sql: select,
+        cells_changed: changed,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CleanerConfig;
+    use crate::decision::AutoApprove;
+    use cocoon_llm::SimLlm;
+    use cocoon_table::Table;
+
+    fn hospital_like() -> Table {
+        // zip → city holds across 10 zip groups except one typo and one
+        // misplaced county value.
+        let cities = [
+            "birmingham", "dothan", "mobile", "huntsville", "montgomery",
+            "tuscaloosa", "phoenix", "tucson", "austin", "dallas",
+        ];
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, city) in cities.iter().enumerate() {
+            let zip = format!("35{:03}", i);
+            for _ in 0..8 {
+                rows.push(vec![zip.clone(), (*city).into()]);
+            }
+        }
+        rows[1][1] = "birminghxm".into(); // typo in the birmingham group
+        rows[9][1] = "jefferson".into(); // misplaced county in the dothan group
+        Table::from_text_rows(&["zip_code", "city"], &rows).unwrap()
+    }
+
+    fn run_on(table: Table) -> (Table, Vec<CleaningOp>, Vec<String>) {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table, &llm, &config, &mut hook);
+        run(&mut state);
+        (state.table, state.ops, state.notes)
+    }
+
+    #[test]
+    fn zip_city_fd_repaired_by_majority() {
+        let (cleaned, ops, _) = run_on(hospital_like());
+        assert!(!ops.is_empty());
+        let city = cleaned.column_by_name("city").unwrap();
+        assert!(!city.values().iter().any(|v| {
+            matches!(v.as_text(), Some("birminghxm") | Some("jefferson"))
+        }));
+        assert_eq!(cleaned.render_cell(1, 1).unwrap(), "birmingham");
+        assert_eq!(cleaned.render_cell(9, 1).unwrap(), "dothan");
+        let op = &ops[0];
+        assert_eq!(op.issue, IssueKind::FunctionalDependency);
+        assert_eq!(op.cells_changed, 2);
+        assert!(op.rendered_sql().contains("zip_code ="));
+    }
+
+    #[test]
+    fn actual_time_fd_rejected() {
+        // flight → actual_arrival is statistically strong but semantically
+        // rejected (the paper's Flights analysis).
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        // 20 flights, each with a consistent time except two flights whose
+        // actual arrival varies by a minute — statistically a strong FD.
+        for f in 0..20 {
+            let time = format!("{}:{:02} p.m.", (f % 11) + 1, f * 2);
+            for _ in 0..6 {
+                rows.push(vec![format!("AA-{f}"), time.clone()]);
+            }
+        }
+        rows[1][1] = "10:31 p.m.".into();
+        rows[7][1] = "10:39 p.m.".into();
+        let table =
+            Table::from_text_rows(&["flight", "actual_arrival_time"], &rows).unwrap();
+        let (cleaned, ops, notes) = run_on(table.clone());
+        assert!(ops.is_empty());
+        assert_eq!(cleaned, table);
+        assert!(notes.iter().any(|n| n.contains("rejected as not semantically meaningful")));
+    }
+
+    #[test]
+    fn consistent_fd_no_op() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["1".into(), "a".into()],
+            vec!["1".into(), "a".into()],
+            vec!["2".into(), "b".into()],
+            vec!["2".into(), "b".into()],
+        ];
+        let table = Table::from_text_rows(&["code", "name"], &rows).unwrap();
+        let (_, ops, _) = run_on(table);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_group_left_alone() {
+        // Two rhs values with equal support and no typo relation: the
+        // mapping skips the group.
+        let rows: Vec<Vec<String>> = vec![
+            vec!["z1".into(), "alpha".into()],
+            vec!["z1".into(), "omega".into()],
+            vec!["z1".into(), "alpha".into()],
+            vec!["z1".into(), "omega".into()],
+            vec!["z2".into(), "beta".into()],
+            vec!["z2".into(), "beta".into()],
+        ];
+        let table = Table::from_text_rows(&["zone_code", "name"], &rows).unwrap();
+        let (cleaned, ops, _) = run_on(table.clone());
+        assert!(ops.is_empty());
+        assert_eq!(cleaned, table);
+    }
+}

@@ -1,0 +1,11 @@
+//! The eight issue types of §2.1, each decomposed into statistical
+//! detection, semantic detection and semantic cleaning (Figure 1b).
+
+pub mod column_type;
+pub mod dmv;
+pub mod duplication;
+pub mod functional_dependency;
+pub mod numeric_outlier;
+pub mod pattern_outlier;
+pub mod string_outlier;
+pub mod uniqueness;

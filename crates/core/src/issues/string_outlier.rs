@@ -1,0 +1,215 @@
+//! §2.1.1 String Outliers: typos and inconsistent representations.
+//!
+//! Statistical detection samples the most frequent distinct values (default
+//! 1000); semantic detection is the Figure 2 prompt; semantic cleaning is
+//! the Figure 3 prompt, batched; the repair compiles to a `CASE WHEN` value
+//! map.
+
+use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values, restrict_mapping};
+use crate::decision::{CleaningReview, Decision, DetectionReview};
+use crate::ops::{CleaningOp, IssueKind};
+use crate::state::PipelineState;
+use cocoon_llm::prompts;
+use cocoon_llm::{parse_cleaning_map, parse_detect_verdict};
+use cocoon_profile::batches;
+use cocoon_sql::{render_select, Expr};
+use cocoon_table::DataType;
+
+/// Runs string-outlier detection and cleaning over every text column.
+pub fn run(state: &mut PipelineState<'_>) {
+    for index in 0..state.table.width() {
+        let field = match state.table.schema().field(index) {
+            Ok(f) => f.clone(),
+            Err(_) => continue,
+        };
+        if field.data_type() != DataType::Text {
+            continue;
+        }
+        if let Err(err) = run_column(state, index, field.name()) {
+            state.note(format!(
+                "string outliers on {:?} degraded to statistical-only: {err}",
+                field.name()
+            ));
+        }
+    }
+}
+
+fn run_column(
+    state: &mut PipelineState<'_>,
+    index: usize,
+    column: &str,
+) -> crate::error::Result<()> {
+    let census = state.census(index, state.config.sample_size);
+    if census.len() < 2 {
+        return Ok(());
+    }
+
+    // Semantic detection (Figure 2).
+    let response = state.ask(prompts::string_outliers_detect(column, &census))?;
+    let verdict = parse_detect_verdict(&response)?;
+    if !verdict.unusual {
+        return Ok(());
+    }
+    let evidence = format!(
+        "{} distinct values sampled by frequency (top {})",
+        census.len(),
+        state.config.sample_size
+    );
+    let detection = DetectionReview {
+        issue: IssueKind::StringOutliers,
+        column: Some(column),
+        statistical_evidence: &evidence,
+        llm_reasoning: &verdict.reasoning,
+    };
+    if state.hook.review_detection(&detection) == Decision::Reject {
+        state.note(format!("string outliers on {column:?} rejected by reviewer"));
+        return Ok(());
+    }
+
+    // Semantic cleaning (Figure 3), one batch of values at a time.
+    let mut mapping: Vec<(String, String)> = Vec::new();
+    let mut explanations: Vec<String> = Vec::new();
+    for batch in batches(&census, state.config.batch_size) {
+        let response =
+            state.ask(prompts::string_outliers_clean(column, &verdict.summary, &batch))?;
+        let map = parse_cleaning_map(&response)?;
+        if !map.explanation.is_empty() {
+            explanations.push(map.explanation.clone());
+        }
+        mapping.extend(restrict_mapping(&map.mapping, &batch));
+    }
+    if mapping.is_empty() {
+        return Ok(());
+    }
+
+    let expr = Expr::value_map(column, &mapping_to_values(&mapping));
+    let select = column_rewrite_select(&state.table, column, expr);
+    let preview = render_select(&select);
+    let review = CleaningReview {
+        issue: IssueKind::StringOutliers,
+        column: Some(column),
+        llm_explanation: &explanations.join(" "),
+        mapping: &mapping,
+        sql_preview: &preview,
+    };
+    let mapping = match state.hook.review_cleaning(&review) {
+        Decision::Reject => {
+            state.note(format!("string-outlier cleaning on {column:?} rejected by reviewer"));
+            return Ok(());
+        }
+        Decision::AdjustMapping(adjusted) => adjusted,
+        Decision::Approve => mapping,
+    };
+    let expr = Expr::value_map(column, &mapping_to_values(&mapping));
+    let select = column_rewrite_select(&state.table, column, expr);
+    let (table, changed) = apply_and_count(&select, &state.table)?;
+    if changed == 0 {
+        return Ok(());
+    }
+    state.table = table;
+    state.ops.push(CleaningOp {
+        issue: IssueKind::StringOutliers,
+        column: Some(column.to_string()),
+        statistical_evidence: evidence,
+        llm_reasoning: format!("{} {}", verdict.reasoning, explanations.join(" ")),
+        sql: select,
+        cells_changed: changed,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CleanerConfig;
+    use crate::decision::AutoApprove;
+    use cocoon_llm::{FailingLlm, SimLlm};
+    use cocoon_table::{Table, Value};
+
+    fn rayyan_like() -> Table {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for _ in 0..40 {
+            rows.push(vec!["eng".into()]);
+        }
+        for _ in 0..9 {
+            rows.push(vec!["English".into()]);
+        }
+        for _ in 0..5 {
+            rows.push(vec!["fre".into()]);
+        }
+        rows.push(vec!["French".into()]);
+        Table::from_text_rows(&["article_language"], &rows).unwrap()
+    }
+
+    #[test]
+    fn example1_end_to_end() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(rayyan_like(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert_eq!(state.ops.len(), 1);
+        let op = &state.ops[0];
+        assert_eq!(op.issue, IssueKind::StringOutliers);
+        assert_eq!(op.cells_changed, 10); // 9 English + 1 French
+        // Every cell now uses ISO codes.
+        let col = state.table.column(0).unwrap();
+        assert!(col.values().iter().all(|v| {
+            matches!(v.as_text(), Some("eng") | Some("fre"))
+        }));
+        // SQL artifact mentions the CASE map.
+        assert!(op.rendered_sql().contains("WHEN 'English' THEN 'eng'"));
+    }
+
+    #[test]
+    fn clean_column_untouched() {
+        let rows: Vec<Vec<String>> = vec![vec!["eng".into()], vec!["fre".into()]];
+        let table = Table::from_text_rows(&["lang"], &rows).unwrap();
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table.clone(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert!(state.ops.is_empty());
+        assert_eq!(state.table, table);
+    }
+
+    #[test]
+    fn llm_failure_degrades_gracefully() {
+        let llm = FailingLlm;
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(rayyan_like(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert!(state.ops.is_empty());
+        assert_eq!(state.notes.len(), 1);
+        assert!(state.notes[0].contains("degraded"));
+    }
+
+    #[test]
+    fn reviewer_can_reject() {
+        use crate::decision::RejectIssues;
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = RejectIssues { rejected: vec![IssueKind::StringOutliers] };
+        let mut state = PipelineState::new(rayyan_like(), &llm, &config, &mut hook);
+        run(&mut state);
+        assert!(state.ops.is_empty());
+        assert!(state.notes[0].contains("rejected"));
+    }
+
+    #[test]
+    fn non_text_columns_skipped() {
+        let rows: Vec<Vec<String>> = vec![vec!["1".into()], vec!["2".into()]];
+        let mut table = Table::from_text_rows(&["n"], &rows).unwrap();
+        table.set_column_type(0, cocoon_table::DataType::Int).unwrap();
+        table.column_mut(0).unwrap().try_cast_all(cocoon_table::DataType::Int);
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table, &llm, &config, &mut hook);
+        run(&mut state);
+        assert!(state.ops.is_empty());
+        assert_eq!(state.table.cell(0, 0).unwrap(), &Value::Int(1));
+    }
+}

@@ -1,0 +1,127 @@
+//! Cleaning operations: the auditable record of what the pipeline did.
+//!
+//! Each applied step captures the statistical evidence, the LLM reasoning,
+//! and the SQL it compiled to — together they are the "well-commented SQL
+//! queries" of Figure 5.
+
+use cocoon_sql::{render_select, Select};
+use std::fmt;
+
+/// The issue taxonomy of §2.1, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueKind {
+    StringOutliers,
+    PatternOutliers,
+    DisguisedMissing,
+    ColumnType,
+    NumericOutliers,
+    FunctionalDependency,
+    Duplication,
+    Uniqueness,
+}
+
+impl IssueKind {
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IssueKind::StringOutliers => "String Outliers",
+            IssueKind::PatternOutliers => "Pattern Outliers",
+            IssueKind::DisguisedMissing => "Disguised Missing Value",
+            IssueKind::ColumnType => "Column Type",
+            IssueKind::NumericOutliers => "Numeric Outliers",
+            IssueKind::FunctionalDependency => "Functional Dependency",
+            IssueKind::Duplication => "Duplication",
+            IssueKind::Uniqueness => "Column Uniqueness",
+        }
+    }
+
+    /// Paper section for the report.
+    pub fn section(&self) -> &'static str {
+        match self {
+            IssueKind::StringOutliers => "2.1.1",
+            IssueKind::PatternOutliers => "2.1.2",
+            IssueKind::DisguisedMissing => "2.1.3",
+            IssueKind::ColumnType => "2.1.4",
+            IssueKind::NumericOutliers => "2.1.5",
+            IssueKind::FunctionalDependency => "2.1.6",
+            IssueKind::Duplication => "2.1.7",
+            IssueKind::Uniqueness => "2.1.8",
+        }
+    }
+}
+
+impl fmt::Display for IssueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One applied cleaning operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningOp {
+    pub issue: IssueKind,
+    /// Target column, or `None` for whole-table operations.
+    pub column: Option<String>,
+    /// Statistical evidence that triggered the step.
+    pub statistical_evidence: String,
+    /// LLM reasoning (detection and/or cleaning explanations).
+    pub llm_reasoning: String,
+    /// The SQL this step compiled to.
+    pub sql: Select,
+    /// Cells changed (or rows removed, for row-level ops).
+    pub cells_changed: usize,
+}
+
+impl CleaningOp {
+    /// The commented SQL text of this operation (Figure 5 style).
+    pub fn rendered_sql(&self) -> String {
+        let mut sql = self.sql.clone();
+        let mut comment = format!(
+            "[{} — §{}]{}",
+            self.issue.name(),
+            self.issue.section(),
+            match &self.column {
+                Some(c) => format!(" column: {c}"),
+                None => String::new(),
+            }
+        );
+        if !self.statistical_evidence.is_empty() {
+            comment.push_str(&format!("\nstatistical detection: {}", self.statistical_evidence));
+        }
+        if !self.llm_reasoning.is_empty() {
+            comment.push_str(&format!("\nsemantic reasoning: {}", self.llm_reasoning));
+        }
+        sql.comment = Some(comment);
+        render_select(&sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_sql::Select;
+
+    #[test]
+    fn issue_names_and_sections() {
+        assert_eq!(IssueKind::StringOutliers.name(), "String Outliers");
+        assert_eq!(IssueKind::Uniqueness.section(), "2.1.8");
+        assert_eq!(IssueKind::DisguisedMissing.to_string(), "Disguised Missing Value");
+    }
+
+    #[test]
+    fn rendered_sql_carries_reasoning() {
+        let op = CleaningOp {
+            issue: IssueKind::StringOutliers,
+            column: Some("lang".into()),
+            statistical_evidence: "2 rare values".into(),
+            llm_reasoning: "mixed representations".into(),
+            sql: Select::star("t"),
+            cells_changed: 9,
+        };
+        let sql = op.rendered_sql();
+        assert!(sql.contains("-- [String Outliers — §2.1.1] column: lang"));
+        assert!(sql.contains("-- statistical detection: 2 rare values"));
+        assert!(sql.contains("-- semantic reasoning: mixed representations"));
+        assert!(sql.contains("SELECT *"));
+    }
+}

@@ -1,0 +1,246 @@
+//! The Cocoon cleaning pipeline.
+//!
+//! Figure 1 of the paper: cleaning is decomposed (a) by issue type and (b),
+//! within each issue, into statistical detection → semantic detection →
+//! semantic cleaning. The order follows the §2.1 note: per-column issues
+//! run string outliers → pattern outliers → DMV → column type → numeric
+//! outliers (typos must be fixed before patterns can be read, patterns
+//! before casts, casts before numeric distributions); whole-table issues
+//! run afterwards: functional dependencies → duplication → uniqueness.
+
+use crate::config::CleanerConfig;
+use crate::decision::{AutoApprove, DecisionHook};
+use crate::error::Result;
+use crate::issues;
+use crate::ops::{CleaningOp, IssueKind};
+use crate::state::PipelineState;
+use cocoon_llm::ChatModel;
+use cocoon_table::Table;
+
+/// The stages of the pipeline, in execution order (Figure 1a).
+pub const STAGE_ORDER: [IssueKind; 8] = [
+    IssueKind::StringOutliers,
+    IssueKind::PatternOutliers,
+    IssueKind::DisguisedMissing,
+    IssueKind::ColumnType,
+    IssueKind::NumericOutliers,
+    IssueKind::FunctionalDependency,
+    IssueKind::Duplication,
+    IssueKind::Uniqueness,
+];
+
+/// The result of cleaning one table.
+#[derive(Debug, Clone)]
+pub struct CleaningRun {
+    /// The cleaned table.
+    pub table: Table,
+    /// Applied operations, in order.
+    pub ops: Vec<CleaningOp>,
+    /// Narrative notes (rejected FDs, degraded steps, reviewer decisions).
+    pub notes: Vec<String>,
+}
+
+impl CleaningRun {
+    /// Total cells changed (including rows dropped, counted as one each).
+    pub fn total_changes(&self) -> usize {
+        self.ops.iter().map(|op| op.cells_changed).sum()
+    }
+
+    /// Ops of one issue kind.
+    pub fn ops_for(&self, issue: IssueKind) -> Vec<&CleaningOp> {
+        self.ops.iter().filter(|op| op.issue == issue).collect()
+    }
+
+    /// The full SQL script: every op's commented SQL, in order — the
+    /// paper's final output artifact (Figure 5).
+    pub fn sql_script(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!("-- step {} --------------------------------\n", i + 1));
+            out.push_str(&op.rendered_sql());
+            out.push_str(";\n\n");
+        }
+        out
+    }
+}
+
+/// The Cocoon cleaner: an LLM plus a configuration.
+///
+/// ```
+/// use cocoon_core::Cleaner;
+/// use cocoon_llm::SimLlm;
+/// use cocoon_table::csv;
+///
+/// let dirty =
+///     csv::read_str("id,lang\n1,eng\n2,eng\n3,eng\n4,English\n").unwrap();
+/// let run = Cleaner::new(SimLlm::new()).clean(&dirty).unwrap();
+/// assert_eq!(run.table.render_cell(3, 1).unwrap(), "eng");
+/// ```
+pub struct Cleaner<M> {
+    llm: M,
+    config: CleanerConfig,
+}
+
+impl<M: ChatModel> Cleaner<M> {
+    /// A cleaner with the paper's default configuration.
+    pub fn new(llm: M) -> Self {
+        Cleaner { llm, config: CleanerConfig::default() }
+    }
+
+    /// A cleaner with a custom configuration.
+    pub fn with_config(llm: M, config: CleanerConfig) -> Result<Self> {
+        Ok(Cleaner { llm, config: config.validated()? })
+    }
+
+    pub fn config(&self) -> &CleanerConfig {
+        &self.config
+    }
+
+    /// The underlying model (e.g. to read a transcript).
+    pub fn llm(&self) -> &M {
+        &self.llm
+    }
+
+    /// Cleans a table with every step auto-approved — the paper's benchmark
+    /// mode ("we skip \[HIL\] and use the LLM provided ground truth").
+    pub fn clean(&self, table: &Table) -> Result<CleaningRun> {
+        let mut hook = AutoApprove;
+        self.clean_with_hook(table, &mut hook)
+    }
+
+    /// Cleans a table, consulting `hook` at every detection and cleaning
+    /// decision (the HIL mode of §2.2 / Appendix A).
+    pub fn clean_with_hook(
+        &self,
+        table: &Table,
+        hook: &mut dyn DecisionHook,
+    ) -> Result<CleaningRun> {
+        let mut state = PipelineState::new(table.clone(), &self.llm, &self.config, hook);
+        let toggles = &self.config.issues;
+        if toggles.string_outliers {
+            issues::string_outlier::run(&mut state);
+        }
+        if toggles.pattern_outliers {
+            issues::pattern_outlier::run(&mut state);
+        }
+        if toggles.disguised_missing {
+            issues::dmv::run(&mut state);
+        }
+        if toggles.column_type {
+            issues::column_type::run(&mut state);
+        }
+        if toggles.numeric_outliers {
+            issues::numeric_outlier::run(&mut state);
+        }
+        if toggles.functional_dependencies {
+            issues::functional_dependency::run(&mut state);
+        }
+        if toggles.duplication {
+            issues::duplication::run(&mut state);
+        }
+        if toggles.uniqueness {
+            issues::uniqueness::run(&mut state);
+        }
+        Ok(CleaningRun { table: state.table, ops: state.ops, notes: state.notes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_llm::{SimLlm, Transcript};
+    use cocoon_table::{csv, DataType, Value};
+
+    /// A small table exercising several issue types at once.
+    fn messy() -> Table {
+        let mut csv_text = String::from("record_id,lang,admission,EmergencyService,rating\n");
+        for i in 0..20 {
+            csv_text.push_str(&format!("r{i},eng,01/02/2003,yes,7.5\n"));
+        }
+        csv_text.push_str("r20,English,2003-04-05,no,8.0\n");
+        csv_text.push_str("r21,eng,01/02/2003,N/A,99.0\n");
+        csv::read_str(&csv_text).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_fixes_multiple_issues() {
+        let cleaner = Cleaner::new(SimLlm::new());
+        let run = cleaner.clean(&messy()).unwrap();
+        let kinds: Vec<IssueKind> = run.ops.iter().map(|o| o.issue).collect();
+        assert!(kinds.contains(&IssueKind::StringOutliers), "{kinds:?}");
+        assert!(kinds.contains(&IssueKind::PatternOutliers), "{kinds:?}");
+        assert!(kinds.contains(&IssueKind::DisguisedMissing), "{kinds:?}");
+        assert!(kinds.contains(&IssueKind::ColumnType), "{kinds:?}");
+        assert!(kinds.contains(&IssueKind::NumericOutliers), "{kinds:?}");
+
+        // lang standardised.
+        assert_eq!(run.table.render_cell(20, 1).unwrap(), "eng");
+        // date standardised (pattern step) then cast to DATE (type step):
+        // the value parses as the real calendar date either way.
+        assert_eq!(run.table.schema().field(2).unwrap().data_type(), DataType::Date);
+        assert_eq!(
+            run.table.cell(20, 2).unwrap(),
+            &Value::Date(cocoon_table::Date::new(2003, 4, 5).unwrap())
+        );
+        // EmergencyService cast to boolean, DMV nulled.
+        assert_eq!(run.table.schema().field(3).unwrap().data_type(), DataType::Bool);
+        assert_eq!(run.table.cell(21, 3).unwrap(), &Value::Null);
+        // rating outlier nulled.
+        assert_eq!(run.table.cell(21, 4).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn ops_render_to_sql_script() {
+        let cleaner = Cleaner::new(SimLlm::new());
+        let run = cleaner.clean(&messy()).unwrap();
+        let script = run.sql_script();
+        assert!(script.contains("-- step 1"));
+        assert!(script.contains("CASE"));
+        assert!(script.contains("TRY_CAST"));
+        // Total change accounting is consistent.
+        assert_eq!(
+            run.total_changes(),
+            run.ops.iter().map(|o| o.cells_changed).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn stage_order_matches_paper() {
+        assert_eq!(STAGE_ORDER[0], IssueKind::StringOutliers);
+        assert_eq!(STAGE_ORDER[3], IssueKind::ColumnType);
+        assert_eq!(STAGE_ORDER[7], IssueKind::Uniqueness);
+    }
+
+    #[test]
+    fn toggles_disable_stages() {
+        let config = CleanerConfig::only_issue("disguised_missing");
+        let cleaner = Cleaner::with_config(SimLlm::new(), config).unwrap();
+        let run = cleaner.clean(&messy()).unwrap();
+        assert!(run.ops.iter().all(|o| o.issue == IssueKind::DisguisedMissing));
+    }
+
+    #[test]
+    fn clean_table_is_a_fixpoint() {
+        let cleaner = Cleaner::new(SimLlm::new());
+        let once = cleaner.clean(&messy()).unwrap();
+        let twice = cleaner.clean(&once.table).unwrap();
+        // Cleaning an already-clean table must not change it further —
+        // string/pattern/DMV issues are gone; types are preserved.
+        assert_eq!(once.table, twice.table);
+    }
+
+    #[test]
+    fn transcript_counts_llm_calls() {
+        let cleaner = Cleaner::new(Transcript::new(SimLlm::new()));
+        let run = cleaner.clean(&messy()).unwrap();
+        assert!(cleaner.llm().call_count() > 5);
+        assert!(cleaner.llm().total_usage().total() > 100);
+        assert!(!run.ops.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let config = CleanerConfig { fd_min_strength: 7.0, ..CleanerConfig::default() };
+        assert!(Cleaner::with_config(SimLlm::new(), config).is_err());
+    }
+}

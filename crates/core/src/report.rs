@@ -1,0 +1,119 @@
+//! Human-readable run reports.
+//!
+//! Cocoon's output is meant to be "interpretable for long-term maintenance"
+//! (Appendix A): an HTML report plus commented SQL. This module renders the
+//! text equivalents: a workflow trace (Figure 1), a per-step report with
+//! reasoning (Figures 4–5), and the final SQL script.
+
+use crate::ops::IssueKind;
+use crate::pipeline::{CleaningRun, STAGE_ORDER};
+
+/// Renders the two-dimensional decomposition trace of Figure 1: which issue
+/// types ran, over which columns, with what outcome.
+pub fn workflow_trace(run: &CleaningRun) -> String {
+    let mut out = String::new();
+    out.push_str("Cocoon cleaning workflow (Figure 1 decomposition)\n");
+    out.push_str("==================================================\n");
+    out.push_str("input -> [statistical detection -> semantic detection -> semantic cleaning] per issue:\n\n");
+    for stage in STAGE_ORDER {
+        let ops = run.ops_for(stage);
+        out.push_str(&format!("  §{} {}\n", stage.section(), stage.name()));
+        if ops.is_empty() {
+            out.push_str("      (no repairs applied)\n");
+        }
+        for op in ops {
+            out.push_str(&format!(
+                "      {} -> {} cell(s) changed\n",
+                op.column.as_deref().unwrap_or("<table>"),
+                op.cells_changed
+            ));
+        }
+    }
+    if !run.notes.is_empty() {
+        out.push_str("\n  decisions & notes:\n");
+        for note in &run.notes {
+            out.push_str(&format!("      - {note}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the full per-step report: evidence, reasoning and SQL for every
+/// applied op (the Figure 4/5 content as text).
+pub fn full_report(run: &CleaningRun) -> String {
+    let mut out = workflow_trace(run);
+    out.push_str("\n\nPer-step details\n================\n");
+    for (i, op) in run.ops.iter().enumerate() {
+        out.push_str(&format!(
+            "\n--- step {} · {} ({}) ---\n",
+            i + 1,
+            op.issue.name(),
+            op.column.as_deref().unwrap_or("whole table")
+        ));
+        out.push_str(&format!("statistical detection : {}\n", op.statistical_evidence));
+        out.push_str(&format!("semantic reasoning    : {}\n", op.llm_reasoning));
+        out.push_str(&format!("cells changed         : {}\n", op.cells_changed));
+        out.push_str("sql:\n");
+        out.push_str(&op.rendered_sql());
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary row per issue kind: (name, ops, cells changed).
+pub fn issue_summary(run: &CleaningRun) -> Vec<(IssueKind, usize, usize)> {
+    STAGE_ORDER
+        .iter()
+        .map(|&stage| {
+            let ops = run.ops_for(stage);
+            let cells = ops.iter().map(|o| o.cells_changed).sum();
+            (stage, ops.len(), cells)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Cleaner;
+    use cocoon_llm::SimLlm;
+    use cocoon_table::csv;
+
+    fn run() -> CleaningRun {
+        let mut text = String::from("lang\n");
+        for _ in 0..10 {
+            text.push_str("eng\n");
+        }
+        text.push_str("English\nN/A\n");
+        let table = csv::read_str(&text).unwrap();
+        Cleaner::new(SimLlm::new()).clean(&table).unwrap()
+    }
+
+    #[test]
+    fn trace_lists_all_stages() {
+        let trace = workflow_trace(&run());
+        for section in ["2.1.1", "2.1.2", "2.1.3", "2.1.4", "2.1.5", "2.1.6", "2.1.7", "2.1.8"] {
+            assert!(trace.contains(section), "missing {section} in\n{trace}");
+        }
+        assert!(trace.contains("String Outliers"));
+        assert!(trace.contains("cell(s) changed"));
+    }
+
+    #[test]
+    fn full_report_contains_sql_and_reasoning() {
+        let report = full_report(&run());
+        assert!(report.contains("Per-step details"));
+        assert!(report.contains("semantic reasoning"));
+        assert!(report.contains("SELECT"));
+    }
+
+    #[test]
+    fn summary_accounts_all_ops() {
+        let r = run();
+        let summary = issue_summary(&r);
+        let total_ops: usize = summary.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(total_ops, r.ops.len());
+        let total_cells: usize = summary.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total_cells, r.total_changes());
+    }
+}

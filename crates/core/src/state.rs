@@ -1,0 +1,103 @@
+//! Mutable pipeline state threaded through the issue modules.
+
+use crate::config::CleanerConfig;
+use crate::decision::DecisionHook;
+use crate::error::Result;
+use crate::ops::CleaningOp;
+use cocoon_llm::{ChatModel, ChatRequest};
+use cocoon_table::Table;
+
+/// State shared by all issue steps while a table is being cleaned.
+pub struct PipelineState<'a> {
+    /// The table, progressively rewritten by each applied op.
+    pub table: Table,
+    pub llm: &'a dyn ChatModel,
+    pub config: &'a CleanerConfig,
+    pub hook: &'a mut dyn DecisionHook,
+    /// Applied operations, in order.
+    pub ops: Vec<CleaningOp>,
+    /// Narrative notes: rejected FDs, skipped steps, LLM failures.
+    pub notes: Vec<String>,
+}
+
+impl<'a> PipelineState<'a> {
+    pub fn new(
+        table: Table,
+        llm: &'a dyn ChatModel,
+        config: &'a CleanerConfig,
+        hook: &'a mut dyn DecisionHook,
+    ) -> Self {
+        PipelineState { table, llm, config, hook, ops: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Sends a prompt and returns the completion text.
+    pub fn ask(&self, prompt: String) -> Result<String> {
+        Ok(self.llm.complete(&ChatRequest::simple(prompt))?.content)
+    }
+
+    /// Distinct-value census of a column (rendered text, ordered by
+    /// descending frequency), truncated to `limit` values. When
+    /// [`CleanerConfig::statistical_context`] is off, counts are erased to 1
+    /// — the ablation of the paper's "statistics give the LLM context"
+    /// claim.
+    pub fn census(&self, column_index: usize, limit: usize) -> Vec<(String, usize)> {
+        let column = match self.table.column(column_index) {
+            Ok(c) => c,
+            Err(_) => return Vec::new(),
+        };
+        let mut out: Vec<(String, usize)> = column
+            .distinct_by_frequency()
+            .into_iter()
+            .take(limit)
+            .map(|(v, c)| (v.render(), if self.config.statistical_context { c } else { 1 }))
+            .collect();
+        if !self.config.statistical_context {
+            // Without statistics the model sees values in an arbitrary but
+            // deterministic order rather than frequency-ranked.
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        out
+    }
+
+    /// Records a note for the run report.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::AutoApprove;
+    use cocoon_llm::SimLlm;
+
+    fn table() -> Table {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["a".into()],
+            vec!["a".into()],
+            vec!["b".into()],
+        ];
+        Table::from_text_rows(&["x"], &rows).unwrap()
+    }
+
+    #[test]
+    fn census_orders_by_frequency() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let state = PipelineState::new(table(), &llm, &config, &mut hook);
+        let census = state.census(0, 10);
+        assert_eq!(census, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+        assert!(state.census(9, 10).is_empty());
+    }
+
+    #[test]
+    fn census_without_statistics_erases_counts() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig { statistical_context: false, ..CleanerConfig::default() };
+        let mut hook = AutoApprove;
+        let state = PipelineState::new(table(), &llm, &config, &mut hook);
+        let census = state.census(0, 10);
+        assert!(census.iter().all(|(_, c)| *c == 1));
+    }
+}

@@ -1,0 +1,235 @@
+//! The Beers benchmark (2410 × 11), after Mahdavi et al. \[17\].
+//!
+//! 241 breweries × 10 beers. The paper characterises it as carrying
+//! "functional dependency errors and column type errors" (§3.1), with the
+//! `"oz"` vs `"ounce"` unit inconsistencies that integrity constraints
+//! cannot capture (§3.2) — the reason HoloClean collapses here while
+//! Raha+Baran and Cocoon do well.
+
+use crate::inject::{dmv_token, swap_from_domain, typo, Injector};
+use crate::pools;
+use crate::spec::{Dataset, ErrorType};
+use cocoon_table::{Column, DataType, Field, Schema, Table, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BREWERIES: usize = 241;
+const BEERS_PER_BREWERY: usize = 10;
+
+/// Builds the dataset with the canonical seed.
+pub fn generate() -> Dataset {
+    generate_seeded(0xC0C0_0003)
+}
+
+/// Builds the dataset from an explicit seed.
+pub fn generate_seeded(seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names = [
+        "index", "beer_id", "beer_name", "style", "ounces", "abv", "ibu",
+        "brewery_id", "brewery_name", "city", "state",
+    ];
+
+    struct Brewery {
+        id: String,
+        name: String,
+        city: String,
+        state: String,
+    }
+    let cities = cocoon_semantic::geography::CITIES;
+    let states = cocoon_semantic::geography::STATES;
+    let breweries: Vec<Brewery> = (0..BREWERIES)
+        .map(|i| {
+            let adjective = pools::BEER_ADJECTIVES[(i * 3) % pools::BEER_ADJECTIVES.len()];
+            let noun = pools::BEER_NOUNS[(i * 7) % pools::BEER_NOUNS.len()];
+            let suffix = pools::BREWERY_SUFFIXES[i % pools::BREWERY_SUFFIXES.len()];
+            Brewery {
+                id: format!("{}", 1 + i),
+                name: format!("{adjective} {noun} {suffix}"),
+                city: cities[(i * 5) % cities.len()].to_string(),
+                state: states[(i * 11) % states.len()].1.to_string(),
+            }
+        })
+        .collect();
+
+    let mut truth_cols: Vec<Vec<Value>> = vec![Vec::new(); names.len()];
+    let ounce_options = [12.0f64, 16.0, 19.2, 24.0, 32.0];
+    for (b, brewery) in breweries.iter().enumerate() {
+        for k in 0..BEERS_PER_BREWERY {
+            let i = b * BEERS_PER_BREWERY + k;
+            let adjective = pools::BEER_ADJECTIVES[(i * 13) % pools::BEER_ADJECTIVES.len()];
+            let noun = pools::BEER_NOUNS[(i * 17) % pools::BEER_NOUNS.len()];
+            let style = pools::BEER_STYLES[(i * 7) % pools::BEER_STYLES.len()];
+            let ounces = ounce_options[rng.gen_range(0..ounce_options.len())];
+            let abv = (3.5 + rng.gen_range(0..70) as f64 / 10.0) / 100.0;
+            let ibu: Value = if rng.gen_bool(0.85) {
+                Value::Float(rng.gen_range(8..110) as f64)
+            } else {
+                Value::Null
+            };
+            let row: Vec<Value> = vec![
+                Value::Text(format!("{i}")),
+                Value::Text(format!("{}", 1000 + i)),
+                Value::Text(format!("{adjective} {noun}")),
+                Value::Text(style.to_string()),
+                Value::Float(ounces),
+                Value::Float((abv * 1000.0).round() / 1000.0),
+                ibu,
+                Value::Text(brewery.id.clone()),
+                Value::Text(brewery.name.clone()),
+                Value::Text(brewery.city.clone()),
+                Value::Text(brewery.state.clone()),
+            ];
+            for (col, v) in truth_cols.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+    }
+    let truth_fields: Vec<Field> = names
+        .iter()
+        .map(|&n| match n {
+            "ounces" | "abv" | "ibu" => Field::new(n, DataType::Float),
+            _ => Field::text(n),
+        })
+        .collect();
+    let truth = Table::new(
+        Schema::new(truth_fields).expect("unique"),
+        truth_cols.into_iter().map(Column::new).collect(),
+    )
+    .expect("lengths");
+
+    // Dirty rendering: numbers as plain text.
+    let mut dirty_cols = Vec::with_capacity(names.len());
+    for c in 0..names.len() {
+        let rendered: Vec<Value> = truth
+            .column(c)
+            .expect("in range")
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => Value::Null,
+                other => Value::Text(other.render()),
+            })
+            .collect();
+        dirty_cols.push(Column::new(rendered));
+    }
+    let mut dirty =
+        Table::new(Schema::all_text(&names).expect("unique"), dirty_cols).expect("lengths");
+
+    let mut inj = Injector::new(seed ^ 0x51AB);
+    let schema = dirty.schema().clone();
+    let idx = |n: &str| schema.index_of(n).expect("known");
+    let brewery_col = idx("brewery_id");
+
+    // --- 400 unit inconsistencies in `ounces`: "12.0" becomes "12 oz" /
+    //     "12 ounce" / "12 OZ." — the §3.2 example class.
+    {
+        let col = idx("ounces");
+        let picked = inj.pick_rows_spread(&dirty, col, 400, brewery_col, 4);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Inconsistency, |rng, v| {
+            let n = v.trim().parse::<f64>().ok()?;
+            let amount =
+                if n.fract() == 0.0 { format!("{}", n as i64) } else { format!("{n}") };
+            let unit = ["oz", "ounce", "ounces", "OZ.", "oz."][rng.gen_range(0..5)];
+            Some(format!("{amount} {unit}"))
+        });
+    }
+
+    // --- 180 typos in the categorical style column (frequency-fixable).
+    {
+        let col = idx("style");
+        let picked = inj.pick_rows_spread(&dirty, col, 180, brewery_col, 2);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Typo, typo);
+    }
+
+    // --- 30 FD violations on brewery attributes (few by design: the
+    //     paper's point is that constraint-driven repair has little to
+    //     catch here).
+    for (column, count) in [("brewery_name", 10usize), ("city", 10), ("state", 10)] {
+        let col = idx(column);
+        let mut domain: Vec<String> =
+            truth.column(col).expect("in range").non_null().map(Value::render).collect();
+        domain.sort_unstable();
+        domain.dedup();
+        let picked = inj.pick_rows_spread(&dirty, col, count, brewery_col, 1);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::FdViolation, |rng, v| {
+            swap_from_domain(rng, v, &domain)
+        });
+    }
+
+    // --- 80 DMVs in abv / ibu.
+    for (column, count) in [("abv", 40usize), ("ibu", 40)] {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, brewery_col, 2);
+        for row in picked {
+            let token = dmv_token(inj.rng(), "").expect("token");
+            dirty.set_cell(row, col, Value::Text(token)).expect("in range");
+            inj.record(row, col, ErrorType::Dmv);
+        }
+    }
+    let mut truth = truth;
+    for a in inj.annotations.clone() {
+        if a.error == ErrorType::Dmv {
+            truth.set_cell(a.row, a.col, Value::Null).expect("in range");
+        }
+    }
+
+    let fd_constraints = [
+        ("brewery_id", "brewery_name"),
+        ("brewery_id", "city"),
+        ("brewery_id", "state"),
+    ]
+    .iter()
+    .map(|(l, r)| (l.to_string(), r.to_string()))
+    .collect();
+
+    Dataset { name: "Beers", dirty, truth, annotations: inj.annotations, fd_constraints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_counts() {
+        let d = generate();
+        assert_eq!(d.size_label(), "2410 × 11");
+        let counts = d.error_counts();
+        assert_eq!(counts.get(&ErrorType::Inconsistency), Some(&400));
+        assert_eq!(counts.get(&ErrorType::Typo), Some(&180));
+        assert_eq!(counts.get(&ErrorType::FdViolation), Some(&30));
+        assert_eq!(counts.get(&ErrorType::Dmv), Some(&80));
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn ounce_inconsistencies_spell_units() {
+        let d = generate();
+        let col = d.dirty.schema().index_of("ounces").unwrap();
+        let mut seen_units = 0;
+        for a in &d.annotations {
+            if a.error == ErrorType::Inconsistency {
+                assert_eq!(a.col, col);
+                let text = d.dirty.cell(a.row, a.col).unwrap().render();
+                assert!(text.to_lowercase().contains("o"), "{text:?}");
+                // The truth is the plain number.
+                assert!(d.truth.cell(a.row, a.col).unwrap().as_f64().is_some());
+                seen_units += 1;
+            }
+        }
+        assert_eq!(seen_units, 400);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate().dirty, generate().dirty);
+        assert_eq!(generate().annotations, generate().annotations);
+    }
+
+    #[test]
+    fn truth_is_typed() {
+        let d = generate();
+        let schema = d.truth.schema();
+        assert_eq!(schema.field_by_name("ounces").unwrap().data_type(), DataType::Float);
+        assert_eq!(schema.field_by_name("abv").unwrap().data_type(), DataType::Float);
+    }
+}

@@ -1,0 +1,52 @@
+//! The benchmark catalog: all five datasets in the paper's Table 1 order.
+
+use crate::spec::Dataset;
+use crate::{beers, flights, hospital, movies, rayyan};
+
+/// Dataset names, in Table 1 column order.
+pub const DATASET_NAMES: [&str; 5] = ["Hospital", "Flights", "Beers", "Rayyan", "Movies"];
+
+/// Generates every benchmark with its canonical seed.
+pub fn all() -> Vec<Dataset> {
+    vec![
+        hospital::generate(),
+        flights::generate(),
+        beers::generate(),
+        rayyan::generate(),
+        movies::generate(),
+    ]
+}
+
+/// Generates one benchmark by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Dataset> {
+    match name.to_lowercase().as_str() {
+        "hospital" => Some(hospital::generate()),
+        "flights" => Some(flights::generate()),
+        "beers" => Some(beers::generate()),
+        "rayyan" => Some(rayyan::generate()),
+        "movies" => Some(movies::generate()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_valid() {
+        let datasets = all();
+        assert_eq!(datasets.len(), 5);
+        for (d, expected) in datasets.iter().zip(DATASET_NAMES) {
+            assert_eq!(d.name, expected);
+            assert!(d.validate().is_empty(), "{}: {:?}", d.name, d.validate());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("hospital").unwrap().name, "Hospital");
+        assert_eq!(by_name("MOVIES").unwrap().name, "Movies");
+        assert!(by_name("nope").is_none());
+    }
+}

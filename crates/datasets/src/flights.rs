@@ -1,0 +1,248 @@
+//! The Flights benchmark (2376 × 7), after Rekatsinas et al. \[23\].
+//!
+//! 396 flights × 6 web sources reporting scheduled and actual times. The
+//! defining property (§3.2 of the paper) is the ambiguous FD
+//! `flight → actual departure/arrival time`: sources disagree about actual
+//! times ("10:30 p.m." ×5, "10:31 p.m." ×4, …), the benchmark truth is the
+//! majority report, and repairing toward it is guesswork Cocoon declines —
+//! hence Cocoon's high precision / low recall on this dataset.
+
+use crate::inject::{dmv_token, trailing_junk, Injector};
+use crate::pools;
+use crate::spec::{Dataset, ErrorType};
+use cocoon_table::{Table, TimeOfDay, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const FLIGHTS: usize = 396;
+const SOURCES: usize = 6;
+
+fn minute_time(base_minutes: u32) -> String {
+    let minutes = base_minutes % (24 * 60);
+    TimeOfDay::new((minutes / 60) as u8, (minutes % 60) as u8)
+        .expect("in range")
+        .to_ampm()
+}
+
+/// Shifts a rendered time by `delta` minutes.
+fn shift_time(text: &str, delta: i32) -> Option<String> {
+    let t = TimeOfDay::parse_flexible(text)?;
+    let total = i32::from(t.hour()) * 60 + i32::from(t.minute()) + delta;
+    let total = total.rem_euclid(24 * 60) as u32;
+    Some(minute_time(total))
+}
+
+/// Builds the dataset with the canonical seed.
+pub fn generate() -> Dataset {
+    generate_seeded(0xC0C0_0002)
+}
+
+/// Builds the dataset from an explicit seed.
+pub fn generate_seeded(seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names = [
+        "tuple_id",
+        "source",
+        "flight",
+        "scheduled_departure_time",
+        "actual_departure_time",
+        "scheduled_arrival_time",
+        "actual_arrival_time",
+    ];
+
+    // Flight entities with canonical times.
+    struct FlightInfo {
+        name: String,
+        sched_dep: String,
+        act_dep: String,
+        sched_arr: String,
+        act_arr: String,
+    }
+    let mut flights = Vec::with_capacity(FLIGHTS);
+    for i in 0..FLIGHTS {
+        let carrier = pools::CARRIERS[i % pools::CARRIERS.len()];
+        let origin = pools::AIRPORTS[i % pools::AIRPORTS.len()];
+        let dest = pools::AIRPORTS[(i + 5) % pools::AIRPORTS.len()];
+        let number = 100 + (i * 13) % 4800;
+        let dep = rng.gen_range(5 * 60..22 * 60) as u32;
+        let duration = rng.gen_range(60..360) as u32;
+        let dep_delay = rng.gen_range(0..45) as u32;
+        let arr_delay = rng.gen_range(0..60) as u32;
+        flights.push(FlightInfo {
+            name: format!("{carrier}-{number}-{origin}-{dest}"),
+            sched_dep: minute_time(dep),
+            act_dep: minute_time(dep + dep_delay),
+            sched_arr: minute_time(dep + duration),
+            act_arr: minute_time(dep + duration + arr_delay),
+        });
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(FLIGHTS * SOURCES);
+    for (i, flight) in flights.iter().enumerate() {
+        for s in 0..SOURCES {
+            rows.push(vec![
+                format!("t{}", i * SOURCES + s + 1),
+                pools::FLIGHT_SOURCES[s].to_string(),
+                flight.name.clone(),
+                flight.sched_dep.clone(),
+                flight.act_dep.clone(),
+                flight.sched_arr.clone(),
+                flight.act_arr.clone(),
+            ]);
+        }
+    }
+    let truth = Table::from_text_rows(&names, &rows).expect("consistent");
+    let mut dirty = truth.clone();
+
+    let mut inj = Injector::new(seed ^ 0x51AB);
+    let schema = dirty.schema().clone();
+    let idx = |n: &str| schema.index_of(n).expect("known");
+    let flight_col = idx("flight");
+
+    // --- ~700 time variations: sources disagreeing on ACTUAL times.
+    //     truth keeps the majority; at most 2 of 6 sources deviate.
+    for (column, count) in
+        [("actual_departure_time", 350usize), ("actual_arrival_time", 350)]
+    {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::TimeVariation, |rng, v| {
+            let delta = [-12, -9, -5, -3, -1, 1, 2, 4, 8, 11][rng.gen_range(0..10)];
+            shift_time(v, delta)
+        });
+    }
+
+    // --- 320 FD violations on SCHEDULED times (flight → scheduled time is
+    //     semantically meaningful; Cocoon repairs these by majority).
+    for (column, count) in
+        [("scheduled_departure_time", 160usize), ("scheduled_arrival_time", 160)]
+    {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::FdViolation, |rng, v| {
+            let delta = [-60, -30, 30, 60, 90][rng.gen_range(0..5)];
+            shift_time(v, delta)
+        });
+    }
+
+    // --- 200 typos: trailing junk on times.
+    for (column, count) in [
+        ("scheduled_departure_time", 50usize),
+        ("actual_departure_time", 50),
+        ("scheduled_arrival_time", 50),
+        ("actual_arrival_time", 50),
+    ] {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Typo, trailing_junk);
+    }
+
+    // --- 110 DMVs: missing times disguised as tokens.
+    for (column, count) in
+        [("actual_departure_time", 55usize), ("actual_arrival_time", 55)]
+    {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
+        let mut truth_updates = Vec::new();
+        for row in picked {
+            let token = dmv_token(inj.rng(), "").expect("token");
+            dirty.set_cell(row, col, Value::Text(token)).expect("in range");
+            inj.record(row, col, ErrorType::Dmv);
+            truth_updates.push((row, col));
+        }
+        let _ = truth_updates;
+    }
+    let mut truth = truth;
+    for a in inj.annotations.clone() {
+        if a.error == ErrorType::Dmv {
+            truth.set_cell(a.row, a.col, Value::Null).expect("in range");
+        }
+    }
+
+    // Ground-truth *integrity* constraints: only the scheduled times are
+    // functions of the flight. Actual departure/arrival are per-event
+    // observations — no analyst would declare them FDs, which is exactly
+    // why constraint-driven systems miss those errors (§3.2).
+    let fd_constraints = [
+        ("flight", "scheduled_departure_time"),
+        ("flight", "scheduled_arrival_time"),
+    ]
+    .iter()
+    .map(|(l, r)| (l.to_string(), r.to_string()))
+    .collect();
+
+    Dataset { name: "Flights", dirty, truth, annotations: inj.annotations, fd_constraints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_counts() {
+        let d = generate();
+        assert_eq!(d.size_label(), "2376 × 7");
+        let counts = d.error_counts();
+        assert_eq!(counts.get(&ErrorType::TimeVariation), Some(&700));
+        assert_eq!(counts.get(&ErrorType::FdViolation), Some(&320));
+        assert_eq!(counts.get(&ErrorType::Typo), Some(&200));
+        assert_eq!(counts.get(&ErrorType::Dmv), Some(&110));
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate().dirty, generate().dirty);
+    }
+
+    #[test]
+    fn majority_preserved_per_flight() {
+        let d = generate();
+        let schema = d.dirty.schema();
+        let flight = schema.index_of("flight").unwrap();
+        for column in [
+            "scheduled_departure_time",
+            "actual_departure_time",
+            "scheduled_arrival_time",
+            "actual_arrival_time",
+        ] {
+            let col = schema.index_of(column).unwrap();
+            let mut by_flight: std::collections::HashMap<String, (usize, usize)> =
+                std::collections::HashMap::new();
+            for row in 0..d.dirty.height() {
+                let key = d.dirty.cell(row, flight).unwrap().render();
+                let entry = by_flight.entry(key).or_insert((0, 0));
+                entry.1 += 1;
+                if d.dirty.cell(row, col).unwrap() == d.truth.cell(row, col).unwrap() {
+                    entry.0 += 1;
+                }
+            }
+            for (f, (clean, total)) in by_flight {
+                assert!(clean * 2 > total, "flight {f} column {column}: {clean}/{total}");
+            }
+        }
+    }
+
+    #[test]
+    fn time_variations_parse_as_times() {
+        let d = generate();
+        for a in &d.annotations {
+            if a.error == ErrorType::TimeVariation {
+                let v = d.dirty.cell(a.row, a.col).unwrap().render();
+                assert!(TimeOfDay::parse_flexible(&v).is_some(), "{v:?}");
+                assert_ne!(
+                    d.dirty.cell(a.row, a.col).unwrap(),
+                    d.truth.cell(a.row, a.col).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shift_time_helper() {
+        assert_eq!(shift_time("10:30 p.m.", 1).as_deref(), Some("10:31 p.m."));
+        assert_eq!(shift_time("11:59 p.m.", 2).as_deref(), Some("12:01 a.m."));
+        assert_eq!(shift_time("12:00 a.m.", -1).as_deref(), Some("11:59 p.m."));
+        assert_eq!(shift_time("garbage", 5), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! The Hospital benchmark (1000 × 19), after Rekatsinas et al. \[23\].
+//!
+//! 50 providers × 20 quality measures. Error mix follows Table 2 of the
+//! paper exactly: 213 typos, 331 FD violations, 227 DMVs, and 3000
+//! column-type cells (three columns — `emergency_service` booleans,
+//! `score` percents, `sample` patient counts — that semantically carry
+//! typed values).
+
+use crate::inject::{dmv_token, swap_from_domain, typo, Injector};
+use crate::pools;
+use crate::spec::{Dataset, ErrorType};
+use cocoon_semantic::geography;
+use cocoon_table::{Column, DataType, Field, Schema, Table, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const PROVIDERS: usize = 50;
+const MEASURES_PER_PROVIDER: usize = 20;
+
+struct Provider {
+    number: String,
+    name: String,
+    address: String,
+    city: String,
+    state: String,
+    zip: String,
+    county: String,
+    phone: String,
+    hospital_type: String,
+    owner: String,
+    emergency: bool,
+}
+
+fn providers(rng: &mut SmallRng) -> Vec<Provider> {
+    let cities = geography::CITIES;
+    let states = geography::STATES;
+    (0..PROVIDERS)
+        .map(|i| {
+            let city = cities[i % cities.len()].to_string();
+            let (_, state_abbr) = states[(i * 7) % states.len()];
+            Provider {
+                number: format!("{}", 10001 + i),
+                name: format!(
+                    "{} {}",
+                    city,
+                    ["medical center", "regional hospital", "community hospital", "general hospital"]
+                        [i % 4]
+                ),
+                address: format!("{} {}", 100 + (i * 37) % 900, pools::STREETS[i % pools::STREETS.len()]),
+                city,
+                state: state_abbr.to_string(),
+                zip: format!("{:05}", 35000 + i * 61),
+                county: pools::COUNTIES[i % pools::COUNTIES.len()].to_string(),
+                phone: format!("{:03}-{:03}-{:04}", 205 + i % 700, 500 + i % 400, 1000 + i * 17 % 9000),
+                hospital_type: pools::HOSPITAL_TYPES[i % pools::HOSPITAL_TYPES.len()].to_string(),
+                owner: pools::HOSPITAL_OWNERS[i % pools::HOSPITAL_OWNERS.len()].to_string(),
+                emergency: rng.gen_bool(0.7),
+            }
+        })
+        .collect()
+}
+
+/// Condition implied by a measure-code prefix.
+fn condition_for(code: &str) -> &'static str {
+    if code.starts_with("AMI") {
+        "Heart Attack"
+    } else if code.starts_with("HF") {
+        "Heart Failure"
+    } else if code.starts_with("PN") {
+        "Pneumonia"
+    } else {
+        "Surgical Infection Prevention"
+    }
+}
+
+/// Builds the dataset with the canonical seed (shared by all harnesses).
+pub fn generate() -> Dataset {
+    generate_seeded(0xC0C0_0001)
+}
+
+/// Builds the dataset from an explicit seed.
+pub fn generate_seeded(seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let providers = providers(&mut rng);
+
+    let names = [
+        "provider_number", "hospital_name", "address1", "address2", "address3",
+        "city", "state", "zip_code", "county_name", "phone_number",
+        "hospital_type", "hospital_owner", "emergency_service", "condition",
+        "measure_code", "measure_name", "score", "sample", "stateavg",
+    ];
+    let mut truth_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(1000); names.len()];
+    for provider in &providers {
+        for m in 0..MEASURES_PER_PROVIDER {
+            let (code, measure_name) = pools::MEASURES[m % pools::MEASURES.len()];
+            let score = 55 + ((rng.gen_range(0..45) + m * 3) % 45) as i64;
+            let sample = 20 + rng.gen_range(0..400) as i64;
+            let row: Vec<Value> = vec![
+                Value::Text(provider.number.clone()),
+                Value::Text(provider.name.clone()),
+                Value::Text(provider.address.clone()),
+                Value::Null,
+                Value::Null,
+                Value::Text(provider.city.clone()),
+                Value::Text(provider.state.clone()),
+                Value::Text(provider.zip.clone()),
+                Value::Text(provider.county.clone()),
+                Value::Text(provider.phone.clone()),
+                Value::Text(provider.hospital_type.clone()),
+                Value::Text(provider.owner.clone()),
+                Value::Bool(provider.emergency),
+                Value::Text(condition_for(code).to_string()),
+                Value::Text(code.to_string()),
+                Value::Text(measure_name.to_string()),
+                Value::Float(score as f64),
+                Value::Float(sample as f64),
+                Value::Text(format!("{}_{}", provider.state, code)),
+            ];
+            for (col, v) in truth_cols.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+    }
+    let truth_fields: Vec<Field> = names
+        .iter()
+        .map(|&n| match n {
+            "emergency_service" => Field::new(n, DataType::Bool),
+            "score" | "sample" => Field::new(n, DataType::Float),
+            _ => Field::text(n),
+        })
+        .collect();
+    let truth = Table::new(
+        Schema::new(truth_fields).expect("unique names"),
+        truth_cols.into_iter().map(Column::new).collect(),
+    )
+    .expect("consistent lengths");
+
+    // Dirty: render typed truth into CSV-style text.
+    let mut dirty_cols: Vec<Column> = Vec::with_capacity(names.len());
+    for (c, name) in names.iter().enumerate() {
+        let col = truth.column(c).expect("in range");
+        let rendered: Vec<Value> = col
+            .values()
+            .iter()
+            .map(|v| match (v, *name) {
+                (Value::Null, _) => Value::Null,
+                (Value::Bool(b), _) => {
+                    Value::Text(if *b { "yes" } else { "no" }.to_string())
+                }
+                (Value::Float(f), "score") => Value::Text(format!("{}%", *f as i64)),
+                (Value::Float(f), "sample") => {
+                    Value::Text(format!("{} patients", *f as i64))
+                }
+                (other, _) => Value::Text(other.render()),
+            })
+            .collect();
+        dirty_cols.push(Column::new(rendered));
+    }
+    let mut dirty =
+        Table::new(Schema::all_text(&names).expect("unique"), dirty_cols).expect("lengths");
+
+    let mut inj = Injector::new(seed ^ 0x51AB);
+    let schema = dirty.schema().clone();
+    let idx = |n: &str| schema.index_of(n).expect("known column");
+
+    // --- 213 typos, mostly in FD-covered string columns, spread so every
+    //     provider/measure group keeps a clean majority.
+    let pn = idx("provider_number");
+    let mc = idx("measure_code");
+    for (column, count, key) in [
+        ("hospital_name", 40usize, pn),
+        ("city", 20, pn),
+        ("measure_name", 40, mc),
+        ("county_name", 50, pn),
+        ("address1", 43, pn),
+        ("condition", 20, mc),
+    ] {
+        let col = idx(column);
+        let rows = inj.pick_rows_spread(&dirty, col, count, key, 3);
+        inj.corrupt_rows(&mut dirty, col, &rows, ErrorType::Typo, typo);
+    }
+
+    // --- 331 FD violations: valid domain values breaking provider FDs.
+    let domain_of = |table: &Table, col: usize| -> Vec<String> {
+        let mut values: Vec<String> = table
+            .column(col)
+            .expect("in range")
+            .non_null()
+            .map(Value::render)
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    };
+    for (column, count) in [
+        ("city", 50usize),
+        ("state", 30),
+        ("zip_code", 50),
+        ("county_name", 100),
+        ("hospital_owner", 101),
+    ] {
+        let col = idx(column);
+        let domain = domain_of(&truth, col);
+        let rows = inj.pick_rows_spread(&dirty, col, count, pn, 6);
+        inj.corrupt_rows(&mut dirty, col, &rows, ErrorType::FdViolation, |rng, v| {
+            swap_from_domain(rng, v, &domain)
+        });
+    }
+
+    // --- 227 DMVs: the truth is missing; the dirty data disguises it.
+    for (column, count) in
+        [("phone_number", 60usize), ("county_name", 57), ("hospital_owner", 55), ("address1", 55)]
+    {
+        let col = idx(column);
+        let rows = inj.pick_rows_spread(&dirty, col, count, pn, 8);
+        for row in rows {
+            let token = dmv_token(inj.rng(), "").expect("token");
+            dirty.set_cell(row, col, Value::Text(token)).expect("in range");
+            inj.record(row, col, ErrorType::Dmv);
+        }
+    }
+    // Apply the DMV truth side (NULL) — every Dmv-annotated cell.
+    let mut truth = truth;
+    for a in inj.annotations.clone() {
+        if a.error == ErrorType::Dmv {
+            truth.set_cell(a.row, a.col, Value::Null).expect("in range");
+        }
+    }
+
+    // --- 3000 column-type cells: every (non-null) cell of the three typed
+    //     columns. None carries another error, so counts are exact.
+    for column in ["emergency_service", "score", "sample"] {
+        let col = idx(column);
+        for row in 0..dirty.height() {
+            if !dirty.cell(row, col).expect("in range").is_null() {
+                inj.record(row, col, ErrorType::ColumnType);
+            }
+        }
+    }
+
+    let fd_constraints = [
+        ("provider_number", "hospital_name"),
+        ("provider_number", "city"),
+        ("provider_number", "state"),
+        ("provider_number", "zip_code"),
+        ("zip_code", "city"),
+        ("measure_code", "measure_name"),
+        ("measure_code", "condition"),
+    ]
+    .iter()
+    .map(|(l, r)| (l.to_string(), r.to_string()))
+    .collect();
+
+    Dataset { name: "Hospital", dirty, truth, annotations: inj.annotations, fd_constraints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ErrorType;
+
+    #[test]
+    fn shape_matches_table2() {
+        let d = generate();
+        assert_eq!(d.size_label(), "1000 × 19");
+        let counts = d.error_counts();
+        assert_eq!(counts.get(&ErrorType::Typo), Some(&213));
+        assert_eq!(counts.get(&ErrorType::FdViolation), Some(&331));
+        assert_eq!(counts.get(&ErrorType::Dmv), Some(&227));
+        assert_eq!(counts.get(&ErrorType::ColumnType), Some(&3000));
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate();
+        let b = generate();
+        assert_eq!(a.dirty, b.dirty);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.annotations, b.annotations);
+    }
+
+    #[test]
+    fn annotated_cells_differ_where_expected() {
+        let d = generate();
+        for a in &d.annotations {
+            let dirty_v = d.dirty.cell(a.row, a.col).unwrap();
+            let truth_v = d.truth.cell(a.row, a.col).unwrap();
+            match a.error {
+                ErrorType::Typo | ErrorType::FdViolation | ErrorType::Dmv => {
+                    assert_ne!(dirty_v, truth_v, "{a:?} should differ");
+                }
+                ErrorType::ColumnType => {
+                    // dirty holds the text spelling of the typed truth.
+                    assert!(dirty_v.as_text().is_some());
+                    assert!(truth_v.as_text().is_none());
+                }
+                other => panic!("unexpected error type {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn typed_columns_render_as_expected() {
+        let d = generate();
+        let schema = d.dirty.schema();
+        let es = schema.index_of("emergency_service").unwrap();
+        let score = schema.index_of("score").unwrap();
+        let sample = schema.index_of("sample").unwrap();
+        let es_text = d.dirty.cell(0, es).unwrap().as_text().unwrap().to_string();
+        assert!(es_text == "yes" || es_text == "no");
+        assert!(d.dirty.cell(0, score).unwrap().as_text().unwrap().ends_with('%'));
+        assert!(d.dirty.cell(0, sample).unwrap().as_text().unwrap().ends_with("patients"));
+    }
+
+    #[test]
+    fn fd_constraints_reference_real_columns() {
+        let d = generate();
+        assert!(d.fd_constraints.len() >= 5);
+        for (l, r) in &d.fd_constraints {
+            assert!(d.dirty.schema().contains(l), "{l}");
+            assert!(d.dirty.schema().contains(r), "{r}");
+        }
+    }
+
+    #[test]
+    fn majority_preserved_per_provider_group() {
+        // FD repair needs each provider group to keep a clean majority.
+        let d = generate();
+        let schema = d.dirty.schema();
+        let pn = schema.index_of("provider_number").unwrap();
+        for column in ["city", "state", "zip_code", "county_name", "hospital_owner"] {
+            let col = schema.index_of(column).unwrap();
+            let mut by_provider: std::collections::HashMap<String, (usize, usize)> =
+                std::collections::HashMap::new();
+            for row in 0..d.dirty.height() {
+                let provider = d.dirty.cell(row, pn).unwrap().render();
+                let entry = by_provider.entry(provider).or_insert((0, 0));
+                entry.1 += 1;
+                let dirty_v = d.dirty.cell(row, col).unwrap();
+                let truth_v = d.truth.cell(row, col).unwrap();
+                if dirty_v == truth_v {
+                    entry.0 += 1;
+                }
+            }
+            for (provider, (clean, total)) in by_provider {
+                assert!(
+                    clean * 2 > total,
+                    "provider {provider} column {column}: only {clean}/{total} clean"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Error-injection machinery.
+//!
+//! Each generator builds a clean table first, then corrupts a chosen number
+//! of cells per error type, recording every corruption as an annotation.
+//! Injection is deterministic for a given seed.
+
+use crate::spec::{ErrorType, InjectedError};
+use cocoon_table::{Table, Value};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Seeded injector tracking which cells were already corrupted (each cell
+/// carries at most one error so annotations stay unambiguous).
+pub struct Injector {
+    rng: SmallRng,
+    used: HashSet<(usize, usize)>,
+    pub annotations: Vec<InjectedError>,
+}
+
+impl Injector {
+    pub fn new(seed: u64) -> Self {
+        Injector { rng: SmallRng::seed_from_u64(seed), used: HashSet::new(), annotations: Vec::new() }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Marks a cell as corrupted manually (for generators that build
+    /// errors inline, e.g. Flights time variations).
+    pub fn record(&mut self, row: usize, col: usize, error: ErrorType) {
+        if self.used.insert((row, col)) {
+            self.annotations.push(InjectedError { row, col, error });
+        }
+    }
+
+    /// True if a cell already carries an error.
+    pub fn is_used(&self, row: usize, col: usize) -> bool {
+        self.used.contains(&(row, col))
+    }
+
+    /// Picks `count` distinct untouched rows of `col` where `eligible`
+    /// holds, in random order.
+    pub fn pick_rows(
+        &mut self,
+        table: &Table,
+        col: usize,
+        count: usize,
+        mut eligible: impl FnMut(&Value) -> bool,
+    ) -> Vec<usize> {
+        let column = match table.column(col) {
+            Ok(c) => c,
+            Err(_) => return Vec::new(),
+        };
+        let mut candidates: Vec<usize> = (0..column.len())
+            .filter(|&r| !self.used.contains(&(r, col)) && eligible(&column.values()[r]))
+            .collect();
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(count);
+        candidates
+    }
+
+    /// Like [`Injector::pick_rows`], but spreads the picks across the
+    /// groups induced by `key_col`, taking at most `cap` rows per group —
+    /// keeping a clean majority inside every group so that FD repairs stay
+    /// well-posed.
+    pub fn pick_rows_spread(
+        &mut self,
+        table: &Table,
+        col: usize,
+        count: usize,
+        key_col: usize,
+        cap: usize,
+    ) -> Vec<usize> {
+        let column = match table.column(col) {
+            Ok(c) => c,
+            Err(_) => return Vec::new(),
+        };
+        let key_column = match table.column(key_col) {
+            Ok(c) => c,
+            Err(_) => return Vec::new(),
+        };
+        // `cap` bounds the TOTAL corrupted cells of this column per group,
+        // counting corruptions from earlier injection passes, so stacked
+        // error types can never erode a group's clean majority.
+        let mut groups: std::collections::BTreeMap<String, (Vec<usize>, usize)> =
+            std::collections::BTreeMap::new();
+        for r in 0..column.len() {
+            let key = key_column.values()[r].render();
+            let entry = groups.entry(key).or_default();
+            if self.used.contains(&(r, col)) {
+                entry.1 += 1;
+            } else if !column.values()[r].is_null() {
+                entry.0.push(r);
+            }
+        }
+        let mut per_group: Vec<Vec<usize>> = groups
+            .into_values()
+            .map(|(mut rows, already)| {
+                rows.shuffle(&mut self.rng);
+                rows.truncate(cap.saturating_sub(already));
+                rows
+            })
+            .collect();
+        per_group.shuffle(&mut self.rng);
+        // Round-robin across groups for an even spread.
+        let mut out = Vec::with_capacity(count);
+        let mut depth = 0usize;
+        while out.len() < count {
+            let mut advanced = false;
+            for group in &per_group {
+                if let Some(&row) = group.get(depth) {
+                    out.push(row);
+                    advanced = true;
+                    if out.len() == count {
+                        break;
+                    }
+                }
+            }
+            if !advanced {
+                break;
+            }
+            depth += 1;
+        }
+        out
+    }
+
+    /// Corrupts specific `rows` of `col` with `mutate`, recording `error`
+    /// annotations. Returns how many cells were actually corrupted.
+    pub fn corrupt_rows(
+        &mut self,
+        table: &mut Table,
+        col: usize,
+        rows: &[usize],
+        error: ErrorType,
+        mut mutate: impl FnMut(&mut SmallRng, &str) -> Option<String>,
+    ) -> usize {
+        let mut done = 0usize;
+        for &row in rows {
+            if self.used.contains(&(row, col)) {
+                continue;
+            }
+            let original = table.cell(row, col).expect("picked in range").render();
+            // Mutators are randomized and may occasionally produce the
+            // original value (e.g. replacing an 'x' with 'x'); retry.
+            let mut corrupted = None;
+            for _ in 0..8 {
+                match mutate(&mut self.rng, &original) {
+                    Some(v) if v != original => {
+                        corrupted = Some(v);
+                        break;
+                    }
+                    // Identity mutation or mutator miss: retry with fresh
+                    // randomness (a value may be unmutatable, e.g. empty).
+                    Some(_) | None => continue,
+                }
+            }
+            let Some(new_value) = corrupted else { continue };
+            table.set_cell(row, col, Value::Text(new_value)).expect("in range");
+            self.record(row, col, error);
+            done += 1;
+        }
+        done
+    }
+
+    /// Corrupts `count` cells of `col` with `mutate`, recording `error`
+    /// annotations. `mutate` receives the clean text and must return a
+    /// *different* value (cells where it returns the same text are
+    /// skipped). Returns how many cells were actually corrupted.
+    pub fn corrupt_cells(
+        &mut self,
+        table: &mut Table,
+        col: usize,
+        count: usize,
+        error: ErrorType,
+        mut mutate: impl FnMut(&mut SmallRng, &str) -> Option<String>,
+    ) -> usize {
+        let rows = self.pick_rows(table, col, count * 2, |v| !v.is_null());
+        let mut done = 0usize;
+        for row in rows {
+            if done == count {
+                break;
+            }
+            let original = table.cell(row, col).expect("picked in range").render();
+            let Some(new_value) = mutate(&mut self.rng, &original) else { continue };
+            if new_value == original {
+                continue;
+            }
+            table.set_cell(row, col, Value::Text(new_value)).expect("in range");
+            self.record(row, col, error);
+            done += 1;
+        }
+        done
+    }
+}
+
+/// Typo mutators modelled after the benchmark corpora: the Hospital
+/// benchmark replaces characters with `x`; other corpora show stutters
+/// ("cofffee"), transpositions, and dropped characters.
+pub fn typo(rng: &mut SmallRng, value: &str) -> Option<String> {
+    let chars: Vec<char> = value.chars().collect();
+    // Find letter positions — typos hit words, not punctuation.
+    let letters: Vec<usize> =
+        (0..chars.len()).filter(|&i| chars[i].is_alphanumeric()).collect();
+    if letters.is_empty() {
+        return None;
+    }
+    let pos = letters[rng.gen_range(0..letters.len())];
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        // Hospital-style 'x' substitution.
+        0 => {
+            out[pos] = if chars[pos].is_uppercase() { 'X' } else { 'x' };
+        }
+        // Stutter: duplicate the character ("cofffee" when it doubles one
+        // of an existing pair, otherwise a plain doubled letter).
+        1 => {
+            out.insert(pos, chars[pos]);
+        }
+        // Transpose with the next letter.
+        2 => {
+            if pos + 1 < out.len() && out[pos + 1].is_alphanumeric() {
+                out.swap(pos, pos + 1);
+            } else if pos > 0 && out[pos - 1].is_alphanumeric() {
+                out.swap(pos, pos - 1);
+            } else {
+                out[pos] = if chars[pos].is_uppercase() { 'X' } else { 'x' };
+            }
+        }
+        // Drop the character.
+        _ => {
+            if out.len() > 2 {
+                out.remove(pos);
+            } else {
+                out.insert(pos, chars[pos]);
+            }
+        }
+    }
+    let result: String = out.into_iter().collect();
+    if result == value {
+        None
+    } else {
+        Some(result)
+    }
+}
+
+/// Appends trailing junk to a value ("1/1/2000" → "1/1/2000x").
+pub fn trailing_junk(rng: &mut SmallRng, value: &str) -> Option<String> {
+    if value.is_empty() {
+        return None;
+    }
+    let junk = ['x', 'a', 'z', '!'][rng.gen_range(0..4)];
+    Some(format!("{value}{junk}"))
+}
+
+/// Replaces the value with a disguised-missing token.
+pub fn dmv_token(rng: &mut SmallRng, _value: &str) -> Option<String> {
+    const TOKENS: [&str; 5] = ["N/A", "null", "-", "unknown", "none"];
+    Some(TOKENS[rng.gen_range(0..TOKENS.len())].to_string())
+}
+
+/// Swaps the value for a different member of `domain`.
+pub fn swap_from_domain<'a>(
+    rng: &mut SmallRng,
+    value: &str,
+    domain: &'a [String],
+) -> Option<String> {
+    let others: Vec<&'a String> = domain.iter().filter(|d| d.as_str() != value).collect();
+    if others.is_empty() {
+        return None;
+    }
+    Some(others[rng.gen_range(0..others.len())].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let rows: Vec<Vec<String>> =
+            (0..50).map(|i| vec![format!("value{i}"), "fixed".to_string()]).collect();
+        Table::from_text_rows(&["a", "b"], &rows).unwrap()
+    }
+
+    #[test]
+    fn corrupt_cells_records_annotations() {
+        let mut table = table();
+        let clean = table.clone();
+        let mut inj = Injector::new(7);
+        let done = inj.corrupt_cells(&mut table, 0, 10, ErrorType::Typo, typo);
+        assert_eq!(done, 10);
+        assert_eq!(inj.annotations.len(), 10);
+        for a in &inj.annotations {
+            assert_eq!(a.error, ErrorType::Typo);
+            assert_ne!(
+                table.cell(a.row, a.col).unwrap(),
+                clean.cell(a.row, a.col).unwrap(),
+                "annotated cell must differ from clean"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_not_double_corrupted() {
+        let mut table = table();
+        let mut inj = Injector::new(7);
+        inj.corrupt_cells(&mut table, 0, 30, ErrorType::Typo, typo);
+        inj.corrupt_cells(&mut table, 0, 30, ErrorType::Dmv, dmv_token);
+        let mut seen = HashSet::new();
+        for a in &inj.annotations {
+            assert!(seen.insert((a.row, a.col)), "duplicate annotation at {a:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let mut t = table();
+            let mut inj = Injector::new(seed);
+            inj.corrupt_cells(&mut t, 0, 10, ErrorType::Typo, typo);
+            (t, inj.annotations)
+        };
+        let (t1, a1) = run(42);
+        let (t2, a2) = run(42);
+        assert_eq!(t1, t2);
+        assert_eq!(a1, a2);
+        let (t3, _) = run(43);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn typo_mutators_change_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let out = typo(&mut rng, "birmingham").unwrap();
+            assert_ne!(out, "birmingham");
+        }
+        assert_eq!(typo(&mut rng, "!!!"), None);
+    }
+
+    #[test]
+    fn other_mutators() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(trailing_junk(&mut rng, "1/1/2000").unwrap().starts_with("1/1/2000"));
+        assert!(dmv_token(&mut rng, "x").is_some());
+        let domain = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(swap_from_domain(&mut rng, "a", &domain).unwrap(), "b");
+        assert_eq!(swap_from_domain(&mut rng, "a", &["a".to_string()]), None);
+    }
+}

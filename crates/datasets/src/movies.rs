@@ -1,0 +1,395 @@
+//! The Movies benchmark (7390 × 17), after the Magellan repository \[6\].
+//!
+//! The largest dataset (the one HoloClean OOMs on and CleanAgent rejects,
+//! both falling back to 1000-row samples in Table 1). Error mix follows
+//! Table 2 exactly: 184 typos, 131 DMVs, 938 misplacements (language ↔
+//! country confusions, 200 rows of them full swaps), and 14433 column-type
+//! cells (7390 `duration` values dressed as "N min" / "1 hr. M min.", plus
+//! 7043 non-null `rating_value` cells).
+
+use crate::inject::{dmv_token, typo, Injector};
+use crate::pools;
+use crate::spec::{Dataset, ErrorType};
+use cocoon_table::{Column, DataType, Field, Schema, Table, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const MOVIES: usize = 7390;
+/// Exactly 347 rating cells are NULL so that the non-null count is 7043.
+const RATING_NULLS: usize = 347;
+
+/// Builds the dataset with the canonical seed.
+pub fn generate() -> Dataset {
+    generate_seeded(0xC0C0_0005)
+}
+
+/// Builds the dataset from an explicit seed.
+pub fn generate_seeded(seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names = [
+        "movie_id", "title", "year", "release_date", "director", "creator",
+        "actors", "language", "country", "duration", "rating_value",
+        "rating_count", "review_count", "genre", "filming_location",
+        "production_company", "description",
+    ];
+
+    let directors: Vec<String> = (0..160)
+        .map(|i| {
+            format!(
+                "{} {}",
+                pools::GIVEN_NAMES[(i * 7) % pools::GIVEN_NAMES.len()],
+                pools::SURNAMES[(i * 3) % pools::SURNAMES.len()]
+            )
+        })
+        .collect();
+    let companies: Vec<String> = (0..60)
+        .map(|i| {
+            format!(
+                "{} {}",
+                pools::STUDIO_WORDS[i % pools::STUDIO_WORDS.len()],
+                ["pictures", "films", "studios", "entertainment"][i % 4]
+            )
+        })
+        .collect();
+
+    let mut truth_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(MOVIES); names.len()];
+    for i in 0..MOVIES {
+        let (country, language) =
+            pools::MOVIE_COUNTRIES[weighted_country(&mut rng)];
+        let title = format!(
+            "the {} {}",
+            pools::MOVIE_ADJECTIVES[(i * 5) % pools::MOVIE_ADJECTIVES.len()],
+            pools::MOVIE_NOUNS[(i * 11) % pools::MOVIE_NOUNS.len()],
+        );
+        let title = if i >= 256 { format!("{title} {}", i / 256 + 1) } else { title };
+        let year = 1950 + (rng.gen_range(0..75)) as i64;
+        let duration = 60 + rng.gen_range(0..120) as i64;
+        let rating: Value = if i < RATING_NULLS {
+            Value::Null
+        } else {
+            Value::Float((10.0 + rng.gen_range(0..89) as f64) / 10.0)
+        };
+        let director = directors[(i * 13) % directors.len()].clone();
+        let row: Vec<Value> = vec![
+            Value::Text(format!("m{:05}", i + 1)),
+            Value::Text(title),
+            Value::Text(format!("{year}")),
+            Value::Date(
+                cocoon_table::Date::new(
+                    year as i32,
+                    1 + rng.gen_range(0..12),
+                    1 + rng.gen_range(0..28),
+                )
+                .expect("valid generated date"),
+            ),
+            Value::Text(director.clone()),
+            Value::Text(director),
+            Value::Text(format!(
+                "{} {}, {} {}",
+                pools::GIVEN_NAMES[(i * 3) % pools::GIVEN_NAMES.len()],
+                pools::SURNAMES[(i * 17) % pools::SURNAMES.len()],
+                pools::GIVEN_NAMES[(i * 19) % pools::GIVEN_NAMES.len()],
+                pools::SURNAMES[(i * 23) % pools::SURNAMES.len()],
+            )),
+            Value::Text(language.to_string()),
+            Value::Text(country.to_string()),
+            Value::Float(duration as f64),
+            rating,
+            Value::Text(format!("{}", rng.gen_range(100..90000))),
+            Value::Text(format!("{}", rng.gen_range(5..2000))),
+            Value::Text(pools::GENRES[(i * 7) % pools::GENRES.len()].to_string()),
+            Value::Text(pools::pick(cocoon_semantic::geography::CITIES, i * 3).to_string()),
+            Value::Text(companies[(i * 29) % companies.len()].clone()),
+            Value::Text(format!("a story about the {}", pools::MOVIE_NOUNS[i % 16])),
+        ];
+        for (col, v) in truth_cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+    let truth_fields: Vec<Field> = names
+        .iter()
+        .map(|&n| match n {
+            "duration" | "rating_value" => Field::new(n, DataType::Float),
+            "release_date" => Field::new(n, DataType::Date),
+            _ => Field::text(n),
+        })
+        .collect();
+    let truth = Table::new(
+        Schema::new(truth_fields).expect("unique"),
+        truth_cols.into_iter().map(Column::new).collect(),
+    )
+    .expect("lengths");
+
+    // Dirty rendering: durations as "N min" (45% as "H hr. M min.", the
+    // Appendix-B conversions that defeat string-edit correctors), ratings
+    // as plain numbers, release dates in the US slash style.
+    let mut dirty_cols = Vec::with_capacity(names.len());
+    for (c, name) in names.iter().enumerate() {
+        let rendered: Vec<Value> = truth
+            .column(c)
+            .expect("in range")
+            .values()
+            .iter()
+            .map(|v| match (v, *name) {
+                (Value::Null, _) => Value::Null,
+                (Value::Date(d), "release_date") => Value::Text(format!(
+                    "{}/{}/{}",
+                    d.month(),
+                    d.day(),
+                    d.year()
+                )),
+                (Value::Float(f), "duration") => {
+                    let minutes = *f as i64;
+                    if rng.gen_bool(0.45) && minutes >= 60 {
+                        Value::Text(format!("{} hr. {} min.", minutes / 60, minutes % 60))
+                    } else {
+                        Value::Text(format!("{minutes} min"))
+                    }
+                }
+                (other, _) => Value::Text(other.render()),
+            })
+            .collect();
+        dirty_cols.push(Column::new(rendered));
+    }
+    let mut dirty =
+        Table::new(Schema::all_text(&names).expect("unique"), dirty_cols).expect("lengths");
+
+    let mut inj = Injector::new(seed ^ 0x51AB);
+    let schema = dirty.schema().clone();
+    let idx = |n: &str| schema.index_of(n).expect("known");
+
+    // --- 938 misplacements: language ↔ country confusions.
+    //
+    //     * 400 cells (200 rows) are FULL SWAPS — language and country
+    //       exchanged in the same row. The corruption is self-consistent,
+    //       so row-grouping statistics cannot see it: only world knowledge
+    //       ("India is a country, Hindi its language") can repair it.
+    //     * 270 cells put the row's country into the language column
+    //       one-sidedly, 268 the row's language into the country column —
+    //       detectable as group minorities.
+    //     * 90 of the one-sided cells put "English" into the country
+    //       column, which no system can attribute to a single country.
+    {
+        let lang_col = idx("language");
+        let ctry_col = idx("country");
+        // Full swaps (skip English rows: the swap must be invertible by
+        // unique world knowledge for the error to be well-defined).
+        let picked = inj.pick_rows(&dirty, lang_col, MOVIES, |v| {
+            !matches!(v.as_text(), Some("English"))
+        });
+        let mut swapped = 0usize;
+        for row in picked {
+            if swapped == 200 {
+                break;
+            }
+            if inj.is_used(row, ctry_col) {
+                continue;
+            }
+            let language = dirty.cell(row, lang_col).expect("in range").render();
+            let country = dirty.cell(row, ctry_col).expect("in range").render();
+            if language.is_empty() || country.is_empty() || language == country {
+                continue;
+            }
+            dirty.set_cell(row, lang_col, Value::Text(country)).expect("in range");
+            dirty.set_cell(row, ctry_col, Value::Text(language)).expect("in range");
+            inj.record(row, lang_col, ErrorType::Misplacement);
+            inj.record(row, ctry_col, ErrorType::Misplacement);
+            swapped += 1;
+        }
+        // One-sided: country value into the language column.
+        let picked = inj.pick_rows(&dirty, lang_col, MOVIES, |v| !v.is_null());
+        let mut done = 0usize;
+        for row in picked {
+            if done == 270 {
+                break;
+            }
+            if inj.is_used(row, ctry_col) {
+                continue;
+            }
+            let country = dirty.cell(row, ctry_col).expect("in range").render();
+            let language = dirty.cell(row, lang_col).expect("in range").render();
+            if country.is_empty() || country == language {
+                continue;
+            }
+            dirty.set_cell(row, lang_col, Value::Text(country)).expect("in range");
+            inj.record(row, lang_col, ErrorType::Misplacement);
+            done += 1;
+        }
+        // One-sided: language value into the country column (90 "English").
+        let mut ambiguous = 0usize;
+        let mut done = 0usize;
+        let picked = inj.pick_rows(&dirty, ctry_col, MOVIES, |v| !v.is_null());
+        for row in picked {
+            if done == 268 {
+                break;
+            }
+            if inj.is_used(row, lang_col) {
+                continue; // at most one one-sided misplacement per row
+            }
+            let language = dirty.cell(row, lang_col).expect("in range").render();
+            let country = dirty.cell(row, ctry_col).expect("in range").render();
+            if language.is_empty() || language == country {
+                continue;
+            }
+            if language == "English" {
+                if ambiguous >= 90 {
+                    continue;
+                }
+                ambiguous += 1;
+            }
+            dirty.set_cell(row, ctry_col, Value::Text(language)).expect("in range");
+            inj.record(row, ctry_col, ErrorType::Misplacement);
+            done += 1;
+        }
+    }
+
+    // --- 184 typos in repeated categorical columns.
+    for (column, count) in
+        [("director", 80usize), ("genre", 50), ("production_company", 54)]
+    {
+        let col = idx(column);
+        let picked = inj.pick_rows(&dirty, col, count, |v| !v.is_null());
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Typo, typo);
+    }
+
+    // --- 131 DMVs.
+    for (column, count) in [("filming_location", 70usize), ("creator", 61)] {
+        let col = idx(column);
+        let picked = inj.pick_rows(&dirty, col, count, |v| !v.is_null());
+        for row in picked {
+            let token = dmv_token(inj.rng(), "").expect("token");
+            dirty.set_cell(row, col, Value::Text(token)).expect("in range");
+            inj.record(row, col, ErrorType::Dmv);
+        }
+    }
+    let mut truth = truth;
+    for a in inj.annotations.clone() {
+        if a.error == ErrorType::Dmv {
+            truth.set_cell(a.row, a.col, Value::Null).expect("in range");
+        }
+    }
+
+    // --- 14433 column-type cells: all 7390 durations + 7043 ratings.
+    for column in ["duration", "rating_value"] {
+        let col = idx(column);
+        for row in 0..dirty.height() {
+            if !dirty.cell(row, col).expect("in range").is_null() {
+                inj.record(row, col, ErrorType::ColumnType);
+            }
+        }
+    }
+
+    let fd_constraints = [("movie_id", "title"), ("movie_id", "director")]
+        .iter()
+        .map(|(l, r)| (l.to_string(), r.to_string()))
+        .collect();
+
+    Dataset { name: "Movies", dirty, truth, annotations: inj.annotations, fd_constraints }
+}
+
+/// Country index weighted so USA/English dominates (like the corpus) while
+/// every listed country appears.
+fn weighted_country(rng: &mut SmallRng) -> usize {
+    let roll = rng.gen_range(0..100);
+    match roll {
+        0..=54 => 0,          // USA
+        55..=69 => 1,         // India
+        70..=76 => 2,         // France
+        77..=82 => 3,         // Italy
+        83..=88 => 4,         // Japan
+        89..=92 => 5,         // Germany
+        93..=95 => 6,         // China
+        96..=97 => 7,         // Spain
+        98 => 8,              // Russia
+        _ => 9,               // South Korea
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table2() {
+        let d = generate();
+        assert_eq!(d.size_label(), "7390 × 17");
+        let counts = d.error_counts();
+        assert_eq!(counts.get(&ErrorType::Typo), Some(&184));
+        assert_eq!(counts.get(&ErrorType::Dmv), Some(&131));
+        assert_eq!(counts.get(&ErrorType::Misplacement), Some(&938));
+        assert_eq!(counts.get(&ErrorType::ColumnType), Some(&14433));
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn durations_dressed_in_units() {
+        let d = generate();
+        let col = d.dirty.schema().index_of("duration").unwrap();
+        let mut min_style = 0usize;
+        let mut hr_style = 0usize;
+        for v in d.dirty.column(col).unwrap().values() {
+            let text = v.as_text().unwrap();
+            if text.contains("hr") {
+                hr_style += 1;
+            } else {
+                assert!(text.ends_with(" min"), "{text:?}");
+                min_style += 1;
+            }
+        }
+        assert_eq!(min_style + hr_style, MOVIES);
+        assert!(hr_style > 2500, "hr-style count {hr_style}");
+        // Truth is numeric minutes.
+        assert!(d.truth.cell(0, col).unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn misplacements_swap_concepts() {
+        let d = generate();
+        let schema = d.dirty.schema();
+        let lang = schema.index_of("language").unwrap();
+        let ctry = schema.index_of("country").unwrap();
+        let mut lang_misplaced = 0;
+        let mut ctry_misplaced = 0;
+        let mut english_in_country = 0;
+        let mut full_swaps = 0;
+        for a in &d.annotations {
+            if a.error != ErrorType::Misplacement {
+                continue;
+            }
+            let text = d.dirty.cell(a.row, a.col).unwrap().render();
+            if a.col == lang {
+                assert!(cocoon_semantic::is_country_token(&text), "{text:?}");
+                lang_misplaced += 1;
+                if d.annotations.iter().any(|b| {
+                    b.row == a.row && b.col == ctry && b.error == ErrorType::Misplacement
+                }) {
+                    full_swaps += 1;
+                }
+            } else {
+                assert_eq!(a.col, ctry);
+                assert!(cocoon_semantic::is_language_token(&text), "{text:?}");
+                if text == "English" {
+                    english_in_country += 1;
+                }
+                ctry_misplaced += 1;
+            }
+        }
+        assert_eq!(lang_misplaced, 470);
+        assert_eq!(ctry_misplaced, 468);
+        assert_eq!(english_in_country, 90);
+        assert_eq!(full_swaps, 200);
+    }
+
+    #[test]
+    fn rating_nulls_exact() {
+        let d = generate();
+        let col = d.truth.schema().index_of("rating_value").unwrap();
+        assert_eq!(d.truth.column(col).unwrap().null_count(), RATING_NULLS);
+        assert_eq!(d.dirty.column(col).unwrap().null_count(), RATING_NULLS);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate().dirty, generate().dirty);
+    }
+}

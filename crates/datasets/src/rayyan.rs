@@ -1,0 +1,262 @@
+//! The Rayyan benchmark (1000 × 11), after Ouzzani et al. \[19\].
+//!
+//! Systematic-review citation records. Typo-heavy (the reason RetClean's
+//! LLM typo-fixing only works here, §3.2), with the `article_language`
+//! `"eng"`/`"English"` inconsistency of the paper's Example 1, journal-FD
+//! violations, misplaced abbreviations, and date-format inconsistencies.
+
+use crate::inject::{dmv_token, swap_from_domain, typo, Injector};
+use crate::pools;
+use crate::spec::{Dataset, ErrorType};
+use cocoon_table::{Table, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ARTICLES: usize = 1000;
+
+/// Builds the dataset with the canonical seed.
+pub fn generate() -> Dataset {
+    generate_seeded(0xC0C0_0004)
+}
+
+/// Builds the dataset from an explicit seed.
+pub fn generate_seeded(seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names = [
+        "article_id", "article_title", "article_language", "journal_title",
+        "journal_abbreviation", "journal_issn", "article_volume", "article_issue",
+        "article_pagination", "author_list", "journal_created_at",
+    ];
+
+    // Language distribution mirrors Example 1: eng 46.4%, plus other codes.
+    let language_for = |i: usize, rng: &mut SmallRng| -> String {
+        let roll = rng.gen_range(0..1000);
+        let _ = i;
+        if roll < 464 {
+            "eng"
+        } else if roll < 650 {
+            "fre"
+        } else if roll < 780 {
+            "ger"
+        } else if roll < 880 {
+            "chi"
+        } else if roll < 950 {
+            "spa"
+        } else {
+            "rus"
+        }
+        .to_string()
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(ARTICLES);
+    for i in 0..ARTICLES {
+        let (journal, abbreviation, issn) = pools::JOURNALS[(i * 7) % pools::JOURNALS.len()];
+        let topic = pools::TITLE_TOPICS[(i * 3) % pools::TITLE_TOPICS.len()];
+        let pattern = pools::TITLE_PATTERNS[i % pools::TITLE_PATTERNS.len()];
+        let title = pattern.replace("{}", topic);
+        let n_authors = 1 + rng.gen_range(0..3);
+        let authors: Vec<String> = (0..n_authors)
+            .map(|a| {
+                format!(
+                    "{} {}",
+                    pools::GIVEN_NAMES[(i * 5 + a * 11) % pools::GIVEN_NAMES.len()],
+                    pools::SURNAMES[(i * 3 + a * 7) % pools::SURNAMES.len()]
+                )
+            })
+            .collect();
+        let page_start = 10 + rng.gen_range(0..800);
+        let created = format!(
+            "{}/{}/{}",
+            1 + rng.gen_range(0..12),
+            1 + rng.gen_range(0..28),
+            2008 + (i % 10)
+        );
+        rows.push(vec![
+            format!("a{:04}", i + 1),
+            title,
+            language_for(i, &mut rng),
+            journal.to_string(),
+            abbreviation.to_string(),
+            issn.to_string(),
+            format!("{}", 1 + (i % 40)),
+            format!("{}", 1 + (i % 6)),
+            format!("{}-{}", page_start, page_start + rng.gen_range(2..18)),
+            authors.join("; "),
+            created,
+        ]);
+    }
+    let truth = Table::from_text_rows(&names, &rows).expect("consistent");
+    let mut dirty = truth.clone();
+
+    let mut inj = Injector::new(seed ^ 0x51AB);
+    let schema = dirty.schema().clone();
+    let idx = |n: &str| schema.index_of(n).expect("known");
+    let journal_col = idx("journal_title");
+
+    // --- 420 typos: Rayyan is the typo-heavy benchmark. Most sit in
+    //     repeated (fixable) columns; 120 corrupt unique article titles,
+    //     which nothing can reliably repair (bounding every system's
+    //     recall, Cocoon's included).
+    for (column, count, key, cap) in [
+        ("journal_title", 130usize, journal_col, 12),
+        ("journal_abbreviation", 90, journal_col, 12),
+        ("author_list", 40, journal_col, 12),
+        ("article_title", 120, idx("article_id"), 1),
+        ("article_pagination", 40, journal_col, 12),
+    ] {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, key, cap);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Typo, typo);
+    }
+
+    // --- 120 inconsistencies: language full names (Example 1) and
+    //     ISO-formatted dates in a M/D/YYYY column.
+    {
+        let col = idx("article_language");
+        let picked = inj.pick_rows_spread(&dirty, col, 60, journal_col, 12);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Inconsistency, |_, v| {
+            let name = cocoon_semantic::name_for_code(v)?;
+            Some(cocoon_semantic::title_case(name))
+        });
+    }
+    {
+        let col = idx("journal_created_at");
+        let picked = inj.pick_rows_spread(&dirty, col, 60, journal_col, 12);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Inconsistency, |_, v| {
+            cocoon_semantic::standardize_date(v, cocoon_semantic::DateFormat::Iso)
+        });
+    }
+
+    // --- 160 FD violations: wrong ISSN / abbreviation for the journal.
+    for (column, count) in [("journal_issn", 80usize), ("journal_abbreviation", 80)] {
+        let col = idx(column);
+        let mut domain: Vec<String> =
+            truth.column(col).expect("in range").non_null().map(Value::render).collect();
+        domain.sort_unstable();
+        domain.dedup();
+        let picked = inj.pick_rows_spread(&dirty, col, count, journal_col, 18);
+        inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::FdViolation, |rng, v| {
+            swap_from_domain(rng, v, &domain)
+        });
+    }
+
+    // --- 60 misplacements: the journal abbreviation entered in the title
+    //     column (repairable through the abbreviation → title FD).
+    {
+        let title_col = idx("journal_title");
+        let abbr_col = idx("journal_abbreviation");
+        // Pick extra candidates: rows whose abbreviation is unusable
+        // (empty or equal to the title) are skipped.
+        let picked = inj.pick_rows_spread(&dirty, title_col, 90, journal_col, 18);
+        let mut done = 0usize;
+        for row in picked {
+            if done == 60 {
+                break;
+            }
+            let abbr = dirty.cell(row, abbr_col).expect("in range").render();
+            if abbr.is_empty() {
+                continue;
+            }
+            if dirty.cell(row, title_col).expect("in range").render() == abbr {
+                continue;
+            }
+            dirty.set_cell(row, title_col, Value::Text(abbr)).expect("in range");
+            inj.record(row, title_col, ErrorType::Misplacement);
+            done += 1;
+        }
+    }
+
+    // --- 90 DMVs.
+    for (column, count) in [("article_volume", 45usize), ("article_issue", 45)] {
+        let col = idx(column);
+        let picked = inj.pick_rows_spread(&dirty, col, count, journal_col, 12);
+        for row in picked {
+            let token = dmv_token(inj.rng(), "").expect("token");
+            dirty.set_cell(row, col, Value::Text(token)).expect("in range");
+            inj.record(row, col, ErrorType::Dmv);
+        }
+    }
+    let mut truth = truth;
+    for a in inj.annotations.clone() {
+        if a.error == ErrorType::Dmv {
+            truth.set_cell(a.row, a.col, Value::Null).expect("in range");
+        }
+    }
+
+    let fd_constraints = [
+        ("journal_title", "journal_abbreviation"),
+        ("journal_title", "journal_issn"),
+        ("journal_abbreviation", "journal_title"),
+    ]
+    .iter()
+    .map(|(l, r)| (l.to_string(), r.to_string()))
+    .collect();
+
+    Dataset { name: "Rayyan", dirty, truth, annotations: inj.annotations, fd_constraints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_counts() {
+        let d = generate();
+        assert_eq!(d.size_label(), "1000 × 11");
+        let counts = d.error_counts();
+        assert_eq!(counts.get(&ErrorType::Typo), Some(&420));
+        assert_eq!(counts.get(&ErrorType::Inconsistency), Some(&120));
+        assert_eq!(counts.get(&ErrorType::FdViolation), Some(&160));
+        assert_eq!(counts.get(&ErrorType::Misplacement), Some(&60));
+        assert_eq!(counts.get(&ErrorType::Dmv), Some(&90));
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn language_distribution_mirrors_example1() {
+        let d = generate();
+        let col = d.truth.schema().index_of("article_language").unwrap();
+        let eng = d
+            .truth
+            .column(col)
+            .unwrap()
+            .values()
+            .iter()
+            .filter(|v| v.as_text() == Some("eng"))
+            .count();
+        // ~46.4% of 1000.
+        assert!((400..=520).contains(&eng), "eng count {eng}");
+        // Dirty contains full names from the inconsistency injection.
+        let full_names = d
+            .dirty
+            .column(col)
+            .unwrap()
+            .values()
+            .iter()
+            .filter(|v| {
+                matches!(v.as_text(), Some(t) if cocoon_semantic::code_for_name(t).is_some())
+            })
+            .count();
+        assert_eq!(full_names, 60);
+    }
+
+    #[test]
+    fn dates_mixed_formats() {
+        let d = generate();
+        let col = d.dirty.schema().index_of("journal_created_at").unwrap();
+        let iso = d
+            .dirty
+            .column(col)
+            .unwrap()
+            .values()
+            .iter()
+            .filter(|v| matches!(v.as_text(), Some(t) if t.contains('-') && t.len() == 10))
+            .count();
+        assert_eq!(iso, 60);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate().dirty, generate().dirty);
+    }
+}

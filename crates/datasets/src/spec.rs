@@ -1,0 +1,173 @@
+//! Benchmark dataset model: a dirty table, its ground truth, and the
+//! cell-level error annotations that Table 2 of the paper summarises.
+
+use cocoon_table::Table;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The error taxonomy of Table 2 (plus the Flights-specific time
+/// variations the paper analyses in §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorType {
+    /// Character-level corruption of a value ("birminghxm").
+    Typo,
+    /// A valid-looking value that breaks a functional dependency.
+    FdViolation,
+    /// A cell whose dirty representation needs a type cast
+    /// ("yes" → TRUE, "90 min" → 90.0, "91%" → 91.0).
+    ColumnType,
+    /// Inconsistent representation of the same concept ("12 ounce" in a
+    /// numeric ounces column, "English" in an ISO-code column).
+    Inconsistency,
+    /// Disguised missing value ("N/A" for NULL).
+    Dmv,
+    /// A value that belongs in a different column (country in the
+    /// language column).
+    Misplacement,
+    /// Flights: actual departure/arrival times that vary across data
+    /// sources — the ambiguous-FD errors Cocoon declines to repair.
+    TimeVariation,
+}
+
+impl ErrorType {
+    /// Table-2 column header for this error type.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorType::Typo => "Typo",
+            ErrorType::FdViolation => "FD",
+            ErrorType::ColumnType => "Column Type",
+            ErrorType::Inconsistency => "Inconsistency",
+            ErrorType::Dmv => "DMV",
+            ErrorType::Misplacement => "Misplacement",
+            ErrorType::TimeVariation => "Time Variation",
+        }
+    }
+
+    /// All types, in Table 2 column order.
+    pub const ALL: [ErrorType; 7] = [
+        ErrorType::Typo,
+        ErrorType::FdViolation,
+        ErrorType::ColumnType,
+        ErrorType::Inconsistency,
+        ErrorType::Dmv,
+        ErrorType::Misplacement,
+        ErrorType::TimeVariation,
+    ];
+}
+
+impl fmt::Display for ErrorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One annotated injected error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedError {
+    pub row: usize,
+    pub col: usize,
+    pub error: ErrorType,
+}
+
+/// A generated benchmark dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: &'static str,
+    /// The dirty table fed to every system (all-text, like a CSV).
+    pub dirty: Table,
+    /// Ground truth with canonical typed values (booleans, numbers, NULLs).
+    pub truth: Table,
+    /// Cell-level annotations of every injected error.
+    pub annotations: Vec<InjectedError>,
+    /// Ground-truth functional dependencies `(lhs column, rhs column)` —
+    /// the denial constraints handed to HoloClean (§3.1).
+    pub fd_constraints: Vec<(String, String)>,
+}
+
+impl Dataset {
+    /// `rows × cols` label, as in Table 2.
+    pub fn size_label(&self) -> String {
+        format!("{} × {}", self.dirty.height(), self.dirty.width())
+    }
+
+    /// Error counts per type (Table 2 row).
+    pub fn error_counts(&self) -> BTreeMap<ErrorType, usize> {
+        let mut counts = BTreeMap::new();
+        for a in &self.annotations {
+            *counts.entry(a.error).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Sanity-checks the dataset invariants; returns violation messages
+    /// (empty = consistent). Used by tests and the harness.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.dirty.height() != self.truth.height()
+            || self.dirty.width() != self.truth.width()
+        {
+            problems.push(format!(
+                "dirty is {}x{} but truth is {}x{}",
+                self.dirty.height(),
+                self.dirty.width(),
+                self.truth.height(),
+                self.truth.width()
+            ));
+        }
+        if self.dirty.schema().names() != self.truth.schema().names() {
+            problems.push("dirty and truth column names differ".to_string());
+        }
+        for a in &self.annotations {
+            if a.row >= self.dirty.height() || a.col >= self.dirty.width() {
+                problems.push(format!("annotation out of bounds: {a:?}"));
+            }
+        }
+        for (lhs, rhs) in &self.fd_constraints {
+            if !self.dirty.schema().contains(lhs) || !self.dirty.schema().contains(rhs) {
+                problems.push(format!("FD constraint references unknown column: {lhs} → {rhs}"));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_table::Table;
+
+    fn tiny() -> Dataset {
+        let rows: Vec<Vec<String>> = vec![vec!["a".into(), "b".into()]];
+        let t = Table::from_text_rows(&["x", "y"], &rows).unwrap();
+        Dataset {
+            name: "tiny",
+            dirty: t.clone(),
+            truth: t,
+            annotations: vec![InjectedError { row: 0, col: 1, error: ErrorType::Typo }],
+            fd_constraints: vec![("x".into(), "y".into())],
+        }
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let d = tiny();
+        assert_eq!(d.size_label(), "1 × 2");
+        assert_eq!(d.error_counts().get(&ErrorType::Typo), Some(&1));
+        assert_eq!(ErrorType::Dmv.label(), "DMV");
+        assert_eq!(ErrorType::ALL.len(), 7);
+    }
+
+    #[test]
+    fn validation_passes_for_consistent() {
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut d = tiny();
+        d.annotations.push(InjectedError { row: 9, col: 0, error: ErrorType::Dmv });
+        d.fd_constraints.push(("nope".into(), "y".into()));
+        let problems = d.validate();
+        assert_eq!(problems.len(), 2);
+    }
+}

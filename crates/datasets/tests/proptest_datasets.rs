@@ -1,0 +1,53 @@
+//! Property tests: generator invariants hold across seeds.
+
+use cocoon_datasets::{beers, hospital, ErrorType};
+use cocoon_eval::{values_equivalent, Equivalence};
+use proptest::prelude::*;
+
+proptest! {
+    // Dataset generation is heavy; a handful of seeds is plenty.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn hospital_invariants_hold_for_any_seed(seed in 0u64..1_000_000) {
+        let d = hospital::generate_seeded(seed);
+        prop_assert!(d.validate().is_empty(), "{:?}", d.validate());
+        // Error counts are seed-independent (Table 2 must always hold).
+        let counts = d.error_counts();
+        prop_assert_eq!(counts.get(&ErrorType::Typo), Some(&213));
+        prop_assert_eq!(counts.get(&ErrorType::FdViolation), Some(&331));
+        prop_assert_eq!(counts.get(&ErrorType::Dmv), Some(&227));
+        prop_assert_eq!(counts.get(&ErrorType::ColumnType), Some(&3000));
+        // Every typo/FD annotation marks a strictly differing cell.
+        for a in &d.annotations {
+            if matches!(a.error, ErrorType::Typo | ErrorType::FdViolation) {
+                let dirty = d.dirty.cell(a.row, a.col).unwrap();
+                let truth = d.truth.cell(a.row, a.col).unwrap();
+                prop_assert!(!values_equivalent(dirty, truth, Equivalence::Strict));
+            }
+        }
+    }
+
+    #[test]
+    fn beers_unannotated_cells_match_truth(seed in 0u64..1_000_000) {
+        let d = beers::generate_seeded(seed);
+        prop_assert!(d.validate().is_empty());
+        let annotated: std::collections::HashSet<(usize, usize)> =
+            d.annotations.iter().map(|a| (a.row, a.col)).collect();
+        // Sample a band of rows: unannotated cells must be lenient-equal to
+        // the truth (the generator corrupts only what it records).
+        for row in (0..d.dirty.height()).step_by(97) {
+            for col in 0..d.dirty.width() {
+                if annotated.contains(&(row, col)) {
+                    continue;
+                }
+                let dirty = d.dirty.cell(row, col).unwrap();
+                let truth = d.truth.cell(row, col).unwrap();
+                prop_assert!(
+                    values_equivalent(dirty, truth, Equivalence::Lenient),
+                    "unannotated cell differs at ({row},{col}): {dirty:?} vs {truth:?}"
+                );
+            }
+        }
+    }
+}

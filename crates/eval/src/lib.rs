@@ -1,0 +1,17 @@
+//! # cocoon-eval
+//!
+//! Cell-level evaluation harness reproducing the paper's measurement
+//! methodology (§3.1):
+//!
+//! * [`conventions`] — the Table-1 lenient comparison (case-insensitive,
+//!   column-type and DMV forgiveness) and the Table-3 strict comparison;
+//! * [`metrics`] — precision / recall / F1 over cell repairs;
+//! * [`report`] — text rendering of Table-1/2/3-shaped grids.
+
+pub mod conventions;
+pub mod metrics;
+pub mod report;
+
+pub use conventions::{values_equivalent, Equivalence};
+pub use metrics::{evaluate, EvalCounts, Evaluation, Prf};
+pub use report::{render_error_table, render_results_table, SystemRow};

@@ -1,0 +1,200 @@
+//! Cell-level precision / recall / F1 — the measurement behind Tables 1 & 3.
+
+use crate::conventions::{values_equivalent, Equivalence};
+use cocoon_table::Table;
+use std::fmt;
+
+/// Precision, recall, and F1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    pub fn new(precision: f64, recall: f64) -> Self {
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1 }
+    }
+}
+
+impl fmt::Display for Prf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} {:.2} {:.2}", self.precision, self.recall, self.f1)
+    }
+}
+
+/// Detailed counts behind a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCounts {
+    /// Cells where dirty differs from truth (under the convention).
+    pub errors: usize,
+    /// Cells the system changed (output differs from dirty).
+    pub changes: usize,
+    /// Changed cells whose output matches truth.
+    pub correct_repairs: usize,
+    /// Error cells whose output matches truth (repaired errors).
+    pub repaired_errors: usize,
+}
+
+/// The result of scoring one system on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    pub prf: Prf,
+    pub counts: EvalCounts,
+}
+
+/// Scores `cleaned` against `truth`, relative to `dirty`, under the chosen
+/// equivalence convention.
+///
+/// Standard cell-repair scoring (as in the HoloClean/Raha literature):
+/// precision = correct changes / changes, recall = repaired errors / errors.
+/// If `cleaned` has a different row count than `dirty` (a system that
+/// deduplicated), only the common prefix of rows is compared and the
+/// missing rows count as unrepaired.
+pub fn evaluate(dirty: &Table, cleaned: &Table, truth: &Table, mode: Equivalence) -> Evaluation {
+    assert_eq!(dirty.width(), truth.width(), "dirty and truth must share schema");
+    assert_eq!(dirty.height(), truth.height(), "dirty and truth must share rows");
+    let width = dirty.width();
+    let rows = dirty.height();
+    let comparable_rows = rows.min(cleaned.height());
+    let comparable_width = width.min(cleaned.width());
+
+    let mut counts = EvalCounts::default();
+    for r in 0..rows {
+        for c in 0..width {
+            let dirty_v = dirty.cell(r, c).expect("in range");
+            let truth_v = truth.cell(r, c).expect("in range");
+            let is_error = !values_equivalent(dirty_v, truth_v, mode);
+            if is_error {
+                counts.errors += 1;
+            }
+            if r >= comparable_rows || c >= comparable_width {
+                continue;
+            }
+            let out_v = cleaned.cell(r, c).expect("in range");
+            let changed = !values_equivalent(out_v, dirty_v, mode);
+            let matches_truth = values_equivalent(out_v, truth_v, mode);
+            if changed {
+                counts.changes += 1;
+                if matches_truth {
+                    counts.correct_repairs += 1;
+                }
+            }
+            if is_error && matches_truth {
+                counts.repaired_errors += 1;
+            }
+        }
+    }
+    let precision = if counts.changes == 0 {
+        0.0
+    } else {
+        counts.correct_repairs as f64 / counts.changes as f64
+    };
+    let recall = if counts.errors == 0 {
+        0.0
+    } else {
+        counts.repaired_errors as f64 / counts.errors as f64
+    };
+    Evaluation { prf: Prf::new(precision, recall), counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_table::Table;
+
+    fn t(rows: &[[&str; 2]]) -> Table {
+        let data: Vec<Vec<String>> =
+            rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect();
+        Table::from_text_rows(&["a", "b"], &data).unwrap()
+    }
+
+    #[test]
+    fn perfect_cleaning() {
+        let dirty = t(&[["x", "bad"], ["y", "ok"]]);
+        let truth = t(&[["x", "good"], ["y", "ok"]]);
+        let cleaned = truth.clone();
+        let e = evaluate(&dirty, &cleaned, &truth, Equivalence::Strict);
+        assert_eq!(e.prf.precision, 1.0);
+        assert_eq!(e.prf.recall, 1.0);
+        assert_eq!(e.prf.f1, 1.0);
+        assert_eq!(e.counts.errors, 1);
+        assert_eq!(e.counts.changes, 1);
+    }
+
+    #[test]
+    fn no_changes_zero_scores() {
+        let dirty = t(&[["x", "bad"]]);
+        let truth = t(&[["x", "good"]]);
+        let e = evaluate(&dirty, &dirty.clone(), &truth, Equivalence::Strict);
+        assert_eq!(e.prf.precision, 0.0);
+        assert_eq!(e.prf.recall, 0.0);
+        assert_eq!(e.prf.f1, 0.0);
+    }
+
+    #[test]
+    fn wrong_changes_hurt_precision() {
+        let dirty = t(&[["x", "bad"], ["y", "ok"]]);
+        let truth = t(&[["x", "good"], ["y", "ok"]]);
+        // Fixes the error but also breaks a clean cell.
+        let cleaned = t(&[["x", "good"], ["y", "broken"]]);
+        let e = evaluate(&dirty, &cleaned, &truth, Equivalence::Strict);
+        assert_eq!(e.counts.changes, 2);
+        assert_eq!(e.counts.correct_repairs, 1);
+        assert!((e.prf.precision - 0.5).abs() < 1e-12);
+        assert_eq!(e.prf.recall, 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let dirty = t(&[["bad1", "bad2"], ["y", "ok"]]);
+        let truth = t(&[["good1", "good2"], ["y", "ok"]]);
+        let cleaned = t(&[["good1", "bad2"], ["y", "ok"]]);
+        let e = evaluate(&dirty, &cleaned, &truth, Equivalence::Strict);
+        assert_eq!(e.counts.errors, 2);
+        assert_eq!(e.counts.repaired_errors, 1);
+        assert!((e.prf.recall - 0.5).abs() < 1e-12);
+        assert_eq!(e.prf.precision, 1.0);
+    }
+
+    #[test]
+    fn lenient_mode_shrinks_error_set() {
+        // "yes" vs "True" is an error strictly, not leniently.
+        let dirty = t(&[["yes", "bad"]]);
+        let truth = {
+            let mut truth = t(&[["x", "good"]]);
+            truth.set_cell(0, 0, cocoon_table::Value::Bool(true)).unwrap();
+            truth
+        };
+        let strict = evaluate(&dirty, &dirty.clone(), &truth, Equivalence::Strict);
+        assert_eq!(strict.counts.errors, 2);
+        let lenient = evaluate(&dirty, &dirty.clone(), &truth, Equivalence::Lenient);
+        assert_eq!(lenient.counts.errors, 1);
+    }
+
+    #[test]
+    fn sampled_system_row_mismatch_tolerated() {
+        // A system that only cleaned the first row (e.g. HoloClean's 1000-row
+        // sample) is scored on what it produced.
+        let dirty = t(&[["bad", "x"], ["bad", "y"]]);
+        let truth = t(&[["good", "x"], ["good", "y"]]);
+        let cleaned = t(&[["good", "x"]]);
+        let e = evaluate(&dirty, &cleaned, &truth, Equivalence::Strict);
+        assert_eq!(e.counts.errors, 2);
+        assert_eq!(e.counts.repaired_errors, 1);
+        assert!((e.prf.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let prf = Prf::new(1.0, 0.5);
+        assert!((prf.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Prf::new(0.0, 0.0).f1, 0.0);
+    }
+}

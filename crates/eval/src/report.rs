@@ -1,0 +1,105 @@
+//! Formatting evaluation results as the paper's tables.
+
+use crate::metrics::Prf;
+
+/// One row of a results table: a system's P/R/F across datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRow {
+    pub system: String,
+    /// One entry per dataset, with an optional footnote marker ("*" for
+    /// sampled runs, as in Table 1's Movies column).
+    pub scores: Vec<(Prf, Option<&'static str>)>,
+}
+
+/// Renders a Table-1-style grid: systems × datasets, P R F per cell.
+pub fn render_results_table(datasets: &[&str], rows: &[SystemRow]) -> String {
+    let mut out = String::new();
+    let sys_width = rows.iter().map(|r| r.system.len()).max().unwrap_or(6).max(6);
+    out.push_str(&format!("{:<sys_width$} ", "System"));
+    for d in datasets {
+        out.push_str(&format!("| {:^17} ", d));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<sys_width$} ", ""));
+    for _ in datasets {
+        out.push_str(&format!("| {:^5} {:^5} {:^5} ", "P", "R", "F"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(sys_width + datasets.len() * 20));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<sys_width$} ", row.system));
+        for (prf, marker) in &row.scores {
+            let m = marker.unwrap_or("");
+            out.push_str(&format!(
+                "| {:>4.2}{m} {:>4.2}{m} {:>4.2}{m} ",
+                prf.precision, prf.recall, prf.f1
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Table-2-style error-distribution grid.
+pub fn render_error_table(
+    header: &[&str],
+    rows: &[(String, String, Vec<String>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<10} {:<12}", "Dataset", "Size"));
+    for h in header {
+        out.push_str(&format!(" {:>12}", h));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(22 + header.len() * 13));
+    out.push('\n');
+    for (name, size, counts) in rows {
+        out.push_str(&format!("{name:<10} {size:<12}"));
+        for c in counts {
+            out.push_str(&format!(" {c:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_table_shape() {
+        let rows = vec![
+            SystemRow {
+                system: "Cocoon".into(),
+                scores: vec![(Prf::new(0.87, 0.93), None), (Prf::new(0.91, 0.42), None)],
+            },
+            SystemRow {
+                system: "HoloClean".into(),
+                scores: vec![(Prf::new(1.0, 0.46), None), (Prf::new(0.0, 0.0), Some("*"))],
+            },
+        ];
+        let text = render_results_table(&["Hospital", "Flights"], &rows);
+        assert!(text.contains("Cocoon"));
+        assert!(text.contains("Hospital"));
+        assert!(text.contains("0.90")); // F1 of 0.87/0.93
+        assert!(text.contains("0.00*"));
+        // header + separator + 2 system rows + P/R/F row
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn error_table_shape() {
+        let rows = vec![(
+            "Hospital".to_string(),
+            "1000 × 19".to_string(),
+            vec!["213".into(), "331".into(), "–".into()],
+        )];
+        let text = render_error_table(&["Typo", "FD", "DMV"], &rows);
+        assert!(text.contains("Hospital"));
+        assert!(text.contains("1000 × 19"));
+        assert!(text.contains("213"));
+        assert!(text.contains('–'));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests: evaluation metric bounds and sanity laws.
+
+use cocoon_eval::{evaluate, Equivalence};
+use cocoon_table::Table;
+use proptest::prelude::*;
+
+fn tables(
+    rows: usize,
+) -> impl Strategy<Value = (Table, Table, Table)> {
+    let cell = "[ab]{1}";
+    let grid = proptest::collection::vec(proptest::collection::vec(cell, 2), rows..=rows);
+    (grid.clone(), grid.clone(), grid).prop_map(|(d, c, t)| {
+        let build = |g: Vec<Vec<String>>| Table::from_text_rows(&["x", "y"], &g).unwrap();
+        (build(d), build(c), build(t))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn metrics_always_bounded((dirty, cleaned, truth) in tables(6)) {
+        for mode in [Equivalence::Lenient, Equivalence::Strict] {
+            let e = evaluate(&dirty, &cleaned, &truth, mode);
+            prop_assert!((0.0..=1.0).contains(&e.prf.precision));
+            prop_assert!((0.0..=1.0).contains(&e.prf.recall));
+            prop_assert!((0.0..=1.0).contains(&e.prf.f1));
+            prop_assert!(e.counts.correct_repairs <= e.counts.changes);
+            prop_assert!(e.counts.repaired_errors <= e.counts.errors);
+        }
+    }
+
+    #[test]
+    fn perfect_system_scores_one((dirty, _, truth) in tables(6)) {
+        let e = evaluate(&dirty, &truth, &truth, Equivalence::Strict);
+        if e.counts.errors > 0 {
+            prop_assert_eq!(e.prf.precision, 1.0);
+            prop_assert_eq!(e.prf.recall, 1.0);
+            prop_assert_eq!(e.prf.f1, 1.0);
+        } else {
+            // Nothing to fix: a no-op system makes no changes.
+            prop_assert_eq!(e.counts.changes, 0);
+        }
+    }
+
+    #[test]
+    fn lazy_system_has_zero_recall((dirty, _, truth) in tables(6)) {
+        let e = evaluate(&dirty, &dirty.clone(), &truth, Equivalence::Strict);
+        prop_assert_eq!(e.counts.changes, 0);
+        prop_assert_eq!(e.prf.recall, 0.0);
+        prop_assert_eq!(e.prf.precision, 0.0);
+    }
+
+    #[test]
+    fn lenient_never_finds_more_errors_than_strict((dirty, cleaned, truth) in tables(6)) {
+        let lenient = evaluate(&dirty, &cleaned, &truth, Equivalence::Lenient);
+        let strict = evaluate(&dirty, &cleaned, &truth, Equivalence::Strict);
+        prop_assert!(lenient.counts.errors <= strict.counts.errors);
+    }
+}

@@ -1,0 +1,183 @@
+//! The chat-completion interface and test doubles.
+//!
+//! The original Cocoon "supports LLM APIs from Anthropic, Azure, Bedrock,
+//! VertexAI, and OpenAI" (§2.2). This crate models that boundary as the
+//! [`ChatModel`] trait; the production implementation in this offline
+//! reproduction is [`crate::sim::SimLlm`], and tests use [`ScriptedLlm`] /
+//! [`FailingLlm`] for failure injection.
+
+use crate::error::{LlmError, Result};
+use std::cell::RefCell;
+
+/// Message author role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    System,
+    User,
+    Assistant,
+}
+
+/// One message of a chat exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    pub role: Role,
+    pub content: String,
+}
+
+impl Message {
+    pub fn user(content: impl Into<String>) -> Self {
+        Message { role: Role::User, content: content.into() }
+    }
+
+    pub fn system(content: impl Into<String>) -> Self {
+        Message { role: Role::System, content: content.into() }
+    }
+}
+
+/// A chat-completion request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatRequest {
+    pub messages: Vec<Message>,
+    /// Sampling temperature; the pipeline uses 0.0 for determinism.
+    pub temperature: f64,
+}
+
+impl ChatRequest {
+    /// Single-user-message request at temperature 0 — the shape every
+    /// pipeline prompt uses.
+    pub fn simple(prompt: impl Into<String>) -> Self {
+        ChatRequest { messages: vec![Message::user(prompt)], temperature: 0.0 }
+    }
+
+    /// Concatenated text of all user messages (what a prompt parser sees).
+    pub fn user_text(&self) -> String {
+        self.messages
+            .iter()
+            .filter(|m| m.role == Role::User)
+            .map(|m| m.content.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Token accounting, approximated by whitespace-separated word count —
+/// adequate for relative cost reporting in the benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Usage {
+    pub prompt_tokens: usize,
+    pub completion_tokens: usize,
+}
+
+impl Usage {
+    /// Rough token estimate for a text.
+    pub fn estimate(text: &str) -> usize {
+        text.split_whitespace().count()
+    }
+
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// A chat-completion response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatResponse {
+    pub content: String,
+    pub usage: Usage,
+}
+
+/// The provider boundary: anything that can answer a chat request.
+pub trait ChatModel {
+    /// Model identifier for reports (e.g. `"sim-claude-3.5"`).
+    fn model_name(&self) -> &str;
+
+    /// Completes a chat request.
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse>;
+}
+
+/// Replays a fixed script of responses, in order. Extra calls fail with
+/// [`LlmError::Empty`]. Used by unit tests and failure-injection tests.
+pub struct ScriptedLlm {
+    responses: RefCell<std::collections::VecDeque<String>>,
+    calls: RefCell<Vec<String>>,
+}
+
+impl ScriptedLlm {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(responses: I) -> Self {
+        ScriptedLlm {
+            responses: RefCell::new(responses.into_iter().map(Into::into).collect()),
+            calls: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The prompts this model has been asked so far.
+    pub fn prompts_seen(&self) -> Vec<String> {
+        self.calls.borrow().clone()
+    }
+}
+
+impl ChatModel for ScriptedLlm {
+    fn model_name(&self) -> &str {
+        "scripted"
+    }
+
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+        self.calls.borrow_mut().push(request.user_text());
+        let mut responses = self.responses.borrow_mut();
+        let content = responses.pop_front().ok_or(LlmError::Empty)?;
+        let usage = Usage {
+            prompt_tokens: Usage::estimate(&request.user_text()),
+            completion_tokens: Usage::estimate(&content),
+        };
+        Ok(ChatResponse { content, usage })
+    }
+}
+
+/// Always fails — models a dead endpoint.
+pub struct FailingLlm;
+
+impl ChatModel for FailingLlm {
+    fn model_name(&self) -> &str {
+        "failing"
+    }
+
+    fn complete(&self, _request: &ChatRequest) -> Result<ChatResponse> {
+        Err(LlmError::Completion("simulated endpoint failure".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_request_shape() {
+        let r = ChatRequest::simple("hello");
+        assert_eq!(r.messages.len(), 1);
+        assert_eq!(r.temperature, 0.0);
+        assert_eq!(r.user_text(), "hello");
+    }
+
+    #[test]
+    fn scripted_replays_in_order() {
+        let llm = ScriptedLlm::new(["one", "two"]);
+        assert_eq!(llm.complete(&ChatRequest::simple("a")).unwrap().content, "one");
+        assert_eq!(llm.complete(&ChatRequest::simple("b")).unwrap().content, "two");
+        assert_eq!(llm.complete(&ChatRequest::simple("c")), Err(LlmError::Empty));
+        assert_eq!(llm.prompts_seen(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn failing_always_fails() {
+        assert!(FailingLlm.complete(&ChatRequest::simple("x")).is_err());
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let llm = ScriptedLlm::new(["two words"]);
+        let resp = llm.complete(&ChatRequest::simple("three small words")).unwrap();
+        assert_eq!(resp.usage.prompt_tokens, 3);
+        assert_eq!(resp.usage.completion_tokens, 2);
+        assert_eq!(resp.usage.total(), 5);
+    }
+}

@@ -1,0 +1,44 @@
+//! LLM substrate errors.
+
+use std::fmt;
+
+/// Errors from chat completion or response parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// The model endpoint failed (simulated network/API failure).
+    Completion(String),
+    /// The response did not contain the expected payload (e.g. no JSON
+    /// fence, malformed JSON/YAML).
+    Malformed { expected: &'static str, detail: String },
+    /// The model refused or returned an empty response.
+    Empty,
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::Completion(msg) => write!(f, "completion failed: {msg}"),
+            LlmError::Malformed { expected, detail } => {
+                write!(f, "malformed response (expected {expected}): {detail}")
+            }
+            LlmError::Empty => write!(f, "empty response"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// Result alias for the LLM substrate.
+pub type Result<T> = std::result::Result<T, LlmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(LlmError::Empty.to_string().contains("empty"));
+        let e = LlmError::Malformed { expected: "json", detail: "eof".into() };
+        assert!(e.to_string().contains("json"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # cocoon-llm
+//!
+//! LLM-client substrate for the Cocoon reproduction.
+//!
+//! The original system talks to hosted models ("We support LLM APIs from
+//! Anthropic, Azure, Bedrock, VertexAI, and OpenAI", §2.2). This crate
+//! models that boundary:
+//!
+//! * [`chat`] — the provider-agnostic [`ChatModel`] trait plus scripted and
+//!   failing test doubles,
+//! * [`prompts`] — the prompt templates for all eight issue types, with the
+//!   string-outlier prompts reproducing the paper's Figures 2–3 verbatim,
+//! * [`json`] / [`yaml`] — from-scratch wire-format parsers tolerant of the
+//!   fences and sloppiness real models produce,
+//! * [`responses`] — typed response parsing for every step,
+//! * [`sim`] — [`SimLlm`], the deterministic semantic oracle that stands in
+//!   for Claude 3.5 offline (see DESIGN.md for the substitution argument),
+//! * [`transcript`] — a recording wrapper for HIL reports and token
+//!   accounting.
+
+pub mod chat;
+pub mod error;
+pub mod json;
+pub mod prompts;
+pub mod responses;
+pub mod sim;
+pub mod transcript;
+pub mod yaml;
+
+pub use chat::{ChatModel, ChatRequest, ChatResponse, FailingLlm, Message, Role, ScriptedLlm, Usage};
+pub use error::{LlmError, Result};
+pub use json::Json;
+pub use responses::{
+    parse_cleaning_map, parse_detect_verdict, parse_dmv_verdict, parse_dup_verdict,
+    parse_fd_verdict, parse_pattern_plan, parse_range_verdict, parse_type_verdict,
+    parse_unique_verdict, CleaningMap, DetectVerdict, DmvVerdict, DupVerdict, FdVerdict,
+    PatternPlan, RangeVerdict, TypeVerdict, UniqueVerdict,
+};
+pub use sim::{analyze_string_values, fd_semantically_meaningful, SimLlm, StringAnalysis};
+pub use transcript::{Exchange, Transcript};

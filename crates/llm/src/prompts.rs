@@ -1,0 +1,485 @@
+//! Prompt templates for every LLM call the pipeline makes.
+//!
+//! The string-outlier detection and cleaning prompts reproduce Figures 2
+//! and 3 of the paper verbatim in their natural-language body. Every prompt
+//! additionally carries a machine-readable `### context (JSON)` block with
+//! the same information, which is what allows [`crate::sim::SimLlm`] to act
+//! on the prompt deterministically (a hosted model would simply read the
+//! whole text).
+
+use crate::json::{escape, Json};
+
+/// Marker separating the NL body from the machine-readable context.
+pub const CONTEXT_MARKER: &str = "### context (JSON)";
+
+/// Task tags carried in the context block.
+pub mod task {
+    pub const STRING_OUTLIERS_DETECT: &str = "string_outliers_detect";
+    pub const STRING_OUTLIERS_CLEAN: &str = "string_outliers_clean";
+    pub const PATTERN_REVIEW: &str = "pattern_review";
+    pub const DMV_DETECT: &str = "dmv_detect";
+    pub const COLUMN_TYPE: &str = "column_type";
+    pub const NUMERIC_RANGE: &str = "numeric_range";
+    pub const FD_REVIEW: &str = "fd_review";
+    pub const FD_MAPPING: &str = "fd_mapping";
+    pub const DUPLICATION_REVIEW: &str = "duplication_review";
+    pub const UNIQUENESS_REVIEW: &str = "uniqueness_review";
+    pub const NUMERIC_CONVERSION: &str = "numeric_conversion";
+}
+
+fn values_json(values: &[(String, usize)]) -> Json {
+    Json::Array(
+        values
+            .iter()
+            .map(|(v, c)| {
+                Json::Array(vec![Json::String(v.clone()), Json::Number(*c as f64)])
+            })
+            .collect(),
+    )
+}
+
+fn values_list_str(values: &[(String, usize)], limit: usize) -> String {
+    let shown: Vec<String> =
+        values.iter().take(limit).map(|(v, _)| escape(v)).collect();
+    let mut text = format!("[{}]", shown.join(", "));
+    if values.len() > limit {
+        text.push_str(&format!(" (+{} more)", values.len() - limit));
+    }
+    text
+}
+
+fn context_block(pairs: Vec<(String, Json)>) -> String {
+    format!("\n{CONTEXT_MARKER}\n{}\n", Json::object(pairs))
+}
+
+/// Figure 2: semantic detection of string outliers for one column.
+pub fn string_outliers_detect(column: &str, values: &[(String, usize)]) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "{column} has the following distinct values: {}\n\n",
+        values_list_str(values, 1000)
+    ));
+    p.push_str("Please review if there are:\n");
+    p.push_str("Strange characters or typos (e.g., \"cofffee\").\n");
+    p.push_str(
+        "Inconsistent representations of the same concept (e.g., \"New York\" and \"NY\").\n",
+    );
+    p.push_str("If so, report them as unusual values.\n\n");
+    p.push_str("Now, respond in JSON:\n```\n{\n");
+    p.push_str("\"Reasoning\": \"The values are ... They are unusual/acceptable ...\",\n");
+    p.push_str("\"Unusualness\": true/false,\n");
+    p.push_str("\"Summary\": \"xxx values are unusual because ...\"\n}\n```\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::STRING_OUTLIERS_DETECT.into())),
+        ("column".into(), Json::String(column.into())),
+        ("values".into(), values_json(values)),
+    ]));
+    p
+}
+
+/// Figure 3: semantic cleaning of string outliers for one batch.
+pub fn string_outliers_clean(
+    column: &str,
+    summary: &str,
+    batch_values: &[(String, usize)],
+) -> String {
+    let mut p = String::new();
+    p.push_str(&format!("{column} is unusual: {summary}\n"));
+    p.push_str(&format!(
+        "It has the following values: {}\n\n",
+        values_list_str(batch_values, 1000)
+    ));
+    p.push_str("Maps those unusual values to the correct ones to address the problems.\n");
+    p.push_str("If old values are meaningless, map to empty string.\n\n");
+    p.push_str("Return in the following format:\n```yml\nexplanation: >\n");
+    p.push_str("The problem is ... The correct values are ...\nmapping:\nold_value: new_value\n```\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::STRING_OUTLIERS_CLEAN.into())),
+        ("column".into(), Json::String(column.into())),
+        ("summary".into(), Json::String(summary.into())),
+        ("values".into(), values_json(batch_values)),
+    ]));
+    p
+}
+
+/// §2.1.2: review the value-shape census and propose meaningful regexes and
+/// standardising transformations.
+pub fn pattern_review(column: &str, buckets: &[(String, usize, Vec<String>)]) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "The values of {column} group into the following regex shapes:\n"
+    ));
+    for (pattern, count, examples) in buckets {
+        p.push_str(&format!(
+            "  {pattern} — {count} values (e.g. {})\n",
+            examples.iter().take(3).map(|e| escape(e)).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    p.push_str(
+        "\nWrite a list of semantically meaningful regular expression patterns that cover all \
+         column values (e.g., \\d{2}/\\d{2}/\\d{4} for dates is meaningful based on the \
+         day/month/year, but .* is not). Assess if the shapes are inconsistent representations \
+         of the same concept, and if so provide regex transformations to standardise them.\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Patterns\": [...], \"Inconsistent\": true/false, \"Transforms\": [{\"pattern\": \"...\", \"replacement\": \"...\"}]}\n");
+    let buckets_json = Json::Array(
+        buckets
+            .iter()
+            .map(|(pattern, count, examples)| {
+                Json::Array(vec![
+                    Json::String(pattern.clone()),
+                    Json::Number(*count as f64),
+                    Json::Array(examples.iter().map(|e| Json::String(e.clone())).collect()),
+                ])
+            })
+            .collect(),
+    );
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::PATTERN_REVIEW.into())),
+        ("column".into(), Json::String(column.into())),
+        ("buckets".into(), buckets_json),
+    ]));
+    p
+}
+
+/// §2.1.3: identify disguised missing values.
+pub fn dmv_detect(column: &str, values: &[(String, usize)], numeric_share: f64) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "{column} has the following values: {}\n\n",
+        values_list_str(values, 1000)
+    ));
+    p.push_str(
+        "Identify values that are currently not NULL, but semantically mean that the value is \
+         missing (e.g., string values like \"N/A\", \"null\").\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"DisguisedMissing\": [\"...\"]}\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::DMV_DETECT.into())),
+        ("column".into(), Json::String(column.into())),
+        ("values".into(), values_json(values)),
+        ("numeric_share".into(), Json::Number(numeric_share)),
+    ]));
+    p
+}
+
+/// §2.1.4: suggest the semantically best column type.
+pub fn column_type(
+    column: &str,
+    declared: &str,
+    inferred: &str,
+    confidence: f64,
+    values: &[(String, usize)],
+) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "The database catalog types {column} as {declared}. Statistically, {:.0}% of its \
+         values parse as {inferred}. Sample values: {}\n\n",
+        confidence * 100.0,
+        values_list_str(values, 50)
+    ));
+    p.push_str(
+        "Suggest the most suitable data type semantically (e.g. values \"yes\"/\"no\" are \
+         better represented as BOOLEAN). Available types: BOOLEAN, BIGINT, DOUBLE, DATE, TIME, \
+         VARCHAR.\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Type\": \"...\"}\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::COLUMN_TYPE.into())),
+        ("column".into(), Json::String(column.into())),
+        ("declared".into(), Json::String(declared.into())),
+        ("inferred".into(), Json::String(inferred.into())),
+        ("confidence".into(), Json::Number(confidence)),
+        ("values".into(), values_json(values)),
+    ]));
+    p
+}
+
+/// §2.1.5: review the acceptable numeric range.
+pub fn numeric_range(column: &str, min: f64, max: f64, q1: f64, q3: f64) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "{column} is numeric with minimum {min}, maximum {max}, and interquartile range \
+         [{q1}, {q3}].\n\n",
+    ));
+    p.push_str(
+        "Review the acceptable range semantically given what the column represents. Values \
+         outside the range will be treated as outliers and set to NULL.\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Low\": number|null, \"High\": number|null}\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::NUMERIC_RANGE.into())),
+        ("column".into(), Json::String(column.into())),
+        ("min".into(), Json::Number(min)),
+        ("max".into(), Json::Number(max)),
+        ("q1".into(), Json::Number(q1)),
+        ("q3".into(), Json::Number(q3)),
+    ]));
+    p
+}
+
+/// §2.1.6: review whether a statistically strong FD is semantically
+/// meaningful.
+pub fn fd_review(
+    lhs: &str,
+    rhs: &str,
+    strength: f64,
+    violating_groups: usize,
+    examples: &[(String, Vec<(String, usize)>)],
+) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "The functional dependency {lhs} \u{2192} {rhs} holds with entropy strength {strength:.3} \
+         ({violating_groups} violating groups).\n",
+    ));
+    if !examples.is_empty() {
+        p.push_str("Example violating groups:\n");
+        for (lhs_value, census) in examples.iter().take(5) {
+            let rhs_text: Vec<String> =
+                census.iter().map(|(v, c)| format!("{} ×{c}", escape(v))).collect();
+            p.push_str(&format!("  {} → {{{}}}\n", escape(lhs_value), rhs_text.join(", ")));
+        }
+    }
+    p.push_str(
+        "\nReview if this statistically strong functional dependency is meaningful \
+         semantically (a real-world rule rather than a coincidence or an inherently \
+         variable measurement).\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Meaningful\": true/false}\n");
+    let examples_json = Json::Array(
+        examples
+            .iter()
+            .map(|(l, census)| {
+                Json::Array(vec![
+                    Json::String(l.clone()),
+                    Json::Array(
+                        census
+                            .iter()
+                            .map(|(v, c)| {
+                                Json::Array(vec![
+                                    Json::String(v.clone()),
+                                    Json::Number(*c as f64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::FD_REVIEW.into())),
+        ("lhs".into(), Json::String(lhs.into())),
+        ("rhs".into(), Json::String(rhs.into())),
+        ("strength".into(), Json::Number(strength)),
+        ("violating_groups".into(), Json::Number(violating_groups as f64)),
+        ("examples".into(), examples_json),
+    ]));
+    p
+}
+
+/// §2.1.6: provide the correct value for each violating group.
+pub fn fd_mapping(
+    lhs: &str,
+    rhs: &str,
+    groups: &[(String, Vec<(String, usize)>)],
+) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "The functional dependency {lhs} \u{2192} {rhs} is meaningful, but these {lhs} groups \
+         contain conflicting {rhs} values:\n",
+    ));
+    for (lhs_value, census) in groups.iter().take(50) {
+        let rhs_text: Vec<String> =
+            census.iter().map(|(v, c)| format!("{} ×{c}", escape(v))).collect();
+        p.push_str(&format!("  {} → {{{}}}\n", escape(lhs_value), rhs_text.join(", ")));
+    }
+    p.push_str(
+        "\nFor each group, provide the correct value. Map each incorrect value to the correct \
+         one.\n\nReturn in the following format:\n```yml\nexplanation: >\n  ...\nmapping:\n  old_value: new_value\n```\n",
+    );
+    let groups_json = Json::Array(
+        groups
+            .iter()
+            .map(|(l, census)| {
+                Json::Array(vec![
+                    Json::String(l.clone()),
+                    Json::Array(
+                        census
+                            .iter()
+                            .map(|(v, c)| {
+                                Json::Array(vec![
+                                    Json::String(v.clone()),
+                                    Json::Number(*c as f64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::FD_MAPPING.into())),
+        ("lhs".into(), Json::String(lhs.into())),
+        ("rhs".into(), Json::String(rhs.into())),
+        ("groups".into(), groups_json),
+    ]));
+    p
+}
+
+/// §2.1.7: decide whether exact duplicate rows are acceptable.
+pub fn duplication_review(
+    duplicate_rows: usize,
+    total_rows: usize,
+    columns: &[String],
+) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "The table has {total_rows} rows, of which {duplicate_rows} are exact duplicates of \
+         earlier rows. Columns: {}.\n\n",
+        columns.join(", ")
+    ));
+    p.push_str(
+        "Determine if these duplications are semantically acceptable (e.g., duplication in \
+         logging with coarse time granularity) or erroneous (cleaned with SELECT DISTINCT).\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Acceptable\": true/false}\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::DUPLICATION_REVIEW.into())),
+        ("duplicate_rows".into(), Json::Number(duplicate_rows as f64)),
+        ("total_rows".into(), Json::Number(total_rows as f64)),
+        (
+            "columns".into(),
+            Json::Array(columns.iter().map(|c| Json::String(c.clone())).collect()),
+        ),
+    ]));
+    p
+}
+
+/// §2.1.8: decide whether a column should be unique and how to prioritise
+/// surviving rows.
+pub fn uniqueness_review(
+    column: &str,
+    unique_ratio: f64,
+    all_columns: &[String],
+) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "Column {column} has unique ratio {unique_ratio:.4}. Table columns: {}.\n\n",
+        all_columns.join(", ")
+    ));
+    p.push_str(
+        "Decide if the column should be unique semantically (e.g., a primary key). If so, name \
+         a column that prioritises which record to keep (e.g., the latest time), or null to \
+         keep the first.\n\n",
+    );
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"ShouldBeUnique\": true/false, \"OrderBy\": \"column\"|null}\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::UNIQUENESS_REVIEW.into())),
+        ("column".into(), Json::String(column.into())),
+        ("unique_ratio".into(), Json::Number(unique_ratio)),
+        (
+            "columns".into(),
+            Json::Array(all_columns.iter().map(|c| Json::String(c.clone())).collect()),
+        ),
+    ]));
+    p
+}
+
+/// Column-type support (§2.1.4 / Appendix B): values that must become
+/// numbers before a `CAST` can succeed (e.g. `"1 hr. 30 min."` → `90`).
+pub fn numeric_conversion(column: &str, failing_values: &[(String, usize)]) -> String {
+    let mut p = String::new();
+    p.push_str(&format!(
+        "{column} is being cast to a numeric type, but these values do not parse as numbers: \
+         {}\n\n",
+        values_list_str(failing_values, 1000)
+    ));
+    p.push_str(
+        "Map each value to the number it semantically denotes (e.g., \"1 hr. 30 min.\" \u{2192} \
+         90 minutes, \"$1,234\" \u{2192} 1234). If a value carries no number, map to empty \
+         string.\n\nReturn in the following format:\n```yml\nexplanation: >\n  ...\nmapping:\n  old_value: new_value\n```\n",
+    );
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::NUMERIC_CONVERSION.into())),
+        ("column".into(), Json::String(column.into())),
+        ("values".into(), values_json(failing_values)),
+    ]));
+    p
+}
+
+/// Parses the `### context (JSON)` block out of a prompt (used by the
+/// simulated model; hosted models read the NL text instead).
+pub fn parse_context(prompt: &str) -> Option<Json> {
+    let idx = prompt.rfind(CONTEXT_MARKER)?;
+    let body = &prompt[idx + CONTEXT_MARKER.len()..];
+    crate::json::parse(body.trim()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census() -> Vec<(String, usize)> {
+        vec![("eng".to_string(), 46), ("English".to_string(), 9)]
+    }
+
+    #[test]
+    fn figure2_wording_present() {
+        let p = string_outliers_detect("article_language", &census());
+        assert!(p.contains("has the following distinct values"));
+        assert!(p.contains("Strange characters or typos (e.g., \"cofffee\")."));
+        assert!(p.contains("Inconsistent representations of the same concept"));
+        assert!(p.contains("\"Unusualness\": true/false"));
+    }
+
+    #[test]
+    fn figure3_wording_present() {
+        let p = string_outliers_clean("article_language", "mixed codes", &census());
+        assert!(p.contains("article_language is unusual: mixed codes"));
+        assert!(p.contains("If old values are meaningless, map to empty string."));
+        assert!(p.contains("```yml"));
+    }
+
+    #[test]
+    fn context_blocks_parse_back() {
+        let p = string_outliers_detect("lang", &census());
+        let ctx = parse_context(&p).unwrap();
+        assert_eq!(ctx.get("task").unwrap().as_str().unwrap(), task::STRING_OUTLIERS_DETECT);
+        assert_eq!(ctx.get("column").unwrap().as_str().unwrap(), "lang");
+        assert_eq!(ctx.get("values").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn every_prompt_kind_has_parseable_context() {
+        let prompts = vec![
+            string_outliers_detect("c", &census()),
+            string_outliers_clean("c", "s", &census()),
+            pattern_review("c", &[("\\d+".into(), 3, vec!["1".into()])]),
+            dmv_detect("c", &census(), 0.5),
+            column_type("c", "VARCHAR", "BOOLEAN", 0.99, &census()),
+            numeric_range("c", 0.0, 10.0, 2.0, 8.0),
+            fd_review("zip", "city", 0.99, 1, &[("1".into(), vec![("a".into(), 2)])]),
+            fd_mapping("zip", "city", &[("1".into(), vec![("a".into(), 2)])]),
+            duplication_review(3, 100, &["a".into()]),
+            uniqueness_review("id", 0.99, &["id".into(), "t".into()]),
+        ];
+        for p in prompts {
+            let ctx = parse_context(&p).expect("context parses");
+            assert!(ctx.get("task").is_some(), "missing task in {p}");
+        }
+    }
+
+    #[test]
+    fn values_list_str_limits() {
+        let many: Vec<(String, usize)> = (0..5).map(|i| (format!("v{i}"), 1)).collect();
+        let text = values_list_str(&many, 3);
+        assert!(text.contains("(+2 more)"));
+    }
+
+    #[test]
+    fn no_context_returns_none() {
+        assert!(parse_context("just words").is_none());
+    }
+}

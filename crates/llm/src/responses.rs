@@ -1,0 +1,287 @@
+//! Typed parsing of model responses.
+//!
+//! Every pipeline step's response format is defined here next to a parser
+//! that tolerates the usual LLM sloppiness (fences, prose around the
+//! payload) but fails loudly on genuinely malformed output, letting the
+//! pipeline degrade to statistical-only behaviour.
+
+use crate::error::{LlmError, Result};
+use crate::json::{extract, Json};
+use crate::yaml;
+
+/// Figure 2 verdict for detection prompts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectVerdict {
+    pub reasoning: String,
+    pub unusual: bool,
+    pub summary: String,
+}
+
+/// Parses `{"Reasoning": …, "Unusualness": …, "Summary": …}`.
+pub fn parse_detect_verdict(text: &str) -> Result<DetectVerdict> {
+    let v = extract(text)?;
+    let unusual = v
+        .get("Unusualness")
+        .and_then(Json::as_bool)
+        .ok_or(LlmError::Malformed { expected: "Unusualness bool", detail: text.into() })?;
+    Ok(DetectVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        unusual,
+        summary: v.get("Summary").and_then(Json::as_str).unwrap_or("").to_string(),
+    })
+}
+
+/// Figure 3 cleaning map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningMap {
+    pub explanation: String,
+    /// old value → new value ("" = meaningless, maps to NULL downstream).
+    pub mapping: Vec<(String, String)>,
+}
+
+/// Parses the YAML cleaning response.
+pub fn parse_cleaning_map(text: &str) -> Result<CleaningMap> {
+    let doc = yaml::extract(text)?;
+    let mapping = doc
+        .mapping("mapping")
+        .ok_or(LlmError::Malformed { expected: "mapping block", detail: text.into() })?
+        .to_vec();
+    Ok(CleaningMap {
+        explanation: doc.scalar("explanation").unwrap_or("").to_string(),
+        mapping,
+    })
+}
+
+/// Pattern-review plan (§2.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternPlan {
+    pub reasoning: String,
+    /// Meaningful patterns covering the column.
+    pub patterns: Vec<String>,
+    pub inconsistent: bool,
+    /// (pattern, replacement) regex transformations to standardise.
+    pub transforms: Vec<(String, String)>,
+}
+
+/// Parses the pattern-review JSON.
+pub fn parse_pattern_plan(text: &str) -> Result<PatternPlan> {
+    let v = extract(text)?;
+    let patterns = v
+        .get("Patterns")
+        .and_then(Json::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    let transforms = v
+        .get("Transforms")
+        .and_then(Json::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|t| {
+                    Some((
+                        t.get("pattern")?.as_str()?.to_string(),
+                        t.get("replacement")?.as_str()?.to_string(),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(PatternPlan {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        patterns,
+        inconsistent: v.get("Inconsistent").and_then(Json::as_bool).unwrap_or(false),
+        transforms,
+    })
+}
+
+/// DMV detection verdict (§2.1.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmvVerdict {
+    pub reasoning: String,
+    pub tokens: Vec<String>,
+}
+
+/// Parses the DMV JSON.
+pub fn parse_dmv_verdict(text: &str) -> Result<DmvVerdict> {
+    let v = extract(text)?;
+    let tokens = v
+        .get("DisguisedMissing")
+        .and_then(Json::as_array)
+        .ok_or(LlmError::Malformed { expected: "DisguisedMissing array", detail: text.into() })?
+        .iter()
+        .filter_map(|x| x.as_str().map(str::to_string))
+        .collect();
+    Ok(DmvVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        tokens,
+    })
+}
+
+/// Column-type suggestion (§2.1.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeVerdict {
+    pub reasoning: String,
+    /// SQL type name (BOOLEAN, BIGINT, DOUBLE, DATE, TIME, VARCHAR).
+    pub type_name: String,
+}
+
+/// Parses the column-type JSON.
+pub fn parse_type_verdict(text: &str) -> Result<TypeVerdict> {
+    let v = extract(text)?;
+    let type_name = v
+        .get("Type")
+        .and_then(Json::as_str)
+        .ok_or(LlmError::Malformed { expected: "Type string", detail: text.into() })?
+        .to_string();
+    Ok(TypeVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        type_name,
+    })
+}
+
+/// Numeric acceptable-range verdict (§2.1.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeVerdict {
+    pub reasoning: String,
+    pub low: Option<f64>,
+    pub high: Option<f64>,
+}
+
+/// Parses the numeric-range JSON.
+pub fn parse_range_verdict(text: &str) -> Result<RangeVerdict> {
+    let v = extract(text)?;
+    Ok(RangeVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        low: v.get("Low").and_then(Json::as_f64),
+        high: v.get("High").and_then(Json::as_f64),
+    })
+}
+
+/// FD meaningfulness verdict (§2.1.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdVerdict {
+    pub reasoning: String,
+    pub meaningful: bool,
+}
+
+/// Parses the FD-review JSON.
+pub fn parse_fd_verdict(text: &str) -> Result<FdVerdict> {
+    let v = extract(text)?;
+    let meaningful = v
+        .get("Meaningful")
+        .and_then(Json::as_bool)
+        .ok_or(LlmError::Malformed { expected: "Meaningful bool", detail: text.into() })?;
+    Ok(FdVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        meaningful,
+    })
+}
+
+/// Duplication acceptability verdict (§2.1.7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DupVerdict {
+    pub reasoning: String,
+    pub acceptable: bool,
+}
+
+/// Parses the duplication-review JSON.
+pub fn parse_dup_verdict(text: &str) -> Result<DupVerdict> {
+    let v = extract(text)?;
+    let acceptable = v
+        .get("Acceptable")
+        .and_then(Json::as_bool)
+        .ok_or(LlmError::Malformed { expected: "Acceptable bool", detail: text.into() })?;
+    Ok(DupVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        acceptable,
+    })
+}
+
+/// Column-uniqueness verdict (§2.1.8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniqueVerdict {
+    pub reasoning: String,
+    pub should_be_unique: bool,
+    /// Column used to prioritise the surviving record, if any.
+    pub order_by: Option<String>,
+}
+
+/// Parses the uniqueness-review JSON.
+pub fn parse_unique_verdict(text: &str) -> Result<UniqueVerdict> {
+    let v = extract(text)?;
+    let should = v
+        .get("ShouldBeUnique")
+        .and_then(Json::as_bool)
+        .ok_or(LlmError::Malformed { expected: "ShouldBeUnique bool", detail: text.into() })?;
+    Ok(UniqueVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        should_be_unique: should,
+        order_by: v.get("OrderBy").and_then(Json::as_str).map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_verdict_parses_fenced() {
+        let text = "```json\n{\"Reasoning\": \"mixed codes\", \"Unusualness\": true, \"Summary\": \"2 values unusual\"}\n```";
+        let v = parse_detect_verdict(text).unwrap();
+        assert!(v.unusual);
+        assert_eq!(v.summary, "2 values unusual");
+    }
+
+    #[test]
+    fn detect_verdict_requires_unusualness() {
+        assert!(parse_detect_verdict("{\"Reasoning\": \"x\"}").is_err());
+        assert!(parse_detect_verdict("prose only").is_err());
+    }
+
+    #[test]
+    fn cleaning_map_parses() {
+        let text = "```yml\nexplanation: >\n  fix codes\nmapping:\n  English: eng\n  junk: \"\"\n```";
+        let m = parse_cleaning_map(text).unwrap();
+        assert_eq!(m.mapping.len(), 2);
+        assert_eq!(m.mapping[1], ("junk".to_string(), String::new()));
+    }
+
+    #[test]
+    fn cleaning_map_requires_mapping() {
+        assert!(parse_cleaning_map("explanation: x").is_err());
+    }
+
+    #[test]
+    fn pattern_plan_parses() {
+        let text = r#"{"Reasoning": "dates", "Patterns": ["\\d{4}-\\d{2}-\\d{2}"], "Inconsistent": true, "Transforms": [{"pattern": "(\\d{4})-(\\d{2})-(\\d{2})", "replacement": "$2/$3/$1"}]}"#;
+        let p = parse_pattern_plan(text).unwrap();
+        assert!(p.inconsistent);
+        assert_eq!(p.patterns.len(), 1);
+        assert_eq!(p.transforms[0].1, "$2/$3/$1");
+    }
+
+    #[test]
+    fn dmv_and_type_and_range() {
+        let v = parse_dmv_verdict(r#"{"Reasoning": "r", "DisguisedMissing": ["N/A", "-"]}"#)
+            .unwrap();
+        assert_eq!(v.tokens, vec!["N/A", "-"]);
+        let t = parse_type_verdict(r#"{"Reasoning": "yes/no", "Type": "BOOLEAN"}"#).unwrap();
+        assert_eq!(t.type_name, "BOOLEAN");
+        let r = parse_range_verdict(r#"{"Reasoning": "scores", "Low": 0, "High": 10}"#).unwrap();
+        assert_eq!((r.low, r.high), (Some(0.0), Some(10.0)));
+        let r = parse_range_verdict(r#"{"Reasoning": "open", "Low": null, "High": null}"#)
+            .unwrap();
+        assert_eq!((r.low, r.high), (None, None));
+    }
+
+    #[test]
+    fn fd_dup_unique_verdicts() {
+        assert!(parse_fd_verdict(r#"{"Meaningful": true}"#).unwrap().meaningful);
+        assert!(!parse_dup_verdict(r#"{"Acceptable": false}"#).unwrap().acceptable);
+        let u = parse_unique_verdict(r#"{"ShouldBeUnique": true, "OrderBy": "updated"}"#)
+            .unwrap();
+        assert!(u.should_be_unique);
+        assert_eq!(u.order_by.as_deref(), Some("updated"));
+        let u = parse_unique_verdict(r#"{"ShouldBeUnique": false, "OrderBy": null}"#).unwrap();
+        assert_eq!(u.order_by, None);
+    }
+}

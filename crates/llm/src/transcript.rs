@@ -1,0 +1,102 @@
+//! Call transcripts: a recording wrapper around any [`ChatModel`].
+//!
+//! Cocoon is a human-in-the-loop system; its UI shows the LLM reasoning for
+//! every step (Appendix A). The transcript captures each exchange so reports
+//! can replay what the model was asked and answered, and so benches can
+//! account token usage.
+
+use crate::chat::{ChatModel, ChatRequest, ChatResponse, Usage};
+use crate::error::Result;
+use std::cell::RefCell;
+
+/// One recorded exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exchange {
+    pub prompt: String,
+    pub response: String,
+    pub usage: Usage,
+}
+
+/// Records every exchange passing through an inner model.
+pub struct Transcript<M> {
+    inner: M,
+    exchanges: RefCell<Vec<Exchange>>,
+}
+
+impl<M: ChatModel> Transcript<M> {
+    pub fn new(inner: M) -> Self {
+        Transcript { inner, exchanges: RefCell::new(Vec::new()) }
+    }
+
+    /// All exchanges so far, in order.
+    pub fn exchanges(&self) -> Vec<Exchange> {
+        self.exchanges.borrow().clone()
+    }
+
+    /// Number of completed calls.
+    pub fn call_count(&self) -> usize {
+        self.exchanges.borrow().len()
+    }
+
+    /// Total token usage across all calls.
+    pub fn total_usage(&self) -> Usage {
+        let exchanges = self.exchanges.borrow();
+        Usage {
+            prompt_tokens: exchanges.iter().map(|e| e.usage.prompt_tokens).sum(),
+            completion_tokens: exchanges.iter().map(|e| e.usage.completion_tokens).sum(),
+        }
+    }
+
+    /// Unwraps the inner model.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: ChatModel> ChatModel for Transcript<M> {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+        let response = self.inner.complete(request)?;
+        self.exchanges.borrow_mut().push(Exchange {
+            prompt: request.user_text(),
+            response: response.content.clone(),
+            usage: response.usage,
+        });
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::ScriptedLlm;
+
+    #[test]
+    fn records_exchanges_and_usage() {
+        let t = Transcript::new(ScriptedLlm::new(["resp one", "response two longer"]));
+        t.complete(&ChatRequest::simple("first prompt")).unwrap();
+        t.complete(&ChatRequest::simple("second")).unwrap();
+        assert_eq!(t.call_count(), 2);
+        let ex = t.exchanges();
+        assert_eq!(ex[0].prompt, "first prompt");
+        assert_eq!(ex[0].response, "resp one");
+        assert_eq!(t.total_usage().prompt_tokens, 3);
+        assert_eq!(t.total_usage().completion_tokens, 5);
+    }
+
+    #[test]
+    fn failures_not_recorded() {
+        let t = Transcript::new(ScriptedLlm::new(Vec::<String>::new()));
+        assert!(t.complete(&ChatRequest::simple("x")).is_err());
+        assert_eq!(t.call_count(), 0);
+    }
+
+    #[test]
+    fn passthrough_name() {
+        let t = Transcript::new(ScriptedLlm::new(["a"]));
+        assert_eq!(t.model_name(), "scripted");
+    }
+}

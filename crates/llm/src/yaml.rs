@@ -1,0 +1,323 @@
+//! A YAML subset parser for the Figure 3 cleaning-response format.
+//!
+//! The paper's semantic-cleaning prompt demands a fenced `yml` block of the
+//! shape:
+//!
+//! ```text
+//! explanation: >
+//!   The problem is ... The correct values are ...
+//! mapping:
+//!   old_value: new_value
+//! ```
+//!
+//! This module parses exactly that shape: top-level scalar keys, folded
+//! block scalars (`>` / `|`), and one level of nested `key: value` mappings
+//! with single/double-quoted or bare scalars. It is not a general YAML
+//! implementation and does not try to be.
+
+use crate::error::{LlmError, Result};
+use crate::json::fenced_block;
+use std::collections::BTreeMap;
+
+/// A parsed YAML-subset document: top-level key → value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct YamlDoc {
+    scalars: BTreeMap<String, String>,
+    mappings: BTreeMap<String, Vec<(String, String)>>,
+}
+
+impl YamlDoc {
+    /// Top-level scalar value (including folded block scalars).
+    pub fn scalar(&self, key: &str) -> Option<&str> {
+        self.scalars.get(key).map(String::as_str)
+    }
+
+    /// Nested mapping under `key`, in document order.
+    pub fn mapping(&self, key: &str) -> Option<&[(String, String)]> {
+        self.mappings.get(key).map(Vec::as_slice)
+    }
+}
+
+/// Parses a YAML-subset document.
+pub fn parse(input: &str) -> Result<YamlDoc> {
+    let mut doc = YamlDoc::default();
+    let lines: Vec<&str> = input.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line = lines[i];
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            i += 1;
+            continue;
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(err(i, "unexpected indentation at top level"));
+        }
+        let (key, rest) = split_key(line, i)?;
+        let rest = rest.trim();
+        if rest == ">" || rest == "|" {
+            // Block scalar: consume following more-indented lines.
+            let folded = rest == ">";
+            let mut parts: Vec<String> = Vec::new();
+            i += 1;
+            while i < lines.len() {
+                let l = lines[i];
+                if l.trim().is_empty() {
+                    parts.push(String::new());
+                    i += 1;
+                    continue;
+                }
+                if !l.starts_with(' ') && !l.starts_with('\t') {
+                    break;
+                }
+                parts.push(l.trim().to_string());
+                i += 1;
+            }
+            while parts.last().is_some_and(String::is_empty) {
+                parts.pop();
+            }
+            let text = parts.join(if folded { " " } else { "\n" });
+            doc.scalars.insert(key, text.trim().to_string());
+            continue;
+        }
+        if rest.is_empty() {
+            // Nested mapping: consume indented key: value lines.
+            let mut entries: Vec<(String, String)> = Vec::new();
+            i += 1;
+            while i < lines.len() {
+                let l = lines[i];
+                if l.trim().is_empty() {
+                    i += 1;
+                    continue;
+                }
+                if !l.starts_with(' ') && !l.starts_with('\t') {
+                    break;
+                }
+                let trimmed = l.trim();
+                if trimmed.starts_with('#') {
+                    i += 1;
+                    continue;
+                }
+                let (k, v) = split_key(trimmed, i)?;
+                entries.push((k, unquote(v.trim())));
+                i += 1;
+            }
+            doc.mappings.insert(key, entries);
+            continue;
+        }
+        doc.scalars.insert(key, unquote(rest));
+        i += 1;
+    }
+    Ok(doc)
+}
+
+/// Extracts and parses a YAML document from a response, preferring a
+/// ```yml / ```yaml fence and falling back to the whole text.
+pub fn extract(text: &str) -> Result<YamlDoc> {
+    if let Some(inner) = fenced_block(text, &["yml", "yaml", ""]) {
+        return parse(inner);
+    }
+    parse(text)
+}
+
+fn err(line: usize, message: &str) -> LlmError {
+    LlmError::Malformed { expected: "yaml", detail: format!("{message} (line {})", line + 1) }
+}
+
+/// Splits `key: rest`, honouring quoted keys that may contain colons.
+fn split_key(line: &str, lineno: usize) -> Result<(String, &str)> {
+    let line = line.trim_start();
+    if let Some(stripped) = line.strip_prefix('"') {
+        // double-quoted key
+        let mut out = String::new();
+        let mut chars = stripped.char_indices();
+        while let Some((idx, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        out.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    }
+                }
+                '"' => {
+                    let rest = &stripped[idx + 1..];
+                    let rest = rest
+                        .trim_start()
+                        .strip_prefix(':')
+                        .ok_or_else(|| err(lineno, "expected ':' after quoted key"))?;
+                    return Ok((out, rest));
+                }
+                other => out.push(other),
+            }
+        }
+        Err(err(lineno, "unterminated quoted key"))
+    } else if let Some(stripped) = line.strip_prefix('\'') {
+        // Single-quoted key; '' escapes a literal quote.
+        let bytes: Vec<char> = stripped.chars().collect();
+        let mut key = String::new();
+        let mut i = 0usize;
+        let mut closed = None;
+        while i < bytes.len() {
+            if bytes[i] == '\'' {
+                if bytes.get(i + 1) == Some(&'\'') {
+                    key.push('\'');
+                    i += 2;
+                    continue;
+                }
+                closed = Some(i);
+                break;
+            }
+            key.push(bytes[i]);
+            i += 1;
+        }
+        let end = closed.ok_or_else(|| err(lineno, "unterminated quoted key"))?;
+        let rest: String = bytes[end + 1..].iter().collect();
+        let rest_trimmed = rest.trim_start();
+        if !rest_trimmed.starts_with(':') {
+            return Err(err(lineno, "expected ':' after quoted key"));
+        }
+        // Find the byte offset of ':' in the original line to return a slice.
+        let colon_in_line = line
+            .char_indices()
+            .skip(1) // opening quote
+            .skip(end + 1)
+            .find(|(_, c)| *c == ':')
+            .map(|(idx, _)| idx)
+            .ok_or_else(|| err(lineno, "expected ':' after quoted key"))?;
+        Ok((key, &line[colon_in_line + 1..]))
+    } else {
+        let colon = line.find(':').ok_or_else(|| err(lineno, "expected 'key: value'"))?;
+        Ok((line[..colon].trim().to_string(), &line[colon + 1..]))
+    }
+}
+
+/// Removes surrounding quotes from a scalar, unescaping the basics.
+fn unquote(s: &str) -> String {
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        let inner = &s[1..s.len() - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => out.push(other),
+                    None => {}
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    } else if s.len() >= 2 && s.starts_with('\'') && s.ends_with('\'') {
+        s[1..s.len() - 1].replace("''", "'")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Emits the Figure 3 response shape (explanation + mapping), quoting keys
+/// and values so that any cell content round-trips.
+pub fn emit_cleaning_response(explanation: &str, mapping: &[(String, String)]) -> String {
+    let mut out = String::from("```yml\nexplanation: >\n");
+    for line in explanation.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("mapping:\n");
+    for (old, new) in mapping {
+        out.push_str(&format!("  {}: {}\n", quote(old), quote(new)));
+    }
+    out.push_str("```\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure3_shape() {
+        let text = "explanation: >\n  The problem is mixed language codes.\n  The correct values are ISO codes.\nmapping:\n  English: eng\n  French: fre\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(
+            doc.scalar("explanation").unwrap(),
+            "The problem is mixed language codes. The correct values are ISO codes."
+        );
+        assert_eq!(
+            doc.mapping("mapping").unwrap(),
+            &[("English".to_string(), "eng".to_string()), ("French".to_string(), "fre".to_string())]
+        );
+    }
+
+    #[test]
+    fn quoted_keys_with_colons() {
+        let text = "mapping:\n  \"10:30 p.m.\": \"22:30\"\n  'it''s': fine\n";
+        let doc = parse(text).unwrap();
+        let m = doc.mapping("mapping").unwrap();
+        assert_eq!(m[0], ("10:30 p.m.".to_string(), "22:30".to_string()));
+        assert_eq!(m[1], ("it's".to_string(), "fine".to_string()));
+    }
+
+    #[test]
+    fn empty_values_and_comments() {
+        let text = "# header\nmapping:\n  # note\n  bad: \"\"\nstatus: ok\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.mapping("mapping").unwrap()[0].1, "");
+        assert_eq!(doc.scalar("status").unwrap(), "ok");
+    }
+
+    #[test]
+    fn literal_block_preserves_newlines() {
+        let text = "note: |\n  line1\n  line2\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.scalar("note").unwrap(), "line1\nline2");
+    }
+
+    #[test]
+    fn extract_from_fence() {
+        let text = "Here you go:\n```yml\nmapping:\n  a: b\n```\n";
+        let doc = extract(text).unwrap();
+        assert_eq!(doc.mapping("mapping").unwrap()[0], ("a".to_string(), "b".to_string()));
+    }
+
+    #[test]
+    fn round_trip_emit_parse() {
+        let mapping = vec![
+            ("English".to_string(), "eng".to_string()),
+            ("has: colon".to_string(), "x\"y".to_string()),
+            ("meaningless".to_string(), String::new()),
+        ];
+        let text = emit_cleaning_response("Two problems.\nSecond line.", &mapping);
+        let doc = extract(&text).unwrap();
+        assert_eq!(doc.mapping("mapping").unwrap(), mapping.as_slice());
+        assert!(doc.scalar("explanation").unwrap().contains("Two problems."));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse("  indented: top").is_err());
+        assert!(parse("no colon here").is_err());
+        assert!(parse("\"unterminated: x").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: JSON/YAML wire formats round-trip arbitrary payloads.
+
+use cocoon_llm::json::{self, Json};
+use cocoon_llm::yaml;
+use proptest::prelude::*;
+
+fn json_value() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e9f64..1e9).prop_map(Json::Number),
+        "[ -~]{0,10}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
+                .prop_map(Json::Object),
+        ]
+    })
+}
+
+fn mapping_entry() -> impl Strategy<Value = (String, String)> {
+    ("[ -~]{0,14}", "[ -~]{0,14}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn json_display_parse_round_trip(value in json_value()) {
+        let text = value.to_string();
+        let reparsed = json::parse(&text).expect("display output parses");
+        // Numbers may lose nothing (we emit full f64); compare directly.
+        prop_assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn json_extract_finds_fenced_payload(value in json_value()) {
+        prop_assume!(matches!(value, Json::Object(_) | Json::Array(_)));
+        let text = format!("Sure, here you go:\n```json\n{value}\n```\ndone.");
+        let extracted = json::extract(&text).expect("extracts");
+        prop_assert_eq!(extracted, value);
+    }
+
+    #[test]
+    fn yaml_cleaning_response_round_trips(
+        explanation in "[ -~]{0,40}",
+        mapping in proptest::collection::vec(mapping_entry(), 0..8),
+    ) {
+        let text = yaml::emit_cleaning_response(&explanation, &mapping);
+        let doc = yaml::extract(&text).expect("parses");
+        prop_assert_eq!(doc.mapping("mapping").expect("mapping present"), mapping.as_slice());
+    }
+
+    #[test]
+    fn json_escape_round_trips(s in "[ -~\\n\\t]{0,24}") {
+        let escaped = json::escape(&s);
+        let parsed = json::parse(&escaped).expect("escaped string parses");
+        prop_assert_eq!(parsed, Json::String(s));
+    }
+}

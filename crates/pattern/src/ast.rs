@@ -1,0 +1,99 @@
+//! Regex abstract syntax tree.
+
+use crate::classes::CharClass;
+
+/// A parsed regular expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except newline.
+    Any,
+    /// A character class.
+    Class(CharClass),
+    /// `^` anchor.
+    Start,
+    /// `$` anchor.
+    End,
+    /// Capturing (`Some(index)`, 1-based) or non-capturing group.
+    Group(Box<Ast>, Option<usize>),
+    /// Sequence of nodes.
+    Concat(Vec<Ast>),
+    /// Ordered alternation.
+    Alternate(Vec<Ast>),
+    /// Repetition: `min..=max` copies (`max = None` means unbounded).
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+}
+
+impl Ast {
+    /// Number of capture groups in this subtree.
+    pub fn capture_count(&self) -> usize {
+        match self {
+            Ast::Group(inner, idx) => {
+                usize::from(idx.is_some()) + inner.capture_count()
+            }
+            Ast::Concat(items) | Ast::Alternate(items) => {
+                items.iter().map(Ast::capture_count).sum()
+            }
+            Ast::Repeat { node, .. } => node.capture_count(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the subtree can match the empty string (used to guard
+    /// unbounded repetition of nullable nodes against infinite loops).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Start | Ast::End => true,
+            Ast::Literal(_) | Ast::Any | Ast::Class(_) => false,
+            Ast::Group(inner, _) => inner.is_nullable(),
+            Ast::Concat(items) => items.iter().all(Ast::is_nullable),
+            Ast::Alternate(items) => items.iter().any(Ast::is_nullable),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_count_nested() {
+        // (a(b))(c)
+        let ast = Ast::Concat(vec![
+            Ast::Group(
+                Box::new(Ast::Concat(vec![
+                    Ast::Literal('a'),
+                    Ast::Group(Box::new(Ast::Literal('b')), Some(2)),
+                ])),
+                Some(1),
+            ),
+            Ast::Group(Box::new(Ast::Literal('c')), Some(3)),
+        ]);
+        assert_eq!(ast.capture_count(), 3);
+    }
+
+    #[test]
+    fn non_capturing_groups_not_counted() {
+        let ast = Ast::Group(Box::new(Ast::Literal('a')), None);
+        assert_eq!(ast.capture_count(), 0);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!Ast::Literal('a').is_nullable());
+        assert!(Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 0,
+            max: None,
+            greedy: true
+        }
+        .is_nullable());
+        assert!(!Ast::Concat(vec![Ast::Literal('a'), Ast::Empty]).is_nullable());
+        assert!(Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]).is_nullable());
+    }
+}

@@ -1,0 +1,144 @@
+//! Character classes: `[a-z]`, `\d`, `\w`, `\s` and negations.
+
+/// A set of characters expressed as inclusive ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    ranges: Vec<(char, char)>,
+    negated: bool,
+}
+
+impl CharClass {
+    /// Builds a class from ranges; ranges are normalised (sorted, merged).
+    pub fn new(mut ranges: Vec<(char, char)>, negated: bool) -> Self {
+        ranges.retain(|(lo, hi)| lo <= hi);
+        ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                Some((_, prev_hi)) if lo as u32 <= *prev_hi as u32 + 1 => {
+                    if hi > *prev_hi {
+                        *prev_hi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        CharClass { ranges: merged, negated }
+    }
+
+    /// `\d` — ASCII digits.
+    pub fn digit() -> Self {
+        CharClass::new(vec![('0', '9')], false)
+    }
+
+    /// `\D`
+    pub fn not_digit() -> Self {
+        CharClass::new(vec![('0', '9')], true)
+    }
+
+    /// `\w` — word characters `[A-Za-z0-9_]`.
+    pub fn word() -> Self {
+        CharClass::new(vec![('A', 'Z'), ('a', 'z'), ('0', '9'), ('_', '_')], false)
+    }
+
+    /// `\W`
+    pub fn not_word() -> Self {
+        CharClass::new(vec![('A', 'Z'), ('a', 'z'), ('0', '9'), ('_', '_')], true)
+    }
+
+    /// `\s` — ASCII whitespace.
+    pub fn space() -> Self {
+        CharClass::new(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')], false)
+    }
+
+    /// `\S`
+    pub fn not_space() -> Self {
+        let mut c = Self::space();
+        c.negated = true;
+        c
+    }
+
+    /// Whether `c` belongs to this class.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+        inside != self.negated
+    }
+
+    /// Adds all ranges of `other` into `self` (used while parsing `[\d\s]`).
+    pub fn union_ranges(&mut self, other: &CharClass) {
+        debug_assert!(!other.negated, "only positive shorthand merges are supported");
+        let mut ranges = std::mem::take(&mut self.ranges);
+        ranges.extend(other.ranges.iter().copied());
+        *self = CharClass::new(ranges, self.negated);
+    }
+
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    pub fn ranges(&self) -> &[(char, char)] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_class() {
+        let d = CharClass::digit();
+        assert!(d.contains('0') && d.contains('9'));
+        assert!(!d.contains('a'));
+        assert!(CharClass::not_digit().contains('a'));
+        assert!(!CharClass::not_digit().contains('5'));
+    }
+
+    #[test]
+    fn word_class() {
+        let w = CharClass::word();
+        for c in ['a', 'Z', '0', '_'] {
+            assert!(w.contains(c));
+        }
+        assert!(!w.contains('-'));
+    }
+
+    #[test]
+    fn space_class() {
+        assert!(CharClass::space().contains(' '));
+        assert!(CharClass::space().contains('\t'));
+        assert!(!CharClass::space().contains('x'));
+        assert!(CharClass::not_space().contains('x'));
+    }
+
+    #[test]
+    fn ranges_merge() {
+        let c = CharClass::new(vec![('a', 'c'), ('b', 'f'), ('h', 'i')], false);
+        assert_eq!(c.ranges(), &[('a', 'f'), ('h', 'i')]);
+        // adjacent ranges merge too
+        let c = CharClass::new(vec![('a', 'b'), ('c', 'd')], false);
+        assert_eq!(c.ranges(), &[('a', 'd')]);
+    }
+
+    #[test]
+    fn negation() {
+        let not_vowel = CharClass::new(vec![('a', 'a'), ('e', 'e')], true);
+        assert!(not_vowel.contains('b'));
+        assert!(!not_vowel.contains('a'));
+    }
+
+    #[test]
+    fn union_extends() {
+        let mut c = CharClass::new(vec![('a', 'z')], false);
+        c.union_ranges(&CharClass::digit());
+        assert!(c.contains('5'));
+        assert!(c.contains('m'));
+    }
+
+    #[test]
+    fn inverted_range_dropped() {
+        let c = CharClass::new(vec![('z', 'a')], false);
+        assert!(c.ranges().is_empty());
+        assert!(!c.contains('m'));
+    }
+}

@@ -1,0 +1,165 @@
+//! Pattern digests: generalising concrete values into regex-like shapes.
+//!
+//! The statistical half of pattern-outlier detection (§2.1.2) groups a
+//! column's values by *shape*: `"01/02/2003"` and `"11/12/2014"` share the
+//! shape `\d{2}/\d{2}/\d{4}`, while `"2003-01-02"` does not. The LLM then
+//! reviews the distinct shapes (a small set) instead of the raw values
+//! (a large set).
+
+use crate::parser::escape;
+
+/// Character categories used when building digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Cat {
+    Digit,
+    Upper,
+    Lower,
+    Space,
+    Other(char),
+}
+
+fn categorize(c: char) -> Cat {
+    if c.is_ascii_digit() {
+        Cat::Digit
+    } else if c.is_ascii_uppercase() {
+        Cat::Upper
+    } else if c.is_ascii_lowercase() {
+        Cat::Lower
+    } else if c == ' ' || c == '\t' {
+        Cat::Space
+    } else {
+        Cat::Other(c)
+    }
+}
+
+/// Exact digest: runs of a category become a counted class
+/// (`\d{2}`, `[a-z]{3}`); punctuation is escaped literally.
+///
+/// The result is always a valid pattern for this crate's regex engine and
+/// fully matches the originating string.
+pub fn exact_digest(value: &str) -> String {
+    digest_with(value, true)
+}
+
+/// Loose digest: counts are collapsed to `+`, and letter case is folded into
+/// a single `[A-Za-z]` class. Groups differently-long but same-structured
+/// values together (`"7"` and `"42"` both become `\d+`).
+pub fn loose_digest(value: &str) -> String {
+    digest_with(value, false)
+}
+
+fn digest_with(value: &str, exact: bool) -> String {
+    let mut out = String::new();
+    let mut run: Option<(Cat, usize)> = None;
+    let flush = |out: &mut String, cat: Cat, count: usize| {
+        let class = match cat {
+            Cat::Digit => r"\d".to_string(),
+            Cat::Upper => {
+                if exact {
+                    "[A-Z]".to_string()
+                } else {
+                    "[A-Za-z]".to_string()
+                }
+            }
+            Cat::Lower => {
+                if exact {
+                    "[a-z]".to_string()
+                } else {
+                    "[A-Za-z]".to_string()
+                }
+            }
+            Cat::Space => r"\s".to_string(),
+            Cat::Other(c) => escape(&c.to_string()),
+        };
+        out.push_str(&class);
+        if matches!(cat, Cat::Other(_)) {
+            // literal punctuation repeats are spelled out by the run count
+            if exact && count > 1 {
+                out.push_str(&format!("{{{count}}}"));
+            } else if !exact && count > 1 {
+                out.push('+');
+            }
+        } else if exact {
+            if count > 1 {
+                out.push_str(&format!("{{{count}}}"));
+            }
+        } else {
+            out.push('+');
+        }
+    };
+    for c in value.chars() {
+        let mut cat = categorize(c);
+        if !exact {
+            // fold case so "Abc" and "ABC" share a loose digest
+            if cat == Cat::Upper {
+                cat = Cat::Lower;
+            }
+        }
+        match run {
+            Some((current, ref mut count)) if current == cat => *count += 1,
+            Some((current, count)) => {
+                flush(&mut out, current, count);
+                run = Some((cat, 1));
+            }
+            None => run = Some((cat, 1)),
+        }
+    }
+    if let Some((cat, count)) = run {
+        flush(&mut out, cat, count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    #[test]
+    fn date_digest() {
+        assert_eq!(exact_digest("01/02/2003"), r"\d{2}/\d{2}/\d{4}");
+        assert_eq!(exact_digest("1/2/2003"), r"\d/\d/\d{4}");
+    }
+
+    #[test]
+    fn word_digest() {
+        assert_eq!(exact_digest("Hello"), "[A-Z][a-z]{4}");
+        assert_eq!(exact_digest("abc def"), r"[a-z]{3}\s[a-z]{3}");
+    }
+
+    #[test]
+    fn punctuation_escaped() {
+        assert_eq!(exact_digest("a.b"), r"[a-z]\.[a-z]");
+        assert_eq!(exact_digest("(12)"), r"\(\d{2}\)");
+        assert_eq!(exact_digest("--"), r"-{2}");
+    }
+
+    #[test]
+    fn loose_digest_collapses() {
+        assert_eq!(loose_digest("7"), loose_digest("4242"));
+        assert_eq!(loose_digest("Abc"), loose_digest("XYZ"));
+        assert_ne!(loose_digest("abc"), loose_digest("a1c"));
+    }
+
+    #[test]
+    fn exact_digest_fully_matches_source() {
+        for value in ["01/02/2003", "AA-1733-ORD-PHX", "10:30 p.m.", "x", "", "a  b"] {
+            let digest = exact_digest(value);
+            if value.is_empty() {
+                assert_eq!(digest, "");
+                continue;
+            }
+            let re = Regex::new(&digest).unwrap();
+            assert!(re.full_match(value), "digest {digest:?} must match {value:?}");
+        }
+    }
+
+    #[test]
+    fn loose_digest_matches_source_too() {
+        for value in ["01/02/2003", "eng", "N/A", "90 min"] {
+            let digest = loose_digest(value);
+            let re = Regex::new(&digest).unwrap();
+            assert!(re.full_match(value), "digest {digest:?} must match {value:?}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! # cocoon-pattern
+//!
+//! A from-scratch regular-expression engine sized for data cleaning.
+//!
+//! Cocoon's pattern-outlier step (§2.1.2 of the paper) asks an LLM to write
+//! "semantically meaningful" regexes such as `\d{2}/\d{2}/\d{4}`, verifies
+//! them against column values with SQL, and cleans via regex transformation.
+//! The original system delegates matching to the database engine; this crate
+//! supplies that capability: a parser ([`parser`]), a bytecode compiler and
+//! backtracking VM ([`vm`]), find/replace with capture templates
+//! ([`replace`]), and value-shape digests ([`digest`]) used by the
+//! statistical detector.
+//!
+//! ```
+//! use cocoon_pattern::Regex;
+//!
+//! let date = Regex::new(r"(\d{2})/(\d{2})/(\d{4})").unwrap();
+//! assert!(date.full_match("01/02/2003"));
+//! assert_eq!(date.replace_all("01/02/2003", "$3-$1-$2"), "2003-01-02");
+//! ```
+
+pub mod ast;
+pub mod classes;
+pub mod digest;
+pub mod parser;
+pub mod replace;
+pub mod vm;
+
+pub use classes::CharClass;
+pub use digest::{exact_digest, loose_digest};
+pub use parser::{escape, ParseError};
+pub use replace::Match;
+
+use replace::{find_all, find_from};
+use vm::{compile, run_at, Program};
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+impl Regex {
+    /// Compiles `pattern`. Errors carry position + message context.
+    pub fn new(pattern: &str) -> Result<Self, ParseError> {
+        let ast = parser::parse(pattern)?;
+        Ok(Regex { pattern: pattern.to_string(), program: compile(&ast) })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capture groups (excluding the whole match).
+    pub fn capture_count(&self) -> usize {
+        self.program.captures
+    }
+
+    /// True if the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        find_from(&self.program, &chars, 0).is_some()
+    }
+
+    /// True if the pattern matches the *entire* `text` — the predicate used
+    /// when verifying LLM-proposed patterns against column values.
+    pub fn full_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        run_at(&self.program, &chars, 0)
+            .and_then(|m| m.group(0))
+            .is_some_and(|(s, e)| s == 0 && e == chars.len())
+    }
+
+    /// Leftmost match, if any.
+    pub fn find(&self, text: &str) -> Option<Match> {
+        let chars: Vec<char> = text.chars().collect();
+        find_from(&self.program, &chars, 0)
+    }
+
+    /// All non-overlapping matches.
+    pub fn find_iter(&self, text: &str) -> Vec<Match> {
+        let chars: Vec<char> = text.chars().collect();
+        find_all(&self.program, &chars)
+    }
+
+    /// Capture groups of the leftmost match, as owned strings
+    /// (index 0 = whole match; unset groups are `None`).
+    pub fn captures(&self, text: &str) -> Option<Vec<Option<String>>> {
+        let chars: Vec<char> = text.chars().collect();
+        let m = find_from(&self.program, &chars, 0)?;
+        let mut groups = Vec::with_capacity(self.program.captures + 1);
+        for k in 0..=self.program.captures {
+            groups.push(m.result.group(k).map(|(s, e)| chars[s..e].iter().collect()));
+        }
+        Some(groups)
+    }
+
+    /// Replaces all matches using a `$1`-style template.
+    pub fn replace_all(&self, text: &str, template: &str) -> String {
+        replace::replace_all(&self.program, text, template)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_round_trip() {
+        let re = Regex::new(r"(\d+)-(\d+)").unwrap();
+        assert_eq!(re.capture_count(), 2);
+        assert!(re.is_match("x 12-34 y"));
+        assert!(!re.full_match("x 12-34 y"));
+        assert!(re.full_match("12-34"));
+        let caps = re.captures("12-34").unwrap();
+        assert_eq!(caps[1].as_deref(), Some("12"));
+        assert_eq!(caps[2].as_deref(), Some("34"));
+        assert_eq!(re.replace_all("12-34", "$2-$1"), "34-12");
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        let re = Regex::new("a+").unwrap();
+        assert_eq!(re.pattern(), "a+");
+    }
+
+    #[test]
+    fn find_iter_spans() {
+        let re = Regex::new("ab").unwrap();
+        let all = re.find_iter("abxab");
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[1].start, all[1].end), (3, 5));
+    }
+
+    #[test]
+    fn invalid_pattern_is_error() {
+        assert!(Regex::new("(").is_err());
+    }
+
+    #[test]
+    fn meaningful_paper_patterns() {
+        // Patterns the paper's LLM is described as generating.
+        let date = Regex::new(r"\d{2}/\d{2}/\d{4}").unwrap();
+        assert!(date.full_match("12/25/2021"));
+        assert!(!date.full_match("2021-12-25"));
+
+        let duration = Regex::new(r"\d+ min").unwrap();
+        assert!(duration.full_match("100 min"));
+
+        let flight = Regex::new(r"[A-Z]{2}-\d+-[A-Z]{3}-[A-Z]{3}").unwrap();
+        assert!(flight.full_match("AA-1733-ORD-PHX"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Recursive-descent regex parser.
+//!
+//! Supported syntax (the subset the paper's pattern prompts emit):
+//! literals, `.`, `^`, `$`, escapes (`\d \D \w \W \s \S \. \\ \n \t \r` …),
+//! classes `[a-z0-9_]` / `[^…]` with shorthands inside, groups `(…)` and
+//! `(?:…)`, alternation `|`, quantifiers `* + ?` and `{m}`, `{m,}`, `{m,n}`,
+//! each with an optional lazy `?` suffix.
+
+use crate::ast::Ast;
+use crate::classes::CharClass;
+use std::fmt;
+
+/// A regex syntax error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Hard cap for `{m,n}` repetition counts; keeps compiled programs small.
+pub const MAX_REPEAT: u32 = 1000;
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    next_group: usize,
+}
+
+/// Parses `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut parser = Parser { chars: pattern.chars().collect(), pos: 0, next_group: 1 };
+    let ast = parser.alternation()?;
+    if parser.pos != parser.chars.len() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(ast)
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                let save = self.pos;
+                match self.counted_repeat() {
+                    Some(bounds) => bounds,
+                    None => {
+                        // Not a quantifier — treat `{` as a literal.
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::Start | Ast::End) {
+            return Err(self.error("cannot repeat an anchor"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.error("repetition max below min"));
+            }
+            if max > MAX_REPEAT {
+                return Err(self.error("repetition count too large"));
+            }
+        }
+        if min > MAX_REPEAT {
+            return Err(self.error("repetition count too large"));
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}` after the `{` has been peeked.
+    /// Returns `None` (without consuming definitively) if malformed, so the
+    /// brace can fall back to a literal.
+    fn counted_repeat(&mut self) -> Option<(u32, Option<u32>)> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let min = self.number()?;
+        if self.eat('}') {
+            return Some((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return None;
+        }
+        if self.eat('}') {
+            return Some((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat('}') {
+            return None;
+        }
+        Some((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+        digits.parse().ok()
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            Some('(') => self.group(),
+            Some('[') => self.class(),
+            Some('\\') => self.escape(),
+            Some('.') => {
+                self.bump();
+                Ok(Ast::Any)
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::Start)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::End)
+            }
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(self.error(format!("dangling quantifier {c:?}")))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+            None => Err(self.error("unexpected end of pattern")),
+        }
+    }
+
+    fn group(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('('));
+        self.bump();
+        let capture = if self.peek() == Some('?') {
+            // Only (?:...) is supported of the (?...) family.
+            self.bump();
+            if !self.eat(':') {
+                return Err(self.error("unsupported group flag (only (?:…) is supported)"));
+            }
+            None
+        } else {
+            let idx = self.next_group;
+            self.next_group += 1;
+            Some(idx)
+        };
+        let inner = self.alternation()?;
+        if !self.eat(')') {
+            return Err(self.error("unclosed group"));
+        }
+        Ok(Ast::Group(Box::new(inner), capture))
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.bump();
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut shorthand_parts: Vec<CharClass> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = self.bump().ok_or_else(|| self.error("unclosed character class"))?;
+            match c {
+                ']' if !first => break,
+                '\\' => {
+                    let esc = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                    match esc {
+                        'd' => shorthand_parts.push(CharClass::digit()),
+                        'w' => shorthand_parts.push(CharClass::word()),
+                        's' => shorthand_parts.push(CharClass::space()),
+                        'n' => ranges.push(('\n', '\n')),
+                        't' => ranges.push(('\t', '\t')),
+                        'r' => ranges.push(('\r', '\r')),
+                        other => ranges.push((other, other)),
+                    }
+                }
+                lo => {
+                    // Possible range lo-hi (but `-` just before `]` is literal).
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied().is_some_and(|c| c != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = match self.bump() {
+                            Some('\\') => self
+                                .bump()
+                                .ok_or_else(|| self.error("dangling escape"))?,
+                            Some(h) => h,
+                            None => return Err(self.error("unclosed character class")),
+                        };
+                        if hi < lo {
+                            return Err(self.error("inverted class range"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+            first = false;
+        }
+        let mut class = CharClass::new(ranges, negated);
+        for part in &shorthand_parts {
+            class.union_ranges(part);
+        }
+        Ok(Ast::Class(class))
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('\\'));
+        self.bump();
+        let c = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+        Ok(match c {
+            'd' => Ast::Class(CharClass::digit()),
+            'D' => Ast::Class(CharClass::not_digit()),
+            'w' => Ast::Class(CharClass::word()),
+            'W' => Ast::Class(CharClass::not_word()),
+            's' => Ast::Class(CharClass::space()),
+            'S' => Ast::Class(CharClass::not_space()),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            'b' => return Err(self.error("word boundaries are not supported")),
+            other => Ast::Literal(other),
+        })
+    }
+}
+
+/// Escapes a literal string so it matches itself as a pattern.
+pub fn escape(literal: &str) -> String {
+    let mut out = String::with_capacity(literal.len());
+    for c in literal.chars() {
+        if "\\.+*?()|[]{}^$".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_sequence() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn alternation_branches() {
+        let ast = parse("a|b|c").unwrap();
+        match ast {
+            Ast::Alternate(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        match parse("a*").unwrap() {
+            Ast::Repeat { min: 0, max: None, greedy: true, .. } => {}
+            other => panic!("bad star: {other:?}"),
+        }
+        match parse("a+?").unwrap() {
+            Ast::Repeat { min: 1, max: None, greedy: false, .. } => {}
+            other => panic!("bad lazy plus: {other:?}"),
+        }
+        match parse("a{2,4}").unwrap() {
+            Ast::Repeat { min: 2, max: Some(4), .. } => {}
+            other => panic!("bad counted: {other:?}"),
+        }
+        match parse("a{3}").unwrap() {
+            Ast::Repeat { min: 3, max: Some(3), .. } => {}
+            other => panic!("bad exact: {other:?}"),
+        }
+        match parse("a{2,}").unwrap() {
+            Ast::Repeat { min: 2, max: None, .. } => {}
+            other => panic!("bad open: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_brace_is_literal() {
+        // `{x}` is not a quantifier — must parse as literals.
+        let ast = parse("a{x}").unwrap();
+        match ast {
+            Ast::Concat(items) => assert_eq!(items.len(), 4),
+            other => panic!("expected literals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groups_capture_indices() {
+        let ast = parse("(a)(?:b)(c)").unwrap();
+        assert_eq!(ast.capture_count(), 2);
+    }
+
+    #[test]
+    fn class_parsing() {
+        match parse("[a-f0-9]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains('b') && c.contains('7'));
+                assert!(!c.contains('z'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+        match parse("[^0-9]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains('x'));
+                assert!(!c.contains('3'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_shorthand_and_literal_dash() {
+        match parse(r"[\d_-]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains('5') && c.contains('_') && c.contains('-'));
+                assert!(!c.contains('a'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_close_bracket_is_literal() {
+        match parse("[]a]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains(']') && c.contains('a'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(parse(r"\.").unwrap(), Ast::Literal('.'));
+        assert_eq!(parse(r"\\").unwrap(), Ast::Literal('\\'));
+        match parse(r"\d").unwrap() {
+            Ast::Class(c) => assert!(c.contains('5')),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse(r"\").is_err());
+        assert!(parse("a{4,2}").is_err());
+        assert!(parse("a{2000}").is_err());
+        assert!(parse("^*").is_err());
+        assert!(parse("(?=a)").is_err());
+    }
+
+    #[test]
+    fn paper_date_pattern_parses() {
+        // The motivating pattern from §2.1.2.
+        let ast = parse(r"\d{2}/\d{2}/\d{4}").unwrap();
+        assert_eq!(ast.capture_count(), 0);
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        assert_eq!(escape("a.b"), r"a\.b");
+        assert_eq!(escape("(x)"), r"\(x\)");
+        let parsed = parse(&escape("1+1=2?")).unwrap();
+        assert!(matches!(parsed, Ast::Concat(_)));
+    }
+}

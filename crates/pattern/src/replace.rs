@@ -1,0 +1,158 @@
+//! Find / replace over compiled patterns.
+
+use crate::vm::{run_at, MatchResult, Program};
+
+/// A single match with resolved character spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Start (inclusive) char index of the whole match.
+    pub start: usize,
+    /// End (exclusive) char index.
+    pub end: usize,
+    /// Capture spans (group 0 = whole match).
+    pub result: MatchResult,
+}
+
+/// Finds the leftmost match at or after `from`.
+pub fn find_from(prog: &Program, chars: &[char], from: usize) -> Option<Match> {
+    for start in from..=chars.len() {
+        if let Some(result) = run_at(prog, chars, start) {
+            let (s, e) = result.group(0)?;
+            return Some(Match { start: s, end: e, result });
+        }
+    }
+    None
+}
+
+/// Iterates non-overlapping matches left to right.
+pub fn find_all(prog: &Program, chars: &[char]) -> Vec<Match> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos <= chars.len() {
+        match find_from(prog, chars, pos) {
+            Some(m) => {
+                let next = if m.end == m.start { m.end + 1 } else { m.end };
+                out.push(m);
+                pos = next;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Expands a replacement template against a match.
+///
+/// `$0`…`$9` refer to capture groups; `$$` is a literal dollar. Unset groups
+/// expand to the empty string.
+pub fn expand_template(template: &str, chars: &[char], m: &Match) -> String {
+    let mut out = String::new();
+    let mut iter = template.chars().peekable();
+    while let Some(c) = iter.next() {
+        if c != '$' {
+            out.push(c);
+            continue;
+        }
+        match iter.peek() {
+            Some('$') => {
+                iter.next();
+                out.push('$');
+            }
+            Some(d) if d.is_ascii_digit() => {
+                let idx = d.to_digit(10).unwrap() as usize;
+                iter.next();
+                if let Some((s, e)) = m.result.group(idx) {
+                    out.extend(&chars[s..e]);
+                }
+            }
+            _ => out.push('$'),
+        }
+    }
+    out
+}
+
+/// Replaces every non-overlapping match with the expanded `template`.
+pub fn replace_all(prog: &Program, text: &str, template: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let matches = find_all(prog, &chars);
+    if matches.is_empty() {
+        return text.to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut pos = 0usize;
+    for m in &matches {
+        out.extend(&chars[pos..m.start]);
+        out.push_str(&expand_template(template, &chars, m));
+        pos = m.end;
+    }
+    out.extend(&chars[pos..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::vm::compile;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn find_leftmost() {
+        let p = prog(r"\d+");
+        let chars: Vec<char> = "ab12cd345".chars().collect();
+        let m = find_from(&p, &chars, 0).unwrap();
+        assert_eq!((m.start, m.end), (2, 4));
+        let m = find_from(&p, &chars, 4).unwrap();
+        assert_eq!((m.start, m.end), (6, 9));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let p = prog(r"\d+");
+        let chars: Vec<char> = "1a22b333".chars().collect();
+        let all = find_all(&p, &chars);
+        assert_eq!(all.len(), 3);
+        assert_eq!((all[2].start, all[2].end), (5, 8));
+    }
+
+    #[test]
+    fn empty_match_advances() {
+        let p = prog("a*");
+        let chars: Vec<char> = "bb".chars().collect();
+        let all = find_all(&p, &chars);
+        // empty matches at 0,1,2 — must terminate.
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn replace_swaps_groups() {
+        let p = prog(r"(\d{2})/(\d{2})/(\d{4})");
+        let out = replace_all(&p, "born 01/02/2003 in x", "$3-$1-$2");
+        assert_eq!(out, "born 2003-01-02 in x");
+    }
+
+    #[test]
+    fn replace_multiple_occurrences() {
+        let p = prog("o");
+        assert_eq!(replace_all(&p, "foo boo", "0"), "f00 b00");
+    }
+
+    #[test]
+    fn template_escapes() {
+        let p = prog("x");
+        assert_eq!(replace_all(&p, "x", "$$1"), "$1");
+        assert_eq!(replace_all(&p, "x", "a$"), "a$");
+        // unset group expands empty
+        let p = prog("(a)|b");
+        assert_eq!(replace_all(&p, "b", "[$1]"), "[]");
+    }
+
+    #[test]
+    fn no_match_returns_original() {
+        let p = prog("zzz");
+        assert_eq!(replace_all(&p, "abc", "!"), "abc");
+    }
+}

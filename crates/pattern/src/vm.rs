@@ -1,0 +1,417 @@
+//! Bytecode compiler and backtracking virtual machine.
+
+use crate::ast::Ast;
+use crate::classes::CharClass;
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Match a single literal character.
+    Char(char),
+    /// Match any character except `\n`.
+    Any,
+    /// Match a character class (indexes [`Program::classes`]).
+    Class(usize),
+    /// Try `first` first; on failure, resume at `second`.
+    Split { first: usize, second: usize },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Record the current position into capture slot `slot`.
+    Save(usize),
+    /// Assert beginning of input.
+    AssertStart,
+    /// Assert end of input.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub insts: Vec<Inst>,
+    pub classes: Vec<CharClass>,
+    /// Number of capture groups (excluding the implicit whole-match group 0).
+    pub captures: usize,
+}
+
+/// Compiles an AST into a program. The whole match is wrapped in capture 0.
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { insts: Vec::new(), classes: Vec::new() };
+    c.emit(Inst::Save(0));
+    c.node(ast);
+    c.emit(Inst::Save(1));
+    c.emit(Inst::Match);
+    Program { insts: c.insts, classes: c.classes, captures: ast.capture_count() }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    classes: Vec<CharClass>,
+}
+
+impl Compiler {
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn class_index(&mut self, class: &CharClass) -> usize {
+        if let Some(i) = self.classes.iter().position(|c| c == class) {
+            return i;
+        }
+        self.classes.push(class.clone());
+        self.classes.len() - 1
+    }
+
+    fn node(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                self.emit(Inst::Char(*c));
+            }
+            Ast::Any => {
+                self.emit(Inst::Any);
+            }
+            Ast::Class(class) => {
+                let idx = self.class_index(class);
+                self.emit(Inst::Class(idx));
+            }
+            Ast::Start => {
+                self.emit(Inst::AssertStart);
+            }
+            Ast::End => {
+                self.emit(Inst::AssertEnd);
+            }
+            Ast::Group(inner, capture) => match capture {
+                Some(idx) => {
+                    self.emit(Inst::Save(idx * 2));
+                    self.node(inner);
+                    self.emit(Inst::Save(idx * 2 + 1));
+                }
+                None => self.node(inner),
+            },
+            Ast::Concat(items) => {
+                for item in items {
+                    self.node(item);
+                }
+            }
+            Ast::Alternate(branches) => {
+                // split b1, (split b2, (... bN)); each branch jumps to end.
+                let mut jump_sites = Vec::new();
+                for (i, branch) in branches.iter().enumerate() {
+                    if i + 1 < branches.len() {
+                        let split = self.emit(Inst::Split { first: 0, second: 0 });
+                        let first = self.here();
+                        self.node(branch);
+                        jump_sites.push(self.emit(Inst::Jump(0)));
+                        let second = self.here();
+                        self.insts[split] = Inst::Split { first, second };
+                    } else {
+                        self.node(branch);
+                    }
+                }
+                let end = self.here();
+                for site in jump_sites {
+                    self.insts[site] = Inst::Jump(end);
+                }
+            }
+            Ast::Repeat { node, min, max, greedy } => {
+                self.repeat(node, *min, *max, *greedy);
+            }
+        }
+    }
+
+    fn repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.node(node);
+        }
+        match max {
+            Some(max) => {
+                // Optional copies: (e?){max-min}, nested so each is gated.
+                let optional = max - min;
+                let mut split_sites = Vec::new();
+                for _ in 0..optional {
+                    let split = self.emit(Inst::Split { first: 0, second: 0 });
+                    split_sites.push(split);
+                    let body = self.here();
+                    self.node(node);
+                    let after_placeholder = 0usize;
+                    let _ = after_placeholder;
+                    // fix up after all copies are emitted
+                    self.insts[split] = Inst::Split { first: body, second: usize::MAX };
+                }
+                let end = self.here();
+                for site in split_sites {
+                    if let Inst::Split { first, second } = self.insts[site] {
+                        let (first, second) = if greedy {
+                            (first, end)
+                        } else {
+                            let _ = second;
+                            (end, first)
+                        };
+                        self.insts[site] = Inst::Split { first, second };
+                    }
+                }
+            }
+            None => {
+                // Kleene tail: L: split body, end; body: e; jump L; end:
+                let loop_start = self.emit(Inst::Split { first: 0, second: 0 });
+                let body = self.here();
+                self.node(node);
+                // Nullable bodies could loop forever without consuming; the
+                // VM also guards against zero-width loops at runtime.
+                self.emit(Inst::Jump(loop_start));
+                let end = self.here();
+                let (first, second) = if greedy { (body, end) } else { (end, body) };
+                self.insts[loop_start] = Inst::Split { first, second };
+            }
+        }
+    }
+}
+
+/// Result of a successful match: byte-free char-index spans per slot pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// `slots[2k]`/`slots[2k+1]` = start/end (char indices) of group `k`;
+    /// group 0 is the whole match. `usize::MAX` marks an unset slot.
+    pub slots: Vec<usize>,
+}
+
+impl MatchResult {
+    /// Span of group `k`, if it participated in the match.
+    pub fn group(&self, k: usize) -> Option<(usize, usize)> {
+        let start = *self.slots.get(2 * k)?;
+        let end = *self.slots.get(2 * k + 1)?;
+        if start == usize::MAX || end == usize::MAX {
+            None
+        } else {
+            Some((start, end))
+        }
+    }
+}
+
+/// Execution budget: generous for cell-sized inputs, finite for pathology.
+const MAX_STEPS: usize = 1_000_000;
+
+/// Runs `prog` anchored at `start` over `text` (as chars). Returns capture
+/// slots on success. Backtracking search, greedy-respecting.
+pub fn run_at(prog: &Program, text: &[char], start: usize) -> Option<MatchResult> {
+    let mut slots = vec![usize::MAX; (prog.captures + 1) * 2];
+    let mut steps = 0usize;
+    let mut path = std::collections::HashSet::new();
+    if exec(prog, text, 0, start, &mut slots, &mut steps, &mut path) {
+        Some(MatchResult { slots })
+    } else {
+        None
+    }
+}
+
+fn exec(
+    prog: &Program,
+    text: &[char],
+    mut pc: usize,
+    mut pos: usize,
+    slots: &mut Vec<usize>,
+    steps: &mut usize,
+    path: &mut std::collections::HashSet<(usize, usize)>,
+) -> bool {
+    loop {
+        *steps += 1;
+        if *steps > MAX_STEPS {
+            return false;
+        }
+        match &prog.insts[pc] {
+            Inst::Char(c) => {
+                if text.get(pos) == Some(c) {
+                    pc += 1;
+                    pos += 1;
+                } else {
+                    return false;
+                }
+            }
+            Inst::Any => {
+                match text.get(pos) {
+                    Some(&c) if c != '\n' => {
+                        pc += 1;
+                        pos += 1;
+                    }
+                    _ => return false,
+                }
+            }
+            Inst::Class(idx) => {
+                match text.get(pos) {
+                    Some(&c) if prog.classes[*idx].contains(c) => {
+                        pc += 1;
+                        pos += 1;
+                    }
+                    _ => return false,
+                }
+            }
+            Inst::Split { first, second } => {
+                // Zero-width-loop guard: re-entering the same split at the
+                // same position without consuming input cannot discover new
+                // matches; fail this branch to keep the search finite.
+                if !path.insert((pc, pos)) {
+                    return false;
+                }
+                let saved = slots.clone();
+                let hit = exec(prog, text, *first, pos, slots, steps, path);
+                if hit {
+                    path.remove(&(pc, pos));
+                    return true;
+                }
+                *slots = saved;
+                let hit = exec(prog, text, *second, pos, slots, steps, path);
+                path.remove(&(pc, pos));
+                return hit;
+            }
+            Inst::Jump(target) => pc = *target,
+            Inst::Save(slot) => {
+                let old = slots[*slot];
+                slots[*slot] = pos;
+                let saved_slot = *slot;
+                if exec(prog, text, pc + 1, pos, slots, steps, path) {
+                    return true;
+                }
+                slots[saved_slot] = old;
+                return false;
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    pc += 1;
+                } else {
+                    return false;
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == text.len() {
+                    pc += 1;
+                } else {
+                    return false;
+                }
+            }
+            Inst::Match => return true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(pattern: &str) -> Program {
+        compile(&parse(pattern).unwrap())
+    }
+
+    fn matches(pattern: &str, text: &str) -> bool {
+        let p = prog(pattern);
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|start| run_at(&p, &chars, start).is_some())
+    }
+
+    fn full(pattern: &str, text: &str) -> bool {
+        let p = prog(pattern);
+        let chars: Vec<char> = text.chars().collect();
+        run_at(&p, &chars, 0)
+            .and_then(|m| m.group(0))
+            .is_some_and(|(s, e)| s == 0 && e == chars.len())
+    }
+
+    #[test]
+    fn literals() {
+        assert!(matches("abc", "xxabcxx"));
+        assert!(!matches("abc", "ab"));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        assert!(full("a*", ""));
+        assert!(full("a*", "aaaa"));
+        assert!(!full("a+", ""));
+        assert!(full("a+b", "aaab"));
+    }
+
+    #[test]
+    fn counted_repeats() {
+        assert!(full(r"\d{2}/\d{2}/\d{4}", "01/02/2003"));
+        assert!(!full(r"\d{2}/\d{2}/\d{4}", "1/2/2003"));
+        assert!(full("a{2,3}", "aa"));
+        assert!(full("a{2,3}", "aaa"));
+        assert!(!full("a{2,3}", "aaaa"));
+        assert!(!full("a{2,3}", "a"));
+    }
+
+    #[test]
+    fn alternation_prefers_left() {
+        let p = prog("ab|a");
+        let chars: Vec<char> = "ab".chars().collect();
+        let m = run_at(&p, &chars, 0).unwrap();
+        assert_eq!(m.group(0), Some((0, 2)));
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        let p = prog("a(.*)c");
+        let chars: Vec<char> = "abcbc".chars().collect();
+        let m = run_at(&p, &chars, 0).unwrap();
+        assert_eq!(m.group(1), Some((1, 4))); // greedy: "bcb"
+        let p = prog("a(.*?)c");
+        let m = run_at(&p, &chars, 0).unwrap();
+        assert_eq!(m.group(1), Some((1, 2))); // lazy: "b"
+    }
+
+    #[test]
+    fn captures_nested() {
+        let p = prog(r"(\d+)-(\d+)");
+        let chars: Vec<char> = "12-345".chars().collect();
+        let m = run_at(&p, &chars, 0).unwrap();
+        assert_eq!(m.group(1), Some((0, 2)));
+        assert_eq!(m.group(2), Some((3, 6)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(full("^abc$", "abc"));
+        assert!(!matches("^b", "ab"));
+        let p = prog("c$");
+        let chars: Vec<char> = "abc".chars().collect();
+        assert!(run_at(&p, &chars, 2).is_some());
+        assert!(run_at(&p, &chars, 1).is_none());
+    }
+
+    #[test]
+    fn nullable_star_terminates() {
+        // (a?)* could loop forever; the step budget must stop it and since
+        // empty matches are fine, it should match the empty prefix.
+        assert!(matches("(a?)*", "b"));
+    }
+
+    #[test]
+    fn optional_groups_unset() {
+        let p = prog("(a)?b");
+        let chars: Vec<char> = "b".chars().collect();
+        let m = run_at(&p, &chars, 0).unwrap();
+        assert_eq!(m.group(1), None);
+        assert_eq!(m.group(0), Some((0, 1)));
+    }
+
+    #[test]
+    fn classes_in_vm() {
+        assert!(full(r"[a-z]+\d", "abc7"));
+        assert!(!full(r"[^x]+", "axa"));
+        assert!(full(r"[^x]+", "aba"));
+    }
+
+    #[test]
+    fn unicode_characters() {
+        assert!(full("héllo.", "héllo—"));
+        assert!(matches("ü+", "süüß"));
+    }
+}

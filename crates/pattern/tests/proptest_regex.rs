@@ -1,0 +1,74 @@
+//! Property tests: the regex engine against structural invariants and a
+//! naive reference implementation for literal patterns.
+
+use cocoon_pattern::{escape, exact_digest, loose_digest, Regex};
+use proptest::prelude::*;
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-c0-2/. ]{0,10}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn escaped_literal_matches_itself_and_only_at_its_position(s in text()) {
+        let re = Regex::new(&escape(&s)).expect("escaped pattern compiles");
+        prop_assert!(re.full_match(&s), "escape({s:?}) must full-match");
+        let embedded = format!("xx{s}yy");
+        prop_assert!(re.is_match(&embedded));
+    }
+
+    #[test]
+    fn literal_find_agrees_with_str_find(hay in text(), needle in "[a-c]{1,3}") {
+        let re = Regex::new(&escape(&needle)).expect("compiles");
+        let expected = hay.find(&needle);
+        let found = re.find(&hay).map(|m| m.start);
+        // str::find returns byte offsets; our inputs here are ASCII-only
+        // for [a-c], so char == byte offsets.
+        prop_assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn exact_digest_always_full_matches_source(s in text()) {
+        prop_assume!(!s.is_empty());
+        let digest = exact_digest(&s);
+        let re = Regex::new(&digest).expect("digest compiles");
+        prop_assert!(re.full_match(&s), "digest {digest:?} vs {s:?}");
+    }
+
+    #[test]
+    fn loose_digest_always_full_matches_source(s in text()) {
+        prop_assume!(!s.is_empty());
+        let digest = loose_digest(&s);
+        let re = Regex::new(&digest).expect("digest compiles");
+        prop_assert!(re.full_match(&s), "digest {digest:?} vs {s:?}");
+    }
+
+    #[test]
+    fn same_exact_digest_means_mutual_match(a in text(), b in text()) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        if exact_digest(&a) == exact_digest(&b) {
+            let re = Regex::new(&exact_digest(&a)).expect("compiles");
+            prop_assert!(re.full_match(&b));
+        }
+    }
+
+    #[test]
+    fn replace_with_identity_template_is_noop(s in text()) {
+        let re = Regex::new("(x+)").expect("compiles");
+        prop_assert_eq!(re.replace_all(&s, "$1"), s);
+    }
+
+    #[test]
+    fn star_quantifier_matches_repeats(n in 0usize..6) {
+        let re = Regex::new("^a*$").expect("compiles");
+        prop_assert!(re.full_match(&"a".repeat(n)));
+    }
+
+    #[test]
+    fn counted_quantifier_boundary(n in 0usize..8) {
+        let re = Regex::new("^a{2,4}$").expect("compiles");
+        prop_assert_eq!(re.full_match(&"a".repeat(n)), (2..=4).contains(&n));
+    }
+}

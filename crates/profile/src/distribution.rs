@@ -1,0 +1,159 @@
+//! Value-frequency distributions.
+//!
+//! Example 1 of the paper is driven by exactly this profile: the
+//! `article_language` column is 46.4% `"eng"` and 9.5% `"English"`. The
+//! distribution summary is what gets embedded into LLM prompts.
+
+use cocoon_table::{Column, Value};
+
+/// One distinct value with its occurrence count and share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueFrequency {
+    pub value: Value,
+    pub count: usize,
+    /// Share of the column's non-null cells, in [0, 1].
+    pub fraction: f64,
+}
+
+/// The frequency distribution of a column's non-null values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Distribution {
+    /// Descending by count, ties broken by value order (deterministic).
+    pub frequencies: Vec<ValueFrequency>,
+    pub non_null_count: usize,
+    pub null_count: usize,
+}
+
+impl Distribution {
+    /// Profiles `column`.
+    pub fn of(column: &Column) -> Self {
+        let null_count = column.null_count();
+        let non_null_count = column.len() - null_count;
+        let frequencies = column
+            .distinct_by_frequency()
+            .into_iter()
+            .map(|(value, count)| ValueFrequency {
+                value,
+                count,
+                fraction: if non_null_count == 0 {
+                    0.0
+                } else {
+                    count as f64 / non_null_count as f64
+                },
+            })
+            .collect();
+        Distribution { frequencies, non_null_count, null_count }
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// The most frequent value, if any.
+    pub fn mode(&self) -> Option<&ValueFrequency> {
+        self.frequencies.first()
+    }
+
+    /// The top `k` most frequent values.
+    pub fn top_k(&self, k: usize) -> &[ValueFrequency] {
+        &self.frequencies[..k.min(self.frequencies.len())]
+    }
+
+    /// Values whose share is below `threshold` (candidates for typo review).
+    pub fn rare_values(&self, threshold: f64) -> Vec<&ValueFrequency> {
+        self.frequencies.iter().filter(|f| f.fraction < threshold).collect()
+    }
+
+    /// Fraction of cells that are NULL.
+    pub fn null_fraction(&self) -> f64 {
+        let total = self.non_null_count + self.null_count;
+        if total == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / total as f64
+        }
+    }
+
+    /// Compact one-line-per-value text used inside LLM prompts, e.g.
+    /// `"eng" (46.4%), "English" (9.5%)`.
+    pub fn summary(&self, max_values: usize) -> String {
+        let shown: Vec<String> = self
+            .top_k(max_values)
+            .iter()
+            .map(|f| format!("{:?} ({:.1}%)", f.value.render(), f.fraction * 100.0))
+            .collect();
+        let mut text = shown.join(", ");
+        if self.distinct_count() > max_values {
+            text.push_str(&format!(", … ({} distinct total)", self.distinct_count()));
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lang_column() -> Column {
+        let mut values = Vec::new();
+        for _ in 0..46 {
+            values.push("eng".to_string());
+        }
+        for _ in 0..9 {
+            values.push("English".to_string());
+        }
+        for _ in 0..5 {
+            values.push("fre".to_string());
+        }
+        Column::from_strings(values)
+    }
+
+    #[test]
+    fn frequencies_descending() {
+        let dist = Distribution::of(&lang_column());
+        assert_eq!(dist.distinct_count(), 3);
+        assert_eq!(dist.mode().unwrap().value, Value::Text("eng".into()));
+        assert_eq!(dist.frequencies[0].count, 46);
+        assert!((dist.frequencies[0].fraction - 46.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_separated() {
+        let mut col = lang_column();
+        col.push(Value::Null);
+        col.push(Value::Null);
+        let dist = Distribution::of(&col);
+        assert_eq!(dist.null_count, 2);
+        assert_eq!(dist.non_null_count, 60);
+        assert!((dist.null_fraction() - 2.0 / 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_and_rare() {
+        let dist = Distribution::of(&lang_column());
+        assert_eq!(dist.top_k(2).len(), 2);
+        assert_eq!(dist.top_k(10).len(), 3);
+        let rare = dist.rare_values(0.10);
+        assert_eq!(rare.len(), 1);
+        assert_eq!(rare[0].value, Value::Text("fre".into()));
+    }
+
+    #[test]
+    fn summary_shows_percentages() {
+        let dist = Distribution::of(&lang_column());
+        let s = dist.summary(2);
+        assert!(s.contains("eng"));
+        assert!(s.contains("76.7%"));
+        assert!(s.contains("3 distinct total"));
+    }
+
+    #[test]
+    fn empty_column() {
+        let dist = Distribution::of(&Column::default());
+        assert_eq!(dist.distinct_count(), 0);
+        assert!(dist.mode().is_none());
+        assert_eq!(dist.null_fraction(), 0.0);
+        assert_eq!(dist.summary(5), "");
+    }
+}

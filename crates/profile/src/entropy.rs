@@ -1,0 +1,241 @@
+//! Entropy measurements and functional-dependency candidate scoring.
+//!
+//! Following §2.1.6 (and Beskales et al., the paper's \[2\]), Cocoon only
+//! considers FDs with a single attribute on each side, ranks candidate pairs
+//! by an entropy measurement, and hands the statistically strong ones to the
+//! LLM for a semantic meaningfulness review.
+
+use cocoon_table::{Table, Value};
+use std::collections::HashMap;
+
+/// Shannon entropy (bits) of a discrete distribution given by counts.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Conditional entropy H(rhs | lhs) over the rows of two columns,
+/// considering only rows where both sides are non-null.
+pub fn conditional_entropy(lhs: &[Value], rhs: &[Value]) -> f64 {
+    debug_assert_eq!(lhs.len(), rhs.len());
+    let mut groups: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
+    let mut total = 0usize;
+    for (l, r) in lhs.iter().zip(rhs) {
+        if l.is_null() || r.is_null() {
+            continue;
+        }
+        *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for sub in groups.values() {
+        let counts: Vec<usize> = sub.values().copied().collect();
+        let group_total: usize = counts.iter().sum();
+        h += (group_total as f64 / total as f64) * entropy(&counts);
+    }
+    h
+}
+
+/// A scored single-attribute functional-dependency candidate
+/// `lhs_column → rhs_column`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdCandidate {
+    pub lhs: usize,
+    pub rhs: usize,
+    /// H(rhs | lhs) in bits; 0 means the FD holds exactly.
+    pub conditional_entropy: f64,
+    /// 1 − H(rhs|lhs)/H(rhs) in \[0,1\]; 1 means the FD holds exactly,
+    /// 0 means lhs tells us nothing about rhs.
+    pub strength: f64,
+    /// Number of lhs groups containing more than one distinct rhs value.
+    pub violating_groups: usize,
+}
+
+/// Scores every ordered column pair of `table` as an FD candidate and
+/// returns those with `strength ≥ min_strength`, strongest first.
+///
+/// Pairs where either side is almost-unique (key-like, unique ratio above
+/// `max_unique_ratio`) are skipped: `id → anything` is trivially strong but
+/// semantically vacuous, and the paper's LLM review would reject it anyway.
+pub fn fd_candidates(table: &Table, min_strength: f64, max_unique_ratio: f64) -> Vec<FdCandidate> {
+    let height = table.height();
+    if height == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let width = table.width();
+    // Pre-compute distinct counts for the key-likeness filter.
+    let distinct: Vec<usize> = (0..width)
+        .map(|c| table.column(c).map(|col| col.value_counts().len()).unwrap_or(0))
+        .collect();
+    for lhs in 0..width {
+        let lhs_col = match table.column(lhs) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let lhs_unique_ratio = distinct[lhs] as f64 / height as f64;
+        if lhs_unique_ratio > max_unique_ratio || distinct[lhs] <= 1 {
+            continue;
+        }
+        for (rhs, rhs_distinct) in distinct.iter().copied().enumerate() {
+            if lhs == rhs {
+                continue;
+            }
+            let rhs_col = match table.column(rhs) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            if rhs_distinct <= 1 {
+                continue;
+            }
+            // Key-like rhs columns cannot be FD-determined: every group
+            // would be all-singletons and majority repair meaningless.
+            if rhs_distinct as f64 / height as f64 > max_unique_ratio {
+                continue;
+            }
+            let h_cond = conditional_entropy(lhs_col.values(), rhs_col.values());
+            let rhs_counts: Vec<usize> = rhs_col.value_counts().values().copied().collect();
+            let h_rhs = entropy(&rhs_counts);
+            let strength = if h_rhs == 0.0 { 0.0 } else { 1.0 - h_cond / h_rhs };
+            if strength < min_strength {
+                continue;
+            }
+            let violating_groups = fd_violating_groups(lhs_col.values(), rhs_col.values()).len();
+            out.push(FdCandidate {
+                lhs,
+                rhs,
+                conditional_entropy: h_cond,
+                strength,
+                violating_groups,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.strength
+            .partial_cmp(&a.strength)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.lhs, a.rhs).cmp(&(b.lhs, b.rhs)))
+    });
+    out
+}
+
+/// Groups of rows violating `lhs → rhs`: for each lhs value mapping to more
+/// than one distinct rhs value, returns `(lhs value, rhs value census)` with
+/// the census ordered by descending count.
+pub fn fd_violating_groups(lhs: &[Value], rhs: &[Value]) -> Vec<(Value, Vec<(Value, usize)>)> {
+    let mut groups: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
+    for (l, r) in lhs.iter().zip(rhs) {
+        if l.is_null() || r.is_null() {
+            continue;
+        }
+        *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
+    }
+    let mut out: Vec<(Value, Vec<(Value, usize)>)> = groups
+        .into_iter()
+        .filter(|(_, sub)| sub.len() > 1)
+        .map(|(l, sub)| {
+            let mut census: Vec<(Value, usize)> =
+                sub.into_iter().map(|(v, c)| (v.clone(), c)).collect();
+            census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            (l.clone(), census)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_table::Table;
+
+    fn table(rows: &[[&str; 3]]) -> Table {
+        let data: Vec<Vec<String>> =
+            rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect();
+        Table::from_text_rows(&["zip", "city", "name"], &data).unwrap()
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[10]), 0.0);
+        assert!((entropy(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_exact_fd_is_zero() {
+        let lhs: Vec<Value> = ["a", "a", "b", "b"].iter().map(|s| Value::from(*s)).collect();
+        let rhs: Vec<Value> = ["x", "x", "y", "y"].iter().map(|s| Value::from(*s)).collect();
+        assert_eq!(conditional_entropy(&lhs, &rhs), 0.0);
+    }
+
+    #[test]
+    fn conditional_entropy_detects_violations() {
+        let lhs: Vec<Value> = ["a", "a", "a", "a"].iter().map(|s| Value::from(*s)).collect();
+        let rhs: Vec<Value> = ["x", "x", "x", "y"].iter().map(|s| Value::from(*s)).collect();
+        let h = conditional_entropy(&lhs, &rhs);
+        assert!(h > 0.0 && h < 1.0);
+    }
+
+    #[test]
+    fn violating_groups_census_ordered() {
+        let lhs: Vec<Value> = ["z1", "z1", "z1", "z2"].iter().map(|s| Value::from(*s)).collect();
+        let rhs: Vec<Value> =
+            ["Austin", "Austin", "Autsin", "Dallas"].iter().map(|s| Value::from(*s)).collect();
+        let groups = fd_violating_groups(&lhs, &rhs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, Value::from("z1"));
+        assert_eq!(groups[0].1[0], (Value::from("Austin"), 2));
+        assert_eq!(groups[0].1[1], (Value::from("Autsin"), 1));
+    }
+
+    #[test]
+    fn fd_candidates_finds_near_fd() {
+        // zip → city holds except one typo'd row.
+        let t = table(&[
+            ["1", "Austin", "a"],
+            ["1", "Austin", "b"],
+            ["1", "Austin", "c"],
+            ["1", "Autsin", "d"],
+            ["2", "Dallas", "e"],
+            ["2", "Dallas", "f"],
+            ["3", "Waco", "g"],
+            ["3", "Waco", "h"],
+        ]);
+        let candidates = fd_candidates(&t, 0.5, 0.9);
+        let zip_city = candidates.iter().find(|c| c.lhs == 0 && c.rhs == 1).expect("zip→city");
+        assert!(zip_city.strength > 0.5);
+        assert_eq!(zip_city.violating_groups, 1);
+        // name is key-like: never a lhs.
+        assert!(candidates.iter().all(|c| c.lhs != 2));
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let lhs = vec![Value::Null, Value::from("a")];
+        let rhs = vec![Value::from("x"), Value::Null];
+        assert_eq!(conditional_entropy(&lhs, &rhs), 0.0);
+        assert!(fd_violating_groups(&lhs, &rhs).is_empty());
+    }
+
+    #[test]
+    fn empty_table_no_candidates() {
+        let t = Table::from_text_rows::<&str>(&["a", "b", "c"], &[]).unwrap();
+        assert!(fd_candidates(&t, 0.5, 0.9).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Frequent-value sampling and batching.
+//!
+//! §2.1.1: "We sample frequent values (by default 1000) and let LLMs review
+//! whether these values semantically contain typos…  To avoid run out of
+//! context for large datasets, we set the value batch size (by default 1000)
+//! and let LLMs evaluate one batch at a time."
+
+use crate::distribution::Distribution;
+use cocoon_table::Value;
+
+/// Default number of frequent distinct values sampled for review.
+pub const DEFAULT_SAMPLE_SIZE: usize = 1000;
+/// Default number of values cleaned per LLM call.
+pub const DEFAULT_BATCH_SIZE: usize = 1000;
+
+/// The most frequent `limit` distinct values of a distribution.
+pub fn frequent_values(dist: &Distribution, limit: usize) -> Vec<Value> {
+    dist.top_k(limit).iter().map(|f| f.value.clone()).collect()
+}
+
+/// Splits `values` into consecutive batches of at most `batch_size`.
+/// `batch_size == 0` is treated as one giant batch.
+pub fn batches<T: Clone>(values: &[T], batch_size: usize) -> Vec<Vec<T>> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    if batch_size == 0 {
+        return vec![values.to_vec()];
+    }
+    values.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_table::Column;
+
+    #[test]
+    fn frequent_values_ordered_and_limited() {
+        let col = Column::from_strings(["a", "a", "a", "b", "b", "c"]);
+        let dist = Distribution::of(&col);
+        let top = frequent_values(&dist, 2);
+        assert_eq!(top, vec![Value::from("a"), Value::from("b")]);
+        assert_eq!(frequent_values(&dist, 100).len(), 3);
+    }
+
+    #[test]
+    fn batching_shapes() {
+        let values: Vec<i32> = (0..10).collect();
+        let b = batches(&values, 4);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].len(), 4);
+        assert_eq!(b[2].len(), 2);
+        assert_eq!(batches(&values, 0).len(), 1);
+        assert!(batches::<i32>(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn exact_division() {
+        let values: Vec<i32> = (0..8).collect();
+        let b = batches(&values, 4);
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|x| x.len() == 4));
+    }
+}

@@ -1,0 +1,127 @@
+//! Basic numeric summary statistics.
+
+/// Summary statistics over a set of numeric observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericStats {
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    pub median: f64,
+    pub q1: f64,
+    pub q3: f64,
+}
+
+impl NumericStats {
+    /// Computes stats over `values`, ignoring NaNs. Returns `None` when no
+    /// finite observations remain.
+    pub fn compute(values: &[f64]) -> Option<Self> {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(NumericStats {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: quantile_sorted(&sorted, 0.5),
+            q1: quantile_sorted(&sorted, 0.25),
+            q3: quantile_sorted(&sorted, 0.75),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Tukey fences at `k` IQRs (k = 1.5 conventional, 3.0 "far out").
+    pub fn tukey_fences(&self, k: f64) -> (f64, f64) {
+        let iqr = self.iqr();
+        (self.q1 - k * iqr, self.q3 + k * iqr)
+    }
+
+    /// Z-score of `value` under this distribution (0 when σ = 0).
+    pub fn z_score(&self, value: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            0.0
+        } else {
+            (value - self.mean) / self.std_dev
+        }
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted, non-empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = NumericStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile_sorted(&sorted, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        assert!(NumericStats::compute(&[]).is_none());
+        assert!(NumericStats::compute(&[f64::NAN]).is_none());
+        let s = NumericStats::compute(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn tukey_fences_flag_outliers() {
+        let mut values: Vec<f64> = (1..=100).map(f64::from).collect();
+        values.push(10_000.0);
+        let s = NumericStats::compute(&values).unwrap();
+        let (lo, hi) = s.tukey_fences(1.5);
+        assert!(10_000.0 > hi);
+        assert!(1.0 > lo);
+    }
+
+    #[test]
+    fn z_score_degenerate_sigma() {
+        let s = NumericStats::compute(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(s.z_score(100.0), 0.0);
+        let s = NumericStats::compute(&[0.0, 10.0]).unwrap();
+        assert!(s.z_score(10.0) > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Column uniqueness and duplicate-row statistics.
+//!
+//! §2.1.7 (duplication) and §2.1.8 (column uniqueness): the statistical
+//! detections are exact-duplicate row counting and per-column unique ratios.
+
+use cocoon_table::{Column, Table, Value};
+use std::collections::HashMap;
+
+/// Uniqueness profile of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniquenessProfile {
+    pub distinct: usize,
+    pub non_null: usize,
+    /// distinct / non_null in [0, 1]; 1.0 means fully unique (key-like).
+    pub unique_ratio: f64,
+    /// Values occurring more than once, with their counts (desc).
+    pub duplicated_values: Vec<(Value, usize)>,
+}
+
+/// Profiles the uniqueness of `column`.
+pub fn uniqueness_profile(column: &Column) -> UniquenessProfile {
+    let counts = column.value_counts();
+    let non_null = column.len() - column.null_count();
+    let distinct = counts.len();
+    let mut duplicated_values: Vec<(Value, usize)> =
+        counts.into_iter().filter(|(_, c)| *c > 1).collect();
+    duplicated_values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    UniquenessProfile {
+        distinct,
+        non_null,
+        unique_ratio: if non_null == 0 { 0.0 } else { distinct as f64 / non_null as f64 },
+        duplicated_values,
+    }
+}
+
+/// Duplicate-row profile of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplicateProfile {
+    /// Total rows in the table.
+    pub rows: usize,
+    /// Rows that are an exact copy of an earlier row.
+    pub duplicate_rows: usize,
+    /// Number of distinct row values that occur more than once.
+    pub duplicated_groups: usize,
+}
+
+/// Profiles exact row duplication.
+pub fn duplicate_profile(table: &Table) -> DuplicateProfile {
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in table.rows() {
+        *counts.entry(row).or_insert(0) += 1;
+    }
+    let duplicated_groups = counts.values().filter(|&&c| c > 1).count();
+    let duplicate_rows = counts.values().filter(|&&c| c > 1).map(|c| c - 1).sum();
+    DuplicateProfile { rows: table.height(), duplicate_rows, duplicated_groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_ratio_of_key_column() {
+        let col = Column::from_strings(["a", "b", "c"]);
+        let p = uniqueness_profile(&col);
+        assert_eq!(p.unique_ratio, 1.0);
+        assert!(p.duplicated_values.is_empty());
+    }
+
+    #[test]
+    fn duplicated_values_listed() {
+        let col = Column::from_strings(["a", "a", "a", "b", "b", "c"]);
+        let p = uniqueness_profile(&col);
+        assert_eq!(p.distinct, 3);
+        assert_eq!(p.duplicated_values[0], (Value::from("a"), 3));
+        assert_eq!(p.duplicated_values[1], (Value::from("b"), 2));
+    }
+
+    #[test]
+    fn nulls_excluded_from_ratio() {
+        let col = Column::new(vec![Value::Null, Value::from("a")]);
+        let p = uniqueness_profile(&col);
+        assert_eq!(p.non_null, 1);
+        assert_eq!(p.unique_ratio, 1.0);
+        let empty = uniqueness_profile(&Column::default());
+        assert_eq!(empty.unique_ratio, 0.0);
+    }
+
+    #[test]
+    fn duplicate_rows_counted() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["1".into(), "x".into()],
+            vec!["1".into(), "x".into()],
+            vec!["1".into(), "x".into()],
+            vec!["2".into(), "y".into()],
+        ];
+        let t = Table::from_text_rows(&["a", "b"], &rows).unwrap();
+        let p = duplicate_profile(&t);
+        assert_eq!(p.rows, 4);
+        assert_eq!(p.duplicate_rows, 2);
+        assert_eq!(p.duplicated_groups, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Boolean-like value recognition.
+//!
+//! Appendix B: "for 'EmergencyService' in the hospital dataset, the current
+//! values are 'yes' and 'no', which semantically means a boolean." Cocoon
+//! casts such columns to BOOLEAN (`"True"`/`"False"` renderings).
+
+/// Tokens meaning TRUE.
+pub const TRUE_TOKENS: &[&str] = &["yes", "y", "true", "t", "1"];
+/// Tokens meaning FALSE.
+pub const FALSE_TOKENS: &[&str] = &["no", "n", "false", "f", "0"];
+
+/// Interprets a boolean-like token (case-insensitive, trimmed).
+pub fn parse_boolean_token(value: &str) -> Option<bool> {
+    let lowered = value.trim().to_lowercase();
+    if TRUE_TOKENS.contains(&lowered.as_str()) {
+        return Some(true);
+    }
+    if FALSE_TOKENS.contains(&lowered.as_str()) {
+        return Some(false);
+    }
+    None
+}
+
+/// Decides whether a set of distinct values is semantically boolean:
+/// every value parses as a boolean token and both polarities are
+/// representable (a column of all `"1"`s is more likely a count).
+pub fn values_look_boolean<S: AsRef<str>>(distinct_values: &[S]) -> bool {
+    if distinct_values.is_empty() || distinct_values.len() > 4 {
+        return false;
+    }
+    let mut saw_true = false;
+    let mut saw_false = false;
+    for v in distinct_values {
+        match parse_boolean_token(v.as_ref()) {
+            Some(true) => saw_true = true,
+            Some(false) => saw_false = true,
+            None => return false,
+        }
+    }
+    saw_true && saw_false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_parsing() {
+        assert_eq!(parse_boolean_token("YES"), Some(true));
+        assert_eq!(parse_boolean_token(" no "), Some(false));
+        assert_eq!(parse_boolean_token("t"), Some(true));
+        assert_eq!(parse_boolean_token("maybe"), None);
+    }
+
+    #[test]
+    fn emergency_service_case() {
+        assert!(values_look_boolean(&["yes", "no"]));
+        assert!(values_look_boolean(&["Yes", "No", "YES"]));
+    }
+
+    #[test]
+    fn single_polarity_not_boolean() {
+        assert!(!values_look_boolean(&["1"]));
+        assert!(!values_look_boolean(&["yes", "yes"]));
+    }
+
+    #[test]
+    fn non_boolean_rejected() {
+        assert!(!values_look_boolean(&["yes", "no", "maybe"]));
+        assert!(!values_look_boolean::<&str>(&[]));
+        let many = ["yes", "no", "y", "n", "true"];
+        assert!(!values_look_boolean(&many));
+    }
+}

@@ -1,0 +1,103 @@
+//! Country knowledge: names and primary languages.
+//!
+//! The Movies benchmark's misplacement errors put country values into the
+//! language column and vice versa ("the county was incorrectly entered in
+//! the city column" class of §3.1). Repairing them takes real-world
+//! knowledge of which language pairs with which country — exactly the kind
+//! of open-world association the paper credits LLMs with.
+
+/// (country, primary language) pairs. Only countries with a reasonably
+/// unambiguous primary language are listed; the reverse lookup
+/// ([`country_for_language`]) additionally requires the language to map to
+/// a *unique* country (so `English` never guesses between USA/UK).
+pub const COUNTRY_LANGUAGES: &[(&str, &str)] = &[
+    ("usa", "english"),
+    ("uk", "english"),
+    ("india", "hindi"),
+    ("france", "french"),
+    ("italy", "italian"),
+    ("japan", "japanese"),
+    ("germany", "german"),
+    ("china", "chinese"),
+    ("spain", "spanish"),
+    ("russia", "russian"),
+    ("south korea", "korean"),
+    ("brazil", "portuguese"),
+    ("turkey", "turkish"),
+    ("iran", "persian"),
+    ("israel", "hebrew"),
+    ("sweden", "swedish"),
+    ("denmark", "danish"),
+    ("norway", "norwegian"),
+    ("finland", "finnish"),
+    ("greece", "greek"),
+    ("poland", "polish"),
+    ("netherlands", "dutch"),
+    ("thailand", "thai"),
+    ("vietnam", "vietnamese"),
+    ("indonesia", "indonesian"),
+    ("ukraine", "ukrainian"),
+    ("hungary", "hungarian"),
+    ("romania", "romanian"),
+    ("croatia", "croatian"),
+    ("serbia", "serbian"),
+    ("czech republic", "czech"),
+];
+
+/// True when `value` names a country in the table (case-insensitive).
+pub fn is_country_token(value: &str) -> bool {
+    let lowered = value.trim().to_lowercase();
+    COUNTRY_LANGUAGES.iter().any(|(c, _)| *c == lowered)
+}
+
+/// The primary language of `country`, lowercase, if known.
+pub fn language_for_country(country: &str) -> Option<&'static str> {
+    let lowered = country.trim().to_lowercase();
+    COUNTRY_LANGUAGES.iter().find(|(c, _)| *c == lowered).map(|(_, l)| *l)
+}
+
+/// The unique country whose primary language is `language`, lowercase.
+/// Returns `None` when the language is spoken primarily in several listed
+/// countries (e.g. English, Spanish) — guessing would be wrong.
+pub fn country_for_language(language: &str) -> Option<&'static str> {
+    let lowered = language.trim().to_lowercase();
+    let mut hits = COUNTRY_LANGUAGES.iter().filter(|(_, l)| *l == lowered);
+    let first = hits.next()?;
+    if hits.next().is_some() {
+        return None;
+    }
+    Some(first.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        assert!(is_country_token("India"));
+        assert!(is_country_token(" france "));
+        assert!(!is_country_token("hindi"));
+        assert_eq!(language_for_country("India"), Some("hindi"));
+        assert_eq!(language_for_country("atlantis"), None);
+    }
+
+    #[test]
+    fn reverse_lookup_requires_uniqueness() {
+        assert_eq!(country_for_language("Hindi"), Some("india"));
+        assert_eq!(country_for_language("Japanese"), Some("japan"));
+        // English is primary in both USA and UK: refuse to guess.
+        assert_eq!(country_for_language("English"), None);
+        // Spanish is primary in Spain only in this table.
+        assert_eq!(country_for_language("Spanish"), Some("spain"));
+        assert_eq!(country_for_language("klingon"), None);
+    }
+
+    #[test]
+    fn table_is_lowercase() {
+        for (c, l) in COUNTRY_LANGUAGES {
+            assert_eq!(*c, c.to_lowercase());
+            assert_eq!(*l, l.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Date-representation knowledge.
+//!
+//! §2.1 (ordering note) walks through a human-entered date column: fix typos
+//! first (`"1/1/2000x"` → `"1/1/2000"`), then recognise the format families
+//! (`\d{2}/\d{2}/\d{4}`), standardise them, and only then `CAST` to DATE.
+//! This module knows the common textual date families and converts between
+//! them.
+
+use cocoon_table::Date;
+
+/// A recognised textual date format family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateFormat {
+    /// `YYYY-MM-DD`
+    Iso,
+    /// `M/D/YYYY` (with or without zero padding)
+    SlashMdy,
+    /// `Month D, YYYY` (e.g. `January 5, 2001`)
+    LongMdy,
+}
+
+const MONTHS: [&str; 12] = [
+    "january", "february", "march", "april", "may", "june", "july", "august",
+    "september", "october", "november", "december",
+];
+
+/// Detects which family `text` belongs to and parses it.
+pub fn parse_date(text: &str) -> Option<(DateFormat, Date)> {
+    let trimmed = text.trim();
+    if let Some(d) = Date::parse_iso(trimmed) {
+        return Some((DateFormat::Iso, d));
+    }
+    if let Some(d) = Date::parse_mdy(trimmed) {
+        return Some((DateFormat::SlashMdy, d));
+    }
+    parse_long(trimmed).map(|d| (DateFormat::LongMdy, d))
+}
+
+fn parse_long(text: &str) -> Option<Date> {
+    let cleaned = text.replace(',', " ");
+    let mut parts = cleaned.split_whitespace();
+    let month_name = parts.next()?.to_lowercase();
+    let month = MONTHS.iter().position(|m| *m == month_name)? as u8 + 1;
+    let day: u8 = parts.next()?.parse().ok()?;
+    let year: i32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Date::new(year, month, day)
+}
+
+/// Renders `date` in the requested family.
+pub fn format_date(date: Date, format: DateFormat) -> String {
+    match format {
+        DateFormat::Iso => date.to_iso(),
+        DateFormat::SlashMdy => {
+            format!("{}/{}/{:04}", date.month(), date.day(), date.year())
+        }
+        DateFormat::LongMdy => {
+            let month = MONTHS[(date.month() - 1) as usize];
+            let mut m = month.to_string();
+            m[..1].make_ascii_uppercase();
+            format!("{m} {}, {}", date.day(), date.year())
+        }
+    }
+}
+
+/// Converts `text` into `target` format, if it parses as any known family.
+pub fn standardize_date(text: &str, target: DateFormat) -> Option<String> {
+    let (_, date) = parse_date(text)?;
+    Some(format_date(date, target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_detection() {
+        assert_eq!(parse_date("2020-01-02").unwrap().0, DateFormat::Iso);
+        assert_eq!(parse_date("1/2/2020").unwrap().0, DateFormat::SlashMdy);
+        assert_eq!(parse_date("January 2, 2020").unwrap().0, DateFormat::LongMdy);
+        assert!(parse_date("not a date").is_none());
+        assert!(parse_date("Smarch 1, 2020").is_none());
+    }
+
+    #[test]
+    fn all_families_agree() {
+        let d = Date::new(2020, 1, 2).unwrap();
+        for text in ["2020-01-02", "1/2/2020", "January 2, 2020"] {
+            assert_eq!(parse_date(text).unwrap().1, d, "{text}");
+        }
+    }
+
+    #[test]
+    fn formatting_round_trips() {
+        let d = Date::new(1999, 12, 5).unwrap();
+        for fmt in [DateFormat::Iso, DateFormat::SlashMdy, DateFormat::LongMdy] {
+            let text = format_date(d, fmt);
+            let (detected, parsed) = parse_date(&text).unwrap();
+            assert_eq!(detected, fmt);
+            assert_eq!(parsed, d);
+        }
+    }
+
+    #[test]
+    fn standardize_across_families() {
+        assert_eq!(
+            standardize_date("January 2, 2020", DateFormat::Iso).as_deref(),
+            Some("2020-01-02")
+        );
+        assert_eq!(
+            standardize_date("2020-01-02", DateFormat::SlashMdy).as_deref(),
+            Some("1/2/2020")
+        );
+        assert_eq!(standardize_date("garbage", DateFormat::Iso), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! US state names/abbreviations and a gazetteer of cities.
+//!
+//! The Hospital benchmark carries `State`/`City`/`County` columns whose
+//! inconsistencies (`"alabama"` vs `"AL"`, city values misplaced into other
+//! columns) need geographic world knowledge to resolve.
+
+/// (full name, USPS abbreviation) for all 50 states + DC.
+pub const STATES: &[(&str, &str)] = &[
+    ("alabama", "AL"),
+    ("alaska", "AK"),
+    ("arizona", "AZ"),
+    ("arkansas", "AR"),
+    ("california", "CA"),
+    ("colorado", "CO"),
+    ("connecticut", "CT"),
+    ("delaware", "DE"),
+    ("district of columbia", "DC"),
+    ("florida", "FL"),
+    ("georgia", "GA"),
+    ("hawaii", "HI"),
+    ("idaho", "ID"),
+    ("illinois", "IL"),
+    ("indiana", "IN"),
+    ("iowa", "IA"),
+    ("kansas", "KS"),
+    ("kentucky", "KY"),
+    ("louisiana", "LA"),
+    ("maine", "ME"),
+    ("maryland", "MD"),
+    ("massachusetts", "MA"),
+    ("michigan", "MI"),
+    ("minnesota", "MN"),
+    ("mississippi", "MS"),
+    ("missouri", "MO"),
+    ("montana", "MT"),
+    ("nebraska", "NE"),
+    ("nevada", "NV"),
+    ("new hampshire", "NH"),
+    ("new jersey", "NJ"),
+    ("new mexico", "NM"),
+    ("new york", "NY"),
+    ("north carolina", "NC"),
+    ("north dakota", "ND"),
+    ("ohio", "OH"),
+    ("oklahoma", "OK"),
+    ("oregon", "OR"),
+    ("pennsylvania", "PA"),
+    ("rhode island", "RI"),
+    ("south carolina", "SC"),
+    ("south dakota", "SD"),
+    ("tennessee", "TN"),
+    ("texas", "TX"),
+    ("utah", "UT"),
+    ("vermont", "VT"),
+    ("virginia", "VA"),
+    ("washington", "WA"),
+    ("west virginia", "WV"),
+    ("wisconsin", "WI"),
+    ("wyoming", "WY"),
+];
+
+/// A small gazetteer of US cities (used by dataset generators and the
+/// misplacement detector).
+pub const CITIES: &[&str] = &[
+    "birmingham", "dothan", "huntsville", "mobile", "montgomery", "tuscaloosa",
+    "phoenix", "tucson", "mesa", "little rock", "los angeles", "san diego",
+    "san francisco", "sacramento", "denver", "boulder", "hartford", "dover",
+    "miami", "orlando", "tampa", "atlanta", "savannah", "honolulu", "boise",
+    "chicago", "springfield", "indianapolis", "des moines", "wichita",
+    "louisville", "new orleans", "portland", "baltimore", "boston",
+    "detroit", "minneapolis", "jackson", "kansas city", "billings", "omaha",
+    "las vegas", "reno", "concord", "newark", "albuquerque", "new york",
+    "buffalo", "charlotte", "raleigh", "fargo", "columbus", "cleveland",
+    "oklahoma city", "tulsa", "philadelphia", "pittsburgh", "providence",
+    "charleston", "sioux falls", "memphis", "nashville", "houston", "dallas",
+    "austin", "san antonio", "salt lake city", "burlington", "richmond",
+    "seattle", "spokane", "milwaukee", "cheyenne",
+];
+
+/// USPS abbreviation for a state name (case-insensitive).
+pub fn abbreviation_for_state(name: &str) -> Option<&'static str> {
+    let lowered = name.trim().to_lowercase();
+    STATES.iter().find(|(n, _)| *n == lowered).map(|(_, a)| *a)
+}
+
+/// Full state name for a USPS abbreviation (case-insensitive).
+pub fn state_for_abbreviation(abbr: &str) -> Option<&'static str> {
+    let upper = abbr.trim().to_uppercase();
+    STATES.iter().find(|(_, a)| *a == upper).map(|(n, _)| *n)
+}
+
+/// True when `value` is a state in either representation.
+pub fn is_state_token(value: &str) -> bool {
+    abbreviation_for_state(value).is_some() || state_for_abbreviation(value).is_some()
+}
+
+/// True when `value` looks like a known city (case-insensitive).
+pub fn is_known_city(value: &str) -> bool {
+    let lowered = value.trim().to_lowercase();
+    CITIES.contains(&lowered.as_str())
+}
+
+/// Whether two values denote the same state under different representations.
+pub fn same_state(a: &str, b: &str) -> bool {
+    let canon = |v: &str| -> Option<&'static str> {
+        abbreviation_for_state(v).or_else(|| {
+            let upper = v.trim().to_uppercase();
+            STATES.iter().find(|(_, ab)| *ab == upper).map(|(_, ab)| *ab)
+        })
+    };
+    match (canon(a), canon(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_lookups() {
+        assert_eq!(abbreviation_for_state("Alabama"), Some("AL"));
+        assert_eq!(abbreviation_for_state("new york"), Some("NY"));
+        assert_eq!(state_for_abbreviation("tx"), Some("texas"));
+        assert_eq!(abbreviation_for_state("atlantis"), None);
+    }
+
+    #[test]
+    fn same_state_across_representations() {
+        assert!(same_state("New York", "NY"));
+        assert!(same_state("ny", "NY"));
+        assert!(!same_state("NY", "NJ"));
+        assert!(!same_state("gotham", "NY"));
+    }
+
+    #[test]
+    fn city_membership() {
+        assert!(is_known_city("Birmingham"));
+        assert!(is_known_city("  austin "));
+        assert!(!is_known_city("gotham"));
+    }
+
+    #[test]
+    fn tokens() {
+        assert!(is_state_token("AL"));
+        assert!(is_state_token("alabama"));
+        assert!(!is_state_token("zz"));
+    }
+
+    #[test]
+    fn tables_are_consistent() {
+        assert_eq!(STATES.len(), 51);
+        for (name, abbr) in STATES {
+            assert_eq!(abbreviation_for_state(name), Some(*abbr));
+            assert_eq!(state_for_abbreviation(abbr), Some(*name));
+        }
+    }
+}

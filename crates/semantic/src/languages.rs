@@ -1,0 +1,108 @@
+//! Language names and ISO 639-2/B codes.
+//!
+//! Example 1 of the paper: the Rayyan `article_language` column mixes
+//! `"eng"` and `"English"`; the semantic cleaner maps full names to the
+//! dominant three-letter representation (`"English" → "eng"`, `"French" →
+//! "fre"`, `"German" → "ger"`, `"Chinese" → "chi"`). This table is the
+//! general world knowledge behind that mapping.
+
+/// (english name, ISO 639-2/B code) pairs for common publication languages.
+pub const LANGUAGES: &[(&str, &str)] = &[
+    ("english", "eng"),
+    ("french", "fre"),
+    ("german", "ger"),
+    ("chinese", "chi"),
+    ("spanish", "spa"),
+    ("portuguese", "por"),
+    ("italian", "ita"),
+    ("japanese", "jpn"),
+    ("korean", "kor"),
+    ("russian", "rus"),
+    ("dutch", "dut"),
+    ("polish", "pol"),
+    ("turkish", "tur"),
+    ("arabic", "ara"),
+    ("hebrew", "heb"),
+    ("swedish", "swe"),
+    ("danish", "dan"),
+    ("norwegian", "nor"),
+    ("finnish", "fin"),
+    ("greek", "gre"),
+    ("czech", "cze"),
+    ("hungarian", "hun"),
+    ("romanian", "rum"),
+    ("croatian", "hrv"),
+    ("serbian", "srp"),
+    ("ukrainian", "ukr"),
+    ("persian", "per"),
+    ("hindi", "hin"),
+    ("thai", "tha"),
+    ("vietnamese", "vie"),
+    ("indonesian", "ind"),
+];
+
+/// ISO code for an English language name (case-insensitive), if known.
+pub fn code_for_name(name: &str) -> Option<&'static str> {
+    let lowered = name.trim().to_lowercase();
+    LANGUAGES.iter().find(|(n, _)| *n == lowered).map(|(_, c)| *c)
+}
+
+/// English name for an ISO code (case-insensitive), if known.
+pub fn name_for_code(code: &str) -> Option<&'static str> {
+    let lowered = code.trim().to_lowercase();
+    LANGUAGES.iter().find(|(_, c)| *c == lowered).map(|(n, _)| *n)
+}
+
+/// True when `value` denotes a language in either representation.
+pub fn is_language_token(value: &str) -> bool {
+    code_for_name(value).is_some() || name_for_code(value).is_some()
+}
+
+/// Whether two values denote the same language under different
+/// representations (`"English"` vs `"eng"`).
+pub fn same_language(a: &str, b: &str) -> bool {
+    let canon = |v: &str| -> Option<&'static str> {
+        code_for_name(v).or_else(|| {
+            let lowered = v.trim().to_lowercase();
+            LANGUAGES.iter().find(|(_, c)| *c == lowered).map(|(_, c)| *c)
+        })
+    };
+    match (canon(a), canon(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(code_for_name("English"), Some("eng"));
+        assert_eq!(code_for_name("French"), Some("fre"));
+        assert_eq!(code_for_name("German"), Some("ger"));
+        assert_eq!(code_for_name("Chinese"), Some("chi"));
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        assert_eq!(name_for_code("ENG"), Some("english"));
+        assert_eq!(name_for_code("zzz"), None);
+    }
+
+    #[test]
+    fn same_language_detection() {
+        assert!(same_language("English", "eng"));
+        assert!(same_language("eng", "ENG"));
+        assert!(!same_language("English", "fre"));
+        assert!(!same_language("pizza", "eng"));
+    }
+
+    #[test]
+    fn tokens() {
+        assert!(is_language_token("spanish"));
+        assert!(is_language_token("spa"));
+        assert!(!is_language_token("spaz"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # cocoon-semantic
+//!
+//! The world-knowledge substrate behind the simulated LLM.
+//!
+//! The paper's thesis is that cleaning rules must come from *semantic,
+//! real-world knowledge* rather than statistics over the (erroneous) data
+//! itself. The original system sources that knowledge from Claude 3.5; this
+//! reproduction encodes the same *classes* of generic knowledge as explicit
+//! tables and algorithms, so the pipeline's semantic steps are deterministic
+//! and auditable:
+//!
+//! * [`languages`] — language names ↔ ISO 639-2 codes (Example 1),
+//! * [`geography`] — US states/abbreviations and a city gazetteer,
+//! * [`units`] — `"oz"`/`"ounce"` volumes and `"1 hr. 30 min."` durations,
+//! * [`booleans`] — yes/no-style boolean recognition (Appendix B),
+//! * [`missing`] — disguised-missing tokens (`"N/A"`, `"-"`, sentinels),
+//! * [`typo`] — Damerau–Levenshtein typo detection with frequency asymmetry,
+//! * [`normalize`] — casing/whitespace variant grouping,
+//! * [`dates`] — textual date families and standardisation.
+//!
+//! None of this knowledge is dataset ground truth: it is the kind of
+//! open-world information a large language model brings to the table.
+
+pub mod booleans;
+pub mod countries;
+pub mod dates;
+pub mod geography;
+pub mod languages;
+pub mod missing;
+pub mod normalize;
+pub mod typo;
+pub mod units;
+
+pub use booleans::{parse_boolean_token, values_look_boolean};
+pub use countries::{country_for_language, is_country_token, language_for_country};
+pub use dates::{format_date, parse_date, standardize_date, DateFormat};
+pub use geography::{
+    abbreviation_for_state, is_known_city, is_state_token, same_state, state_for_abbreviation,
+};
+pub use languages::{code_for_name, is_language_token, name_for_code, same_language};
+pub use missing::{disguised_tokens, is_disguised_missing};
+pub use normalize::{case_style, case_variant_groups, squash_whitespace, title_case, CaseStyle};
+pub use typo::{damerau_levenshtein, has_letter_stutter, suggest_typo_fixes, TypoSuggestion};
+pub use units::{canonical_volume, is_duration, is_ounce_unit, parse_duration_minutes};

@@ -1,0 +1,81 @@
+//! Disguised-missing-value (DMV) knowledge.
+//!
+//! §2.1.3: "values that are currently not NULL, but semantically means that
+//! the value are missing (e.g., string values like 'N/A', 'null')."
+//! The token list follows the DMV literature the paper cites (FAHES).
+
+/// Textual tokens that disguise a missing value.
+pub const MISSING_TOKENS: &[&str] = &[
+    "n/a", "na", "n.a.", "n a", "null", "nil", "none", "missing", "unknown",
+    "undefined", "not available", "not applicable", "no value", "-", "--",
+    "---", "?", "??", "presumed", "empty", "blank", "tba", "tbd",
+];
+
+/// Numeric sentinel values that often disguise missing measurements.
+pub const MISSING_SENTINELS: &[&str] = &["-1", "-99", "-999", "9999", "99999"];
+
+/// True when `value` is a disguised missing value.
+///
+/// `allow_sentinels` additionally treats numeric sentinels (−1, 9999, …) as
+/// missing — appropriate for measurement columns, not for arbitrary ints.
+pub fn is_disguised_missing(value: &str, allow_sentinels: bool) -> bool {
+    let lowered = value.trim().to_lowercase();
+    if lowered.is_empty() {
+        return true;
+    }
+    if MISSING_TOKENS.contains(&lowered.as_str()) {
+        return true;
+    }
+    allow_sentinels && MISSING_SENTINELS.contains(&lowered.as_str())
+}
+
+/// Filters a value census to the DMV tokens it contains.
+pub fn disguised_tokens<S: AsRef<str>>(
+    values: &[S],
+    allow_sentinels: bool,
+) -> Vec<&str> {
+    values
+        .iter()
+        .map(|s| s.as_ref())
+        .filter(|v| is_disguised_missing(v, allow_sentinels))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_tokens() {
+        for v in ["N/A", "null", "NULL", " none ", "-", "?", "Unknown"] {
+            assert!(is_disguised_missing(v, false), "{v} should be DMV");
+        }
+    }
+
+    #[test]
+    fn ordinary_values_pass() {
+        for v in ["Alabama", "0", "42", "o'brien"] {
+            assert!(!is_disguised_missing(v, false), "{v} should not be DMV");
+        }
+    }
+
+    #[test]
+    fn sentinels_gated() {
+        assert!(!is_disguised_missing("9999", false));
+        assert!(is_disguised_missing("9999", true));
+        assert!(is_disguised_missing("-1", true));
+        assert!(!is_disguised_missing("17", true));
+    }
+
+    #[test]
+    fn census_filter() {
+        let values = ["austin", "N/A", "dallas", "null"];
+        assert_eq!(disguised_tokens(&values, false), vec!["N/A", "null"]);
+    }
+
+    #[test]
+    fn empty_string_is_missing() {
+        assert!(is_disguised_missing("", false));
+        assert!(is_disguised_missing("   ", false));
+    }
+}

@@ -1,0 +1,139 @@
+//! Casing and whitespace normalisation knowledge.
+//!
+//! The benchmark convention in §3.1 treats case as acceptable "as long as
+//! the case is consistent across values"; the semantic cleaner therefore
+//! detects *mixed* casing of the same underlying token and normalises to the
+//! dominant form.
+
+use std::collections::HashMap;
+
+/// Collapses internal whitespace runs and trims.
+pub fn squash_whitespace(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// The casing style of a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseStyle {
+    Lower,
+    Upper,
+    /// First alphabetic char upper, rest lower (per word).
+    Title,
+    Mixed,
+    /// No alphabetic characters at all.
+    NonAlphabetic,
+}
+
+/// Classifies the casing style of `s`.
+pub fn case_style(s: &str) -> CaseStyle {
+    let has_alpha = s.chars().any(|c| c.is_alphabetic());
+    if !has_alpha {
+        return CaseStyle::NonAlphabetic;
+    }
+    if s == s.to_lowercase() {
+        return CaseStyle::Lower;
+    }
+    if s == s.to_uppercase() {
+        return CaseStyle::Upper;
+    }
+    if s == title_case(s) {
+        return CaseStyle::Title;
+    }
+    CaseStyle::Mixed
+}
+
+/// Title-cases each whitespace-separated word.
+pub fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|word| {
+            let mut chars = word.chars();
+            match chars.next() {
+                Some(first) => {
+                    first.to_uppercase().collect::<String>() + &chars.as_str().to_lowercase()
+                }
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Groups of values that are equal up to case/whitespace, for censuses where
+/// more than one variant appears. Each group maps the canonical (dominant)
+/// form to its variants.
+pub fn case_variant_groups(census: &[(String, usize)]) -> Vec<(String, Vec<String>)> {
+    let mut groups: HashMap<String, Vec<(String, usize)>> = HashMap::new();
+    for (value, count) in census {
+        let key = squash_whitespace(&value.to_lowercase());
+        groups.entry(key).or_default().push((value.clone(), *count));
+    }
+    let mut out: Vec<(String, Vec<String>)> = groups
+        .into_values()
+        .filter(|members| members.len() > 1)
+        .map(|mut members| {
+            members.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let canonical = members[0].0.clone();
+            let variants = members.into_iter().skip(1).map(|(v, _)| v).collect();
+            (canonical, variants)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_squash() {
+        assert_eq!(squash_whitespace("  a   b \t c "), "a b c");
+        assert_eq!(squash_whitespace(""), "");
+    }
+
+    #[test]
+    fn style_classification() {
+        assert_eq!(case_style("austin"), CaseStyle::Lower);
+        assert_eq!(case_style("AUSTIN"), CaseStyle::Upper);
+        assert_eq!(case_style("Austin"), CaseStyle::Title);
+        assert_eq!(case_style("AuStIn"), CaseStyle::Mixed);
+        assert_eq!(case_style("123-456"), CaseStyle::NonAlphabetic);
+        assert_eq!(case_style("New York"), CaseStyle::Title);
+    }
+
+    #[test]
+    fn title_casing() {
+        assert_eq!(title_case("new york"), "New York");
+        assert_eq!(title_case("NEW YORK"), "New York");
+    }
+
+    #[test]
+    fn variant_groups_pick_dominant() {
+        let census = vec![
+            ("Austin".to_string(), 30),
+            ("AUSTIN".to_string(), 3),
+            ("Dallas".to_string(), 10),
+        ];
+        let groups = case_variant_groups(&census);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, "Austin");
+        assert_eq!(groups[0].1, vec!["AUSTIN".to_string()]);
+    }
+
+    #[test]
+    fn no_groups_when_consistent() {
+        let census = vec![("a".to_string(), 1), ("b".to_string(), 2)];
+        assert!(case_variant_groups(&census).is_empty());
+    }
+
+    #[test]
+    fn whitespace_variants_grouped() {
+        let census = vec![
+            ("new  york".to_string(), 1),
+            ("new york".to_string(), 9),
+        ];
+        let groups = case_variant_groups(&census);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, "new york");
+    }
+}

@@ -1,0 +1,224 @@
+//! Typo detection and correction.
+//!
+//! The "semantic" typo judgement the paper attributes to LLMs ("cofffee" is
+//! a strange spelling of "coffee") is modelled with generic string
+//! knowledge: Damerau–Levenshtein distance, character-repetition analysis,
+//! and frequency asymmetry (a rare value lying one edit away from a frequent
+//! value is a typo of it, not vice versa).
+
+use std::collections::HashMap;
+
+/// Damerau–Levenshtein distance (optimal string alignment variant:
+/// insertions, deletions, substitutions, adjacent transpositions).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows suffice for the OSA recurrence.
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                curr[j] = curr[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Maximum edit distance at which `candidate` may be considered a typo of
+/// `target`, scaled by length (longer words tolerate more edits).
+pub fn typo_threshold(len: usize) -> usize {
+    match len {
+        0..=3 => 1,
+        4..=7 => 1,
+        8..=12 => 2,
+        _ => 3,
+    }
+}
+
+/// True when two values differ only in their digits (`"16 oz"` vs
+/// `"12 oz"`, `"1/1/2000"` vs `"1/2/2000"`). Humans read these as distinct
+/// measurements, not typos, so the typo detector must not merge them.
+pub fn differs_only_in_digits(a: &str, b: &str) -> bool {
+    let strip = |s: &str| -> (String, bool) {
+        let mut out = String::with_capacity(s.len());
+        let mut had_digit = false;
+        for c in s.chars() {
+            if c.is_ascii_digit() {
+                had_digit = true;
+            } else {
+                out.push(c);
+            }
+        }
+        (out, had_digit)
+    };
+    let (a_rest, a_digits) = strip(a);
+    let (b_rest, b_digits) = strip(b);
+    a_digits && b_digits && a_rest == b_rest
+}
+
+/// True when `candidate` contains a run of ≥3 identical letters — the
+/// "cofffee" signature from the paper's Figure 2 prompt.
+pub fn has_letter_stutter(candidate: &str) -> bool {
+    let chars: Vec<char> = candidate.chars().collect();
+    chars
+        .windows(3)
+        .any(|w| w[0] == w[1] && w[1] == w[2] && w[0].is_alphabetic())
+}
+
+/// A proposed typo correction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypoSuggestion {
+    pub from: String,
+    pub to: String,
+    pub distance: usize,
+}
+
+/// Given a frequency census of distinct values, proposes corrections for
+/// rare values lying within typo distance of much more frequent ones.
+///
+/// `dominance` is how many times more frequent the target must be than the
+/// candidate (the frequency asymmetry that separates "Autsin is a typo of
+/// Austin" from "Dallas and Austin are different cities").
+pub fn suggest_typo_fixes(
+    census: &[(String, usize)],
+    dominance: f64,
+) -> Vec<TypoSuggestion> {
+    let mut suggestions = Vec::new();
+    let by_value: HashMap<&str, usize> =
+        census.iter().map(|(v, c)| (v.as_str(), *c)).collect();
+    for (candidate, cand_count) in census {
+        let mut best: Option<(usize, &str, usize)> = None; // (distance, target, count)
+        for (target, target_count) in census {
+            if candidate == target {
+                continue;
+            }
+            if (*target_count as f64) < (*cand_count as f64) * dominance {
+                continue;
+            }
+            if differs_only_in_digits(candidate, target) {
+                continue;
+            }
+            let max_len = candidate.chars().count().max(target.chars().count());
+            let threshold = typo_threshold(max_len);
+            let distance = damerau_levenshtein(
+                &candidate.to_lowercase(),
+                &target.to_lowercase(),
+            );
+            if distance == 0 || distance > threshold {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bd, _, bc)) => {
+                    distance < bd || (distance == bd && *target_count > bc)
+                }
+            };
+            if better {
+                best = Some((distance, target.as_str(), *target_count));
+            }
+        }
+        if let Some((distance, target, _)) = best {
+            // Never "correct" toward a value that is itself a typo of
+            // something even more frequent (chains collapse to the head).
+            let target_is_dominant = by_value.get(target).copied().unwrap_or(0)
+                >= by_value.get(candidate.as_str()).copied().unwrap_or(0);
+            if target_is_dominant {
+                suggestions.push(TypoSuggestion {
+                    from: candidate.clone(),
+                    to: target.to_string(),
+                    distance,
+                });
+            }
+        }
+    }
+    suggestions.sort_by(|a, b| a.from.cmp(&b.from));
+    suggestions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_metric_axioms() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+        // symmetry
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), damerau_levenshtein("sitting", "kitten"));
+    }
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein("coffee", "cofffee"), 1);
+        assert_eq!(damerau_levenshtein("austin", "autsin"), 1); // transposition
+        assert_eq!(damerau_levenshtein("abcd", "acbd"), 1);
+    }
+
+    #[test]
+    fn stutter_detection() {
+        assert!(has_letter_stutter("cofffee"));
+        assert!(!has_letter_stutter("coffee"));
+        assert!(!has_letter_stutter("1111")); // digits aren't letter stutter
+    }
+
+    #[test]
+    fn suggests_fix_for_rare_variant() {
+        let census = vec![
+            ("Austin".to_string(), 40),
+            ("Autsin".to_string(), 1),
+            ("Dallas".to_string(), 30),
+        ];
+        let fixes = suggest_typo_fixes(&census, 5.0);
+        assert_eq!(fixes.len(), 1);
+        assert_eq!(fixes[0].from, "Autsin");
+        assert_eq!(fixes[0].to, "Austin");
+    }
+
+    #[test]
+    fn distinct_real_values_not_merged() {
+        // Dallas vs Austin: distance way above threshold.
+        let census = vec![("Austin".to_string(), 40), ("Dallas".to_string(), 2)];
+        assert!(suggest_typo_fixes(&census, 5.0).is_empty());
+        // "cat" vs "car": close but both frequent — no dominance.
+        let census = vec![("cat".to_string(), 20), ("car".to_string(), 18)];
+        assert!(suggest_typo_fixes(&census, 5.0).is_empty());
+    }
+
+    #[test]
+    fn prefers_closer_then_more_frequent_target() {
+        let census = vec![
+            ("colour".to_string(), 50),
+            ("color".to_string(), 60),
+            ("colr".to_string(), 1),
+        ];
+        let fixes = suggest_typo_fixes(&census, 5.0);
+        assert_eq!(fixes.len(), 1);
+        // "colr" is distance 1 from "color", 2 from "colour".
+        assert_eq!(fixes[0].to, "color");
+    }
+
+    #[test]
+    fn thresholds_scale_with_length() {
+        assert_eq!(typo_threshold(3), 1);
+        assert_eq!(typo_threshold(10), 2);
+        assert_eq!(typo_threshold(20), 3);
+    }
+}

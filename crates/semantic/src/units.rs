@@ -1,0 +1,166 @@
+//! Measurement-unit knowledge: volume abbreviations and durations.
+//!
+//! The paper's error analysis points at exactly these cases: `"oz"` vs
+//! `"ounce"` in Beers, and `"100 min"` vs `"1 hour 40 min"` in Movies
+//! (Appendix B expects `"1 hr. 30 min."` and `"90 min"` to both become the
+//! float 90).
+
+use cocoon_pattern::Regex;
+
+/// Representations of the fluid-ounce unit, canonical form `"oz"`.
+pub const OUNCE_FORMS: &[&str] = &["oz", "oz.", "ounce", "ounces", "fl oz", "fl. oz."];
+
+/// True when `unit` denotes fluid ounces.
+pub fn is_ounce_unit(unit: &str) -> bool {
+    let lowered = unit.trim().to_lowercase();
+    OUNCE_FORMS.contains(&lowered.as_str())
+}
+
+/// Canonicalises a volume expression like `"12 ounce"` → `"12 oz"`.
+/// Returns `None` when the text is not a recognisable volume.
+pub fn canonical_volume(text: &str) -> Option<String> {
+    let trimmed = text.trim();
+    let re = Regex::new(r"^(\d+(?:\.\d+)?)\s*([A-Za-z. ]+)$").expect("static pattern");
+    let caps = re.captures(trimmed)?;
+    let amount = caps[1].clone()?;
+    let unit = caps[2].clone()?;
+    if is_ounce_unit(&unit) {
+        Some(format!("{amount} oz"))
+    } else {
+        None
+    }
+}
+
+/// Parses a duration expression into total minutes.
+///
+/// Accepts the forms observed in the Movies benchmark:
+/// `"90 min"`, `"100 min."`, `"1 hr. 30 min."`, `"2 hours"`, `"1 h 40 m"`,
+/// `"1 hour 40 min"`, and bare numbers (already minutes).
+pub fn parse_duration_minutes(text: &str) -> Option<f64> {
+    let lowered = text.trim().to_lowercase();
+    if lowered.is_empty() {
+        return None;
+    }
+    // Bare number → minutes.
+    if let Ok(n) = lowered.parse::<f64>() {
+        return Some(n);
+    }
+    let normalized = lowered.replace(['.', ','], " ");
+    let tokens: Vec<&str> = normalized.split_whitespace().collect();
+    let mut minutes = 0.0f64;
+    let mut pending: Option<f64> = None;
+    let mut recognized = false;
+    for token in tokens {
+        if let Ok(n) = token.parse::<f64>() {
+            // Two numbers in a row: the first had no unit — malformed.
+            if pending.is_some() {
+                return None;
+            }
+            pending = Some(n);
+            continue;
+        }
+        let unit_minutes = match token {
+            "h" | "hr" | "hrs" | "hour" | "hours" => 60.0,
+            "m" | "min" | "mins" | "minute" | "minutes" => 1.0,
+            _ => {
+                // token may be glued like "90min" or "1hr"
+                if let Some(m) = parse_glued(token) {
+                    minutes += m;
+                    recognized = true;
+                    continue;
+                }
+                return None;
+            }
+        };
+        let amount = pending.take()?;
+        minutes += amount * unit_minutes;
+        recognized = true;
+    }
+    if let Some(trailing) = pending {
+        // trailing number without a unit (e.g. "1 hr 30") — treat as minutes.
+        minutes += trailing;
+        recognized = true;
+    }
+    if recognized {
+        Some(minutes)
+    } else {
+        None
+    }
+}
+
+/// Parses glued number+unit tokens like `"90min"` / `"2hr"` / `"1h"`.
+fn parse_glued(token: &str) -> Option<f64> {
+    let digits_end = token.find(|c: char| !c.is_ascii_digit() && c != '.')?;
+    if digits_end == 0 {
+        return None;
+    }
+    let (num, unit) = token.split_at(digits_end);
+    let n: f64 = num.parse().ok()?;
+    match unit {
+        "h" | "hr" | "hrs" | "hour" | "hours" => Some(n * 60.0),
+        "m" | "min" | "mins" | "minute" | "minutes" => Some(n),
+        _ => None,
+    }
+}
+
+/// True when `text` reads as a duration.
+pub fn is_duration(text: &str) -> bool {
+    parse_duration_minutes(text).is_some() && text.trim().parse::<f64>().is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ounce_forms() {
+        assert!(is_ounce_unit("oz"));
+        assert!(is_ounce_unit("OUNCE"));
+        assert!(is_ounce_unit("fl. oz."));
+        assert!(!is_ounce_unit("ml"));
+    }
+
+    #[test]
+    fn canonical_volume_conversions() {
+        assert_eq!(canonical_volume("12 ounce").as_deref(), Some("12 oz"));
+        assert_eq!(canonical_volume("12 oz").as_deref(), Some("12 oz"));
+        assert_eq!(canonical_volume("16.9 ounces").as_deref(), Some("16.9 oz"));
+        assert_eq!(canonical_volume("twelve ounce"), None);
+        assert_eq!(canonical_volume("500 ml"), None);
+    }
+
+    #[test]
+    fn paper_duration_examples() {
+        // Appendix B: "1 hr. 30 min." and "90 min" → 90.
+        assert_eq!(parse_duration_minutes("1 hr. 30 min."), Some(90.0));
+        assert_eq!(parse_duration_minutes("90 min"), Some(90.0));
+        // §3.2: "100 min" vs "1 hour 40 min".
+        assert_eq!(parse_duration_minutes("100 min"), Some(100.0));
+        assert_eq!(parse_duration_minutes("1 hour 40 min"), Some(100.0));
+    }
+
+    #[test]
+    fn more_duration_forms() {
+        assert_eq!(parse_duration_minutes("2 hours"), Some(120.0));
+        assert_eq!(parse_duration_minutes("90"), Some(90.0));
+        assert_eq!(parse_duration_minutes("1h 40m"), Some(100.0));
+        assert_eq!(parse_duration_minutes("90min"), Some(90.0));
+        assert_eq!(parse_duration_minutes("1hr"), Some(60.0));
+        assert_eq!(parse_duration_minutes("1 hr 30"), Some(90.0));
+    }
+
+    #[test]
+    fn non_durations_rejected() {
+        assert_eq!(parse_duration_minutes("hello"), None);
+        assert_eq!(parse_duration_minutes(""), None);
+        assert_eq!(parse_duration_minutes("12 oz"), None);
+        assert_eq!(parse_duration_minutes("1 2"), None);
+    }
+
+    #[test]
+    fn is_duration_excludes_bare_numbers() {
+        assert!(is_duration("90 min"));
+        assert!(!is_duration("90"));
+        assert!(!is_duration("abc"));
+    }
+}

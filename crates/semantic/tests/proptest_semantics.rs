@@ -1,0 +1,72 @@
+//! Property tests: metric axioms and knowledge-function invariants.
+
+use cocoon_semantic::{
+    damerau_levenshtein, parse_duration_minutes, squash_whitespace, suggest_typo_fixes,
+};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{0,10}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distance_identity(a in word()) {
+        prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn distance_symmetry(a in word(), b in word()) {
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn distance_bounded_by_longer_string(a in word(), b in word()) {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        // Distance 0 iff equal.
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn single_insertion_is_distance_one(a in word(), c in proptest::char::range('a', 'z'), idx in 0usize..10) {
+        let chars: Vec<char> = a.chars().collect();
+        let pos = idx.min(chars.len());
+        let mut longer = chars.clone();
+        longer.insert(pos, c);
+        let longer: String = longer.into_iter().collect();
+        prop_assert_eq!(damerau_levenshtein(&a, &longer), 1);
+    }
+
+    #[test]
+    fn typo_fixes_never_touch_dominant_values(
+        base in "[a-z]{4,8}",
+        rare_suffix in proptest::char::range('a', 'z'),
+    ) {
+        let rare = format!("{base}{rare_suffix}");
+        prop_assume!(rare != base);
+        let census = vec![(base.clone(), 50), (rare.clone(), 1)];
+        let fixes = suggest_typo_fixes(&census, 3.0);
+        for fix in &fixes {
+            prop_assert_eq!(&fix.from, &rare);
+            prop_assert_eq!(&fix.to, &base);
+        }
+    }
+
+    #[test]
+    fn duration_parse_agrees_with_construction(h in 0u32..10, m in 0u32..60) {
+        let text = format!("{h} hr {m} min");
+        prop_assert_eq!(parse_duration_minutes(&text), Some((h * 60 + m) as f64));
+        let bare = format!("{m} min");
+        prop_assert_eq!(parse_duration_minutes(&bare), Some(m as f64));
+    }
+
+    #[test]
+    fn squash_whitespace_idempotent(s in "[a-z \\t]{0,20}") {
+        let once = squash_whitespace(&s);
+        prop_assert_eq!(squash_whitespace(&once), once.clone());
+        prop_assert!(!once.contains("  "));
+    }
+}

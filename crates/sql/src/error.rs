@@ -1,0 +1,76 @@
+//! SQL substrate errors.
+
+use cocoon_table::TableError;
+use std::fmt;
+
+/// Errors from SQL evaluation, execution, or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Expression referenced an unknown column.
+    UnknownColumn(String),
+    /// Unknown scalar function.
+    UnknownFunction(String),
+    /// Function called with the wrong number of arguments.
+    Arity { function: String, expected: String, actual: usize },
+    /// A value had the wrong type for an operation.
+    Type { context: String, value: String },
+    /// An invalid regular expression reached the engine.
+    Pattern(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// SQL text failed to parse.
+    Parse { position: usize, message: String },
+    /// Underlying table error.
+    Table(TableError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            SqlError::UnknownFunction(name) => write!(f, "unknown function {name:?}"),
+            SqlError::Arity { function, expected, actual } => {
+                write!(f, "{function} expects {expected} arguments, got {actual}")
+            }
+            SqlError::Type { context, value } => {
+                write!(f, "type error in {context}: {value}")
+            }
+            SqlError::Pattern(msg) => write!(f, "invalid pattern: {msg}"),
+            SqlError::DivisionByZero => write!(f, "division by zero"),
+            SqlError::Parse { position, message } => {
+                write!(f, "sql parse error at {position}: {message}")
+            }
+            SqlError::Table(err) => write!(f, "table error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<TableError> for SqlError {
+    fn from(err: TableError) -> Self {
+        SqlError::Table(err)
+    }
+}
+
+/// Result alias for the SQL substrate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SqlError::UnknownColumn("x".into()).to_string().contains('x'));
+        assert!(SqlError::DivisionByZero.to_string().contains("zero"));
+        let e = SqlError::Arity { function: "TRIM".into(), expected: "1".into(), actual: 3 };
+        assert!(e.to_string().contains("TRIM"));
+    }
+
+    #[test]
+    fn table_error_converts() {
+        let e: SqlError = TableError::UnknownColumn("c".into()).into();
+        assert!(matches!(e, SqlError::Table(_)));
+    }
+}

@@ -1,0 +1,426 @@
+//! Expression evaluation against table rows.
+//!
+//! Implements SQL-style three-valued logic: comparisons involving NULL yield
+//! NULL, `AND`/`OR` follow Kleene logic, and a `WHERE` keeps a row only when
+//! its predicate is exactly TRUE.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::error::{Result, SqlError};
+use crate::functions;
+use cocoon_table::{DataType, Schema, Table, Value};
+
+
+/// A row-binding context for expression evaluation.
+pub struct RowContext<'a> {
+    table: &'a Table,
+    row: usize,
+}
+
+impl<'a> RowContext<'a> {
+    pub fn new(table: &'a Table, row: usize) -> Self {
+        RowContext { table, row }
+    }
+
+    fn column_value(&self, name: &str) -> Result<Value> {
+        let idx = self
+            .table
+            .schema()
+            .index_of(name)
+            .map_err(|_| SqlError::UnknownColumn(name.to_string()))?;
+        Ok(self.table.cell(self.row, idx)?.clone())
+    }
+}
+
+/// Evaluates `expr` for one row.
+pub fn eval(expr: &Expr, ctx: &RowContext<'_>) -> Result<Value> {
+    match expr {
+        Expr::Column(name) => ctx.column_value(name),
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, ctx)?;
+            eval_unary(*op, v)
+        }
+        Expr::Binary { op, left, right } => {
+            // Short-circuit logical operators must respect 3VL.
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    let l = eval(left, ctx)?;
+                    let r = eval(right, ctx)?;
+                    Ok(eval_logic(*op, l, r))
+                }
+                _ => {
+                    let l = eval(left, ctx)?;
+                    let r = eval(right, ctx)?;
+                    eval_binary(*op, l, r)
+                }
+            }
+        }
+        Expr::Case { operand, arms, otherwise } => {
+            match operand {
+                Some(op) => {
+                    let subject = eval(op, ctx)?;
+                    for (when, then) in arms {
+                        let candidate = eval(when, ctx)?;
+                        if subject.sql_eq(&candidate) {
+                            return eval(then, ctx);
+                        }
+                    }
+                }
+                None => {
+                    for (when, then) in arms {
+                        if matches!(eval(when, ctx)?, Value::Bool(true)) {
+                            return eval(then, ctx);
+                        }
+                    }
+                }
+            }
+            match otherwise {
+                Some(e) => eval(e, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Cast { expr, ty, lenient } => {
+            let v = eval(expr, ctx)?;
+            match v.cast(*ty) {
+                Ok(cast) => Ok(cast),
+                Err(_) if *lenient => Ok(Value::Null),
+                Err(e) => Err(SqlError::Type {
+                    context: format!("CAST to {}", ty.sql_name()),
+                    value: e.to_string(),
+                }),
+            }
+        }
+        Expr::Func { name, args } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval(a, ctx)?);
+            }
+            functions::call(name, &values)
+        }
+        Expr::InList { expr, list, negated } => {
+            let subject = eval(expr, ctx)?;
+            if subject.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let candidate = eval(item, ctx)?;
+                if candidate.is_null() {
+                    saw_null = true;
+                } else if subject == candidate {
+                    return Ok(Value::Bool(!negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    Ok(match op {
+        UnaryOp::IsNull => Value::Bool(v.is_null()),
+        UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+        UnaryOp::Not => match v {
+            Value::Null => Value::Null,
+            Value::Bool(b) => Value::Bool(!b),
+            other => {
+                return Err(SqlError::Type { context: "NOT".into(), value: other.render() })
+            }
+        },
+        UnaryOp::Neg => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            other => {
+                return Err(SqlError::Type { context: "negation".into(), value: other.render() })
+            }
+        },
+    })
+}
+
+fn eval_logic(op: BinaryOp, l: Value, r: Value) -> Value {
+    let lb = l.as_bool();
+    let rb = r.as_bool();
+    match op {
+        BinaryOp::And => match (lb, rb, l.is_null(), r.is_null()) {
+            (Some(false), _, _, _) | (_, Some(false), _, _) => Value::Bool(false),
+            (Some(true), Some(true), _, _) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        BinaryOp::Or => match (lb, rb) {
+            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+            (Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ => unreachable!("eval_logic only handles AND/OR"),
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinaryOp::Eq => Ok(Value::Bool(l == r)),
+        BinaryOp::Ne => Ok(Value::Bool(l != r)),
+        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            let ord = compare(&l, &r)?;
+            Ok(Value::Bool(match op {
+                BinaryOp::Lt => ord.is_lt(),
+                BinaryOp::Le => ord.is_le(),
+                BinaryOp::Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            }))
+        }
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => arithmetic(op, &l, &r),
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled by eval_logic"),
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    // Numeric cross-type comparison, otherwise same-type ordering.
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => {
+            a.partial_cmp(&b).ok_or(SqlError::Type {
+                context: "comparison".into(),
+                value: "NaN".into(),
+            })
+        }
+        _ => {
+            if l.data_type() == r.data_type() {
+                Ok(l.cmp(r))
+            } else {
+                Err(SqlError::Type {
+                    context: "comparison".into(),
+                    value: format!("{} vs {}", l.render(), r.render()),
+                })
+            }
+        }
+    }
+}
+
+fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            BinaryOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            BinaryOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            BinaryOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinaryOp::Div => {
+                if *b == 0 {
+                    Err(SqlError::DivisionByZero)
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(SqlError::Type {
+                        context: "arithmetic".into(),
+                        value: format!("{} {} {}", l.render(), op.sql(), r.render()),
+                    })
+                }
+            };
+            Ok(Value::Float(match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        return Err(SqlError::DivisionByZero);
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+/// Infers the output type of an expression against a schema (used to type
+/// the columns of executed `SELECT`s).
+pub fn infer_expr_type(expr: &Expr, schema: &Schema) -> DataType {
+    match expr {
+        Expr::Column(name) => schema
+            .field_by_name(name)
+            .map(|f| f.data_type())
+            .unwrap_or(DataType::Text),
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Text),
+        Expr::Cast { ty, .. } => *ty,
+        Expr::Unary { op, .. } => match op {
+            UnaryOp::IsNull | UnaryOp::IsNotNull | UnaryOp::Not => DataType::Bool,
+            UnaryOp::Neg => DataType::Float,
+        },
+        Expr::Binary { op, left, .. } => match op {
+            BinaryOp::And
+            | BinaryOp::Or
+            | BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => DataType::Bool,
+            _ => infer_expr_type(left, schema),
+        },
+        Expr::Case { arms, otherwise, .. } => {
+            // Literal NULL branches carry no type information; the first
+            // typed branch decides (e.g. `CASE WHEN … THEN NULL ELSE col
+            // END` keeps col's type).
+            let mut branches: Vec<&Expr> = arms.iter().map(|(_, then)| then).collect();
+            if let Some(o) = otherwise {
+                branches.push(o);
+            }
+            branches
+                .iter()
+                .find(|b| !matches!(b, Expr::Literal(Value::Null)))
+                .map(|b| infer_expr_type(b, schema))
+                .unwrap_or(DataType::Text)
+        }
+        Expr::Func { name, .. } => match name.as_str() {
+            "LENGTH" => DataType::Int,
+            "REGEXP_MATCHES" | "REGEXP_FULL_MATCH" => DataType::Bool,
+            "ABS" | "ROUND" => DataType::Float,
+            _ => DataType::Text,
+        },
+        Expr::InList { .. } => DataType::Bool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["1".into(), "eng".into()],
+            vec!["2".into(), "English".into()],
+        ];
+        let mut t = Table::from_text_rows(&["id", "lang"], &rows).unwrap();
+        t.set_cell(1, 0, Value::Int(2)).unwrap();
+        t
+    }
+
+    fn eval_on(expr: &Expr, row: usize) -> Result<Value> {
+        let t = table();
+        let ctx = RowContext::new(&t, row);
+        eval(expr, &ctx)
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(eval_on(&Expr::col("lang"), 0).unwrap(), Value::from("eng"));
+        assert_eq!(eval_on(&Expr::lit(5i64), 0).unwrap(), Value::Int(5));
+        assert!(matches!(
+            eval_on(&Expr::col("missing"), 0),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn case_value_map() {
+        let map = Expr::value_map("lang", &[(Value::from("English"), Value::from("eng"))]);
+        assert_eq!(eval_on(&map, 0).unwrap(), Value::from("eng"));
+        assert_eq!(eval_on(&map, 1).unwrap(), Value::from("eng"));
+    }
+
+    #[test]
+    fn searched_case_falls_through() {
+        let e = Expr::Case {
+            operand: None,
+            arms: vec![(
+                Expr::eq(Expr::col("lang"), Expr::lit("zzz")),
+                Expr::lit("matched"),
+            )],
+            otherwise: None,
+        };
+        assert_eq!(eval_on(&e, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null = Expr::null();
+        let truth = Expr::lit(true);
+        let falsity = Expr::lit(false);
+        assert_eq!(
+            eval_on(&Expr::and(null.clone(), falsity.clone()), 0).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(eval_on(&Expr::and(null.clone(), truth.clone()), 0).unwrap(), Value::Null);
+        assert_eq!(eval_on(&Expr::or(null.clone(), truth), 0).unwrap(), Value::Bool(true));
+        assert_eq!(eval_on(&Expr::or(null.clone(), falsity), 0).unwrap(), Value::Null);
+        // NULL = NULL is NULL, not true.
+        assert_eq!(eval_on(&Expr::eq(null.clone(), null), 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_arithmetic() {
+        let e = Expr::binary(BinaryOp::Lt, Expr::lit(1i64), Expr::lit(2i64));
+        assert_eq!(eval_on(&e, 0).unwrap(), Value::Bool(true));
+        let e = Expr::binary(BinaryOp::Add, Expr::lit(1i64), Expr::lit(2i64));
+        assert_eq!(eval_on(&e, 0).unwrap(), Value::Int(3));
+        let e = Expr::binary(BinaryOp::Div, Expr::lit(1i64), Expr::lit(0i64));
+        assert!(matches!(eval_on(&e, 0), Err(SqlError::DivisionByZero)));
+        let e = Expr::binary(BinaryOp::Mul, Expr::lit(2.5), Expr::lit(2i64));
+        assert_eq!(eval_on(&e, 0).unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn cast_strict_vs_lenient() {
+        let strict = Expr::cast(Expr::col("lang"), DataType::Int);
+        assert!(eval_on(&strict, 0).is_err());
+        let lenient = Expr::try_cast(Expr::col("lang"), DataType::Int);
+        assert_eq!(eval_on(&lenient, 0).unwrap(), Value::Null);
+        let ok = Expr::cast(Expr::col("id"), DataType::Int);
+        assert_eq!(eval_on(&ok, 0).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("lang")),
+            list: vec![Expr::lit("eng"), Expr::lit("fre")],
+            negated: false,
+        };
+        assert_eq!(eval_on(&e, 0).unwrap(), Value::Bool(true));
+        assert_eq!(eval_on(&e, 1).unwrap(), Value::Bool(false));
+        // NULL in list makes a miss NULL.
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("lang")),
+            list: vec![Expr::lit("zzz"), Expr::null()],
+            negated: false,
+        };
+        assert_eq!(eval_on(&e, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        assert_eq!(eval_on(&Expr::is_null(Expr::null()), 0).unwrap(), Value::Bool(true));
+        assert_eq!(eval_on(&Expr::is_null(Expr::col("lang")), 0).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn type_inference() {
+        let t = table();
+        let schema = t.schema();
+        assert_eq!(infer_expr_type(&Expr::col("lang"), schema), DataType::Text);
+        assert_eq!(
+            infer_expr_type(&Expr::cast(Expr::col("lang"), DataType::Bool), schema),
+            DataType::Bool
+        );
+        assert_eq!(
+            infer_expr_type(&Expr::eq(Expr::col("lang"), Expr::lit("x")), schema),
+            DataType::Bool
+        );
+        assert_eq!(
+            infer_expr_type(&Expr::func("LENGTH", vec![Expr::col("lang")]), schema),
+            DataType::Int
+        );
+    }
+}

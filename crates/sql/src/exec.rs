@@ -1,0 +1,278 @@
+//! Executing `SELECT` statements against in-memory tables.
+
+use crate::ast::{Projection, RowNumberFilter, Select, SortOrder};
+use crate::error::Result;
+use crate::eval::{eval, infer_expr_type, RowContext};
+use crate::render::render_expr;
+use cocoon_table::{Column, Field, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Executes `select` against `input`, producing a new table.
+///
+/// Evaluation order matches SQL semantics for the supported subset:
+/// `WHERE` → window `QUALIFY` filter → projection → `DISTINCT`.
+pub fn execute(select: &Select, input: &Table) -> Result<Table> {
+    // WHERE: keep rows whose predicate is exactly TRUE.
+    let mut keep: Vec<usize> = Vec::with_capacity(input.height());
+    for row in 0..input.height() {
+        let passes = match &select.where_clause {
+            Some(pred) => {
+                let ctx = RowContext::new(input, row);
+                matches!(eval(pred, &ctx)?, Value::Bool(true))
+            }
+            None => true,
+        };
+        if passes {
+            keep.push(row);
+        }
+    }
+
+    // QUALIFY: row_number() over (partition by … order by …) <= keep.
+    if let Some(filter) = &select.qualify {
+        keep = apply_row_number_filter(filter, input, &keep)?;
+    }
+
+    // Projection.
+    let (schema, mut columns) = projected_schema(select, input)?;
+    for &row in &keep {
+        let ctx = RowContext::new(input, row);
+        let mut out_col = 0usize;
+        for projection in &select.projections {
+            match projection {
+                Projection::Star => {
+                    for c in 0..input.width() {
+                        columns[out_col].push(input.cell(row, c)?.clone());
+                        out_col += 1;
+                    }
+                }
+                Projection::Expr { expr, .. } => {
+                    columns[out_col].push(eval(expr, &ctx)?);
+                    out_col += 1;
+                }
+            }
+        }
+    }
+    let mut table = Table::new(schema, columns)?;
+
+    if select.distinct {
+        table.distinct();
+    }
+    Ok(table)
+}
+
+/// Builds the output schema and empty columns for the projection list.
+fn projected_schema(select: &Select, input: &Table) -> Result<(Schema, Vec<Column>)> {
+    let mut fields: Vec<Field> = Vec::new();
+    let mut used: HashMap<String, usize> = HashMap::new();
+    let mut push_field = |name: String, ty| {
+        // Disambiguate duplicate output names deterministically.
+        let n = used.entry(name.clone()).or_insert(0);
+        let final_name = if *n == 0 { name.clone() } else { format!("{name}_{n}") };
+        *n += 1;
+        fields.push(Field::new(final_name, ty));
+    };
+    for projection in &select.projections {
+        match projection {
+            Projection::Star => {
+                for field in input.schema().fields() {
+                    push_field(field.name().to_string(), field.data_type());
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                push_field(name, infer_expr_type(expr, input.schema()));
+            }
+        }
+    }
+    let columns = (0..fields.len()).map(|_| Column::default()).collect();
+    Ok((Schema::new(fields)?, columns))
+}
+
+/// Output name for an unaliased projection: bare columns keep their name;
+/// anything else uses its SQL rendering.
+fn default_name(expr: &crate::ast::Expr) -> String {
+    match expr {
+        crate::ast::Expr::Column(name) => name.clone(),
+        other => render_expr(other),
+    }
+}
+
+/// Applies the ROW_NUMBER window filter over the surviving rows.
+fn apply_row_number_filter(
+    filter: &RowNumberFilter,
+    input: &Table,
+    rows: &[usize],
+) -> Result<Vec<usize>> {
+    // Group rows by partition key.
+    let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let mut partition_order: Vec<Vec<Value>> = Vec::new();
+    for &row in rows {
+        let ctx = RowContext::new(input, row);
+        let mut key = Vec::with_capacity(filter.partition_by.len());
+        for expr in &filter.partition_by {
+            key.push(eval(expr, &ctx)?);
+        }
+        let entry = partitions.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            partition_order.push(key);
+        }
+        entry.push(row);
+    }
+
+    // Order each partition and keep the first `keep` rows.
+    let mut kept: Vec<usize> = Vec::new();
+    for key in partition_order {
+        let mut members = partitions.remove(&key).expect("partition recorded");
+        // Pre-compute sort keys to avoid re-evaluating during comparison.
+        let mut sort_keys: Vec<(usize, Vec<Value>)> = Vec::with_capacity(members.len());
+        for &row in &members {
+            let ctx = RowContext::new(input, row);
+            let mut k = Vec::with_capacity(filter.order_by.len());
+            for (expr, _) in &filter.order_by {
+                k.push(eval(expr, &ctx)?);
+            }
+            sort_keys.push((row, k));
+        }
+        sort_keys.sort_by(|(ra, ka), (rb, kb)| {
+            for (i, (_, dir)) in filter.order_by.iter().enumerate() {
+                let ord = ka[i].cmp(&kb[i]);
+                let ord = match dir {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            ra.cmp(rb) // stable tie-break on original position
+        });
+        members = sort_keys.into_iter().map(|(row, _)| row).collect();
+        kept.extend(members.into_iter().take(filter.keep));
+    }
+    kept.sort_unstable(); // restore original row order
+    Ok(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use cocoon_table::DataType;
+
+    fn table() -> Table {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["1".into(), "eng".into(), "2020-01-01".into()],
+            vec!["1".into(), "English".into(), "2021-01-01".into()],
+            vec!["2".into(), "fre".into(), "2020-06-01".into()],
+            vec!["2".into(), "fre".into(), "2020-06-01".into()],
+        ];
+        Table::from_text_rows(&["id", "lang", "updated"], &rows).unwrap()
+    }
+
+    #[test]
+    fn select_star_is_identity() {
+        let out = execute(&Select::star("t"), &table()).unwrap();
+        assert_eq!(out, table());
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let mut s = Select::star("t");
+        s.where_clause = Some(Expr::eq(Expr::col("id"), Expr::lit("2")));
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.height(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut s = Select::star("t");
+        s.distinct = true;
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.height(), 3);
+    }
+
+    #[test]
+    fn projection_with_value_map() {
+        let map = Expr::value_map("lang", &[(Value::from("English"), Value::from("eng"))]);
+        let s = Select {
+            distinct: false,
+            projections: vec![
+                Projection::Expr { expr: Expr::col("id"), alias: None },
+                Projection::aliased(map, "lang"),
+            ],
+            from: "t".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.schema().names(), vec!["id", "lang"]);
+        assert_eq!(out.cell(1, 1).unwrap(), &Value::from("eng"));
+    }
+
+    #[test]
+    fn qualify_keeps_latest_per_id() {
+        let s = Select {
+            distinct: false,
+            projections: vec![Projection::Star],
+            from: "t".into(),
+            where_clause: None,
+            qualify: Some(RowNumberFilter {
+                partition_by: vec![Expr::col("id")],
+                order_by: vec![(Expr::col("updated"), SortOrder::Desc)],
+                keep: 1,
+            }),
+            comment: None,
+        };
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.height(), 2);
+        // id=1 keeps the 2021 row.
+        assert_eq!(out.cell(0, 1).unwrap(), &Value::from("English"));
+        // id=2 keeps the first of the tied rows.
+        assert_eq!(out.cell(1, 2).unwrap(), &Value::from("2020-06-01"));
+    }
+
+    #[test]
+    fn projected_types_follow_casts() {
+        let s = Select {
+            distinct: false,
+            projections: vec![Projection::aliased(
+                Expr::try_cast(Expr::col("id"), DataType::Int),
+                "id",
+            )],
+            from: "t".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.schema().field(0).unwrap().data_type(), DataType::Int);
+        assert_eq!(out.cell(0, 0).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn duplicate_output_names_disambiguated() {
+        let s = Select {
+            distinct: false,
+            projections: vec![
+                Projection::Expr { expr: Expr::col("id"), alias: None },
+                Projection::Expr { expr: Expr::col("id"), alias: None },
+            ],
+            from: "t".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.schema().names(), vec!["id", "id_1"]);
+    }
+
+    #[test]
+    fn where_null_predicate_drops_row() {
+        let mut s = Select::star("t");
+        // NULL = 'x' is NULL → row dropped.
+        s.where_clause = Some(Expr::eq(Expr::null(), Expr::lit("x")));
+        let out = execute(&s, &table()).unwrap();
+        assert_eq!(out.height(), 0);
+    }
+}

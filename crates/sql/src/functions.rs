@@ -1,0 +1,262 @@
+//! Scalar SQL functions.
+//!
+//! The registry covers the functions Cocoon's cleaning SQL uses: string
+//! trimming/casing (string outliers), regex match/replace (pattern
+//! outliers), `COALESCE`/`NULLIF` (DMV handling) and light arithmetic.
+
+use crate::error::{Result, SqlError};
+use cocoon_pattern::Regex;
+use cocoon_table::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+thread_local! {
+    /// Per-thread cache of compiled patterns; cleaning SQL evaluates the
+    /// same regex once per row, so compilation must be amortised.
+    static REGEX_CACHE: RefCell<HashMap<String, Regex>> = RefCell::new(HashMap::new());
+}
+
+fn compiled(pattern: &str) -> Result<Regex> {
+    REGEX_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(re) = cache.get(pattern) {
+            return Ok(re.clone());
+        }
+        let re = Regex::new(pattern).map_err(|e| SqlError::Pattern(e.to_string()))?;
+        cache.insert(pattern.to_string(), re.clone());
+        Ok(re)
+    })
+}
+
+fn text_arg<'a>(function: &str, args: &'a [Value], idx: usize) -> Result<Option<&'a str>> {
+    match args.get(idx) {
+        Some(Value::Null) => Ok(None),
+        Some(Value::Text(s)) => Ok(Some(s)),
+        Some(other) => Err(SqlError::Type {
+            context: format!("{function} argument {idx}"),
+            value: other.render(),
+        }),
+        None => Err(SqlError::Arity {
+            function: function.to_string(),
+            expected: format!(">{idx}"),
+            actual: args.len(),
+        }),
+    }
+}
+
+fn require_arity(function: &str, args: &[Value], expected: usize) -> Result<()> {
+    if args.len() != expected {
+        return Err(SqlError::Arity {
+            function: function.to_string(),
+            expected: expected.to_string(),
+            actual: args.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Invokes scalar function `name` (canonical uppercase) on `args`.
+pub fn call(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "TRIM" | "UPPER" | "LOWER" => {
+            require_arity(name, args, 1)?;
+            let Some(s) = text_arg(name, args, 0)? else { return Ok(Value::Null) };
+            Ok(Value::Text(match name {
+                "TRIM" => s.trim().to_string(),
+                "UPPER" => s.to_uppercase(),
+                _ => s.to_lowercase(),
+            }))
+        }
+        "LENGTH" => {
+            require_arity(name, args, 1)?;
+            let Some(s) = text_arg(name, args, 0)? else { return Ok(Value::Null) };
+            Ok(Value::Int(s.chars().count() as i64))
+        }
+        "CONCAT" => {
+            let mut out = String::new();
+            for v in args {
+                if !v.is_null() {
+                    out.push_str(&v.render());
+                }
+            }
+            Ok(Value::Text(out))
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(SqlError::Arity {
+                    function: name.to_string(),
+                    expected: "2 or 3".to_string(),
+                    actual: args.len(),
+                });
+            }
+            let Some(s) = text_arg(name, args, 0)? else { return Ok(Value::Null) };
+            let start = match &args[1] {
+                Value::Int(i) => *i,
+                Value::Null => return Ok(Value::Null),
+                other => {
+                    return Err(SqlError::Type {
+                        context: "SUBSTR start".into(),
+                        value: other.render(),
+                    })
+                }
+            };
+            let chars: Vec<char> = s.chars().collect();
+            // SQL SUBSTR is 1-based.
+            let begin = (start.max(1) - 1) as usize;
+            let len = match args.get(2) {
+                Some(Value::Int(l)) => (*l).max(0) as usize,
+                Some(Value::Null) => return Ok(Value::Null),
+                Some(other) => {
+                    return Err(SqlError::Type {
+                        context: "SUBSTR length".into(),
+                        value: other.render(),
+                    })
+                }
+                None => chars.len().saturating_sub(begin),
+            };
+            let end = (begin + len).min(chars.len());
+            let begin = begin.min(chars.len());
+            Ok(Value::Text(chars[begin..end].iter().collect()))
+        }
+        "COALESCE" => {
+            for v in args {
+                if !v.is_null() {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "NULLIF" => {
+            require_arity(name, args, 2)?;
+            if !args[0].is_null() && !args[1].is_null() && args[0] == args[1] {
+                Ok(Value::Null)
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        "ABS" => {
+            require_arity(name, args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => {
+                    Err(SqlError::Type { context: "ABS".into(), value: other.render() })
+                }
+            }
+        }
+        "ROUND" => {
+            require_arity(name, args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(*i)),
+                Value::Float(f) => Ok(Value::Float(f.round())),
+                other => {
+                    Err(SqlError::Type { context: "ROUND".into(), value: other.render() })
+                }
+            }
+        }
+        "REGEXP_MATCHES" => {
+            // DuckDB semantics: true if the pattern matches anywhere.
+            require_arity(name, args, 2)?;
+            let Some(s) = text_arg(name, args, 0)? else { return Ok(Value::Null) };
+            let Some(p) = text_arg(name, args, 1)? else { return Ok(Value::Null) };
+            Ok(Value::Bool(compiled(p)?.is_match(s)))
+        }
+        "REGEXP_FULL_MATCH" => {
+            require_arity(name, args, 2)?;
+            let Some(s) = text_arg(name, args, 0)? else { return Ok(Value::Null) };
+            let Some(p) = text_arg(name, args, 1)? else { return Ok(Value::Null) };
+            Ok(Value::Bool(compiled(p)?.full_match(s)))
+        }
+        "REGEXP_REPLACE" => {
+            require_arity(name, args, 3)?;
+            let Some(s) = text_arg(name, args, 0)? else { return Ok(Value::Null) };
+            let Some(p) = text_arg(name, args, 1)? else { return Ok(Value::Null) };
+            let Some(r) = text_arg(name, args, 2)? else { return Ok(Value::Null) };
+            Ok(Value::Text(compiled(p)?.replace_all(s, r)))
+        }
+        other => Err(SqlError::UnknownFunction(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Value {
+        Value::Text(s.into())
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("TRIM", &[t("  x ")]).unwrap(), t("x"));
+        assert_eq!(call("UPPER", &[t("eng")]).unwrap(), t("ENG"));
+        assert_eq!(call("LOWER", &[t("ENG")]).unwrap(), t("eng"));
+        assert_eq!(call("LENGTH", &[t("héllo")]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(call("TRIM", &[Value::Null]).unwrap(), Value::Null);
+        assert_eq!(call("REGEXP_REPLACE", &[Value::Null, t("a"), t("b")]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn concat_skips_nulls() {
+        assert_eq!(call("CONCAT", &[t("a"), Value::Null, t("b")]).unwrap(), t("ab"));
+    }
+
+    #[test]
+    fn substr_one_based() {
+        assert_eq!(call("SUBSTR", &[t("hello"), Value::Int(2), Value::Int(3)]).unwrap(), t("ell"));
+        assert_eq!(call("SUBSTR", &[t("hello"), Value::Int(2)]).unwrap(), t("ello"));
+        assert_eq!(call("SUBSTR", &[t("hi"), Value::Int(9), Value::Int(2)]).unwrap(), t(""));
+    }
+
+    #[test]
+    fn coalesce_and_nullif() {
+        assert_eq!(call("COALESCE", &[Value::Null, t("x")]).unwrap(), t("x"));
+        assert_eq!(call("COALESCE", &[Value::Null]).unwrap(), Value::Null);
+        assert_eq!(call("NULLIF", &[t("N/A"), t("N/A")]).unwrap(), Value::Null);
+        assert_eq!(call("NULLIF", &[t("ok"), t("N/A")]).unwrap(), t("ok"));
+    }
+
+    #[test]
+    fn regex_functions() {
+        assert_eq!(
+            call("REGEXP_MATCHES", &[t("ab12"), t(r"\d+")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            call("REGEXP_FULL_MATCH", &[t("ab12"), t(r"\d+")]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            call("REGEXP_REPLACE", &[t("01/02/2003"), t(r"(\d{2})/(\d{2})/(\d{4})"), t("$3-$1-$2")])
+                .unwrap(),
+            t("2003-01-02")
+        );
+    }
+
+    #[test]
+    fn bad_pattern_is_error() {
+        assert!(matches!(
+            call("REGEXP_MATCHES", &[t("x"), t("(")]),
+            Err(SqlError::Pattern(_))
+        ));
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("ABS", &[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(call("ROUND", &[Value::Float(2.6)]).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn unknown_function_and_arity() {
+        assert!(matches!(call("NOPE", &[]), Err(SqlError::UnknownFunction(_))));
+        assert!(matches!(call("TRIM", &[t("a"), t("b")]), Err(SqlError::Arity { .. })));
+        assert!(matches!(call("ABS", &[t("x")]), Err(SqlError::Type { .. })));
+    }
+}

@@ -1,0 +1,285 @@
+//! SQL tokenizer for the emitted subset.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted word, uppercased (keywords and plain identifiers).
+    Word(String),
+    /// `"quoted"` identifier, unescaped.
+    QuotedIdent(String),
+    /// `'string'` literal, unescaped.
+    String(String),
+    /// Numeric literal (lexed as text; parser decides int vs float).
+    Number(String),
+    Symbol(Symbol),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+/// A token with its source position (char offset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub position: usize,
+}
+
+/// Tokenizes SQL text. Line comments (`-- …`) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comment
+        if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let position = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            tokens.push(Spanned { token: Token::Word(word.to_ascii_uppercase()), position });
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
+            {
+                if chars[i] == '.' {
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            tokens.push(Spanned {
+                token: Token::Number(chars[start..i].iter().collect()),
+                position,
+            });
+            continue;
+        }
+        match c {
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&other) => {
+                            s.push(other);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Parse {
+                                position,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::String(s), position });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') if chars.get(i + 1) == Some(&'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&other) => {
+                            s.push(other);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Parse {
+                                position,
+                                message: "unterminated quoted identifier".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::QuotedIdent(s), position });
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::LParen), position });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::RParen), position });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::Comma), position });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::Eq), position });
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Spanned { token: Token::Symbol(Symbol::Ne), position });
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::Symbol(Symbol::Le), position });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Symbol(Symbol::Lt), position });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::Symbol(Symbol::Ge), position });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Symbol(Symbol::Gt), position });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::Symbol(Symbol::Ne), position });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Parse {
+                        position,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::Plus), position });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::Minus), position });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::Star), position });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Symbol(Symbol::Slash), position });
+                i += 1;
+            }
+            other => {
+                return Err(SqlError::Parse {
+                    position,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn words_uppercased() {
+        assert_eq!(
+            toks("select Foo"),
+            vec![Token::Word("SELECT".into()), Token::Word("FOO".into())]
+        );
+    }
+
+    #[test]
+    fn strings_unescape() {
+        assert_eq!(toks("'o''brien'"), vec![Token::String("o'brien".into())]);
+    }
+
+    #[test]
+    fn quoted_idents_preserve_case() {
+        assert_eq!(toks("\"MixedCase\""), vec![Token::QuotedIdent("MixedCase".into())]);
+        assert_eq!(toks("\"has\"\"q\""), vec![Token::QuotedIdent("has\"q".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("12 3.5 .5"), vec![
+            Token::Number("12".into()),
+            Token::Number("3.5".into()),
+            Token::Number(".5".into()),
+        ]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(toks("<> <= >= != ="), vec![
+            Token::Symbol(Symbol::Ne),
+            Token::Symbol(Symbol::Le),
+            Token::Symbol(Symbol::Ge),
+            Token::Symbol(Symbol::Ne),
+            Token::Symbol(Symbol::Eq),
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("-- hi there\nSELECT -- trailing\n1"), vec![
+            Token::Word("SELECT".into()),
+            Token::Number("1".into()),
+        ]);
+    }
+
+    #[test]
+    fn errors_positioned() {
+        match tokenize("  'open") {
+            Err(SqlError::Parse { position, .. }) => assert_eq!(position, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("!x").is_err());
+    }
+}

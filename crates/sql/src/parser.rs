@@ -1,0 +1,595 @@
+//! Parser for the SQL subset the renderer emits.
+//!
+//! The cleaning pipeline's output is SQL text (Figure 5 of the paper). To
+//! make that artifact *executable* in this repository — and to test the
+//! renderer by round-trip — this parser reads the exact dialect
+//! [`render`](crate::render) produces: single-table `SELECT`s with
+//! `DISTINCT`, `WHERE`, `QUALIFY ROW_NUMBER() OVER (…) <= k`, CASE/CAST/
+//! function/IN expressions and typed literals.
+
+use crate::ast::{
+    BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder, UnaryOp,
+};
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Spanned, Symbol, Token};
+use cocoon_table::{DataType, Date, TimeOfDay, Value};
+
+/// Parses a single `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<Select> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.select()?;
+    p.expect_end()?;
+    Ok(select)
+}
+
+/// Parses a standalone scalar expression.
+pub fn parse_expr(sql: &str) -> Result<Expr> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    p.expect_end()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        let position = self.tokens.get(self.pos).map(|t| t.position).unwrap_or(0);
+        SqlError::Parse { position, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {word}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing tokens"))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Word(w)) => Ok(w.to_lowercase()),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_word("SELECT")?;
+        let distinct = self.eat_word("DISTINCT");
+        let mut projections = Vec::new();
+        loop {
+            projections.push(self.projection()?);
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_word("FROM")?;
+        let from = self.identifier()?;
+        let where_clause = if self.eat_word("WHERE") { Some(self.expr()?) } else { None };
+        let qualify = if self.eat_word("QUALIFY") { Some(self.qualify()?) } else { None };
+        Ok(Select { distinct, projections, from, where_clause, qualify, comment: None })
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        if self.eat_symbol(Symbol::Star) {
+            return Ok(Projection::Star);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_word("AS") { Some(self.identifier()?) } else { None };
+        Ok(Projection::Expr { expr, alias })
+    }
+
+    fn qualify(&mut self) -> Result<RowNumberFilter> {
+        self.expect_word("ROW_NUMBER")?;
+        self.expect_symbol(Symbol::LParen)?;
+        self.expect_symbol(Symbol::RParen)?;
+        self.expect_word("OVER")?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut partition_by = Vec::new();
+        let mut order_by = Vec::new();
+        if self.eat_word("PARTITION") {
+            self.expect_word("BY")?;
+            loop {
+                partition_by.push(self.expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_word("ORDER") {
+            self.expect_word("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let dir = if self.eat_word("DESC") {
+                    SortOrder::Desc
+                } else {
+                    self.eat_word("ASC");
+                    SortOrder::Asc
+                };
+                order_by.push((expr, dir));
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_symbol(Symbol::RParen)?;
+        self.expect_symbol(Symbol::Le)?;
+        let keep = match self.bump() {
+            Some(Token::Number(n)) => n
+                .parse::<usize>()
+                .map_err(|_| self.error("QUALIFY bound must be an integer"))?,
+            _ => return Err(self.error("expected integer after <=")),
+        };
+        Ok(RowNumberFilter { partition_by, order_by, keep })
+    }
+
+    // Expression grammar, lowest precedence first.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_word("OR") {
+            let right = self.and_expr()?;
+            left = Expr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_word("AND") {
+            let right = self.not_expr()?;
+            left = Expr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_word("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let mut left = self.additive()?;
+        // Postfix operators chain left-associatively:
+        // `x IS NULL IN (TRUE)` is `(x IS NULL) IN (TRUE)`.
+        loop {
+            // IS [NOT] NULL
+            if self.eat_word("IS") {
+                let negated = self.eat_word("NOT");
+                self.expect_word("NULL")?;
+                left = Expr::Unary {
+                    op: if negated { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+                    expr: Box::new(left),
+                };
+                continue;
+            }
+            // [NOT] IN (…)
+            let in_clause = if self.eat_word("NOT") {
+                self.expect_word("IN")?;
+                Some(true)
+            } else if self.eat_word("IN") {
+                Some(false)
+            } else {
+                None
+            };
+            if let Some(negated) = in_clause {
+                self.expect_symbol(Symbol::LParen)?;
+                let mut list = Vec::new();
+                loop {
+                    list.push(self.expr()?);
+                    if !self.eat_symbol(Symbol::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Symbol::RParen)?;
+                left = Expr::InList { expr: Box::new(left), list, negated };
+                continue;
+            }
+            break;
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Symbol::Eq)) => Some(BinaryOp::Eq),
+            Some(Token::Symbol(Symbol::Ne)) => Some(BinaryOp::Ne),
+            Some(Token::Symbol(Symbol::Lt)) => Some(BinaryOp::Lt),
+            Some(Token::Symbol(Symbol::Le)) => Some(BinaryOp::Le),
+            Some(Token::Symbol(Symbol::Gt)) => Some(BinaryOp::Gt),
+            Some(Token::Symbol(Symbol::Ge)) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_symbol(Symbol::Plus) {
+                BinaryOp::Add
+            } else if self.eat_symbol(Symbol::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_symbol(Symbol::Star) {
+                BinaryOp::Mul
+            } else if self.eat_symbol(Symbol::Slash) {
+                BinaryOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(Symbol::Minus) {
+            let inner = self.unary()?;
+            // Fold negation into numeric literals for cleaner ASTs.
+            if let Expr::Literal(Value::Int(i)) = inner {
+                return Ok(Expr::Literal(Value::Int(-i)));
+            }
+            if let Expr::Literal(Value::Float(f)) = inner {
+                return Ok(Expr::Literal(Value::Float(-f)));
+            }
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Symbol(Symbol::LParen)) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::String(s)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Some(Token::Number(n)) => {
+                self.bump();
+                if n.contains('.') {
+                    n.parse::<f64>()
+                        .map(|f| Expr::Literal(Value::Float(f)))
+                        .map_err(|_| self.error("bad float literal"))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| Expr::Literal(Value::Int(i)))
+                        .map_err(|_| self.error("bad integer literal"))
+                }
+            }
+            Some(Token::QuotedIdent(name)) => {
+                self.bump();
+                Ok(Expr::Column(name))
+            }
+            Some(Token::Word(word)) => self.word_expr(&word),
+            _ => Err(self.error("expected expression")),
+        }
+    }
+
+    fn word_expr(&mut self, word: &str) -> Result<Expr> {
+        match word {
+            "NULL" => {
+                self.bump();
+                Ok(Expr::null())
+            }
+            // NOT can appear in operand position ("a = NOT (b)"): the
+            // renderer always parenthesises its operand, so parse tightly.
+            "NOT" => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+            }
+            "TRUE" => {
+                self.bump();
+                Ok(Expr::lit(true))
+            }
+            "FALSE" => {
+                self.bump();
+                Ok(Expr::lit(false))
+            }
+            "DATE" => {
+                self.bump();
+                match self.bump() {
+                    Some(Token::String(s)) => Date::parse_iso(&s)
+                        .map(|d| Expr::Literal(Value::Date(d)))
+                        .ok_or_else(|| self.error("invalid DATE literal")),
+                    _ => Err(self.error("expected string after DATE")),
+                }
+            }
+            "TIME" => {
+                self.bump();
+                match self.bump() {
+                    Some(Token::String(s)) => TimeOfDay::parse_flexible(&s)
+                        .map(|t| Expr::Literal(Value::Time(t)))
+                        .ok_or_else(|| self.error("invalid TIME literal")),
+                    _ => Err(self.error("expected string after TIME")),
+                }
+            }
+            "CASE" => self.case_expr(),
+            "CAST" | "TRY_CAST" => {
+                let lenient = word == "TRY_CAST";
+                self.bump();
+                self.expect_symbol(Symbol::LParen)?;
+                let inner = self.expr()?;
+                self.expect_word("AS")?;
+                let ty = match self.bump() {
+                    Some(Token::Word(name)) => DataType::from_sql_name(&name)
+                        .ok_or_else(|| self.error(format!("unknown type {name}")))?,
+                    _ => return Err(self.error("expected type name")),
+                };
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(Expr::Cast { expr: Box::new(inner), ty, lenient })
+            }
+            _ => {
+                // Function call or bare column.
+                self.bump();
+                if self.eat_symbol(Symbol::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(Symbol::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_symbol(Symbol::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(Symbol::RParen)?;
+                    }
+                    Ok(Expr::Func { name: word.to_string(), args })
+                } else {
+                    // Unquoted identifiers are folded to lowercase (our
+                    // emitted SQL only leaves plain lowercase names bare).
+                    Ok(Expr::Column(word.to_lowercase()))
+                }
+            }
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        self.expect_word("CASE")?;
+        let operand = if matches!(self.peek(), Some(Token::Word(w)) if w == "WHEN") {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut arms = Vec::new();
+        while self.eat_word("WHEN") {
+            let when = self.expr()?;
+            self.expect_word("THEN")?;
+            let then = self.expr()?;
+            arms.push((when, then));
+        }
+        if arms.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN arm"));
+        }
+        let otherwise = if self.eat_word("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_word("END")?;
+        Ok(Expr::Case { operand, arms, otherwise })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render_expr, render_select};
+
+    #[test]
+    fn parses_value_map_case() {
+        let e = parse_expr(
+            "CASE lang WHEN 'English' THEN 'eng' WHEN 'French' THEN 'fre' ELSE lang END",
+        )
+        .unwrap();
+        match &e {
+            Expr::Case { operand: Some(_), arms, otherwise: Some(_) } => {
+                assert_eq!(arms.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_searched_case() {
+        let e = parse_expr("CASE WHEN x > 100 THEN NULL ELSE x END").unwrap();
+        match &e {
+            Expr::Case { operand: None, arms, .. } => assert_eq!(arms.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cast_and_literals() {
+        let e = parse_expr("CAST('yes' AS BOOLEAN)").unwrap();
+        assert_eq!(e, Expr::cast(Expr::lit("yes"), DataType::Bool));
+        let e = parse_expr("TRY_CAST(x AS BIGINT)").unwrap();
+        assert!(matches!(e, Expr::Cast { lenient: true, .. }));
+        assert_eq!(parse_expr("-3").unwrap(), Expr::lit(-3i64));
+        assert_eq!(parse_expr("2.5").unwrap(), Expr::lit(2.5));
+        assert_eq!(parse_expr("NULL").unwrap(), Expr::null());
+        assert_eq!(parse_expr("TRUE").unwrap(), Expr::lit(true));
+    }
+
+    #[test]
+    fn parses_typed_literals() {
+        let e = parse_expr("DATE '2020-01-02'").unwrap();
+        assert!(matches!(e, Expr::Literal(Value::Date(_))));
+        let e = parse_expr("TIME '22:30'").unwrap();
+        assert!(matches!(e, Expr::Literal(Value::Time(_))));
+        assert!(parse_expr("DATE '13/45/1'").is_err());
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("a OR b AND c").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_in_list() {
+        let e = parse_expr("v IS NOT NULL").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::IsNotNull, .. }));
+        let e = parse_expr("v IN ('N/A', 'null')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = parse_expr("v NOT IN ('x')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+    }
+
+    #[test]
+    fn functions_parse() {
+        let e = parse_expr("REGEXP_REPLACE(col, '\\d+', 'N')").unwrap();
+        match &e {
+            Expr::Func { name, args } => {
+                assert_eq!(name, "REGEXP_REPLACE");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_round_trip() {
+        let select = Select {
+            distinct: true,
+            projections: vec![
+                Projection::Star,
+                Projection::aliased(
+                    Expr::value_map("lang", &[(Value::from("English"), Value::from("eng"))]),
+                    "lang_clean",
+                ),
+            ],
+            from: "rayyan".into(),
+            where_clause: Some(Expr::Unary {
+                op: UnaryOp::IsNotNull,
+                expr: Box::new(Expr::col("lang")),
+            }),
+            qualify: Some(RowNumberFilter {
+                partition_by: vec![Expr::col("id")],
+                order_by: vec![(Expr::col("updated"), SortOrder::Desc)],
+                keep: 1,
+            }),
+            comment: Some("round trip".into()),
+        };
+        let sql = render_select(&select);
+        let parsed = parse_select(&sql).unwrap();
+        // Comments are not round-tripped; compare the rest.
+        let mut expected = select.clone();
+        expected.comment = None;
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn expr_round_trips() {
+        for sql in [
+            "CASE lang WHEN 'English' THEN 'eng' ELSE lang END",
+            "TRY_CAST(x AS DOUBLE)",
+            "a + b * c - d",
+            "x IS NULL OR y IS NOT NULL",
+            "v IN ('a', 'b', 'c')",
+            "NOT (a = b)",
+            "TRIM(UPPER(name))",
+        ] {
+            let e = parse_expr(sql).unwrap();
+            let rendered = render_expr(&e);
+            let reparsed = parse_expr(&rendered).unwrap();
+            assert_eq!(e, reparsed, "{sql} → {rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_expr("CASE END").is_err());
+        assert!(parse_expr("CAST(x AS NOPE)").is_err());
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_select("SELECT * FROM t garbage").is_err());
+        assert!(parse_expr("(a").is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Rendering ASTs back to SQL text.
+//!
+//! The final artifact of the paper's pipeline is "a set of well-commented
+//! SQL queries" (Figure 5); this module produces them. The output is valid
+//! input for this crate's [parser](crate::parser), giving a round-trip
+//! property the tests rely on.
+
+use crate::ast::{BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder, UnaryOp};
+use cocoon_table::Value;
+
+/// Quotes a SQL string literal (single quotes, doubled to escape).
+pub fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        if c == '\'' {
+            out.push('\'');
+        }
+        out.push(c);
+    }
+    out.push('\'');
+    out
+}
+
+/// Quotes an identifier with double quotes when it isn't a plain identifier.
+pub fn quote_ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if plain {
+        name.to_string()
+    } else {
+        let mut out = String::with_capacity(name.len() + 2);
+        out.push('"');
+        for c in name.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    }
+}
+
+/// Renders a literal value as SQL.
+pub fn render_value(value: &Value) -> String {
+    match value {
+        Value::Null => "NULL".to_string(),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Date(d) => format!("DATE {}", quote_string(&d.to_iso())),
+        Value::Time(t) => format!("TIME {}", quote_string(&t.to_hhmm())),
+        Value::Text(s) => quote_string(s),
+    }
+}
+
+fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 3,
+        BinaryOp::Add | BinaryOp::Sub => 4,
+        BinaryOp::Mul | BinaryOp::Div => 5,
+    }
+}
+
+/// Renders an expression as SQL, parenthesising by precedence.
+pub fn render_expr(expr: &Expr) -> String {
+    render_prec(expr, 0)
+}
+
+fn render_prec(expr: &Expr, parent: u8) -> String {
+    match expr {
+        Expr::Column(name) => quote_ident(name),
+        Expr::Literal(v) => render_value(v),
+        Expr::Unary { op, expr } => match op {
+            // Prefix operators are parenthesised as a whole when they feed a
+            // postfix context (`(NOT x) IN (…)`, `(-x) IS NULL`): otherwise
+            // the postfix operator would re-associate under the prefix.
+            UnaryOp::Not => {
+                let text = format!("NOT ({})", render_prec(expr, 0));
+                if parent > 0 {
+                    format!("({text})")
+                } else {
+                    text
+                }
+            }
+            UnaryOp::Neg => {
+                let text = format!("-({})", render_prec(expr, 0));
+                if parent > 0 {
+                    format!("({text})")
+                } else {
+                    text
+                }
+            }
+            // Postfix tests parenthesise as a whole inside comparisons and
+            // arithmetic: `a = (b IS NULL)`, never `a = b IS NULL`.
+            UnaryOp::IsNull => {
+                let text = format!("{} IS NULL", render_prec(expr, 6));
+                if parent >= 3 {
+                    format!("({text})")
+                } else {
+                    text
+                }
+            }
+            UnaryOp::IsNotNull => {
+                let text = format!("{} IS NOT NULL", render_prec(expr, 6));
+                if parent >= 3 {
+                    format!("({text})")
+                } else {
+                    text
+                }
+            }
+        },
+        Expr::Binary { op, left, right } => {
+            let prec = precedence(*op);
+            // Comparisons are non-associative in the grammar: a nested
+            // comparison on either side must be parenthesised
+            // (`(a = b) = c`, never `a = b = c`).
+            let left_prec = if prec == 3 { prec + 1 } else { prec };
+            let text = format!(
+                "{} {} {}",
+                render_prec(left, left_prec),
+                op.sql(),
+                render_prec(right, prec + 1)
+            );
+            if prec < parent {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Case { operand, arms, otherwise } => {
+            let mut out = String::from("CASE");
+            if let Some(op) = operand {
+                out.push(' ');
+                out.push_str(&render_prec(op, 0));
+            }
+            for (when, then) in arms {
+                out.push_str(&format!(
+                    "\n    WHEN {} THEN {}",
+                    render_prec(when, 0),
+                    render_prec(then, 0)
+                ));
+            }
+            if let Some(other) = otherwise {
+                out.push_str(&format!("\n    ELSE {}", render_prec(other, 0)));
+            }
+            out.push_str("\nEND");
+            out
+        }
+        Expr::Cast { expr, ty, lenient } => {
+            let kw = if *lenient { "TRY_CAST" } else { "CAST" };
+            format!("{kw}({} AS {})", render_prec(expr, 0), ty.sql_name())
+        }
+        Expr::Func { name, args } => {
+            let rendered: Vec<String> = args.iter().map(|a| render_prec(a, 0)).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        Expr::InList { expr, list, negated } => {
+            let items: Vec<String> = list.iter().map(|i| render_prec(i, 0)).collect();
+            let text = format!(
+                "{} {}IN ({})",
+                render_prec(expr, 6),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            );
+            if parent >= 3 {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+    }
+}
+
+/// Renders a `SELECT` statement, including its comment block.
+pub fn render_select(select: &Select) -> String {
+    let mut out = String::new();
+    if let Some(comment) = &select.comment {
+        for line in comment.lines() {
+            out.push_str("-- ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("SELECT ");
+    if select.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let projections: Vec<String> = select
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Star => "*".to_string(),
+            Projection::Expr { expr, alias } => {
+                let mut text = render_expr(expr);
+                if let Some(alias) = alias {
+                    text.push_str(" AS ");
+                    text.push_str(&quote_ident(alias));
+                }
+                text
+            }
+        })
+        .collect();
+    out.push_str(&projections.join(",\n       "));
+    out.push_str(&format!("\nFROM {}", quote_ident(&select.from)));
+    if let Some(where_clause) = &select.where_clause {
+        out.push_str(&format!("\nWHERE {}", render_expr(where_clause)));
+    }
+    if let Some(qualify) = &select.qualify {
+        out.push_str(&format!("\nQUALIFY {}", render_qualify(qualify)));
+    }
+    out
+}
+
+fn render_qualify(filter: &RowNumberFilter) -> String {
+    let partition: Vec<String> = filter.partition_by.iter().map(render_expr).collect();
+    let order: Vec<String> = filter
+        .order_by
+        .iter()
+        .map(|(e, dir)| {
+            format!(
+                "{} {}",
+                render_expr(e),
+                match dir {
+                    SortOrder::Asc => "ASC",
+                    SortOrder::Desc => "DESC",
+                }
+            )
+        })
+        .collect();
+    let mut over = String::new();
+    if !partition.is_empty() {
+        over.push_str(&format!("PARTITION BY {}", partition.join(", ")));
+    }
+    if !order.is_empty() {
+        if !over.is_empty() {
+            over.push(' ');
+        }
+        over.push_str(&format!("ORDER BY {}", order.join(", ")));
+    }
+    format!("ROW_NUMBER() OVER ({over}) <= {}", filter.keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_table::DataType;
+
+    #[test]
+    fn string_quoting() {
+        assert_eq!(quote_string("abc"), "'abc'");
+        assert_eq!(quote_string("o'brien"), "'o''brien'");
+    }
+
+    #[test]
+    fn ident_quoting() {
+        assert_eq!(quote_ident("plain_name"), "plain_name");
+        assert_eq!(quote_ident("has space"), "\"has space\"");
+        assert_eq!(quote_ident("1starts_digit"), "\"1starts_digit\"");
+        assert_eq!(quote_ident("has\"quote"), "\"has\"\"quote\"");
+    }
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(render_value(&Value::Null), "NULL");
+        assert_eq!(render_value(&Value::Bool(true)), "TRUE");
+        assert_eq!(render_value(&Value::Int(-3)), "-3");
+        assert_eq!(render_value(&Value::Float(2.0)), "2.0");
+        assert_eq!(render_value(&Value::Text("x".into())), "'x'");
+    }
+
+    #[test]
+    fn case_when_rendering() {
+        let map = Expr::value_map("article_language", &[(Value::from("English"), Value::from("eng"))]);
+        let sql = render_expr(&map);
+        assert!(sql.contains("CASE article_language"));
+        assert!(sql.contains("WHEN 'English' THEN 'eng'"));
+        assert!(sql.contains("ELSE article_language"));
+        assert!(sql.trim_end().ends_with("END"));
+    }
+
+    #[test]
+    fn precedence_parentheses() {
+        // (a OR b) AND c must keep parentheses.
+        let e = Expr::and(
+            Expr::or(Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        assert_eq!(render_expr(&e), "(a OR b) AND c");
+        // a OR (b AND c) needs none.
+        let e = Expr::or(
+            Expr::col("a"),
+            Expr::and(Expr::col("b"), Expr::col("c")),
+        );
+        assert_eq!(render_expr(&e), "a OR b AND c");
+    }
+
+    #[test]
+    fn cast_rendering() {
+        let e = Expr::cast(Expr::col("x"), DataType::Bool);
+        assert_eq!(render_expr(&e), "CAST(x AS BOOLEAN)");
+        let e = Expr::try_cast(Expr::col("x"), DataType::Int);
+        assert_eq!(render_expr(&e), "TRY_CAST(x AS BIGINT)");
+    }
+
+    #[test]
+    fn select_with_comment_and_qualify() {
+        let select = Select {
+            distinct: false,
+            projections: vec![Projection::Star],
+            from: "t".into(),
+            where_clause: Some(Expr::is_null(Expr::col("a"))),
+            qualify: Some(RowNumberFilter {
+                partition_by: vec![Expr::col("id")],
+                order_by: vec![(Expr::col("updated"), SortOrder::Desc)],
+                keep: 1,
+            }),
+            comment: Some("keep latest row per id\nsecond line".into()),
+        };
+        let sql = render_select(&select);
+        assert!(sql.starts_with("-- keep latest row per id\n-- second line\n"));
+        assert!(sql.contains("WHERE a IS NULL"));
+        assert!(sql.contains("QUALIFY ROW_NUMBER() OVER (PARTITION BY id ORDER BY updated DESC) <= 1"));
+    }
+
+    #[test]
+    fn distinct_rendering() {
+        let mut s = Select::star("t");
+        s.distinct = true;
+        assert!(render_select(&s).starts_with("SELECT DISTINCT *"));
+    }
+
+    #[test]
+    fn in_list_rendering() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("v")),
+            list: vec![Expr::lit("N/A"), Expr::lit("null")],
+            negated: true,
+        };
+        assert_eq!(render_expr(&e), "v NOT IN ('N/A', 'null')");
+    }
+}

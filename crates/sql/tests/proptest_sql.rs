@@ -1,0 +1,93 @@
+//! Property tests: render → parse round-trips over generated expression
+//! trees, and executor invariants.
+
+use cocoon_sql::{execute, parse_expr, render_expr, BinaryOp, Expr, Select, UnaryOp};
+use cocoon_table::{Table, Value};
+use proptest::prelude::*;
+
+/// Literal values whose SQL renderings are parseable (text/int/bool/null).
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::null()),
+        any::<bool>().prop_map(Expr::lit),
+        (-1000i64..1000).prop_map(Expr::lit),
+        "[ -~]{0,8}".prop_map(|s| Expr::lit(s.as_str())),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = Expr> {
+    prop_oneof![Just(Expr::col("a")), Just(Expr::col("b"))]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column_ref()];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::eq(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::or(l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
+            inner.clone().prop_map(Expr::is_null),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, o)| Expr::Case {
+                operand: None,
+                arms: vec![(c, t)],
+                otherwise: Some(Box::new(o)),
+            }),
+            (inner.clone(), proptest::collection::vec(inner, 1..3)).prop_map(
+                |(e, list)| Expr::InList { expr: Box::new(e), list, negated: false }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn render_parse_round_trip(e in expr()) {
+        let sql = render_expr(&e);
+        let reparsed = parse_expr(&sql).expect("rendered SQL parses");
+        prop_assert_eq!(reparsed, e, "sql was: {}", sql);
+    }
+
+    #[test]
+    fn select_star_identity(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-z0-9]{0,6}", 2),
+            0..10,
+        )
+    ) {
+        let rows: Vec<Vec<String>> = rows;
+        let table = Table::from_text_rows(&["a", "b"], &rows).expect("table");
+        let out = execute(&Select::star("t"), &table).expect("executes");
+        prop_assert_eq!(out, table);
+    }
+
+    #[test]
+    fn value_map_execution_is_exhaustive(
+        values in proptest::collection::vec("[a-d]{1}", 1..20),
+    ) {
+        // CASE a WHEN 'a' THEN 'z' ELSE a END leaves non-'a' untouched.
+        let rows: Vec<Vec<String>> = values.iter().map(|v| vec![v.clone()]).collect();
+        let table = Table::from_text_rows(&["a"], &rows).expect("table");
+        let map = Expr::value_map("a", &[(Value::from("a"), Value::from("z"))]);
+        let select = Select {
+            distinct: false,
+            projections: vec![cocoon_sql::Projection::aliased(map, "a")],
+            from: "t".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        let out = execute(&select, &table).expect("executes");
+        for (r, v) in values.iter().enumerate() {
+            let expected = if v == "a" { "z" } else { v.as_str() };
+            prop_assert_eq!(out.render_cell(r, 0).expect("cell"), expected);
+        }
+    }
+}

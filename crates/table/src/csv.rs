@@ -1,0 +1,230 @@
+//! RFC-4180 CSV reading and writing.
+//!
+//! The benchmark datasets travel as CSV (the format every baseline in the
+//! paper consumes), so the substrate implements a complete quoted-field
+//! reader/writer rather than a `split(',')` approximation.
+
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Parses a full CSV document into records of fields.
+///
+/// Supports quoted fields, embedded commas, embedded quotes (`""`), embedded
+/// newlines inside quotes, and both `\n` and `\r\n` record separators.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any_char_in_record = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(TableError::Csv {
+                        line,
+                        message: "quote appears mid-field".to_string(),
+                    });
+                }
+                in_quotes = true;
+                any_char_in_record = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_char_in_record = true;
+            }
+            '\r' => {
+                // Consumed as part of \r\n; a stray \r is treated likewise.
+                if chars.peek() == Some(&'\n') {
+                    continue;
+                }
+            }
+            '\n' => {
+                line += 1;
+                if any_char_in_record || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_char_in_record = false;
+            }
+            other => {
+                field.push(other);
+                any_char_in_record = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv { line, message: "unterminated quoted field".to_string() });
+    }
+    if any_char_in_record || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Quotes a field if it contains a comma, quote, or newline.
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Reads a CSV document (first record = header) into an all-text [`Table`].
+pub fn read_str(input: &str) -> Result<Table> {
+    let mut records = parse_records(input)?;
+    if records.is_empty() {
+        return Err(TableError::Csv { line: 1, message: "empty document".to_string() });
+    }
+    let header = records.remove(0);
+    Table::from_text_rows(&header, &records)
+}
+
+/// Reads a CSV file into an all-text [`Table`].
+pub fn read_path(path: impl AsRef<Path>) -> Result<Table> {
+    let text = fs::read_to_string(path)?;
+    read_str(&text)
+}
+
+/// Serialises a table to CSV text, rendering every cell with
+/// [`Value::render`](crate::value::Value::render) (NULL ⇒ empty field).
+pub fn write_str(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        table.schema().names().iter().map(|n| escape_field(n)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = row.iter().map(|v| escape_field(&v.render())).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a table to a CSV file.
+pub fn write_path(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(write_str(table).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_simple_document() {
+        let recs = parse_records("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parses_quotes_commas_newlines() {
+        let recs = parse_records("a,b\n\"x,y\",\"line1\nline2\"\n\"he said \"\"hi\"\"\",z\n")
+            .unwrap();
+        assert_eq!(recs[1][0], "x,y");
+        assert_eq!(recs[1][1], "line1\nline2");
+        assert_eq!(recs[2][0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let recs = parse_records("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let recs = parse_records("a,b,c\n,,\nx,,z\n").unwrap();
+        assert_eq!(recs[1], vec!["", "", ""]);
+        assert_eq!(recs[2], vec!["x", "", "z"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse_records("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn quote_mid_field_is_error() {
+        let err = parse_records("a\nab\"c\n").unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn read_str_builds_table() {
+        let table = read_str("name,age\nalice,30\nbob,25\n").unwrap();
+        assert_eq!(table.width(), 2);
+        assert_eq!(table.height(), 2);
+        assert_eq!(table.cell(0, 0).unwrap(), &Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        assert!(read_str("").is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let source = "name,notes\nalice,\"likes, commas\"\nbob,\"quote \"\" here\"\n";
+        let table = read_str(source).unwrap();
+        let written = write_str(&table);
+        let reread = read_str(&written).unwrap();
+        assert_eq!(table, reread);
+    }
+
+    #[test]
+    fn write_renders_null_as_empty() {
+        let mut table = read_str("a,b\n1,2\n").unwrap();
+        table.set_cell(0, 1, Value::Null).unwrap();
+        let out = write_str(&table);
+        assert_eq!(out, "a,b\n1,\n");
+    }
+
+    #[test]
+    fn escape_field_quotes_when_needed() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

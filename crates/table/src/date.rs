@@ -1,0 +1,319 @@
+//! Minimal civil date / time-of-day types.
+//!
+//! The cleaning pipeline needs to recognise, parse, compare and reformat
+//! calendar dates and clock times that appear as strings in dirty data
+//! (`"1/1/2000"`, `"2000-01-01"`, `"10:30 p.m."`, …). We implement a small
+//! proleptic-Gregorian date type rather than pulling in a chrono-sized
+//! dependency: the pipeline only needs validity checks, ordering, day
+//! arithmetic and formatting.
+
+use std::fmt;
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+/// A time of day with minute resolution (enough for flight schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeOfDay {
+    minutes_since_midnight: u16,
+}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Whether `year` is a leap year in the Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`, or `None` for an invalid month.
+pub fn days_in_month(year: i32, month: u8) -> Option<u8> {
+    if !(1..=12).contains(&month) {
+        return None;
+    }
+    let base = DAYS_IN_MONTH[(month - 1) as usize];
+    Some(if month == 2 && is_leap_year(year) { 29 } else { base })
+}
+
+impl Date {
+    /// Builds a date, validating the month/day combination.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Self> {
+        let max = days_in_month(year, month)?;
+        if day == 0 || day > max {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since 0000-03-01 (a standard trick making leap days trailing).
+    /// Used for ordering and day arithmetic.
+    pub fn day_number(&self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = self.year as i64 - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (i64::from(self.month) + 9) % 12; // [0, 11], March = 0
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468 // days since 1970-01-01
+    }
+
+    /// Inverse of [`Date::day_number`].
+    pub fn from_day_number(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = (y + i64::from(m <= 2)) as i32;
+        Date { year, month: m, day: d }
+    }
+
+    /// The date `n` days after `self` (negative moves backwards).
+    pub fn plus_days(&self, n: i64) -> Self {
+        Self::from_day_number(self.day_number() + n)
+    }
+
+    /// Parses an ISO `YYYY-MM-DD` date.
+    pub fn parse_iso(s: &str) -> Option<Self> {
+        let mut parts = s.split('-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u8 = parts.next()?.parse().ok()?;
+        let day: u8 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Date::new(year, month, day)
+    }
+
+    /// Parses a `M/D/YYYY` (or `MM/DD/YYYY`) US-style date.
+    pub fn parse_mdy(s: &str) -> Option<Self> {
+        let mut parts = s.split('/');
+        let month: u8 = parts.next()?.trim().parse().ok()?;
+        let day: u8 = parts.next()?.trim().parse().ok()?;
+        let year_str = parts.next()?.trim();
+        if parts.next().is_some() || year_str.len() > 4 || year_str.is_empty() {
+            return None;
+        }
+        let mut year: i32 = year_str.parse().ok()?;
+        if year_str.len() <= 2 {
+            // Two-digit years pivot at 70, matching common spreadsheet rules.
+            year += if year < 70 { 2000 } else { 1900 };
+        }
+        Date::new(year, month, day)
+    }
+
+    /// Parses either ISO or US-style.
+    pub fn parse_any(s: &str) -> Option<Self> {
+        Self::parse_iso(s).or_else(|| Self::parse_mdy(s))
+    }
+
+    /// Formats as ISO `YYYY-MM-DD`.
+    pub fn to_iso(&self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl TimeOfDay {
+    /// Builds a time of day from hours and minutes.
+    pub fn new(hour: u8, minute: u8) -> Option<Self> {
+        if hour >= 24 || minute >= 60 {
+            return None;
+        }
+        Some(TimeOfDay { minutes_since_midnight: u16::from(hour) * 60 + u16::from(minute) })
+    }
+
+    pub fn hour(&self) -> u8 {
+        (self.minutes_since_midnight / 60) as u8
+    }
+
+    pub fn minute(&self) -> u8 {
+        (self.minutes_since_midnight % 60) as u8
+    }
+
+    /// Minutes since midnight, the canonical comparable form.
+    pub fn total_minutes(&self) -> u16 {
+        self.minutes_since_midnight
+    }
+
+    /// Parses `"10:30 p.m."`, `"10:30 pm"`, `"22:05"`, `"7:00 a.m."`.
+    ///
+    /// This is the format used by the Flights benchmark's actual
+    /// departure/arrival columns.
+    pub fn parse_flexible(s: &str) -> Option<Self> {
+        let lowered = s.trim().to_ascii_lowercase();
+        let lowered = lowered.replace('.', "");
+        let (clock, meridiem) = if let Some(stripped) = lowered.strip_suffix("pm") {
+            (stripped.trim().to_string(), Some(true))
+        } else if let Some(stripped) = lowered.strip_suffix("am") {
+            (stripped.trim().to_string(), Some(false))
+        } else {
+            (lowered.trim().to_string(), None)
+        };
+        let mut parts = clock.split(':');
+        let hour: u8 = parts.next()?.trim().parse().ok()?;
+        let minute: u8 = parts.next().unwrap_or("0").trim().parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        match meridiem {
+            Some(pm) => {
+                if hour == 0 || hour > 12 {
+                    return None;
+                }
+                let hour24 = match (hour, pm) {
+                    (12, false) => 0,
+                    (12, true) => 12,
+                    (h, false) => h,
+                    (h, true) => h + 12,
+                };
+                TimeOfDay::new(hour24, minute)
+            }
+            None => TimeOfDay::new(hour, minute),
+        }
+    }
+
+    /// Formats as `"H:MM a.m./p.m."`, mirroring the Flights benchmark style.
+    pub fn to_ampm(&self) -> String {
+        let h = self.hour();
+        let (display, suffix) = match h {
+            0 => (12, "a.m."),
+            1..=11 => (h, "a.m."),
+            12 => (12, "p.m."),
+            _ => (h - 12, "p.m."),
+        };
+        format!("{}:{:02} {}", display, self.minute(), suffix)
+    }
+
+    /// Formats as 24h `HH:MM`.
+    pub fn to_hhmm(&self) -> String {
+        format!("{:02}:{:02}", self.hour(), self.minute())
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hhmm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2023));
+    }
+
+    #[test]
+    fn month_lengths() {
+        assert_eq!(days_in_month(2023, 2), Some(28));
+        assert_eq!(days_in_month(2024, 2), Some(29));
+        assert_eq!(days_in_month(2024, 4), Some(30));
+        assert_eq!(days_in_month(2024, 13), None);
+        assert_eq!(days_in_month(2024, 0), None);
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::new(2024, 2, 29).is_some());
+        assert!(Date::new(2023, 2, 29).is_none());
+        assert!(Date::new(2023, 4, 31).is_none());
+        assert!(Date::new(2023, 1, 0).is_none());
+    }
+
+    #[test]
+    fn day_number_round_trip() {
+        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (1999, 12, 31), (2024, 6, 9), (1, 1, 1)] {
+            let date = Date::new(y, m, d).unwrap();
+            assert_eq!(Date::from_day_number(date.day_number()), date);
+        }
+        assert_eq!(Date::new(1970, 1, 1).unwrap().day_number(), 0);
+        assert_eq!(Date::new(1970, 1, 2).unwrap().day_number(), 1);
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        let d = Date::new(2023, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1), Date::new(2024, 1, 1).unwrap());
+        assert_eq!(d.plus_days(-365), Date::new(2022, 12, 31).unwrap());
+    }
+
+    #[test]
+    fn iso_parsing() {
+        assert_eq!(Date::parse_iso("2024-06-09"), Date::new(2024, 6, 9));
+        assert_eq!(Date::parse_iso("2024-6-9"), Date::new(2024, 6, 9));
+        assert_eq!(Date::parse_iso("2024-13-01"), None);
+        assert_eq!(Date::parse_iso("2024-06-09-1"), None);
+        assert_eq!(Date::parse_iso("junk"), None);
+    }
+
+    #[test]
+    fn mdy_parsing() {
+        assert_eq!(Date::parse_mdy("6/9/2024"), Date::new(2024, 6, 9));
+        assert_eq!(Date::parse_mdy("12/31/99"), Date::new(1999, 12, 31));
+        assert_eq!(Date::parse_mdy("1/1/00"), Date::new(2000, 1, 1));
+        assert_eq!(Date::parse_mdy("13/1/2000"), None);
+        assert_eq!(Date::parse_mdy("1/1/20001"), None);
+    }
+
+    #[test]
+    fn date_ordering_matches_day_number() {
+        let a = Date::new(2020, 5, 1).unwrap();
+        let b = Date::new(2020, 5, 2).unwrap();
+        assert!(a < b);
+        assert!(a.day_number() < b.day_number());
+    }
+
+    #[test]
+    fn time_parse_meridiem() {
+        assert_eq!(TimeOfDay::parse_flexible("10:30 p.m."), TimeOfDay::new(22, 30));
+        assert_eq!(TimeOfDay::parse_flexible("10:30 pm"), TimeOfDay::new(22, 30));
+        assert_eq!(TimeOfDay::parse_flexible("12:00 a.m."), TimeOfDay::new(0, 0));
+        assert_eq!(TimeOfDay::parse_flexible("12:15 p.m."), TimeOfDay::new(12, 15));
+        assert_eq!(TimeOfDay::parse_flexible("22:05"), TimeOfDay::new(22, 5));
+        assert_eq!(TimeOfDay::parse_flexible("7 a.m."), TimeOfDay::new(7, 0));
+        assert_eq!(TimeOfDay::parse_flexible("25:00"), None);
+        assert_eq!(TimeOfDay::parse_flexible("13:00 p.m."), None);
+    }
+
+    #[test]
+    fn time_formats_round_trip() {
+        let t = TimeOfDay::new(22, 30).unwrap();
+        assert_eq!(t.to_ampm(), "10:30 p.m.");
+        assert_eq!(TimeOfDay::parse_flexible(&t.to_ampm()), Some(t));
+        let noonish = TimeOfDay::new(0, 5).unwrap();
+        assert_eq!(noonish.to_ampm(), "12:05 a.m.");
+        assert_eq!(TimeOfDay::parse_flexible(&noonish.to_ampm()), Some(noonish));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all table operations.
+
+use std::fmt;
+
+/// Errors produced by the table substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A column index was out of bounds.
+    ColumnIndexOutOfBounds { index: usize, width: usize },
+    /// A row index was out of bounds.
+    RowIndexOutOfBounds { index: usize, height: usize },
+    /// Two columns (or a column and the schema) disagree on length.
+    LengthMismatch { expected: usize, actual: usize },
+    /// A value could not be converted to the requested type.
+    TypeMismatch { expected: &'static str, actual: String },
+    /// A duplicate column name was supplied where names must be unique.
+    DuplicateColumn(String),
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// A textual value failed to parse as the requested type.
+    Parse { value: String, target: &'static str },
+    /// An I/O failure while reading or writing data.
+    Io(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
+            TableError::ColumnIndexOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for width {width}")
+            }
+            TableError::RowIndexOutOfBounds { index, height } => {
+                write!(f, "row index {index} out of bounds for height {height}")
+            }
+            TableError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            TableError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            TableError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            TableError::Parse { value, target } => {
+                write!(f, "cannot parse {value:?} as {target}")
+            }
+            TableError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(err: std::io::Error) -> Self {
+        TableError::Io(err.to_string())
+    }
+}
+
+/// Convenient result alias for table operations.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TableError::UnknownColumn("city".into());
+        assert!(err.to_string().contains("city"));
+        let err = TableError::LengthMismatch { expected: 3, actual: 5 };
+        assert!(err.to_string().contains('3') && err.to_string().contains('5'));
+        let err = TableError::Csv { line: 7, message: "unterminated quote".into() };
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: TableError = io.into();
+        assert!(matches!(err, TableError::Io(_)));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cocoon-table
+//!
+//! Columnar in-memory table substrate for the Cocoon reproduction.
+//!
+//! The original Cocoon (ICDE 2025, "Data Cleaning Using Large Language
+//! Models") runs against DuckDB/Snowflake; this crate supplies the slice of a
+//! relational engine the cleaning pipeline actually touches:
+//!
+//! * dynamically-typed [`Value`]s with SQL-like `CAST`/NULL semantics,
+//! * [`Schema`]/[`Table`] with columnar storage and row operations
+//!   (duplicate detection, `DISTINCT`, sampling via [`Table::head`]),
+//! * RFC-4180 [CSV reading/writing](csv),
+//! * statistical [type inference](infer) over text columns,
+//! * a minimal civil [`Date`]/[`TimeOfDay`] implementation.
+//!
+//! Everything else in the workspace (profiler, SQL executor, cleaning
+//! pipeline, baselines, benchmarks) is built on these types.
+
+pub mod column;
+pub mod csv;
+pub mod date;
+pub mod error;
+pub mod infer;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use date::{Date, TimeOfDay};
+pub use error::{Result, TableError};
+pub use infer::{infer_column_type, TypeInference};
+pub use schema::{Field, Schema};
+pub use table::Table;
+pub use value::{DataType, Value};

@@ -1,0 +1,486 @@
+//! The dynamically-typed cell value and its data-type lattice.
+
+use crate::date::{Date, TimeOfDay};
+use crate::error::TableError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The logical type of a column, mirroring the catalog types the paper's
+/// column-type cleaning step (§2.1.4) reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean (`true` / `false`).
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Calendar date.
+    Date,
+    /// Time of day with minute resolution.
+    Time,
+    /// UTF-8 text — the type every dirty CSV column starts as.
+    Text,
+}
+
+impl DataType {
+    /// SQL spelling used when rendering `CAST` expressions.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Date => "DATE",
+            DataType::Time => "TIME",
+            DataType::Text => "VARCHAR",
+        }
+    }
+
+    /// Parses the SQL spelling (case-insensitive); inverse of [`sql_name`].
+    ///
+    /// [`sql_name`]: DataType::sql_name
+    pub fn from_sql_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => Some(DataType::Bool),
+            "BIGINT" | "INT" | "INTEGER" | "SMALLINT" | "TINYINT" => Some(DataType::Int),
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => Some(DataType::Float),
+            "DATE" => Some(DataType::Date),
+            "TIME" => Some(DataType::Time),
+            "VARCHAR" | "TEXT" | "STRING" | "CHAR" => Some(DataType::Text),
+            _ => None,
+        }
+    }
+
+    /// True when values of this type support arithmetic comparisons used by
+    /// numeric-outlier thresholds.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single cell value.
+///
+/// `Value` is the dynamic currency of the whole system: profiler statistics,
+/// SQL evaluation, LLM prompt rendering and cleaning maps all operate on it.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (also the target of disguised-missing-value cleaning).
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Date(Date),
+    Time(TimeOfDay),
+    Text(String),
+}
+
+impl Value {
+    /// The type of this value, or `None` for NULL (NULL inhabits every type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Time(_) => Some(DataType::Time),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the text payload if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to floats; other types are not numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_time(&self) -> Option<TimeOfDay> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Canonical display string; the representation written back to CSV and
+    /// embedded into LLM prompts. NULL renders as the empty string.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => if *b { "True" } else { "False" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{:.1}", f)
+                } else {
+                    format!("{}", f)
+                }
+            }
+            Value::Date(d) => d.to_iso(),
+            Value::Time(t) => t.to_hhmm(),
+            Value::Text(s) => s.clone(),
+        }
+    }
+
+    /// Attempts to cast this value to `target`, mirroring SQL `CAST`
+    /// semantics (`NULL` casts to `NULL`; failed casts are errors).
+    pub fn cast(&self, target: DataType) -> Result<Value, TableError> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        if self.data_type() == Some(target) {
+            return Ok(self.clone());
+        }
+        let fail = || TableError::TypeMismatch {
+            expected: target.sql_name(),
+            actual: self.render(),
+        };
+        match target {
+            DataType::Text => Ok(Value::Text(self.render())),
+            DataType::Int => match self {
+                Value::Float(f) => {
+                    if f.fract() == 0.0 {
+                        Ok(Value::Int(*f as i64))
+                    } else {
+                        Err(fail())
+                    }
+                }
+                Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+                Value::Text(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| fail()),
+                _ => Err(fail()),
+            },
+            DataType::Float => match self {
+                Value::Int(i) => Ok(Value::Float(*i as f64)),
+                Value::Bool(b) => Ok(Value::Float(f64::from(u8::from(*b)))),
+                Value::Text(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| fail()),
+                _ => Err(fail()),
+            },
+            DataType::Bool => match self {
+                Value::Int(i) => match i {
+                    0 => Ok(Value::Bool(false)),
+                    1 => Ok(Value::Bool(true)),
+                    _ => Err(fail()),
+                },
+                Value::Text(s) => match s.trim().to_ascii_lowercase().as_str() {
+                    "true" | "t" | "yes" | "y" | "1" => Ok(Value::Bool(true)),
+                    "false" | "f" | "no" | "n" | "0" => Ok(Value::Bool(false)),
+                    _ => Err(fail()),
+                },
+                _ => Err(fail()),
+            },
+            DataType::Date => match self {
+                Value::Text(s) => Date::parse_any(s.trim()).map(Value::Date).ok_or_else(fail),
+                _ => Err(fail()),
+            },
+            DataType::Time => match self {
+                Value::Text(s) => {
+                    TimeOfDay::parse_flexible(s.trim()).map(Value::Time).ok_or_else(fail)
+                }
+                _ => Err(fail()),
+            },
+        }
+    }
+
+    /// SQL three-valued-logic equality collapsed to two values: NULL equals
+    /// nothing (including NULL). Use [`Value::eq`] / `==` for grouping where
+    /// NULLs must compare equal to each other.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self == other
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits() || a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Time(a), Value::Time(b)) => a == b,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float that compare equal must hash equal; hash the
+            // float-bit view of the numeric value for both.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                let norm = if f.is_nan() { f64::NAN } else { *f };
+                norm.to_bits().hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+            Value::Time(t) => {
+                4u8.hash(state);
+                t.hash(state);
+            }
+            Value::Text(s) => {
+                5u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: NULLs first, then by type tag, then by payload.
+    /// Cross-type numeric comparison is supported (Int vs Float).
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Date(_) => 3,
+                Value::Time(_) => 4,
+                Value::Text(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (a, b) if tag(a) == 2 && tag(b) == 2 => {
+                let x = a.as_f64().unwrap_or(f64::NAN);
+                let y = b.as_f64().unwrap_or(f64::NAN);
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (Value::Time(a), Value::Time(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            f.write_str("NULL")
+        } else {
+            f.write_str(&self.render())
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn type_names_round_trip() {
+        for ty in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Date,
+            DataType::Time,
+            DataType::Text,
+        ] {
+            assert_eq!(DataType::from_sql_name(ty.sql_name()), Some(ty));
+        }
+        assert_eq!(DataType::from_sql_name("blob"), None);
+    }
+
+    #[test]
+    fn render_round_trips_common_values() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Bool(true).render(), "True");
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::Float(90.0).render(), "90.0");
+        assert_eq!(Value::Float(90.5).render(), "90.5");
+        assert_eq!(Value::Text("hi".into()).render(), "hi");
+    }
+
+    #[test]
+    fn cast_text_to_numeric() {
+        assert_eq!(Value::Text(" 42 ".into()).cast(DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::Text("3.5".into()).cast(DataType::Float).unwrap(),
+            Value::Float(3.5)
+        );
+        assert!(Value::Text("x".into()).cast(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn cast_text_to_bool() {
+        for t in ["yes", "Y", "TRUE", "1"] {
+            assert_eq!(Value::Text(t.into()).cast(DataType::Bool).unwrap(), Value::Bool(true));
+        }
+        for f in ["no", "N", "false", "0"] {
+            assert_eq!(Value::Text(f.into()).cast(DataType::Bool).unwrap(), Value::Bool(false));
+        }
+        assert!(Value::Text("maybe".into()).cast(DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn cast_null_is_null() {
+        assert_eq!(Value::Null.cast(DataType::Int).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn cast_float_to_int_requires_integral() {
+        assert_eq!(Value::Float(3.0).cast(DataType::Int).unwrap(), Value::Int(3));
+        assert!(Value::Float(3.5).cast(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn cast_text_to_date_and_time() {
+        assert_eq!(
+            Value::Text("2020-01-02".into()).cast(DataType::Date).unwrap(),
+            Value::Date(Date::new(2020, 1, 2).unwrap())
+        );
+        assert_eq!(
+            Value::Text("10:30 p.m.".into()).cast(DataType::Time).unwrap(),
+            Value::Time(TimeOfDay::new(22, 30).unwrap())
+        );
+    }
+
+    #[test]
+    fn numeric_cross_type_equality_and_hash() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn sql_eq_null_semantics() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(1)));
+        assert!(Value::Int(1).sql_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn ordering_nulls_first_then_numeric() {
+        let mut vals = [Value::Int(5), Value::Null, Value::Float(2.5), Value::Int(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(5));
+    }
+
+    #[test]
+    fn display_marks_null() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(3).to_string(), "3");
+    }
+
+    #[test]
+    fn conversions_from_rust_types() {
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: CSV serialisation round-trips arbitrary cell content.
+
+use cocoon_table::{csv, Table};
+use proptest::prelude::*;
+
+/// Cell strategy: arbitrary printable content including the characters CSV
+/// must escape (commas, quotes, newlines) and unicode.
+fn cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éü—]{0,12}").expect("valid regex")
+}
+
+fn header_name(i: usize) -> String {
+    format!("col_{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trips_arbitrary_tables(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(cell(), 3),
+            0..12,
+        )
+    ) {
+        let header: Vec<String> = (0..3).map(header_name).collect();
+        let table = Table::from_text_rows(&header, &rows).expect("build");
+        let written = csv::write_str(&table);
+        let reread = csv::read_str(&written).expect("reread");
+        // NULL and empty-string both serialise as the empty field, so
+        // compare rendered text (the CSV-observable content).
+        prop_assert_eq!(table.height(), reread.height());
+        prop_assert_eq!(table.width(), reread.width());
+        for r in 0..table.height() {
+            for c in 0..table.width() {
+                prop_assert_eq!(
+                    table.render_cell(r, c).expect("cell"),
+                    reread.render_cell(r, c).expect("cell")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escape_field_never_breaks_parsing(field in cell()) {
+        let doc = format!("h\n{}\n", csv::escape_field(&field));
+        let records = csv::parse_records(&doc).expect("parse");
+        // Trailing-newline-only content may collapse the record count, but
+        // when the record exists it must carry the exact field back.
+        if records.len() == 2 {
+            prop_assert_eq!(&records[1][0], &field);
+        }
+    }
+
+    #[test]
+    fn distinct_is_idempotent(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ab]{0,2}", 2),
+            0..14,
+        )
+    ) {
+        let rows: Vec<Vec<String>> = rows;
+        let header: Vec<String> = (0..2).map(header_name).collect();
+        let mut table = Table::from_text_rows(&header, &rows).expect("build");
+        table.distinct();
+        let after_first = table.clone();
+        let dropped_again = table.distinct();
+        prop_assert_eq!(dropped_again, 0);
+        prop_assert_eq!(table, after_first);
+    }
+}

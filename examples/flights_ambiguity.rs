@@ -1,0 +1,57 @@
+//! The Flights ambiguity (§3.2 of the paper): `flight → actual time` is
+//! statistically a near-FD, but actual times genuinely vary per report —
+//! Cocoon's semantic review refuses to repair them, trading recall for
+//! precision. This example shows the refusal and its effect on the score.
+//!
+//! ```sh
+//! cargo run --release --example flights_ambiguity
+//! ```
+
+use cocoon_core::Cleaner;
+use cocoon_eval::{evaluate, Equivalence};
+use cocoon_llm::SimLlm;
+
+fn main() {
+    let dataset = cocoon_datasets::flights::generate();
+    println!("Flights benchmark: {}", dataset.size_label());
+
+    // Show the raw disagreement the paper describes: one flight, many
+    // reported actual arrival times.
+    let schema = dataset.dirty.schema();
+    let flight_col = schema.index_of("flight").unwrap();
+    let arr_col = schema.index_of("actual_arrival_time").unwrap();
+    let first_flight = dataset.dirty.cell(0, flight_col).unwrap().render();
+    println!("\nreports for flight {first_flight}:");
+    for row in 0..dataset.dirty.height() {
+        if dataset.dirty.cell(row, flight_col).unwrap().render() == first_flight {
+            println!(
+                "  source {:<16} actual arrival {}",
+                dataset.dirty.cell(row, 1).unwrap().render(),
+                dataset.dirty.cell(row, arr_col).unwrap().render()
+            );
+        }
+    }
+
+    let run = Cleaner::new(SimLlm::new()).clean(&dataset.dirty).expect("pipeline");
+
+    println!("\nsemantic FD decisions:");
+    for note in run.notes.iter().filter(|n| n.contains("FD")) {
+        println!("  - {note}");
+    }
+
+    let e = evaluate(&dataset.dirty, &run.table, &dataset.truth, Equivalence::Lenient);
+    println!(
+        "\nscore: precision {:.2}, recall {:.2}, F1 {:.2}  (paper: 0.91 / 0.42 / 0.57)",
+        e.prf.precision, e.prf.recall, e.prf.f1
+    );
+    println!(
+        "The low recall is deliberate: {} actual-time variations are left as-is\n\
+         because repairing them would be guessing (the paper argues these are\n\
+         application issues, not data cleaning issues).",
+        dataset
+            .error_counts()
+            .get(&cocoon_datasets::ErrorType::TimeVariation)
+            .copied()
+            .unwrap_or(0)
+    );
+}

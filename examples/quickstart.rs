@@ -1,0 +1,39 @@
+//! Quickstart: clean a messy CSV in a few lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cocoon_core::{full_report, Cleaner};
+use cocoon_llm::SimLlm;
+use cocoon_table::csv;
+
+fn main() {
+    // A small table with the paper's flavour of problems: inconsistent
+    // language representations (Example 1), a typo, a disguised missing
+    // value, a boolean dressed as yes/no, and a percent-dressed number.
+    let dirty_csv = "\
+paper_id,language,reviewed,score
+p01,eng,yes,91%
+p02,eng,yes,85%
+p03,eng,no,77%
+p04,English,yes,88%
+p05,eng,yes,95%
+p06,fre,no,70%
+p07,French,yes,82%
+p08,enhg,yes,90%
+p09,eng,N/A,66%
+p10,eng,no,73%
+";
+    let dirty = csv::read_str(dirty_csv).expect("valid CSV");
+    println!("dirty input:\n{dirty}");
+
+    // The cleaner = the Cocoon pipeline + an LLM. `SimLlm` is the bundled
+    // deterministic semantic oracle; any `cocoon_llm::ChatModel` works.
+    let cleaner = Cleaner::new(SimLlm::new());
+    let run = cleaner.clean(&dirty).expect("pipeline never panics");
+
+    println!("cleaned output:\n{}", run.table);
+    println!("{}", full_report(&run));
+    println!("final SQL artifact:\n{}", run.sql_script());
+}

@@ -1,0 +1,17 @@
+//! # cocoon-repro
+//!
+//! Root crate of the Cocoon reproduction workspace. It exists to host the
+//! runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and the cross-crate integration tests; the library surface simply
+//! re-exports the workspace crates under short names.
+
+pub use cocoon_baselines as baselines;
+pub use cocoon_core as core;
+pub use cocoon_datasets as datasets;
+pub use cocoon_eval as eval;
+pub use cocoon_llm as llm;
+pub use cocoon_pattern as pattern;
+pub use cocoon_profile as profile;
+pub use cocoon_semantic as semantic;
+pub use cocoon_sql as sql;
+pub use cocoon_table as table;

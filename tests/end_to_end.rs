@@ -1,0 +1,95 @@
+//! Cross-crate integration: datasets → pipeline → evaluation.
+//!
+//! These tests guard the paper's headline result — Cocoon's F1 on the
+//! benchmarks — end to end through every crate in the workspace.
+
+use cocoon_core::{Cleaner, IssueKind};
+use cocoon_eval::{evaluate, Equivalence};
+use cocoon_llm::SimLlm;
+
+#[test]
+fn hospital_f1_meets_paper_band() {
+    let d = cocoon_datasets::hospital::generate();
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let e = evaluate(&d.dirty, &run.table, &d.truth, Equivalence::Lenient);
+    // Paper: 0.87 / 0.93 / 0.90. Guard a band, not exact decimals.
+    assert!(e.prf.precision >= 0.80, "precision {}", e.prf.precision);
+    assert!(e.prf.recall >= 0.85, "recall {}", e.prf.recall);
+    assert!(e.prf.f1 >= 0.85, "f1 {}", e.prf.f1);
+}
+
+#[test]
+fn hospital_strict_f1_meets_appendix_band() {
+    let d = cocoon_datasets::hospital::generate();
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let e = evaluate(&d.dirty, &run.table, &d.truth, Equivalence::Strict);
+    // Paper Table 3: 0.99 / 0.99 / 0.99.
+    assert!(e.prf.f1 >= 0.90, "strict f1 {}", e.prf.f1);
+}
+
+#[test]
+fn beers_f1_meets_paper_band() {
+    let d = cocoon_datasets::beers::generate();
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let e = evaluate(&d.dirty, &run.table, &d.truth, Equivalence::Lenient);
+    // Paper: 0.99 / 0.96 / 0.97.
+    assert!(e.prf.f1 >= 0.90, "f1 {}", e.prf.f1);
+}
+
+#[test]
+fn rayyan_f1_meets_paper_band() {
+    let d = cocoon_datasets::rayyan::generate();
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let e = evaluate(&d.dirty, &run.table, &d.truth, Equivalence::Lenient);
+    // Paper: 0.88 / 0.84 / 0.86.
+    assert!(e.prf.f1 >= 0.80, "f1 {}", e.prf.f1);
+}
+
+#[test]
+fn flights_reproduces_the_precision_recall_asymmetry() {
+    let d = cocoon_datasets::flights::generate();
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let e = evaluate(&d.dirty, &run.table, &d.truth, Equivalence::Lenient);
+    // Paper: 0.91 precision, 0.42 recall — the ambiguous-FD analysis.
+    assert!(e.prf.precision >= 0.85, "precision {}", e.prf.precision);
+    assert!(
+        (0.30..=0.60).contains(&e.prf.recall),
+        "recall {} should be capped by the rejected actual-time FD",
+        e.prf.recall
+    );
+    // The rejection must be recorded, with the paper's reasoning.
+    assert!(run.notes.iter().any(|n| n.contains("actual_arrival_time")
+        && n.contains("not semantically meaningful")));
+}
+
+#[test]
+fn cleaning_is_deterministic() {
+    let d = cocoon_datasets::beers::generate();
+    let a = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let b = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    assert_eq!(a.table, b.table);
+    assert_eq!(a.ops.len(), b.ops.len());
+    assert_eq!(a.notes, b.notes);
+}
+
+#[test]
+fn pipeline_never_drops_benchmark_rows() {
+    for name in ["Hospital", "Flights", "Beers", "Rayyan"] {
+        let d = cocoon_datasets::by_name(name).expect("dataset");
+        let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+        assert_eq!(run.table.height(), d.dirty.height(), "{name} lost rows");
+        assert_eq!(run.table.width(), d.dirty.width(), "{name} lost columns");
+    }
+}
+
+#[test]
+fn issue_mix_matches_dataset_character() {
+    // Beers must exercise string outliers (oz/ounce), type casts, FDs, DMVs.
+    let d = cocoon_datasets::beers::generate();
+    let run = Cleaner::new(SimLlm::new()).clean(&d.dirty).expect("pipeline");
+    let kinds: Vec<IssueKind> = run.ops.iter().map(|o| o.issue).collect();
+    assert!(kinds.contains(&IssueKind::StringOutliers), "{kinds:?}");
+    assert!(kinds.contains(&IssueKind::ColumnType), "{kinds:?}");
+    assert!(kinds.contains(&IssueKind::DisguisedMissing), "{kinds:?}");
+    assert!(kinds.contains(&IssueKind::FunctionalDependency), "{kinds:?}");
+}
