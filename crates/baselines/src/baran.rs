@@ -87,11 +87,7 @@ fn learn_transforms(labels: &[LabeledCell]) -> HashMap<usize, Vec<Transform>> {
 }
 
 /// Corrects the detected cells of `table`.
-pub fn correct(
-    table: &Table,
-    detected: &HashSet<(usize, usize)>,
-    labels: &[LabeledCell],
-) -> Table {
+pub fn correct(table: &Table, detected: &HashSet<(usize, usize)>, labels: &[LabeledCell]) -> Table {
     let mut out = table.clone();
 
     // Value model: exact remaps per column. A remap only generalises when
@@ -259,10 +255,7 @@ mod tests {
 
     #[test]
     fn value_model_repairs_repeated_error() {
-        let table = t(
-            vec![vec!["English"], vec!["eng"], vec!["English"]],
-            &["lang"],
-        );
+        let table = t(vec![vec!["English"], vec!["eng"], vec!["English"]], &["lang"]);
         let detected: HashSet<_> = [(0, 0), (2, 0)].into_iter().collect();
         let labels = vec![label(0, 0, "English", Value::from("eng"))];
         let out = correct(&table, &detected, &labels);

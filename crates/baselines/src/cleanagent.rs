@@ -58,8 +58,7 @@ impl CleaningSystem for CleanAgent {
                 let column = table.column_mut(col).expect("in range");
                 column.map_in_place(|v| match v.as_text() {
                     Some(text) => {
-                        let digits: String =
-                            text.chars().filter(char::is_ascii_digit).collect();
+                        let digits: String = text.chars().filter(char::is_ascii_digit).collect();
                         if digits.len() >= 7 && digits != text {
                             Value::Text(digits)
                         } else {
@@ -80,11 +79,8 @@ mod tests {
 
     #[test]
     fn standardises_dates_to_iso() {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["1/2/2003".into()],
-            vec!["11/12/2014".into()],
-            vec!["2003-04-05".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["1/2/2003".into()], vec!["11/12/2014".into()], vec!["2003-04-05".into()]];
         let dirty = Table::from_text_rows(&["d"], &rows).unwrap();
         let out = CleanAgent.clean(&dirty, &BenchmarkContext::default());
         assert_eq!(out.cell(0, 0).unwrap().render(), "2003-01-02");

@@ -82,8 +82,7 @@ pub fn sample_labeled_cells(
         .map(|a| {
             let dirty = dataset.dirty.cell(a.row, a.col).expect("annotated in range").clone();
             let truth = dataset.truth.cell(a.row, a.col).expect("annotated in range").clone();
-            let clean =
-                if values_equivalent(&dirty, &truth, mode) { dirty.clone() } else { truth };
+            let clean = if values_equivalent(&dirty, &truth, mode) { dirty.clone() } else { truth };
             LabeledCell { row: a.row, col: a.col, dirty, clean }
         })
         .collect()
@@ -111,10 +110,7 @@ mod tests {
         let labels = sample_labeled_cells(&d, 20, 7, Equivalence::Strict);
         assert_eq!(labels.len(), 20);
         for l in &labels {
-            assert!(d
-                .annotations
-                .iter()
-                .any(|a| a.row == l.row && a.col == l.col));
+            assert!(d.annotations.iter().any(|a| a.row == l.row && a.col == l.col));
             assert_eq!(&l.dirty, d.dirty.cell(l.row, l.col).unwrap());
             assert_eq!(&l.clean, d.truth.cell(l.row, l.col).unwrap());
         }
@@ -152,8 +148,7 @@ mod tests {
     #[test]
     fn context_builder() {
         let d = hospital::generate();
-        let ctx =
-            BenchmarkContext::for_dataset(&d, 7, Equivalence::Strict).with_row_cap(100);
+        let ctx = BenchmarkContext::for_dataset(&d, 7, Equivalence::Strict).with_row_cap(100);
         assert_eq!(ctx.row_cap, Some(100));
         assert_eq!(ctx.fd_constraints.len(), d.fd_constraints.len());
         assert_eq!(ctx.labeled_cells.len(), 20);

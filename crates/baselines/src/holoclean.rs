@@ -36,10 +36,9 @@ impl CleaningSystem for HoloClean {
 
         // --- FD-constraint repair: majority vote within each lhs group.
         for (lhs_name, rhs_name) in &ctx.fd_constraints {
-            let (Ok(lhs), Ok(rhs)) = (
-                table.schema().index_of(lhs_name),
-                table.schema().index_of(rhs_name),
-            ) else {
+            let (Ok(lhs), Ok(rhs)) =
+                (table.schema().index_of(lhs_name), table.schema().index_of(rhs_name))
+            else {
                 continue;
             };
             // Group census.
@@ -66,9 +65,7 @@ impl CleaningSystem for HoloClean {
                 let Some(correct) = majority.get(&l) else { continue };
                 let current = table.cell(row, rhs).expect("in range");
                 if !current.is_null() && &current.render() != correct {
-                    table
-                        .set_cell(row, rhs, Value::Text(correct.clone()))
-                        .expect("in range");
+                    table.set_cell(row, rhs, Value::Text(correct.clone())).expect("in range");
                 }
             }
         }
@@ -82,10 +79,8 @@ impl CleaningSystem for HoloClean {
             if non_null.is_empty() {
                 continue;
             }
-            let numeric_count = non_null
-                .iter()
-                .filter(|v| v.render().trim().parse::<f64>().is_ok())
-                .count();
+            let numeric_count =
+                non_null.iter().filter(|v| v.render().trim().parse::<f64>().is_ok()).count();
             let share = numeric_count as f64 / non_null.len() as f64;
             if !(0.60..1.0).contains(&share) {
                 continue;
@@ -107,9 +102,7 @@ impl CleaningSystem for HoloClean {
                     continue;
                 }
                 if v.render().trim().parse::<f64>().is_err() {
-                    table
-                        .set_cell(row, col, Value::Text(most_frequent.clone()))
-                        .expect("in range");
+                    table.set_cell(row, col, Value::Text(most_frequent.clone())).expect("in range");
                 }
             }
         }
@@ -145,10 +138,8 @@ mod tests {
 
     #[test]
     fn tied_groups_left_alone() {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["z1".into(), "a".into()],
-            vec!["z1".into(), "b".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["z1".into(), "a".into()], vec!["z1".into(), "b".into()]];
         let dirty = Table::from_text_rows(&["zip", "city"], &rows).unwrap();
         let out = HoloClean.clean(&dirty, &ctx(&[("zip", "city")]));
         assert_eq!(out, dirty);

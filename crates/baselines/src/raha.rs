@@ -83,9 +83,7 @@ pub fn feature_vectors(table: &Table) -> HashMap<(usize, usize), u8> {
                 }
             }
             let lowered = text.trim().to_lowercase();
-            if ["n/a", "null", "-", "unknown", "none", "missing", "?"]
-                .contains(&lowered.as_str())
-            {
+            if ["n/a", "null", "-", "unknown", "none", "missing", "?"].contains(&lowered.as_str()) {
                 set(&mut features, row, col, MISSING_TOKEN);
             }
             if numeric_share >= 0.6 && text.trim().parse::<f64>().is_err() {
@@ -127,11 +125,7 @@ pub fn feature_vectors(table: &Table) -> HashMap<(usize, usize), u8> {
 pub fn detect(table: &Table, labels: &[LabeledCell]) -> HashSet<(usize, usize)> {
     let features = feature_vectors(table);
     let shape = |row: usize, col: usize| -> String {
-        table
-            .cell(row, col)
-            .ok()
-            .and_then(|v| v.as_text().map(loose_digest))
-            .unwrap_or_default()
+        table.cell(row, col).ok().and_then(|v| v.as_text().map(loose_digest)).unwrap_or_default()
     };
     // Cluster key → labelled as error?
     let mut cluster_label: HashMap<(usize, u8, String), bool> = HashMap::new();

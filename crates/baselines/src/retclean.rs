@@ -79,8 +79,7 @@ impl CleaningSystem for RetClean {
             let mut remap: HashMap<String, String> = HashMap::new();
             for (value, _) in &census {
                 // Retrieval from the lake (exact schema match, 1 edit).
-                if let Some(hit) =
-                    lake_values.iter().find(|lv| damerau_levenshtein(value, lv) == 1)
+                if let Some(hit) = lake_values.iter().find(|lv| damerau_levenshtein(value, lv) == 1)
                 {
                     remap.insert(value.clone(), hit.clone());
                     continue;
@@ -130,10 +129,7 @@ mod tests {
 
     #[test]
     fn fixes_typos_of_known_journals() {
-        let dirty = t(
-            vec!["the lancet", "the lancxt", "bmj", "trials"],
-            "journal_title",
-        );
+        let dirty = t(vec!["the lancet", "the lancxt", "bmj", "trials"], "journal_title");
         let out = RetClean.clean(&dirty, &BenchmarkContext::default());
         assert_eq!(out.cell(1, 0).unwrap().render(), "the lancet");
         assert_eq!(out.cell(0, 0).unwrap().render(), "the lancet");
@@ -142,10 +138,8 @@ mod tests {
     #[test]
     fn ignores_unknown_entity_columns() {
         // Hospital-style local entities: not in any model's memory.
-        let dirty = t(
-            vec!["birmingham medical center", "birmxngham medical center"],
-            "hospital_name",
-        );
+        let dirty =
+            t(vec!["birmingham medical center", "birmxngham medical center"], "hospital_name");
         let out = RetClean.clean(&dirty, &BenchmarkContext::default());
         assert_eq!(out, dirty);
     }

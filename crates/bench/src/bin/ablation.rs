@@ -29,8 +29,7 @@ fn main() {
     println!("== Ablation 1: statistical context in prompts (Hospital, Rayyan)");
     for (name, dataset) in [("Hospital", &hospital), ("Rayyan", &rayyan)] {
         for statistical_context in [true, false] {
-            let config =
-                CleanerConfig { statistical_context, ..CleanerConfig::default() };
+            let config = CleanerConfig { statistical_context, ..CleanerConfig::default() };
             let (prf, calls) = score(config, dataset);
             println!(
                 "  {name:<9} statistics={statistical_context:<5}  P {:.2}  R {:.2}  F {:.2}  ({calls} LLM calls)",
@@ -59,10 +58,16 @@ fn main() {
         "functional_dependencies",
     ] {
         let (prf, _) = score(CleanerConfig::only_issue(issue), &hospital);
-        println!("  only {issue:<24}  P {:.2}  R {:.2}  F {:.2}", prf.precision, prf.recall, prf.f1);
+        println!(
+            "  only {issue:<24}  P {:.2}  R {:.2}  F {:.2}",
+            prf.precision, prf.recall, prf.f1
+        );
     }
     let (full, _) = score(CleanerConfig::default(), &hospital);
-    println!("  full pipeline                 P {:.2}  R {:.2}  F {:.2}", full.precision, full.recall, full.f1);
+    println!(
+        "  full pipeline                 P {:.2}  R {:.2}  F {:.2}",
+        full.precision, full.recall, full.f1
+    );
 
     println!("\n== Ablation 4: issue ordering (Hospital; §2.1 note)");
     println!("  The paper argues typos must be fixed before patterns, patterns before");
@@ -73,8 +78,14 @@ fn main() {
         ..CleanerConfig::default()
     };
     let (prf, _) = score(no_strings, &hospital);
-    println!("  without string outliers first  P {:.2}  R {:.2}  F {:.2}", prf.precision, prf.recall, prf.f1);
-    println!("  full order                     P {:.2}  R {:.2}  F {:.2}", full.precision, full.recall, full.f1);
+    println!(
+        "  without string outliers first  P {:.2}  R {:.2}  F {:.2}",
+        prf.precision, prf.recall, prf.f1
+    );
+    println!(
+        "  full order                     P {:.2}  R {:.2}  F {:.2}",
+        full.precision, full.recall, full.f1
+    );
 
     println!("\n== Ablation 5: FD entropy threshold (Hospital)");
     for fd_min_strength in [0.95f64, 0.9, 0.8, 0.7, 0.6] {

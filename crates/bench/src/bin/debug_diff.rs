@@ -11,7 +11,8 @@ fn main() {
     let d = cocoon_datasets::by_name(name).expect("dataset");
     let ctx = BenchmarkContext::for_dataset(&d, LABEL_SEED, Equivalence::Lenient);
     let sys_name = std::env::args().nth(2).unwrap_or_else(|| "Cocoon".into());
-    let system = cocoon_bench::systems().into_iter().find(|s| s.name() == sys_name).expect("system");
+    let system =
+        cocoon_bench::systems().into_iter().find(|s| s.name() == sys_name).expect("system");
     let cleaned = system.clean(&d.dirty, &ctx);
     let mode = Equivalence::Lenient;
     let mut per_col: BTreeMap<String, (usize, usize, Vec<String>)> = BTreeMap::new();
@@ -28,7 +29,12 @@ fn main() {
                 } else {
                     e.1 += 1;
                     if e.2.len() < 3 {
-                        e.2.push(format!("dirty={:?} out={:?} truth={:?}", dv.render(), ov.render(), tv.render()));
+                        e.2.push(format!(
+                            "dirty={:?} out={:?} truth={:?}",
+                            dv.render(),
+                            ov.render(),
+                            tv.render()
+                        ));
                     }
                 }
             }
@@ -37,7 +43,9 @@ fn main() {
     println!("== {} : correct/wrong changes per column", name);
     for (col, (ok, bad, ex)) in &per_col {
         println!("{col}: +{ok} / -{bad}");
-        for e in ex { println!("    {e}"); }
+        for e in ex {
+            println!("    {e}");
+        }
     }
     // Unrepaired error summary
     let mut missed: BTreeMap<String, usize> = BTreeMap::new();
@@ -47,10 +55,14 @@ fn main() {
             let ov = cleaned.cell(r, c).unwrap();
             let tv = d.truth.cell(r, c).unwrap();
             if !values_equivalent(dv, tv, mode) && !values_equivalent(ov, tv, mode) {
-                *missed.entry(d.dirty.schema().field(c).unwrap().name().to_string()).or_insert(0) += 1;
+                *missed
+                    .entry(d.dirty.schema().field(c).unwrap().name().to_string())
+                    .or_insert(0) += 1;
             }
         }
     }
     println!("-- missed errors per column:");
-    for (col, n) in &missed { println!("{col}: {n}"); }
+    for (col, n) in &missed {
+        println!("{col}: {n}");
+    }
 }

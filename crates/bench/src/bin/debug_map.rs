@@ -5,9 +5,15 @@ fn main() {
     let colname = std::env::args().nth(2).unwrap_or_else(|| "brewery_id".into());
     let d = cocoon_datasets::by_name(&name).expect("dataset");
     let col = d.dirty.schema().index_of(&colname).unwrap();
-    let census: Vec<(String, usize)> = d.dirty.column(col).unwrap()
-        .distinct_by_frequency().into_iter().take(1000)
-        .map(|(v, c)| (v.render(), c)).collect();
+    let census: Vec<(String, usize)> = d
+        .dirty
+        .column(col)
+        .unwrap()
+        .distinct_by_frequency()
+        .into_iter()
+        .take(1000)
+        .map(|(v, c)| (v.render(), c))
+        .collect();
     let analysis = analyze_string_values(&census);
     println!("issues: {:?}", analysis.issues);
     for (k, v) in analysis.mapping.iter().take(20) {

@@ -9,5 +9,7 @@ fn main() {
     for op in &run.ops {
         println!("{} {:?} changed={}", op.issue.name(), op.column, op.cells_changed);
     }
-    for n in &run.notes { println!("note: {n}"); }
+    for n in &run.notes {
+        println!("note: {n}");
+    }
 }

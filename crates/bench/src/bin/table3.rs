@@ -7,10 +7,8 @@ use cocoon_datasets::catalog;
 use cocoon_eval::{render_results_table, Equivalence};
 
 fn main() {
-    let datasets: Vec<_> = catalog::all()
-        .into_iter()
-        .filter(|d| d.name == "Hospital" || d.name == "Movies")
-        .collect();
+    let datasets: Vec<_> =
+        catalog::all().into_iter().filter(|d| d.name == "Hospital" || d.name == "Movies").collect();
     let names: Vec<&str> = datasets.iter().map(|d| d.name).collect();
     eprintln!("running 5 systems under strict conventions…");
     let rows = run_comparison(&datasets, Equivalence::Strict);

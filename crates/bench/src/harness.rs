@@ -161,8 +161,7 @@ mod tests {
     #[test]
     fn table2_rows_render_dashes() {
         let d = hospital::generate();
-        let (name, size, cells) =
-            table2_row(&d, &[ErrorType::Typo, ErrorType::Misplacement]);
+        let (name, size, cells) = table2_row(&d, &[ErrorType::Typo, ErrorType::Misplacement]);
         assert_eq!(name, "Hospital");
         assert_eq!(size, "1000 × 19");
         assert_eq!(cells, vec!["213".to_string(), "–".to_string()]);

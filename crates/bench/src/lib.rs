@@ -15,6 +15,6 @@
 pub mod harness;
 
 pub use harness::{
-    paper_table1, paper_table3, run_comparison, run_system, systems, table2_row,
-    CocoonSystem, LABEL_SEED, MOVIES_SAMPLE_ROWS,
+    paper_table1, paper_table3, run_comparison, run_system, systems, table2_row, CocoonSystem,
+    LABEL_SEED, MOVIES_SAMPLE_ROWS,
 };

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a miniature wall-clock benchmark harness with the `criterion 0.5`
+//! surface the benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`), [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — warm-up, then a fixed number of
+//! timed samples, reporting the mean and min per iteration. There is no
+//! HTML report, outlier analysis, or regression tracking. Honouring the
+//! `cargo bench` / `cargo test --benches` CLI contract matters more here
+//! than the statistics: `--test` runs exit immediately so `harness = false`
+//! bench targets never hang a test run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    skip: Vec<String>,
+    list_only: bool,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut skip = Vec::new();
+        let mut list_only = false;
+        let mut explicit_test = false;
+        let mut saw_bench = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => explicit_test = true,
+                "--bench" => saw_bench = true,
+                "--list" => list_only = true,
+                "--skip" => skip.extend(args.next()),
+                // Flags cargo/libtest conventionally pass through.
+                "--nocapture" | "--quiet" | "-q" | "--exact" | "--ignored"
+                | "--include-ignored" => {}
+                // Value-taking flags: consume the value so it is not
+                // mistaken for a positional filter.
+                "--format" | "--logfile" | "--color" | "--test-threads" => {
+                    args.next();
+                }
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        // Mirror upstream criterion: cargo passes `--bench` only under
+        // `cargo bench`; any other invocation (`cargo test --benches`,
+        // running the binary by hand) smoke-runs each closure once.
+        let test_mode = explicit_test || !saw_bench;
+        Criterion { sample_size: 60, filter, skip, list_only, test_mode }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+            && !self.skip.iter().any(|s| id.contains(s.as_str()))
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, self.sample_size, self.list_only, self.test_mode, self.should_run(&id), f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A named group; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &id,
+            samples,
+            self.criterion.list_only,
+            self.criterion.test_mode,
+            self.criterion.should_run(&id),
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    report: Option<Report>,
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            // `cargo test --benches` smoke-runs each closure exactly once.
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~2ms?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let sample = start.elapsed() / iters_per_sample as u32;
+            total += sample;
+            min = min.min(sample);
+        }
+        self.report = Some(Report { mean: total / self.samples as u32, min, iters_per_sample });
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, list_only: bool, test_mode: bool, selected: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if list_only {
+        println!("{id}: benchmark");
+        return;
+    }
+    if !selected {
+        return;
+    }
+    let mut bencher = Bencher { samples, test_mode, report: None };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    match bencher.report {
+        Some(r) => println!(
+            "{id:<50} mean {:>12} min {:>12} ({} iter/sample, {} samples)",
+            format_duration(r.mean),
+            format_duration(r.min),
+            r.iters_per_sample,
+            samples,
+        ),
+        None => println!("{id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

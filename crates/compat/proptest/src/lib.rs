@@ -1,0 +1,663 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a miniature property-testing harness exposing the subset of the
+//! `proptest 1.x` surface the test suites use: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, [`Just`], [`any`], range and
+//! tuple and `&str`-regex strategies, [`collection::vec`] /
+//! [`collection::btree_map`], [`string::string_regex`], [`char::range`],
+//! and the `proptest!` / `prop_assert*` / `prop_oneof!` macros.
+//!
+//! Differences from upstream are deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   generating seed instead of a minimised input.
+//! * **Deterministic seeds.** Each test derives its stream from a fixed
+//!   base seed plus the case index, so CI failures reproduce locally.
+//! * `prop_assume!` rejections simply skip the case rather than drawing a
+//!   replacement.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// The RNG handed to strategies. Newtyped so the public API does not leak
+/// the vendored `rand` shim.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "usize_below(0)");
+        self.0.gen_range(0..bound)
+    }
+
+    pub fn usize_in(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        self.0.gen_range(lo..=hi_inclusive)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.0.gen_bool(0.5)
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0f64)
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Minimal `Arbitrary`: only the types the suites request via [`any`].
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::BoolAny;
+    fn arbitrary() -> Self::Strategy {
+        strategy::BoolAny
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_map`).
+
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Size specification accepted by [`vec`] / [`btree_map`]: an exact
+    /// count, a half-open range, or an inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        pub fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.lo, self.hi_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            // Key collisions shrink the map, matching upstream semantics
+            // loosely (upstream retries; the suites only bound sizes above).
+            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+}
+
+pub mod char {
+    //! Character strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Uniform `char` in `[lo, hi]`, mirroring `proptest::char::range`.
+    pub fn range(lo: ::std::primitive::char, hi: ::std::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::std::primitive::char;
+
+        fn generate(&self, rng: &mut TestRng) -> ::std::primitive::char {
+            // Resample over the (rare) surrogate gap.
+            loop {
+                let v = self.lo + (rng.usize_in(0, (self.hi - self.lo) as usize) as u32);
+                if let Some(c) = ::std::primitive::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! String-from-regex strategies.
+
+    use super::regex_gen::RegexGen;
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        gen: RegexGen,
+    }
+
+    /// Parse error for an unsupported or malformed pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Build a strategy producing strings matched by `pattern`.
+    ///
+    /// Supports the subset the suites use: literals, escapes (`\n`, `\t`,
+    /// `\d`, `\w`, `\s`, `\\` …), character classes with ranges, and the
+    /// `?`, `*`, `+`, `{n}`, `{m,n}` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        RegexGen::parse(pattern).map(|gen| RegexGeneratorStrategy { gen }).map_err(Error)
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.gen.generate(rng)
+        }
+    }
+}
+
+pub(crate) mod regex_gen {
+    //! A tiny regex *generator*: parses a pattern subset and produces
+    //! matching strings. This is generation, not matching — the workspace's
+    //! own `cocoon-pattern` crate handles matching.
+
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub struct RegexGen {
+        atoms: Vec<(Atom, Repeat)>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Flattened class alternatives: inclusive codepoint ranges.
+        Class(Vec<(u32, u32)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Repeat {
+        min: usize,
+        max: usize,
+    }
+
+    const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+    impl RegexGen {
+        pub fn parse(pattern: &str) -> Result<RegexGen, String> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut atoms = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let atom = match chars[i] {
+                    '[' => {
+                        let (class, next) = parse_class(&chars, i + 1)?;
+                        i = next;
+                        Atom::Class(class)
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = *chars.get(i).ok_or("trailing backslash")?;
+                        i += 1;
+                        escape_atom(c)?
+                    }
+                    '(' | ')' | '|' | '^' | '$' => {
+                        return Err(format!(
+                            "unsupported regex construct {:?} in {:?}",
+                            chars[i], pattern
+                        ));
+                    }
+                    c => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                };
+                let repeat = match chars.get(i) {
+                    Some('?') => {
+                        i += 1;
+                        Repeat { min: 0, max: 1 }
+                    }
+                    Some('*') => {
+                        i += 1;
+                        Repeat { min: 0, max: 8 }
+                    }
+                    Some('+') => {
+                        i += 1;
+                        Repeat { min: 1, max: 8 }
+                    }
+                    Some('{') => {
+                        let (rep, next) = parse_counts(&chars, i + 1)?;
+                        i = next;
+                        rep
+                    }
+                    _ => ONCE,
+                };
+                atoms.push((atom, repeat));
+            }
+            Ok(RegexGen { atoms })
+        }
+
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, repeat) in &self.atoms {
+                let n = rng.usize_in(repeat.min, repeat.max);
+                for _ in 0..n {
+                    match atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn sample_class(ranges: &[(u32, u32)], rng: &mut TestRng) -> char {
+        // Weight alternatives by range width for a uniform draw.
+        let total: u64 = ranges.iter().map(|(lo, hi)| (hi - lo + 1) as u64).sum();
+        loop {
+            let mut pick = (rng.next_u64() % total) as i64;
+            for (lo, hi) in ranges {
+                let w = (hi - lo + 1) as i64;
+                if pick < w {
+                    if let Some(c) = char::from_u32(lo + pick as u32) {
+                        return c;
+                    }
+                    break; // surrogate gap: resample
+                }
+                pick -= w;
+            }
+        }
+    }
+
+    fn escape_atom(c: char) -> Result<Atom, String> {
+        Ok(match c {
+            'n' => Atom::Literal('\n'),
+            't' => Atom::Literal('\t'),
+            'r' => Atom::Literal('\r'),
+            'd' => Atom::Class(vec![('0' as u32, '9' as u32)]),
+            'w' => Atom::Class(vec![
+                ('a' as u32, 'z' as u32),
+                ('A' as u32, 'Z' as u32),
+                ('0' as u32, '9' as u32),
+                ('_' as u32, '_' as u32),
+            ]),
+            's' => Atom::Class(vec![(' ' as u32, ' ' as u32), ('\t' as u32, '\t' as u32)]),
+            '\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '?' | '*' | '+' | '|' | '^' | '$'
+            | '/' | '-' => Atom::Literal(c),
+            other => return Err(format!("unsupported escape \\{other}")),
+        })
+    }
+
+    fn class_escape(c: char) -> Result<Vec<(u32, u32)>, String> {
+        Ok(match escape_atom(c)? {
+            super::regex_gen::Atom::Literal(l) => vec![(l as u32, l as u32)],
+            super::regex_gen::Atom::Class(r) => r,
+        })
+    }
+
+    /// Parse the inside of `[...]`, starting just past the `[`. Returns the
+    /// flattened ranges and the index just past the `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<(u32, u32)>, usize), String> {
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        if chars.get(i) == Some(&'^') {
+            return Err("negated classes unsupported".into());
+        }
+        let mut first = true;
+        loop {
+            let c = *chars.get(i).ok_or("unterminated character class")?;
+            match c {
+                ']' if !first => return Ok((ranges, i + 1)),
+                '\\' => {
+                    let esc = *chars.get(i + 1).ok_or("trailing backslash in class")?;
+                    ranges.extend(class_escape(esc)?);
+                    i += 2;
+                }
+                lo => {
+                    // `a-z` range, unless `-` is the trailing literal.
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        if (hi as u32) < (lo as u32) {
+                            return Err(format!("invalid class range {lo}-{hi}"));
+                        }
+                        ranges.push((lo as u32, hi as u32));
+                        i += 3;
+                    } else {
+                        ranges.push((lo as u32, lo as u32));
+                        i += 1;
+                    }
+                }
+            }
+            first = false;
+        }
+    }
+
+    /// Parse `{n}` / `{m,n}` starting just past the `{`. Returns the repeat
+    /// and the index just past the `}`.
+    fn parse_counts(chars: &[char], mut i: usize) -> Result<(Repeat, usize), String> {
+        let read_num = |i: &mut usize| -> Option<usize> {
+            let start = *i;
+            while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                *i += 1;
+            }
+            if *i == start {
+                None
+            } else {
+                chars[start..*i].iter().collect::<String>().parse().ok()
+            }
+        };
+        let min = read_num(&mut i).ok_or("bad {m,n} count")?;
+        let rep = match chars.get(i) {
+            Some('}') => Repeat { min, max: min },
+            Some(',') => {
+                i += 1;
+                let max = read_num(&mut i).unwrap_or(min + 8);
+                if chars.get(i) != Some(&'}') {
+                    return Err("unterminated {m,n}".into());
+                }
+                if max < min {
+                    return Err("inverted {m,n}".into());
+                }
+                Repeat { min, max }
+            }
+            _ => return Err("unterminated {n}".into()),
+        };
+        Ok((rep, i + 1))
+    }
+}
+
+/// The strategy for a `&str` literal: interpret it as a regex, as upstream
+/// proptest does. Parses are memoised per pattern — `&str` strategies are
+/// used inside hot collection loops (every element re-reads the pattern).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        use std::cell::RefCell;
+        use std::collections::HashMap;
+        use std::rc::Rc;
+
+        thread_local! {
+            static PARSED: RefCell<HashMap<&'static str, Rc<regex_gen::RegexGen>>> =
+                RefCell::new(HashMap::new());
+        }
+        let parsed = PARSED.with(|cache| {
+            Rc::clone(cache.borrow_mut().entry(self).or_insert_with(|| {
+                Rc::new(
+                    regex_gen::RegexGen::parse(self)
+                        .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}")),
+                )
+            }))
+        });
+        parsed.generate(rng)
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use super::{any, Arbitrary, ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Internal: run one test's cases. Used by the `proptest!` expansion.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng, u64) -> Result<(), String>,
+) {
+    // Stable per-test stream: hash the test name, mix with the case index.
+    let mut seed = 0xcafe_f00d_d15e_a5e5u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+    }
+    for i in 0..config.cases {
+        let case_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::from_seed(case_seed);
+        if let Err(msg) = case(&mut rng, case_seed) {
+            panic!(
+                "proptest `{name}` failed at case {i}/{} (seed {case_seed:#x}): {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            // Build the strategies once per test, not once per case: a
+            // tuple of strategies is itself a strategy for the value tuple.
+            let __strategy = ($($strat,)+);
+            $crate::run_cases(stringify!($name), &__config, |__rng, _seed| {
+                let ($($pat,)+) = $crate::Strategy::generate(&__strategy, __rng);
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l != *__r) {
+            return Err(format!(
+                "assertion failed: `{} != {}` at {}:{}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                __l
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            // No replacement draw in this miniature harness: the case is
+            // simply skipped.
+            return Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat),)+
+        ])
+    };
+}

@@ -52,11 +52,7 @@ pub fn mapping_to_values(mapping: &[(String, String)]) -> Vec<(Value, Value)> {
     mapping
         .iter()
         .map(|(old, new)| {
-            let new_value = if new.is_empty() {
-                Value::Null
-            } else {
-                Value::Text(new.clone())
-            };
+            let new_value = if new.is_empty() { Value::Null } else { Value::Text(new.clone()) };
             (Value::Text(old.clone()), new_value)
         })
         .collect()
@@ -80,10 +76,8 @@ mod tests {
     use super::*;
 
     fn table() -> Table {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["1".into(), "English".into()],
-            vec!["2".into(), "eng".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["1".into(), "English".into()], vec!["2".into(), "eng".into()]];
         Table::from_text_rows(&["id", "lang"], &rows).unwrap()
     }
 
@@ -121,8 +115,7 @@ mod tests {
     fn row_dropping_counts_rows() {
         let t = table();
         let mut select = Select::star("input");
-        select.where_clause =
-            Some(Expr::eq(Expr::col("id"), Expr::lit("1")));
+        select.where_clause = Some(Expr::eq(Expr::col("id"), Expr::lit("1")));
         let (out, changed) = apply_and_count(&select, &t).unwrap();
         assert_eq!(out.height(), 1);
         assert_eq!(changed, 1);

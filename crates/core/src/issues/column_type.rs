@@ -88,11 +88,8 @@ fn run_column(
     let mut conversion_reasoning = String::new();
     if target.is_numeric() {
         let full_census = state.census(index, state.config.sample_size);
-        let failing: Vec<(String, usize)> = full_census
-            .iter()
-            .filter(|(v, _)| v.trim().parse::<f64>().is_err())
-            .cloned()
-            .collect();
+        let failing: Vec<(String, usize)> =
+            full_census.iter().filter(|(v, _)| v.trim().parse::<f64>().is_err()).cloned().collect();
         if !failing.is_empty() {
             let response = state.ask(prompts::numeric_conversion(column, &failing))?;
             let map = parse_cleaning_map(&response)?;
@@ -134,9 +131,7 @@ fn run_column(
         issue: IssueKind::ColumnType,
         column: Some(column.to_string()),
         statistical_evidence: evidence,
-        llm_reasoning: format!("{} {}", verdict.reasoning, conversion_reasoning)
-            .trim()
-            .to_string(),
+        llm_reasoning: format!("{} {}", verdict.reasoning, conversion_reasoning).trim().to_string(),
         sql: select,
         cells_changed: changed,
     });
@@ -162,11 +157,8 @@ mod tests {
 
     #[test]
     fn yes_no_becomes_boolean() {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["yes".into()],
-            vec!["no".into()],
-            vec!["yes".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["yes".into()], vec!["no".into()], vec!["yes".into()]];
         let table = Table::from_text_rows(&["EmergencyService"], &rows).unwrap();
         let (cleaned, ops) = run_on(table);
         assert_eq!(ops.len(), 1);
@@ -178,11 +170,8 @@ mod tests {
 
     #[test]
     fn durations_convert_then_cast() {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["90 min".into()],
-            vec!["1 hr. 30 min.".into()],
-            vec!["100 min".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["90 min".into()], vec!["1 hr. 30 min.".into()], vec!["100 min".into()]];
         let table = Table::from_text_rows(&["duration"], &rows).unwrap();
         let (cleaned, ops) = run_on(table);
         assert_eq!(ops.len(), 1);
@@ -225,11 +214,8 @@ mod tests {
         // A (scripted) model wrongly suggests BIGINT for free text; the
         // cast would null most values, so the pipeline abandons it.
         use cocoon_llm::ScriptedLlm;
-        let rows: Vec<Vec<String>> = vec![
-            vec!["hello".into()],
-            vec!["world".into()],
-            vec!["7".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["hello".into()], vec!["world".into()], vec!["7".into()]];
         let table = Table::from_text_rows(&["stuff"], &rows).unwrap();
         let llm = ScriptedLlm::new([
             r#"{"Reasoning": "looks numeric", "Type": "BIGINT"}"#,

@@ -42,20 +42,14 @@ fn run_column(
     }
     // Numeric share guides whether sentinel values (9999, -1) count as DMVs.
     let total: usize = census.iter().map(|(_, c)| c).sum();
-    let numeric: usize = census
-        .iter()
-        .filter(|(v, _)| v.trim().parse::<f64>().is_ok())
-        .map(|(_, c)| c)
-        .sum();
+    let numeric: usize =
+        census.iter().filter(|(v, _)| v.trim().parse::<f64>().is_ok()).map(|(_, c)| c).sum();
     let numeric_share = if total == 0 { 0.0 } else { numeric as f64 / total as f64 };
 
     let response = state.ask(prompts::dmv_detect(column, &census, numeric_share))?;
     let verdict = parse_dmv_verdict(&response)?;
-    let tokens: Vec<String> = verdict
-        .tokens
-        .into_iter()
-        .filter(|t| census.iter().any(|(v, _)| v == t))
-        .collect();
+    let tokens: Vec<String> =
+        verdict.tokens.into_iter().filter(|t| census.iter().any(|(v, _)| v == t)).collect();
     if tokens.is_empty() {
         return Ok(());
     }
@@ -65,7 +59,8 @@ fn run_column(
     let expr = Expr::value_map(column, &mapping_to_values(&mapping));
     let select = column_rewrite_select(&state.table, column, expr);
     let preview = render_select(&select);
-    let evidence = format!("{} distinct values reviewed; numeric share {numeric_share:.2}", census.len());
+    let evidence =
+        format!("{} distinct values reviewed; numeric share {numeric_share:.2}", census.len());
     let review = CleaningReview {
         issue: IssueKind::DisguisedMissing,
         column: Some(column),

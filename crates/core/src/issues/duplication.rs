@@ -24,13 +24,9 @@ fn run_inner(state: &mut PipelineState<'_>) -> crate::error::Result<()> {
     if profile.duplicate_rows == 0 {
         return Ok(());
     }
-    let columns: Vec<String> =
-        state.table.schema().names().iter().map(|s| s.to_string()).collect();
-    let response = state.ask(prompts::duplication_review(
-        profile.duplicate_rows,
-        profile.rows,
-        &columns,
-    ))?;
+    let columns: Vec<String> = state.table.schema().names().iter().map(|s| s.to_string()).collect();
+    let response =
+        state.ask(prompts::duplication_review(profile.duplicate_rows, profile.rows, &columns))?;
     let verdict = parse_dup_verdict(&response)?;
     let evidence = format!(
         "{} of {} rows are exact duplicates ({} groups)",
@@ -99,10 +95,8 @@ mod tests {
 
     #[test]
     fn log_duplicates_kept() {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["12:00".into(), "42".into()],
-            vec!["12:00".into(), "42".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["12:00".into(), "42".into()], vec!["12:00".into(), "42".into()]];
         let table = Table::from_text_rows(&["event_time", "reading"], &rows).unwrap();
         let (cleaned, ops, notes) = run_on(table.clone());
         assert_eq!(cleaned, table);
@@ -113,8 +107,7 @@ mod tests {
     #[test]
     fn no_duplicates_no_llm_call() {
         use cocoon_llm::{ChatModel, Transcript};
-        let rows: Vec<Vec<String>> =
-            vec![vec!["1".into()], vec!["2".into()]];
+        let rows: Vec<Vec<String>> = vec![vec!["1".into()], vec!["2".into()]];
         let table = Table::from_text_rows(&["id"], &rows).unwrap();
         let llm = Transcript::new(SimLlm::new());
         let config = CleanerConfig::default();

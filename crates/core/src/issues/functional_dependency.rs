@@ -18,14 +18,10 @@ use cocoon_table::Value;
 
 /// Runs FD review and repair over the whole table.
 pub fn run(state: &mut PipelineState<'_>) {
-    let candidates = fd_candidates(
-        &state.table,
-        state.config.fd_min_strength,
-        state.config.fd_max_unique_ratio,
-    );
+    let candidates =
+        fd_candidates(&state.table, state.config.fd_min_strength, state.config.fd_max_unique_ratio);
     for candidate in candidates {
-        if let Err(err) = run_candidate(state, candidate.lhs, candidate.rhs, candidate.strength)
-        {
+        if let Err(err) = run_candidate(state, candidate.lhs, candidate.rhs, candidate.strength) {
             state.note(format!("FD repair degraded to statistical-only: {err}"));
         }
     }
@@ -49,12 +45,7 @@ fn run_candidate(
     }
     let groups_text: Vec<(String, Vec<(String, usize)>)> = groups
         .iter()
-        .map(|(l, census)| {
-            (
-                l.render(),
-                census.iter().map(|(v, c)| (v.render(), *c)).collect(),
-            )
-        })
+        .map(|(l, census)| (l.render(), census.iter().map(|(v, c)| (v.render(), *c)).collect()))
         .collect();
 
     // Semantic review of the FD itself.
@@ -66,10 +57,7 @@ fn run_candidate(
         &groups_text[..groups_text.len().min(5)],
     ))?;
     let verdict = parse_fd_verdict(&response)?;
-    let evidence = format!(
-        "entropy strength {strength:.3}; {} violating groups",
-        groups.len()
-    );
+    let evidence = format!("entropy strength {strength:.3}; {} violating groups", groups.len());
     if !verdict.meaningful {
         state.note(format!(
             "FD {lhs_name} → {rhs_name} rejected as not semantically meaningful: {}",
@@ -127,11 +115,7 @@ fn run_candidate(
     if arms.is_empty() {
         return Ok(());
     }
-    let expr = Expr::Case {
-        operand: None,
-        arms,
-        otherwise: Some(Box::new(Expr::col(&rhs_name))),
-    };
+    let expr = Expr::Case { operand: None, arms, otherwise: Some(Box::new(Expr::col(&rhs_name))) };
     let projections = state
         .table
         .schema()
@@ -193,8 +177,16 @@ mod tests {
         // zip → city holds across 10 zip groups except one typo and one
         // misplaced county value.
         let cities = [
-            "birmingham", "dothan", "mobile", "huntsville", "montgomery",
-            "tuscaloosa", "phoenix", "tucson", "austin", "dallas",
+            "birmingham",
+            "dothan",
+            "mobile",
+            "huntsville",
+            "montgomery",
+            "tuscaloosa",
+            "phoenix",
+            "tucson",
+            "austin",
+            "dallas",
         ];
         let mut rows: Vec<Vec<String>> = Vec::new();
         for (i, city) in cities.iter().enumerate() {
@@ -222,9 +214,10 @@ mod tests {
         let (cleaned, ops, _) = run_on(hospital_like());
         assert!(!ops.is_empty());
         let city = cleaned.column_by_name("city").unwrap();
-        assert!(!city.values().iter().any(|v| {
-            matches!(v.as_text(), Some("birminghxm") | Some("jefferson"))
-        }));
+        assert!(!city
+            .values()
+            .iter()
+            .any(|v| { matches!(v.as_text(), Some("birminghxm") | Some("jefferson")) }));
         assert_eq!(cleaned.render_cell(1, 1).unwrap(), "birmingham");
         assert_eq!(cleaned.render_cell(9, 1).unwrap(), "dothan");
         let op = &ops[0];
@@ -248,8 +241,7 @@ mod tests {
         }
         rows[1][1] = "10:31 p.m.".into();
         rows[7][1] = "10:39 p.m.".into();
-        let table =
-            Table::from_text_rows(&["flight", "actual_arrival_time"], &rows).unwrap();
+        let table = Table::from_text_rows(&["flight", "actual_arrival_time"], &rows).unwrap();
         let (cleaned, ops, notes) = run_on(table.clone());
         assert!(ops.is_empty());
         assert_eq!(cleaned, table);

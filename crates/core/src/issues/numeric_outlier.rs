@@ -146,8 +146,7 @@ mod tests {
     #[test]
     fn rating_outlier_nulled_by_domain_knowledge() {
         // imdb-style rating column: 99 is impossible.
-        let (cleaned, ops) =
-            run_on(numeric_table("rating", &[7.5, 8.0, 6.5, 99.0, 5.0]));
+        let (cleaned, ops) = run_on(numeric_table("rating", &[7.5, 8.0, 6.5, 99.0, 5.0]));
         assert_eq!(ops.len(), 1);
         assert_eq!(cleaned.cell(3, 0).unwrap(), &Value::Null);
         assert_eq!(cleaned.cell(0, 0).unwrap(), &Value::Float(7.5));

@@ -55,13 +55,10 @@ fn run_column(
 
     // Verify the proposed patterns against the data ("verify them with
     // SQL"): each must compile, and together they should cover most values.
-    let compiled: Vec<Regex> =
-        plan.patterns.iter().filter_map(|p| Regex::new(p).ok()).collect();
+    let compiled: Vec<Regex> = plan.patterns.iter().filter_map(|p| Regex::new(p).ok()).collect();
     let distinct = state.census(index, state.config.sample_size);
-    let covered = distinct
-        .iter()
-        .filter(|(v, _)| compiled.iter().any(|re| re.full_match(v)))
-        .count();
+    let covered =
+        distinct.iter().filter(|(v, _)| compiled.iter().any(|re| re.full_match(v))).count();
     let evidence = format!(
         "{} value shapes; {} proposed patterns cover {}/{} distinct values",
         census.buckets.len(),
@@ -85,12 +82,8 @@ fn run_column(
     }
 
     // Validate transforms compile before emitting SQL.
-    let valid_transforms: Vec<(String, String)> = plan
-        .transforms
-        .iter()
-        .filter(|(p, _)| Regex::new(p).is_ok())
-        .cloned()
-        .collect();
+    let valid_transforms: Vec<(String, String)> =
+        plan.transforms.iter().filter(|(p, _)| Regex::new(p).is_ok()).cloned().collect();
     if valid_transforms.is_empty() {
         return Ok(());
     }
@@ -157,8 +150,7 @@ mod tests {
 
     #[test]
     fn consistent_shapes_untouched() {
-        let rows: Vec<Vec<String>> =
-            (0..10).map(|i| vec![format!("0{i}/01/2000")]).collect();
+        let rows: Vec<Vec<String>> = (0..10).map(|i| vec![format!("0{i}/01/2000")]).collect();
         let table = Table::from_text_rows(&["d"], &rows).unwrap();
         let llm = SimLlm::new();
         let config = CleanerConfig::default();
@@ -171,11 +163,8 @@ mod tests {
     #[test]
     fn non_date_shape_mix_not_rewritten() {
         // Codes of different lengths are not "inconsistent dates".
-        let rows: Vec<Vec<String>> = vec![
-            vec!["AB12".into()],
-            vec!["XYZ999".into()],
-            vec!["Q1".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["AB12".into()], vec!["XYZ999".into()], vec!["Q1".into()]];
         let table = Table::from_text_rows(&["code"], &rows).unwrap();
         let llm = SimLlm::new();
         let config = CleanerConfig::default();

@@ -152,11 +152,9 @@ mod tests {
         let op = &state.ops[0];
         assert_eq!(op.issue, IssueKind::StringOutliers);
         assert_eq!(op.cells_changed, 10); // 9 English + 1 French
-        // Every cell now uses ISO codes.
+                                          // Every cell now uses ISO codes.
         let col = state.table.column(0).unwrap();
-        assert!(col.values().iter().all(|v| {
-            matches!(v.as_text(), Some("eng") | Some("fre"))
-        }));
+        assert!(col.values().iter().all(|v| { matches!(v.as_text(), Some("eng") | Some("fre")) }));
         // SQL artifact mentions the CASE map.
         assert!(op.rendered_sql().contains("WHEN 'English' THEN 'eng'"));
     }

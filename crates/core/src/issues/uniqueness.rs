@@ -42,10 +42,8 @@ fn run_column(
     {
         return Ok(());
     }
-    let columns: Vec<String> =
-        state.table.schema().names().iter().map(|s| s.to_string()).collect();
-    let response =
-        state.ask(prompts::uniqueness_review(column, profile.unique_ratio, &columns))?;
+    let columns: Vec<String> = state.table.schema().names().iter().map(|s| s.to_string()).collect();
+    let response = state.ask(prompts::uniqueness_review(column, profile.unique_ratio, &columns))?;
     let verdict = parse_unique_verdict(&response)?;
     if !verdict.should_be_unique {
         return Ok(());
@@ -78,11 +76,7 @@ fn run_column(
         projections: vec![Projection::Star],
         from: "input".into(),
         where_clause: None,
-        qualify: Some(RowNumberFilter {
-            partition_by: vec![Expr::col(column)],
-            order_by,
-            keep: 1,
-        }),
+        qualify: Some(RowNumberFilter { partition_by: vec![Expr::col(column)], order_by, keep: 1 }),
         comment: None,
     };
     let (table, removed) = apply_and_count(&select, &state.table)?;
@@ -130,11 +124,8 @@ mod tests {
         assert_eq!(ops.len(), 1);
         assert_eq!(cleaned.height(), 30);
         // r5 keeps the 2021 row.
-        let kept: Vec<String> = cleaned
-            .rows()
-            .filter(|r| r[0] == Value::from("r5"))
-            .map(|r| r[1].render())
-            .collect();
+        let kept: Vec<String> =
+            cleaned.rows().filter(|r| r[0] == Value::from("r5")).map(|r| r[1].render()).collect();
         assert_eq!(kept, vec!["2021-06-01".to_string()]);
         assert!(ops[0].rendered_sql().contains("QUALIFY ROW_NUMBER()"));
     }
@@ -142,8 +133,7 @@ mod tests {
     #[test]
     fn non_key_column_untouched() {
         // Nearly-unique but semantically not a key.
-        let mut rows: Vec<Vec<String>> =
-            (0..30).map(|i| vec![format!("city{i}")]).collect();
+        let mut rows: Vec<Vec<String>> = (0..30).map(|i| vec![format!("city{i}")]).collect();
         rows.push(vec!["city5".into()]);
         let table = Table::from_text_rows(&["city"], &rows).unwrap();
         let (cleaned, ops) = run_on(table.clone());

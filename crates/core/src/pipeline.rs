@@ -198,10 +198,7 @@ mod tests {
         assert!(script.contains("CASE"));
         assert!(script.contains("TRY_CAST"));
         // Total change accounting is consistent.
-        assert_eq!(
-            run.total_changes(),
-            run.ops.iter().map(|o| o.cells_changed).sum::<usize>()
-        );
+        assert_eq!(run.total_changes(), run.ops.iter().map(|o| o.cells_changed).sum::<usize>());
     }
 
     #[test]

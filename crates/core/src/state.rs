@@ -72,11 +72,7 @@ mod tests {
     use cocoon_llm::SimLlm;
 
     fn table() -> Table {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["a".into()],
-            vec!["a".into()],
-            vec!["b".into()],
-        ];
+        let rows: Vec<Vec<String>> = vec![vec!["a".into()], vec!["a".into()], vec!["b".into()]];
         Table::from_text_rows(&["x"], &rows).unwrap()
     }
 

@@ -25,8 +25,17 @@ pub fn generate() -> Dataset {
 pub fn generate_seeded(seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let names = [
-        "index", "beer_id", "beer_name", "style", "ounces", "abv", "ibu",
-        "brewery_id", "brewery_name", "city", "state",
+        "index",
+        "beer_id",
+        "beer_name",
+        "style",
+        "ounces",
+        "abv",
+        "ibu",
+        "brewery_id",
+        "brewery_name",
+        "city",
+        "state",
     ];
 
     struct Brewery {
@@ -127,8 +136,7 @@ pub fn generate_seeded(seed: u64) -> Dataset {
         let picked = inj.pick_rows_spread(&dirty, col, 400, brewery_col, 4);
         inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Inconsistency, |rng, v| {
             let n = v.trim().parse::<f64>().ok()?;
-            let amount =
-                if n.fract() == 0.0 { format!("{}", n as i64) } else { format!("{n}") };
+            let amount = if n.fract() == 0.0 { format!("{}", n as i64) } else { format!("{n}") };
             let unit = ["oz", "ounce", "ounces", "OZ.", "oz."][rng.gen_range(0..5)];
             Some(format!("{amount} {unit}"))
         });
@@ -173,14 +181,11 @@ pub fn generate_seeded(seed: u64) -> Dataset {
         }
     }
 
-    let fd_constraints = [
-        ("brewery_id", "brewery_name"),
-        ("brewery_id", "city"),
-        ("brewery_id", "state"),
-    ]
-    .iter()
-    .map(|(l, r)| (l.to_string(), r.to_string()))
-    .collect();
+    let fd_constraints =
+        [("brewery_id", "brewery_name"), ("brewery_id", "city"), ("brewery_id", "state")]
+            .iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect();
 
     Dataset { name: "Beers", dirty, truth, annotations: inj.annotations, fd_constraints }
 }

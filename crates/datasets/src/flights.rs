@@ -19,9 +19,7 @@ const SOURCES: usize = 6;
 
 fn minute_time(base_minutes: u32) -> String {
     let minutes = base_minutes % (24 * 60);
-    TimeOfDay::new((minutes / 60) as u8, (minutes % 60) as u8)
-        .expect("in range")
-        .to_ampm()
+    TimeOfDay::new((minutes / 60) as u8, (minutes % 60) as u8).expect("in range").to_ampm()
 }
 
 /// Shifts a rendered time by `delta` minutes.
@@ -101,9 +99,7 @@ pub fn generate_seeded(seed: u64) -> Dataset {
 
     // --- ~700 time variations: sources disagreeing on ACTUAL times.
     //     truth keeps the majority; at most 2 of 6 sources deviate.
-    for (column, count) in
-        [("actual_departure_time", 350usize), ("actual_arrival_time", 350)]
-    {
+    for (column, count) in [("actual_departure_time", 350usize), ("actual_arrival_time", 350)] {
         let col = idx(column);
         let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
         inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::TimeVariation, |rng, v| {
@@ -114,8 +110,7 @@ pub fn generate_seeded(seed: u64) -> Dataset {
 
     // --- 320 FD violations on SCHEDULED times (flight → scheduled time is
     //     semantically meaningful; Cocoon repairs these by majority).
-    for (column, count) in
-        [("scheduled_departure_time", 160usize), ("scheduled_arrival_time", 160)]
+    for (column, count) in [("scheduled_departure_time", 160usize), ("scheduled_arrival_time", 160)]
     {
         let col = idx(column);
         let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
@@ -138,9 +133,7 @@ pub fn generate_seeded(seed: u64) -> Dataset {
     }
 
     // --- 110 DMVs: missing times disguised as tokens.
-    for (column, count) in
-        [("actual_departure_time", 55usize), ("actual_arrival_time", 55)]
-    {
+    for (column, count) in [("actual_departure_time", 55usize), ("actual_arrival_time", 55)] {
         let col = idx(column);
         let picked = inj.pick_rows_spread(&dirty, col, count, flight_col, 2);
         let mut truth_updates = Vec::new();
@@ -163,13 +156,11 @@ pub fn generate_seeded(seed: u64) -> Dataset {
     // functions of the flight. Actual departure/arrival are per-event
     // observations — no analyst would declare them FDs, which is exactly
     // why constraint-driven systems miss those errors (§3.2).
-    let fd_constraints = [
-        ("flight", "scheduled_departure_time"),
-        ("flight", "scheduled_arrival_time"),
-    ]
-    .iter()
-    .map(|(l, r)| (l.to_string(), r.to_string()))
-    .collect();
+    let fd_constraints =
+        [("flight", "scheduled_departure_time"), ("flight", "scheduled_arrival_time")]
+            .iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect();
 
     Dataset { name: "Flights", dirty, truth, annotations: inj.annotations, fd_constraints }
 }

@@ -43,15 +43,28 @@ fn providers(rng: &mut SmallRng) -> Vec<Provider> {
                 name: format!(
                     "{} {}",
                     city,
-                    ["medical center", "regional hospital", "community hospital", "general hospital"]
-                        [i % 4]
+                    [
+                        "medical center",
+                        "regional hospital",
+                        "community hospital",
+                        "general hospital"
+                    ][i % 4]
                 ),
-                address: format!("{} {}", 100 + (i * 37) % 900, pools::STREETS[i % pools::STREETS.len()]),
+                address: format!(
+                    "{} {}",
+                    100 + (i * 37) % 900,
+                    pools::STREETS[i % pools::STREETS.len()]
+                ),
                 city,
                 state: state_abbr.to_string(),
                 zip: format!("{:05}", 35000 + i * 61),
                 county: pools::COUNTIES[i % pools::COUNTIES.len()].to_string(),
-                phone: format!("{:03}-{:03}-{:04}", 205 + i % 700, 500 + i % 400, 1000 + i * 17 % 9000),
+                phone: format!(
+                    "{:03}-{:03}-{:04}",
+                    205 + i % 700,
+                    500 + i % 400,
+                    1000 + i * 17 % 9000
+                ),
                 hospital_type: pools::HOSPITAL_TYPES[i % pools::HOSPITAL_TYPES.len()].to_string(),
                 owner: pools::HOSPITAL_OWNERS[i % pools::HOSPITAL_OWNERS.len()].to_string(),
                 emergency: rng.gen_bool(0.7),
@@ -84,10 +97,25 @@ pub fn generate_seeded(seed: u64) -> Dataset {
     let providers = providers(&mut rng);
 
     let names = [
-        "provider_number", "hospital_name", "address1", "address2", "address3",
-        "city", "state", "zip_code", "county_name", "phone_number",
-        "hospital_type", "hospital_owner", "emergency_service", "condition",
-        "measure_code", "measure_name", "score", "sample", "stateavg",
+        "provider_number",
+        "hospital_name",
+        "address1",
+        "address2",
+        "address3",
+        "city",
+        "state",
+        "zip_code",
+        "county_name",
+        "phone_number",
+        "hospital_type",
+        "hospital_owner",
+        "emergency_service",
+        "condition",
+        "measure_code",
+        "measure_name",
+        "score",
+        "sample",
+        "stateavg",
     ];
     let mut truth_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(1000); names.len()];
     for provider in &providers {
@@ -144,13 +172,9 @@ pub fn generate_seeded(seed: u64) -> Dataset {
             .iter()
             .map(|v| match (v, *name) {
                 (Value::Null, _) => Value::Null,
-                (Value::Bool(b), _) => {
-                    Value::Text(if *b { "yes" } else { "no" }.to_string())
-                }
+                (Value::Bool(b), _) => Value::Text(if *b { "yes" } else { "no" }.to_string()),
                 (Value::Float(f), "score") => Value::Text(format!("{}%", *f as i64)),
-                (Value::Float(f), "sample") => {
-                    Value::Text(format!("{} patients", *f as i64))
-                }
+                (Value::Float(f), "sample") => Value::Text(format!("{} patients", *f as i64)),
                 (other, _) => Value::Text(other.render()),
             })
             .collect();
@@ -182,12 +206,8 @@ pub fn generate_seeded(seed: u64) -> Dataset {
 
     // --- 331 FD violations: valid domain values breaking provider FDs.
     let domain_of = |table: &Table, col: usize| -> Vec<String> {
-        let mut values: Vec<String> = table
-            .column(col)
-            .expect("in range")
-            .non_null()
-            .map(Value::render)
-            .collect();
+        let mut values: Vec<String> =
+            table.column(col).expect("in range").non_null().map(Value::render).collect();
         values.sort_unstable();
         values.dedup();
         values

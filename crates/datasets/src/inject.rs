@@ -21,7 +21,11 @@ pub struct Injector {
 
 impl Injector {
     pub fn new(seed: u64) -> Self {
-        Injector { rng: SmallRng::seed_from_u64(seed), used: HashSet::new(), annotations: Vec::new() }
+        Injector {
+            rng: SmallRng::seed_from_u64(seed),
+            used: HashSet::new(),
+            annotations: Vec::new(),
+        }
     }
 
     pub fn rng(&mut self) -> &mut SmallRng {
@@ -202,8 +206,7 @@ impl Injector {
 pub fn typo(rng: &mut SmallRng, value: &str) -> Option<String> {
     let chars: Vec<char> = value.chars().collect();
     // Find letter positions — typos hit words, not punctuation.
-    let letters: Vec<usize> =
-        (0..chars.len()).filter(|&i| chars[i].is_alphanumeric()).collect();
+    let letters: Vec<usize> = (0..chars.len()).filter(|&i| chars[i].is_alphanumeric()).collect();
     if letters.is_empty() {
         return None;
     }

@@ -27,10 +27,23 @@ pub fn generate() -> Dataset {
 pub fn generate_seeded(seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let names = [
-        "movie_id", "title", "year", "release_date", "director", "creator",
-        "actors", "language", "country", "duration", "rating_value",
-        "rating_count", "review_count", "genre", "filming_location",
-        "production_company", "description",
+        "movie_id",
+        "title",
+        "year",
+        "release_date",
+        "director",
+        "creator",
+        "actors",
+        "language",
+        "country",
+        "duration",
+        "rating_value",
+        "rating_count",
+        "review_count",
+        "genre",
+        "filming_location",
+        "production_company",
+        "description",
     ];
 
     let directors: Vec<String> = (0..160)
@@ -54,8 +67,7 @@ pub fn generate_seeded(seed: u64) -> Dataset {
 
     let mut truth_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(MOVIES); names.len()];
     for i in 0..MOVIES {
-        let (country, language) =
-            pools::MOVIE_COUNTRIES[weighted_country(&mut rng)];
+        let (country, language) = pools::MOVIE_COUNTRIES[weighted_country(&mut rng)];
         let title = format!(
             "the {} {}",
             pools::MOVIE_ADJECTIVES[(i * 5) % pools::MOVIE_ADJECTIVES.len()],
@@ -132,12 +144,9 @@ pub fn generate_seeded(seed: u64) -> Dataset {
             .iter()
             .map(|v| match (v, *name) {
                 (Value::Null, _) => Value::Null,
-                (Value::Date(d), "release_date") => Value::Text(format!(
-                    "{}/{}/{}",
-                    d.month(),
-                    d.day(),
-                    d.year()
-                )),
+                (Value::Date(d), "release_date") => {
+                    Value::Text(format!("{}/{}/{}", d.month(), d.day(), d.year()))
+                }
                 (Value::Float(f), "duration") => {
                     let minutes = *f as i64;
                     if rng.gen_bool(0.45) && minutes >= 60 {
@@ -174,9 +183,8 @@ pub fn generate_seeded(seed: u64) -> Dataset {
         let ctry_col = idx("country");
         // Full swaps (skip English rows: the swap must be invertible by
         // unique world knowledge for the error to be well-defined).
-        let picked = inj.pick_rows(&dirty, lang_col, MOVIES, |v| {
-            !matches!(v.as_text(), Some("English"))
-        });
+        let picked =
+            inj.pick_rows(&dirty, lang_col, MOVIES, |v| !matches!(v.as_text(), Some("English")));
         let mut swapped = 0usize;
         for row in picked {
             if swapped == 200 {
@@ -244,9 +252,7 @@ pub fn generate_seeded(seed: u64) -> Dataset {
     }
 
     // --- 184 typos in repeated categorical columns.
-    for (column, count) in
-        [("director", 80usize), ("genre", 50), ("production_company", 54)]
-    {
+    for (column, count) in [("director", 80usize), ("genre", 50), ("production_company", 54)] {
         let col = idx(column);
         let picked = inj.pick_rows(&dirty, col, count, |v| !v.is_null());
         inj.corrupt_rows(&mut dirty, col, &picked, ErrorType::Typo, typo);
@@ -292,16 +298,16 @@ pub fn generate_seeded(seed: u64) -> Dataset {
 fn weighted_country(rng: &mut SmallRng) -> usize {
     let roll = rng.gen_range(0..100);
     match roll {
-        0..=54 => 0,          // USA
-        55..=69 => 1,         // India
-        70..=76 => 2,         // France
-        77..=82 => 3,         // Italy
-        83..=88 => 4,         // Japan
-        89..=92 => 5,         // Germany
-        93..=95 => 6,         // China
-        96..=97 => 7,         // Spain
-        98 => 8,              // Russia
-        _ => 9,               // South Korea
+        0..=54 => 0,  // USA
+        55..=69 => 1, // India
+        70..=76 => 2, // France
+        77..=82 => 3, // Italy
+        83..=88 => 4, // Japan
+        89..=92 => 5, // Germany
+        93..=95 => 6, // China
+        96..=97 => 7, // Spain
+        98 => 8,      // Russia
+        _ => 9,       // South Korea
     }
 }
 
@@ -360,9 +366,10 @@ mod tests {
             if a.col == lang {
                 assert!(cocoon_semantic::is_country_token(&text), "{text:?}");
                 lang_misplaced += 1;
-                if d.annotations.iter().any(|b| {
-                    b.row == a.row && b.col == ctry && b.error == ErrorType::Misplacement
-                }) {
+                if d.annotations
+                    .iter()
+                    .any(|b| b.row == a.row && b.col == ctry && b.error == ErrorType::Misplacement)
+                {
                     full_swaps += 1;
                 }
             } else {

@@ -51,16 +51,41 @@ pub const HOSPITAL_OWNERS: &[&str] = &[
 
 /// Street name fragments for addresses.
 pub const STREETS: &[&str] = &[
-    "main street", "oak avenue", "university boulevard", "washington street",
-    "church street", "highland avenue", "park road", "riverside drive",
-    "jefferson street", "college avenue", "maple lane", "elm street",
+    "main street",
+    "oak avenue",
+    "university boulevard",
+    "washington street",
+    "church street",
+    "highland avenue",
+    "park road",
+    "riverside drive",
+    "jefferson street",
+    "college avenue",
+    "maple lane",
+    "elm street",
 ];
 
 /// County names (hospital benchmark counties are real US counties).
 pub const COUNTIES: &[&str] = &[
-    "jefferson", "mobile", "madison", "montgomery", "tuscaloosa", "houston",
-    "shelby", "baldwin", "calhoun", "etowah", "lauderdale", "morgan",
-    "maricopa", "pima", "travis", "dallas", "harris", "bexar", "king",
+    "jefferson",
+    "mobile",
+    "madison",
+    "montgomery",
+    "tuscaloosa",
+    "houston",
+    "shelby",
+    "baldwin",
+    "calhoun",
+    "etowah",
+    "lauderdale",
+    "morgan",
+    "maricopa",
+    "pima",
+    "travis",
+    "dallas",
+    "harris",
+    "bexar",
+    "king",
     "fulton",
 ];
 
@@ -69,8 +94,8 @@ pub const CARRIERS: &[&str] = &["AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9"];
 
 /// Airport codes for Flights.
 pub const AIRPORTS: &[&str] = &[
-    "ORD", "PHX", "LAX", "JFK", "ATL", "DFW", "DEN", "SFO", "SEA", "MIA",
-    "BOS", "LGA", "IAH", "MSP", "DTW", "PHL",
+    "ORD", "PHX", "LAX", "JFK", "ATL", "DFW", "DEN", "SFO", "SEA", "MIA", "BOS", "LGA", "IAH",
+    "MSP", "DTW", "PHL",
 ];
 
 /// Flight data sources (the real benchmark aggregates web sources).
@@ -79,21 +104,34 @@ pub const FLIGHT_SOURCES: &[&str] =
 
 /// Beer style names.
 pub const BEER_STYLES: &[&str] = &[
-    "american ipa", "american pale ale", "american amber ale", "american porter",
-    "american stout", "hefeweizen", "witbier", "saison", "kolsch", "pilsner",
-    "american blonde ale", "american brown ale", "scotch ale", "oatmeal stout",
-    "fruit beer", "english brown ale", "cream ale", "american double ipa",
+    "american ipa",
+    "american pale ale",
+    "american amber ale",
+    "american porter",
+    "american stout",
+    "hefeweizen",
+    "witbier",
+    "saison",
+    "kolsch",
+    "pilsner",
+    "american blonde ale",
+    "american brown ale",
+    "scotch ale",
+    "oatmeal stout",
+    "fruit beer",
+    "english brown ale",
+    "cream ale",
+    "american double ipa",
 ];
 
 /// Beer-name fragments.
 pub const BEER_ADJECTIVES: &[&str] = &[
-    "hoppy", "golden", "dark", "wild", "lazy", "raging", "crooked", "lucky",
-    "iron", "copper", "rebel", "noble", "royal", "rustic", "velvet", "amber",
+    "hoppy", "golden", "dark", "wild", "lazy", "raging", "crooked", "lucky", "iron", "copper",
+    "rebel", "noble", "royal", "rustic", "velvet", "amber",
 ];
 pub const BEER_NOUNS: &[&str] = &[
-    "trail", "river", "moon", "bear", "fox", "anchor", "hammer", "wolf",
-    "summit", "canyon", "harbor", "prairie", "raven", "bison", "lantern",
-    "orchard",
+    "trail", "river", "moon", "bear", "fox", "anchor", "hammer", "wolf", "summit", "canyon",
+    "harbor", "prairie", "raven", "bison", "lantern", "orchard",
 ];
 
 /// Brewery-name fragments.
@@ -121,10 +159,24 @@ pub const JOURNALS: &[(&str, &str, &str)] = &[
 
 /// Research-title fragments for Rayyan article titles.
 pub const TITLE_TOPICS: &[&str] = &[
-    "hypertension", "diabetes", "asthma", "influenza vaccination", "stroke",
-    "breast cancer screening", "smoking cessation", "obesity", "depression",
-    "antibiotic resistance", "heart failure", "chronic pain", "migraine",
-    "osteoporosis", "dementia", "malaria", "tuberculosis", "hiv prevention",
+    "hypertension",
+    "diabetes",
+    "asthma",
+    "influenza vaccination",
+    "stroke",
+    "breast cancer screening",
+    "smoking cessation",
+    "obesity",
+    "depression",
+    "antibiotic resistance",
+    "heart failure",
+    "chronic pain",
+    "migraine",
+    "osteoporosis",
+    "dementia",
+    "malaria",
+    "tuberculosis",
+    "hiv prevention",
 ];
 pub const TITLE_PATTERNS: &[&str] = &[
     "a systematic review of {}",
@@ -137,33 +189,96 @@ pub const TITLE_PATTERNS: &[&str] = &[
 
 /// Author surname pool.
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
-    "davis", "rodriguez", "martinez", "wilson", "anderson", "taylor",
-    "thomas", "moore", "jackson", "martin", "lee", "thompson", "white",
-    "chen", "wang", "kumar", "patel", "kim", "nguyen", "ali", "khan",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "wilson",
+    "anderson",
+    "taylor",
+    "thomas",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "thompson",
+    "white",
+    "chen",
+    "wang",
+    "kumar",
+    "patel",
+    "kim",
+    "nguyen",
+    "ali",
+    "khan",
 ];
 pub const GIVEN_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
-    "linda", "david", "elizabeth", "william", "susan", "richard", "jessica",
-    "wei", "priya", "ahmed", "yuki", "carlos", "fatima",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "susan",
+    "richard",
+    "jessica",
+    "wei",
+    "priya",
+    "ahmed",
+    "yuki",
+    "carlos",
+    "fatima",
 ];
 
 /// Movie-title fragments.
 pub const MOVIE_ADJECTIVES: &[&str] = &[
-    "silent", "broken", "hidden", "eternal", "crimson", "golden", "midnight",
-    "savage", "gentle", "burning", "frozen", "distant", "electric", "sacred",
-    "forgotten", "restless",
+    "silent",
+    "broken",
+    "hidden",
+    "eternal",
+    "crimson",
+    "golden",
+    "midnight",
+    "savage",
+    "gentle",
+    "burning",
+    "frozen",
+    "distant",
+    "electric",
+    "sacred",
+    "forgotten",
+    "restless",
 ];
 pub const MOVIE_NOUNS: &[&str] = &[
-    "river", "empire", "shadow", "garden", "horizon", "promise", "journey",
-    "kingdom", "echo", "storm", "harvest", "mirror", "voyage", "legacy",
-    "symphony", "frontier",
+    "river", "empire", "shadow", "garden", "horizon", "promise", "journey", "kingdom", "echo",
+    "storm", "harvest", "mirror", "voyage", "legacy", "symphony", "frontier",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Thriller", "Romance", "Horror",
-    "Documentary", "Animation", "Crime", "Adventure", "Fantasy", "Mystery",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Romance",
+    "Horror",
+    "Documentary",
+    "Animation",
+    "Crime",
+    "Adventure",
+    "Fantasy",
+    "Mystery",
 ];
 
 /// Movie certificates.
@@ -186,8 +301,16 @@ pub const MOVIE_COUNTRIES: &[(&str, &str)] = &[
 
 /// Production-company fragments.
 pub const STUDIO_WORDS: &[&str] = &[
-    "paragon", "northstar", "bluebird", "monument", "silverlake", "beacon",
-    "crescent", "atlas", "meridian", "pinnacle",
+    "paragon",
+    "northstar",
+    "bluebird",
+    "monument",
+    "silverlake",
+    "beacon",
+    "crescent",
+    "atlas",
+    "meridian",
+    "pinnacle",
 ];
 
 /// Deterministic pick from a pool.

@@ -23,9 +23,17 @@ pub fn generate() -> Dataset {
 pub fn generate_seeded(seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let names = [
-        "article_id", "article_title", "article_language", "journal_title",
-        "journal_abbreviation", "journal_issn", "article_volume", "article_issue",
-        "article_pagination", "author_list", "journal_created_at",
+        "article_id",
+        "article_title",
+        "article_language",
+        "journal_title",
+        "journal_abbreviation",
+        "journal_issn",
+        "article_volume",
+        "article_issue",
+        "article_pagination",
+        "author_list",
+        "journal_created_at",
     ];
 
     // Language distribution mirrors Example 1: eng 46.4%, plus other codes.
@@ -233,9 +241,9 @@ mod tests {
             .unwrap()
             .values()
             .iter()
-            .filter(|v| {
-                matches!(v.as_text(), Some(t) if cocoon_semantic::code_for_name(t).is_some())
-            })
+            .filter(
+                |v| matches!(v.as_text(), Some(t) if cocoon_semantic::code_for_name(t).is_some()),
+            )
             .count();
         assert_eq!(full_names, 60);
     }

@@ -103,9 +103,7 @@ impl Dataset {
     /// (empty = consistent). Used by tests and the harness.
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        if self.dirty.height() != self.truth.height()
-            || self.dirty.width() != self.truth.width()
-        {
+        if self.dirty.height() != self.truth.height() || self.dirty.width() != self.truth.width() {
             problems.push(format!(
                 "dirty is {}x{} but truth is {}x{}",
                 self.dirty.height(),

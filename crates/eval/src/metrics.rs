@@ -96,11 +96,8 @@ pub fn evaluate(dirty: &Table, cleaned: &Table, truth: &Table, mode: Equivalence
     } else {
         counts.correct_repairs as f64 / counts.changes as f64
     };
-    let recall = if counts.errors == 0 {
-        0.0
-    } else {
-        counts.repaired_errors as f64 / counts.errors as f64
-    };
+    let recall =
+        if counts.errors == 0 { 0.0 } else { counts.repaired_errors as f64 / counts.errors as f64 };
     Evaluation { prf: Prf::new(precision, recall), counts }
 }
 

@@ -42,10 +42,7 @@ pub fn render_results_table(datasets: &[&str], rows: &[SystemRow]) -> String {
 }
 
 /// Renders a Table-2-style error-distribution grid.
-pub fn render_error_table(
-    header: &[&str],
-    rows: &[(String, String, Vec<String>)],
-) -> String {
+pub fn render_error_table(header: &[&str], rows: &[(String, String, Vec<String>)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<10} {:<12}", "Dataset", "Size"));
     for h in header {

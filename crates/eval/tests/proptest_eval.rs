@@ -4,9 +4,7 @@ use cocoon_eval::{evaluate, Equivalence};
 use cocoon_table::Table;
 use proptest::prelude::*;
 
-fn tables(
-    rows: usize,
-) -> impl Strategy<Value = (Table, Table, Table)> {
+fn tables(rows: usize) -> impl Strategy<Value = (Table, Table, Table)> {
     let cell = "[ab]{1}";
     let grid = proptest::collection::vec(proptest::collection::vec(cell, 2), rows..=rows);
     (grid.clone(), grid.clone(), grid).prop_map(|(d, c, t)| {

@@ -194,10 +194,7 @@ struct JsonParser {
 
 impl JsonParser {
     fn err(&self, message: &str) -> LlmError {
-        LlmError::Malformed {
-            expected: "json",
-            detail: format!("{message} at {}", self.pos),
-        }
+        LlmError::Malformed { expected: "json", detail: format!("{message} at {}", self.pos) }
     }
 
     fn skip_ws(&mut self) {
@@ -413,7 +410,8 @@ mod tests {
 
     #[test]
     fn extract_from_fence() {
-        let text = "Sure! Here's the result:\n```json\n{\"Unusualness\": true}\n```\nHope that helps.";
+        let text =
+            "Sure! Here's the result:\n```json\n{\"Unusualness\": true}\n```\nHope that helps.";
         let v = extract(text).unwrap();
         assert_eq!(v.get("Unusualness").unwrap(), &Json::Bool(true));
     }

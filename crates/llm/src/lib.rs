@@ -27,7 +27,9 @@ pub mod sim;
 pub mod transcript;
 pub mod yaml;
 
-pub use chat::{ChatModel, ChatRequest, ChatResponse, FailingLlm, Message, Role, ScriptedLlm, Usage};
+pub use chat::{
+    ChatModel, ChatRequest, ChatResponse, FailingLlm, Message, Role, ScriptedLlm, Usage,
+};
 pub use error::{LlmError, Result};
 pub use json::Json;
 pub use responses::{

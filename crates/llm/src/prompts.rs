@@ -31,16 +31,13 @@ fn values_json(values: &[(String, usize)]) -> Json {
     Json::Array(
         values
             .iter()
-            .map(|(v, c)| {
-                Json::Array(vec![Json::String(v.clone()), Json::Number(*c as f64)])
-            })
+            .map(|(v, c)| Json::Array(vec![Json::String(v.clone()), Json::Number(*c as f64)]))
             .collect(),
     )
 }
 
 fn values_list_str(values: &[(String, usize)], limit: usize) -> String {
-    let shown: Vec<String> =
-        values.iter().take(limit).map(|(v, _)| escape(v)).collect();
+    let shown: Vec<String> = values.iter().take(limit).map(|(v, _)| escape(v)).collect();
     let mut text = format!("[{}]", shown.join(", "));
     if values.len() > limit {
         text.push_str(&format!(" (+{} more)", values.len() - limit));
@@ -92,7 +89,9 @@ pub fn string_outliers_clean(
     p.push_str("Maps those unusual values to the correct ones to address the problems.\n");
     p.push_str("If old values are meaningless, map to empty string.\n\n");
     p.push_str("Return in the following format:\n```yml\nexplanation: >\n");
-    p.push_str("The problem is ... The correct values are ...\nmapping:\nold_value: new_value\n```\n");
+    p.push_str(
+        "The problem is ... The correct values are ...\nmapping:\nold_value: new_value\n```\n",
+    );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::STRING_OUTLIERS_CLEAN.into())),
         ("column".into(), Json::String(column.into())),
@@ -106,9 +105,7 @@ pub fn string_outliers_clean(
 /// standardising transformations.
 pub fn pattern_review(column: &str, buckets: &[(String, usize, Vec<String>)]) -> String {
     let mut p = String::new();
-    p.push_str(&format!(
-        "The values of {column} group into the following regex shapes:\n"
-    ));
+    p.push_str(&format!("The values of {column} group into the following regex shapes:\n"));
     for (pattern, count, examples) in buckets {
         p.push_str(&format!(
             "  {pattern} — {count} values (e.g. {})\n",
@@ -206,7 +203,9 @@ pub fn numeric_range(column: &str, min: f64, max: f64, q1: f64, q3: f64) -> Stri
         "Review the acceptable range semantically given what the column represents. Values \
          outside the range will be treated as outliers and set to NULL.\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Low\": number|null, \"High\": number|null}\n");
+    p.push_str(
+        "Respond in JSON: {\"Reasoning\": \"...\", \"Low\": number|null, \"High\": number|null}\n",
+    );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::NUMERIC_RANGE.into())),
         ("column".into(), Json::String(column.into())),
@@ -256,10 +255,7 @@ pub fn fd_review(
                         census
                             .iter()
                             .map(|(v, c)| {
-                                Json::Array(vec![
-                                    Json::String(v.clone()),
-                                    Json::Number(*c as f64),
-                                ])
+                                Json::Array(vec![Json::String(v.clone()), Json::Number(*c as f64)])
                             })
                             .collect(),
                     ),
@@ -279,11 +275,7 @@ pub fn fd_review(
 }
 
 /// §2.1.6: provide the correct value for each violating group.
-pub fn fd_mapping(
-    lhs: &str,
-    rhs: &str,
-    groups: &[(String, Vec<(String, usize)>)],
-) -> String {
+pub fn fd_mapping(lhs: &str, rhs: &str, groups: &[(String, Vec<(String, usize)>)]) -> String {
     let mut p = String::new();
     p.push_str(&format!(
         "The functional dependency {lhs} \u{2192} {rhs} is meaningful, but these {lhs} groups \
@@ -308,10 +300,7 @@ pub fn fd_mapping(
                         census
                             .iter()
                             .map(|(v, c)| {
-                                Json::Array(vec![
-                                    Json::String(v.clone()),
-                                    Json::Number(*c as f64),
-                                ])
+                                Json::Array(vec![Json::String(v.clone()), Json::Number(*c as f64)])
                             })
                             .collect(),
                     ),
@@ -329,11 +318,7 @@ pub fn fd_mapping(
 }
 
 /// §2.1.7: decide whether exact duplicate rows are acceptable.
-pub fn duplication_review(
-    duplicate_rows: usize,
-    total_rows: usize,
-    columns: &[String],
-) -> String {
+pub fn duplication_review(duplicate_rows: usize, total_rows: usize, columns: &[String]) -> String {
     let mut p = String::new();
     p.push_str(&format!(
         "The table has {total_rows} rows, of which {duplicate_rows} are exact duplicates of \
@@ -349,21 +334,14 @@ pub fn duplication_review(
         ("task".into(), Json::String(task::DUPLICATION_REVIEW.into())),
         ("duplicate_rows".into(), Json::Number(duplicate_rows as f64)),
         ("total_rows".into(), Json::Number(total_rows as f64)),
-        (
-            "columns".into(),
-            Json::Array(columns.iter().map(|c| Json::String(c.clone())).collect()),
-        ),
+        ("columns".into(), Json::Array(columns.iter().map(|c| Json::String(c.clone())).collect())),
     ]));
     p
 }
 
 /// §2.1.8: decide whether a column should be unique and how to prioritise
 /// surviving rows.
-pub fn uniqueness_review(
-    column: &str,
-    unique_ratio: f64,
-    all_columns: &[String],
-) -> String {
+pub fn uniqueness_review(column: &str, unique_ratio: f64, all_columns: &[String]) -> String {
     let mut p = String::new();
     p.push_str(&format!(
         "Column {column} has unique ratio {unique_ratio:.4}. Table columns: {}.\n\n",

@@ -46,10 +46,7 @@ pub fn parse_cleaning_map(text: &str) -> Result<CleaningMap> {
         .mapping("mapping")
         .ok_or(LlmError::Malformed { expected: "mapping block", detail: text.into() })?
         .to_vec();
-    Ok(CleaningMap {
-        explanation: doc.scalar("explanation").unwrap_or("").to_string(),
-        mapping,
-    })
+    Ok(CleaningMap { explanation: doc.scalar("explanation").unwrap_or("").to_string(), mapping })
 }
 
 /// Pattern-review plan (§2.1.2).
@@ -239,7 +236,8 @@ mod tests {
 
     #[test]
     fn cleaning_map_parses() {
-        let text = "```yml\nexplanation: >\n  fix codes\nmapping:\n  English: eng\n  junk: \"\"\n```";
+        let text =
+            "```yml\nexplanation: >\n  fix codes\nmapping:\n  English: eng\n  junk: \"\"\n```";
         let m = parse_cleaning_map(text).unwrap();
         assert_eq!(m.mapping.len(), 2);
         assert_eq!(m.mapping[1], ("junk".to_string(), String::new()));
@@ -261,15 +259,14 @@ mod tests {
 
     #[test]
     fn dmv_and_type_and_range() {
-        let v = parse_dmv_verdict(r#"{"Reasoning": "r", "DisguisedMissing": ["N/A", "-"]}"#)
-            .unwrap();
+        let v =
+            parse_dmv_verdict(r#"{"Reasoning": "r", "DisguisedMissing": ["N/A", "-"]}"#).unwrap();
         assert_eq!(v.tokens, vec!["N/A", "-"]);
         let t = parse_type_verdict(r#"{"Reasoning": "yes/no", "Type": "BOOLEAN"}"#).unwrap();
         assert_eq!(t.type_name, "BOOLEAN");
         let r = parse_range_verdict(r#"{"Reasoning": "scores", "Low": 0, "High": 10}"#).unwrap();
         assert_eq!((r.low, r.high), (Some(0.0), Some(10.0)));
-        let r = parse_range_verdict(r#"{"Reasoning": "open", "Low": null, "High": null}"#)
-            .unwrap();
+        let r = parse_range_verdict(r#"{"Reasoning": "open", "Low": null, "High": null}"#).unwrap();
         assert_eq!((r.low, r.high), (None, None));
     }
 
@@ -277,8 +274,7 @@ mod tests {
     fn fd_dup_unique_verdicts() {
         assert!(parse_fd_verdict(r#"{"Meaningful": true}"#).unwrap().meaningful);
         assert!(!parse_dup_verdict(r#"{"Acceptable": false}"#).unwrap().acceptable);
-        let u = parse_unique_verdict(r#"{"ShouldBeUnique": true, "OrderBy": "updated"}"#)
-            .unwrap();
+        let u = parse_unique_verdict(r#"{"ShouldBeUnique": true, "OrderBy": "updated"}"#).unwrap();
         assert!(u.should_be_unique);
         assert_eq!(u.order_by.as_deref(), Some("updated"));
         let u = parse_unique_verdict(r#"{"ShouldBeUnique": false, "OrderBy": null}"#).unwrap();

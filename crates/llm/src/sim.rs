@@ -87,10 +87,7 @@ fn census_from(ctx: &Json, key: &str) -> Vec<(String, usize)> {
                 .iter()
                 .filter_map(|pair| {
                     let arr = pair.as_array()?;
-                    Some((
-                        arr.first()?.as_str()?.to_string(),
-                        arr.get(1)?.as_f64()? as usize,
-                    ))
+                    Some((arr.first()?.as_str()?.to_string(), arr.get(1)?.as_f64()? as usize))
                 })
                 .collect()
         })
@@ -112,10 +109,7 @@ fn groups_from(ctx: &Json, key: &str) -> Vec<(String, Vec<(String, usize)>)> {
                         .iter()
                         .filter_map(|pair| {
                             let p = pair.as_array()?;
-                            Some((
-                                p.first()?.as_str()?.to_string(),
-                                p.get(1)?.as_f64()? as usize,
-                            ))
+                            Some((p.first()?.as_str()?.to_string(), p.get(1)?.as_f64()? as usize))
                         })
                         .collect();
                     Some((lhs, census))
@@ -178,7 +172,9 @@ pub fn analyze_string_values(census: &[(String, usize)]) -> StringAnalysis {
         }
     }
     if typo_count > 0 {
-        analysis.issues.push(format!("{typo_count} values look like typos of more frequent values"));
+        analysis
+            .issues
+            .push(format!("{typo_count} values look like typos of more frequent values"));
     }
 
     // 2. Language representations (Example 1: "English" vs "eng").
@@ -274,8 +270,7 @@ pub fn analyze_string_values(census: &[(String, usize)]) -> StringAnalysis {
     if !durations.is_empty() {
         let min_style = |v: &str| {
             let t = v.trim();
-            t.ends_with(" min")
-                && t[..t.len() - 4].trim().parse::<f64>().is_ok()
+            t.ends_with(" min") && t[..t.len() - 4].trim().parse::<f64>().is_ok()
         };
         let min_weight: usize =
             durations.iter().filter(|(v, _)| min_style(v)).map(|(_, c)| c).sum();
@@ -298,16 +293,16 @@ pub fn analyze_string_values(census: &[(String, usize)]) -> StringAnalysis {
                 }
             }
             if fixed > 0 {
-                analysis.issues.push(format!(
-                    "{fixed} duration values mix hour/minute spellings"
-                ));
+                analysis.issues.push(format!("{fixed} duration values mix hour/minute spellings"));
             }
         }
     }
 
     // 6. Time-of-day formats ("10:30 p.m." vs "22:30").
     let ampm = |v: &str| v.to_lowercase().contains('m') && TimeOfDay::parse_flexible(v).is_some();
-    let h24 = |v: &str| !v.to_lowercase().contains('m') && TimeOfDay::parse_flexible(v).is_some() && v.contains(':');
+    let h24 = |v: &str| {
+        !v.to_lowercase().contains('m') && TimeOfDay::parse_flexible(v).is_some() && v.contains(':')
+    };
     let ampm_weight: usize = census.iter().filter(|(v, _)| ampm(v)).map(|(_, c)| c).sum();
     let h24_weight: usize = census.iter().filter(|(v, _)| h24(v)).map(|(_, c)| c).sum();
     if ampm_weight > 0 && h24_weight > 0 {
@@ -366,9 +361,9 @@ pub fn analyze_string_values(census: &[(String, usize)]) -> StringAnalysis {
         }
     }
     if junk_fixed > 0 {
-        analysis.issues.push(format!(
-            "{junk_fixed} date/time values carry trailing junk characters"
-        ));
+        analysis
+            .issues
+            .push(format!("{junk_fixed} date/time values carry trailing junk characters"));
     }
 
     // 8. Misplaced concept tokens (the Movies "country in the language
@@ -378,10 +373,8 @@ pub fn analyze_string_values(census: &[(String, usize)]) -> StringAnalysis {
     //    language "Hindi"; "Hindi" in a country column means "India".
     let is_lang = |v: &str| sem::is_language_token(v) && !sem::is_country_token(v);
     let is_ctry = |v: &str| sem::is_country_token(v) && !sem::is_language_token(v);
-    let lang_weight: usize =
-        census.iter().filter(|(v, _)| is_lang(v)).map(|(_, c)| c).sum();
-    let ctry_weight: usize =
-        census.iter().filter(|(v, _)| is_ctry(v)).map(|(_, c)| c).sum();
+    let lang_weight: usize = census.iter().filter(|(v, _)| is_lang(v)).map(|(_, c)| c).sum();
+    let ctry_weight: usize = census.iter().filter(|(v, _)| is_ctry(v)).map(|(_, c)| c).sum();
     let total_weight: usize = census.iter().map(|(_, c)| c).sum();
     let mut misplaced = 0usize;
     if total_weight > 0 && lang_weight * 2 > total_weight && ctry_weight > 0 {
@@ -443,7 +436,11 @@ fn answer_string_detect(ctx: &Json) -> String {
     let unusual = !analysis.mapping.is_empty();
     let column = ctx.get("column").and_then(Json::as_str).unwrap_or("the column");
     let summary = if unusual {
-        format!("{} values are unusual because {}", analysis.mapping.len(), analysis.issues.join("; "))
+        format!(
+            "{} values are unusual because {}",
+            analysis.mapping.len(),
+            analysis.issues.join("; ")
+        )
     } else {
         String::new()
     };
@@ -563,9 +560,8 @@ fn answer_pattern_review(ctx: &Json) -> String {
             transforms.push((r"^(\d)/(\d{2})/(\d{4})$".into(), "$3-0$1-$2".into()));
             transforms.push((r"^(\d{2})/(\d)/(\d{4})$".into(), "$3-$1-0$2".into()));
             transforms.push((r"^(\d)/(\d)/(\d{4})$".into(), "$3-0$1-0$2".into()));
-            reasoning.push_str(
-                " Multiple date formats are present; slash dates are rewritten to ISO.",
-            );
+            reasoning
+                .push_str(" Multiple date formats are present; slash dates are rewritten to ISO.");
         } else {
             transforms.push((r"^(\d{4})-(\d{2})-(\d{2})$".into(), "$2/$3/$1".into()));
             reasoning.push_str(
@@ -588,10 +584,7 @@ fn answer_pattern_review(ctx: &Json) -> String {
     );
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
-        (
-            "Patterns".into(),
-            Json::Array(patterns.into_iter().map(Json::String).collect()),
-        ),
+        ("Patterns".into(), Json::Array(patterns.into_iter().map(Json::String).collect())),
         ("Inconsistent".into(), Json::Bool(inconsistent)),
         ("Transforms".into(), transforms_json),
     ])
@@ -619,10 +612,7 @@ fn answer_dmv(ctx: &Json) -> String {
     };
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
-        (
-            "DisguisedMissing".into(),
-            Json::Array(tokens.into_iter().map(Json::String).collect()),
-        ),
+        ("DisguisedMissing".into(), Json::Array(tokens.into_iter().map(Json::String).collect())),
     ])
 }
 
@@ -647,15 +637,11 @@ fn answer_column_type(ctx: &Json) -> String {
     };
     let numericish_weight: usize =
         census.iter().filter(|(v, _)| numericish(v)).map(|(_, c)| c).sum();
-    let has_units = census
-        .iter()
-        .any(|(v, _)| sem::is_duration(v) || leading_number_with_unit(v).is_some());
+    let has_units =
+        census.iter().any(|(v, _)| sem::is_duration(v) || leading_number_with_unit(v).is_some());
 
     let (type_name, reasoning) = if sem::values_look_boolean(&distinct) {
-        (
-            "BOOLEAN",
-            "The values are yes/no-style tokens, semantically a boolean.".to_string(),
-        )
+        ("BOOLEAN", "The values are yes/no-style tokens, semantically a boolean.".to_string())
     } else if ["zip", "phone", "ssn", "fax", "issn", "isbn"].iter().any(|k| name.contains(k)) {
         (
             "VARCHAR",
@@ -740,8 +726,7 @@ fn answer_numeric_range(ctx: &Json) -> String {
                 (
                     Some(q1 - 3.0 * iqr),
                     Some(q3 + 3.0 * iqr),
-                    "Without domain cues, only far-out statistical outliers are rejected."
-                        .into(),
+                    "Without domain cues, only far-out statistical outliers are rejected.".into(),
                 )
             }
         }
@@ -780,8 +765,18 @@ pub fn fd_semantically_meaningful(lhs: &str, rhs: &str) -> bool {
     if GEO.iter().any(|(a, b)| l.contains(a) && r.contains(b)) {
         return true;
     }
-    const IDLIKE: [&str; 10] =
-        ["id", "code", "number", "zip", "key", "flight", "provider", "isbn", "issn", "abbreviation"];
+    const IDLIKE: [&str; 10] = [
+        "id",
+        "code",
+        "number",
+        "zip",
+        "key",
+        "flight",
+        "provider",
+        "isbn",
+        "issn",
+        "abbreviation",
+    ];
     if IDLIKE.iter().any(|k| l.contains(k)) {
         return true;
     }
@@ -833,9 +828,7 @@ fn answer_fd_mapping(ctx: &Json) -> String {
         let typo_close = census.iter().skip(1).all(|(v, _)| {
             !sem::typo::differs_only_in_digits(v, top_value)
                 && sem::damerau_levenshtein(&v.to_lowercase(), &top_value.to_lowercase())
-                    <= sem::typo::typo_threshold(
-                        v.chars().count().max(top_value.chars().count()),
-                    )
+                    <= sem::typo::typo_threshold(v.chars().count().max(top_value.chars().count()))
         });
         if top_count == second_count && !typo_close {
             // Ambiguous group: no safe correction.
@@ -876,8 +869,7 @@ fn answer_numeric_conversion(ctx: &Json) -> String {
         // Number with a trailing unit word ("12 oz" → 12, "45 patients" →
         // 45, "91%" → 91): the number is the content, the unit is dressing.
         if let Some(n) = leading_number_with_unit(v) {
-            let rendered =
-                if n.fract() == 0.0 { format!("{}", n as i64) } else { format!("{n}") };
+            let rendered = if n.fract() == 0.0 { format!("{}", n as i64) } else { format!("{n}") };
             mapping.push((v.clone(), rendered));
             continue;
         }
@@ -887,9 +879,7 @@ fn answer_numeric_conversion(ctx: &Json) -> String {
         if !stripped.is_empty()
             && stripped.parse::<f64>().is_ok()
             && v.chars().any(|c| c == '$' || c == ',' || c == '%' || c.is_whitespace())
-            && v.chars().all(|c| {
-                c.is_ascii_digit() || ".,-$%".contains(c) || c.is_whitespace()
-            })
+            && v.chars().all(|c| c.is_ascii_digit() || ".,-$%".contains(c) || c.is_whitespace())
         {
             mapping.push((v.clone(), stripped));
             continue;
@@ -973,7 +963,9 @@ fn answer_uniqueness(ctx: &Json) -> String {
             .iter()
             .find(|c| {
                 let l = c.to_lowercase();
-                l.contains("updated") || l.contains("modified") || l.contains("timestamp")
+                l.contains("updated")
+                    || l.contains("modified")
+                    || l.contains("timestamp")
                     || l.contains("version")
             })
             .cloned()
@@ -988,10 +980,7 @@ fn answer_uniqueness(ctx: &Json) -> String {
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
         ("ShouldBeUnique".into(), Json::Bool(should)),
-        (
-            "OrderBy".into(),
-            order_by.map(Json::String).unwrap_or(Json::Null),
-        ),
+        ("OrderBy".into(), order_by.map(Json::String).unwrap_or(Json::Null)),
     ])
 }
 
@@ -1022,11 +1011,8 @@ mod tests {
         let verdict = parse_detect_verdict(&detect).unwrap();
         assert!(verdict.unusual);
 
-        let clean = ask(prompts::string_outliers_clean(
-            "article_language",
-            &verdict.summary,
-            &census,
-        ));
+        let clean =
+            ask(prompts::string_outliers_clean("article_language", &verdict.summary, &census));
         let map = parse_cleaning_map(&clean).unwrap();
         let as_map: std::collections::HashMap<_, _> = map.mapping.into_iter().collect();
         assert_eq!(as_map.get("English").map(String::as_str), Some("eng"));
@@ -1045,11 +1031,8 @@ mod tests {
 
     #[test]
     fn typo_and_stutter_fixes() {
-        let census = vec![
-            ("coffee".to_string(), 50),
-            ("cofffee".to_string(), 1),
-            ("tea".to_string(), 30),
-        ];
+        let census =
+            vec![("coffee".to_string(), 50), ("cofffee".to_string(), 1), ("tea".to_string(), 30)];
         let clean = ask(prompts::string_outliers_clean("drink", "typos", &census));
         let map = parse_cleaning_map(&clean).unwrap();
         assert_eq!(map.mapping, vec![("cofffee".to_string(), "coffee".to_string())]);
@@ -1076,18 +1059,12 @@ mod tests {
         ];
         let clean = ask(prompts::string_outliers_clean("duration", "durations", &census));
         let map = parse_cleaning_map(&clean).unwrap();
-        assert_eq!(
-            map.mapping,
-            vec![("1 hr. 30 min.".to_string(), "90 min".to_string())]
-        );
+        assert_eq!(map.mapping, vec![("1 hr. 30 min.".to_string(), "90 min".to_string())]);
     }
 
     #[test]
     fn date_trailing_junk_fixed() {
-        let census = vec![
-            ("1/1/2000".to_string(), 10),
-            ("1/1/2000x".to_string(), 1),
-        ];
+        let census = vec![("1/1/2000".to_string(), 10), ("1/1/2000x".to_string(), 1)];
         let clean = ask(prompts::string_outliers_clean("date", "junk", &census));
         let map = parse_cleaning_map(&clean).unwrap();
         assert_eq!(map.mapping, vec![("1/1/2000x".to_string(), "1/1/2000".to_string())]);
@@ -1118,11 +1095,7 @@ mod tests {
 
     #[test]
     fn dmv_detection_with_sentinels() {
-        let census = vec![
-            ("42".to_string(), 50),
-            ("N/A".to_string(), 3),
-            ("9999".to_string(), 2),
-        ];
+        let census = vec![("42".to_string(), 50), ("N/A".to_string(), 3), ("9999".to_string(), 2)];
         let resp = ask(prompts::dmv_detect("score", &census, 0.95));
         let verdict = parse_dmv_verdict(&resp).unwrap();
         assert!(verdict.tokens.contains(&"N/A".to_string()));
@@ -1136,7 +1109,8 @@ mod tests {
     #[test]
     fn emergency_service_becomes_boolean() {
         let census = vec![("yes".to_string(), 700), ("no".to_string(), 300)];
-        let resp = ask(prompts::column_type("EmergencyService", "VARCHAR", "BOOLEAN", 1.0, &census));
+        let resp =
+            ask(prompts::column_type("EmergencyService", "VARCHAR", "BOOLEAN", 1.0, &census));
         let verdict = parse_type_verdict(&resp).unwrap();
         assert_eq!(verdict.type_name, "BOOLEAN");
     }
@@ -1179,14 +1153,8 @@ mod tests {
     #[test]
     fn fd_mapping_majority_votes_and_skips_ambiguous() {
         let groups = vec![
-            (
-                "z1".to_string(),
-                vec![("Austin".to_string(), 4), ("Autsin".to_string(), 1)],
-            ),
-            (
-                "z2".to_string(),
-                vec![("Dallas".to_string(), 2), ("Houston".to_string(), 2)],
-            ),
+            ("z1".to_string(), vec![("Austin".to_string(), 4), ("Autsin".to_string(), 1)]),
+            ("z2".to_string(), vec![("Dallas".to_string(), 2), ("Houston".to_string(), 2)]),
         ];
         let resp = ask(prompts::fd_mapping("zip", "city", &groups));
         let map = parse_cleaning_map(&resp).unwrap();
@@ -1231,11 +1199,8 @@ mod tests {
         assert_eq!(as_map.get("Hindi").map(String::as_str), Some("India"));
 
         // language column dominated by languages; "Japan" is misplaced.
-        let census = vec![
-            ("English".to_string(), 500),
-            ("Hindi".to_string(), 80),
-            ("Japan".to_string(), 5),
-        ];
+        let census =
+            vec![("English".to_string(), 500), ("Hindi".to_string(), 80), ("Japan".to_string(), 5)];
         let clean = ask(prompts::string_outliers_clean("language", "misplaced", &census));
         let map = parse_cleaning_map(&clean).unwrap();
         let as_map: std::collections::HashMap<_, _> = map.mapping.into_iter().collect();

@@ -266,7 +266,10 @@ mod tests {
         );
         assert_eq!(
             doc.mapping("mapping").unwrap(),
-            &[("English".to_string(), "eng".to_string()), ("French".to_string(), "fre".to_string())]
+            &[
+                ("English".to_string(), "eng".to_string()),
+                ("French".to_string(), "fre".to_string())
+            ]
         );
     }
 

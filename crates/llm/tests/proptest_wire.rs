@@ -14,8 +14,7 @@ fn json_value() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
-            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
-                .prop_map(Json::Object),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Json::Object),
         ]
     })
 }

@@ -31,9 +31,7 @@ impl Ast {
     /// Number of capture groups in this subtree.
     pub fn capture_count(&self) -> usize {
         match self {
-            Ast::Group(inner, idx) => {
-                usize::from(idx.is_some()) + inner.capture_count()
-            }
+            Ast::Group(inner, idx) => usize::from(idx.is_some()) + inner.capture_count(),
             Ast::Concat(items) | Ast::Alternate(items) => {
                 items.iter().map(Ast::capture_count).sum()
             }
@@ -86,13 +84,8 @@ mod tests {
     fn nullability() {
         assert!(Ast::Empty.is_nullable());
         assert!(!Ast::Literal('a').is_nullable());
-        assert!(Ast::Repeat {
-            node: Box::new(Ast::Literal('a')),
-            min: 0,
-            max: None,
-            greedy: true
-        }
-        .is_nullable());
+        assert!(Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 0, max: None, greedy: true }
+            .is_nullable());
         assert!(!Ast::Concat(vec![Ast::Literal('a'), Ast::Empty]).is_nullable());
         assert!(Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]).is_nullable());
     }

@@ -48,7 +48,10 @@ impl CharClass {
 
     /// `\s` — ASCII whitespace.
     pub fn space() -> Self {
-        CharClass::new(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')], false)
+        CharClass::new(
+            vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+            false,
+        )
     }
 
     /// `\S`

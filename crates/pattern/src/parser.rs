@@ -191,9 +191,7 @@ impl Parser {
                 self.bump();
                 Ok(Ast::End)
             }
-            Some(c @ ('*' | '+' | '?')) => {
-                Err(self.error(format!("dangling quantifier {c:?}")))
-            }
+            Some(c @ ('*' | '+' | '?')) => Err(self.error(format!("dangling quantifier {c:?}"))),
             Some(c) => {
                 self.bump();
                 Ok(Ast::Literal(c))
@@ -254,9 +252,9 @@ impl Parser {
                     {
                         self.bump(); // '-'
                         let hi = match self.bump() {
-                            Some('\\') => self
-                                .bump()
-                                .ok_or_else(|| self.error("dangling escape"))?,
+                            Some('\\') => {
+                                self.bump().ok_or_else(|| self.error("dangling escape"))?
+                            }
                             Some(h) => h,
                             None => return Err(self.error("unclosed character class")),
                         };
@@ -316,10 +314,7 @@ mod tests {
 
     #[test]
     fn literal_sequence() {
-        assert_eq!(
-            parse("ab").unwrap(),
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
-        );
+        assert_eq!(parse("ab").unwrap(), Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')]));
     }
 
     #[test]

@@ -235,24 +235,20 @@ fn exec(
                     return false;
                 }
             }
-            Inst::Any => {
-                match text.get(pos) {
-                    Some(&c) if c != '\n' => {
-                        pc += 1;
-                        pos += 1;
-                    }
-                    _ => return false,
+            Inst::Any => match text.get(pos) {
+                Some(&c) if c != '\n' => {
+                    pc += 1;
+                    pos += 1;
                 }
-            }
-            Inst::Class(idx) => {
-                match text.get(pos) {
-                    Some(&c) if prog.classes[*idx].contains(c) => {
-                        pc += 1;
-                        pos += 1;
-                    }
-                    _ => return false,
+                _ => return false,
+            },
+            Inst::Class(idx) => match text.get(pos) {
+                Some(&c) if prog.classes[*idx].contains(c) => {
+                    pc += 1;
+                    pos += 1;
                 }
-            }
+                _ => return false,
+            },
             Inst::Split { first, second } => {
                 // Zero-width-loop guard: re-entering the same split at the
                 // same position without consuming input cannot discover new

@@ -32,6 +32,4 @@ pub use patterns::{pattern_census, PatternBucket, PatternCensus};
 pub use profile::{profile_table, ColumnProfile, ProfileOptions, TableProfile};
 pub use sampling::{batches, frequent_values, DEFAULT_BATCH_SIZE, DEFAULT_SAMPLE_SIZE};
 pub use stats::{quantile_sorted, NumericStats};
-pub use uniqueness::{
-    duplicate_profile, uniqueness_profile, DuplicateProfile, UniquenessProfile,
-};
+pub use uniqueness::{duplicate_profile, uniqueness_profile, DuplicateProfile, UniquenessProfile};

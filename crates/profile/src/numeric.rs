@@ -34,7 +34,13 @@ pub fn numeric_profile(column: &Column) -> Option<NumericProfile> {
     let stats = NumericStats::compute(&parsed)?;
     let (fence_low, fence_high) = stats.tukey_fences(1.5);
     let outlier_count = parsed.iter().filter(|&&x| x < fence_low || x > fence_high).count();
-    Some(NumericProfile { stats, fence_low, fence_high, outlier_count, non_numeric_count: non_numeric })
+    Some(NumericProfile {
+        stats,
+        fence_low,
+        fence_high,
+        outlier_count,
+        non_numeric_count: non_numeric,
+    })
 }
 
 #[cfg(test)]

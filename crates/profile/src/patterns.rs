@@ -86,11 +86,7 @@ impl PatternCensus {
         if total == 0 {
             return false;
         }
-        self.buckets
-            .iter()
-            .filter(|b| b.count as f64 / total as f64 >= min_share)
-            .count()
-            > 1
+        self.buckets.iter().filter(|b| b.count as f64 / total as f64 >= min_share).count() > 1
     }
 
     /// One line per bucket for LLM prompts: `pattern (count): ex1, ex2`.
@@ -122,12 +118,7 @@ mod tests {
 
     #[test]
     fn census_groups_by_shape() {
-        let col = Column::from_strings([
-            "01/02/2003",
-            "11/12/2014",
-            "2003-01-02",
-            "05/06/2007",
-        ]);
+        let col = Column::from_strings(["01/02/2003", "11/12/2014", "2003-01-02", "05/06/2007"]);
         let census = pattern_census(&col, true);
         assert_eq!(census.buckets.len(), 2);
         assert_eq!(census.dominant().unwrap().pattern, r"\d{2}/\d{2}/\d{4}");

@@ -9,7 +9,9 @@ use crate::distribution::Distribution;
 use crate::entropy::{fd_candidates, FdCandidate};
 use crate::numeric::{numeric_profile, NumericProfile};
 use crate::patterns::{pattern_census, PatternCensus};
-use crate::uniqueness::{duplicate_profile, uniqueness_profile, DuplicateProfile, UniquenessProfile};
+use crate::uniqueness::{
+    duplicate_profile, uniqueness_profile, DuplicateProfile, UniquenessProfile,
+};
 use cocoon_table::{infer_column_type, DataType, Table, TypeInference};
 
 /// Complete statistical profile of one column.

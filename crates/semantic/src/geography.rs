@@ -62,19 +62,79 @@ pub const STATES: &[(&str, &str)] = &[
 /// A small gazetteer of US cities (used by dataset generators and the
 /// misplacement detector).
 pub const CITIES: &[&str] = &[
-    "birmingham", "dothan", "huntsville", "mobile", "montgomery", "tuscaloosa",
-    "phoenix", "tucson", "mesa", "little rock", "los angeles", "san diego",
-    "san francisco", "sacramento", "denver", "boulder", "hartford", "dover",
-    "miami", "orlando", "tampa", "atlanta", "savannah", "honolulu", "boise",
-    "chicago", "springfield", "indianapolis", "des moines", "wichita",
-    "louisville", "new orleans", "portland", "baltimore", "boston",
-    "detroit", "minneapolis", "jackson", "kansas city", "billings", "omaha",
-    "las vegas", "reno", "concord", "newark", "albuquerque", "new york",
-    "buffalo", "charlotte", "raleigh", "fargo", "columbus", "cleveland",
-    "oklahoma city", "tulsa", "philadelphia", "pittsburgh", "providence",
-    "charleston", "sioux falls", "memphis", "nashville", "houston", "dallas",
-    "austin", "san antonio", "salt lake city", "burlington", "richmond",
-    "seattle", "spokane", "milwaukee", "cheyenne",
+    "birmingham",
+    "dothan",
+    "huntsville",
+    "mobile",
+    "montgomery",
+    "tuscaloosa",
+    "phoenix",
+    "tucson",
+    "mesa",
+    "little rock",
+    "los angeles",
+    "san diego",
+    "san francisco",
+    "sacramento",
+    "denver",
+    "boulder",
+    "hartford",
+    "dover",
+    "miami",
+    "orlando",
+    "tampa",
+    "atlanta",
+    "savannah",
+    "honolulu",
+    "boise",
+    "chicago",
+    "springfield",
+    "indianapolis",
+    "des moines",
+    "wichita",
+    "louisville",
+    "new orleans",
+    "portland",
+    "baltimore",
+    "boston",
+    "detroit",
+    "minneapolis",
+    "jackson",
+    "kansas city",
+    "billings",
+    "omaha",
+    "las vegas",
+    "reno",
+    "concord",
+    "newark",
+    "albuquerque",
+    "new york",
+    "buffalo",
+    "charlotte",
+    "raleigh",
+    "fargo",
+    "columbus",
+    "cleveland",
+    "oklahoma city",
+    "tulsa",
+    "philadelphia",
+    "pittsburgh",
+    "providence",
+    "charleston",
+    "sioux falls",
+    "memphis",
+    "nashville",
+    "houston",
+    "dallas",
+    "austin",
+    "san antonio",
+    "salt lake city",
+    "burlington",
+    "richmond",
+    "seattle",
+    "spokane",
+    "milwaukee",
+    "cheyenne",
 ];
 
 /// USPS abbreviation for a state name (case-insensitive).

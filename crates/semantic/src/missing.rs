@@ -6,9 +6,29 @@
 
 /// Textual tokens that disguise a missing value.
 pub const MISSING_TOKENS: &[&str] = &[
-    "n/a", "na", "n.a.", "n a", "null", "nil", "none", "missing", "unknown",
-    "undefined", "not available", "not applicable", "no value", "-", "--",
-    "---", "?", "??", "presumed", "empty", "blank", "tba", "tbd",
+    "n/a",
+    "na",
+    "n.a.",
+    "n a",
+    "null",
+    "nil",
+    "none",
+    "missing",
+    "unknown",
+    "undefined",
+    "not available",
+    "not applicable",
+    "no value",
+    "-",
+    "--",
+    "---",
+    "?",
+    "??",
+    "presumed",
+    "empty",
+    "blank",
+    "tba",
+    "tbd",
 ];
 
 /// Numeric sentinel values that often disguise missing measurements.
@@ -30,15 +50,8 @@ pub fn is_disguised_missing(value: &str, allow_sentinels: bool) -> bool {
 }
 
 /// Filters a value census to the DMV tokens it contains.
-pub fn disguised_tokens<S: AsRef<str>>(
-    values: &[S],
-    allow_sentinels: bool,
-) -> Vec<&str> {
-    values
-        .iter()
-        .map(|s| s.as_ref())
-        .filter(|v| is_disguised_missing(v, allow_sentinels))
-        .collect()
+pub fn disguised_tokens<S: AsRef<str>>(values: &[S], allow_sentinels: bool) -> Vec<&str> {
+    values.iter().map(|s| s.as_ref()).filter(|v| is_disguised_missing(v, allow_sentinels)).collect()
 }
 
 #[cfg(test)]

@@ -109,11 +109,8 @@ mod tests {
 
     #[test]
     fn variant_groups_pick_dominant() {
-        let census = vec![
-            ("Austin".to_string(), 30),
-            ("AUSTIN".to_string(), 3),
-            ("Dallas".to_string(), 10),
-        ];
+        let census =
+            vec![("Austin".to_string(), 30), ("AUSTIN".to_string(), 3), ("Dallas".to_string(), 10)];
         let groups = case_variant_groups(&census);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].0, "Austin");
@@ -128,10 +125,7 @@ mod tests {
 
     #[test]
     fn whitespace_variants_grouped() {
-        let census = vec![
-            ("new  york".to_string(), 1),
-            ("new york".to_string(), 9),
-        ];
+        let census = vec![("new  york".to_string(), 1), ("new york".to_string(), 9)];
         let groups = case_variant_groups(&census);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].0, "new york");

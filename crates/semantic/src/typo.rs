@@ -75,9 +75,7 @@ pub fn differs_only_in_digits(a: &str, b: &str) -> bool {
 /// "cofffee" signature from the paper's Figure 2 prompt.
 pub fn has_letter_stutter(candidate: &str) -> bool {
     let chars: Vec<char> = candidate.chars().collect();
-    chars
-        .windows(3)
-        .any(|w| w[0] == w[1] && w[1] == w[2] && w[0].is_alphabetic())
+    chars.windows(3).any(|w| w[0] == w[1] && w[1] == w[2] && w[0].is_alphabetic())
 }
 
 /// A proposed typo correction.
@@ -94,13 +92,9 @@ pub struct TypoSuggestion {
 /// `dominance` is how many times more frequent the target must be than the
 /// candidate (the frequency asymmetry that separates "Autsin is a typo of
 /// Austin" from "Dallas and Austin are different cities").
-pub fn suggest_typo_fixes(
-    census: &[(String, usize)],
-    dominance: f64,
-) -> Vec<TypoSuggestion> {
+pub fn suggest_typo_fixes(census: &[(String, usize)], dominance: f64) -> Vec<TypoSuggestion> {
     let mut suggestions = Vec::new();
-    let by_value: HashMap<&str, usize> =
-        census.iter().map(|(v, c)| (v.as_str(), *c)).collect();
+    let by_value: HashMap<&str, usize> = census.iter().map(|(v, c)| (v.as_str(), *c)).collect();
     for (candidate, cand_count) in census {
         let mut best: Option<(usize, &str, usize)> = None; // (distance, target, count)
         for (target, target_count) in census {
@@ -115,18 +109,13 @@ pub fn suggest_typo_fixes(
             }
             let max_len = candidate.chars().count().max(target.chars().count());
             let threshold = typo_threshold(max_len);
-            let distance = damerau_levenshtein(
-                &candidate.to_lowercase(),
-                &target.to_lowercase(),
-            );
+            let distance = damerau_levenshtein(&candidate.to_lowercase(), &target.to_lowercase());
             if distance == 0 || distance > threshold {
                 continue;
             }
             let better = match best {
                 None => true,
-                Some((bd, _, bc)) => {
-                    distance < bd || (distance == bd && *target_count > bc)
-                }
+                Some((bd, _, bc)) => distance < bd || (distance == bd && *target_count > bc),
             };
             if better {
                 best = Some((distance, target.as_str(), *target_count));
@@ -161,7 +150,10 @@ mod tests {
         assert_eq!(damerau_levenshtein("abc", ""), 3);
         assert_eq!(damerau_levenshtein("", "ab"), 2);
         // symmetry
-        assert_eq!(damerau_levenshtein("kitten", "sitting"), damerau_levenshtein("sitting", "kitten"));
+        assert_eq!(
+            damerau_levenshtein("kitten", "sitting"),
+            damerau_levenshtein("sitting", "kitten")
+        );
     }
 
     #[test]
@@ -181,11 +173,8 @@ mod tests {
 
     #[test]
     fn suggests_fix_for_rare_variant() {
-        let census = vec![
-            ("Austin".to_string(), 40),
-            ("Autsin".to_string(), 1),
-            ("Dallas".to_string(), 30),
-        ];
+        let census =
+            vec![("Austin".to_string(), 40), ("Autsin".to_string(), 1), ("Dallas".to_string(), 30)];
         let fixes = suggest_typo_fixes(&census, 5.0);
         assert_eq!(fixes.len(), 1);
         assert_eq!(fixes[0].from, "Autsin");
@@ -204,11 +193,8 @@ mod tests {
 
     #[test]
     fn prefers_closer_then_more_frequent_target() {
-        let census = vec![
-            ("colour".to_string(), 50),
-            ("color".to_string(), 60),
-            ("colr".to_string(), 1),
-        ];
+        let census =
+            vec![("colour".to_string(), 50), ("color".to_string(), 60), ("colr".to_string(), 1)];
         let fixes = suggest_typo_fixes(&census, 5.0);
         assert_eq!(fixes.len(), 1);
         // "colr" is distance 1 from "color", 2 from "colour".

@@ -277,10 +277,7 @@ mod tests {
 
     #[test]
     fn value_map_shape() {
-        let map = Expr::value_map(
-            "lang",
-            &[(Value::from("English"), Value::from("eng"))],
-        );
+        let map = Expr::value_map("lang", &[(Value::from("English"), Value::from("eng"))]);
         match &map {
             Expr::Case { operand: Some(op), arms, otherwise: Some(other) } => {
                 assert_eq!(**op, Expr::col("lang"));
@@ -293,10 +290,7 @@ mod tests {
 
     #[test]
     fn referenced_columns_collects() {
-        let e = Expr::and(
-            Expr::eq(Expr::col("a"), Expr::lit(1i64)),
-            Expr::is_null(Expr::col("b")),
-        );
+        let e = Expr::and(Expr::eq(Expr::col("a"), Expr::lit(1i64)), Expr::is_null(Expr::col("b")));
         let mut cols = e.referenced_columns();
         cols.sort_unstable();
         assert_eq!(cols, vec!["a", "b"]);

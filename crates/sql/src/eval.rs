@@ -9,7 +9,6 @@ use crate::error::{Result, SqlError};
 use crate::functions;
 use cocoon_table::{DataType, Schema, Table, Value};
 
-
 /// A row-binding context for expression evaluation.
 pub struct RowContext<'a> {
     table: &'a Table,
@@ -127,9 +126,7 @@ fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
         UnaryOp::Not => match v {
             Value::Null => Value::Null,
             Value::Bool(b) => Value::Bool(!b),
-            other => {
-                return Err(SqlError::Type { context: "NOT".into(), value: other.render() })
-            }
+            other => return Err(SqlError::Type { context: "NOT".into(), value: other.render() }),
         },
         UnaryOp::Neg => match v {
             Value::Null => Value::Null,
@@ -184,12 +181,9 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
 fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
     // Numeric cross-type comparison, otherwise same-type ordering.
     match (l.as_f64(), r.as_f64()) {
-        (Some(a), Some(b)) => {
-            a.partial_cmp(&b).ok_or(SqlError::Type {
-                context: "comparison".into(),
-                value: "NaN".into(),
-            })
-        }
+        (Some(a), Some(b)) => a
+            .partial_cmp(&b)
+            .ok_or(SqlError::Type { context: "comparison".into(), value: "NaN".into() }),
         _ => {
             if l.data_type() == r.data_type() {
                 Ok(l.cmp(r))
@@ -248,10 +242,9 @@ fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
 /// the columns of executed `SELECT`s).
 pub fn infer_expr_type(expr: &Expr, schema: &Schema) -> DataType {
     match expr {
-        Expr::Column(name) => schema
-            .field_by_name(name)
-            .map(|f| f.data_type())
-            .unwrap_or(DataType::Text),
+        Expr::Column(name) => {
+            schema.field_by_name(name).map(|f| f.data_type()).unwrap_or(DataType::Text)
+        }
         Expr::Literal(v) => v.data_type().unwrap_or(DataType::Text),
         Expr::Cast { ty, .. } => *ty,
         Expr::Unary { op, .. } => match op {
@@ -298,10 +291,8 @@ mod tests {
     use super::*;
 
     fn table() -> Table {
-        let rows: Vec<Vec<String>> = vec![
-            vec!["1".into(), "eng".into()],
-            vec!["2".into(), "English".into()],
-        ];
+        let rows: Vec<Vec<String>> =
+            vec![vec!["1".into(), "eng".into()], vec!["2".into(), "English".into()]];
         let mut t = Table::from_text_rows(&["id", "lang"], &rows).unwrap();
         t.set_cell(1, 0, Value::Int(2)).unwrap();
         t
@@ -317,10 +308,7 @@ mod tests {
     fn column_and_literal() {
         assert_eq!(eval_on(&Expr::col("lang"), 0).unwrap(), Value::from("eng"));
         assert_eq!(eval_on(&Expr::lit(5i64), 0).unwrap(), Value::Int(5));
-        assert!(matches!(
-            eval_on(&Expr::col("missing"), 0),
-            Err(SqlError::UnknownColumn(_))
-        ));
+        assert!(matches!(eval_on(&Expr::col("missing"), 0), Err(SqlError::UnknownColumn(_))));
     }
 
     #[test]
@@ -334,10 +322,7 @@ mod tests {
     fn searched_case_falls_through() {
         let e = Expr::Case {
             operand: None,
-            arms: vec![(
-                Expr::eq(Expr::col("lang"), Expr::lit("zzz")),
-                Expr::lit("matched"),
-            )],
+            arms: vec![(Expr::eq(Expr::col("lang"), Expr::lit("zzz")), Expr::lit("matched"))],
             otherwise: None,
         };
         assert_eq!(eval_on(&e, 0).unwrap(), Value::Null);

@@ -140,9 +140,7 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Float(f) => Ok(Value::Float(f.abs())),
-                other => {
-                    Err(SqlError::Type { context: "ABS".into(), value: other.render() })
-                }
+                other => Err(SqlError::Type { context: "ABS".into(), value: other.render() }),
             }
         }
         "ROUND" => {
@@ -151,9 +149,7 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(*i)),
                 Value::Float(f) => Ok(Value::Float(f.round())),
-                other => {
-                    Err(SqlError::Type { context: "ROUND".into(), value: other.render() })
-                }
+                other => Err(SqlError::Type { context: "ROUND".into(), value: other.render() }),
             }
         }
         "REGEXP_MATCHES" => {
@@ -224,27 +220,21 @@ mod tests {
 
     #[test]
     fn regex_functions() {
+        assert_eq!(call("REGEXP_MATCHES", &[t("ab12"), t(r"\d+")]).unwrap(), Value::Bool(true));
+        assert_eq!(call("REGEXP_FULL_MATCH", &[t("ab12"), t(r"\d+")]).unwrap(), Value::Bool(false));
         assert_eq!(
-            call("REGEXP_MATCHES", &[t("ab12"), t(r"\d+")]).unwrap(),
-            Value::Bool(true)
-        );
-        assert_eq!(
-            call("REGEXP_FULL_MATCH", &[t("ab12"), t(r"\d+")]).unwrap(),
-            Value::Bool(false)
-        );
-        assert_eq!(
-            call("REGEXP_REPLACE", &[t("01/02/2003"), t(r"(\d{2})/(\d{2})/(\d{4})"), t("$3-$1-$2")])
-                .unwrap(),
+            call(
+                "REGEXP_REPLACE",
+                &[t("01/02/2003"), t(r"(\d{2})/(\d{2})/(\d{4})"), t("$3-$1-$2")]
+            )
+            .unwrap(),
             t("2003-01-02")
         );
     }
 
     #[test]
     fn bad_pattern_is_error() {
-        assert!(matches!(
-            call("REGEXP_MATCHES", &[t("x"), t("(")]),
-            Err(SqlError::Pattern(_))
-        ));
+        assert!(matches!(call("REGEXP_MATCHES", &[t("x"), t("(")]), Err(SqlError::Pattern(_))));
     }
 
     #[test]

@@ -73,18 +73,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
         {
             let start = i;
             let mut seen_dot = false;
-            while i < chars.len()
-                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
-            {
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot)) {
                 if chars[i] == '.' {
                     seen_dot = true;
                 }
                 i += 1;
             }
-            tokens.push(Spanned {
-                token: Token::Number(chars[start..i].iter().collect()),
-                position,
-            });
+            tokens
+                .push(Spanned { token: Token::Number(chars[start..i].iter().collect()), position });
             continue;
         }
         match c {
@@ -184,10 +180,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                     tokens.push(Spanned { token: Token::Symbol(Symbol::Ne), position });
                     i += 2;
                 } else {
-                    return Err(SqlError::Parse {
-                        position,
-                        message: "unexpected '!'".into(),
-                    });
+                    return Err(SqlError::Parse { position, message: "unexpected '!'".into() });
                 }
             }
             '+' => {
@@ -246,30 +239,36 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("12 3.5 .5"), vec![
-            Token::Number("12".into()),
-            Token::Number("3.5".into()),
-            Token::Number(".5".into()),
-        ]);
+        assert_eq!(
+            toks("12 3.5 .5"),
+            vec![
+                Token::Number("12".into()),
+                Token::Number("3.5".into()),
+                Token::Number(".5".into()),
+            ]
+        );
     }
 
     #[test]
     fn operators() {
-        assert_eq!(toks("<> <= >= != ="), vec![
-            Token::Symbol(Symbol::Ne),
-            Token::Symbol(Symbol::Le),
-            Token::Symbol(Symbol::Ge),
-            Token::Symbol(Symbol::Ne),
-            Token::Symbol(Symbol::Eq),
-        ]);
+        assert_eq!(
+            toks("<> <= >= != ="),
+            vec![
+                Token::Symbol(Symbol::Ne),
+                Token::Symbol(Symbol::Le),
+                Token::Symbol(Symbol::Ge),
+                Token::Symbol(Symbol::Ne),
+                Token::Symbol(Symbol::Eq),
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("-- hi there\nSELECT -- trailing\n1"), vec![
-            Token::Word("SELECT".into()),
-            Token::Number("1".into()),
-        ]);
+        assert_eq!(
+            toks("-- hi there\nSELECT -- trailing\n1"),
+            vec![Token::Word("SELECT".into()), Token::Number("1".into()),]
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ pub mod lexer;
 pub mod parser;
 pub mod render;
 
-pub use ast::{
-    BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder, UnaryOp,
-};
+pub use ast::{BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder, UnaryOp};
 pub use error::{Result, SqlError};
 pub use eval::{eval, infer_expr_type, RowContext};
 pub use exec::execute;

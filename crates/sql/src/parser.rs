@@ -7,9 +7,7 @@
 //! `DISTINCT`, `WHERE`, `QUALIFY ROW_NUMBER() OVER (…) <= k`, CASE/CAST/
 //! function/IN expressions and typed literals.
 
-use crate::ast::{
-    BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder, UnaryOp,
-};
+use crate::ast::{BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder, UnaryOp};
 use crate::error::{Result, SqlError};
 use crate::lexer::{tokenize, Spanned, Symbol, Token};
 use cocoon_table::{DataType, Date, TimeOfDay, Value};
@@ -170,9 +168,9 @@ impl Parser {
         self.expect_symbol(Symbol::RParen)?;
         self.expect_symbol(Symbol::Le)?;
         let keep = match self.bump() {
-            Some(Token::Number(n)) => n
-                .parse::<usize>()
-                .map_err(|_| self.error("QUALIFY bound must be an integer"))?,
+            Some(Token::Number(n)) => {
+                n.parse::<usize>().map_err(|_| self.error("QUALIFY bound must be an integer"))?
+            }
             _ => return Err(self.error("expected integer after <=")),
         };
         Ok(RowNumberFilter { partition_by, order_by, keep })

@@ -66,7 +66,9 @@ fn precedence(op: BinaryOp) -> u8 {
     match op {
         BinaryOp::Or => 1,
         BinaryOp::And => 2,
-        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 3,
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            3
+        }
         BinaryOp::Add | BinaryOp::Sub => 4,
         BinaryOp::Mul | BinaryOp::Div => 5,
     }
@@ -281,7 +283,8 @@ mod tests {
 
     #[test]
     fn case_when_rendering() {
-        let map = Expr::value_map("article_language", &[(Value::from("English"), Value::from("eng"))]);
+        let map =
+            Expr::value_map("article_language", &[(Value::from("English"), Value::from("eng"))]);
         let sql = render_expr(&map);
         assert!(sql.contains("CASE article_language"));
         assert!(sql.contains("WHEN 'English' THEN 'eng'"));
@@ -292,16 +295,10 @@ mod tests {
     #[test]
     fn precedence_parentheses() {
         // (a OR b) AND c must keep parentheses.
-        let e = Expr::and(
-            Expr::or(Expr::col("a"), Expr::col("b")),
-            Expr::col("c"),
-        );
+        let e = Expr::and(Expr::or(Expr::col("a"), Expr::col("b")), Expr::col("c"));
         assert_eq!(render_expr(&e), "(a OR b) AND c");
         // a OR (b AND c) needs none.
-        let e = Expr::or(
-            Expr::col("a"),
-            Expr::and(Expr::col("b"), Expr::col("c")),
-        );
+        let e = Expr::or(Expr::col("a"), Expr::and(Expr::col("b"), Expr::col("c")));
         assert_eq!(render_expr(&e), "a OR b AND c");
     }
 
@@ -330,7 +327,9 @@ mod tests {
         let sql = render_select(&select);
         assert!(sql.starts_with("-- keep latest row per id\n-- second line\n"));
         assert!(sql.contains("WHERE a IS NULL"));
-        assert!(sql.contains("QUALIFY ROW_NUMBER() OVER (PARTITION BY id ORDER BY updated DESC) <= 1"));
+        assert!(
+            sql.contains("QUALIFY ROW_NUMBER() OVER (PARTITION BY id ORDER BY updated DESC) <= 1")
+        );
     }
 
     #[test]

@@ -26,21 +26,16 @@ fn expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::eq(l, r)),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::or(l, r)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
             inner.clone().prop_map(Expr::is_null),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: UnaryOp::Not,
-                expr: Box::new(e)
-            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, o)| Expr::Case {
                 operand: None,
                 arms: vec![(c, t)],
                 otherwise: Some(Box::new(o)),
             }),
-            (inner.clone(), proptest::collection::vec(inner, 1..3)).prop_map(
-                |(e, list)| Expr::InList { expr: Box::new(e), list, negated: false }
-            ),
+            (inner.clone(), proptest::collection::vec(inner, 1..3))
+                .prop_map(|(e, list)| Expr::InList { expr: Box::new(e), list, negated: false }),
         ]
     })
 }

@@ -125,8 +125,7 @@ pub fn read_path(path: impl AsRef<Path>) -> Result<Table> {
 /// [`Value::render`](crate::value::Value::render) (NULL ⇒ empty field).
 pub fn write_str(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        table.schema().names().iter().map(|n| escape_field(n)).collect();
+    let header: Vec<String> = table.schema().names().iter().map(|n| escape_field(n)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in table.rows() {
@@ -158,8 +157,8 @@ mod tests {
 
     #[test]
     fn parses_quotes_commas_newlines() {
-        let recs = parse_records("a,b\n\"x,y\",\"line1\nline2\"\n\"he said \"\"hi\"\"\",z\n")
-            .unwrap();
+        let recs =
+            parse_records("a,b\n\"x,y\",\"line1\nline2\"\n\"he said \"\"hi\"\"\",z\n").unwrap();
         assert_eq!(recs[1][0], "x,y");
         assert_eq!(recs[1][1], "line1\nline2");
         assert_eq!(recs[2][0], "he said \"hi\"");

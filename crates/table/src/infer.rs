@@ -46,11 +46,7 @@ pub fn infer_column_type(column: &Column, tolerance: f64) -> TypeInference {
 
 /// Values that successfully parse as `target` in `column` (for reporting).
 pub fn parse_failures(column: &Column, target: DataType) -> Vec<Value> {
-    column
-        .non_null()
-        .filter(|v| v.cast(target).is_err())
-        .cloned()
-        .collect()
+    column.non_null().filter(|v| v.cast(target).is_err()).cloned().collect()
 }
 
 #[cfg(test)]

@@ -87,9 +87,7 @@ impl Table {
 
     pub fn column_mut(&mut self, index: usize) -> Result<&mut Column> {
         let width = self.columns.len();
-        self.columns
-            .get_mut(index)
-            .ok_or(TableError::ColumnIndexOutOfBounds { index, width })
+        self.columns.get_mut(index).ok_or(TableError::ColumnIndexOutOfBounds { index, width })
     }
 
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
@@ -136,9 +134,8 @@ impl Table {
 
     /// Iterates over all rows (cloning cells; fine at benchmark scale).
     pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
-        (0..self.height()).map(move |r| {
-            self.columns.iter().map(|c| c.values()[r].clone()).collect()
-        })
+        (0..self.height())
+            .map(move |r| self.columns.iter().map(|c| c.values()[r].clone()).collect())
     }
 
     /// Updates the declared type of a column (the schema side of `CAST`).
@@ -190,11 +187,8 @@ impl Table {
     /// paper's 1000-row sampling for HoloClean / CleanAgent on Movies).
     pub fn head(&self, n: usize) -> Table {
         let take = n.min(self.height());
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| Column::new(c.values()[..take].to_vec()))
-            .collect();
+        let columns =
+            self.columns.iter().map(|c| Column::new(c.values()[..take].to_vec())).collect();
         Table { schema: self.schema.clone(), columns }
     }
 
@@ -275,11 +269,9 @@ mod tests {
     #[test]
     fn construction_checks_column_lengths() {
         let schema = Schema::all_text(&["a", "b"]).unwrap();
-        let err = Table::new(
-            schema,
-            vec![Column::from_strings(["x"]), Column::from_strings(["y", "z"])],
-        )
-        .unwrap_err();
+        let err =
+            Table::new(schema, vec![Column::from_strings(["x"]), Column::from_strings(["y", "z"])])
+                .unwrap_err();
         assert!(matches!(err, TableError::LengthMismatch { .. }));
     }
 
@@ -341,9 +333,7 @@ mod tests {
     #[test]
     fn add_column_extends_schema() {
         let mut table = t(&[["1", "x"]]);
-        table
-            .add_column(Field::new("c", DataType::Int), Column::new(vec![Value::Int(5)]))
-            .unwrap();
+        table.add_column(Field::new("c", DataType::Int), Column::new(vec![Value::Int(5)])).unwrap();
         assert_eq!(table.width(), 3);
         assert_eq!(table.cell(0, 2).unwrap(), &Value::Int(5));
         // mismatched length rejected

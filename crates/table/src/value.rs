@@ -173,10 +173,8 @@ impl Value {
         if self.data_type() == Some(target) {
             return Ok(self.clone());
         }
-        let fail = || TableError::TypeMismatch {
-            expected: target.sql_name(),
-            actual: self.render(),
-        };
+        let fail =
+            || TableError::TypeMismatch { expected: target.sql_name(), actual: self.render() };
         match target {
             DataType::Text => Ok(Value::Text(self.render())),
             DataType::Int => match self {
@@ -241,9 +239,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits() || a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Date(a), Value::Date(b)) => a == b,
             (Value::Time(a), Value::Time(b)) => a == b,
             (Value::Text(a), Value::Text(b)) => a == b,
@@ -405,10 +401,7 @@ mod tests {
     #[test]
     fn cast_text_to_numeric() {
         assert_eq!(Value::Text(" 42 ".into()).cast(DataType::Int).unwrap(), Value::Int(42));
-        assert_eq!(
-            Value::Text("3.5".into()).cast(DataType::Float).unwrap(),
-            Value::Float(3.5)
-        );
+        assert_eq!(Value::Text("3.5".into()).cast(DataType::Float).unwrap(), Value::Float(3.5));
         assert!(Value::Text("x".into()).cast(DataType::Int).is_err());
     }
 

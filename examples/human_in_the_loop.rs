@@ -6,9 +6,7 @@
 //! cargo run --release --example human_in_the_loop
 //! ```
 
-use cocoon_core::{
-    CleaningReview, Cleaner, Decision, DecisionHook, DetectionReview, IssueKind,
-};
+use cocoon_core::{Cleaner, CleaningReview, Decision, DecisionHook, DetectionReview, IssueKind};
 use cocoon_llm::SimLlm;
 use cocoon_table::csv;
 

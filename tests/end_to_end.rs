@@ -58,8 +58,10 @@ fn flights_reproduces_the_precision_recall_asymmetry() {
         e.prf.recall
     );
     // The rejection must be recorded, with the paper's reasoning.
-    assert!(run.notes.iter().any(|n| n.contains("actual_arrival_time")
-        && n.contains("not semantically meaningful")));
+    assert!(run
+        .notes
+        .iter()
+        .any(|n| n.contains("actual_arrival_time") && n.contains("not semantically meaningful")));
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Human-in-the-loop behaviour and LLM failure injection, end to end.
 
 use cocoon_core::{
-    CleaningReview, Cleaner, Decision, DecisionHook, DetectionReview, IssueKind, RecordingHook,
+    Cleaner, CleaningReview, Decision, DecisionHook, DetectionReview, IssueKind, RecordingHook,
     RejectIssues,
 };
 use cocoon_llm::{FailingLlm, ScriptedLlm, SimLlm};

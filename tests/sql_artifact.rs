@@ -23,8 +23,8 @@ fn emitted_sql_parses() {
     assert!(!run.ops.is_empty());
     for op in &run.ops {
         let sql = op.rendered_sql();
-        let parsed = parse_select(&sql)
-            .unwrap_or_else(|e| panic!("emitted SQL must parse: {e}\n{sql}"));
+        let parsed =
+            parse_select(&sql).unwrap_or_else(|e| panic!("emitted SQL must parse: {e}\n{sql}"));
         // Comments are not part of the AST; the parsed statement matches
         // the op's own select.
         let mut expected = op.sql.clone();
