@@ -1,0 +1,57 @@
+//! Timing: SQL execution at Movies scale (7390 × 17) — the hot path every
+//! cleaning op goes through — plus the full cleaner end to end.
+//!
+//! `column_rewrite` measures `apply_and_count` on the single-column SELECT
+//! shapes the pipeline emits (value map, TRY_CAST); throughput is table
+//! rows per second. `cleaner_movies` times `Cleaner::clean` on the full
+//! Movies benchmark.
+
+use cocoon_core::{apply_and_count, column_rewrite_select, Cleaner};
+use cocoon_llm::SimLlm;
+use cocoon_sql::Expr;
+use cocoon_table::{DataType, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_column_rewrite(c: &mut Criterion) {
+    let dataset = cocoon_datasets::movies::generate();
+    let table = &dataset.dirty;
+    let mut group = c.benchmark_group("column_rewrite");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(table.height() as u64));
+
+    // The string-outlier/DMV shape: CASE language WHEN … THEN … ELSE language.
+    let map = Expr::value_map(
+        "language",
+        &[
+            (Value::from("eng"), Value::from("English")),
+            (Value::from("Eng"), Value::from("English")),
+            (Value::from("N/A"), Value::Null),
+        ],
+    );
+    let select = column_rewrite_select(table, "language", map);
+    group.bench_function("movies value_map", |b| {
+        b.iter(|| apply_and_count(black_box(&select), black_box(table)).expect("executes"))
+    });
+
+    // The column-type shape: TRY_CAST(rating_value AS DOUBLE).
+    let cast = Expr::try_cast(Expr::col("rating_value"), DataType::Float);
+    let select = column_rewrite_select(table, "rating_value", cast);
+    group.bench_function("movies try_cast", |b| {
+        b.iter(|| apply_and_count(black_box(&select), black_box(table)).expect("executes"))
+    });
+    group.finish();
+}
+
+fn bench_cleaner_movies(c: &mut Criterion) {
+    let dataset = cocoon_datasets::movies::generate();
+    let mut group = c.benchmark_group("cleaner_movies");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(dataset.dirty.height() as u64));
+    group.bench_function("clean Movies", |b| {
+        b.iter(|| Cleaner::new(SimLlm::new()).clean(black_box(&dataset.dirty)).expect("pipeline"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_column_rewrite, bench_cleaner_movies);
+criterion_main!(benches);

@@ -3,19 +3,67 @@
 //! The build environment cannot reach crates.io, so this workspace vendors
 //! a miniature wall-clock benchmark harness with the `criterion 0.5`
 //! surface the benches use: [`Criterion::bench_function`],
-//! [`Criterion::benchmark_group`] (with `sample_size`), [`Bencher::iter`],
-//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//! [`Criterion::benchmark_group`] (with `sample_size` and `throughput`),
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
 //!
 //! Statistics are intentionally simple — warm-up, then a fixed number of
-//! timed samples, reporting the mean and min per iteration. There is no
-//! HTML report, outlier analysis, or regression tracking. Honouring the
-//! `cargo bench` / `cargo test --benches` CLI contract matters more here
-//! than the statistics: `--test` runs exit immediately so `harness = false`
-//! bench targets never hang a test run.
+//! timed samples, reporting the mean and min per iteration, plus derived
+//! throughput when the group declares a [`Throughput`]. There is no HTML
+//! report or outlier analysis, but `--save-baseline NAME` writes a JSON
+//! summary to `target/criterion/NAME-<bench-target>.json` so perf PRs can
+//! record before/after runs. Honouring the `cargo bench` / `cargo test --benches`
+//! CLI contract matters more here than the statistics: `--test` runs exit
+//! immediately so `harness = false` bench targets never hang a test run.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Work performed per iteration, for deriving throughput from wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (e.g. table rows).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn amount(&self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => *n,
+        }
+    }
+
+    fn unit(&self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        }
+    }
+}
+
+/// One finished measurement, kept for the `--save-baseline` JSON dump.
+struct BenchResult {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    iters_per_sample: u64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Units of work per second, derived from the mean iteration time.
+    fn per_second(&self) -> Option<f64> {
+        let t = self.throughput?;
+        if self.mean_ns == 0 {
+            return None;
+        }
+        Some(t.amount() as f64 * 1e9 / self.mean_ns as f64)
+    }
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -24,6 +72,8 @@ pub struct Criterion {
     skip: Vec<String>,
     list_only: bool,
     test_mode: bool,
+    save_baseline: Option<String>,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -33,6 +83,7 @@ impl Default for Criterion {
         let mut list_only = false;
         let mut explicit_test = false;
         let mut saw_bench = false;
+        let mut save_baseline = None;
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -40,6 +91,12 @@ impl Default for Criterion {
                 "--bench" => saw_bench = true,
                 "--list" => list_only = true,
                 "--skip" => skip.extend(args.next()),
+                "--save-baseline" => save_baseline = args.next(),
+                // clap-style `--flag=value` spelling of the same option.
+                other if other.starts_with("--save-baseline=") => {
+                    save_baseline =
+                        other.split_once('=').map(|(_, v)| v.to_string()).filter(|v| !v.is_empty());
+                }
                 // Flags cargo/libtest conventionally pass through.
                 "--nocapture" | "--quiet" | "-q" | "--exact" | "--ignored"
                 | "--include-ignored" => {}
@@ -56,7 +113,15 @@ impl Default for Criterion {
         // `cargo bench`; any other invocation (`cargo test --benches`,
         // running the binary by hand) smoke-runs each closure once.
         let test_mode = explicit_test || !saw_bench;
-        Criterion { sample_size: 60, filter, skip, list_only, test_mode }
+        Criterion {
+            sample_size: 60,
+            filter,
+            skip,
+            list_only,
+            test_mode,
+            save_baseline,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -72,14 +137,99 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&id, self.sample_size, self.list_only, self.test_mode, self.should_run(&id), f);
+        let selected = self.should_run(&id);
+        let result = run_one(&id, self.sample_size, self.list_only, self.test_mode, selected, f);
+        self.results.extend(result);
         self
     }
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
     }
+
+    fn write_baseline(&self) -> std::io::Result<()> {
+        let Some(name) = &self.save_baseline else { return Ok(()) };
+        if self.results.is_empty() {
+            return Ok(());
+        }
+        let dir = baseline_dir();
+        std::fs::create_dir_all(&dir)?;
+        // Namespace by bench target: a workspace-wide `cargo bench --
+        // --save-baseline x` runs every bench binary with the same flag,
+        // and each binary must not clobber the others' dumps.
+        let path = match bench_target_name() {
+            Some(target) => dir.join(format!("{name}-{target}.json")),
+            None => dir.join(format!("{name}.json")),
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"baseline\": \"{}\",\n", escape_json(name)));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"id\": \"{}\", ", escape_json(&r.id)));
+            out.push_str(&format!("\"mean_ns\": {}, ", r.mean_ns));
+            out.push_str(&format!("\"min_ns\": {}, ", r.min_ns));
+            out.push_str(&format!("\"iters_per_sample\": {}, ", r.iters_per_sample));
+            out.push_str(&format!("\"samples\": {}", r.samples));
+            if let (Some(t), Some(per_s)) = (r.throughput, r.per_second()) {
+                out.push_str(&format!(", \"work_per_iter\": {}", t.amount()));
+                out.push_str(&format!(", \"throughput_unit\": \"{}\"", t.unit()));
+                out.push_str(&format!(", \"throughput_per_s\": {per_s:.1}"));
+            }
+            out.push('}');
+            out.push_str(if i + 1 == self.results.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out)?;
+        println!("baseline saved to {}", path.display());
+        Ok(())
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Err(e) = self.write_baseline() {
+            eprintln!("warning: could not save baseline: {e}");
+        }
+    }
+}
+
+/// The bench target's name, from the executable's file stem with cargo's
+/// trailing `-<16-hex-digit>` metadata hash stripped.
+fn bench_target_name() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?.to_string();
+    match stem.rsplit_once('-') {
+        Some((target, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            Some(target.to_string())
+        }
+        _ => Some(stem),
+    }
+}
+
+/// `target/criterion` of the workspace the bench executable was built into
+/// (cargo sets the bench cwd to the *package* dir, so a cwd-relative path
+/// would scatter baselines); falls back to cwd-relative when the executable
+/// lives outside a `target` tree.
+fn baseline_dir() -> std::path::PathBuf {
+    let from_exe = std::env::current_exe().ok().and_then(|exe| {
+        exe.ancestors()
+            .find(|p| p.file_name().is_some_and(|n| n == "target"))
+            .map(|p| p.to_path_buf())
+    });
+    from_exe.unwrap_or_else(|| std::path::PathBuf::from("target")).join("criterion")
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// A named group; mirrors `criterion::BenchmarkGroup`.
@@ -87,6 +237,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -100,20 +251,27 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the work each iteration performs; subsequent benches in the
+    /// group report derived throughput alongside mean/min.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_one(
-            &id,
-            samples,
-            self.criterion.list_only,
-            self.criterion.test_mode,
-            self.criterion.should_run(&id),
-            f,
-        );
+        let selected = self.criterion.should_run(&id);
+        let mut result =
+            run_one(&id, samples, self.criterion.list_only, self.criterion.test_mode, selected, f);
+        if let Some(r) = &mut result {
+            r.throughput = self.throughput;
+            print_throughput(r);
+        }
+        self.criterion.results.extend(result);
         self
     }
 
@@ -168,32 +326,70 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(id: &str, samples: usize, list_only: bool, test_mode: bool, selected: bool, mut f: F)
+fn run_one<F>(
+    id: &str,
+    samples: usize,
+    list_only: bool,
+    test_mode: bool,
+    selected: bool,
+    mut f: F,
+) -> Option<BenchResult>
 where
     F: FnMut(&mut Bencher),
 {
     if list_only {
         println!("{id}: benchmark");
-        return;
+        return None;
     }
     if !selected {
-        return;
+        return None;
     }
     let mut bencher = Bencher { samples, test_mode, report: None };
     f(&mut bencher);
     if test_mode {
         println!("test {id} ... ok");
-        return;
+        return None;
     }
     match bencher.report {
-        Some(r) => println!(
-            "{id:<50} mean {:>12} min {:>12} ({} iter/sample, {} samples)",
-            format_duration(r.mean),
-            format_duration(r.min),
-            r.iters_per_sample,
-            samples,
-        ),
-        None => println!("{id:<50} (no measurement: closure never called iter)"),
+        Some(r) => {
+            println!(
+                "{id:<50} mean {:>12} min {:>12} ({} iter/sample, {} samples)",
+                format_duration(r.mean),
+                format_duration(r.min),
+                r.iters_per_sample,
+                samples,
+            );
+            Some(BenchResult {
+                id: id.to_string(),
+                mean_ns: r.mean.as_nanos(),
+                min_ns: r.min.as_nanos(),
+                iters_per_sample: r.iters_per_sample,
+                samples,
+                throughput: None,
+            })
+        }
+        None => {
+            println!("{id:<50} (no measurement: closure never called iter)");
+            None
+        }
+    }
+}
+
+fn print_throughput(r: &BenchResult) {
+    if let (Some(t), Some(per_s)) = (r.throughput, r.per_second()) {
+        println!("{:<50} thrpt {:>12}", r.id, format_rate(per_s, t.unit()));
+    }
+}
+
+fn format_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1e9 {
+        format!("{:.3} G{unit}", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.3} M{unit}", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.3} K{unit}", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} {unit}")
     }
 }
 

@@ -1,8 +1,10 @@
 //! Shared machinery for compiling and applying column rewrites.
 
 use crate::error::Result;
-use cocoon_sql::{execute, Expr, Projection, Select};
-use cocoon_table::{Table, Value};
+use cocoon_sql::{eval_column, execute, infer_expr_type, Expr, Projection, Select, Selection};
+use cocoon_table::{Column, Table, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Builds the `SELECT` that rewrites exactly one column with `expr`
 /// (all other columns pass through unchanged).
@@ -31,11 +33,34 @@ pub fn column_rewrite_select(table: &Table, column: &str, expr: Expr) -> Select 
 
 /// Executes a select against `table` and counts cell-level differences
 /// (only meaningful when the row count is unchanged).
+///
+/// Selects with the [`column_rewrite_select`] shape take a fast path:
+/// only the target column is evaluated and diffed, and every other column
+/// of the output shares the input's storage.
 pub fn apply_and_count(select: &Select, table: &Table) -> Result<(Table, usize)> {
+    if let Some((index, expr)) = single_column_rewrite(select, table) {
+        let rewritten = if table.height() == 0 {
+            Column::default()
+        } else {
+            eval_column(expr, table, &Selection::All(table.height()))?
+        };
+        let before = table.column(index)?;
+        let changed =
+            before.values().iter().zip(rewritten.values()).filter(|(b, a)| b != a).count();
+        let mut output = table.clone();
+        output.replace_column(index, Arc::new(rewritten))?;
+        output.set_column_type(index, infer_expr_type(expr, table.schema()))?;
+        return Ok((output, changed));
+    }
+
     let output = execute(select, table)?;
     let mut changed = 0usize;
     if output.height() == table.height() && output.width() == table.width() {
         for c in 0..table.width() {
+            // Physically shared columns cannot differ.
+            if Arc::ptr_eq(table.shared_column(c)?, output.shared_column(c)?) {
+                continue;
+            }
             let before = table.column(c)?.values();
             let after = output.column(c)?.values();
             changed += before.iter().zip(after).filter(|(b, a)| b != a).count();
@@ -44,6 +69,36 @@ pub fn apply_and_count(select: &Select, table: &Table) -> Result<(Table, usize)>
         changed = table.height().saturating_sub(output.height());
     }
     Ok((output, changed))
+}
+
+/// Recognises the [`column_rewrite_select`] shape: no filters, one
+/// projection per input column in schema order, all of them pass-through
+/// column references except exactly one expression aliased back to its
+/// field's name. Returns the target column index and expression.
+fn single_column_rewrite<'a>(select: &'a Select, table: &Table) -> Option<(usize, &'a Expr)> {
+    if select.distinct || select.where_clause.is_some() || select.qualify.is_some() {
+        return None;
+    }
+    let schema = table.schema();
+    if select.projections.len() != schema.len() {
+        return None;
+    }
+    let mut target: Option<(usize, &Expr)> = None;
+    for (i, projection) in select.projections.iter().enumerate() {
+        let Projection::Expr { expr, alias } = projection else { return None };
+        let field_name = schema.field(i).ok()?.name();
+        if let Expr::Column(name) = expr {
+            let out_name = alias.as_deref().unwrap_or(name);
+            if name == field_name && out_name == field_name {
+                continue; // pass-through
+            }
+        }
+        if alias.as_deref() != Some(field_name) || target.is_some() {
+            return None;
+        }
+        target = Some((i, expr));
+    }
+    target
 }
 
 /// Converts a textual cleaning mapping into `(Value, Value)` pairs; an
@@ -64,9 +119,10 @@ pub fn restrict_mapping(
     mapping: &[(String, String)],
     census: &[(String, usize)],
 ) -> Vec<(String, String)> {
+    let present: HashSet<&str> = census.iter().map(|(v, _)| v.as_str()).collect();
     mapping
         .iter()
-        .filter(|(old, new)| old != new && census.iter().any(|(v, _)| v == old))
+        .filter(|(old, new)| old != new && present.contains(old.as_str()))
         .cloned()
         .collect()
 }
@@ -91,6 +147,65 @@ mod tests {
         assert_eq!(out.cell(0, 1).unwrap(), &Value::from("eng"));
         assert_eq!(out.cell(0, 0).unwrap(), &Value::from("1"));
         assert_eq!(out.schema().names(), vec!["id", "lang"]);
+    }
+
+    #[test]
+    fn rewrite_shares_untouched_columns() {
+        let t = table();
+        let map = Expr::value_map("lang", &[(Value::from("English"), Value::from("eng"))]);
+        let select = column_rewrite_select(&t, "lang", map);
+        let (out, _) = apply_and_count(&select, &t).unwrap();
+        // The id column must be the very same allocation, not a copy.
+        assert!(Arc::ptr_eq(t.shared_column(0).unwrap(), out.shared_column(0).unwrap()));
+        assert!(!Arc::ptr_eq(t.shared_column(1).unwrap(), out.shared_column(1).unwrap()));
+    }
+
+    #[test]
+    fn fast_path_matches_generic_executor() {
+        let t = table();
+        let cast = Expr::try_cast(Expr::col("id"), cocoon_table::DataType::Int);
+        let select = column_rewrite_select(&t, "id", cast);
+        assert!(single_column_rewrite(&select, &t).is_some());
+        let (fast, fast_changed) = apply_and_count(&select, &t).unwrap();
+        let generic = execute(&select, &t).unwrap();
+        assert_eq!(fast, generic);
+        assert_eq!(fast_changed, 2); // "1" → 1, "2" → 2
+                                     // Declared type follows the cast, as in the generic path.
+        assert_eq!(fast.schema().field(0).unwrap().data_type(), cocoon_table::DataType::Int);
+    }
+
+    #[test]
+    fn non_rewrite_shapes_skip_the_fast_path() {
+        let t = table();
+        // DISTINCT, WHERE, star and column-subset selects are not rewrites.
+        let mut distinct = Select::star("input");
+        distinct.distinct = true;
+        assert!(single_column_rewrite(&distinct, &t).is_none());
+        let mut filtered = column_rewrite_select(&t, "lang", Expr::lit("x"));
+        filtered.where_clause = Some(Expr::eq(Expr::col("id"), Expr::lit("1")));
+        assert!(single_column_rewrite(&filtered, &t).is_none());
+        let subset = Select {
+            distinct: false,
+            projections: vec![Projection::Expr { expr: Expr::col("id"), alias: None }],
+            from: "input".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        assert!(single_column_rewrite(&subset, &t).is_none());
+        // Two rewritten columns: also generic.
+        let two = Select {
+            distinct: false,
+            projections: vec![
+                Projection::aliased(Expr::lit("x"), "id"),
+                Projection::aliased(Expr::lit("y"), "lang"),
+            ],
+            from: "input".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        assert!(single_column_rewrite(&two, &t).is_none());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod pipeline;
 pub mod report;
 pub mod state;
 
+pub use apply::{apply_and_count, column_rewrite_select};
 pub use config::{CleanerConfig, IssueToggles};
 pub use decision::{
     AutoApprove, CleaningReview, Decision, DecisionHook, DetectionReview, RecordingHook,

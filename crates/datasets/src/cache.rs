@@ -1,0 +1,73 @@
+//! Per-seed memoisation of generated datasets.
+//!
+//! Generating a benchmark is deterministic in its seed but not free (the
+//! Movies table alone is 7390 × 17 cells plus annotations), and the test
+//! suite, benches and paper-table binaries all regenerate the same canonical
+//! datasets repeatedly. Each generator routes through [`cached`], so a
+//! (dataset, seed) pair is built once per process and afterwards served as a
+//! cheap clone — tables share column storage via `Arc`, and copy-on-write
+//! protects the cached copy from mutation by callers.
+
+use crate::spec::Dataset;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cap on memoised datasets per process. Random-seed property tests would
+/// otherwise grow the map without bound; past the cap, builds are served
+/// uncached (correct, just not memoised).
+const MAX_ENTRIES: usize = 64;
+
+type Key = (&'static str, u64);
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<Dataset>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Dataset>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the dataset for `(name, seed)`, building it with `build` on the
+/// first request and serving a structural clone afterwards.
+pub(crate) fn cached(name: &'static str, seed: u64, build: fn(u64) -> Dataset) -> Dataset {
+    let key = (name, seed);
+    if let Some(hit) = cache().lock().expect("dataset cache poisoned").get(&key) {
+        return Dataset::clone(hit);
+    }
+    // Build outside the lock so concurrent tests don't serialise on
+    // generation; a racing duplicate build is harmless (last write wins,
+    // both results are identical by determinism).
+    let built = Arc::new(build(seed));
+    let mut guard = cache().lock().expect("dataset cache poisoned");
+    if guard.len() < MAX_ENTRIES {
+        guard.insert(key, Arc::clone(&built));
+    }
+    drop(guard);
+    Dataset::clone(&built)
+}
+
+#[cfg(test)]
+mod tests {
+    use cocoon_table::Value;
+
+    #[test]
+    fn serves_identical_datasets_and_survives_caller_mutation() {
+        let a = crate::hospital::generate_seeded(7);
+        let mut b = crate::hospital::generate_seeded(7);
+        assert_eq!(a.dirty, b.dirty);
+        // Mutating one caller's copy must not leak into the cache.
+        b.dirty.set_cell(0, 0, Value::Text("mutated".into())).unwrap();
+        let c = crate::hospital::generate_seeded(7);
+        assert_eq!(a.dirty, c.dirty);
+        assert_ne!(b.dirty, c.dirty);
+    }
+
+    #[test]
+    fn cached_clones_share_column_storage() {
+        let a = crate::beers::generate_seeded(11);
+        let b = crate::beers::generate_seeded(11);
+        for c in 0..a.dirty.width() {
+            assert!(std::sync::Arc::ptr_eq(
+                a.dirty.shared_column(c).unwrap(),
+                b.dirty.shared_column(c).unwrap()
+            ));
+        }
+    }
+}

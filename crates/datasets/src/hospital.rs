@@ -91,8 +91,14 @@ pub fn generate() -> Dataset {
     generate_seeded(0xC0C0_0001)
 }
 
-/// Builds the dataset from an explicit seed.
+/// Builds the dataset from an explicit seed (memoised per seed; see
+/// [`crate::cache`]).
 pub fn generate_seeded(seed: u64) -> Dataset {
+    crate::cache::cached("hospital", seed, build_seeded)
+}
+
+/// Actually generates the dataset; called once per seed by the cache.
+fn build_seeded(seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let providers = providers(&mut rng);
 

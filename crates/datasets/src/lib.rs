@@ -17,6 +17,7 @@
 //! | [`movies`]   | 7390 × 17 | language↔country misplacements, durations |
 
 pub mod beers;
+pub(crate) mod cache;
 pub mod catalog;
 pub mod flights;
 pub mod hospital;

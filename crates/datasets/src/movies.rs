@@ -23,8 +23,14 @@ pub fn generate() -> Dataset {
     generate_seeded(0xC0C0_0005)
 }
 
-/// Builds the dataset from an explicit seed.
+/// Builds the dataset from an explicit seed (memoised per seed; see
+/// [`crate::cache`]).
 pub fn generate_seeded(seed: u64) -> Dataset {
+    crate::cache::cached("movies", seed, build_seeded)
+}
+
+/// Actually generates the dataset; called once per seed by the cache.
+fn build_seeded(seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let names = [
         "movie_id",

@@ -7,7 +7,8 @@
 use crate::ast::{BinaryOp, Expr, UnaryOp};
 use crate::error::{Result, SqlError};
 use crate::functions;
-use cocoon_table::{DataType, Schema, Table, Value};
+use cocoon_table::{Column, DataType, Schema, Table, Value};
+use std::collections::HashMap;
 
 /// A row-binding context for expression evaluation.
 pub struct RowContext<'a> {
@@ -236,6 +237,162 @@ fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
             }))
         }
     }
+}
+
+/// The set of rows a columnar operator works over: either every row of the
+/// table (the common case, which enables zero-copy column pass-through) or
+/// an explicit ordered subset (the survivors of `WHERE` / `QUALIFY`).
+#[derive(Debug, Clone)]
+pub enum Selection<'a> {
+    /// All rows of a table with this height.
+    All(usize),
+    /// An explicit subset, in output order.
+    Rows(&'a [usize]),
+}
+
+impl Selection<'_> {
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Selection::All(n) => *n,
+            Selection::Rows(rows) => rows.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the selection covers every row in original order, so a
+    /// pass-through projection can share the column instead of gathering.
+    pub fn is_all(&self) -> bool {
+        matches!(self, Selection::All(_))
+    }
+
+    /// Iterates the selected row indices in output order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let (range, rows) = match self {
+            Selection::All(n) => (0..*n, [].as_slice()),
+            Selection::Rows(rows) => (0..0, *rows),
+        };
+        range.chain(rows.iter().copied())
+    }
+}
+
+/// Evaluates `expr` column-at-a-time over the selected rows of `table`.
+///
+/// Literals, column references, casts and literal value maps (`CASE col
+/// WHEN 'a' THEN 'b' … ELSE …`, the workhorse shape of Cocoon cleaning)
+/// are computed vectorised; every other expression falls back to the
+/// row-wise [`eval`], which also serves as the semantic oracle for the
+/// differential tests. Fast paths preserve row-wise *success* semantics
+/// exactly, and error exactly when the row-wise path would — though when
+/// several rows or nested subexpressions fail, expression-at-a-time
+/// evaluation may surface a different one of those errors than the
+/// strictly row-ordered oracle.
+pub fn eval_column(expr: &Expr, table: &Table, sel: &Selection<'_>) -> Result<Column> {
+    match expr {
+        Expr::Literal(v) => Ok(Column::new(vec![v.clone(); sel.len()])),
+        Expr::Column(name) => {
+            let idx = table
+                .schema()
+                .index_of(name)
+                .map_err(|_| SqlError::UnknownColumn(name.to_string()))?;
+            let values = table.column(idx)?.values();
+            Ok(match sel {
+                Selection::All(_) => Column::new(values.to_vec()),
+                Selection::Rows(rows) => rows.iter().map(|&r| values[r].clone()).collect(),
+            })
+        }
+        Expr::Cast { expr, ty, lenient } => {
+            let input = eval_column(expr, table, sel)?;
+            let mut out = Vec::with_capacity(input.len());
+            for v in input.values() {
+                match v.cast(*ty) {
+                    Ok(cast) => out.push(cast),
+                    Err(_) if *lenient => out.push(Value::Null),
+                    Err(e) => {
+                        return Err(SqlError::Type {
+                            context: format!("CAST to {}", ty.sql_name()),
+                            value: e.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Column::new(out))
+        }
+        Expr::Case { operand: Some(operand), arms, otherwise }
+            if arms
+                .iter()
+                .all(|(w, t)| matches!(w, Expr::Literal(_)) && matches!(t, Expr::Literal(_)))
+                && value_map_fallback_is_safe(operand, otherwise.as_deref()) =>
+        {
+            eval_value_map(operand, arms, otherwise.as_deref(), table, sel)
+        }
+        _ => sel.iter().map(|row| eval(expr, &RowContext::new(table, row))).collect(),
+    }
+}
+
+/// The vectorised value map evaluates `otherwise` for *every* row, while
+/// sequential CASE only reaches it on rows no arm matched. That is only
+/// safe when `otherwise` cannot raise an evaluation error: absent, a
+/// literal, or the operand column itself (already evaluated as the
+/// subject). Anything else takes the row-wise path.
+fn value_map_fallback_is_safe(operand: &Expr, otherwise: Option<&Expr>) -> bool {
+    match otherwise {
+        None | Some(Expr::Literal(_)) => true,
+        Some(o) => o == operand,
+    }
+}
+
+/// Vectorised literal value map: one hash lookup per cell instead of a
+/// linear scan of the arms. `Value`'s `Hash`/`Eq` agree with `sql_eq` for
+/// non-null values (Int/Float cross-type included), and a NULL subject
+/// matches no arm under `sql_eq` — so routing NULL subjects to the
+/// `otherwise` branch reproduces simple-`CASE` semantics exactly.
+fn eval_value_map(
+    operand: &Expr,
+    arms: &[(Expr, Expr)],
+    otherwise: Option<&Expr>,
+    table: &Table,
+    sel: &Selection<'_>,
+) -> Result<Column> {
+    let mut map: HashMap<&Value, &Value> = HashMap::with_capacity(arms.len());
+    for (when, then) in arms {
+        let (Expr::Literal(w), Expr::Literal(t)) = (when, then) else {
+            unreachable!("guarded by the caller");
+        };
+        if !w.is_null() {
+            // First arm wins on duplicate keys, as in sequential CASE.
+            map.entry(w).or_insert(t);
+        }
+    }
+    let subject = eval_column(operand, table, sel)?;
+    // The common cleaning shape ends `ELSE <operand>`; reuse the already
+    // materialised subject column instead of evaluating it again.
+    let reuse_subject = otherwise == Some(operand);
+    let fallback: Option<Column> = match otherwise {
+        Some(o) if !reuse_subject => Some(eval_column(o, table, sel)?),
+        _ => None,
+    };
+    let out = subject
+        .into_values()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if !v.is_null() {
+                if let Some(mapped) = map.get(&v) {
+                    return (*mapped).clone();
+                }
+            }
+            if reuse_subject {
+                v
+            } else {
+                fallback.as_ref().map_or(Value::Null, |f| f.values()[i].clone())
+            }
+        })
+        .collect();
+    Ok(out)
 }
 
 /// Infers the output type of an expression against a schema (used to type

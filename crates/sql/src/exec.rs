@@ -1,18 +1,107 @@
 //! Executing `SELECT` statements against in-memory tables.
+//!
+//! [`execute`] is the production path: it drives `WHERE`/`QUALIFY` through
+//! a selection vector (row indices, never an intermediate table) and
+//! computes each projection column-at-a-time via [`eval_column`], sharing
+//! untouched columns with the input table (`Arc` pass-through) instead of
+//! cloning cells. [`execute_rowwise`] is the original cell-by-cell
+//! implementation, kept as the semantic oracle the differential property
+//! tests compare against.
 
 use crate::ast::{Projection, RowNumberFilter, Select, SortOrder};
 use crate::error::Result;
-use crate::eval::{eval, infer_expr_type, RowContext};
+use crate::eval::{eval, eval_column, infer_expr_type, RowContext, Selection};
 use crate::render::render_expr;
 use cocoon_table::{Column, Field, Schema, Table, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Executes `select` against `input`, producing a new table.
 ///
 /// Evaluation order matches SQL semantics for the supported subset:
 /// `WHERE` → window `QUALIFY` filter → projection → `DISTINCT`.
 pub fn execute(select: &Select, input: &Table) -> Result<Table> {
-    // WHERE: keep rows whose predicate is exactly TRUE.
+    // WHERE: keep rows whose predicate is exactly TRUE. The predicate is
+    // evaluated as a column; surviving rows become the selection vector.
+    let height = input.height();
+    let filtered: Option<Vec<usize>> = match &select.where_clause {
+        Some(pred) if height > 0 => {
+            let mask = eval_column(pred, input, &Selection::All(height))?;
+            Some(
+                mask.values()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| matches!(v, Value::Bool(true)))
+                    .map(|(r, _)| r)
+                    .collect(),
+            )
+        }
+        Some(_) => Some(Vec::new()),
+        None => None,
+    };
+
+    // QUALIFY: row_number() over (partition by … order by …) <= keep.
+    let qualified: Option<Vec<usize>> = match &select.qualify {
+        Some(filter) => {
+            let rows: Vec<usize> = match &filtered {
+                Some(rows) => rows.clone(),
+                None => (0..height).collect(),
+            };
+            Some(apply_row_number_filter(filter, input, &rows)?)
+        }
+        None => filtered,
+    };
+    let sel = match &qualified {
+        Some(rows) => Selection::Rows(rows),
+        None => Selection::All(height),
+    };
+
+    // Projection, column at a time.
+    let schema = projected_schema(select, input)?;
+    let mut columns: Vec<Arc<Column>> = Vec::with_capacity(schema.len());
+    for projection in &select.projections {
+        match projection {
+            Projection::Star => {
+                for c in 0..input.width() {
+                    columns.push(pass_through(input, c, &sel)?);
+                }
+            }
+            Projection::Expr { expr, .. } => match expr {
+                // A bare column reference passes storage through.
+                crate::ast::Expr::Column(name) if input.schema().contains(name) => {
+                    let c = input.schema().index_of(name)?;
+                    columns.push(pass_through(input, c, &sel)?);
+                }
+                // Row-wise execution never evaluates projections when no
+                // row survives; mirror that (including its error
+                // behaviour) by skipping evaluation entirely.
+                _ if sel.is_empty() => columns.push(Arc::new(Column::default())),
+                _ => columns.push(Arc::new(eval_column(expr, input, &sel)?)),
+            },
+        }
+    }
+    let mut table = Table::from_shared(schema, columns)?;
+
+    if select.distinct {
+        table.distinct();
+    }
+    Ok(table)
+}
+
+/// Projects input column `c` under `sel`: a full selection shares the
+/// column's storage (`Arc` clone, zero cell copies); a subset gathers.
+fn pass_through(input: &Table, c: usize, sel: &Selection<'_>) -> Result<Arc<Column>> {
+    if sel.is_all() {
+        return Ok(Arc::clone(input.shared_column(c)?));
+    }
+    let values = input.column(c)?.values();
+    Ok(Arc::new(sel.iter().map(|r| values[r].clone()).collect()))
+}
+
+/// Executes `select` row by row, materialising every output cell — the
+/// pre-columnar implementation, retained as the oracle for differential
+/// testing of [`execute`].
+pub fn execute_rowwise(select: &Select, input: &Table) -> Result<Table> {
     let mut keep: Vec<usize> = Vec::with_capacity(input.height());
     for row in 0..input.height() {
         let passes = match &select.where_clause {
@@ -27,13 +116,12 @@ pub fn execute(select: &Select, input: &Table) -> Result<Table> {
         }
     }
 
-    // QUALIFY: row_number() over (partition by … order by …) <= keep.
     if let Some(filter) = &select.qualify {
         keep = apply_row_number_filter(filter, input, &keep)?;
     }
 
-    // Projection.
-    let (schema, mut columns) = projected_schema(select, input)?;
+    let schema = projected_schema(select, input)?;
+    let mut columns: Vec<Column> = (0..schema.len()).map(|_| Column::default()).collect();
     for &row in &keep {
         let ctx = RowContext::new(input, row);
         let mut out_col = 0usize;
@@ -60,8 +148,8 @@ pub fn execute(select: &Select, input: &Table) -> Result<Table> {
     Ok(table)
 }
 
-/// Builds the output schema and empty columns for the projection list.
-fn projected_schema(select: &Select, input: &Table) -> Result<(Schema, Vec<Column>)> {
+/// Builds the output schema for the projection list.
+fn projected_schema(select: &Select, input: &Table) -> Result<Schema> {
     let mut fields: Vec<Field> = Vec::new();
     let mut used: HashMap<String, usize> = HashMap::new();
     let mut push_field = |name: String, ty| {
@@ -84,8 +172,7 @@ fn projected_schema(select: &Select, input: &Table) -> Result<(Schema, Vec<Colum
             }
         }
     }
-    let columns = (0..fields.len()).map(|_| Column::default()).collect();
-    Ok((Schema::new(fields)?, columns))
+    Schema::new(fields).map_err(Into::into)
 }
 
 /// Output name for an unaliased projection: bare columns keep their name;
@@ -98,44 +185,48 @@ fn default_name(expr: &crate::ast::Expr) -> String {
 }
 
 /// Applies the ROW_NUMBER window filter over the surviving rows.
+///
+/// Partition and order keys are evaluated column-at-a-time over the
+/// surviving selection, then grouped and sorted by index.
 fn apply_row_number_filter(
     filter: &RowNumberFilter,
     input: &Table,
     rows: &[usize],
 ) -> Result<Vec<usize>> {
-    // Group rows by partition key.
-    let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    let mut partition_order: Vec<Vec<Value>> = Vec::new();
-    for &row in rows {
-        let ctx = RowContext::new(input, row);
-        let mut key = Vec::with_capacity(filter.partition_by.len());
-        for expr in &filter.partition_by {
-            key.push(eval(expr, &ctx)?);
-        }
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let sel = Selection::Rows(rows);
+    let partition_cols: Vec<Column> = filter
+        .partition_by
+        .iter()
+        .map(|expr| eval_column(expr, input, &sel))
+        .collect::<Result<_>>()?;
+    let order_cols: Vec<Column> = filter
+        .order_by
+        .iter()
+        .map(|(expr, _)| eval_column(expr, input, &sel))
+        .collect::<Result<_>>()?;
+
+    // Group selection positions by partition key.
+    let mut partitions: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+    let mut partition_order: Vec<Vec<&Value>> = Vec::new();
+    for i in 0..rows.len() {
+        let key: Vec<&Value> = partition_cols.iter().map(|c| &c.values()[i]).collect();
         let entry = partitions.entry(key.clone()).or_default();
         if entry.is_empty() {
             partition_order.push(key);
         }
-        entry.push(row);
+        entry.push(i);
     }
 
     // Order each partition and keep the first `keep` rows.
     let mut kept: Vec<usize> = Vec::new();
     for key in partition_order {
         let mut members = partitions.remove(&key).expect("partition recorded");
-        // Pre-compute sort keys to avoid re-evaluating during comparison.
-        let mut sort_keys: Vec<(usize, Vec<Value>)> = Vec::with_capacity(members.len());
-        for &row in &members {
-            let ctx = RowContext::new(input, row);
-            let mut k = Vec::with_capacity(filter.order_by.len());
-            for (expr, _) in &filter.order_by {
-                k.push(eval(expr, &ctx)?);
-            }
-            sort_keys.push((row, k));
-        }
-        sort_keys.sort_by(|(ra, ka), (rb, kb)| {
-            for (i, (_, dir)) in filter.order_by.iter().enumerate() {
-                let ord = ka[i].cmp(&kb[i]);
+        members.sort_by(|&a, &b| {
+            for (c, (_, dir)) in filter.order_by.iter().enumerate() {
+                let ord = order_cols[c].values()[a].cmp(&order_cols[c].values()[b]);
                 let ord = match dir {
                     SortOrder::Asc => ord,
                     SortOrder::Desc => ord.reverse(),
@@ -144,10 +235,9 @@ fn apply_row_number_filter(
                     return ord;
                 }
             }
-            ra.cmp(rb) // stable tie-break on original position
+            rows[a].cmp(&rows[b]) // stable tie-break on original position
         });
-        members = sort_keys.into_iter().map(|(row, _)| row).collect();
-        kept.extend(members.into_iter().take(filter.keep));
+        kept.extend(members.into_iter().take(filter.keep).map(|i| rows[i]));
     }
     kept.sort_unstable(); // restore original row order
     Ok(kept)
@@ -173,6 +263,38 @@ mod tests {
     fn select_star_is_identity() {
         let out = execute(&Select::star("t"), &table()).unwrap();
         assert_eq!(out, table());
+    }
+
+    #[test]
+    fn select_star_shares_column_storage() {
+        let input = table();
+        let out = execute(&Select::star("t"), &input).unwrap();
+        for c in 0..input.width() {
+            assert!(
+                Arc::ptr_eq(input.shared_column(c).unwrap(), out.shared_column(c).unwrap()),
+                "column {c} was deep-copied"
+            );
+        }
+    }
+
+    #[test]
+    fn bare_column_projection_shares_storage() {
+        let input = table();
+        let s = Select {
+            distinct: false,
+            projections: vec![
+                Projection::Expr { expr: Expr::col("lang"), alias: None },
+                Projection::aliased(Expr::col("id"), "renamed"),
+            ],
+            from: "t".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        let out = execute(&s, &input).unwrap();
+        assert!(Arc::ptr_eq(input.shared_column(1).unwrap(), out.shared_column(0).unwrap()));
+        assert!(Arc::ptr_eq(input.shared_column(0).unwrap(), out.shared_column(1).unwrap()));
+        assert_eq!(out.schema().names(), vec!["lang", "renamed"]);
     }
 
     #[test]
@@ -274,5 +396,29 @@ mod tests {
         s.where_clause = Some(Expr::eq(Expr::null(), Expr::lit("x")));
         let out = execute(&s, &table()).unwrap();
         assert_eq!(out.height(), 0);
+    }
+
+    #[test]
+    fn rowwise_oracle_agrees_on_the_unit_cases() {
+        let input = table();
+        let mut wheres = Select::star("t");
+        wheres.where_clause = Some(Expr::eq(Expr::col("id"), Expr::lit("2")));
+        let mut dist = Select::star("t");
+        dist.distinct = true;
+        let qualify = Select {
+            distinct: false,
+            projections: vec![Projection::Star],
+            from: "t".into(),
+            where_clause: None,
+            qualify: Some(RowNumberFilter {
+                partition_by: vec![Expr::col("id")],
+                order_by: vec![(Expr::col("updated"), SortOrder::Desc)],
+                keep: 1,
+            }),
+            comment: None,
+        };
+        for s in [Select::star("t"), wheres, dist, qualify] {
+            assert_eq!(execute(&s, &input).unwrap(), execute_rowwise(&s, &input).unwrap());
+        }
     }
 }

@@ -1,0 +1,185 @@
+//! Differential property tests: the columnar executor must be
+//! indistinguishable from the retained row-wise oracle on every generated
+//! `SELECT` (projections, `WHERE`, `QUALIFY`, `DISTINCT`), and pass-through
+//! projections must share column storage rather than deep-copying cells.
+
+use cocoon_sql::{
+    execute, execute_rowwise, BinaryOp, Expr, Projection, RowNumberFilter, Select, SortOrder,
+    UnaryOp,
+};
+use cocoon_table::{Column, Schema, Table, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Cell values mixing NULLs, text, ints and floats (cross-type numeric
+/// equality and NULL routing are the interesting value-map edge cases).
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        "[a-c]{0,2}".prop_map(Value::from),
+        (-5i64..5).prop_map(Value::Int),
+        (-5i64..5).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        // -0.0 == 0.0 == Int(0) under Value::eq; exercises the Hash/Eq
+        // agreement the value-map fast path's lookup table relies on.
+        Just(Value::Float(-0.0)),
+    ]
+}
+
+/// A two-column table `a`, `b` of 0..12 rows with mixed cell values.
+fn table() -> impl Strategy<Value = Table> {
+    proptest::collection::vec((value(), value()), 0..12).prop_map(|cells| {
+        let (a, b): (Vec<Value>, Vec<Value>) = cells.into_iter().unzip();
+        Table::new(
+            Schema::all_text(&["a", "b"]).expect("schema"),
+            vec![Column::new(a), Column::new(b)],
+        )
+        .expect("table")
+    })
+}
+
+fn column_ref() -> impl Strategy<Value = Expr> {
+    prop_oneof![Just(Expr::col("a")), Just(Expr::col("b"))]
+}
+
+/// Scalar expressions covering every evaluator fast path (literal, column,
+/// cast, literal value map) plus shapes that force the scalar fallback
+/// (logic, arithmetic, searched CASE, IN lists).
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![value().prop_map(Expr::Literal), column_ref()];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::eq(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::or(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
+            inner.clone().prop_map(Expr::is_null),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            // Simple CASE with literal arms: the value-map fast path…
+            (column_ref(), proptest::collection::vec((value(), value()), 1..4), value()).prop_map(
+                |(col, arms, otherwise)| Expr::Case {
+                    operand: Some(Box::new(col)),
+                    arms: arms
+                        .into_iter()
+                        .map(|(w, t)| (Expr::Literal(w), Expr::Literal(t)))
+                        .collect(),
+                    otherwise: Some(Box::new(Expr::Literal(otherwise))),
+                }
+            ),
+            // …and the canonical cleaning shape, ELSE'ing the operand back.
+            (column_ref(), proptest::collection::vec((value(), value()), 1..4)).prop_map(
+                |(col, arms)| Expr::Case {
+                    operand: Some(Box::new(col.clone())),
+                    arms: arms
+                        .into_iter()
+                        .map(|(w, t)| (Expr::Literal(w), Expr::Literal(t)))
+                        .collect(),
+                    otherwise: Some(Box::new(col)),
+                }
+            ),
+            // Searched CASE: always takes the row-wise fallback.
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, o)| Expr::Case {
+                operand: None,
+                arms: vec![(c, t)],
+                otherwise: Some(Box::new(o)),
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(e, list)| Expr::InList { expr: Box::new(e), list, negated: false }),
+            inner.clone().prop_map(|e| Expr::try_cast(e, cocoon_table::DataType::Int)),
+            inner.clone().prop_map(|e| Expr::cast(e, cocoon_table::DataType::Text)),
+            // Strict fallible cast: both executors must error on the same
+            // inputs (non-numeric text → CAST error).
+            inner.prop_map(|e| Expr::cast(e, cocoon_table::DataType::Int)),
+        ]
+    })
+}
+
+fn projection() -> impl Strategy<Value = Projection> {
+    prop_oneof![
+        Just(Projection::Star),
+        column_ref().prop_map(|e| Projection::Expr { expr: e, alias: None }),
+        (expr(), "[a-z]{1,3}").prop_map(|(e, alias)| Projection::aliased(e, alias)),
+    ]
+}
+
+fn qualify() -> impl Strategy<Value = Option<RowNumberFilter>> {
+    prop_oneof![
+        Just(None),
+        (column_ref(), column_ref(), any::<bool>(), 1usize..3).prop_map(
+            |(part, order, desc, keep)| {
+                Some(RowNumberFilter {
+                    partition_by: vec![part],
+                    order_by: vec![(order, if desc { SortOrder::Desc } else { SortOrder::Asc })],
+                    keep,
+                })
+            }
+        ),
+    ]
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        proptest::collection::vec(projection(), 1..4),
+        prop_oneof![Just(None), expr().prop_map(Some)],
+        qualify(),
+        any::<bool>(),
+    )
+        .prop_map(|(projections, where_clause, qualify, distinct)| Select {
+            distinct,
+            projections,
+            from: "t".into(),
+            where_clause,
+            qualify,
+            comment: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline property: columnar and row-wise execution agree on
+    /// every generated query — same table on success, and when one errors
+    /// (bad cast, untyped comparison, …) so does the other.
+    #[test]
+    fn columnar_matches_rowwise_oracle(t in table(), s in select()) {
+        let columnar = execute(&s, &t);
+        let rowwise = execute_rowwise(&s, &t);
+        match (columnar, rowwise) {
+            (Ok(c), Ok(r)) => prop_assert_eq!(c, r),
+            (Err(_), Err(_)) => {}
+            (c, r) => prop_assert!(
+                false,
+                "executors disagree: columnar={:?} rowwise={:?}",
+                c.map(|t| t.to_string()),
+                r.map(|t| t.to_string())
+            ),
+        }
+    }
+
+    /// Pass-through projections must share storage, not deep-copy: every
+    /// `SELECT *` (and bare-column projection) output column is the same
+    /// allocation as its input column.
+    #[test]
+    fn pass_through_projections_share_columns(t in table()) {
+        let star = execute(&Select::star("t"), &t).expect("star executes");
+        for c in 0..t.width() {
+            prop_assert!(
+                Arc::ptr_eq(t.shared_column(c).expect("col"), star.shared_column(c).expect("col")),
+                "star projection deep-copied column {}", c
+            );
+        }
+        let bare = Select {
+            distinct: false,
+            projections: vec![
+                Projection::Expr { expr: Expr::col("b"), alias: None },
+                Projection::aliased(Expr::col("a"), "renamed"),
+            ],
+            from: "t".into(),
+            where_clause: None,
+            qualify: None,
+            comment: None,
+        };
+        let out = execute(&bare, &t).expect("bare executes");
+        prop_assert!(Arc::ptr_eq(t.shared_column(1).expect("col"), out.shared_column(0).expect("col")));
+        prop_assert!(Arc::ptr_eq(t.shared_column(0).expect("col"), out.shared_column(1).expect("col")));
+    }
+}

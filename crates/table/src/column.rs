@@ -36,6 +36,12 @@ impl Column {
         &self.values
     }
 
+    /// Consumes the column, yielding its cells (used by the vectorised
+    /// evaluator to rewrite a column without re-cloning every value).
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
     pub fn values_mut(&mut self) -> &mut [Value] {
         &mut self.values
     }

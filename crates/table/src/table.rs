@@ -6,21 +6,35 @@ use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
-/// An in-memory columnar table: a [`Schema`] plus one [`Column`] per field.
+/// An in-memory columnar table: a [`Schema`] plus one shared [`Column`] per
+/// field.
 ///
 /// This plays the role DuckDB plays for the original Cocoon: the relation the
 /// profiler scans and the cleaning SQL rewrites.
+///
+/// Columns are stored behind [`Arc`] so that operators which pass a column
+/// through unchanged (cloning a table, `SELECT *`, single-column rewrites)
+/// share storage instead of deep-copying every cell. Mutation goes through
+/// [`Arc::make_mut`], i.e. copy-on-write: a column's cells are only cloned
+/// when it is actually written while shared.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: Schema,
-    columns: Vec<Column>,
+    columns: Vec<Arc<Column>>,
 }
 
 impl Table {
     /// Builds a table, validating that columns match the schema in arity and
     /// that all columns have equal length.
     pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        Table::from_shared(schema, columns.into_iter().map(Arc::new).collect())
+    }
+
+    /// Builds a table from already-shared columns (the zero-copy
+    /// constructor the SQL executor uses for pass-through projections).
+    pub fn from_shared(schema: Schema, columns: Vec<Arc<Column>>) -> Result<Self> {
         if schema.len() != columns.len() {
             return Err(TableError::LengthMismatch {
                 expected: schema.len(),
@@ -42,7 +56,7 @@ impl Table {
 
     /// An empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = (0..schema.len()).map(|_| Column::default()).collect();
+        let columns = (0..schema.len()).map(|_| Arc::new(Column::default())).collect();
         Table { schema, columns }
     }
 
@@ -76,18 +90,33 @@ impl Table {
 
     /// Number of rows.
     pub fn height(&self) -> usize {
-        self.columns.first().map_or(0, Column::len)
+        self.columns.first().map_or(0, |c| c.len())
     }
 
     pub fn column(&self, index: usize) -> Result<&Column> {
         self.columns
             .get(index)
+            .map(Arc::as_ref)
             .ok_or(TableError::ColumnIndexOutOfBounds { index, width: self.columns.len() })
     }
 
+    /// The shared handle of a column. Cloning the returned `Arc` shares
+    /// storage; [`Arc::ptr_eq`] on two handles tells whether two tables
+    /// physically share the column.
+    pub fn shared_column(&self, index: usize) -> Result<&Arc<Column>> {
+        self.columns
+            .get(index)
+            .ok_or(TableError::ColumnIndexOutOfBounds { index, width: self.columns.len() })
+    }
+
+    /// Mutable access to a column; copy-on-write if the column is shared
+    /// with another table.
     pub fn column_mut(&mut self, index: usize) -> Result<&mut Column> {
         let width = self.columns.len();
-        self.columns.get_mut(index).ok_or(TableError::ColumnIndexOutOfBounds { index, width })
+        self.columns
+            .get_mut(index)
+            .map(Arc::make_mut)
+            .ok_or(TableError::ColumnIndexOutOfBounds { index, width })
     }
 
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
@@ -99,8 +128,20 @@ impl Table {
         self.column_mut(idx)
     }
 
-    pub fn columns(&self) -> &[Column] {
-        &self.columns
+    /// Replaces one column wholesale (the single-column-rewrite fast path);
+    /// all other columns keep their shared storage.
+    pub fn replace_column(&mut self, index: usize, column: Arc<Column>) -> Result<()> {
+        if index >= self.columns.len() {
+            return Err(TableError::ColumnIndexOutOfBounds { index, width: self.columns.len() });
+        }
+        if column.len() != self.height() {
+            return Err(TableError::LengthMismatch {
+                expected: self.height(),
+                actual: column.len(),
+            });
+        }
+        self.columns[index] = column;
+        Ok(())
     }
 
     /// Reads one cell.
@@ -108,7 +149,7 @@ impl Table {
         self.column(col)?.get(row)
     }
 
-    /// Writes one cell.
+    /// Writes one cell (copy-on-write if the column is shared).
     pub fn set_cell(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
         self.column_mut(col)?.set(row, value)
     }
@@ -119,7 +160,7 @@ impl Table {
             return Err(TableError::LengthMismatch { expected: self.width(), actual: row.len() });
         }
         for (col, value) in self.columns.iter_mut().zip(row) {
-            col.push(value);
+            Arc::make_mut(col).push(value);
         }
         Ok(())
     }
@@ -155,7 +196,7 @@ impl Table {
                     next.push(v.clone());
                 }
             }
-            *col = Column::new(next);
+            *col = Arc::new(Column::new(next));
         }
     }
 
@@ -185,10 +226,17 @@ impl Table {
 
     /// Returns a copy containing only the first `n` rows (used to model the
     /// paper's 1000-row sampling for HoloClean / CleanAgent on Movies).
+    /// When `n` covers the whole table the copy shares column storage.
     pub fn head(&self, n: usize) -> Table {
         let take = n.min(self.height());
-        let columns =
-            self.columns.iter().map(|c| Column::new(c.values()[..take].to_vec())).collect();
+        if take == self.height() {
+            return self.clone();
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(Column::new(c.values()[..take].to_vec())))
+            .collect();
         Table { schema: self.schema.clone(), columns }
     }
 
@@ -203,7 +251,7 @@ impl Table {
         let mut fields = self.schema.fields().to_vec();
         fields.push(field);
         self.schema = Schema::new(fields)?;
-        self.columns.push(column);
+        self.columns.push(Arc::new(column));
         Ok(())
     }
 
@@ -354,5 +402,41 @@ mod tests {
         let table = t(&[["1", "hello"]]);
         let text = table.to_string();
         assert!(text.contains('a') && text.contains("hello"));
+    }
+
+    #[test]
+    fn clones_share_column_storage() {
+        let table = t(&[["1", "x"], ["2", "y"]]);
+        let copy = table.clone();
+        for c in 0..table.width() {
+            assert!(Arc::ptr_eq(table.shared_column(c).unwrap(), copy.shared_column(c).unwrap()));
+        }
+        // A full-table head shares storage too.
+        let full = table.head(table.height());
+        assert!(Arc::ptr_eq(table.shared_column(0).unwrap(), full.shared_column(0).unwrap()));
+    }
+
+    #[test]
+    fn mutation_unshares_only_the_written_column() {
+        let table = t(&[["1", "x"], ["2", "y"]]);
+        let mut copy = table.clone();
+        copy.set_cell(0, 1, Value::Text("z".into())).unwrap();
+        // Written column diverged; original untouched.
+        assert!(!Arc::ptr_eq(table.shared_column(1).unwrap(), copy.shared_column(1).unwrap()));
+        assert_eq!(table.cell(0, 1).unwrap(), &Value::Text("x".into()));
+        assert_eq!(copy.cell(0, 1).unwrap(), &Value::Text("z".into()));
+        // Pass-through column still shared.
+        assert!(Arc::ptr_eq(table.shared_column(0).unwrap(), copy.shared_column(0).unwrap()));
+    }
+
+    #[test]
+    fn replace_column_checks_length() {
+        let mut table = t(&[["1", "x"], ["2", "y"]]);
+        let short = Arc::new(Column::from_strings(["only"]));
+        assert!(table.replace_column(1, short).is_err());
+        let ok = Arc::new(Column::from_strings(["p", "q"]));
+        table.replace_column(1, ok.clone()).unwrap();
+        assert!(Arc::ptr_eq(table.shared_column(1).unwrap(), &ok));
+        assert!(table.replace_column(9, Arc::new(Column::default())).is_err());
     }
 }

@@ -266,7 +266,15 @@ impl Hash for Value {
             }
             Value::Float(f) => {
                 2u8.hash(state);
-                let norm = if f.is_nan() { f64::NAN } else { *f };
+                // Normalise NaN payloads and -0.0 (== 0.0 must imply equal
+                // hashes; raw to_bits would split the two zeroes).
+                let norm = if f.is_nan() {
+                    f64::NAN
+                } else if *f == 0.0 {
+                    0.0
+                } else {
+                    *f
+                };
                 norm.to_bits().hash(state);
             }
             Value::Date(d) => {
@@ -445,6 +453,17 @@ mod tests {
         let b = Value::Float(2.0);
         assert_eq!(a, b);
         assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        // Eq says -0.0 == 0.0 == Int(0); Hash must agree or hash-based
+        // lookups (value maps, DISTINCT, QUALIFY partitions) split them.
+        let neg = Value::Float(-0.0);
+        assert_eq!(neg, Value::Float(0.0));
+        assert_eq!(neg, Value::Int(0));
+        assert_eq!(hash_of(&neg), hash_of(&Value::Float(0.0)));
+        assert_eq!(hash_of(&neg), hash_of(&Value::Int(0)));
     }
 
     #[test]
