@@ -4,10 +4,12 @@
 //! `column_rewrite` measures `apply_and_count` on the single-column SELECT
 //! shapes the pipeline emits (value map, TRY_CAST); throughput is table
 //! rows per second. `cleaner_movies` times `Cleaner::clean` on the full
-//! Movies benchmark.
+//! Movies benchmark. `cleaner_movies_parallel` compares the detection
+//! fan-out at 1 vs 8 worker threads and a warm-`CachedLlm` repeat clean
+//! against the cold baseline.
 
-use cocoon_core::{apply_and_count, column_rewrite_select, Cleaner};
-use cocoon_llm::SimLlm;
+use cocoon_core::{apply_and_count, column_rewrite_select, Cleaner, CleanerConfig};
+use cocoon_llm::{CachedLlm, SimLlm};
 use cocoon_sql::Expr;
 use cocoon_table::{DataType, Value};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -53,5 +55,34 @@ fn bench_cleaner_movies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_column_rewrite, bench_cleaner_movies);
+fn bench_cleaner_movies_parallel(c: &mut Criterion) {
+    let dataset = cocoon_datasets::movies::generate();
+    let mut group = c.benchmark_group("cleaner_movies_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(dataset.dirty.height() as u64));
+
+    for threads in [1usize, 8] {
+        let config = CleanerConfig { threads: Some(threads), ..CleanerConfig::default() };
+        let cleaner = Cleaner::with_config(SimLlm::new(), config).expect("config");
+        group.bench_function(format!("clean Movies threads={threads}"), |b| {
+            b.iter(|| cleaner.clean(black_box(&dataset.dirty)).expect("pipeline"))
+        });
+    }
+
+    // Warm repeat clean: identical prompts replay from the CachedLlm, so
+    // the second clean pays only profiling + SQL execution.
+    let cleaner = Cleaner::new(CachedLlm::new(SimLlm::new()));
+    cleaner.clean(&dataset.dirty).expect("cache warm-up");
+    group.bench_function("clean Movies warm cache", |b| {
+        b.iter(|| cleaner.clean(black_box(&dataset.dirty)).expect("pipeline"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_column_rewrite,
+    bench_cleaner_movies,
+    bench_cleaner_movies_parallel
+);
 criterion_main!(benches);

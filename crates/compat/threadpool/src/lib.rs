@@ -1,0 +1,225 @@
+//! Minimal scoped thread pool — the offline stand-in for rayon.
+//!
+//! The build environment has no crates.io access, so the workspace cannot
+//! depend on rayon. This shim provides the small API subset the Cocoon
+//! pipeline needs to fan work out across columns:
+//!
+//! * [`ThreadPool::new`] / [`ThreadPool::from_env`] — a parallelism policy
+//!   handle. `from_env` honours the `COCOON_THREADS` environment variable
+//!   (falling back to [`std::thread::available_parallelism`]), so operators
+//!   can pin the pipeline to one thread (`COCOON_THREADS=1`) or oversubscribe.
+//! * [`ThreadPool::map_ordered`] — the workhorse: applies a function to every
+//!   item on up to `threads` scoped workers and returns the results **in
+//!   submission order**, regardless of which worker finished first. With one
+//!   thread (or one item) it degenerates to a plain sequential map on the
+//!   caller's stack — byte-identical behaviour, zero spawn overhead.
+//! * [`ThreadPool::install`] — rayon-parity convenience that runs a closure
+//!   "inside" the pool (hands it `&self` so nested stages reuse the policy).
+//!
+//! API contract for a future swap-back to rayon: `map_ordered(items, f)` is
+//! `pool.install(|| items.into_par_iter().map(f).collect())` — both preserve
+//! input order and propagate worker panics to the caller.
+//!
+//! Workers are scoped (`std::thread::scope`), so tasks may borrow from the
+//! caller's stack; no `'static` bounds, no channels, no unsafe. Worker
+//! panics propagate to the caller via `resume_unwind`, as rayon does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A parallelism policy: how many scoped workers a fan-out may use.
+///
+/// The handle is cheap (one integer); workers are spawned per
+/// [`map_ordered`](ThreadPool::map_ordered) call and joined before it
+/// returns, so a `ThreadPool` never owns background threads.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool using up to `threads` workers; 0 is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool { threads: threads.max(1) }
+    }
+
+    /// A pool sized from the environment: `COCOON_THREADS` if set to a
+    /// positive integer, else the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = parse_threads(std::env::var("COCOON_THREADS").ok().as_deref())
+            .unwrap_or_else(default_threads);
+        ThreadPool::new(threads)
+    }
+
+    /// Number of workers this pool may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when fan-outs run inline on the caller's thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Runs `f` with this pool as context (rayon's `install` shape).
+    pub fn install<R>(&self, f: impl FnOnce(&ThreadPool) -> R) -> R {
+        f(self)
+    }
+
+    /// Applies `f` to every item, using up to `threads` scoped workers, and
+    /// returns the results in submission order.
+    ///
+    /// Determinism contract: the result at index `i` is always `f(items[i])`.
+    /// Worker scheduling affects only wall-clock time, never output order.
+    /// A panic in `f` propagates to the caller after all workers stop
+    /// picking up new items.
+    pub fn map_ordered<T, R>(&self, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Each slot is taken exactly once by whichever worker claims its
+        // index from the shared counter; workers collect `(index, result)`
+        // locally and the caller re-sorts by index.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let slots = &slots;
+        let next = &next;
+        let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let item = slots[i]
+                                .lock()
+                                .expect("slot lock poisoned")
+                                .take()
+                                .expect("each slot is claimed exactly once");
+                            local.push((i, f(item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::from_env()
+    }
+}
+
+/// Parses a `COCOON_THREADS`-style override: a positive integer, or `None`
+/// for unset/invalid/zero values (which fall back to the machine default).
+pub fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pool_maps_inline() {
+        let pool = ThreadPool::new(1);
+        assert!(pool.is_sequential());
+        let out = pool.map_ordered(vec![1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_submission_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        // Uneven per-item work so completion order differs from submission
+        // order; the output must still be ordered by index.
+        let out = pool.map_ordered(items, |x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let pool = ThreadPool::new(3);
+        let base = [100, 200, 300];
+        let out = pool.map_ordered(vec![0usize, 1, 2], |i| base[i] + 1);
+        assert_eq!(out, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn same_output_at_one_and_many_threads() {
+        let items: Vec<usize> = (0..64).collect();
+        let seq = ThreadPool::new(1).map_ordered(items.clone(), |x| x * x);
+        let par = ThreadPool::new(8).map_ordered(items, |x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.map_ordered(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(pool.map_ordered(vec![5], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn install_passes_the_pool() {
+        let pool = ThreadPool::new(2);
+        let n = pool.install(|p| p.threads());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn parse_threads_contract() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("abc")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "task failed")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        pool.map_ordered(vec![1, 2, 3, 4], |x| {
+            if x == 3 {
+                panic!("task failed");
+            }
+            x
+        });
+    }
+}

@@ -54,6 +54,18 @@ pub struct CleanerConfig {
     /// is that statistics give the LLM context; turning this off degrades
     /// detection).
     pub statistical_context: bool,
+    /// Worker threads for the per-stage detection fan-out. `None` defers to
+    /// the `COCOON_THREADS` environment variable, falling back to the
+    /// machine's available parallelism.
+    ///
+    /// With a model whose answers are a pure function of the prompt
+    /// (`SimLlm`, `CachedLlm` over one) output is byte-identical at any
+    /// thread count — threads only trade wall-clock for cores. Models with
+    /// call-order state (`ScriptedLlm`'s positional script, a sampling API
+    /// backend) lose that guarantee above 1 thread, because concurrent
+    /// detection workers consume answers in completion order; pin
+    /// `threads: Some(1)` to script multi-column interactions.
+    pub threads: Option<usize>,
 }
 
 impl Default for CleanerConfig {
@@ -67,6 +79,7 @@ impl Default for CleanerConfig {
             uniqueness_review_threshold: 0.95,
             issues: IssueToggles::default(),
             statistical_context: true,
+            threads: None,
         }
     }
 }
@@ -76,6 +89,9 @@ impl CleanerConfig {
     pub fn validated(self) -> Result<Self> {
         if self.sample_size == 0 {
             return Err(CoreError::Config("sample_size must be positive".into()));
+        }
+        if self.threads == Some(0) {
+            return Err(CoreError::Config("threads must be positive when set".into()));
         }
         for (name, v) in [
             ("fd_min_strength", self.fd_min_strength),
@@ -137,6 +153,10 @@ mod tests {
         assert!(bad.validated().is_err());
         let bad = CleanerConfig { fd_min_strength: 1.5, ..CleanerConfig::default() };
         assert!(bad.validated().is_err());
+        let bad = CleanerConfig { threads: Some(0), ..CleanerConfig::default() };
+        assert!(bad.validated().is_err());
+        let ok = CleanerConfig { threads: Some(8), ..CleanerConfig::default() };
+        assert!(ok.validated().is_ok());
     }
 
     #[test]

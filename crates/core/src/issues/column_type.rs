@@ -5,47 +5,66 @@
 //! BOOLEAN); cleaning is a `CAST` — preceded, for numeric targets with
 //! non-numeric spellings ("1 hr. 30 min."), by a semantic value map
 //! (Appendix B).
+//!
+//! Detect phase (concurrent, per text column): type prompt → verdict →
+//! numeric-conversion map prefetch. Decide phase (sequential): hook review
+//! → cast compile → apply with the destructive-cast guard.
 
 use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values, restrict_mapping};
 use crate::decision::{Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_cleaning_map, parse_type_verdict, prompts};
 use cocoon_sql::Expr;
 use cocoon_table::{infer_column_type, DataType};
 
+struct Finding {
+    index: usize,
+    column: String,
+    evidence: String,
+    reasoning: String,
+    target: DataType,
+    /// Semantic numeric-conversion map ("1 hr. 30 min." → "90"), prefetched
+    /// for numeric targets whose census holds non-parsing values.
+    conversion_mapping: Vec<(String, String)>,
+    conversion_reasoning: String,
+}
+
+fn degraded(column: &str, err: &crate::error::CoreError) -> String {
+    format!("column-type review on {column:?} degraded to statistical-only: {err}")
+}
+
 /// Runs column-type review and casting over every text column.
 pub fn run(state: &mut PipelineState<'_>) {
-    for index in 0..state.table.width() {
-        let field = match state.table.schema().field(index) {
-            Ok(f) => f.clone(),
-            Err(_) => continue,
-        };
-        if field.data_type() != DataType::Text {
-            continue;
-        }
-        if let Err(err) = run_column(state, index, field.name()) {
-            state.note(format!(
-                "column-type review on {:?} degraded to statistical-only: {err}",
-                field.name()
-            ));
-        }
+    let outcomes = state.detect_columns(detect_column);
+    state.decide_outcomes(outcomes, decide, |finding, err| degraded(&finding.column, err));
+}
+
+fn detect_column(ctx: &DetectCtx<'_>, index: usize) -> Outcome<Finding> {
+    let Ok(field) = ctx.table.schema().field(index) else { return Outcome::Clean };
+    if field.data_type() != DataType::Text {
+        return Outcome::Clean;
+    }
+    let column = field.name().to_string();
+    match detect_inner(ctx, index, &column) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&column, &err)),
     }
 }
 
-fn run_column(
-    state: &mut PipelineState<'_>,
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
     index: usize,
     column: &str,
-) -> crate::error::Result<()> {
-    let census = state.census(index, 50);
+) -> crate::error::Result<Outcome<Finding>> {
+    let census = ctx.census(index, 50);
     if census.is_empty() {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
-    let inference = infer_column_type(state.table.column(index)?, state.config.type_tolerance);
-    let declared = state.table.schema().field(index)?.data_type();
+    let inference = infer_column_type(ctx.table.column(index)?, ctx.config.type_tolerance);
+    let declared = ctx.table.schema().field(index)?.data_type();
 
-    let response = state.ask(prompts::column_type(
+    let response = ctx.ask(prompts::column_type(
         column,
         declared.sql_name(),
         inference.data_type.sql_name(),
@@ -54,14 +73,13 @@ fn run_column(
     ))?;
     let verdict = parse_type_verdict(&response)?;
     let Some(target) = DataType::from_sql_name(&verdict.type_name) else {
-        state.note(format!(
+        return Ok(Outcome::Note(format!(
             "column-type review on {column:?} suggested unknown type {:?}",
             verdict.type_name
-        ));
-        return Ok(());
+        )));
     };
     if target == DataType::Text {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
     let evidence = format!(
         "declared {}, inferred {} at {:.0}% confidence",
@@ -69,52 +87,70 @@ fn run_column(
         inference.data_type.sql_name(),
         inference.confidence * 100.0
     );
+
+    // For numeric targets, values that don't parse as numbers first get a
+    // semantic numeric-conversion map (Appendix B: "1 hr. 30 min." → 90).
+    // The map must cover the column's full distinct census — the 50-value
+    // sample shown in the type prompt is not enough to cast every cell.
+    let mut conversion_mapping: Vec<(String, String)> = Vec::new();
+    let mut conversion_reasoning = String::new();
+    if target.is_numeric() {
+        let full_census = ctx.census(index, ctx.config.sample_size);
+        let failing: Vec<(String, usize)> =
+            full_census.iter().filter(|(v, _)| v.trim().parse::<f64>().is_err()).cloned().collect();
+        if !failing.is_empty() {
+            let response = ctx.ask(prompts::numeric_conversion(column, &failing))?;
+            let map = parse_cleaning_map(&response)?;
+            conversion_mapping = restrict_mapping(&map.mapping, &failing);
+            if !conversion_mapping.is_empty() {
+                conversion_reasoning = map.explanation;
+            }
+        }
+    }
+    Ok(Outcome::Finding(Finding {
+        index,
+        column: column.to_string(),
+        evidence,
+        reasoning: verdict.reasoning,
+        target,
+        conversion_mapping,
+        conversion_reasoning,
+    }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
+    let column = finding.column.as_str();
+    let target = finding.target;
     let detection = DetectionReview {
         issue: IssueKind::ColumnType,
         column: Some(column),
-        statistical_evidence: &evidence,
-        llm_reasoning: &verdict.reasoning,
+        statistical_evidence: &finding.evidence,
+        llm_reasoning: &finding.reasoning,
     };
     if state.hook.review_detection(&detection) == Decision::Reject {
         state.note(format!("column-type cast on {column:?} rejected by reviewer"));
         return Ok(());
     }
 
-    // For numeric targets, values that don't parse as numbers first get a
-    // semantic numeric-conversion map (Appendix B: "1 hr. 30 min." → 90).
-    // The map must cover the column's full distinct census — the 50-value
-    // sample shown in the type prompt is not enough to cast every cell.
-    let mut inner = Expr::col(column);
-    let mut conversion_reasoning = String::new();
-    if target.is_numeric() {
-        let full_census = state.census(index, state.config.sample_size);
-        let failing: Vec<(String, usize)> =
-            full_census.iter().filter(|(v, _)| v.trim().parse::<f64>().is_err()).cloned().collect();
-        if !failing.is_empty() {
-            let response = state.ask(prompts::numeric_conversion(column, &failing))?;
-            let map = parse_cleaning_map(&response)?;
-            let mapping = restrict_mapping(&map.mapping, &failing);
-            if !mapping.is_empty() {
-                inner = Expr::Case {
-                    operand: Some(Box::new(Expr::col(column))),
-                    arms: mapping_to_values(&mapping)
-                        .into_iter()
-                        .map(|(old, new)| (Expr::Literal(old), Expr::Literal(new)))
-                        .collect(),
-                    otherwise: Some(Box::new(Expr::col(column))),
-                };
-                conversion_reasoning = map.explanation;
-            }
+    let inner = if finding.conversion_mapping.is_empty() {
+        Expr::col(column)
+    } else {
+        Expr::Case {
+            operand: Some(Box::new(Expr::col(column))),
+            arms: mapping_to_values(&finding.conversion_mapping)
+                .into_iter()
+                .map(|(old, new)| (Expr::Literal(old), Expr::Literal(new)))
+                .collect(),
+            otherwise: Some(Box::new(Expr::col(column))),
         }
-    }
-
+    };
     let expr = Expr::try_cast(inner, target);
     let select = column_rewrite_select(&state.table, column, expr);
     let (table, changed) = apply_and_count(&select, &state.table)?;
     // A cast that empties the column means the suggestion was wrong; the
     // human-in-the-loop would reject it, and so do we.
-    let nulls_before = state.table.column(index)?.null_count();
-    let nulls_after = table.column(index)?.null_count();
+    let nulls_before = state.table.column(finding.index)?.null_count();
+    let nulls_after = table.column(finding.index)?.null_count();
     let non_null_before = state.table.height() - nulls_before;
     if non_null_before > 0 {
         let lost = nulls_after.saturating_sub(nulls_before);
@@ -130,8 +166,10 @@ fn run_column(
     state.ops.push(CleaningOp {
         issue: IssueKind::ColumnType,
         column: Some(column.to_string()),
-        statistical_evidence: evidence,
-        llm_reasoning: format!("{} {}", verdict.reasoning, conversion_reasoning).trim().to_string(),
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: format!("{} {}", finding.reasoning, finding.conversion_reasoning)
+            .trim()
+            .to_string(),
         sql: select,
         cells_changed: changed,
     });

@@ -3,42 +3,56 @@
 //! Statistical detection shows the column's values; the LLM identifies
 //! not-NULL values that semantically mean "missing" ("N/A", "null", "-");
 //! cleaning is `CASE WHEN … THEN NULL`.
+//!
+//! Detect phase (concurrent, per text column): census → DMV prompt → token
+//! filter. Decide phase (sequential): cleaning review → SQL compile → apply.
 
 use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values};
 use crate::decision::{CleaningReview, Decision};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_dmv_verdict, prompts};
 use cocoon_sql::{render_select, Expr};
 use cocoon_table::DataType;
 
+struct Finding {
+    column: String,
+    evidence: String,
+    reasoning: String,
+    /// token → "" (the Figure 3 convention: empty new value means NULL).
+    mapping: Vec<(String, String)>,
+}
+
+fn degraded(column: &str, err: &crate::error::CoreError) -> String {
+    format!("DMV detection on {column:?} degraded to statistical-only: {err}")
+}
+
 /// Runs DMV detection and cleaning over every text column.
 pub fn run(state: &mut PipelineState<'_>) {
-    for index in 0..state.table.width() {
-        let field = match state.table.schema().field(index) {
-            Ok(f) => f.clone(),
-            Err(_) => continue,
-        };
-        if field.data_type() != DataType::Text {
-            continue;
-        }
-        if let Err(err) = run_column(state, index, field.name()) {
-            state.note(format!(
-                "DMV detection on {:?} degraded to statistical-only: {err}",
-                field.name()
-            ));
-        }
+    let outcomes = state.detect_columns(detect_column);
+    state.decide_outcomes(outcomes, decide, |finding, err| degraded(&finding.column, err));
+}
+
+fn detect_column(ctx: &DetectCtx<'_>, index: usize) -> Outcome<Finding> {
+    let Ok(field) = ctx.table.schema().field(index) else { return Outcome::Clean };
+    if field.data_type() != DataType::Text {
+        return Outcome::Clean;
+    }
+    let column = field.name().to_string();
+    match detect_inner(ctx, index, &column) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&column, &err)),
     }
 }
 
-fn run_column(
-    state: &mut PipelineState<'_>,
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
     index: usize,
     column: &str,
-) -> crate::error::Result<()> {
-    let census = state.census(index, state.config.sample_size);
+) -> crate::error::Result<Outcome<Finding>> {
+    let census = ctx.census(index, ctx.config.sample_size);
     if census.is_empty() {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
     // Numeric share guides whether sentinel values (9999, -1) count as DMVs.
     let total: usize = census.iter().map(|(_, c)| c).sum();
@@ -46,26 +60,36 @@ fn run_column(
         census.iter().filter(|(v, _)| v.trim().parse::<f64>().is_ok()).map(|(_, c)| c).sum();
     let numeric_share = if total == 0 { 0.0 } else { numeric as f64 / total as f64 };
 
-    let response = state.ask(prompts::dmv_detect(column, &census, numeric_share))?;
+    let response = ctx.ask(prompts::dmv_detect(column, &census, numeric_share))?;
     let verdict = parse_dmv_verdict(&response)?;
     let tokens: Vec<String> =
         verdict.tokens.into_iter().filter(|t| census.iter().any(|(v, _)| v == t)).collect();
     if tokens.is_empty() {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
 
     let mapping: Vec<(String, String)> =
         tokens.iter().map(|t| (t.clone(), String::new())).collect();
-    let expr = Expr::value_map(column, &mapping_to_values(&mapping));
-    let select = column_rewrite_select(&state.table, column, expr);
-    let preview = render_select(&select);
     let evidence =
         format!("{} distinct values reviewed; numeric share {numeric_share:.2}", census.len());
+    Ok(Outcome::Finding(Finding {
+        column: column.to_string(),
+        evidence,
+        reasoning: verdict.reasoning,
+        mapping,
+    }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
+    let column = finding.column.as_str();
+    let expr = Expr::value_map(column, &mapping_to_values(&finding.mapping));
+    let select = column_rewrite_select(&state.table, column, expr);
+    let preview = render_select(&select);
     let review = CleaningReview {
         issue: IssueKind::DisguisedMissing,
         column: Some(column),
-        llm_explanation: &verdict.reasoning,
-        mapping: &mapping,
+        llm_explanation: &finding.reasoning,
+        mapping: &finding.mapping,
         sql_preview: &preview,
     };
     let mapping = match state.hook.review_cleaning(&review) {
@@ -74,7 +98,7 @@ fn run_column(
             return Ok(());
         }
         Decision::AdjustMapping(adjusted) => adjusted,
-        Decision::Approve => mapping,
+        Decision::Approve => finding.mapping.clone(),
     };
     let expr = Expr::value_map(column, &mapping_to_values(&mapping));
     let select = column_rewrite_select(&state.table, column, expr);
@@ -86,8 +110,8 @@ fn run_column(
     state.ops.push(CleaningOp {
         issue: IssueKind::DisguisedMissing,
         column: Some(column.to_string()),
-        statistical_evidence: evidence,
-        llm_reasoning: verdict.reasoning,
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: finding.reasoning.clone(),
         sql: select,
         cells_changed: changed,
     });

@@ -3,44 +3,74 @@
 //! Statistical detection finds exact duplicate rows; the LLM decides
 //! whether they are semantically acceptable (coarse-grained logging) or
 //! erroneous; cleaning is `SELECT DISTINCT`.
+//!
+//! The whole table is one detection unit, so the detect phase is a single
+//! read-only task; the decide phase reviews and applies as usual.
 
 use crate::apply::apply_and_count;
 use crate::decision::{Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_dup_verdict, prompts};
 use cocoon_profile::duplicate_profile;
 use cocoon_sql::Select;
 
+struct Finding {
+    evidence: String,
+    reasoning: String,
+}
+
 /// Runs duplicate-row review over the whole table.
 pub fn run(state: &mut PipelineState<'_>) {
-    if let Err(err) = run_inner(state) {
-        state.note(format!("duplication review degraded to statistical-only: {err}"));
+    let outcome = detect(&state.detect_ctx());
+    match outcome {
+        Outcome::Clean => {}
+        Outcome::Note(note) => state.note(note),
+        Outcome::Finding(finding) => {
+            if let Err(err) = decide(state, &finding) {
+                state.note(format!("duplication review degraded to statistical-only: {err}"));
+            }
+        }
     }
 }
 
-fn run_inner(state: &mut PipelineState<'_>) -> crate::error::Result<()> {
-    let profile = duplicate_profile(&state.table);
-    if profile.duplicate_rows == 0 {
-        return Ok(());
+fn detect(ctx: &DetectCtx<'_>) -> Outcome<Finding> {
+    match detect_inner(ctx) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            Outcome::Note(format!("duplication review degraded to statistical-only: {err}"))
+        }
     }
-    let columns: Vec<String> = state.table.schema().names().iter().map(|s| s.to_string()).collect();
+}
+
+fn detect_inner(ctx: &DetectCtx<'_>) -> crate::error::Result<Outcome<Finding>> {
+    let profile = duplicate_profile(ctx.table);
+    if profile.duplicate_rows == 0 {
+        return Ok(Outcome::Clean);
+    }
+    let columns: Vec<String> = ctx.table.schema().names().iter().map(|s| s.to_string()).collect();
     let response =
-        state.ask(prompts::duplication_review(profile.duplicate_rows, profile.rows, &columns))?;
+        ctx.ask(prompts::duplication_review(profile.duplicate_rows, profile.rows, &columns))?;
     let verdict = parse_dup_verdict(&response)?;
     let evidence = format!(
         "{} of {} rows are exact duplicates ({} groups)",
         profile.duplicate_rows, profile.rows, profile.duplicated_groups
     );
     if verdict.acceptable {
-        state.note(format!("duplicates kept as semantically acceptable: {}", verdict.reasoning));
-        return Ok(());
+        return Ok(Outcome::Note(format!(
+            "duplicates kept as semantically acceptable: {}",
+            verdict.reasoning
+        )));
     }
+    Ok(Outcome::Finding(Finding { evidence, reasoning: verdict.reasoning }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
     let detection = DetectionReview {
         issue: IssueKind::Duplication,
         column: None,
-        statistical_evidence: &evidence,
-        llm_reasoning: &verdict.reasoning,
+        statistical_evidence: &finding.evidence,
+        llm_reasoning: &finding.reasoning,
     };
     if state.hook.review_detection(&detection) == Decision::Reject {
         state.note("duplicate removal rejected by reviewer".to_string());
@@ -53,8 +83,8 @@ fn run_inner(state: &mut PipelineState<'_>) -> crate::error::Result<()> {
     state.ops.push(CleaningOp {
         issue: IssueKind::Duplication,
         column: None,
-        statistical_evidence: evidence,
-        llm_reasoning: verdict.reasoning,
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: finding.reasoning.clone(),
         sql: select,
         cells_changed: removed,
     });

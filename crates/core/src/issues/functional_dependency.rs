@@ -6,89 +6,217 @@
 //! Flights `flight → actual time` FD is the canonical rejection); for
 //! meaningful FDs the LLM maps each violating group's wrong values to the
 //! correct one, compiled to a group-scoped `CASE WHEN`.
+//!
+//! Detect phase (concurrent, per candidate pair): violating groups on the
+//! stage-entry snapshot → semantic FD review. Decide phase (sequential):
+//! because FD repairs can interact (one repair may fix — or create —
+//! another candidate's violations), groups are taken from the snapshot only
+//! while no repair has been applied yet; after the first applied repair
+//! each remaining candidate recomputes its groups against the live table,
+//! exactly as the sequential pipeline always did.
 
 use crate::apply::apply_and_count;
 use crate::decision::{CleaningReview, Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_cleaning_map, parse_fd_verdict, prompts};
-use cocoon_profile::{fd_candidates, fd_violating_groups};
+use cocoon_profile::{fd_violating_groups, FdCandidate, FdScan};
 use cocoon_sql::{render_select, Expr, Projection, Select};
-use cocoon_table::Value;
+use cocoon_table::{Table, Value};
+
+/// Rendered violating groups: `(lhs value, rhs census)` as prompt text.
+type GroupsText = Vec<(String, Vec<(String, usize)>)>;
+
+struct Finding {
+    lhs: usize,
+    rhs: usize,
+    lhs_name: String,
+    rhs_name: String,
+    strength: f64,
+    /// Semantic review prefetched on the snapshot: `(meaningful, reasoning)`.
+    /// `None` when the snapshot had no violating groups, so no review was
+    /// spent; the decide phase asks lazily in the rare case an earlier
+    /// repair has since created violations.
+    verdict: Option<(bool, String)>,
+    /// Violating-group count on the snapshot.
+    groups_len: usize,
+    /// Snapshot groups, fully rendered — only for meaningful verdicts (the
+    /// mapping step needs them); rejected candidates never pay the render.
+    groups: Option<GroupsText>,
+}
+
+fn degraded(err: &crate::error::CoreError) -> String {
+    format!("FD repair degraded to statistical-only: {err}")
+}
 
 /// Runs FD review and repair over the whole table.
 pub fn run(state: &mut PipelineState<'_>) {
-    let candidates =
-        fd_candidates(&state.table, state.config.fd_min_strength, state.config.fd_max_unique_ratio);
-    for candidate in candidates {
-        if let Err(err) = run_candidate(state, candidate.lhs, candidate.rhs, candidate.strength) {
-            state.note(format!("FD repair degraded to statistical-only: {err}"));
+    // One scan encodes every column once; candidate scoring and each
+    // detection worker's group extraction all reuse it. Scoped so the
+    // borrow of `state.table` ends before the decide phase mutates it.
+    let outcomes = {
+        let scan = FdScan::new(&state.table);
+        let candidates =
+            scan.candidates(state.config.fd_min_strength, state.config.fd_max_unique_ratio);
+        state.detect_map(candidates, |ctx, candidate| detect_candidate(ctx, &scan, candidate))
+    };
+    // Becomes true once a repair lands; later candidates then recompute
+    // their groups against the mutated table.
+    let mut table_changed = false;
+    for outcome in outcomes {
+        match outcome {
+            Outcome::Clean => {}
+            Outcome::Note(note) => state.note(note),
+            Outcome::Finding(finding) => match decide(state, &finding, table_changed) {
+                Ok(applied) => table_changed |= applied,
+                Err(err) => state.note(degraded(&err)),
+            },
         }
     }
 }
 
-fn run_candidate(
-    state: &mut PipelineState<'_>,
-    lhs: usize,
-    rhs: usize,
-    strength: f64,
-) -> crate::error::Result<()> {
-    let lhs_name = state.table.schema().field(lhs)?.name().to_string();
-    let rhs_name = state.table.schema().field(rhs)?.name().to_string();
-    let groups = {
-        let lhs_col = state.table.column(lhs)?;
-        let rhs_col = state.table.column(rhs)?;
-        fd_violating_groups(lhs_col.values(), rhs_col.values())
-    };
-    if groups.is_empty() {
-        return Ok(());
-    }
-    let groups_text: Vec<(String, Vec<(String, usize)>)> = groups
+fn groups_text_of(table: &Table, lhs: usize, rhs: usize) -> crate::error::Result<GroupsText> {
+    let lhs_col = table.column(lhs)?;
+    let rhs_col = table.column(rhs)?;
+    let groups = fd_violating_groups(lhs_col.values(), rhs_col.values());
+    Ok(groups
         .iter()
         .map(|(l, census)| (l.render(), census.iter().map(|(v, c)| (v.render(), *c)).collect()))
-        .collect();
+        .collect())
+}
 
-    // Semantic review of the FD itself.
-    let response = state.ask(prompts::fd_review(
-        &lhs_name,
-        &rhs_name,
-        strength,
-        groups.len(),
-        &groups_text[..groups_text.len().min(5)],
-    ))?;
-    let verdict = parse_fd_verdict(&response)?;
-    let evidence = format!("entropy strength {strength:.3}; {} violating groups", groups.len());
-    if !verdict.meaningful {
+fn detect_candidate(
+    ctx: &DetectCtx<'_>,
+    scan: &FdScan<'_>,
+    candidate: FdCandidate,
+) -> Outcome<Finding> {
+    match detect_inner(ctx, scan, &candidate) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&err)),
+    }
+}
+
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
+    scan: &FdScan<'_>,
+    candidate: &FdCandidate,
+) -> crate::error::Result<Outcome<Finding>> {
+    let lhs_name = ctx.table.schema().field(candidate.lhs)?.name().to_string();
+    let rhs_name = ctx.table.schema().field(candidate.rhs)?.name().to_string();
+    let groups = scan.violating_groups(candidate.lhs, candidate.rhs);
+    // No violations on the snapshot: no review to spend. The finding still
+    // reaches the decide phase, which re-checks against the live table.
+    let (verdict, rendered) = if groups.is_empty() {
+        (None, None)
+    } else {
+        let render = |(l, census): &(Value, Vec<(Value, usize)>)| {
+            (l.render(), census.iter().map(|(v, c)| (v.render(), *c)).collect::<Vec<_>>())
+        };
+        let head: GroupsText = groups.iter().take(5).map(render).collect();
+        let response = ctx.ask(prompts::fd_review(
+            &lhs_name,
+            &rhs_name,
+            candidate.strength,
+            groups.len(),
+            &head,
+        ))?;
+        let verdict = parse_fd_verdict(&response)?;
+        // The mapping step consumes the full rendered groups; only
+        // meaningful verdicts get there, so only they pay the render.
+        let rendered = verdict.meaningful.then(|| groups.iter().map(render).collect());
+        (Some((verdict.meaningful, verdict.reasoning)), rendered)
+    };
+    Ok(Outcome::Finding(Finding {
+        lhs: candidate.lhs,
+        rhs: candidate.rhs,
+        lhs_name,
+        rhs_name,
+        strength: candidate.strength,
+        verdict,
+        groups_len: groups.len(),
+        groups: rendered,
+    }))
+}
+
+/// Reviews and (when approved) repairs one candidate. Returns whether a
+/// repair was applied to the table.
+fn decide(
+    state: &mut PipelineState<'_>,
+    finding: &Finding,
+    table_changed: bool,
+) -> crate::error::Result<bool> {
+    let (lhs_name, rhs_name) = (finding.lhs_name.as_str(), finding.rhs_name.as_str());
+    // Snapshot groups stay valid until the first applied repair; after one,
+    // recompute against the live table.
+    let (groups_text, groups_len, meaningful, reasoning) = if table_changed {
+        let groups_text = groups_text_of(&state.table, finding.lhs, finding.rhs)?;
+        if groups_text.is_empty() {
+            return Ok(false);
+        }
+        let (meaningful, reasoning) = match &finding.verdict {
+            Some((meaningful, reasoning)) => (*meaningful, reasoning.clone()),
+            None => {
+                // An earlier repair created violations the snapshot didn't
+                // have; ask for the semantic review now, on live groups.
+                let response = state.ask(prompts::fd_review(
+                    lhs_name,
+                    rhs_name,
+                    finding.strength,
+                    groups_text.len(),
+                    &groups_text[..groups_text.len().min(5)],
+                ))?;
+                let verdict = parse_fd_verdict(&response)?;
+                (verdict.meaningful, verdict.reasoning)
+            }
+        };
+        let groups_len = groups_text.len();
+        (groups_text, groups_len, meaningful, reasoning)
+    } else {
+        if finding.groups_len == 0 {
+            return Ok(false);
+        }
+        let (meaningful, reasoning) =
+            finding.verdict.clone().expect("non-empty snapshot groups were reviewed");
+        // Rejected candidates never need the full render.
+        let groups_text = if meaningful {
+            finding.groups.clone().expect("meaningful finding carries rendered groups")
+        } else {
+            GroupsText::new()
+        };
+        (groups_text, finding.groups_len, meaningful, reasoning)
+    };
+    let evidence =
+        format!("entropy strength {:.3}; {} violating groups", finding.strength, groups_len);
+    if !meaningful {
         state.note(format!(
-            "FD {lhs_name} → {rhs_name} rejected as not semantically meaningful: {}",
-            verdict.reasoning
+            "FD {lhs_name} → {rhs_name} rejected as not semantically meaningful: {reasoning}"
         ));
-        return Ok(());
+        return Ok(false);
     }
     let detection = DetectionReview {
         issue: IssueKind::FunctionalDependency,
-        column: Some(&rhs_name),
+        column: Some(rhs_name),
         statistical_evidence: &evidence,
-        llm_reasoning: &verdict.reasoning,
+        llm_reasoning: &reasoning,
     };
     if state.hook.review_detection(&detection) == Decision::Reject {
         state.note(format!("FD {lhs_name} → {rhs_name} rejected by reviewer"));
-        return Ok(());
+        return Ok(false);
     }
 
     // Semantic cleaning: the LLM provides the correct mapping per group.
-    let response = state.ask(prompts::fd_mapping(&lhs_name, &rhs_name, &groups_text))?;
+    let response = state.ask(prompts::fd_mapping(lhs_name, rhs_name, &groups_text))?;
     let map = parse_cleaning_map(&response)?;
     if map.mapping.is_empty() {
-        return Ok(());
+        return Ok(false);
     }
 
     // Compile group-scoped CASE arms: a pair (old → new) applies only inside
     // groups that contain `old` and whose plurality value is `new`. Literals
     // are parsed back into the column's declared type so repairs keep
     // working after a CAST step retyped the column.
-    let lhs_type = state.table.schema().field(lhs)?.data_type();
-    let rhs_type = state.table.schema().field(rhs)?.data_type();
+    let lhs_type = state.table.schema().field(finding.lhs)?.data_type();
+    let rhs_type = state.table.schema().field(finding.rhs)?.data_type();
     let typed = |raw: &str, ty: cocoon_table::DataType| -> Value {
         let text = Value::Text(raw.to_string());
         text.cast(ty).unwrap_or(text)
@@ -105,17 +233,17 @@ fn run_candidate(
                 continue;
             }
             let condition = Expr::and(
-                Expr::eq(Expr::col(&lhs_name), Expr::Literal(typed(lhs_value, lhs_type))),
-                Expr::eq(Expr::col(&rhs_name), Expr::Literal(typed(old, rhs_type))),
+                Expr::eq(Expr::col(lhs_name), Expr::Literal(typed(lhs_value, lhs_type))),
+                Expr::eq(Expr::col(rhs_name), Expr::Literal(typed(old, rhs_type))),
             );
             arms.push((condition, Expr::Literal(typed(new, rhs_type))));
             pairs_for_review.push((old.clone(), new.clone()));
         }
     }
     if arms.is_empty() {
-        return Ok(());
+        return Ok(false);
     }
-    let expr = Expr::Case { operand: None, arms, otherwise: Some(Box::new(Expr::col(&rhs_name))) };
+    let expr = Expr::Case { operand: None, arms, otherwise: Some(Box::new(Expr::col(rhs_name))) };
     let projections = state
         .table
         .schema()
@@ -140,29 +268,29 @@ fn run_candidate(
     let preview = render_select(&select);
     let review = CleaningReview {
         issue: IssueKind::FunctionalDependency,
-        column: Some(&rhs_name),
+        column: Some(rhs_name),
         llm_explanation: &map.explanation,
         mapping: &pairs_for_review,
         sql_preview: &preview,
     };
     if state.hook.review_cleaning(&review) == Decision::Reject {
         state.note(format!("FD repair {lhs_name} → {rhs_name} rejected by reviewer"));
-        return Ok(());
+        return Ok(false);
     }
     let (table, changed) = apply_and_count(&select, &state.table)?;
     if changed == 0 {
-        return Ok(());
+        return Ok(false);
     }
     state.table = table;
     state.ops.push(CleaningOp {
         issue: IssueKind::FunctionalDependency,
-        column: Some(rhs_name.clone()),
+        column: Some(rhs_name.to_string()),
         statistical_evidence: format!("{lhs_name} → {rhs_name}: {evidence}"),
-        llm_reasoning: format!("{} {}", verdict.reasoning, map.explanation),
+        llm_reasoning: format!("{reasoning} {}", map.explanation),
         sql: select,
         cells_changed: changed,
     });
-    Ok(())
+    Ok(true)
 }
 
 #[cfg(test)]

@@ -3,45 +3,59 @@
 //! Statistical detection captures min/max (and quartiles); the LLM reviews
 //! the acceptable range semantically; cleaning thresholds with a
 //! `CASE WHEN` that nulls values outside the range.
+//!
+//! Runs after the column-type step (§2.1 ordering note: "Only when the
+//! column is cast … can we show the distribution for numeric outliers").
+//! Detect phase (concurrent, per numeric column): profile → range prompt →
+//! offender count. Decide phase (sequential): hook review → SQL → apply.
 
 use crate::apply::{apply_and_count, column_rewrite_select};
 use crate::decision::{Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_range_verdict, prompts};
 use cocoon_profile::numeric_profile;
 use cocoon_sql::{BinaryOp, Expr};
 
-/// Runs numeric-outlier review over every numeric column. Runs after the
-/// column-type step (§2.1 ordering note: "Only when the column is cast …
-/// can we show the distribution for numeric outliers").
+struct Finding {
+    column: String,
+    evidence: String,
+    reasoning: String,
+    low: Option<f64>,
+    high: Option<f64>,
+}
+
+fn degraded(column: &str, err: &crate::error::CoreError) -> String {
+    format!("numeric outliers on {column:?} degraded to statistical-only: {err}")
+}
+
+/// Runs numeric-outlier review over every numeric column.
 pub fn run(state: &mut PipelineState<'_>) {
-    for index in 0..state.table.width() {
-        let field = match state.table.schema().field(index) {
-            Ok(f) => f.clone(),
-            Err(_) => continue,
-        };
-        if !field.data_type().is_numeric() {
-            continue;
-        }
-        if let Err(err) = run_column(state, index, field.name()) {
-            state.note(format!(
-                "numeric outliers on {:?} degraded to statistical-only: {err}",
-                field.name()
-            ));
-        }
+    let outcomes = state.detect_columns(detect_column);
+    state.decide_outcomes(outcomes, decide, |finding, err| degraded(&finding.column, err));
+}
+
+fn detect_column(ctx: &DetectCtx<'_>, index: usize) -> Outcome<Finding> {
+    let Ok(field) = ctx.table.schema().field(index) else { return Outcome::Clean };
+    if !field.data_type().is_numeric() {
+        return Outcome::Clean;
+    }
+    let column = field.name().to_string();
+    match detect_inner(ctx, index, &column) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&column, &err)),
     }
 }
 
-fn run_column(
-    state: &mut PipelineState<'_>,
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
     index: usize,
     column: &str,
-) -> crate::error::Result<()> {
-    let Some(profile) = numeric_profile(state.table.column(index)?) else {
-        return Ok(());
+) -> crate::error::Result<Outcome<Finding>> {
+    let Some(profile) = numeric_profile(ctx.table.column(index)?) else {
+        return Ok(Outcome::Clean);
     };
-    let response = state.ask(prompts::numeric_range(
+    let response = ctx.ask(prompts::numeric_range(
         column,
         profile.stats.min,
         profile.stats.max,
@@ -51,11 +65,11 @@ fn run_column(
     let verdict = parse_range_verdict(&response)?;
     let (low, high) = (verdict.low, verdict.high);
     if low.is_none() && high.is_none() {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
 
     // Count offenders before committing to an op.
-    let offenders = state
+    let offenders = ctx
         .table
         .column(index)?
         .non_null()
@@ -63,7 +77,7 @@ fn run_column(
         .filter(|x| low.is_some_and(|l| *x < l) || high.is_some_and(|h| *x > h))
         .count();
     if offenders == 0 {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
     let evidence = format!(
         "observed range [{}, {}]; {} values outside accepted [{}, {}]",
@@ -73,11 +87,22 @@ fn run_column(
         low.map(|v| v.to_string()).unwrap_or_else(|| "-∞".into()),
         high.map(|v| v.to_string()).unwrap_or_else(|| "+∞".into()),
     );
+    Ok(Outcome::Finding(Finding {
+        column: column.to_string(),
+        evidence,
+        reasoning: verdict.reasoning,
+        low,
+        high,
+    }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
+    let column = finding.column.as_str();
     let detection = DetectionReview {
         issue: IssueKind::NumericOutliers,
         column: Some(column),
-        statistical_evidence: &evidence,
-        llm_reasoning: &verdict.reasoning,
+        statistical_evidence: &finding.evidence,
+        llm_reasoning: &finding.reasoning,
     };
     if state.hook.review_detection(&detection) == Decision::Reject {
         state.note(format!("numeric outliers on {column:?} rejected by reviewer"));
@@ -86,10 +111,10 @@ fn run_column(
 
     // CASE WHEN col < low OR col > high THEN NULL ELSE col END
     let mut condition: Option<Expr> = None;
-    if let Some(l) = low {
+    if let Some(l) = finding.low {
         condition = Some(Expr::binary(BinaryOp::Lt, Expr::col(column), Expr::lit(l)));
     }
-    if let Some(h) = high {
+    if let Some(h) = finding.high {
         let gt = Expr::binary(BinaryOp::Gt, Expr::col(column), Expr::lit(h));
         condition = Some(match condition {
             Some(c) => Expr::or(c, gt),
@@ -110,8 +135,8 @@ fn run_column(
     state.ops.push(CleaningOp {
         issue: IssueKind::NumericOutliers,
         column: Some(column.to_string()),
-        statistical_evidence: evidence,
-        llm_reasoning: verdict.reasoning,
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: finding.reasoning.clone(),
         sql: select,
         cells_changed: changed,
     });

@@ -4,44 +4,59 @@
 //! the LLM reviews the shapes, proposes meaningful patterns (verified here
 //! against the data, the paper's "verify them with SQL"), and supplies
 //! regex transformations; cleaning compiles to nested `REGEXP_REPLACE`.
+//!
+//! Detect phase (concurrent, per text column): shape census → review prompt
+//! → pattern verification. Decide phase (sequential): hook review → SQL
+//! compile → apply.
 
 use crate::apply::{apply_and_count, column_rewrite_select};
 use crate::decision::{Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_pattern_plan, prompts};
 use cocoon_pattern::Regex;
 use cocoon_profile::pattern_census;
 use cocoon_sql::Expr;
 use cocoon_table::DataType;
 
+struct Finding {
+    column: String,
+    evidence: String,
+    reasoning: String,
+    /// (pattern, replacement) pairs, all verified to compile.
+    transforms: Vec<(String, String)>,
+}
+
+fn degraded(column: &str, err: &crate::error::CoreError) -> String {
+    format!("pattern outliers on {column:?} degraded to statistical-only: {err}")
+}
+
 /// Runs pattern-outlier detection and cleaning over every text column.
 pub fn run(state: &mut PipelineState<'_>) {
-    for index in 0..state.table.width() {
-        let field = match state.table.schema().field(index) {
-            Ok(f) => f.clone(),
-            Err(_) => continue,
-        };
-        if field.data_type() != DataType::Text {
-            continue;
-        }
-        if let Err(err) = run_column(state, index, field.name()) {
-            state.note(format!(
-                "pattern outliers on {:?} degraded to statistical-only: {err}",
-                field.name()
-            ));
-        }
+    let outcomes = state.detect_columns(detect_column);
+    state.decide_outcomes(outcomes, decide, |finding, err| degraded(&finding.column, err));
+}
+
+fn detect_column(ctx: &DetectCtx<'_>, index: usize) -> Outcome<Finding> {
+    let Ok(field) = ctx.table.schema().field(index) else { return Outcome::Clean };
+    if field.data_type() != DataType::Text {
+        return Outcome::Clean;
+    }
+    let column = field.name().to_string();
+    match detect_inner(ctx, index, &column) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&column, &err)),
     }
 }
 
-fn run_column(
-    state: &mut PipelineState<'_>,
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
     index: usize,
     column: &str,
-) -> crate::error::Result<()> {
-    let census = pattern_census(state.table.column(index)?, true);
+) -> crate::error::Result<Outcome<Finding>> {
+    let census = pattern_census(ctx.table.column(index)?, true);
     if census.buckets.len() < 2 {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
     let buckets: Vec<(String, usize, Vec<String>)> = census
         .buckets
@@ -50,13 +65,13 @@ fn run_column(
         .map(|b| (b.pattern.clone(), b.count, b.examples.clone()))
         .collect();
 
-    let response = state.ask(prompts::pattern_review(column, &buckets))?;
+    let response = ctx.ask(prompts::pattern_review(column, &buckets))?;
     let plan = parse_pattern_plan(&response)?;
 
     // Verify the proposed patterns against the data ("verify them with
     // SQL"): each must compile, and together they should cover most values.
     let compiled: Vec<Regex> = plan.patterns.iter().filter_map(|p| Regex::new(p).ok()).collect();
-    let distinct = state.census(index, state.config.sample_size);
+    let distinct = ctx.census(index, ctx.config.sample_size);
     let covered =
         distinct.iter().filter(|(v, _)| compiled.iter().any(|re| re.full_match(v))).count();
     let evidence = format!(
@@ -68,29 +83,39 @@ fn run_column(
     );
 
     if !plan.inconsistent || plan.transforms.is_empty() {
-        return Ok(());
-    }
-    let detection = DetectionReview {
-        issue: IssueKind::PatternOutliers,
-        column: Some(column),
-        statistical_evidence: &evidence,
-        llm_reasoning: &plan.reasoning,
-    };
-    if state.hook.review_detection(&detection) == Decision::Reject {
-        state.note(format!("pattern outliers on {column:?} rejected by reviewer"));
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
 
     // Validate transforms compile before emitting SQL.
     let valid_transforms: Vec<(String, String)> =
         plan.transforms.iter().filter(|(p, _)| Regex::new(p).is_ok()).cloned().collect();
     if valid_transforms.is_empty() {
+        return Ok(Outcome::Clean);
+    }
+    Ok(Outcome::Finding(Finding {
+        column: column.to_string(),
+        evidence,
+        reasoning: plan.reasoning,
+        transforms: valid_transforms,
+    }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
+    let column = finding.column.as_str();
+    let detection = DetectionReview {
+        issue: IssueKind::PatternOutliers,
+        column: Some(column),
+        statistical_evidence: &finding.evidence,
+        llm_reasoning: &finding.reasoning,
+    };
+    if state.hook.review_detection(&detection) == Decision::Reject {
+        state.note(format!("pattern outliers on {column:?} rejected by reviewer"));
         return Ok(());
     }
 
     // expr = REGEXP_REPLACE(…(REGEXP_REPLACE(col, p1, r1))…, pn, rn)
     let mut expr = Expr::col(column);
-    for (pattern, replacement) in &valid_transforms {
+    for (pattern, replacement) in &finding.transforms {
         expr = Expr::func(
             "REGEXP_REPLACE",
             vec![expr, Expr::lit(pattern.as_str()), Expr::lit(replacement.as_str())],
@@ -105,8 +130,8 @@ fn run_column(
     state.ops.push(CleaningOp {
         issue: IssueKind::PatternOutliers,
         column: Some(column.to_string()),
-        statistical_evidence: evidence,
-        llm_reasoning: plan.reasoning,
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: finding.reasoning.clone(),
         sql: select,
         cells_changed: changed,
     });

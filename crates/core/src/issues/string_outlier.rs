@@ -2,94 +2,129 @@
 //!
 //! Statistical detection samples the most frequent distinct values (default
 //! 1000); semantic detection is the Figure 2 prompt; semantic cleaning is
-//! the Figure 3 prompt, batched; the repair compiles to a `CASE WHEN` value
-//! map.
+//! the Figure 3 prompt, sent as one batch per column; the repair compiles to
+//! a `CASE WHEN` value map.
+//!
+//! Detect phase (concurrent, per text column): census → detect prompt →
+//! cleaning-map prompts, prefetched via
+//! [`cocoon_llm::ChatModel::complete_batch`] so a batching backend amortises
+//! them. Decide phase (sequential): hook reviews → SQL compile → apply.
 
 use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values, restrict_mapping};
 use crate::decision::{CleaningReview, Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::prompts;
 use cocoon_llm::{parse_cleaning_map, parse_detect_verdict};
 use cocoon_profile::batches;
 use cocoon_sql::{render_select, Expr};
 use cocoon_table::DataType;
 
+/// A column flagged by detection, carrying everything the decide phase
+/// needs: evidence, reasoning, and the prefetched cleaning map.
+struct Finding {
+    column: String,
+    evidence: String,
+    reasoning: String,
+    explanations: Vec<String>,
+    mapping: Vec<(String, String)>,
+}
+
+fn degraded(column: &str, err: &crate::error::CoreError) -> String {
+    format!("string outliers on {column:?} degraded to statistical-only: {err}")
+}
+
 /// Runs string-outlier detection and cleaning over every text column.
 pub fn run(state: &mut PipelineState<'_>) {
-    for index in 0..state.table.width() {
-        let field = match state.table.schema().field(index) {
-            Ok(f) => f.clone(),
-            Err(_) => continue,
-        };
-        if field.data_type() != DataType::Text {
-            continue;
-        }
-        if let Err(err) = run_column(state, index, field.name()) {
-            state.note(format!(
-                "string outliers on {:?} degraded to statistical-only: {err}",
-                field.name()
-            ));
-        }
+    let outcomes = state.detect_columns(detect_column);
+    state.decide_outcomes(outcomes, decide, |finding, err| degraded(&finding.column, err));
+}
+
+fn detect_column(ctx: &DetectCtx<'_>, index: usize) -> Outcome<Finding> {
+    let Ok(field) = ctx.table.schema().field(index) else { return Outcome::Clean };
+    if field.data_type() != DataType::Text {
+        return Outcome::Clean;
+    }
+    let column = field.name().to_string();
+    match detect_inner(ctx, index, &column) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&column, &err)),
     }
 }
 
-fn run_column(
-    state: &mut PipelineState<'_>,
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
     index: usize,
     column: &str,
-) -> crate::error::Result<()> {
-    let census = state.census(index, state.config.sample_size);
+) -> crate::error::Result<Outcome<Finding>> {
+    let census = ctx.census(index, ctx.config.sample_size);
     if census.len() < 2 {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
 
     // Semantic detection (Figure 2).
-    let response = state.ask(prompts::string_outliers_detect(column, &census))?;
+    let response = ctx.ask(prompts::string_outliers_detect(column, &census))?;
     let verdict = parse_detect_verdict(&response)?;
     if !verdict.unusual {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
     let evidence = format!(
         "{} distinct values sampled by frequency (top {})",
         census.len(),
-        state.config.sample_size
+        ctx.config.sample_size
     );
+
+    // Semantic cleaning (Figure 3): all value batches prefetched as one
+    // model batch, so the decide phase needs no further completions.
+    let value_batches = batches(&census, ctx.config.batch_size);
+    let clean_prompts: Vec<String> = value_batches
+        .iter()
+        .map(|batch| prompts::string_outliers_clean(column, &verdict.summary, batch))
+        .collect();
+    let responses = ctx.ask_batch(clean_prompts);
+    let mut mapping: Vec<(String, String)> = Vec::new();
+    let mut explanations: Vec<String> = Vec::new();
+    for (batch, response) in value_batches.iter().zip(responses) {
+        let map = parse_cleaning_map(&response?)?;
+        if !map.explanation.is_empty() {
+            explanations.push(map.explanation.clone());
+        }
+        mapping.extend(restrict_mapping(&map.mapping, batch));
+    }
+    if mapping.is_empty() {
+        return Ok(Outcome::Clean);
+    }
+    Ok(Outcome::Finding(Finding {
+        column: column.to_string(),
+        evidence,
+        reasoning: verdict.reasoning,
+        explanations,
+        mapping,
+    }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
+    let column = finding.column.as_str();
     let detection = DetectionReview {
         issue: IssueKind::StringOutliers,
         column: Some(column),
-        statistical_evidence: &evidence,
-        llm_reasoning: &verdict.reasoning,
+        statistical_evidence: &finding.evidence,
+        llm_reasoning: &finding.reasoning,
     };
     if state.hook.review_detection(&detection) == Decision::Reject {
         state.note(format!("string outliers on {column:?} rejected by reviewer"));
         return Ok(());
     }
 
-    // Semantic cleaning (Figure 3), one batch of values at a time.
-    let mut mapping: Vec<(String, String)> = Vec::new();
-    let mut explanations: Vec<String> = Vec::new();
-    for batch in batches(&census, state.config.batch_size) {
-        let response =
-            state.ask(prompts::string_outliers_clean(column, &verdict.summary, &batch))?;
-        let map = parse_cleaning_map(&response)?;
-        if !map.explanation.is_empty() {
-            explanations.push(map.explanation.clone());
-        }
-        mapping.extend(restrict_mapping(&map.mapping, &batch));
-    }
-    if mapping.is_empty() {
-        return Ok(());
-    }
-
-    let expr = Expr::value_map(column, &mapping_to_values(&mapping));
+    let expr = Expr::value_map(column, &mapping_to_values(&finding.mapping));
     let select = column_rewrite_select(&state.table, column, expr);
     let preview = render_select(&select);
+    let explanation = finding.explanations.join(" ");
     let review = CleaningReview {
         issue: IssueKind::StringOutliers,
         column: Some(column),
-        llm_explanation: &explanations.join(" "),
-        mapping: &mapping,
+        llm_explanation: &explanation,
+        mapping: &finding.mapping,
         sql_preview: &preview,
     };
     let mapping = match state.hook.review_cleaning(&review) {
@@ -98,7 +133,7 @@ fn run_column(
             return Ok(());
         }
         Decision::AdjustMapping(adjusted) => adjusted,
-        Decision::Approve => mapping,
+        Decision::Approve => finding.mapping.clone(),
     };
     let expr = Expr::value_map(column, &mapping_to_values(&mapping));
     let select = column_rewrite_select(&state.table, column, expr);
@@ -110,8 +145,8 @@ fn run_column(
     state.ops.push(CleaningOp {
         issue: IssueKind::StringOutliers,
         column: Some(column.to_string()),
-        statistical_evidence: evidence,
-        llm_reasoning: format!("{} {}", verdict.reasoning, explanations.join(" ")),
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: format!("{} {}", finding.reasoning, explanation),
         sql: select,
         cells_changed: changed,
     });
@@ -209,5 +244,18 @@ mod tests {
         run(&mut state);
         assert!(state.ops.is_empty());
         assert_eq!(state.table.cell(0, 0).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn detection_is_identical_across_thread_counts() {
+        let run_at = |threads: usize| {
+            let llm = SimLlm::new();
+            let config = CleanerConfig { threads: Some(threads), ..CleanerConfig::default() };
+            let mut hook = AutoApprove;
+            let mut state = PipelineState::new(rayyan_like(), &llm, &config, &mut hook);
+            run(&mut state);
+            (state.table, state.ops.len(), state.notes)
+        };
+        assert_eq!(run_at(1), run_at(8));
     }
 }

@@ -4,60 +4,85 @@
 //! whether a nearly-unique column should be unique semantically (a primary
 //! key), and names a column that prioritises which record survives;
 //! cleaning is a `ROW_NUMBER()` window filter.
+//!
+//! Detect phase (concurrent, per column): uniqueness profile → review
+//! prompt. Decide phase (sequential): hook review → window filter → apply.
+//! Dedup drops rows, so the filter is always applied against the live
+//! table; a `removed == 0` apply (rows already gone) is a no-op.
 
 use crate::apply::apply_and_count;
 use crate::decision::{Decision, DetectionReview};
 use crate::ops::{CleaningOp, IssueKind};
-use crate::state::PipelineState;
+use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_unique_verdict, prompts};
 use cocoon_profile::uniqueness_profile;
 use cocoon_sql::{Expr, Projection, RowNumberFilter, Select, SortOrder};
 
+struct Finding {
+    column: String,
+    evidence: String,
+    reasoning: String,
+    order_by: Option<String>,
+}
+
+fn degraded(column: &str, err: &crate::error::CoreError) -> String {
+    format!("uniqueness review on {column:?} degraded to statistical-only: {err}")
+}
+
 /// Runs uniqueness review over every nearly-unique column.
 pub fn run(state: &mut PipelineState<'_>) {
-    for index in 0..state.table.width() {
-        let field = match state.table.schema().field(index) {
-            Ok(f) => f.clone(),
-            Err(_) => continue,
-        };
-        if let Err(err) = run_column(state, index, field.name()) {
-            state.note(format!(
-                "uniqueness review on {:?} degraded to statistical-only: {err}",
-                field.name()
-            ));
-        }
+    let outcomes = state.detect_columns(detect_column);
+    state.decide_outcomes(outcomes, decide, |finding, err| degraded(&finding.column, err));
+}
+
+fn detect_column(ctx: &DetectCtx<'_>, index: usize) -> Outcome<Finding> {
+    let Ok(field) = ctx.table.schema().field(index) else { return Outcome::Clean };
+    let column = field.name().to_string();
+    match detect_inner(ctx, index, &column) {
+        Ok(outcome) => outcome,
+        Err(err) => Outcome::Note(degraded(&column, &err)),
     }
 }
 
-fn run_column(
-    state: &mut PipelineState<'_>,
+fn detect_inner(
+    ctx: &DetectCtx<'_>,
     index: usize,
     column: &str,
-) -> crate::error::Result<()> {
-    let profile = uniqueness_profile(state.table.column(index)?);
+) -> crate::error::Result<Outcome<Finding>> {
+    let profile = uniqueness_profile(ctx.table.column(index)?);
     // Only nearly-unique-but-not-unique columns are worth reviewing: fully
     // unique columns need no repair, low-ratio columns aren't keys.
-    if profile.unique_ratio < state.config.uniqueness_review_threshold
+    if profile.unique_ratio < ctx.config.uniqueness_review_threshold
         || profile.duplicated_values.is_empty()
     {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
-    let columns: Vec<String> = state.table.schema().names().iter().map(|s| s.to_string()).collect();
-    let response = state.ask(prompts::uniqueness_review(column, profile.unique_ratio, &columns))?;
+    let columns: Vec<String> = ctx.table.schema().names().iter().map(|s| s.to_string()).collect();
+    let response = ctx.ask(prompts::uniqueness_review(column, profile.unique_ratio, &columns))?;
     let verdict = parse_unique_verdict(&response)?;
     if !verdict.should_be_unique {
-        return Ok(());
+        return Ok(Outcome::Clean);
     }
     let evidence = format!(
         "unique ratio {:.4}; {} duplicated values",
         profile.unique_ratio,
         profile.duplicated_values.len()
     );
+    Ok(Outcome::Finding(Finding {
+        column: column.to_string(),
+        evidence,
+        reasoning: verdict.reasoning,
+        order_by: verdict.order_by,
+    }))
+}
+
+fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
+    let column = finding.column.as_str();
     let detection = DetectionReview {
         issue: IssueKind::Uniqueness,
         column: Some(column),
-        statistical_evidence: &evidence,
-        llm_reasoning: &verdict.reasoning,
+        statistical_evidence: &finding.evidence,
+        llm_reasoning: &finding.reasoning,
     };
     if state.hook.review_detection(&detection) == Decision::Reject {
         state.note(format!("uniqueness dedup on {column:?} rejected by reviewer"));
@@ -65,7 +90,7 @@ fn run_column(
     }
     // Window: keep the best row per key, ordered by the LLM-chosen column
     // (latest first) when available, else the first row.
-    let order_by = verdict
+    let order_by = finding
         .order_by
         .as_deref()
         .filter(|c| state.table.schema().contains(c))
@@ -87,8 +112,8 @@ fn run_column(
     state.ops.push(CleaningOp {
         issue: IssueKind::Uniqueness,
         column: Some(column.to_string()),
-        statistical_evidence: evidence,
-        llm_reasoning: verdict.reasoning,
+        statistical_evidence: finding.evidence.clone(),
+        llm_reasoning: finding.reasoning.clone(),
         sql: select,
         cells_changed: removed,
     });

@@ -48,3 +48,4 @@ pub use error::{CoreError, Result};
 pub use ops::{CleaningOp, IssueKind};
 pub use pipeline::{Cleaner, CleaningRun, STAGE_ORDER};
 pub use report::{full_report, issue_summary, workflow_trace};
+pub use state::{DetectCtx, PipelineState};

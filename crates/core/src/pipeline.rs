@@ -7,6 +7,14 @@
 //! outliers (typos must be fixed before patterns can be read, patterns
 //! before casts, casts before numeric distributions); whole-table issues
 //! run afterwards: functional dependencies → duplication → uniqueness.
+//!
+//! Stages execute in that fixed order, but inside each stage detection is
+//! a concurrent fan-out across columns (the paper's hosted deployment
+//! issues per-issue prompts concurrently); decisions and applies stay
+//! sequential, so with a prompt-deterministic model a [`CleaningRun`] is
+//! byte-identical at any thread count ([`CleanerConfig::threads`] spells
+//! out the precondition). See [`crate::state`] for the detect/decide model
+//! and [`CleanerConfig::threads`] / `COCOON_THREADS` for the worker policy.
 
 use crate::config::CleanerConfig;
 use crate::decision::{AutoApprove, DecisionHook};

@@ -1,4 +1,20 @@
-//! Mutable pipeline state threaded through the issue modules.
+//! Pipeline state and the detect/decide execution model.
+//!
+//! Every issue stage is split in two:
+//!
+//! * a **detect** phase — read-only against the table as it stood when the
+//!   stage began. Each unit of detection (a column, an FD candidate) runs
+//!   as an independent task on the stage's thread pool; tasks profile,
+//!   prompt the LLM, and assemble candidate [findings](Outcome::Finding).
+//!   Results come back in submission order, so output never depends on
+//!   worker scheduling.
+//! * a **decide** phase — sequential and ordered. Findings pass through the
+//!   [`DecisionHook`] reviews, compile to SQL, and are applied one at a
+//!   time; `ops` and `notes` record them in deterministic order.
+//!
+//! [`PipelineState`] is the mutable half threaded through the decide
+//! phases; [`DetectCtx`] is the shared read-only view handed to detection
+//! workers.
 
 use crate::config::CleanerConfig;
 use crate::decision::DecisionHook;
@@ -6,33 +22,32 @@ use crate::error::Result;
 use crate::ops::CleaningOp;
 use cocoon_llm::{ChatModel, ChatRequest};
 use cocoon_table::Table;
+use threadpool::ThreadPool;
 
-/// State shared by all issue steps while a table is being cleaned.
-pub struct PipelineState<'a> {
-    /// The table, progressively rewritten by each applied op.
-    pub table: Table,
+/// Read-only view for concurrent detection: the stage-entry table, the
+/// (thread-safe) model, and the configuration. Cheap to share by reference
+/// across detection workers.
+pub struct DetectCtx<'a> {
+    pub table: &'a Table,
     pub llm: &'a dyn ChatModel,
     pub config: &'a CleanerConfig,
-    pub hook: &'a mut dyn DecisionHook,
-    /// Applied operations, in order.
-    pub ops: Vec<CleaningOp>,
-    /// Narrative notes: rejected FDs, skipped steps, LLM failures.
-    pub notes: Vec<String>,
 }
 
-impl<'a> PipelineState<'a> {
-    pub fn new(
-        table: Table,
-        llm: &'a dyn ChatModel,
-        config: &'a CleanerConfig,
-        hook: &'a mut dyn DecisionHook,
-    ) -> Self {
-        PipelineState { table, llm, config, hook, ops: Vec::new(), notes: Vec::new() }
-    }
-
+impl DetectCtx<'_> {
     /// Sends a prompt and returns the completion text.
     pub fn ask(&self, prompt: String) -> Result<String> {
         Ok(self.llm.complete(&ChatRequest::simple(prompt))?.content)
+    }
+
+    /// Sends a batch of prompts through [`ChatModel::complete_batch`] so
+    /// batching-capable backends (caches, hosted APIs) see the whole set.
+    pub fn ask_batch(&self, prompts: Vec<String>) -> Vec<Result<String>> {
+        let requests: Vec<ChatRequest> = prompts.into_iter().map(ChatRequest::simple).collect();
+        self.llm
+            .complete_batch(&requests)
+            .into_iter()
+            .map(|r| r.map(|resp| resp.content).map_err(Into::into))
+            .collect()
     }
 
     /// Distinct-value census of a column (rendered text, ordered by
@@ -57,6 +72,113 @@ impl<'a> PipelineState<'a> {
             out.sort_by(|a, b| a.0.cmp(&b.0));
         }
         out
+    }
+}
+
+/// What one read-only detection unit concluded, queued for the decide phase.
+pub(crate) enum Outcome<F> {
+    /// Nothing to report.
+    Clean,
+    /// No finding, but a note for the run report (degraded step, FD judged
+    /// not meaningful, unknown type suggestion).
+    Note(String),
+    /// A candidate finding awaiting review and application.
+    Finding(F),
+}
+
+/// State shared by all issue steps while a table is being cleaned.
+pub struct PipelineState<'a> {
+    /// The table, progressively rewritten by each applied op.
+    pub table: Table,
+    pub llm: &'a dyn ChatModel,
+    pub config: &'a CleanerConfig,
+    pub hook: &'a mut dyn DecisionHook,
+    /// Worker policy for the per-stage detection fan-out.
+    pub pool: ThreadPool,
+    /// Applied operations, in order.
+    pub ops: Vec<CleaningOp>,
+    /// Narrative notes: rejected FDs, skipped steps, LLM failures.
+    pub notes: Vec<String>,
+}
+
+impl<'a> PipelineState<'a> {
+    pub fn new(
+        table: Table,
+        llm: &'a dyn ChatModel,
+        config: &'a CleanerConfig,
+        hook: &'a mut dyn DecisionHook,
+    ) -> Self {
+        let pool = match config.threads {
+            Some(n) => ThreadPool::new(n),
+            None => ThreadPool::from_env(),
+        };
+        PipelineState { table, llm, config, hook, pool, ops: Vec::new(), notes: Vec::new() }
+    }
+
+    /// The read-only view detection workers receive. Borrows the *current*
+    /// table: stages construct it once, before their decide phase mutates
+    /// anything, so every detection unit of a stage sees the same snapshot.
+    pub fn detect_ctx(&self) -> DetectCtx<'_> {
+        DetectCtx { table: &self.table, llm: self.llm, config: self.config }
+    }
+
+    /// Fans `detect` out over `items` on the stage pool and returns the
+    /// outcomes in submission order (the determinism contract: outcome `i`
+    /// is always `detect(ctx, items[i])`, whatever the thread count).
+    pub(crate) fn detect_map<T, R>(
+        &self,
+        items: Vec<T>,
+        detect: impl Fn(&DetectCtx<'_>, T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let ctx = self.detect_ctx();
+        self.pool.map_ordered(items, |item| detect(&ctx, item))
+    }
+
+    /// Fans a per-column detection function out across every column.
+    pub(crate) fn detect_columns<R: Send>(
+        &self,
+        detect: impl Fn(&DetectCtx<'_>, usize) -> R + Sync,
+    ) -> Vec<R> {
+        self.detect_map((0..self.table.width()).collect(), detect)
+    }
+
+    /// The decide phase shared by the per-column stages: outcomes are
+    /// consumed in detection order, notes pass straight through, findings
+    /// go to `decide`, and a decide-phase error degrades the finding to
+    /// the stage's note via `degraded_note`. (FD and duplication keep
+    /// bespoke loops — cross-finding state and single-unit detection.)
+    pub(crate) fn decide_outcomes<F>(
+        &mut self,
+        outcomes: Vec<Outcome<F>>,
+        mut decide: impl FnMut(&mut Self, &F) -> Result<()>,
+        degraded_note: impl Fn(&F, &crate::error::CoreError) -> String,
+    ) {
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Clean => {}
+                Outcome::Note(note) => self.note(note),
+                Outcome::Finding(finding) => {
+                    if let Err(err) = decide(self, &finding) {
+                        self.note(degraded_note(&finding, &err));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a prompt and returns the completion text (decide-phase calls;
+    /// detection workers use [`DetectCtx::ask`]).
+    pub fn ask(&self, prompt: String) -> Result<String> {
+        Ok(self.llm.complete(&ChatRequest::simple(prompt))?.content)
+    }
+
+    /// Distinct-value census of a column; see [`DetectCtx::census`].
+    pub fn census(&self, column_index: usize, limit: usize) -> Vec<(String, usize)> {
+        self.detect_ctx().census(column_index, limit)
     }
 
     /// Records a note for the run report.
@@ -95,5 +217,39 @@ mod tests {
         let state = PipelineState::new(table(), &llm, &config, &mut hook);
         let census = state.census(0, 10);
         assert!(census.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn pool_size_follows_config() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig { threads: Some(3), ..CleanerConfig::default() };
+        let mut hook = AutoApprove;
+        let state = PipelineState::new(table(), &llm, &config, &mut hook);
+        assert_eq!(state.pool.threads(), 3);
+    }
+
+    #[test]
+    fn detect_map_orders_results_at_any_thread_count() {
+        let llm = SimLlm::new();
+        let mut hook = AutoApprove;
+        for threads in [1usize, 8] {
+            let config = CleanerConfig { threads: Some(threads), ..CleanerConfig::default() };
+            let state = PipelineState::new(table(), &llm, &config, &mut hook);
+            let out = state.detect_map((0..32).collect::<Vec<usize>>(), |_, i| i * 2);
+            assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn detect_ctx_batch_ask() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let state = PipelineState::new(table(), &llm, &config, &mut hook);
+        let ctx = state.detect_ctx();
+        // SimLlm rejects free-form prompts: each slot carries its own error.
+        let out = ctx.ask_batch(vec!["p1".into(), "p2".into()]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.is_err()));
     }
 }

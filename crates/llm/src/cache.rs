@@ -1,0 +1,222 @@
+//! `CachedLlm` — a completion cache keyed on prompt hash.
+//!
+//! The paper's hosted deployment re-cleans the same tables as users iterate;
+//! every re-clean replays the same prompts at temperature 0, so answers are
+//! safe to memoise. The cache stores successful responses only (failures
+//! stay retryable), counts hits and misses, and partitions batch requests so
+//! the inner model sees a single batch of just the misses.
+
+use crate::chat::{ChatModel, ChatRequest, ChatResponse};
+use crate::error::Result;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Memoises an inner model's completions, keyed on a 64-bit hash of the
+/// full request (roles, contents, temperature).
+///
+/// Thread-safe: the map lives behind a `Mutex` and the counters are atomic,
+/// so concurrent detection workers share one cache. Two workers racing on
+/// the same cold prompt may both miss and complete; both store the same
+/// deterministic answer, so output never depends on the race.
+pub struct CachedLlm<M> {
+    inner: M,
+    responses: Mutex<HashMap<u64, ChatResponse>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<M: ChatModel> CachedLlm<M> {
+    pub fn new(inner: M) -> Self {
+        CachedLlm {
+            inner,
+            responses: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Completions served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Completions forwarded to the inner model so far (including failures).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.responses.lock().expect("cache lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached response (counters keep running).
+    pub fn clear(&self) {
+        self.responses.lock().expect("cache lock").clear();
+    }
+
+    /// The wrapped model (e.g. to read a transcript through the cache).
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Cache key: hash of every message plus the temperature bits. A 64-bit
+    /// key over the few thousand distinct prompts of a cleaning run makes
+    /// collisions vanishingly unlikely; a collision would replay the wrong
+    /// (but well-formed) answer, never corrupt memory.
+    fn key(request: &ChatRequest) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        for message in &request.messages {
+            (message.role as u8).hash(&mut hasher);
+            message.content.hash(&mut hasher);
+        }
+        request.temperature.to_bits().hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn lookup(&self, key: u64) -> Option<ChatResponse> {
+        self.responses.lock().expect("cache lock").get(&key).cloned()
+    }
+
+    fn store(&self, key: u64, response: &ChatResponse) {
+        self.responses.lock().expect("cache lock").insert(key, response.clone());
+    }
+}
+
+impl<M: ChatModel> ChatModel for CachedLlm<M> {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+        let key = Self::key(request);
+        if let Some(cached) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let response = self.inner.complete(request)?;
+        self.store(key, &response);
+        Ok(response)
+    }
+
+    fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        // Serve hits up front, then hand the inner model one batch holding
+        // only the misses, in request order.
+        let keys: Vec<u64> = requests.iter().map(Self::key).collect();
+        let mut out: Vec<Option<Result<ChatResponse>>> = keys
+            .iter()
+            .map(|&k| {
+                self.lookup(k).map(|cached| {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(cached)
+                })
+            })
+            .collect();
+        let miss_indices: Vec<usize> =
+            out.iter().enumerate().filter(|(_, r)| r.is_none()).map(|(i, _)| i).collect();
+        if !miss_indices.is_empty() {
+            self.misses.fetch_add(miss_indices.len(), Ordering::Relaxed);
+            let miss_requests: Vec<ChatRequest> =
+                miss_indices.iter().map(|&i| requests[i].clone()).collect();
+            let responses = self.inner.complete_batch(&miss_requests);
+            for (&i, response) in miss_indices.iter().zip(responses) {
+                if let Ok(response) = &response {
+                    self.store(keys[i], response);
+                }
+                out[i] = Some(response);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::{FailingLlm, ScriptedLlm};
+    use crate::error::LlmError;
+
+    #[test]
+    fn repeat_prompts_hit_the_cache() {
+        let llm = CachedLlm::new(ScriptedLlm::new(["only answer"]));
+        let request = ChatRequest::simple("same prompt");
+        let first = llm.complete(&request).unwrap();
+        let second = llm.complete(&request).unwrap();
+        assert_eq!(first, second);
+        assert_eq!((llm.hits(), llm.misses()), (1, 1));
+        // The script held one response; without the cache the second call
+        // would have failed with Empty.
+        assert_eq!(llm.inner().prompts_seen().len(), 1);
+    }
+
+    #[test]
+    fn distinct_prompts_miss() {
+        let llm = CachedLlm::new(ScriptedLlm::new(["a", "b"]));
+        llm.complete(&ChatRequest::simple("p1")).unwrap();
+        llm.complete(&ChatRequest::simple("p2")).unwrap();
+        assert_eq!((llm.hits(), llm.misses()), (0, 2));
+        assert_eq!(llm.len(), 2);
+    }
+
+    #[test]
+    fn temperature_is_part_of_the_key() {
+        let llm = CachedLlm::new(ScriptedLlm::new(["cold", "warm"]));
+        let cold = ChatRequest::simple("p");
+        let warm = ChatRequest { temperature: 0.7, ..cold.clone() };
+        assert_eq!(llm.complete(&cold).unwrap().content, "cold");
+        assert_eq!(llm.complete(&warm).unwrap().content, "warm");
+        assert_eq!(llm.misses(), 2);
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let llm = CachedLlm::new(FailingLlm);
+        let request = ChatRequest::simple("p");
+        assert!(llm.complete(&request).is_err());
+        assert!(llm.complete(&request).is_err());
+        assert_eq!((llm.hits(), llm.misses()), (0, 2));
+        assert!(llm.is_empty());
+    }
+
+    #[test]
+    fn batch_partitions_hits_from_misses() {
+        let llm = CachedLlm::new(ScriptedLlm::new(["a1", "a2", "a3"]));
+        llm.complete(&ChatRequest::simple("p1")).unwrap();
+        let requests = vec![
+            ChatRequest::simple("p2"),
+            ChatRequest::simple("p1"), // hit
+            ChatRequest::simple("p3"),
+            ChatRequest::simple("p4"), // script exhausted → Empty, not cached
+        ];
+        let responses = llm.complete_batch(&requests);
+        assert_eq!(responses[0].as_ref().unwrap().content, "a2");
+        assert_eq!(responses[1].as_ref().unwrap().content, "a1");
+        assert_eq!(responses[2].as_ref().unwrap().content, "a3");
+        assert_eq!(responses[3], Err(LlmError::Empty));
+        // Only the misses reached the inner model, in order.
+        assert_eq!(llm.inner().prompts_seen(), vec!["p1", "p2", "p3", "p4"]);
+        assert_eq!((llm.hits(), llm.misses()), (1, 4));
+    }
+
+    #[test]
+    fn clear_resets_contents_not_counters() {
+        let llm = CachedLlm::new(ScriptedLlm::new(["a", "b"]));
+        llm.complete(&ChatRequest::simple("p")).unwrap();
+        llm.clear();
+        assert!(llm.is_empty());
+        llm.complete(&ChatRequest::simple("p")).unwrap();
+        assert_eq!((llm.hits(), llm.misses()), (0, 2));
+    }
+}

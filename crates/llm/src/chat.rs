@@ -7,7 +7,7 @@
 //! [`FailingLlm`] for failure injection.
 
 use crate::error::{LlmError, Result};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Message author role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,32 +87,54 @@ pub struct ChatResponse {
 }
 
 /// The provider boundary: anything that can answer a chat request.
-pub trait ChatModel {
+///
+/// Models are `Send + Sync` so the pipeline can issue prompts from several
+/// detection workers at once; implementations guard interior state with
+/// `Mutex`, not `RefCell`. Completion takes `&self`: a model is a shared
+/// service, not an owned resource.
+pub trait ChatModel: Send + Sync {
     /// Model identifier for reports (e.g. `"sim-claude-3.5"`).
     fn model_name(&self) -> &str;
 
     /// Completes a chat request.
     fn complete(&self, request: &ChatRequest) -> Result<ChatResponse>;
+
+    /// Completes a batch of requests, one result per request, in order.
+    ///
+    /// The default answers sequentially — the deterministic baseline every
+    /// implementation must match result-for-result. Backends that can
+    /// amortise (a hosted API with request pipelining, a cache wrapper
+    /// that partitions hits from misses) override this; callers hand the
+    /// whole prompt set of a pipeline step to one call so such backends
+    /// get the full batch at once.
+    fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        requests.iter().map(|r| self.complete(r)).collect()
+    }
 }
 
 /// Replays a fixed script of responses, in order. Extra calls fail with
 /// [`LlmError::Empty`]. Used by unit tests and failure-injection tests.
+///
+/// The script is positional (answers pair with calls by arrival order), so
+/// under a concurrent caller the pairing follows scheduling; scripts that
+/// must line up with specific prompts belong in single-threaded runs (the
+/// pipeline's `threads: Some(1)`).
 pub struct ScriptedLlm {
-    responses: RefCell<std::collections::VecDeque<String>>,
-    calls: RefCell<Vec<String>>,
+    responses: Mutex<std::collections::VecDeque<String>>,
+    calls: Mutex<Vec<String>>,
 }
 
 impl ScriptedLlm {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(responses: I) -> Self {
         ScriptedLlm {
-            responses: RefCell::new(responses.into_iter().map(Into::into).collect()),
-            calls: RefCell::new(Vec::new()),
+            responses: Mutex::new(responses.into_iter().map(Into::into).collect()),
+            calls: Mutex::new(Vec::new()),
         }
     }
 
     /// The prompts this model has been asked so far.
     pub fn prompts_seen(&self) -> Vec<String> {
-        self.calls.borrow().clone()
+        self.calls.lock().expect("calls lock").clone()
     }
 }
 
@@ -122,8 +144,8 @@ impl ChatModel for ScriptedLlm {
     }
 
     fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
-        self.calls.borrow_mut().push(request.user_text());
-        let mut responses = self.responses.borrow_mut();
+        self.calls.lock().expect("calls lock").push(request.user_text());
+        let mut responses = self.responses.lock().expect("responses lock");
         let content = responses.pop_front().ok_or(LlmError::Empty)?;
         let usage = Usage {
             prompt_tokens: Usage::estimate(&request.user_text()),
@@ -170,6 +192,36 @@ mod tests {
     #[test]
     fn failing_always_fails() {
         assert!(FailingLlm.complete(&ChatRequest::simple("x")).is_err());
+    }
+
+    #[test]
+    fn batch_default_answers_in_request_order() {
+        let llm = ScriptedLlm::new(["one", "two"]);
+        let requests = vec![
+            ChatRequest::simple("a"),
+            ChatRequest::simple("b"),
+            ChatRequest::simple("c"), // script exhausted → Empty
+        ];
+        let responses = llm.complete_batch(&requests);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].as_ref().unwrap().content, "one");
+        assert_eq!(responses[1].as_ref().unwrap().content, "two");
+        assert_eq!(responses[2], Err(LlmError::Empty));
+        assert_eq!(llm.prompts_seen(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn models_are_shareable_across_threads() {
+        // The Send + Sync bound is the point of this test: a scripted model
+        // behind a shared reference must serve concurrent callers.
+        let llm = ScriptedLlm::new(["r0", "r1", "r2", "r3"]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| llm.complete(&ChatRequest::simple("p")).unwrap());
+            }
+        });
+        assert_eq!(llm.prompts_seen().len(), 4);
+        assert_eq!(llm.complete(&ChatRequest::simple("x")), Err(LlmError::Empty));
     }
 
     #[test]

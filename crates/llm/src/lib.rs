@@ -6,8 +6,10 @@
 //! Anthropic, Azure, Bedrock, VertexAI, and OpenAI", §2.2). This crate
 //! models that boundary:
 //!
-//! * [`chat`] — the provider-agnostic [`ChatModel`] trait plus scripted and
-//!   failing test doubles,
+//! * [`chat`] — the provider-agnostic, thread-safe [`ChatModel`] trait
+//!   (single and batched completion) plus scripted and failing test doubles,
+//! * [`cache`] — [`CachedLlm`], a prompt-hash-keyed completion cache with
+//!   hit/miss accounting for repeat cleans,
 //! * [`prompts`] — the prompt templates for all eight issue types, with the
 //!   string-outlier prompts reproducing the paper's Figures 2–3 verbatim,
 //! * [`json`] / [`yaml`] — from-scratch wire-format parsers tolerant of the
@@ -18,6 +20,7 @@
 //! * [`transcript`] — a recording wrapper for HIL reports and token
 //!   accounting.
 
+pub mod cache;
 pub mod chat;
 pub mod error;
 pub mod json;
@@ -27,6 +30,7 @@ pub mod sim;
 pub mod transcript;
 pub mod yaml;
 
+pub use cache::CachedLlm;
 pub use chat::{
     ChatModel, ChatRequest, ChatResponse, FailingLlm, Message, Role, ScriptedLlm, Usage,
 };

@@ -7,7 +7,7 @@
 
 use crate::chat::{ChatModel, ChatRequest, ChatResponse, Usage};
 use crate::error::Result;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// One recorded exchange.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,29 +18,34 @@ pub struct Exchange {
 }
 
 /// Records every exchange passing through an inner model.
+///
+/// Thread-safe: concurrent detection workers append under a `Mutex`, so
+/// usage accounting stays exact at any thread count (the *order* of
+/// exchanges follows completion order, which under concurrency may differ
+/// from prompt submission order).
 pub struct Transcript<M> {
     inner: M,
-    exchanges: RefCell<Vec<Exchange>>,
+    exchanges: Mutex<Vec<Exchange>>,
 }
 
 impl<M: ChatModel> Transcript<M> {
     pub fn new(inner: M) -> Self {
-        Transcript { inner, exchanges: RefCell::new(Vec::new()) }
+        Transcript { inner, exchanges: Mutex::new(Vec::new()) }
     }
 
     /// All exchanges so far, in order.
     pub fn exchanges(&self) -> Vec<Exchange> {
-        self.exchanges.borrow().clone()
+        self.exchanges.lock().expect("exchanges lock").clone()
     }
 
     /// Number of completed calls.
     pub fn call_count(&self) -> usize {
-        self.exchanges.borrow().len()
+        self.exchanges.lock().expect("exchanges lock").len()
     }
 
     /// Total token usage across all calls.
     pub fn total_usage(&self) -> Usage {
-        let exchanges = self.exchanges.borrow();
+        let exchanges = self.exchanges.lock().expect("exchanges lock");
         Usage {
             prompt_tokens: exchanges.iter().map(|e| e.usage.prompt_tokens).sum(),
             completion_tokens: exchanges.iter().map(|e| e.usage.completion_tokens).sum(),
@@ -60,12 +65,27 @@ impl<M: ChatModel> ChatModel for Transcript<M> {
 
     fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
         let response = self.inner.complete(request)?;
-        self.exchanges.borrow_mut().push(Exchange {
+        self.exchanges.lock().expect("exchanges lock").push(Exchange {
             prompt: request.user_text(),
             response: response.content.clone(),
             usage: response.usage,
         });
         Ok(response)
+    }
+
+    fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        let responses = self.inner.complete_batch(requests);
+        let mut exchanges = self.exchanges.lock().expect("exchanges lock");
+        for (request, response) in requests.iter().zip(&responses) {
+            if let Ok(response) = response {
+                exchanges.push(Exchange {
+                    prompt: request.user_text(),
+                    response: response.content.clone(),
+                    usage: response.usage,
+                });
+            }
+        }
+        responses
     }
 }
 
@@ -98,5 +118,32 @@ mod tests {
     fn passthrough_name() {
         let t = Transcript::new(ScriptedLlm::new(["a"]));
         assert_eq!(t.model_name(), "scripted");
+    }
+
+    #[test]
+    fn batch_records_successes_only() {
+        let t = Transcript::new(ScriptedLlm::new(["alpha"]));
+        let requests = vec![ChatRequest::simple("p1"), ChatRequest::simple("p2")];
+        let responses = t.complete_batch(&requests);
+        assert!(responses[0].is_ok());
+        assert!(responses[1].is_err());
+        assert_eq!(t.call_count(), 1);
+        assert_eq!(t.exchanges()[0].prompt, "p1");
+    }
+
+    #[test]
+    fn usage_accounting_is_exact_under_concurrency() {
+        // 8 threads × identical two-token prompts: the totals must be exact,
+        // not approximately right — the Mutex guards every append.
+        let script: Vec<String> = (0..8).map(|i| format!("answer {i}")).collect();
+        let t = Transcript::new(ScriptedLlm::new(script));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| t.complete(&ChatRequest::simple("two tokens")).unwrap());
+            }
+        });
+        assert_eq!(t.call_count(), 8);
+        assert_eq!(t.total_usage().prompt_tokens, 16);
+        assert_eq!(t.total_usage().completion_tokens, 16);
     }
 }

@@ -25,29 +25,114 @@ pub fn entropy(counts: &[usize]) -> f64 {
         .sum()
 }
 
-/// Conditional entropy H(rhs | lhs) over the rows of two columns,
-/// considering only rows where both sides are non-null.
-pub fn conditional_entropy(lhs: &[Value], rhs: &[Value]) -> f64 {
-    debug_assert_eq!(lhs.len(), rhs.len());
-    let mut groups: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
-    let mut total = 0usize;
-    for (l, r) in lhs.iter().zip(rhs) {
-        if l.is_null() || r.is_null() {
-            continue;
+/// Code reserved for NULL cells in a [`CodedColumn`].
+const NULL_CODE: u32 = u32::MAX;
+
+/// A dictionary-coded column: one `u32` code per row (`NULL_CODE` for NULL,
+/// otherwise codes are dense in first-appearance order) plus per-code row
+/// counts. Encoding each column **once** turns every pairwise FD scan from
+/// nested `Value`-keyed hash maps (string hashing per row per pair) into
+/// integer sorting — the difference between an O(width²·rows) string-hash
+/// workload and an O(width·rows) one with cheap integer passes per pair.
+struct CodedColumn {
+    codes: Vec<u32>,
+    counts: Vec<usize>,
+}
+
+impl CodedColumn {
+    fn encode(values: &[Value]) -> CodedColumn {
+        let mut dict: HashMap<&Value, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        let mut counts: Vec<usize> = Vec::new();
+        for v in values {
+            if v.is_null() {
+                codes.push(NULL_CODE);
+                continue;
+            }
+            let next = dict.len() as u32;
+            let code = *dict.entry(v).or_insert(next);
+            if code == next {
+                counts.push(0);
+            }
+            counts[code as usize] += 1;
+            codes.push(code);
         }
-        *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
-        total += 1;
+        CodedColumn { codes, counts }
     }
+
+    /// Distinct non-null values.
+    fn cardinality(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Sorted `(lhs_code << 32 | rhs_code)` keys with pair counts, plus the
+/// number of rows where both sides are non-null. Sorting (instead of a
+/// hash map) keeps the downstream float summation order deterministic.
+fn pair_counts(lhs: &CodedColumn, rhs: &CodedColumn) -> (Vec<(u64, usize)>, usize) {
+    let mut keys: Vec<u64> = lhs
+        .codes
+        .iter()
+        .zip(&rhs.codes)
+        .filter(|(&l, &r)| l != NULL_CODE && r != NULL_CODE)
+        .map(|(&l, &r)| (u64::from(l) << 32) | u64::from(r))
+        .collect();
+    let total = keys.len();
+    keys.sort_unstable();
+    let mut pairs: Vec<(u64, usize)> = Vec::new();
+    for key in keys {
+        match pairs.last_mut() {
+            Some((last, count)) if *last == key => *count += 1,
+            _ => pairs.push((key, 1)),
+        }
+    }
+    (pairs, total)
+}
+
+/// H(rhs | lhs) from sorted pair counts: groups are runs sharing a lhs code.
+fn conditional_entropy_from_pairs(pairs: &[(u64, usize)], total: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
     let mut h = 0.0;
-    for sub in groups.values() {
-        let counts: Vec<usize> = sub.values().copied().collect();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let group = pairs[i].0 >> 32;
+        counts.clear();
+        while i < pairs.len() && pairs[i].0 >> 32 == group {
+            counts.push(pairs[i].1);
+            i += 1;
+        }
         let group_total: usize = counts.iter().sum();
         h += (group_total as f64 / total as f64) * entropy(&counts);
     }
     h
+}
+
+/// Number of lhs groups mapping to more than one distinct rhs value.
+fn violating_groups_from_pairs(pairs: &[(u64, usize)]) -> usize {
+    let mut violating = 0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let group = pairs[i].0 >> 32;
+        let start = i;
+        while i < pairs.len() && pairs[i].0 >> 32 == group {
+            i += 1;
+        }
+        if i - start > 1 {
+            violating += 1;
+        }
+    }
+    violating
+}
+
+/// Conditional entropy H(rhs | lhs) over the rows of two columns,
+/// considering only rows where both sides are non-null.
+pub fn conditional_entropy(lhs: &[Value], rhs: &[Value]) -> f64 {
+    debug_assert_eq!(lhs.len(), rhs.len());
+    let (pairs, total) = pair_counts(&CodedColumn::encode(lhs), &CodedColumn::encode(rhs));
+    conditional_entropy_from_pairs(&pairs, total)
 }
 
 /// A scored single-attribute functional-dependency candidate
@@ -65,95 +150,160 @@ pub struct FdCandidate {
     pub violating_groups: usize,
 }
 
-/// Scores every ordered column pair of `table` as an FD candidate and
-/// returns those with `strength ≥ min_strength`, strongest first.
-///
-/// Pairs where either side is almost-unique (key-like, unique ratio above
-/// `max_unique_ratio`) are skipped: `id → anything` is trivially strong but
-/// semantically vacuous, and the paper's LLM review would reject it anyway.
-pub fn fd_candidates(table: &Table, min_strength: f64, max_unique_ratio: f64) -> Vec<FdCandidate> {
-    let height = table.height();
-    if height == 0 {
-        return Vec::new();
+/// A reusable FD scan over one table: every column dictionary-coded once,
+/// serving both candidate scoring and per-candidate violating-group
+/// extraction without re-hashing any value. Shareable across detection
+/// workers (`&self` methods only).
+pub struct FdScan<'a> {
+    /// Per column: the raw values plus their encoding (None for columns
+    /// that cannot be read).
+    columns: Vec<Option<(&'a [Value], CodedColumn)>>,
+    height: usize,
+}
+
+impl<'a> FdScan<'a> {
+    pub fn new(table: &'a Table) -> Self {
+        let columns = (0..table.width())
+            .map(|c| {
+                table.column(c).ok().map(|col| {
+                    let values = col.values();
+                    (values, CodedColumn::encode(values))
+                })
+            })
+            .collect();
+        FdScan { columns, height: table.height() }
     }
-    let mut out = Vec::new();
-    let width = table.width();
-    // Pre-compute distinct counts for the key-likeness filter.
-    let distinct: Vec<usize> = (0..width)
-        .map(|c| table.column(c).map(|col| col.value_counts().len()).unwrap_or(0))
-        .collect();
-    for lhs in 0..width {
-        let lhs_col = match table.column(lhs) {
-            Ok(c) => c,
-            Err(_) => continue,
+
+    /// Scores every ordered column pair as an FD candidate and returns
+    /// those with `strength ≥ min_strength`, strongest first.
+    ///
+    /// Pairs where either side is almost-unique (key-like, unique ratio
+    /// above `max_unique_ratio`) are skipped: `id → anything` is trivially
+    /// strong but semantically vacuous, and the paper's LLM review would
+    /// reject it anyway.
+    pub fn candidates(&self, min_strength: f64, max_unique_ratio: f64) -> Vec<FdCandidate> {
+        let height = self.height;
+        if height == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let column_entropy: Vec<f64> = self
+            .columns
+            .iter()
+            .map(|c| c.as_ref().map(|(_, coded)| entropy(&coded.counts)).unwrap_or(0.0))
+            .collect();
+        for lhs in 0..self.columns.len() {
+            let Some((_, lhs_coded)) = self.columns[lhs].as_ref() else { continue };
+            let lhs_unique_ratio = lhs_coded.cardinality() as f64 / height as f64;
+            if lhs_unique_ratio > max_unique_ratio || lhs_coded.cardinality() <= 1 {
+                continue;
+            }
+            for (rhs, rhs_column) in self.columns.iter().enumerate() {
+                if lhs == rhs {
+                    continue;
+                }
+                let Some((_, rhs_coded)) = rhs_column.as_ref() else { continue };
+                let rhs_distinct = rhs_coded.cardinality();
+                if rhs_distinct <= 1 {
+                    continue;
+                }
+                // Key-like rhs columns cannot be FD-determined: every group
+                // would be all-singletons and majority repair meaningless.
+                if rhs_distinct as f64 / height as f64 > max_unique_ratio {
+                    continue;
+                }
+                let (pairs, total) = pair_counts(lhs_coded, rhs_coded);
+                let h_cond = conditional_entropy_from_pairs(&pairs, total);
+                let h_rhs = column_entropy[rhs];
+                let strength = if h_rhs == 0.0 { 0.0 } else { 1.0 - h_cond / h_rhs };
+                if strength < min_strength {
+                    continue;
+                }
+                let violating_groups = violating_groups_from_pairs(&pairs);
+                out.push(FdCandidate {
+                    lhs,
+                    rhs,
+                    conditional_entropy: h_cond,
+                    strength,
+                    violating_groups,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.strength
+                .partial_cmp(&a.strength)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.lhs, a.rhs).cmp(&(b.lhs, b.rhs)))
+        });
+        out
+    }
+
+    /// Violating groups of `lhs → rhs` (see [`fd_violating_groups`]),
+    /// served from the prebuilt encodings. Empty when either column index
+    /// is unreadable.
+    pub fn violating_groups(&self, lhs: usize, rhs: usize) -> Vec<(Value, Vec<(Value, usize)>)> {
+        let (Some(Some((lhs_values, lhs_coded))), Some(Some((rhs_values, rhs_coded)))) =
+            (self.columns.get(lhs), self.columns.get(rhs))
+        else {
+            return Vec::new();
         };
-        let lhs_unique_ratio = distinct[lhs] as f64 / height as f64;
-        if lhs_unique_ratio > max_unique_ratio || distinct[lhs] <= 1 {
-            continue;
-        }
-        for (rhs, rhs_distinct) in distinct.iter().copied().enumerate() {
-            if lhs == rhs {
-                continue;
-            }
-            let rhs_col = match table.column(rhs) {
-                Ok(c) => c,
-                Err(_) => continue,
-            };
-            if rhs_distinct <= 1 {
-                continue;
-            }
-            // Key-like rhs columns cannot be FD-determined: every group
-            // would be all-singletons and majority repair meaningless.
-            if rhs_distinct as f64 / height as f64 > max_unique_ratio {
-                continue;
-            }
-            let h_cond = conditional_entropy(lhs_col.values(), rhs_col.values());
-            let rhs_counts: Vec<usize> = rhs_col.value_counts().values().copied().collect();
-            let h_rhs = entropy(&rhs_counts);
-            let strength = if h_rhs == 0.0 { 0.0 } else { 1.0 - h_cond / h_rhs };
-            if strength < min_strength {
-                continue;
-            }
-            let violating_groups = fd_violating_groups(lhs_col.values(), rhs_col.values()).len();
-            out.push(FdCandidate {
-                lhs,
-                rhs,
-                conditional_entropy: h_cond,
-                strength,
-                violating_groups,
-            });
-        }
+        groups_from_coded(lhs_values, lhs_coded, rhs_values, rhs_coded)
     }
-    out.sort_by(|a, b| {
-        b.strength
-            .partial_cmp(&a.strength)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (a.lhs, a.rhs).cmp(&(b.lhs, b.rhs)))
-    });
-    out
+}
+
+/// Scores every ordered column pair of `table` as an FD candidate; see
+/// [`FdScan::candidates`]. Prefer [`FdScan`] when groups are needed too.
+pub fn fd_candidates(table: &Table, min_strength: f64, max_unique_ratio: f64) -> Vec<FdCandidate> {
+    FdScan::new(table).candidates(min_strength, max_unique_ratio)
 }
 
 /// Groups of rows violating `lhs → rhs`: for each lhs value mapping to more
 /// than one distinct rhs value, returns `(lhs value, rhs value census)` with
 /// the census ordered by descending count.
 pub fn fd_violating_groups(lhs: &[Value], rhs: &[Value]) -> Vec<(Value, Vec<(Value, usize)>)> {
-    let mut groups: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
-    for (l, r) in lhs.iter().zip(rhs) {
-        if l.is_null() || r.is_null() {
+    let lhs_coded = CodedColumn::encode(lhs);
+    let rhs_coded = CodedColumn::encode(rhs);
+    groups_from_coded(lhs, &lhs_coded, rhs, &rhs_coded)
+}
+
+/// Shared group extraction: read the violating groups off the sorted pair
+/// keys; values are decoded (and cloned) only for the violating minority.
+fn groups_from_coded(
+    lhs: &[Value],
+    lhs_coded: &CodedColumn,
+    rhs: &[Value],
+    rhs_coded: &CodedColumn,
+) -> Vec<(Value, Vec<(Value, usize)>)> {
+    fn decode<'a>(values: &'a [Value], coded: &CodedColumn) -> Vec<&'a Value> {
+        let mut table: Vec<Option<&Value>> = vec![None; coded.cardinality()];
+        for (v, &code) in values.iter().zip(&coded.codes) {
+            if code != NULL_CODE && table[code as usize].is_none() {
+                table[code as usize] = Some(v);
+            }
+        }
+        table.into_iter().map(|v| v.expect("every code has a value")).collect()
+    }
+    let lhs_values = decode(lhs, lhs_coded);
+    let rhs_values = decode(rhs, rhs_coded);
+    let (pairs, _) = pair_counts(lhs_coded, rhs_coded);
+    let mut out: Vec<(Value, Vec<(Value, usize)>)> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let group = pairs[i].0 >> 32;
+        let start = i;
+        while i < pairs.len() && pairs[i].0 >> 32 == group {
+            i += 1;
+        }
+        if i - start <= 1 {
             continue;
         }
-        *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
+        let mut census: Vec<(Value, usize)> = pairs[start..i]
+            .iter()
+            .map(|&(key, count)| (rhs_values[(key & 0xFFFF_FFFF) as usize].clone(), count))
+            .collect();
+        census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.push((lhs_values[group as usize].clone(), census));
     }
-    let mut out: Vec<(Value, Vec<(Value, usize)>)> = groups
-        .into_iter()
-        .filter(|(_, sub)| sub.len() > 1)
-        .map(|(l, sub)| {
-            let mut census: Vec<(Value, usize)> =
-                sub.into_iter().map(|(v, c)| (v.clone(), c)).collect();
-            census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            (l.clone(), census)
-        })
-        .collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
 }

@@ -26,7 +26,9 @@ pub mod stats;
 pub mod uniqueness;
 
 pub use distribution::{Distribution, ValueFrequency};
-pub use entropy::{conditional_entropy, entropy, fd_candidates, fd_violating_groups, FdCandidate};
+pub use entropy::{
+    conditional_entropy, entropy, fd_candidates, fd_violating_groups, FdCandidate, FdScan,
+};
 pub use numeric::{numeric_profile, NumericProfile};
 pub use patterns::{pattern_census, PatternBucket, PatternCensus};
 pub use profile::{profile_table, ColumnProfile, ProfileOptions, TableProfile};

@@ -13,30 +13,47 @@ use std::collections::HashMap;
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    osa_distance(&a, &b, usize::MAX).expect("unbounded distance always computes")
+}
+
+/// The OSA recurrence with an early-exit `bound`: returns `None` once the
+/// distance provably exceeds `bound`. Every cell of a row is ≥ the smallest
+/// cell of the two rows it references, so when two consecutive row minima
+/// exceed the bound no later cell can come back under it. The typo scan
+/// calls this with thresholds of 1–3, so most non-typo pairs abort after a
+/// few rows instead of filling the whole matrix.
+fn osa_distance(a: &[char], b: &[char], bound: usize) -> Option<usize> {
     let (n, m) = (a.len(), b.len());
     if n == 0 {
-        return m;
+        return (m <= bound).then_some(m);
     }
     if m == 0 {
-        return n;
+        return (n <= bound).then_some(n);
     }
     // Three rolling rows suffice for the OSA recurrence.
     let mut prev2: Vec<usize> = vec![0; m + 1];
     let mut prev: Vec<usize> = (0..=m).collect();
     let mut curr: Vec<usize> = vec![0; m + 1];
+    let mut prev_row_min = 0usize;
     for i in 1..=n {
         curr[0] = i;
+        let mut row_min = curr[0];
         for j in 1..=m {
             let cost = usize::from(a[i - 1] != b[j - 1]);
             curr[j] = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 curr[j] = curr[j].min(prev2[j - 2] + 1);
             }
+            row_min = row_min.min(curr[j]);
         }
+        if row_min > bound && prev_row_min > bound {
+            return None;
+        }
+        prev_row_min = row_min;
         std::mem::swap(&mut prev2, &mut prev);
         std::mem::swap(&mut prev, &mut curr);
     }
-    prev[m]
+    (prev[m] <= bound).then(|| prev[m])
 }
 
 /// Maximum edit distance at which `candidate` may be considered a typo of
@@ -95,22 +112,33 @@ pub struct TypoSuggestion {
 pub fn suggest_typo_fixes(census: &[(String, usize)], dominance: f64) -> Vec<TypoSuggestion> {
     let mut suggestions = Vec::new();
     let by_value: HashMap<&str, usize> = census.iter().map(|(v, c)| (v.as_str(), *c)).collect();
-    for (candidate, cand_count) in census {
+    // Lowercase once per value, not once per pair; the char vectors also
+    // give O(1) length reads for the length-gap filter below.
+    let lowered: Vec<Vec<char>> =
+        census.iter().map(|(v, _)| v.to_lowercase().chars().collect()).collect();
+    for (ci, (candidate, cand_count)) in census.iter().enumerate() {
         let mut best: Option<(usize, &str, usize)> = None; // (distance, target, count)
-        for (target, target_count) in census {
+        for (ti, (target, target_count)) in census.iter().enumerate() {
             if candidate == target {
                 continue;
             }
             if (*target_count as f64) < (*cand_count as f64) * dominance {
                 continue;
             }
+            let (cand_len, target_len) = (lowered[ci].len(), lowered[ti].len());
+            let threshold = typo_threshold(cand_len.max(target_len));
+            // Edit distance is at least the length gap: skip hopeless pairs
+            // before the digit check and the DP.
+            if cand_len.abs_diff(target_len) > threshold {
+                continue;
+            }
             if differs_only_in_digits(candidate, target) {
                 continue;
             }
-            let max_len = candidate.chars().count().max(target.chars().count());
-            let threshold = typo_threshold(max_len);
-            let distance = damerau_levenshtein(&candidate.to_lowercase(), &target.to_lowercase());
-            if distance == 0 || distance > threshold {
+            let Some(distance) = osa_distance(&lowered[ci], &lowered[ti], threshold) else {
+                continue;
+            };
+            if distance == 0 {
                 continue;
             }
             let better = match best {

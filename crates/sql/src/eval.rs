@@ -321,6 +321,13 @@ pub fn eval_column(expr: &Expr, table: &Table, sel: &Selection<'_>) -> Result<Co
             }
             Ok(Column::new(out))
         }
+        Expr::Unary { op, expr } => {
+            // Unary operators are value-wise: evaluate the operand column
+            // once, then map. `IS [NOT] NULL` never errors; `NOT`/negation
+            // error on exactly the rows the row-wise path would reject.
+            let input = eval_column(expr, table, sel)?;
+            input.into_values().into_iter().map(|v| eval_unary(*op, v)).collect()
+        }
         Expr::Case { operand: Some(operand), arms, otherwise }
             if arms
                 .iter()
@@ -545,6 +552,40 @@ mod tests {
     fn is_null_checks() {
         assert_eq!(eval_on(&Expr::is_null(Expr::null()), 0).unwrap(), Value::Bool(true));
         assert_eq!(eval_on(&Expr::is_null(Expr::col("lang")), 0).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn unary_exprs_vectorise_and_match_rowwise() {
+        let mut t = table();
+        t.set_cell(0, 1, Value::Null).unwrap();
+        for expr in [
+            Expr::is_null(Expr::col("lang")),
+            Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col("lang")) },
+            Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::is_null(Expr::col("lang"))) },
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::try_cast(Expr::col("id"), DataType::Int)),
+            },
+        ] {
+            for sel in [Selection::All(t.height()), Selection::Rows(&[1]), Selection::Rows(&[])] {
+                let columnar = eval_column(&expr, &t, &sel).unwrap();
+                let rowwise: Vec<Value> =
+                    sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
+                assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_errors_match_rowwise() {
+        let t = table();
+        // NOT of a text column errors both paths.
+        let expr = Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::col("lang")) };
+        assert!(eval_column(&expr, &t, &Selection::All(t.height())).is_err());
+        assert!(eval(&expr, &RowContext::new(&t, 0)).is_err());
+        // Negating text errors too.
+        let expr = Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col("lang")) };
+        assert!(eval_column(&expr, &t, &Selection::All(t.height())).is_err());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Concurrency and caching guarantees of the detect/decide pipeline:
+//! byte-identical output at any thread count, and repeat-clean completions
+//! served from the prompt cache.
+
+use cocoon_core::{Cleaner, CleanerConfig, CleaningRun};
+use cocoon_llm::{CachedLlm, SimLlm, Transcript};
+use cocoon_table::csv;
+
+/// The multi-issue fixture from the pipeline unit tests: string outliers,
+/// pattern outliers, DMVs, casts and numeric outliers all at once.
+fn messy() -> cocoon_table::Table {
+    let mut csv_text = String::from("record_id,lang,admission,EmergencyService,rating\n");
+    for i in 0..20 {
+        csv_text.push_str(&format!("r{i},eng,01/02/2003,yes,7.5\n"));
+    }
+    csv_text.push_str("r20,English,2003-04-05,no,8.0\n");
+    csv_text.push_str("r21,eng,01/02/2003,N/A,99.0\n");
+    csv::read_str(&csv_text).unwrap()
+}
+
+fn clean_with_threads(table: &cocoon_table::Table, threads: usize) -> CleaningRun {
+    let config = CleanerConfig { threads: Some(threads), ..CleanerConfig::default() };
+    let cleaner = Cleaner::with_config(SimLlm::new(), config).unwrap();
+    cleaner.clean(table).expect("pipeline")
+}
+
+/// Byte-level comparison of two runs: table cells and schema, op order and
+/// content (via the rendered SQL script), and every note.
+fn assert_runs_identical(a: &CleaningRun, b: &CleaningRun) {
+    assert_eq!(a.table, b.table);
+    assert_eq!(a.sql_script(), b.sql_script());
+    assert_eq!(
+        a.ops.iter().map(|o| (o.issue, o.column.clone(), o.cells_changed)).collect::<Vec<_>>(),
+        b.ops.iter().map(|o| (o.issue, o.column.clone(), o.cells_changed)).collect::<Vec<_>>(),
+    );
+    assert_eq!(a.notes, b.notes);
+}
+
+#[test]
+fn messy_fixture_identical_at_1_and_8_threads() {
+    let table = messy();
+    let sequential = clean_with_threads(&table, 1);
+    let parallel = clean_with_threads(&table, 8);
+    assert!(!sequential.ops.is_empty());
+    assert_runs_identical(&sequential, &parallel);
+}
+
+#[test]
+fn movies_identical_at_1_and_8_threads() {
+    let dataset = cocoon_datasets::movies::generate();
+    let sequential = clean_with_threads(&dataset.dirty, 1);
+    let parallel = clean_with_threads(&dataset.dirty, 8);
+    assert!(!sequential.ops.is_empty());
+    assert_runs_identical(&sequential, &parallel);
+}
+
+#[test]
+fn cached_llm_cuts_call_count_on_repeat_clean() {
+    let table = messy();
+    let cleaner = Cleaner::new(CachedLlm::new(Transcript::new(SimLlm::new())));
+
+    let first = cleaner.clean(&table).expect("first clean");
+    let calls_after_first = cleaner.llm().inner().call_count();
+    assert!(calls_after_first > 0, "the first clean must reach the model");
+    assert_eq!(cleaner.llm().hits(), 0, "a cold cache cannot hit");
+
+    let second = cleaner.clean(&table).expect("second clean");
+    let calls_after_second = cleaner.llm().inner().call_count();
+    assert_eq!(
+        calls_after_second, calls_after_first,
+        "a repeat clean of the same table must be served entirely from the cache"
+    );
+    assert!(cleaner.llm().hits() >= calls_after_first, "every repeat prompt hits");
+    // Cache replay is invisible in the output.
+    assert_eq!(first.table, second.table);
+    assert_eq!(first.sql_script(), second.sql_script());
+    assert_eq!(first.notes, second.notes);
+}
+
+#[test]
+fn cached_llm_is_transparent_for_a_cold_clean() {
+    let table = messy();
+    let cached = Cleaner::new(CachedLlm::new(SimLlm::new())).clean(&table).expect("cached");
+    let plain = Cleaner::new(SimLlm::new()).clean(&table).expect("plain");
+    assert_eq!(cached.table, plain.table);
+    assert_eq!(cached.sql_script(), plain.sql_script());
+    assert_eq!(cached.notes, plain.notes);
+}
