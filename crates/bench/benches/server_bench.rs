@@ -1,0 +1,76 @@
+//! Timing: served cleans over loopback HTTP — requests/s through the whole
+//! stack (socket, HTTP parse, routing, pipeline, response serialisation).
+//!
+//! `served_clean/movies warm cache` is the deployment steady state: the
+//! process-wide `CachedLlm` is pre-warmed, so each request pays transport +
+//! profiling + SQL execution but no model calls — the throughput figure
+//! `BENCH_PR4.json` records. `served_clean/messy warm cache` is the same
+//! steady state on a small table, where transport overhead dominates.
+
+use cocoon_server::{Server, ServerConfig, ServerHandle};
+use cocoon_table::csv;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One POST /v1/clean round-trip on a fresh connection; panics on non-200.
+fn request_clean(handle: &ServerHandle, body: &str) -> usize {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let request = format!(
+        "POST /v1/clean HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 200"), "{}", &response[..response.len().min(200)]);
+    response.len()
+}
+
+fn clean_body(csv_text: &str) -> String {
+    format!("{{\"csv\": {}}}", cocoon_llm::json::escape(csv_text))
+}
+
+fn messy_csv() -> String {
+    let mut text = String::from("record_id,lang,admission,EmergencyService,rating\n");
+    for i in 0..20 {
+        text.push_str(&format!("r{i},eng,01/02/2003,yes,7.5\n"));
+    }
+    text.push_str("r20,English,2003-04-05,no,8.0\n");
+    text.push_str("r21,eng,01/02/2003,N/A,99.0\n");
+    text
+}
+
+fn bench_served_clean(c: &mut Criterion) {
+    let server =
+        Server::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() })
+            .expect("bind");
+    let handle = server.handle().expect("handle");
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve().expect("serve"));
+
+        let movies = clean_body(&csv::write_str(&cocoon_datasets::movies::generate().dirty));
+        let messy = clean_body(&messy_csv());
+        // Warm the process-wide cache so the measured requests are the
+        // deployment steady state (every prompt replays from the cache).
+        request_clean(&handle, &movies);
+        request_clean(&handle, &messy);
+
+        let mut group = c.benchmark_group("served_clean");
+        group.sample_size(10);
+        // Each iteration is one request: throughput prints requests/s.
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("movies warm cache", |b| {
+            b.iter(|| request_clean(&handle, black_box(&movies)))
+        });
+        group.bench_function("messy warm cache", |b| {
+            b.iter(|| request_clean(&handle, black_box(&messy)))
+        });
+        group.finish();
+
+        handle.stop();
+    });
+}
+
+criterion_group!(benches, bench_served_clean);
+criterion_main!(benches);

@@ -1,6 +1,8 @@
-//! Pipeline configuration.
+//! Pipeline configuration, including the serialisable wire form a cleaning
+//! service accepts (`CleanerConfig::from_json` / `to_json`).
 
 use crate::error::{CoreError, Result};
+use cocoon_llm::Json;
 
 /// Which issue types (§2.1.1–2.1.8) the pipeline runs. All on by default;
 /// the ablation benches toggle these.
@@ -106,6 +108,76 @@ impl CleanerConfig {
         Ok(self)
     }
 
+    /// Builds a config from its JSON wire form: the paper defaults overlaid
+    /// with whatever subset of fields the object provides, then validated.
+    ///
+    /// This is the request-config format of `cocoon-server`'s clean
+    /// endpoints. Partial objects are the norm (`{"threads": 1}` pins the
+    /// fan-out, everything else stays default); unknown keys are rejected
+    /// so client typos fail loudly instead of silently running defaults.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut config = CleanerConfig::default();
+        let Some(members) = json.as_object() else {
+            return Err(CoreError::Config(format!("config must be a JSON object, got {json}")));
+        };
+        for (key, value) in members {
+            match key.as_str() {
+                "sample_size" => config.sample_size = usize_field(key, value)?,
+                "batch_size" => config.batch_size = usize_field(key, value)?,
+                "fd_min_strength" => config.fd_min_strength = f64_field(key, value)?,
+                "fd_max_unique_ratio" => config.fd_max_unique_ratio = f64_field(key, value)?,
+                "type_tolerance" => config.type_tolerance = f64_field(key, value)?,
+                "uniqueness_review_threshold" => {
+                    config.uniqueness_review_threshold = f64_field(key, value)?
+                }
+                "statistical_context" => config.statistical_context = bool_field(key, value)?,
+                "threads" => {
+                    config.threads = match value {
+                        Json::Null => None,
+                        other => Some(usize_field(key, other)?),
+                    }
+                }
+                "issues" => apply_issue_toggles(&mut config.issues, value)?,
+                other => {
+                    return Err(CoreError::Config(format!("unknown config field \"{other}\"")))
+                }
+            }
+        }
+        config.validated()
+    }
+
+    /// The JSON wire form of this config (round-trips through
+    /// [`from_json`](Self::from_json)).
+    pub fn to_json(&self) -> Json {
+        let issues = Json::object([
+            ("string_outliers".into(), Json::Bool(self.issues.string_outliers)),
+            ("pattern_outliers".into(), Json::Bool(self.issues.pattern_outliers)),
+            ("disguised_missing".into(), Json::Bool(self.issues.disguised_missing)),
+            ("column_type".into(), Json::Bool(self.issues.column_type)),
+            ("numeric_outliers".into(), Json::Bool(self.issues.numeric_outliers)),
+            ("functional_dependencies".into(), Json::Bool(self.issues.functional_dependencies)),
+            ("duplication".into(), Json::Bool(self.issues.duplication)),
+            ("uniqueness".into(), Json::Bool(self.issues.uniqueness)),
+        ]);
+        Json::object([
+            ("sample_size".into(), Json::Number(self.sample_size as f64)),
+            ("batch_size".into(), Json::Number(self.batch_size as f64)),
+            ("fd_min_strength".into(), Json::Number(self.fd_min_strength)),
+            ("fd_max_unique_ratio".into(), Json::Number(self.fd_max_unique_ratio)),
+            ("type_tolerance".into(), Json::Number(self.type_tolerance)),
+            ("uniqueness_review_threshold".into(), Json::Number(self.uniqueness_review_threshold)),
+            ("statistical_context".into(), Json::Bool(self.statistical_context)),
+            (
+                "threads".into(),
+                match self.threads {
+                    Some(n) => Json::Number(n as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("issues".into(), issues),
+        ])
+    }
+
     /// A configuration with every semantic step disabled except `only` —
     /// used by ablations.
     pub fn only_issue(issue: &str) -> Self {
@@ -134,6 +206,49 @@ impl CleanerConfig {
     }
 }
 
+fn bool_field(key: &str, value: &Json) -> Result<bool> {
+    value
+        .as_bool()
+        .ok_or_else(|| CoreError::Config(format!("\"{key}\" must be a boolean, got {value}")))
+}
+
+fn f64_field(key: &str, value: &Json) -> Result<f64> {
+    value
+        .as_f64()
+        .ok_or_else(|| CoreError::Config(format!("\"{key}\" must be a number, got {value}")))
+}
+
+fn usize_field(key: &str, value: &Json) -> Result<usize> {
+    let n = f64_field(key, value)?;
+    if n < 0.0 || n.fract() != 0.0 || n > usize::MAX as f64 {
+        return Err(CoreError::Config(format!(
+            "\"{key}\" must be a non-negative integer, got {value}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn apply_issue_toggles(toggles: &mut IssueToggles, json: &Json) -> Result<()> {
+    let Some(members) = json.as_object() else {
+        return Err(CoreError::Config(format!("\"issues\" must be a JSON object, got {json}")));
+    };
+    for (key, value) in members {
+        let on = bool_field(key, value)?;
+        match key.as_str() {
+            "string_outliers" => toggles.string_outliers = on,
+            "pattern_outliers" => toggles.pattern_outliers = on,
+            "disguised_missing" => toggles.disguised_missing = on,
+            "column_type" => toggles.column_type = on,
+            "numeric_outliers" => toggles.numeric_outliers = on,
+            "functional_dependencies" => toggles.functional_dependencies = on,
+            "duplication" => toggles.duplication = on,
+            "uniqueness" => toggles.uniqueness = on,
+            other => return Err(CoreError::Config(format!("unknown issue toggle \"{other}\""))),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +272,64 @@ mod tests {
         assert!(bad.validated().is_err());
         let ok = CleanerConfig { threads: Some(8), ..CleanerConfig::default() };
         assert!(ok.validated().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_config() {
+        let config = CleanerConfig {
+            sample_size: 42,
+            threads: Some(3),
+            statistical_context: false,
+            issues: CleanerConfig::only_issue("column_type").issues,
+            ..CleanerConfig::default()
+        };
+        let round = CleanerConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(round, config);
+    }
+
+    #[test]
+    fn partial_json_overlays_defaults() {
+        let json = cocoon_llm::json::parse(
+            r#"{"threads": 1, "issues": {"functional_dependencies": false}}"#,
+        )
+        .unwrap();
+        let config = CleanerConfig::from_json(&json).unwrap();
+        assert_eq!(config.threads, Some(1));
+        assert!(!config.issues.functional_dependencies);
+        // Everything else keeps the paper defaults.
+        assert_eq!(config.sample_size, 1000);
+        assert!(config.issues.string_outliers);
+    }
+
+    #[test]
+    fn empty_object_is_the_default_config() {
+        let json = cocoon_llm::json::parse("{}").unwrap();
+        assert_eq!(CleanerConfig::from_json(&json).unwrap(), CleanerConfig::default());
+    }
+
+    #[test]
+    fn bad_json_configs_are_rejected() {
+        for (raw, why) in [
+            (r#"[1, 2]"#, "not an object"),
+            (r#"{"sample_szie": 10}"#, "unknown field"),
+            (r#"{"sample_size": "ten"}"#, "wrong type"),
+            (r#"{"sample_size": 2.5}"#, "non-integer"),
+            (r#"{"threads": -1}"#, "negative"),
+            (r#"{"threads": 0}"#, "validation: zero threads"),
+            (r#"{"fd_min_strength": 3.0}"#, "validation: out of range"),
+            (r#"{"issues": {"string_outliers": "yes"}}"#, "toggle wrong type"),
+            (r#"{"issues": {"nope": true}}"#, "unknown toggle"),
+            (r#"{"issues": [true]}"#, "toggles not an object"),
+        ] {
+            let json = cocoon_llm::json::parse(raw).unwrap();
+            assert!(CleanerConfig::from_json(&json).is_err(), "{why}: {raw}");
+        }
+    }
+
+    #[test]
+    fn null_threads_means_environment_default() {
+        let json = cocoon_llm::json::parse(r#"{"threads": null}"#).unwrap();
+        assert_eq!(CleanerConfig::from_json(&json).unwrap().threads, None);
     }
 
     #[test]

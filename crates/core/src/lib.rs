@@ -35,6 +35,7 @@ pub mod error;
 pub mod issues;
 pub mod ops;
 pub mod pipeline;
+pub mod progress;
 pub mod report;
 pub mod state;
 
@@ -47,5 +48,6 @@ pub use decision::{
 pub use error::{CoreError, Result};
 pub use ops::{CleaningOp, IssueKind};
 pub use pipeline::{Cleaner, CleaningRun, STAGE_ORDER};
+pub use progress::{ProgressSnapshot, RunProgress};
 pub use report::{full_report, issue_summary, workflow_trace};
 pub use state::{DetectCtx, PipelineState};

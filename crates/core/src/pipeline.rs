@@ -21,6 +21,7 @@ use crate::decision::{AutoApprove, DecisionHook};
 use crate::error::Result;
 use crate::issues;
 use crate::ops::{CleaningOp, IssueKind};
+use crate::progress::RunProgress;
 use crate::state::PipelineState;
 use cocoon_llm::ChatModel;
 use cocoon_table::Table;
@@ -123,31 +124,63 @@ impl<M: ChatModel> Cleaner<M> {
         table: &Table,
         hook: &mut dyn DecisionHook,
     ) -> Result<CleaningRun> {
-        let mut state = PipelineState::new(table.clone(), &self.llm, &self.config, hook);
+        self.clean_observed(table, hook, None)
+    }
+
+    /// Cleans with every step auto-approved, publishing stage-by-stage
+    /// [`ProgressSnapshot`](crate::ProgressSnapshot)s to `progress` — the
+    /// shape a polling service needs: the cleaning thread owns the run,
+    /// observers share the `RunProgress`.
+    pub fn clean_with_progress(
+        &self,
+        table: &Table,
+        progress: &RunProgress,
+    ) -> Result<CleaningRun> {
+        let mut hook = AutoApprove;
+        self.clean_observed(table, &mut hook, Some(progress))
+    }
+
+    /// Full-control variant: custom hook, optional progress observation.
+    pub fn clean_observed(
+        &self,
+        table: &Table,
+        hook: &mut dyn DecisionHook,
+        progress: Option<&RunProgress>,
+    ) -> Result<CleaningRun> {
+        type StageFn = for<'a, 'b> fn(&'b mut PipelineState<'a>);
         let toggles = &self.config.issues;
-        if toggles.string_outliers {
-            issues::string_outlier::run(&mut state);
+        let stages: [(bool, IssueKind, StageFn); 8] = [
+            (toggles.string_outliers, IssueKind::StringOutliers, issues::string_outlier::run),
+            (toggles.pattern_outliers, IssueKind::PatternOutliers, issues::pattern_outlier::run),
+            (toggles.disguised_missing, IssueKind::DisguisedMissing, issues::dmv::run),
+            (toggles.column_type, IssueKind::ColumnType, issues::column_type::run),
+            (toggles.numeric_outliers, IssueKind::NumericOutliers, issues::numeric_outlier::run),
+            (
+                toggles.functional_dependencies,
+                IssueKind::FunctionalDependency,
+                issues::functional_dependency::run,
+            ),
+            (toggles.duplication, IssueKind::Duplication, issues::duplication::run),
+            (toggles.uniqueness, IssueKind::Uniqueness, issues::uniqueness::run),
+        ];
+        let mut state = PipelineState::new(table.clone(), &self.llm, &self.config, hook);
+        if let Some(p) = progress {
+            p.begin(stages.iter().filter(|(enabled, _, _)| *enabled).count());
         }
-        if toggles.pattern_outliers {
-            issues::pattern_outlier::run(&mut state);
+        for (enabled, kind, run) in stages {
+            if !enabled {
+                continue;
+            }
+            if let Some(p) = progress {
+                p.start_stage(kind.name());
+            }
+            run(&mut state);
+            if let Some(p) = progress {
+                p.finish_stage(state.ops.len());
+            }
         }
-        if toggles.disguised_missing {
-            issues::dmv::run(&mut state);
-        }
-        if toggles.column_type {
-            issues::column_type::run(&mut state);
-        }
-        if toggles.numeric_outliers {
-            issues::numeric_outlier::run(&mut state);
-        }
-        if toggles.functional_dependencies {
-            issues::functional_dependency::run(&mut state);
-        }
-        if toggles.duplication {
-            issues::duplication::run(&mut state);
-        }
-        if toggles.uniqueness {
-            issues::uniqueness::run(&mut state);
+        if let Some(p) = progress {
+            p.finish(state.ops.len());
         }
         Ok(CleaningRun { table: state.table, ops: state.ops, notes: state.notes })
     }
@@ -241,6 +274,33 @@ mod tests {
         assert!(cleaner.llm().call_count() > 5);
         assert!(cleaner.llm().total_usage().total() > 100);
         assert!(!run.ops.is_empty());
+    }
+
+    #[test]
+    fn progress_reports_enabled_stage_count_and_finishes() {
+        let cleaner = Cleaner::new(SimLlm::new());
+        let progress = RunProgress::new();
+        let run = cleaner.clean_with_progress(&messy(), &progress).unwrap();
+        let snap = progress.snapshot();
+        assert!(snap.finished);
+        assert_eq!(snap.total_stages, 8);
+        assert_eq!(snap.completed_stages, 8);
+        assert_eq!(snap.current_stage, None);
+        assert_eq!(snap.ops_applied, run.ops.len());
+        // Progress observation is invisible in the run itself.
+        let plain = cleaner.clean(&messy()).unwrap();
+        assert_eq!(run.table, plain.table);
+        assert_eq!(run.sql_script(), plain.sql_script());
+    }
+
+    #[test]
+    fn progress_counts_only_enabled_stages() {
+        let config = CleanerConfig::only_issue("disguised_missing");
+        let cleaner = Cleaner::with_config(SimLlm::new(), config).unwrap();
+        let progress = RunProgress::new();
+        cleaner.clean_with_progress(&messy(), &progress).unwrap();
+        let snap = progress.snapshot();
+        assert_eq!((snap.total_stages, snap.completed_stages), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Run-progress snapshots for polling a clean that executes elsewhere.
+//!
+//! The paper's hosted deployment is interactive: a user submits a table and
+//! watches the pipeline work through its stages. [`RunProgress`] is the
+//! observation channel that makes that possible without coupling the
+//! pipeline to any transport — the cleaning thread updates it between
+//! stages, and any number of observers (a job-poll endpoint, a TUI) read
+//! consistent [`ProgressSnapshot`]s concurrently.
+//!
+//! All methods take `&self`; the struct is `Send + Sync` and designed to
+//! live in an `Arc` shared between the worker running
+//! [`Cleaner::clean_with_progress`](crate::Cleaner::clean_with_progress)
+//! and its observers.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shared, thread-safe progress state of one cleaning run.
+#[derive(Debug, Default)]
+pub struct RunProgress {
+    total_stages: AtomicUsize,
+    completed_stages: AtomicUsize,
+    ops_applied: AtomicUsize,
+    finished: AtomicBool,
+    current_stage: Mutex<Option<&'static str>>,
+}
+
+/// One consistent observation of a [`RunProgress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Stages this run will execute (enabled issues only).
+    pub total_stages: usize,
+    /// Stages fully finished so far.
+    pub completed_stages: usize,
+    /// Operations applied so far (updated at stage boundaries).
+    pub ops_applied: usize,
+    /// Name of the stage currently executing, if any.
+    pub current_stage: Option<&'static str>,
+    /// True once the run has produced its `CleaningRun`.
+    pub finished: bool,
+}
+
+impl RunProgress {
+    pub fn new() -> Self {
+        RunProgress::default()
+    }
+
+    /// Called once when the run starts, with the number of enabled stages.
+    pub(crate) fn begin(&self, total_stages: usize) {
+        self.total_stages.store(total_stages, Ordering::Relaxed);
+        self.completed_stages.store(0, Ordering::Relaxed);
+        self.ops_applied.store(0, Ordering::Relaxed);
+        self.finished.store(false, Ordering::Relaxed);
+        *self.current_stage.lock().expect("progress lock") = None;
+    }
+
+    pub(crate) fn start_stage(&self, name: &'static str) {
+        *self.current_stage.lock().expect("progress lock") = Some(name);
+    }
+
+    pub(crate) fn finish_stage(&self, ops_applied: usize) {
+        self.ops_applied.store(ops_applied, Ordering::Relaxed);
+        self.completed_stages.fetch_add(1, Ordering::Relaxed);
+        *self.current_stage.lock().expect("progress lock") = None;
+    }
+
+    pub(crate) fn finish(&self, ops_applied: usize) {
+        self.ops_applied.store(ops_applied, Ordering::Relaxed);
+        *self.current_stage.lock().expect("progress lock") = None;
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough view for polling: counters are read relaxed, so
+    /// a snapshot racing a stage boundary may be one update stale — never
+    /// torn.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            total_stages: self.total_stages.load(Ordering::Relaxed),
+            completed_stages: self.completed_stages.load(Ordering::Relaxed),
+            ops_applied: self.ops_applied.load(Ordering::Relaxed),
+            current_stage: *self.current_stage.lock().expect("progress lock"),
+            finished: self.finished.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_updates_snapshot() {
+        let p = RunProgress::new();
+        assert_eq!(p.snapshot().total_stages, 0);
+        p.begin(3);
+        let s = p.snapshot();
+        assert_eq!((s.total_stages, s.completed_stages, s.finished), (3, 0, false));
+        p.start_stage("String Outliers");
+        assert_eq!(p.snapshot().current_stage, Some("String Outliers"));
+        p.finish_stage(2);
+        let s = p.snapshot();
+        assert_eq!((s.completed_stages, s.ops_applied, s.current_stage), (1, 2, None));
+        p.finish(5);
+        let s = p.snapshot();
+        assert!(s.finished);
+        assert_eq!(s.ops_applied, 5);
+    }
+
+    #[test]
+    fn begin_resets_a_reused_progress() {
+        let p = RunProgress::new();
+        p.begin(2);
+        p.start_stage("x");
+        p.finish_stage(1);
+        p.finish(1);
+        p.begin(4);
+        let s = p.snapshot();
+        assert_eq!((s.total_stages, s.completed_stages, s.ops_applied), (4, 0, 0));
+        assert!(!s.finished);
+    }
+
+    #[test]
+    fn concurrent_observation_is_safe() {
+        let p = std::sync::Arc::new(RunProgress::new());
+        p.begin(8);
+        std::thread::scope(|s| {
+            let worker = p.clone();
+            s.spawn(move || {
+                for _ in 0..8 {
+                    worker.start_stage("stage");
+                    worker.finish_stage(0);
+                }
+                worker.finish(0);
+            });
+            let observer = p.clone();
+            s.spawn(move || loop {
+                let snap = observer.snapshot();
+                assert!(snap.completed_stages <= snap.total_stages);
+                if snap.finished {
+                    break;
+                }
+            });
+        });
+        assert_eq!(p.snapshot().completed_stages, 8);
+    }
+}

@@ -8,9 +8,7 @@
 
 use crate::chat::{ChatModel, ChatRequest, ChatResponse};
 use crate::error::Result;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -71,18 +69,11 @@ impl<M: ChatModel> CachedLlm<M> {
         self.inner
     }
 
-    /// Cache key: hash of every message plus the temperature bits. A 64-bit
-    /// key over the few thousand distinct prompts of a cleaning run makes
-    /// collisions vanishingly unlikely; a collision would replay the wrong
-    /// (but well-formed) answer, never corrupt memory.
+    /// Cache key: [`ChatRequest::fingerprint`] — the same identity the
+    /// coalescing dispatcher single-flights on, so a cache hit and an
+    /// in-flight merge always agree on what "the same request" means.
     fn key(request: &ChatRequest) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        for message in &request.messages {
-            (message.role as u8).hash(&mut hasher);
-            message.content.hash(&mut hasher);
-        }
-        request.temperature.to_bits().hash(&mut hasher);
-        hasher.finish()
+        request.fingerprint()
     }
 
     fn lookup(&self, key: u64) -> Option<ChatResponse> {

@@ -58,6 +58,23 @@ impl ChatRequest {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// A 64-bit identity hash over roles, contents, and temperature bits —
+    /// the request key [`crate::CachedLlm`] memoises on and
+    /// [`crate::CoalescingDispatcher`] coalesces on. Collisions over the
+    /// few thousand distinct prompts of a cleaning run are vanishingly
+    /// unlikely, and would replay a wrong (but well-formed) answer, never
+    /// corrupt memory.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for message in &self.messages {
+            (message.role as u8).hash(&mut hasher);
+            message.content.hash(&mut hasher);
+        }
+        self.temperature.to_bits().hash(&mut hasher);
+        hasher.finish()
+    }
 }
 
 /// Token accounting, approximated by whitespace-separated word count —
@@ -109,6 +126,41 @@ pub trait ChatModel: Send + Sync {
     /// get the full batch at once.
     fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
         requests.iter().map(|r| self.complete(r)).collect()
+    }
+}
+
+/// A shared reference is itself a model: lets long-lived services hand one
+/// process-wide model (cache, dispatcher) to many [`Cleaner`]s by reference.
+/// Forwards `complete_batch` so wrapper batching is not lost.
+///
+/// [`Cleaner`]: ../cocoon_core/struct.Cleaner.html
+impl<M: ChatModel + ?Sized> ChatModel for &M {
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+        (**self).complete(request)
+    }
+
+    fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        (**self).complete_batch(requests)
+    }
+}
+
+/// `Arc<M>` is a model too — the ownership shape of a server whose request
+/// handlers outlive any one borrow.
+impl<M: ChatModel + ?Sized> ChatModel for std::sync::Arc<M> {
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+        (**self).complete(request)
+    }
+
+    fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        (**self).complete_batch(requests)
     }
 }
 
@@ -222,6 +274,34 @@ mod tests {
         });
         assert_eq!(llm.prompts_seen().len(), 4);
         assert_eq!(llm.complete(&ChatRequest::simple("x")), Err(LlmError::Empty));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content_role_and_temperature() {
+        let base = ChatRequest::simple("p");
+        assert_eq!(base.fingerprint(), ChatRequest::simple("p").fingerprint());
+        assert_ne!(base.fingerprint(), ChatRequest::simple("q").fingerprint());
+        let warm = ChatRequest { temperature: 0.7, ..base.clone() };
+        assert_ne!(base.fingerprint(), warm.fingerprint());
+        let system = ChatRequest { messages: vec![Message::system("p")], temperature: 0.0 };
+        assert_ne!(base.fingerprint(), system.fingerprint());
+    }
+
+    #[test]
+    fn references_and_arcs_are_models() {
+        fn takes_model<M: ChatModel>(m: M) -> String {
+            m.model_name().to_string()
+        }
+        let llm = ScriptedLlm::new(["a"]);
+        assert_eq!(takes_model(&llm), "scripted");
+        let shared = std::sync::Arc::new(llm);
+        assert_eq!(takes_model(std::sync::Arc::clone(&shared)), "scripted");
+        // Batch calls forward through the blanket `&M` impl, not the
+        // sequential default.
+        let by_ref: &ScriptedLlm = &shared;
+        let responses =
+            <&ScriptedLlm as ChatModel>::complete_batch(&by_ref, &[ChatRequest::simple("x")]);
+        assert_eq!(responses[0].as_ref().unwrap().content, "a");
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! `CoalescingDispatcher` — the request-shaping layer in front of a shared
+//! model backend.
+//!
+//! PR 3 made `ChatModel` thread-safe and batched; this module is the
+//! follow-up it left open: once many concurrent callers (detection workers,
+//! server request handlers) share one backend, the dispatcher decides *what
+//! actually reaches it*. Three policies compose here:
+//!
+//! * **Single-flight coalescing** — concurrent identical requests (same
+//!   [`ChatRequest::fingerprint`]) share one in-flight completion: the first
+//!   arrival executes, later arrivals wait and receive a clone of its
+//!   answer. With a temperature-0 deterministic backend this is invisible
+//!   in the output and saves the duplicate calls a cold cache lets through.
+//! * **Batch windows** — the first caller with a *distinct* pending request
+//!   becomes the batch leader: it waits up to
+//!   [`DispatcherConfig::batch_window`] for other distinct requests to
+//!   arrive, then forwards the whole set as one
+//!   [`ChatModel::complete_batch`] call, the shape hosted APIs amortise.
+//! * **Token-bucket rate limiting** — every dispatch first takes one token
+//!   per distinct prompt from a bucket refilled at
+//!   [`RateLimit::per_sec`]; when the bucket is dry the *leader* sleeps
+//!   (followers keep piggybacking on its flight), bounding the request
+//!   rate the backend sees regardless of caller concurrency.
+//!
+//! The dispatcher deliberately does **not** memoise finished answers — that
+//! is [`crate::CachedLlm`]'s job; stack them as
+//! `CachedLlm::new(CoalescingDispatcher::new(backend, config))` so repeats
+//! hit the cache and only genuine cold misses reach the dispatch queue.
+
+use crate::chat::{ChatModel, ChatRequest, ChatResponse};
+use crate::error::{LlmError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A token-bucket rate limit: sustained `per_sec` requests per second with
+/// bursts of up to `burst` requests passing untrottled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained requests per second handed to the backend. Must be > 0.
+    pub per_sec: f64,
+    /// Bucket capacity: how many requests may pass back-to-back after idle
+    /// time. Values below 1 are treated as 1.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    pub fn new(per_sec: f64, burst: f64) -> Self {
+        RateLimit { per_sec, burst }
+    }
+}
+
+/// Tunables of a [`CoalescingDispatcher`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatcherConfig {
+    /// How long a batch leader waits for more distinct requests before
+    /// dispatching. Zero disables the wait (each distinct single request
+    /// dispatches immediately; identical in-flight requests still coalesce).
+    pub batch_window: Duration,
+    /// Dispatch early once this many distinct requests are pending.
+    pub max_batch: usize,
+    /// Optional token-bucket rate limit on dispatched prompts.
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig { batch_window: Duration::from_millis(2), max_batch: 64, rate_limit: None }
+    }
+}
+
+/// Counter snapshot; see the field docs for what each counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatcherStats {
+    /// Requests that piggybacked on an identical request already pending or
+    /// in flight (single-flight merges plus in-batch duplicates) — each one
+    /// is a completion the backend never saw.
+    pub coalesced: usize,
+    /// `complete_batch` calls issued to the backend.
+    pub batches: usize,
+    /// Distinct prompts those batches carried (`batched_prompts > batches`
+    /// means at least one multi-prompt window was merged).
+    pub batched_prompts: usize,
+    /// Dispatches that found the token bucket dry and had to sleep.
+    pub rate_limit_waits: usize,
+    /// Total time dispatches spent sleeping on the bucket, in milliseconds.
+    pub rate_limited_ms: u64,
+}
+
+/// One pending-or-in-flight completion, keyed by request fingerprint.
+struct Flight {
+    result: Option<Result<ChatResponse>>,
+    /// Callers that will read `result`; the last reader removes the entry,
+    /// so finished answers are never memoised here (that is the cache's
+    /// job) and a later identical request starts a fresh flight.
+    waiters: usize,
+}
+
+/// Queue state guarded by one mutex; the condvar signals both "a new
+/// request arrived" (ends a leader's window early at `max_batch`) and
+/// "results landed" (wakes waiters).
+struct DispatchQueue {
+    /// Distinct requests awaiting a leader, in arrival order.
+    pending: Vec<(u64, ChatRequest)>,
+    flights: HashMap<u64, Flight>,
+    /// True while a leader is inside its batch window: arrivals during the
+    /// window join `pending` and will be drained by that leader.
+    collecting: bool,
+}
+
+struct TokenBucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// The dispatcher; see the module docs for the policy stack. Wraps any
+/// [`ChatModel`] and is itself one, so it composes with [`crate::CachedLlm`]
+/// and `Transcript` like any other layer.
+pub struct CoalescingDispatcher<M> {
+    inner: M,
+    config: DispatcherConfig,
+    queue: Mutex<DispatchQueue>,
+    signal: Condvar,
+    bucket: Option<Mutex<TokenBucket>>,
+    coalesced: AtomicUsize,
+    batches: AtomicUsize,
+    batched_prompts: AtomicUsize,
+    rate_limit_waits: AtomicUsize,
+    rate_limited_ns: AtomicU64,
+}
+
+impl<M: ChatModel> CoalescingDispatcher<M> {
+    pub fn new(inner: M, config: DispatcherConfig) -> Self {
+        let bucket = config.rate_limit.map(|limit| {
+            Mutex::new(TokenBucket { tokens: limit.burst.max(1.0), last_refill: Instant::now() })
+        });
+        CoalescingDispatcher {
+            inner,
+            config,
+            queue: Mutex::new(DispatchQueue {
+                pending: Vec::new(),
+                flights: HashMap::new(),
+                collecting: false,
+            }),
+            signal: Condvar::new(),
+            bucket,
+            coalesced: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            batched_prompts: AtomicUsize::new(0),
+            rate_limit_waits: AtomicUsize::new(0),
+            rate_limited_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// A dispatcher with default windowing and no rate limit.
+    pub fn with_defaults(inner: M) -> Self {
+        Self::new(inner, DispatcherConfig::default())
+    }
+
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.config
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> DispatcherStats {
+        DispatcherStats {
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_prompts: self.batched_prompts.load(Ordering::Relaxed),
+            rate_limit_waits: self.rate_limit_waits.load(Ordering::Relaxed),
+            rate_limited_ms: self.rate_limited_ns.load(Ordering::Relaxed) / 1_000_000,
+        }
+    }
+
+    /// Takes `n` tokens from the bucket, sleeping while it is dry. The
+    /// demand is clamped to the bucket capacity so an oversized batch
+    /// drains the bucket instead of deadlocking on tokens it can never
+    /// hold. No-op without a configured rate limit.
+    fn throttle(&self, n: usize) {
+        let Some(bucket) = &self.bucket else { return };
+        let limit = self.config.rate_limit.expect("bucket implies limit");
+        let per_sec = limit.per_sec.max(f64::MIN_POSITIVE);
+        let capacity = limit.burst.max(1.0);
+        let need = (n as f64).min(capacity);
+        let mut waited = Duration::ZERO;
+        loop {
+            let sleep_for = {
+                let mut b = bucket.lock().expect("bucket lock");
+                let now = Instant::now();
+                let refill = now.duration_since(b.last_refill).as_secs_f64() * per_sec;
+                b.tokens = (b.tokens + refill).min(capacity);
+                b.last_refill = now;
+                if b.tokens >= need {
+                    b.tokens -= need;
+                    None
+                } else {
+                    Some(Duration::from_secs_f64((need - b.tokens) / per_sec))
+                }
+            };
+            let Some(sleep_for) = sleep_for else { break };
+            if waited.is_zero() {
+                self.rate_limit_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(sleep_for);
+            waited += sleep_for;
+        }
+        if !waited.is_zero() {
+            self.rate_limited_ns.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks until `key`'s flight has a result, consumes one waiter slot,
+    /// and returns a clone of the result (the last reader removes the
+    /// flight).
+    fn await_result(
+        &self,
+        mut queue: MutexGuard<'_, DispatchQueue>,
+        key: u64,
+    ) -> Result<ChatResponse> {
+        loop {
+            if queue.flights.get(&key).is_some_and(|f| f.result.is_some()) {
+                break;
+            }
+            queue = self.signal.wait(queue).expect("dispatch lock");
+        }
+        let flight = queue.flights.get_mut(&key).expect("flight exists until last reader");
+        let result = flight.result.clone().expect("checked above");
+        flight.waiters -= 1;
+        if flight.waiters == 0 {
+            queue.flights.remove(&key);
+        }
+        result
+    }
+
+    /// The error published for slots a misbehaving backend left unanswered
+    /// — every flight must resolve, or its waiters block forever.
+    fn short_batch_error() -> LlmError {
+        LlmError::Completion("backend returned fewer responses than requests".into())
+    }
+
+    /// Runs the backend batch with a panic guard: a panicking backend
+    /// becomes per-request errors instead of unwinding the leader and
+    /// stranding every waiter (present and future) on unresolved flights.
+    /// `AssertUnwindSafe` is sound here — the dispatcher reads nothing
+    /// from the backend after a panic, and its own state is only touched
+    /// after this returns.
+    fn guarded_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.complete_batch(requests)
+        }))
+        .unwrap_or_else(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            let error = LlmError::Completion(format!("backend panicked: {detail}"));
+            requests.iter().map(|_| Err(error.clone())).collect()
+        })
+    }
+
+    /// Executes one drained batch against the backend (throttled), then
+    /// publishes each result to its flight. A backend that returns fewer
+    /// responses than requests (the trait cannot enforce the length) fails
+    /// the unanswered tail instead of stranding its waiters.
+    fn dispatch(&self, batch: Vec<(u64, ChatRequest)>) {
+        self.throttle(batch.len());
+        let requests: Vec<ChatRequest> = batch.iter().map(|(_, r)| r.clone()).collect();
+        let mut responses = self.guarded_batch(&requests).into_iter();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_prompts.fetch_add(batch.len(), Ordering::Relaxed);
+        let mut queue = self.queue.lock().expect("dispatch lock");
+        for (key, _) in batch {
+            let response = responses.next().unwrap_or_else(|| Err(Self::short_batch_error()));
+            if let Some(flight) = queue.flights.get_mut(&key) {
+                flight.result = Some(response);
+            }
+        }
+        drop(queue);
+        self.signal.notify_all();
+    }
+}
+
+impl<M: ChatModel> ChatModel for CoalescingDispatcher<M> {
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+        let key = request.fingerprint();
+        let mut queue = self.queue.lock().expect("dispatch lock");
+        if let Some(flight) = queue.flights.get_mut(&key) {
+            // Identical request already pending or in flight: piggyback.
+            flight.waiters += 1;
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return self.await_result(queue, key);
+        }
+        queue.flights.insert(key, Flight { result: None, waiters: 1 });
+        queue.pending.push((key, request.clone()));
+        if queue.collecting {
+            // A leader's window is open; it will drain us with its batch.
+            // Wake it so a window that just reached `max_batch` dispatches
+            // now instead of sleeping out its full duration.
+            self.signal.notify_all();
+            return self.await_result(queue, key);
+        }
+        // Become the batch leader: hold the window open, then drain
+        // everything that arrived. `max_batch` ends the window early; the
+        // drain still takes every pending request (a late arrival between
+        // the last wake and the drain rides along rather than waiting for
+        // a leader that might never come).
+        queue.collecting = true;
+        let deadline = Instant::now() + self.config.batch_window;
+        while queue.pending.len() < self.config.max_batch {
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, _) = self.signal.wait_timeout(queue, remaining).expect("dispatch lock");
+            queue = guard;
+        }
+        let batch = std::mem::take(&mut queue.pending);
+        queue.collecting = false;
+        drop(queue);
+        self.dispatch(batch);
+        self.await_result(self.queue.lock().expect("dispatch lock"), key)
+    }
+
+    /// Batch calls already arrive amortised; the dispatcher still dedupes
+    /// identical prompts within the batch (each duplicate counts as
+    /// coalesced) and rate-limits the distinct remainder as one dispatch.
+    fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        let mut first_slot: HashMap<u64, usize> = HashMap::with_capacity(requests.len());
+        let mut distinct: Vec<ChatRequest> = Vec::with_capacity(requests.len());
+        let mut slots: Vec<usize> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let key = request.fingerprint();
+            let slot = match first_slot.get(&key) {
+                Some(&slot) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    slot
+                }
+                None => {
+                    let slot = distinct.len();
+                    first_slot.insert(key, slot);
+                    distinct.push(request.clone());
+                    slot
+                }
+            };
+            slots.push(slot);
+        }
+        if distinct.is_empty() {
+            return Vec::new();
+        }
+        self.throttle(distinct.len());
+        let responses = self.guarded_batch(&distinct);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_prompts.fetch_add(distinct.len(), Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|i| responses.get(i).cloned().unwrap_or_else(|| Err(Self::short_batch_error())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::ScriptedLlm;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Records the size of every batch the backend receives and answers
+    /// each prompt deterministically by echoing it.
+    struct EchoBackend {
+        batch_sizes: Mutex<Vec<usize>>,
+        calls: AtomicUsize,
+    }
+
+    impl EchoBackend {
+        fn new() -> Self {
+            EchoBackend { batch_sizes: Mutex::new(Vec::new()), calls: AtomicUsize::new(0) }
+        }
+    }
+
+    impl ChatModel for EchoBackend {
+        fn model_name(&self) -> &str {
+            "echo"
+        }
+
+        fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Ok(ChatResponse {
+                content: format!("echo: {}", request.user_text()),
+                usage: Default::default(),
+            })
+        }
+
+        fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+            self.batch_sizes.lock().unwrap().push(requests.len());
+            requests.iter().map(|r| self.complete(r)).collect()
+        }
+    }
+
+    fn windowed(ms: u64) -> DispatcherConfig {
+        DispatcherConfig { batch_window: Duration::from_millis(ms), ..DispatcherConfig::default() }
+    }
+
+    #[test]
+    fn single_request_passes_through() {
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(0));
+        let out = d.complete(&ChatRequest::simple("hello")).unwrap();
+        assert_eq!(out.content, "echo: hello");
+        let stats = d.stats();
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!((stats.batches, stats.batched_prompts), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_single_flight() {
+        // A long window guarantees the leader is still collecting when the
+        // other threads arrive with the identical prompt.
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(200));
+        let answers: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| d.complete(&ChatRequest::simple("same")).unwrap().content))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(answers.iter().all(|a| a == "echo: same"));
+        let stats = d.stats();
+        assert_eq!(stats.coalesced, 3, "three followers piggybacked");
+        assert_eq!(d.inner().calls.load(Ordering::Relaxed), 1, "backend saw one call");
+    }
+
+    #[test]
+    fn distinct_requests_merge_into_one_batch_window() {
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(200));
+        let d = &d;
+        let answers: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    s.spawn(move || {
+                        d.complete(&ChatRequest::simple(format!("p{i}"))).unwrap().content
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sorted = answers.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["echo: p0", "echo: p1", "echo: p2"]);
+        let sizes = d.inner().batch_sizes.lock().unwrap().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 3, "every prompt dispatched once");
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "a window with three concurrent distinct prompts must merge some: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn max_batch_ends_the_window_early() {
+        let config = DispatcherConfig {
+            batch_window: Duration::from_secs(60),
+            max_batch: 1,
+            ..DispatcherConfig::default()
+        };
+        let d = CoalescingDispatcher::new(EchoBackend::new(), config);
+        // With max_batch=1 the leader must dispatch immediately instead of
+        // sleeping out the 60s window.
+        let start = Instant::now();
+        d.complete(&ChatRequest::simple("now")).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn arrivals_filling_the_window_wake_the_leader() {
+        // A 60s window with max_batch=2: the second distinct arrival must
+        // wake the sleeping leader, not wait out the hour.
+        let config = DispatcherConfig {
+            batch_window: Duration::from_secs(60),
+            max_batch: 2,
+            ..DispatcherConfig::default()
+        };
+        let d = CoalescingDispatcher::new(EchoBackend::new(), config);
+        let d = &d;
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            let a = s.spawn(|| d.complete(&ChatRequest::simple("a")).unwrap().content);
+            let b = s.spawn(|| d.complete(&ChatRequest::simple("b")).unwrap().content);
+            assert_eq!(a.join().unwrap(), "echo: a");
+            assert_eq!(b.join().unwrap(), "echo: b");
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "a full window must dispatch early, not sleep out its duration"
+        );
+        assert_eq!(d.inner().batch_sizes.lock().unwrap().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn batch_calls_dedupe_identical_prompts() {
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(0));
+        let requests = vec![
+            ChatRequest::simple("a"),
+            ChatRequest::simple("b"),
+            ChatRequest::simple("a"),
+            ChatRequest::simple("a"),
+        ];
+        let responses = d.complete_batch(&requests);
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].as_ref().unwrap().content, "echo: a");
+        assert_eq!(responses[2].as_ref().unwrap().content, "echo: a");
+        let stats = d.stats();
+        assert_eq!(stats.coalesced, 2, "two duplicate 'a' prompts merged");
+        assert_eq!(d.inner().batch_sizes.lock().unwrap().as_slice(), &[2]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(0));
+        assert!(d.complete_batch(&[]).is_empty());
+        assert_eq!(d.stats().batches, 0);
+    }
+
+    #[test]
+    fn rate_limit_enforces_waits() {
+        let config = DispatcherConfig {
+            batch_window: Duration::ZERO,
+            rate_limit: Some(RateLimit::new(50.0, 1.0)),
+            ..DispatcherConfig::default()
+        };
+        let d = CoalescingDispatcher::new(EchoBackend::new(), config);
+        let start = Instant::now();
+        d.complete(&ChatRequest::simple("first")).unwrap(); // burst token
+        d.complete(&ChatRequest::simple("second")).unwrap(); // must wait ~20ms
+        let elapsed = start.elapsed();
+        let stats = d.stats();
+        assert!(stats.rate_limit_waits >= 1, "second dispatch found the bucket dry");
+        assert!(
+            elapsed >= Duration::from_millis(10),
+            "a 50/s limit must delay the second call: {elapsed:?}"
+        );
+        assert!(stats.rate_limited_ms >= 10);
+    }
+
+    #[test]
+    fn oversized_batch_does_not_deadlock_on_a_small_bucket() {
+        let config = DispatcherConfig {
+            batch_window: Duration::ZERO,
+            rate_limit: Some(RateLimit::new(1000.0, 2.0)),
+            ..DispatcherConfig::default()
+        };
+        let d = CoalescingDispatcher::new(EchoBackend::new(), config);
+        let requests: Vec<ChatRequest> =
+            (0..8).map(|i| ChatRequest::simple(format!("p{i}"))).collect();
+        let responses = d.complete_batch(&requests);
+        assert_eq!(responses.len(), 8);
+        assert!(responses.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn errors_propagate_per_request() {
+        // Scripted backend with one answer: second distinct prompt gets
+        // Empty, and the error reaches exactly its caller.
+        let d = CoalescingDispatcher::new(ScriptedLlm::new(["only"]), windowed(0));
+        assert!(d.complete(&ChatRequest::simple("a")).is_ok());
+        assert!(d.complete(&ChatRequest::simple("b")).is_err());
+    }
+
+    /// Misbehaves by answering only the first request of every batch.
+    struct ShortBatchBackend;
+
+    impl ChatModel for ShortBatchBackend {
+        fn model_name(&self) -> &str {
+            "short"
+        }
+
+        fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+            Ok(ChatResponse { content: request.user_text(), usage: Default::default() })
+        }
+
+        fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+            requests.iter().take(1).map(|r| self.complete(r)).collect()
+        }
+    }
+
+    #[test]
+    fn short_batch_responses_fail_the_tail_instead_of_hanging() {
+        // Single-request path through a window: both callers must resolve
+        // even though the backend answers only one of the two.
+        let d = CoalescingDispatcher::new(ShortBatchBackend, windowed(200));
+        let d = &d;
+        let results: Vec<Result<ChatResponse>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| s.spawn(move || d.complete(&ChatRequest::simple(format!("p{i}")))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let answered = results.iter().filter(|r| r.is_ok()).count();
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        assert!(answered >= 1, "{results:?}");
+        assert_eq!(answered + failed, 2, "no caller may hang: {results:?}");
+
+        // Batch path: the scatter must not panic or drop slots either.
+        let responses = d.complete_batch(&[ChatRequest::simple("a"), ChatRequest::simple("b")]);
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0].is_ok());
+        assert!(responses[1].is_err());
+    }
+
+    /// Panics on every batch — models a backend bug.
+    struct PanickingBackend;
+
+    impl ChatModel for PanickingBackend {
+        fn model_name(&self) -> &str {
+            "panicking"
+        }
+
+        fn complete(&self, _request: &ChatRequest) -> Result<ChatResponse> {
+            panic!("backend exploded");
+        }
+
+        fn complete_batch(&self, _requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+            panic!("backend exploded");
+        }
+    }
+
+    #[test]
+    fn backend_panics_become_errors_not_hangs() {
+        let d = CoalescingDispatcher::new(PanickingBackend, windowed(0));
+        let err = d.complete(&ChatRequest::simple("p")).unwrap_err();
+        assert!(err.to_string().contains("backend exploded"), "{err}");
+        // The flight was cleaned up: a retry dispatches again (and errors
+        // again) instead of hanging on a dead flight.
+        assert!(d.complete(&ChatRequest::simple("p")).is_err());
+        // Batch path survives too.
+        let responses = d.complete_batch(&[ChatRequest::simple("a")]);
+        assert!(responses[0].is_err());
+    }
+
+    #[test]
+    fn sequential_identical_requests_are_not_memoised() {
+        // The dispatcher is not a cache: once a flight's waiters have all
+        // read, an identical later request dispatches again.
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(0));
+        d.complete(&ChatRequest::simple("again")).unwrap();
+        d.complete(&ChatRequest::simple("again")).unwrap();
+        assert_eq!(d.inner().calls.load(Ordering::Relaxed), 2);
+        assert_eq!(d.stats().coalesced, 0);
+    }
+}

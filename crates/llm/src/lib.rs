@@ -10,6 +10,9 @@
 //!   (single and batched completion) plus scripted and failing test doubles,
 //! * [`cache`] — [`CachedLlm`], a prompt-hash-keyed completion cache with
 //!   hit/miss accounting for repeat cleans,
+//! * [`dispatch`] — [`CoalescingDispatcher`], the request-shaping layer for
+//!   shared backends: single-flight merging of concurrent identical
+//!   prompts, batch windows over distinct ones, token-bucket rate limiting,
 //! * [`prompts`] — the prompt templates for all eight issue types, with the
 //!   string-outlier prompts reproducing the paper's Figures 2–3 verbatim,
 //! * [`json`] / [`yaml`] — from-scratch wire-format parsers tolerant of the
@@ -22,6 +25,7 @@
 
 pub mod cache;
 pub mod chat;
+pub mod dispatch;
 pub mod error;
 pub mod json;
 pub mod prompts;
@@ -34,6 +38,7 @@ pub use cache::CachedLlm;
 pub use chat::{
     ChatModel, ChatRequest, ChatResponse, FailingLlm, Message, Role, ScriptedLlm, Usage,
 };
+pub use dispatch::{CoalescingDispatcher, DispatcherConfig, DispatcherStats, RateLimit};
 pub use error::{LlmError, Result};
 pub use json::Json;
 pub use responses::{

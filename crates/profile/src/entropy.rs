@@ -7,6 +7,7 @@
 
 use cocoon_table::{Table, Value};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Shannon entropy (bits) of a discrete distribution given by counts.
 pub fn entropy(counts: &[usize]) -> f64 {
@@ -150,15 +151,25 @@ pub struct FdCandidate {
     pub violating_groups: usize,
 }
 
+/// Sorted pair counts of one `(lhs, rhs)` column pair, shared between the
+/// scoring pass that produced them and later group extraction.
+type PairMemo = Mutex<HashMap<(usize, usize), Arc<Vec<(u64, usize)>>>>;
+
 /// A reusable FD scan over one table: every column dictionary-coded once,
 /// serving both candidate scoring and per-candidate violating-group
 /// extraction without re-hashing any value. Shareable across detection
-/// workers (`&self` methods only).
+/// workers (`&self` methods only; the pair memo locks internally).
 pub struct FdScan<'a> {
     /// Per column: the raw values plus their encoding (None for columns
     /// that cannot be read).
     columns: Vec<Option<(&'a [Value], CodedColumn)>>,
     height: usize,
+    /// Sorted pair scans kept from [`candidates`](Self::candidates) for the
+    /// pairs that became candidates — exactly the ones
+    /// [`violating_groups`](Self::violating_groups) is later asked about,
+    /// so the group extraction skips the re-sort (~20 ms across Movies' 43
+    /// candidates).
+    pair_memo: PairMemo,
 }
 
 impl<'a> FdScan<'a> {
@@ -171,7 +182,7 @@ impl<'a> FdScan<'a> {
                 })
             })
             .collect();
-        FdScan { columns, height: table.height() }
+        FdScan { columns, height: table.height(), pair_memo: Mutex::new(HashMap::new()) }
     }
 
     /// Scores every ordered column pair as an FD candidate and returns
@@ -220,6 +231,7 @@ impl<'a> FdScan<'a> {
                     continue;
                 }
                 let violating_groups = violating_groups_from_pairs(&pairs);
+                self.pair_memo.lock().expect("pair memo lock").insert((lhs, rhs), Arc::new(pairs));
                 out.push(FdCandidate {
                     lhs,
                     rhs,
@@ -239,15 +251,27 @@ impl<'a> FdScan<'a> {
     }
 
     /// Violating groups of `lhs → rhs` (see [`fd_violating_groups`]),
-    /// served from the prebuilt encodings. Empty when either column index
-    /// is unreadable.
+    /// served from the prebuilt encodings — and from the memoised pair
+    /// scan when [`candidates`](Self::candidates) already sorted this pair.
+    /// Empty when either column index is unreadable.
     pub fn violating_groups(&self, lhs: usize, rhs: usize) -> Vec<(Value, Vec<(Value, usize)>)> {
         let (Some(Some((lhs_values, lhs_coded))), Some(Some((rhs_values, rhs_coded)))) =
             (self.columns.get(lhs), self.columns.get(rhs))
         else {
             return Vec::new();
         };
-        groups_from_coded(lhs_values, lhs_coded, rhs_values, rhs_coded)
+        let memoised = self.pair_memo.lock().expect("pair memo lock").get(&(lhs, rhs)).cloned();
+        let pairs = match memoised {
+            Some(pairs) => pairs,
+            None => Arc::new(pair_counts(lhs_coded, rhs_coded).0),
+        };
+        groups_from_pairs(lhs_values, lhs_coded, rhs_values, rhs_coded, &pairs)
+    }
+
+    /// Number of memoised pair scans (test observability).
+    #[cfg(test)]
+    fn memoised_pairs(&self) -> usize {
+        self.pair_memo.lock().expect("pair memo lock").len()
     }
 }
 
@@ -263,16 +287,18 @@ pub fn fd_candidates(table: &Table, min_strength: f64, max_unique_ratio: f64) ->
 pub fn fd_violating_groups(lhs: &[Value], rhs: &[Value]) -> Vec<(Value, Vec<(Value, usize)>)> {
     let lhs_coded = CodedColumn::encode(lhs);
     let rhs_coded = CodedColumn::encode(rhs);
-    groups_from_coded(lhs, &lhs_coded, rhs, &rhs_coded)
+    let (pairs, _) = pair_counts(&lhs_coded, &rhs_coded);
+    groups_from_pairs(lhs, &lhs_coded, rhs, &rhs_coded, &pairs)
 }
 
 /// Shared group extraction: read the violating groups off the sorted pair
 /// keys; values are decoded (and cloned) only for the violating minority.
-fn groups_from_coded(
+fn groups_from_pairs(
     lhs: &[Value],
     lhs_coded: &CodedColumn,
     rhs: &[Value],
     rhs_coded: &CodedColumn,
+    pairs: &[(u64, usize)],
 ) -> Vec<(Value, Vec<(Value, usize)>)> {
     fn decode<'a>(values: &'a [Value], coded: &CodedColumn) -> Vec<&'a Value> {
         let mut table: Vec<Option<&Value>> = vec![None; coded.cardinality()];
@@ -285,7 +311,6 @@ fn groups_from_coded(
     }
     let lhs_values = decode(lhs, lhs_coded);
     let rhs_values = decode(rhs, rhs_coded);
-    let (pairs, _) = pair_counts(lhs_coded, rhs_coded);
     let mut out: Vec<(Value, Vec<(Value, usize)>)> = Vec::new();
     let mut i = 0;
     while i < pairs.len() {
@@ -373,6 +398,38 @@ mod tests {
         assert_eq!(zip_city.violating_groups, 1);
         // name is key-like: never a lhs.
         assert!(candidates.iter().all(|c| c.lhs != 2));
+    }
+
+    #[test]
+    fn violating_groups_reuse_the_candidate_scan() {
+        let t = table(&[
+            ["1", "Austin", "a"],
+            ["1", "Austin", "b"],
+            ["1", "Autsin", "c"],
+            ["2", "Dallas", "d"],
+            ["2", "Dallas", "e"],
+            ["3", "Waco", "f"],
+            ["3", "Waco", "g"],
+        ]);
+        let scan = FdScan::new(&t);
+        assert_eq!(scan.memoised_pairs(), 0, "nothing memoised before scoring");
+        let candidates = scan.candidates(0.5, 0.9);
+        assert_eq!(scan.memoised_pairs(), candidates.len(), "one memo per candidate");
+        // Memoised and from-scratch extraction agree exactly.
+        for c in &candidates {
+            let via_scan = scan.violating_groups(c.lhs, c.rhs);
+            let direct = fd_violating_groups(
+                t.column(c.lhs).unwrap().values(),
+                t.column(c.rhs).unwrap().values(),
+            );
+            assert_eq!(via_scan, direct, "{} → {}", c.lhs, c.rhs);
+        }
+        // A pair candidates() never scored still works (un-memoised path).
+        let cold = scan.violating_groups(2, 0);
+        assert_eq!(
+            cold,
+            fd_violating_groups(t.column(2).unwrap().values(), t.column(0).unwrap().values(),)
+        );
     }
 
     #[test]

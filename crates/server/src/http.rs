@@ -1,0 +1,567 @@
+//! Vendored mini HTTP/1.1 — request parsing, bodies, keep-alive, responses.
+//!
+//! The build environment has no crates.io access, so in the spirit of the
+//! `crates/compat` shims this module implements exactly the protocol slice
+//! a JSON service needs on top of `std::net`:
+//!
+//! * request-line and header parsing from a byte stream, robust to split
+//!   reads (a [`RequestReader`] buffers across `read` calls and carries
+//!   pipelined leftovers to the next request),
+//! * bodies via `Content-Length` **or** `Transfer-Encoding: chunked`, with
+//!   a hard size cap (over-cap → 413, malformed → 400),
+//! * HTTP/1.1 keep-alive semantics (1.1 persistent by default, 1.0 only
+//!   with `Connection: keep-alive`, `Connection: close` always wins),
+//! * response serialisation with `Content-Length` framing.
+//!
+//! TLS, compression, `Expect: 100-continue` and trailers are out of scope —
+//! a reverse proxy terminates those in any real deployment.
+
+use std::io::{Read, Write};
+
+/// Cap on the request line + headers. Larger heads are rejected as 400.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on request bodies (8 MiB — comfortably above a Movies-scale
+/// CSV). Larger bodies are rejected as 413.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// Request target with any `?query` suffix stripped.
+    pub path: String,
+    /// Header name/value pairs in arrival order (names as sent).
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    keep_alive: bool,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before the first byte of a request — the peer closed an
+    /// idle keep-alive connection; not an error worth a response.
+    Closed,
+    /// The bytes violate the protocol (bad request line, unparsable
+    /// `Content-Length`, truncated body, oversized head) → 400.
+    Malformed(String),
+    /// The declared or streamed body exceeds the configured cap → 413.
+    PayloadTooLarge,
+    /// Transport failure mid-read; the connection is unusable.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status code this error should answer with, if any.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Malformed(_) => Some(400),
+            HttpError::PayloadTooLarge => Some(413),
+            HttpError::Closed | HttpError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => f.write_str("connection closed"),
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::PayloadTooLarge => f.write_str("payload too large"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Reads successive requests off one connection, buffering split reads and
+/// carrying pipelined bytes between requests.
+pub struct RequestReader<R> {
+    source: R,
+    buffer: Vec<u8>,
+    max_body: usize,
+}
+
+impl<R: Read> RequestReader<R> {
+    pub fn new(source: R, max_body: usize) -> Self {
+        RequestReader { source, buffer: Vec::new(), max_body }
+    }
+
+    /// Pulls more bytes from the source into the buffer. Returns false on
+    /// EOF.
+    fn fill(&mut self) -> Result<bool, HttpError> {
+        let mut chunk = [0u8; 4096];
+        let n = self.source.read(&mut chunk).map_err(HttpError::Io)?;
+        self.buffer.extend_from_slice(&chunk[..n]);
+        Ok(n > 0)
+    }
+
+    /// Ensures at least `n` bytes are buffered.
+    fn fill_to(&mut self, n: usize) -> Result<(), HttpError> {
+        while self.buffer.len() < n {
+            if !self.fill()? {
+                return Err(HttpError::Malformed("unexpected eof in body".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes the first `n` buffered bytes.
+    fn take(&mut self, n: usize) -> Vec<u8> {
+        let rest = self.buffer.split_off(n);
+        std::mem::replace(&mut self.buffer, rest)
+    }
+
+    /// Reads the next request. [`HttpError::Closed`] means the peer hung up
+    /// cleanly between requests.
+    pub fn next_request(&mut self) -> Result<Request, HttpError> {
+        // Head: everything up to the blank line.
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buffer) {
+                break pos;
+            }
+            if self.buffer.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::Malformed("header section too large".into()));
+            }
+            if !self.fill()? {
+                return if self.buffer.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Malformed("unexpected eof in headers".into()))
+                };
+            }
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        let head = self.take(head_end);
+        let head = String::from_utf8(head)
+            .map_err(|_| HttpError::Malformed("head is not utf-8".into()))?;
+        let mut lines = head.lines().map(|l| l.trim_end_matches('\r'));
+        let request_line =
+            lines.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
+        let mut parts = request_line.split_whitespace();
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+            _ => return Err(HttpError::Malformed(format!("bad request line {request_line:?}"))),
+        };
+        if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+            return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+            };
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let header = |name: &str| {
+            headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+        };
+
+        // Body framing: chunked wins over Content-Length (RFC 9112 §6.3).
+        // Any transfer coding other than plain `chunked` would leave the
+        // body unframed — request-desync territory — so it is refused
+        // rather than ignored (RFC 9112 §6.1).
+        let body = if let Some(encoding) = header("Transfer-Encoding") {
+            if !encoding.eq_ignore_ascii_case("chunked") {
+                return Err(HttpError::Malformed(format!(
+                    "unsupported Transfer-Encoding {encoding:?}"
+                )));
+            }
+            self.read_chunked_body()?
+        } else if let Some(raw) = header("Content-Length") {
+            // Conflicting duplicate lengths are the classic
+            // request-smuggling vector: an intermediary that honours a
+            // different copy frames the stream differently than we do.
+            let lengths: Vec<&str> = headers
+                .iter()
+                .filter(|(n, _)| n.eq_ignore_ascii_case("Content-Length"))
+                .map(|(_, v)| v.as_str())
+                .collect();
+            if lengths.len() > 1 && lengths.iter().any(|&v| v != lengths[0]) {
+                return Err(HttpError::Malformed(format!(
+                    "conflicting Content-Length headers {lengths:?}"
+                )));
+            }
+            let declared: usize = raw
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {raw:?}")))?;
+            if declared > self.max_body {
+                return Err(HttpError::PayloadTooLarge);
+            }
+            self.fill_to(declared)?;
+            self.take(declared)
+        } else {
+            Vec::new()
+        };
+
+        let keep_alive = match header("Connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => version == "HTTP/1.1",
+        };
+        let path = target.split('?').next().unwrap_or(target).to_string();
+        Ok(Request { method: method.to_string(), path, headers, body, keep_alive })
+    }
+
+    /// Decodes a chunked body: `hex-size CRLF data CRLF`, terminated by a
+    /// zero-size chunk. Trailer headers are consumed and discarded.
+    fn read_chunked_body(&mut self) -> Result<Vec<u8>, HttpError> {
+        let mut body = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let size_text = line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_text, 16)
+                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
+            if body.len() + size > self.max_body {
+                return Err(HttpError::PayloadTooLarge);
+            }
+            if size == 0 {
+                // Consume optional trailers up to the final blank line.
+                loop {
+                    if self.read_line()?.is_empty() {
+                        break;
+                    }
+                }
+                return Ok(body);
+            }
+            self.fill_to(size)?;
+            body.extend_from_slice(&self.take(size));
+            let sep = self.read_line()?;
+            if !sep.is_empty() {
+                return Err(HttpError::Malformed("missing CRLF after chunk".into()));
+            }
+        }
+    }
+
+    /// Reads one CRLF-terminated line (LF tolerated), without the ending.
+    fn read_line(&mut self) -> Result<String, HttpError> {
+        let nl = loop {
+            if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+                break pos;
+            }
+            if self.buffer.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::Malformed("line too long".into()));
+            }
+            if !self.fill()? {
+                return Err(HttpError::Malformed("unexpected eof in chunked body".into()));
+            }
+        };
+        let mut line = self.take(nl + 1);
+        line.pop(); // '\n'
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line).map_err(|_| HttpError::Malformed("line is not utf-8".into()))
+    }
+}
+
+/// Locates the end of the head: byte offset just past the first blank line
+/// (`\r\n\r\n`, tolerating bare `\n\n`).
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buffer.len() {
+        if buffer[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if buffer.get(j) == Some(&b'\r') {
+            j += 1;
+        }
+        if buffer.get(j) == Some(&b'\n') {
+            return Some(j + 1);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// An HTTP response ready to serialise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response { status, content_type: "application/json", body: body.into().into_bytes() }
+    }
+
+    /// The uniform error shape: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\": {}}}", json_escape(message)))
+    }
+
+    /// Serialises with `Content-Length` framing and the connection's
+    /// keep-alive decision.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included) — the
+/// workspace's existing escaper, re-exported under the name this module's
+/// callers use.
+pub use cocoon_llm::json::escape as json_escape;
+
+/// Reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that hands out its bytes a few at a time — the split-read
+    /// torture test for the buffering parser.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+
+    impl Trickle {
+        fn new(data: &[u8], step: usize) -> Self {
+            Trickle { data: data.to_vec(), pos: 0, step }
+        }
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        RequestReader::new(raw, DEFAULT_MAX_BODY_BYTES).next_request()
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse(b"GET /v1/metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_content_length_body() {
+        let req =
+            parse(b"POST /v1/clean HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world").unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        // One byte at a time through head and body.
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 5\r\nX-Key: split value\r\n\r\nabcde";
+        for step in [1, 2, 3, 7] {
+            let mut reader = RequestReader::new(Trickle::new(raw, step), 1024);
+            let req = reader.next_request().unwrap();
+            assert_eq!(req.body, b"abcde", "step {step}");
+            assert_eq!(req.header("x-key"), Some("split value"), "step {step}");
+        }
+    }
+
+    #[test]
+    fn bad_content_length_is_malformed() {
+        for raw in [
+            b"POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n".as_slice(),
+            b"POST /p HTTP/1.1\r\nContent-Length: -4\r\n\r\n".as_slice(),
+            b"POST /p HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n".as_slice(),
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{raw:?} → {err:?}");
+            assert_eq!(err.status(), Some(400));
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // Smuggling shape: an intermediary honouring the other copy would
+        // frame the stream differently.
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\nhello";
+        assert!(matches!(parse(raw), Err(HttpError::Malformed(_))));
+        // Duplicate *agreeing* lengths are harmless and accepted.
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(parse(raw).unwrap().body, b"hello");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        let err = RequestReader::new(raw.as_slice(), 100).next_request().unwrap_err();
+        assert!(matches!(err, HttpError::PayloadTooLarge));
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn oversized_chunked_body_is_413() {
+        let raw = b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nff\r\n";
+        let err = RequestReader::new(raw.as_slice(), 100).next_request().unwrap_err();
+        assert!(matches!(err, HttpError::PayloadTooLarge));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let err = parse(b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn chunked_bodies_reassemble() {
+        let raw = b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        for step in [1, 3, 1024] {
+            let mut reader = RequestReader::new(Trickle::new(raw, step), 1024);
+            let req = reader.next_request().unwrap();
+            assert_eq!(req.body, b"Wikipedia", "step {step}");
+        }
+    }
+
+    #[test]
+    fn bad_chunk_size_is_malformed() {
+        let raw = b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn unsupported_transfer_encodings_are_refused_not_misframed() {
+        // Ignoring an unknown coding would leave the body bytes to be
+        // parsed as the next request (request desync) — must be a 400.
+        for raw in [
+            b"POST /p HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n4\r\nWiki\r\n0\r\n\r\n"
+                .as_slice(),
+            b"POST /p HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n".as_slice(),
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{raw:?} → {err:?}");
+            assert_eq!(err.status(), Some(400));
+        }
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let close11 = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close11.keep_alive());
+        let plain10 = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!plain10.keep_alive());
+        let ka10 = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(ka10.keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut reader = RequestReader::new(raw.as_slice(), 1024);
+        assert_eq!(reader.next_request().unwrap().path, "/a");
+        let second = reader.next_request().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"hi");
+        assert!(matches!(reader.next_request(), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_closed_not_malformed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        // …but EOF mid-head is a protocol error.
+        assert!(matches!(parse(b"GET / HT"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_request_lines_rejected() {
+        for raw in [
+            b"GET\r\n\r\n".as_slice(),
+            b"GET /\r\n\r\n".as_slice(),
+            b"GET / HTTP/2\r\n\r\n".as_slice(),
+            b"GET / HTTP/1.1 extra\r\n\r\n".as_slice(),
+        ] {
+            assert!(matches!(parse(raw), Err(HttpError::Malformed(_))), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn query_strings_are_stripped_from_path() {
+        let req = parse(b"GET /v1/jobs/3?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/jobs/3");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_tolerated() {
+        let req = parse(b"POST /p HTTP/1.1\nContent-Length: 2\n\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn responses_serialise_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::error(404, "no such route").write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("{\"error\": \"no such route\"}"));
+    }
+}

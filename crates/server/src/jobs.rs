@@ -1,0 +1,335 @@
+//! The asynchronous job store behind `POST /v1/jobs` / `GET /v1/jobs/{id}`.
+//!
+//! Submissions enter a FIFO queue; dedicated job-worker threads pop them,
+//! run the clean, and publish the result. Pollers read a [`JobView`]:
+//! status, a live [`ProgressSnapshot`] (stage-by-stage, via
+//! [`cocoon_core::RunProgress`]), and — once done — the same response body
+//! a synchronous `/v1/clean` would have returned.
+//!
+//! The store is payload-generic so it can be unit-tested without building
+//! tables; the server instantiates it with its parsed clean payload.
+
+use cocoon_core::{ProgressSnapshot, RunProgress};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobStatus {
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What a poller sees.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    pub id: u64,
+    pub status: JobStatus,
+    pub progress: ProgressSnapshot,
+    /// The finished response body (status `Done` only).
+    pub result: Option<String>,
+    /// What went wrong (status `Failed` only).
+    pub error: Option<String>,
+}
+
+/// Aggregate counts for the metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobCounts {
+    pub queued: usize,
+    pub running: usize,
+    pub done: usize,
+    pub failed: usize,
+}
+
+struct JobEntry {
+    status: JobStatus,
+    progress: Arc<RunProgress>,
+    result: Option<String>,
+    error: Option<String>,
+}
+
+/// Finished jobs retained for polling. A long-lived server sees unbounded
+/// submissions, and every Done entry keeps its full response body; beyond
+/// this many finished jobs the oldest are evicted (their ids then poll as
+/// 404, like never-submitted ids).
+pub const MAX_FINISHED_JOBS: usize = 256;
+
+/// Jobs allowed to wait in the queue at once; submissions beyond this are
+/// refused (429) instead of buffering parsed tables without bound.
+pub const MAX_QUEUED_JOBS: usize = 64;
+
+struct Inner<P> {
+    jobs: HashMap<u64, JobEntry>,
+    queue: VecDeque<(u64, P)>,
+    /// Finished ids in completion order, for retention eviction.
+    finished: VecDeque<u64>,
+    next_id: u64,
+}
+
+/// Thread-safe FIFO job store; `P` is the parsed work payload.
+pub struct JobStore<P> {
+    inner: Mutex<Inner<P>>,
+    arrival: Condvar,
+}
+
+impl<P> Default for JobStore<P> {
+    fn default() -> Self {
+        JobStore::new()
+    }
+}
+
+impl<P> JobStore<P> {
+    pub fn new() -> Self {
+        JobStore {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                finished: VecDeque::new(),
+                next_id: 1,
+            }),
+            arrival: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job and returns its id, or `None` when the queue is at
+    /// [`MAX_QUEUED_JOBS`] — queued payloads hold fully parsed tables, so
+    /// an unbounded queue is a one-client memory-exhaustion vector. The
+    /// caller maps `None` to 429.
+    pub fn submit(&self, payload: P) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("job lock");
+        if inner.queue.len() >= MAX_QUEUED_JOBS {
+            return None;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                status: JobStatus::Queued,
+                progress: Arc::new(RunProgress::new()),
+                result: None,
+                error: None,
+            },
+        );
+        inner.queue.push_back((id, payload));
+        drop(inner);
+        self.arrival.notify_one();
+        Some(id)
+    }
+
+    /// Blocks until a job is available (marking it `Running` and returning
+    /// its payload plus the shared progress handle) or `give_up` turns
+    /// true. Workers call this in a loop; `give_up` is the shutdown flag
+    /// and wins over queued work, so stop() never waits for a backlog to
+    /// drain (undrained jobs simply die with the process).
+    pub fn next_job(&self, give_up: impl Fn() -> bool) -> Option<(u64, P, Arc<RunProgress>)> {
+        let mut inner = self.inner.lock().expect("job lock");
+        loop {
+            if give_up() {
+                return None;
+            }
+            if let Some((id, payload)) = inner.queue.pop_front() {
+                let entry = inner.jobs.get_mut(&id).expect("queued job has an entry");
+                entry.status = JobStatus::Running;
+                let progress = Arc::clone(&entry.progress);
+                return Some((id, payload, progress));
+            }
+            // Timed wait so a `give_up` flip without a notify still ends
+            // the worker promptly.
+            let (guard, _) =
+                self.arrival.wait_timeout(inner, Duration::from_millis(50)).expect("job lock");
+            inner = guard;
+        }
+    }
+
+    /// Publishes a finished job's outcome and evicts the oldest finished
+    /// jobs beyond [`MAX_FINISHED_JOBS`].
+    pub fn finish(&self, id: u64, outcome: Result<String, String>) {
+        let mut inner = self.inner.lock().expect("job lock");
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            match outcome {
+                Ok(body) => {
+                    entry.status = JobStatus::Done;
+                    entry.result = Some(body);
+                }
+                Err(message) => {
+                    entry.status = JobStatus::Failed;
+                    entry.error = Some(message);
+                }
+            }
+            inner.finished.push_back(id);
+            while inner.finished.len() > MAX_FINISHED_JOBS {
+                let evicted = inner.finished.pop_front().expect("non-empty");
+                inner.jobs.remove(&evicted);
+            }
+        }
+    }
+
+    /// A poller's view of one job.
+    pub fn view(&self, id: u64) -> Option<JobView> {
+        let inner = self.inner.lock().expect("job lock");
+        inner.jobs.get(&id).map(|entry| JobView {
+            id,
+            status: entry.status,
+            progress: entry.progress.snapshot(),
+            result: entry.result.clone(),
+            error: entry.error.clone(),
+        })
+    }
+
+    /// Jobs waiting for a worker.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("job lock").queue.len()
+    }
+
+    pub fn counts(&self) -> JobCounts {
+        let inner = self.inner.lock().expect("job lock");
+        let mut counts = JobCounts::default();
+        for entry in inner.jobs.values() {
+            match entry.status {
+                JobStatus::Queued => counts.queued += 1,
+                JobStatus::Running => counts.running += 1,
+                JobStatus::Done => counts.done += 1,
+                JobStatus::Failed => counts.failed += 1,
+            }
+        }
+        counts
+    }
+
+    /// Wakes every blocked worker (shutdown path).
+    pub fn wake_all(&self) {
+        self.arrival.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn submit_run_finish_lifecycle() {
+        let store: JobStore<&'static str> = JobStore::new();
+        let id = store.submit("payload").unwrap();
+        assert_eq!(store.view(id).unwrap().status, JobStatus::Queued);
+        assert_eq!(store.depth(), 1);
+
+        let (popped, payload, _progress) = store.next_job(|| false).unwrap();
+        assert_eq!((popped, payload), (id, "payload"));
+        assert_eq!(store.view(id).unwrap().status, JobStatus::Running);
+        assert_eq!(store.depth(), 0);
+
+        store.finish(id, Ok("{\"ok\": true}".into()));
+        let view = store.view(id).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.result.as_deref(), Some("{\"ok\": true}"));
+        assert_eq!(view.error, None);
+    }
+
+    #[test]
+    fn failures_record_the_error() {
+        let store: JobStore<()> = JobStore::new();
+        let id = store.submit(()).unwrap();
+        store.next_job(|| false);
+        store.finish(id, Err("bad table".into()));
+        let view = store.view(id).unwrap();
+        assert_eq!(view.status, JobStatus::Failed);
+        assert_eq!(view.error.as_deref(), Some("bad table"));
+        assert_eq!(store.counts().failed, 1);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let store: JobStore<u32> = JobStore::new();
+        let a = store.submit(10).unwrap();
+        let b = store.submit(20).unwrap();
+        assert_eq!(store.next_job(|| false).unwrap().0, a);
+        assert_eq!(store.next_job(|| false).unwrap().0, b);
+    }
+
+    #[test]
+    fn unknown_job_is_none() {
+        let store: JobStore<()> = JobStore::new();
+        assert!(store.view(999).is_none());
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_beyond_the_retention_cap() {
+        let store: JobStore<()> = JobStore::new();
+        let first = store.submit(()).unwrap();
+        store.next_job(|| false);
+        store.finish(first, Ok("first".into()));
+        for _ in 0..MAX_FINISHED_JOBS {
+            let id = store.submit(()).unwrap();
+            store.next_job(|| false);
+            store.finish(id, Ok("body".into()));
+        }
+        // The oldest finished job fell off; the newest survives.
+        assert!(store.view(first).is_none(), "evicted job polls as unknown");
+        let newest = first + MAX_FINISHED_JOBS as u64;
+        assert_eq!(store.view(newest).unwrap().status, JobStatus::Done);
+        assert_eq!(store.counts().done, MAX_FINISHED_JOBS);
+    }
+
+    #[test]
+    fn submissions_beyond_the_queue_cap_are_refused() {
+        let store: JobStore<u32> = JobStore::new();
+        for i in 0..MAX_QUEUED_JOBS {
+            assert!(store.submit(i as u32).is_some(), "submission {i} fits");
+        }
+        assert!(store.submit(0).is_none(), "the cap refuses the overflow submission");
+        assert_eq!(store.depth(), MAX_QUEUED_JOBS);
+        // Draining one makes room again.
+        store.next_job(|| false).unwrap();
+        assert!(store.submit(0).is_some());
+    }
+
+    #[test]
+    fn give_up_wins_over_a_queued_backlog() {
+        // Shutdown must not wait for the backlog to drain.
+        let store: JobStore<u32> = JobStore::new();
+        store.submit(1).unwrap();
+        store.submit(2).unwrap();
+        assert!(store.next_job(|| true).is_none(), "give_up beats queued work");
+        assert_eq!(store.depth(), 2, "backlog left untouched");
+    }
+
+    #[test]
+    fn give_up_unblocks_idle_workers() {
+        let store: JobStore<()> = JobStore::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| store.next_job(|| stop.load(Ordering::Relaxed)));
+            std::thread::sleep(Duration::from_millis(20));
+            stop.store(true, Ordering::Relaxed);
+            store.wake_all();
+            assert!(worker.join().unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_submit() {
+        let store: JobStore<u32> = JobStore::new();
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| store.next_job(|| false));
+            std::thread::sleep(Duration::from_millis(10));
+            store.submit(7).unwrap();
+            let (_, payload, _) = worker.join().unwrap().unwrap();
+            assert_eq!(payload, 7);
+        });
+    }
+}

@@ -1,0 +1,48 @@
+//! # cocoon-server
+//!
+//! A concurrent HTTP cleaning service over the Cocoon pipeline — the
+//! paper's interactive deployment shape (§2.2: users submit tables, review
+//! repairs, iterate) as a long-lived process instead of a library call.
+//!
+//! ## Endpoints
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `POST /v1/clean` | Synchronous clean: CSV/JSON table in, cleaned table + ops + SQL script out |
+//! | `POST /v1/jobs` | Submit the same payload asynchronously; returns a job id |
+//! | `GET /v1/jobs/{id}` | Poll: status, stage-by-stage progress, result when done |
+//! | `GET /v1/datasets` | The benchmark catalog (paper Table 1 datasets) |
+//! | `GET /v1/metrics` | Request counters, LLM cache hit/miss, dispatcher and queue state |
+//!
+//! ## Architecture
+//!
+//! * [`http`] — vendored mini HTTP/1.1 (no crates.io in the build env), in
+//!   the spirit of the `crates/compat` shims: split-read-safe parsing,
+//!   `Content-Length`/chunked bodies, keep-alive, 413 body caps.
+//! * [`server`] — scoped connection/job workers around one
+//!   [`AppState`](server::AppState); worker counts follow the
+//!   `compat/threadpool` parallelism policy.
+//! * One process-wide model stack
+//!   [`CachedLlm<CoalescingDispatcher<SimLlm>>`](server::SharedLlm):
+//!   repeat prompts replay from the cache, concurrent identical cold
+//!   prompts single-flight, distinct ones batch, and a token bucket
+//!   bounds what the backend sees. All of it is observable via
+//!   `/v1/metrics`.
+//! * [`jobs`] — FIFO store polled through
+//!   [`cocoon_core::RunProgress`] snapshots.
+//!
+//! Responses are deterministic: with the offline `SimLlm` oracle, a served
+//! clean is byte-identical to a direct [`cocoon_core::Cleaner`] run on the
+//! same table (the root `tests/server_e2e.rs` holds the service to that).
+
+pub mod api;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+
+pub use api::CleanPayload;
+pub use http::{Request, Response};
+pub use jobs::{JobCounts, JobStatus, JobStore, JobView};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{AppState, Server, ServerConfig, ServerHandle, SharedLlm};

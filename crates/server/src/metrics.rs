@@ -1,0 +1,124 @@
+//! Request counters for `GET /v1/metrics`.
+//!
+//! Plain relaxed atomics: a snapshot racing a concurrent request may be one
+//! count stale, never torn. LLM cache and dispatcher figures are read live
+//! from the shared model stack at render time, not mirrored here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-endpoint and per-status request accounting.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_total: AtomicUsize,
+    clean_requests: AtomicUsize,
+    jobs_submitted: AtomicUsize,
+    jobs_polled: AtomicUsize,
+    dataset_requests: AtomicUsize,
+    metrics_requests: AtomicUsize,
+    responses_4xx: AtomicUsize,
+    responses_5xx: AtomicUsize,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub requests_total: usize,
+    pub clean_requests: usize,
+    pub jobs_submitted: usize,
+    pub jobs_polled: usize,
+    pub dataset_requests: usize,
+    pub metrics_requests: usize,
+    pub responses_4xx: usize,
+    pub responses_5xx: usize,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn count_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_clean(&self) {
+        self.clean_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_job_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_job_polled(&self) {
+        self.jobs_polled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_datasets(&self) {
+        self.dataset_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_metrics(&self) {
+        self.metrics_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buckets a response status (4xx/5xx; success statuses count nothing).
+    pub fn count_status(&self, status: u16) {
+        match status {
+            400..=499 => {
+                self.responses_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            500..=599 => {
+                self.responses_5xx.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            clean_requests: self.clean_requests.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_polled: self.jobs_polled.load(Ordering::Relaxed),
+            dataset_requests: self.dataset_requests.load(Ordering::Relaxed),
+            metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.count_request();
+        m.count_request();
+        m.count_clean();
+        m.count_status(200);
+        m.count_status(404);
+        m.count_status(500);
+        let s = m.snapshot();
+        assert_eq!(s.requests_total, 2);
+        assert_eq!(s.clean_requests, 1);
+        assert_eq!((s.responses_4xx, s.responses_5xx), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.count_request();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().requests_total, 4000);
+    }
+}

@@ -1,0 +1,449 @@
+//! The listener, worker fan-out, and shared application state.
+//!
+//! `serve()` runs connection workers and job workers as *scoped* threads
+//! (the same discipline as the `compat/threadpool` detection fan-out): the
+//! call blocks until [`ServerHandle::stop`], and every thread is joined
+//! before it returns — no detached threads, no `'static` state beyond the
+//! `Arc<AppState>` the handle shares.
+//!
+//! Each connection worker owns one accepted connection at a time and
+//! serves its keep-alive request loop to completion, so `workers` bounds
+//! the concurrent connections; the default covers the ISSUE's ≥ 8
+//! concurrent-client bar with headroom.
+
+use crate::api::{self, CleanPayload};
+use crate::http::{RequestReader, Response, DEFAULT_MAX_BODY_BYTES};
+use crate::jobs::JobStore;
+use crate::metrics::Metrics;
+use cocoon_core::{Cleaner, CleaningRun, RunProgress};
+use cocoon_llm::{CachedLlm, ChatModel, CoalescingDispatcher, DispatcherConfig, SimLlm};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server tunables; `Default` is a sensible local deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Connection workers — the concurrent-connection bound.
+    pub workers: usize,
+    /// Dedicated workers draining the async job queue.
+    pub job_workers: usize,
+    /// Request-body cap in bytes (over → 413).
+    pub max_body: usize,
+    /// Policy of the shared LLM dispatcher.
+    pub dispatcher: DispatcherConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: threadpool::default_threads().max(8),
+            job_workers: 2,
+            max_body: DEFAULT_MAX_BODY_BYTES,
+            dispatcher: DispatcherConfig::default(),
+        }
+    }
+}
+
+/// The process-wide model stack: one completion cache over one coalescing
+/// dispatcher over the deterministic offline oracle. Every request handler
+/// and job worker cleans through this shared stack, which is what makes
+/// cross-request coalescing and cache reuse possible at all.
+pub type SharedLlm = CachedLlm<CoalescingDispatcher<SimLlm>>;
+
+/// State shared by every worker thread.
+pub struct AppState {
+    pub llm: SharedLlm,
+    pub metrics: Metrics,
+    pub jobs: JobStore<CleanPayload>,
+    pub max_body: usize,
+    shutdown: AtomicBool,
+}
+
+impl AppState {
+    pub fn new(config: &ServerConfig) -> Self {
+        AppState {
+            llm: CachedLlm::new(CoalescingDispatcher::new(SimLlm::new(), config.dispatcher)),
+            metrics: Metrics::new(),
+            jobs: JobStore::new(),
+            max_body: config.max_body,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Runs one clean against the shared model stack and renders the
+    /// response body. Identical logic for the synchronous endpoint
+    /// (`progress: None`) and job workers (who pass the job's progress),
+    /// so the two paths return byte-identical bodies for the same input.
+    pub fn run_clean(
+        &self,
+        payload: &CleanPayload,
+        progress: Option<&RunProgress>,
+    ) -> Result<String, cocoon_core::CoreError> {
+        let cleaner = Cleaner::with_config(&self.llm, payload.config.clone())?;
+        let run: CleaningRun = match progress {
+            Some(progress) => cleaner.clean_with_progress(&payload.table, progress)?,
+            None => cleaner.clean(&payload.table)?,
+        };
+        Ok(api::clean_response_body(&run, payload.include_rows))
+    }
+
+    /// The `/v1/metrics` body: request counters, the live LLM cache and
+    /// dispatcher figures, and job-store state.
+    pub fn metrics_body(&self) -> String {
+        let m = self.metrics.snapshot();
+        let d = self.llm.inner().stats();
+        let j = self.jobs.counts();
+        format!(
+            "{{\"requests\": {{\"total\": {}, \"clean\": {}, \"jobs_submitted\": {}, \
+             \"jobs_polled\": {}, \"datasets\": {}, \"metrics\": {}, \
+             \"responses_4xx\": {}, \"responses_5xx\": {}}}, \
+             \"llm\": {{\"model\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cached_responses\": {}, \
+             \"dispatcher\": {{\"coalesced\": {}, \"batches\": {}, \"batched_prompts\": {}, \
+             \"rate_limit_waits\": {}, \"rate_limited_ms\": {}}}}}, \
+             \"jobs\": {{\"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \
+             \"queue_depth\": {}}}}}",
+            m.requests_total,
+            m.clean_requests,
+            m.jobs_submitted,
+            m.jobs_polled,
+            m.dataset_requests,
+            m.metrics_requests,
+            m.responses_4xx,
+            m.responses_5xx,
+            crate::http::json_escape(self.llm.model_name()),
+            self.llm.hits(),
+            self.llm.misses(),
+            self.llm.len(),
+            d.coalesced,
+            d.batches,
+            d.batched_prompts,
+            d.rate_limit_waits,
+            d.rate_limited_ms,
+            j.queued,
+            j.running,
+            j.done,
+            j.failed,
+            self.jobs.depth(),
+        )
+    }
+}
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    workers: usize,
+    job_workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The server is not
+    /// accepting until [`serve`](Self::serve) runs.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState::new(&config)),
+            workers: config.workers.max(1),
+            job_workers: config.job_workers.max(1),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// A handle that can stop a running [`serve`](Self::serve) from another
+    /// thread.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            state: Arc::clone(&self.state),
+            workers: self.workers,
+        })
+    }
+
+    /// Accepts and serves until the handle stops the server. Blocks the
+    /// calling thread; workers are scoped inside.
+    pub fn serve(&self) -> io::Result<()> {
+        let mut listeners = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            listeners.push(self.listener.try_clone()?);
+        }
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            for listener in listeners {
+                scope.spawn(move || accept_loop(state, listener));
+            }
+            for _ in 0..self.job_workers {
+                scope.spawn(move || job_loop(state));
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Stops a running server: raises the shutdown flag, wakes idle job
+/// workers, and pokes every acceptor awake with a throwaway connection.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    workers: usize,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    pub fn stop(&self) {
+        self.state.request_shutdown();
+        self.state.jobs.wake_all();
+        for _ in 0..self.workers {
+            // Each throwaway connection unblocks one accept(); the worker
+            // then observes the flag and exits.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+fn accept_loop(state: &AppState, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.shutdown_requested() {
+                    return;
+                }
+                // Persistent accept errors (fd exhaustion, ENFILE) must
+                // back off, not hot-spin every worker.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if state.shutdown_requested() {
+            return;
+        }
+        handle_connection(state, stream);
+    }
+}
+
+/// How long a connection may sit without delivering a byte before its
+/// worker reclaims itself (each received byte resets the clock). In the
+/// worker-per-connection model this bounds how long `workers` silent
+/// clients can pin the whole service — the slow-loris cap.
+const IDLE_CONNECTION_LIMIT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// A read half that surfaces shutdown and idleness instead of blocking
+/// forever: reads run under a short socket timeout, and each expiry
+/// re-checks the shutdown flag and the idle deadline. On either, the
+/// connection turns into a clean EOF so its worker can move on (join on
+/// shutdown, next accept on idle timeout). Slow-but-live clients are
+/// unaffected — any byte resets the idle clock.
+struct ShutdownAwareStream<'a> {
+    stream: TcpStream,
+    state: &'a AppState,
+    last_activity: std::time::Instant,
+}
+
+impl std::io::Read for ShutdownAwareStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if self.state.shutdown_requested()
+                        || self.last_activity.elapsed() > IDLE_CONNECTION_LIMIT
+                    {
+                        return Ok(0);
+                    }
+                }
+                Ok(n) => {
+                    if n > 0 {
+                        self.last_activity = std::time::Instant::now();
+                    }
+                    return Ok(n);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Serves one connection's keep-alive request loop to completion.
+fn handle_connection(state: &AppState, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = RequestReader::new(
+        ShutdownAwareStream { stream: read_half, state, last_activity: std::time::Instant::now() },
+        state.max_body,
+    );
+    let mut writer = stream;
+    loop {
+        match reader.next_request() {
+            Ok(request) => {
+                let response = api::route(state, &request);
+                let keep_alive = request.keep_alive() && !state.shutdown_requested();
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                // Protocol errors get a status; clean closes and transport
+                // failures end the connection silently.
+                if let Some(status) = error.status() {
+                    state.metrics.count_request();
+                    state.metrics.count_status(status);
+                    let _ =
+                        Response::error(status, &error.to_string()).write_to(&mut writer, false);
+                    // Drain what the client already sent before closing:
+                    // closing with unread data RSTs the connection and can
+                    // destroy the error response before the client reads
+                    // it (the oversized-body 413 case especially).
+                    drain_briefly(&mut writer);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort bounded drain of a socket about to be closed after an error
+/// response. Reads until EOF, a quiet timeout, an error, or a size cap —
+/// enough to clear buffered request bytes without letting a hostile client
+/// stream forever.
+fn drain_briefly(stream: &mut TcpStream) {
+    use std::io::Read;
+    let mut scratch = [0u8; 16 * 1024];
+    let mut drained = 0usize;
+    while drained < 1024 * 1024 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Drains the job queue until shutdown.
+fn job_loop(state: &AppState) {
+    while let Some((id, payload, progress)) = state.jobs.next_job(|| state.shutdown_requested()) {
+        let outcome =
+            state.run_clean(&payload, Some(&progress)).map_err(|e| format!("clean failed: {e}"));
+        state.jobs.finish(id, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+
+    fn test_state() -> AppState {
+        AppState::new(&ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() })
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!("POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        RequestReader::new(raw.as_bytes(), DEFAULT_MAX_BODY_BYTES).next_request().unwrap()
+    }
+
+    fn get(path: &str) -> Request {
+        RequestReader::new(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes(), 1024)
+            .next_request()
+            .unwrap()
+    }
+
+    #[test]
+    fn sync_clean_and_job_clean_produce_identical_bodies() {
+        let state = test_state();
+        let body = r#"{"csv": "id,lang\n1,eng\n2,eng\n3,eng\n4,English\n"}"#;
+        let sync = api::route(&state, &post("/v1/clean", body));
+        assert_eq!(sync.status, 200);
+
+        let submit = api::route(&state, &post("/v1/jobs", body));
+        assert_eq!(submit.status, 202);
+        // Run the queued job inline (no worker threads in this unit test).
+        let (id, payload, progress) = state.jobs.next_job(|| false).unwrap();
+        let outcome = state.run_clean(&payload, Some(&progress)).map_err(|e| e.to_string());
+        state.jobs.finish(id, outcome);
+
+        let poll = api::route(&state, &get(&format!("/v1/jobs/{id}")));
+        assert_eq!(poll.status, 200);
+        let poll_json = cocoon_llm::json::parse(std::str::from_utf8(&poll.body).unwrap()).unwrap();
+        assert_eq!(poll_json.get("status").unwrap().as_str(), Some("done"));
+        let sync_json = cocoon_llm::json::parse(std::str::from_utf8(&sync.body).unwrap()).unwrap();
+        assert_eq!(poll_json.get("result"), Some(&sync_json));
+        let progress = poll_json.get("progress").unwrap();
+        assert_eq!(progress.get("finished").unwrap().as_bool(), Some(true));
+        assert_eq!(progress.get("total_stages").unwrap().as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn router_statuses() {
+        let state = test_state();
+        assert_eq!(api::route(&state, &get("/nope")).status, 404);
+        assert_eq!(api::route(&state, &get("/v1/clean")).status, 405);
+        assert_eq!(api::route(&state, &get("/v1/jobs/999")).status, 404);
+        assert_eq!(api::route(&state, &get("/v1/jobs/abc")).status, 400);
+        assert_eq!(api::route(&state, &post("/v1/clean", "{")).status, 400);
+        assert_eq!(api::route(&state, &get("/v1/datasets")).status, 200);
+        assert_eq!(api::route(&state, &get("/v1/metrics")).status, 200);
+    }
+
+    #[test]
+    fn metrics_body_reflects_traffic_and_parses() {
+        let state = test_state();
+        api::route(&state, &post("/v1/clean", r#"{"csv": "a,b\n1,x\n2,y\n"}"#));
+        api::route(&state, &get("/nope"));
+        let body = state.metrics_body();
+        let json = cocoon_llm::json::parse(&body).expect("metrics body parses");
+        let requests = json.get("requests").unwrap();
+        assert_eq!(requests.get("total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(requests.get("clean").unwrap().as_f64(), Some(1.0));
+        assert_eq!(requests.get("responses_4xx").unwrap().as_f64(), Some(1.0));
+        let llm = json.get("llm").unwrap();
+        assert!(llm.get("cache_misses").unwrap().as_f64().unwrap() > 0.0);
+        assert!(llm.get("dispatcher").unwrap().get("batches").is_some());
+        assert!(json.get("jobs").unwrap().get("queue_depth").is_some());
+    }
+
+    #[test]
+    fn repeat_cleans_hit_the_shared_cache() {
+        let state = test_state();
+        let body = r#"{"csv": "id,lang\n1,eng\n2,eng\n3,eng\n4,English\n"}"#;
+        let first = api::route(&state, &post("/v1/clean", body));
+        let misses_after_first = state.llm.misses();
+        let second = api::route(&state, &post("/v1/clean", body));
+        assert_eq!(first, second, "repeat responses are byte-identical");
+        assert_eq!(
+            state.llm.misses(),
+            misses_after_first,
+            "second clean is served entirely from the shared cache"
+        );
+        assert!(state.llm.hits() > 0);
+    }
+}

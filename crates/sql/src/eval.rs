@@ -281,7 +281,8 @@ impl Selection<'_> {
 
 /// Evaluates `expr` column-at-a-time over the selected rows of `table`.
 ///
-/// Literals, column references, casts and literal value maps (`CASE col
+/// Literals, column references, casts, unary and binary operators
+/// (comparison, arithmetic, `AND`/`OR`), and literal value maps (`CASE col
 /// WHEN 'a' THEN 'b' … ELSE …`, the workhorse shape of Cocoon cleaning)
 /// are computed vectorised; every other expression falls back to the
 /// row-wise [`eval`], which also serves as the semantic oracle for the
@@ -327,6 +328,23 @@ pub fn eval_column(expr: &Expr, table: &Table, sel: &Selection<'_>) -> Result<Co
             // error on exactly the rows the row-wise path would reject.
             let input = eval_column(expr, table, sel)?;
             input.into_values().into_iter().map(|v| eval_unary(*op, v)).collect()
+        }
+        Expr::Binary { op, left, right } => {
+            // Binary operators are pairwise over their operand columns. The
+            // row-wise evaluator computes both operands unconditionally
+            // (`AND`/`OR` included — 3VL needs both sides), so evaluating
+            // each side column-at-a-time preserves success/error semantics;
+            // only *which* of several row errors surfaces may differ, as
+            // the eval_column contract already allows.
+            let lhs = eval_column(left, table, sel)?.into_values();
+            let rhs = eval_column(right, table, sel)?.into_values();
+            let zipped = lhs.into_iter().zip(rhs);
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    Ok(zipped.map(|(l, r)| eval_logic(*op, l, r)).collect())
+                }
+                _ => zipped.map(|(l, r)| eval_binary(*op, l, r)).collect(),
+            }
         }
         Expr::Case { operand: Some(operand), arms, otherwise }
             if arms
@@ -573,6 +591,51 @@ mod tests {
                     sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
                 assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
             }
+        }
+    }
+
+    #[test]
+    fn binary_exprs_vectorise_and_match_rowwise() {
+        let mut t = table();
+        t.set_cell(0, 1, Value::Null).unwrap();
+        let id_int = || Expr::try_cast(Expr::col("id"), DataType::Int);
+        for expr in [
+            Expr::eq(Expr::col("lang"), Expr::lit("eng")),
+            Expr::binary(BinaryOp::Ne, Expr::col("lang"), Expr::lit("eng")),
+            Expr::binary(BinaryOp::Lt, id_int(), Expr::lit(2i64)),
+            Expr::binary(BinaryOp::Ge, id_int(), Expr::lit(2i64)),
+            Expr::binary(BinaryOp::Add, id_int(), Expr::lit(10i64)),
+            Expr::binary(BinaryOp::Mul, id_int(), Expr::lit(2.5)),
+            Expr::and(Expr::is_null(Expr::col("lang")), Expr::lit(true)),
+            Expr::or(Expr::is_null(Expr::col("lang")), Expr::null()),
+            // Nested: (id + 1) = 2 AND lang IS NOT NULL.
+            Expr::and(
+                Expr::eq(Expr::binary(BinaryOp::Add, id_int(), Expr::lit(1i64)), Expr::lit(2i64)),
+                Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col("lang")) },
+            ),
+        ] {
+            for sel in [Selection::All(t.height()), Selection::Rows(&[1]), Selection::Rows(&[])] {
+                let columnar = eval_column(&expr, &t, &sel).unwrap();
+                let rowwise: Vec<Value> =
+                    sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
+                assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_errors_match_rowwise() {
+        let t = table();
+        for expr in [
+            // Arithmetic on text errors on every row in both paths.
+            Expr::binary(BinaryOp::Add, Expr::col("lang"), Expr::lit(1i64)),
+            // Division by a zero literal.
+            Expr::binary(BinaryOp::Div, Expr::lit(1i64), Expr::lit(0i64)),
+            // Untyped comparison: text vs bool.
+            Expr::binary(BinaryOp::Lt, Expr::col("lang"), Expr::lit(true)),
+        ] {
+            assert!(eval_column(&expr, &t, &Selection::All(t.height())).is_err(), "{expr:?}");
+            assert!(eval(&expr, &RowContext::new(&t, 0)).is_err(), "{expr:?}");
         }
     }
 

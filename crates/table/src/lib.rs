@@ -21,6 +21,7 @@ pub mod csv;
 pub mod date;
 pub mod error;
 pub mod infer;
+pub mod json;
 pub mod schema;
 pub mod table;
 pub mod value;

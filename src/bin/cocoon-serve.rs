@@ -1,0 +1,113 @@
+//! `cocoon-serve` — run the Cocoon cleaning service.
+//!
+//! ```sh
+//! cargo run --release --bin cocoon-serve -- --addr 127.0.0.1:7878
+//! curl -s -X POST http://127.0.0.1:7878/v1/clean \
+//!      -d '{"csv": "id,lang\n1,eng\n2,eng\n3,eng\n4,English\n"}'
+//! ```
+//!
+//! See the README "Serving" section for the endpoint and flag reference.
+
+use cocoon_llm::{DispatcherConfig, RateLimit};
+use cocoon_server::{Server, ServerConfig};
+use std::time::Duration;
+
+const USAGE: &str = "cocoon-serve — Cocoon HTTP cleaning service
+
+USAGE: cocoon-serve [FLAGS]
+
+FLAGS:
+  --addr HOST:PORT        bind address        (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N             connection workers  (default max(8, cores); bounds concurrent connections)
+  --job-workers N         async job workers   (default 2)
+  --max-body BYTES        request body cap    (default 8388608; over => 413)
+  --batch-window-ms MS    LLM batch window    (default 2)
+  --max-batch N           LLM batch size cap  (default 64)
+  --rate-limit RPS[:BURST]
+                          token-bucket limit on prompts reaching the model
+                          (default off; BURST defaults to RPS)
+  --help                  print this text
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_flags() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_num(&value("--workers"), "--workers"),
+            "--job-workers" => {
+                config.job_workers = parse_num(&value("--job-workers"), "--job-workers")
+            }
+            "--max-body" => config.max_body = parse_num(&value("--max-body"), "--max-body"),
+            "--batch-window-ms" => {
+                config.dispatcher.batch_window = Duration::from_millis(parse_num::<u64>(
+                    &value("--batch-window-ms"),
+                    "--batch-window-ms",
+                ))
+            }
+            "--max-batch" => {
+                config.dispatcher.max_batch = parse_num(&value("--max-batch"), "--max-batch")
+            }
+            "--rate-limit" => {
+                config.dispatcher.rate_limit = Some(parse_rate_limit(&value("--rate-limit")))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    config
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| fail(&format!("{flag}: cannot parse {raw:?}")))
+}
+
+/// `RPS` or `RPS:BURST`, both positive numbers.
+fn parse_rate_limit(raw: &str) -> RateLimit {
+    let (rps, burst) = match raw.split_once(':') {
+        Some((rps, burst)) => (rps, Some(burst)),
+        None => (raw, None),
+    };
+    let per_sec: f64 = parse_num(rps, "--rate-limit");
+    let burst: f64 = burst.map(|b| parse_num(b, "--rate-limit")).unwrap_or(per_sec);
+    if per_sec <= 0.0 || burst <= 0.0 {
+        fail("--rate-limit values must be positive");
+    }
+    RateLimit::new(per_sec, burst)
+}
+
+fn main() {
+    let config = parse_flags();
+    let dispatcher: DispatcherConfig = config.dispatcher;
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("cannot bind: {e}")),
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("cocoon-serve listening on http://{addr}");
+    println!(
+        "  dispatcher: batch window {:?}, max batch {}, rate limit {}",
+        dispatcher.batch_window,
+        dispatcher.max_batch,
+        match dispatcher.rate_limit {
+            Some(limit) => format!("{}/s (burst {})", limit.per_sec, limit.burst),
+            None => "off".to_string(),
+        }
+    );
+    println!("  endpoints: POST /v1/clean · POST /v1/jobs · GET /v1/jobs/{{id}} · GET /v1/datasets · GET /v1/metrics");
+    if let Err(e) = server.serve() {
+        eprintln!("server stopped: {e}");
+        std::process::exit(1);
+    }
+}

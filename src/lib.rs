@@ -13,5 +13,6 @@ pub use cocoon_llm as llm;
 pub use cocoon_pattern as pattern;
 pub use cocoon_profile as profile;
 pub use cocoon_semantic as semantic;
+pub use cocoon_server as server;
 pub use cocoon_sql as sql;
 pub use cocoon_table as table;

@@ -1,0 +1,277 @@
+//! Loopback end-to-end tests of `cocoon-server`: N concurrent clients, each
+//! response byte-identical to a direct `Cleaner` run; shared-dispatcher
+//! coalescing and rate limiting visible in `/v1/metrics`; the async job
+//! lifecycle; and HTTP error statuses over a real socket.
+
+use cocoon_core::Cleaner;
+use cocoon_llm::{DispatcherConfig, Json, RateLimit, SimLlm};
+use cocoon_server::{Server, ServerConfig, ServerHandle};
+use cocoon_table::csv;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The multi-issue fixture shared with the pipeline tests: string
+/// outliers, pattern outliers, DMVs, casts and numeric outliers at once.
+fn messy_csv() -> String {
+    let mut text = String::from("record_id,lang,admission,EmergencyService,rating\n");
+    for i in 0..20 {
+        text.push_str(&format!("r{i},eng,01/02/2003,yes,7.5\n"));
+    }
+    text.push_str("r20,English,2003-04-05,no,8.0\n");
+    text.push_str("r21,eng,01/02/2003,N/A,99.0\n");
+    text
+}
+
+fn clean_body(csv_text: &str) -> String {
+    format!("{{\"csv\": {}}}", cocoon_llm::json::escape(csv_text))
+}
+
+/// Minimal HTTP client: one request per connection (`Connection: close`, so
+/// EOF frames the response). Returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: cocoon\r\nConnection: close\r\n");
+    match body {
+        Some(body) => request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len())),
+        None => request.push_str("\r\n"),
+    }
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let (status, body) = http(addr, "GET", path, None);
+    (status, cocoon_llm::json::parse(&body).unwrap_or_else(|e| panic!("{path}: {e}: {body}")))
+}
+
+/// Runs `test` against a freshly bound server, stopping it afterwards.
+fn with_server(config: ServerConfig, test: impl FnOnce(&ServerHandle)) {
+    let server = Server::bind(config).expect("bind");
+    let handle = server.handle().expect("handle");
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve());
+        test(&handle);
+        handle.stop();
+        serving.join().expect("serve thread").expect("serve result");
+    });
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        job_workers: 1,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_cleans_are_byte_identical_to_direct_runs() {
+    // A wide batch window plus a tight token bucket: concurrent identical
+    // prompts must single-flight, and dispatches must visibly wait.
+    let mut config = test_config();
+    config.dispatcher = DispatcherConfig {
+        batch_window: Duration::from_millis(25),
+        rate_limit: Some(RateLimit::new(200.0, 1.0)),
+        ..DispatcherConfig::default()
+    };
+    let csv_text = messy_csv();
+    let direct = Cleaner::new(SimLlm::new())
+        .clean(&csv::read_str(&csv_text).expect("fixture parses"))
+        .expect("direct clean");
+    let expected_csv = csv::write_str(&direct.table);
+    let expected_script = direct.sql_script();
+    let body = clean_body(&csv_text);
+
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        const CLIENTS: usize = 8;
+        let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| scope.spawn(|| http(addr, "POST", "/v1/clean", Some(&body))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client")).collect()
+        });
+        let first = &responses[0].1;
+        for (status, response_body) in &responses {
+            assert_eq!(*status, 200, "{response_body}");
+            assert_eq!(response_body, first, "all served responses are byte-identical");
+            let json = cocoon_llm::json::parse(response_body).expect("response json");
+            assert_eq!(
+                json.get("cleaned_csv").and_then(Json::as_str),
+                Some(expected_csv.as_str()),
+                "served clean table == direct library run"
+            );
+            assert_eq!(
+                json.get("sql_script").and_then(Json::as_str),
+                Some(expected_script.as_str()),
+                "served SQL artifact == direct library run"
+            );
+            assert_eq!(
+                json.get("total_changes"),
+                Some(&Json::Number(direct.total_changes() as f64))
+            );
+        }
+
+        let (status, metrics) = get_json(addr, "/v1/metrics");
+        assert_eq!(status, 200);
+        let requests = metrics.get("requests").expect("requests section");
+        assert_eq!(requests.get("clean").and_then(Json::as_f64), Some(CLIENTS as f64));
+        let dispatcher =
+            metrics.get("llm").and_then(|l| l.get("dispatcher")).expect("dispatcher section");
+        let stat = |name: &str| {
+            dispatcher.get(name).and_then(Json::as_f64).unwrap_or_else(|| panic!("{name}"))
+        };
+        assert!(
+            stat("coalesced") >= 1.0,
+            "concurrent identical prompts must single-flight: {dispatcher}"
+        );
+        assert!(stat("batches") >= 1.0, "{dispatcher}");
+        assert!(
+            stat("rate_limit_waits") >= 1.0,
+            "the token bucket must have enforced waits: {dispatcher}"
+        );
+        let llm = metrics.get("llm").unwrap();
+        assert!(
+            llm.get("cache_hits").and_then(Json::as_f64).unwrap() >= 1.0,
+            "8 identical cleans share the process-wide cache: {llm}"
+        );
+    });
+}
+
+#[test]
+fn async_jobs_match_the_synchronous_endpoint() {
+    let config = test_config();
+    let csv_text = messy_csv();
+    let body = clean_body(&csv_text);
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let (status, sync_body) = http(addr, "POST", "/v1/clean", Some(&body));
+        assert_eq!(status, 200);
+
+        let (status, submit_body) = http(addr, "POST", "/v1/jobs", Some(&body));
+        assert_eq!(status, 202, "{submit_body}");
+        let submitted = cocoon_llm::json::parse(&submit_body).expect("submit json");
+        assert_eq!(submitted.get("status").and_then(Json::as_str), Some("queued"));
+        let poll_path =
+            submitted.get("poll").and_then(Json::as_str).expect("poll path").to_string();
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let finished = loop {
+            let (status, view) = get_json(addr, &poll_path);
+            assert_eq!(status, 200);
+            match view.get("status").and_then(Json::as_str) {
+                Some("done") => break view,
+                Some("failed") => panic!("job failed: {view}"),
+                _ => {
+                    assert!(Instant::now() < deadline, "job did not finish: {view}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        let progress = finished.get("progress").expect("progress");
+        assert_eq!(progress.get("finished").and_then(Json::as_bool), Some(true));
+        assert_eq!(progress.get("total_stages").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(progress.get("completed_stages").and_then(Json::as_f64), Some(8.0));
+        // The job result is exactly the synchronous response.
+        let sync_json = cocoon_llm::json::parse(&sync_body).expect("sync json");
+        assert_eq!(finished.get("result"), Some(&sync_json));
+
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let jobs = metrics.get("jobs").expect("jobs section");
+        assert_eq!(jobs.get("done").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(jobs.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    });
+}
+
+#[test]
+fn datasets_endpoint_lists_the_benchmark_catalog() {
+    with_server(test_config(), |handle| {
+        let (status, body) = get_json(handle.addr(), "/v1/datasets");
+        assert_eq!(status, 200);
+        let datasets = body.get("datasets").and_then(Json::as_array).expect("array");
+        let names: Vec<&str> = datasets.iter().filter_map(|d| d.get("name")?.as_str()).collect();
+        assert_eq!(names, ["Hospital", "Flights", "Beers", "Rayyan", "Movies"]);
+    });
+}
+
+#[test]
+fn protocol_and_routing_errors_over_the_wire() {
+    let mut config = test_config();
+    config.max_body = 256;
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        assert_eq!(http(addr, "GET", "/nope", None).0, 404);
+        assert_eq!(http(addr, "GET", "/v1/clean", None).0, 405);
+        assert_eq!(http(addr, "POST", "/v1/clean", Some("{not json")).0, 400);
+        assert_eq!(http(addr, "POST", "/v1/clean", Some("{}")).0, 400);
+        assert_eq!(http(addr, "GET", "/v1/jobs/12345", None).0, 404);
+        // A body over the configured cap is refused with 413.
+        let big = clean_body(&messy_csv());
+        assert!(big.len() > 256);
+        let (status, body) = http(addr, "POST", "/v1/clean", Some(&big));
+        assert_eq!(status, 413, "{body}");
+        // The error responses and oversized bodies all surface in metrics.
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let requests = metrics.get("requests").expect("requests");
+        assert!(requests.get("responses_4xx").and_then(Json::as_f64).unwrap() >= 5.0);
+    });
+}
+
+#[test]
+fn stop_returns_even_with_an_idle_keep_alive_connection_open() {
+    let server = Server::bind(test_config()).expect("bind");
+    let handle = server.handle().expect("handle");
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve());
+        // Complete one exchange, then leave the connection open and idle:
+        // its worker is blocked reading, not accepting, when stop() runs.
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: cocoon\r\n\r\n").expect("send");
+        let mut first = [0u8; 15];
+        stream.read_exact(&mut first).expect("response starts");
+        assert_eq!(&first, b"HTTP/1.1 200 OK");
+        handle.stop();
+        serving.join().expect("serve thread").expect("serve result");
+        drop(stream);
+    });
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    with_server(test_config(), |handle| {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        for i in 0..3 {
+            stream.write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: cocoon\r\n\r\n").expect("send");
+            // Read the framed response off the persistent connection.
+            let mut head = Vec::new();
+            let mut byte = [0u8; 1];
+            while !head.ends_with(b"\r\n\r\n") {
+                stream.read_exact(&mut byte).expect("head byte");
+                head.push(byte[0]);
+            }
+            let head = String::from_utf8(head).expect("utf-8 head");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "request {i}: {head}");
+            assert!(head.contains("Connection: keep-alive"), "request {i}");
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .trim()
+                .parse()
+                .expect("length");
+            let mut body = vec![0u8; length];
+            stream.read_exact(&mut body).expect("body");
+            cocoon_llm::json::parse(std::str::from_utf8(&body).unwrap()).expect("body json");
+        }
+    });
+}
