@@ -6,6 +6,14 @@
 //! profiling + SQL execution but no model calls — the throughput figure
 //! `BENCH_PR4.json` records. `served_clean/messy warm cache` is the same
 //! steady state on a small table, where transport overhead dominates.
+//!
+//! The `ingest` group isolates the PR 5 question: what does the wire
+//! format cost? Both benches clean the same warm Movies table end to end;
+//! `json envelope` wraps the CSV in the JSON body (client-side escaping +
+//! server-side JSON parse + unescape before the CSV parse ever runs, and
+//! a full JSON report back), while `text/csv` posts the raw document
+//! (streamed straight into the incremental CSV parser, bare CSV back).
+//! The delta is recorded in `BENCH_PR5.json`.
 
 use cocoon_server::{Server, ServerConfig, ServerHandle};
 use cocoon_table::csv;
@@ -13,13 +21,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
-/// One POST /v1/clean round-trip on a fresh connection; panics on non-200.
-fn request_clean(handle: &ServerHandle, body: &str) -> usize {
+/// One round-trip on a fresh connection; panics on non-200. Returns the
+/// response length so the work cannot be optimised away.
+fn request(handle: &ServerHandle, request: &str) -> usize {
     let mut stream = TcpStream::connect(handle.addr()).expect("connect");
-    let request = format!(
-        "POST /v1/clean HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
     stream.write_all(request.as_bytes()).expect("send");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read");
@@ -27,8 +32,22 @@ fn request_clean(handle: &ServerHandle, body: &str) -> usize {
     response.len()
 }
 
-fn clean_body(csv_text: &str) -> String {
-    format!("{{\"csv\": {}}}", cocoon_llm::json::escape(csv_text))
+/// A `POST /v1/clean` with the JSON envelope.
+fn json_request(body_csv: &str) -> String {
+    let body = format!("{{\"csv\": {}}}", cocoon_llm::json::escape(body_csv));
+    format!(
+        "POST /v1/clean HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// A `POST /v1/clean` with the raw CSV body and a CSV response.
+fn csv_request(body_csv: &str) -> String {
+    format!(
+        "POST /v1/clean HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+         Content-Type: text/csv\r\nAccept: text/csv\r\nContent-Length: {}\r\n\r\n{body_csv}",
+        body_csv.len()
+    )
 }
 
 fn messy_csv() -> String {
@@ -49,22 +68,39 @@ fn bench_served_clean(c: &mut Criterion) {
     std::thread::scope(|scope| {
         scope.spawn(|| server.serve().expect("serve"));
 
-        let movies = clean_body(&csv::write_str(&cocoon_datasets::movies::generate().dirty));
-        let messy = clean_body(&messy_csv());
+        let movies_csv = csv::write_str(&cocoon_datasets::movies::generate().dirty);
+        let movies_json = json_request(&movies_csv);
+        let movies_raw = csv_request(&movies_csv);
+        let messy_json = json_request(&messy_csv());
         // Warm the process-wide cache so the measured requests are the
         // deployment steady state (every prompt replays from the cache).
-        request_clean(&handle, &movies);
-        request_clean(&handle, &messy);
+        request(&handle, &movies_json);
+        request(&handle, &messy_json);
 
         let mut group = c.benchmark_group("served_clean");
         group.sample_size(10);
         // Each iteration is one request: throughput prints requests/s.
         group.throughput(Throughput::Elements(1));
         group.bench_function("movies warm cache", |b| {
-            b.iter(|| request_clean(&handle, black_box(&movies)))
+            b.iter(|| request(&handle, black_box(&movies_json)))
         });
         group.bench_function("messy warm cache", |b| {
-            b.iter(|| request_clean(&handle, black_box(&messy)))
+            b.iter(|| request(&handle, black_box(&messy_json)))
+        });
+        group.finish();
+
+        // Wire-format comparison: same warm Movies clean, JSON envelope vs
+        // raw CSV both ways.
+        let mut group = c.benchmark_group("ingest");
+        // The pipeline dominates each request, so the wire-format delta
+        // needs more samples than the throughput group to rise above noise.
+        group.sample_size(20);
+        group.throughput(Throughput::Bytes(movies_csv.len() as u64));
+        group.bench_function("movies json envelope", |b| {
+            b.iter(|| request(&handle, black_box(&movies_json)))
+        });
+        group.bench_function("movies text/csv", |b| {
+            b.iter(|| request(&handle, black_box(&movies_raw)))
         });
         group.finish();
 
@@ -72,5 +108,34 @@ fn bench_served_clean(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_served_clean);
+/// The ingest layer in isolation — no socket, no pipeline: what does each
+/// wire format cost to turn into a `Table`? The JSON envelope pays the
+/// JSON parse and string unescape before the CSV parse even starts; the
+/// raw path feeds the incremental parser directly.
+fn bench_ingest_parse(c: &mut Criterion) {
+    let movies_csv = csv::write_str(&cocoon_datasets::movies::generate().dirty);
+    let envelope = format!("{{\"csv\": {}}}", cocoon_llm::json::escape(&movies_csv));
+    let mut group = c.benchmark_group("ingest_parse");
+    group.throughput(Throughput::Bytes(movies_csv.len() as u64));
+    group.bench_function("movies json envelope", |b| {
+        b.iter(|| {
+            cocoon_server::api::parse_clean_payload(black_box(envelope.as_bytes()))
+                .expect("payload parses")
+                .table
+        })
+    });
+    group.bench_function("movies text/csv stream", |b| {
+        b.iter(|| {
+            // 16 KB chunks, exactly as the server reads the request body.
+            let mut stream = cocoon_table::csv::CsvStream::new();
+            for chunk in black_box(movies_csv.as_bytes()).chunks(16 * 1024) {
+                stream.push_bytes(chunk).expect("csv parses");
+            }
+            stream.finish_table().expect("table builds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_served_clean, bench_ingest_parse);
 criterion_main!(benches);

@@ -12,23 +12,30 @@ use std::sync::Mutex;
 /// Message author role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
+    /// Instructions framing the conversation.
     System,
+    /// The caller's turn.
     User,
+    /// The model's turn.
     Assistant,
 }
 
 /// One message of a chat exchange.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
+    /// Author of this message.
     pub role: Role,
+    /// The message text.
     pub content: String,
 }
 
 impl Message {
+    /// A user-role message.
     pub fn user(content: impl Into<String>) -> Self {
         Message { role: Role::User, content: content.into() }
     }
 
+    /// A system-role message.
     pub fn system(content: impl Into<String>) -> Self {
         Message { role: Role::System, content: content.into() }
     }
@@ -37,6 +44,7 @@ impl Message {
 /// A chat-completion request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChatRequest {
+    /// The conversation, oldest first.
     pub messages: Vec<Message>,
     /// Sampling temperature; the pipeline uses 0.0 for determinism.
     pub temperature: f64,
@@ -81,7 +89,9 @@ impl ChatRequest {
 /// adequate for relative cost reporting in the benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Usage {
+    /// Approximate token count of the prompt.
     pub prompt_tokens: usize,
+    /// Approximate token count of the completion.
     pub completion_tokens: usize,
 }
 
@@ -91,6 +101,7 @@ impl Usage {
         text.split_whitespace().count()
     }
 
+    /// Prompt plus completion tokens.
     pub fn total(&self) -> usize {
         self.prompt_tokens + self.completion_tokens
     }
@@ -99,7 +110,9 @@ impl Usage {
 /// A chat-completion response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChatResponse {
+    /// The completion text.
     pub content: String,
+    /// Token accounting for this exchange.
     pub usage: Usage,
 }
 
@@ -177,6 +190,7 @@ pub struct ScriptedLlm {
 }
 
 impl ScriptedLlm {
+    /// A model that replays `responses` in call order.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(responses: I) -> Self {
         ScriptedLlm {
             responses: Mutex::new(responses.into_iter().map(Into::into).collect()),

@@ -11,6 +11,9 @@
 //!   arrival executes, later arrivals wait and receive a clone of its
 //!   answer. With a temperature-0 deterministic backend this is invisible
 //!   in the output and saves the duplicate calls a cold cache lets through.
+//!   This holds across *batches* too: two concurrent identical
+//!   [`ChatModel::complete_batch`] calls register in the same flight table,
+//!   so each distinct prompt reaches the backend exactly once.
 //! * **Batch windows** — the first caller with a *distinct* pending request
 //!   becomes the batch leader: it waits up to
 //!   [`DispatcherConfig::batch_window`] for other distinct requests to
@@ -46,6 +49,7 @@ pub struct RateLimit {
 }
 
 impl RateLimit {
+    /// A limit of `per_sec` sustained requests/s with `burst` capacity.
     pub fn new(per_sec: f64, burst: f64) -> Self {
         RateLimit { per_sec, burst }
     }
@@ -74,8 +78,8 @@ impl Default for DispatcherConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DispatcherStats {
     /// Requests that piggybacked on an identical request already pending or
-    /// in flight (single-flight merges plus in-batch duplicates) — each one
-    /// is a completion the backend never saw.
+    /// in flight (single-flight merges, in-batch duplicates, and cross-batch
+    /// merges) — each one is a completion the backend never saw.
     pub coalesced: usize,
     /// `complete_batch` calls issued to the backend.
     pub batches: usize,
@@ -117,6 +121,25 @@ struct TokenBucket {
 /// The dispatcher; see the module docs for the policy stack. Wraps any
 /// [`ChatModel`] and is itself one, so it composes with [`crate::CachedLlm`]
 /// and `Transcript` like any other layer.
+///
+/// ```
+/// use cocoon_llm::{
+///     ChatModel, ChatRequest, CoalescingDispatcher, DispatcherConfig, RateLimit, ScriptedLlm,
+/// };
+/// use std::time::Duration;
+///
+/// // The server's shape: a short batch window and a token-bucket limit on
+/// // what reaches the backend.
+/// let config = DispatcherConfig {
+///     batch_window: Duration::from_millis(2),
+///     max_batch: 64,
+///     rate_limit: Some(RateLimit::new(100.0, 10.0)),
+/// };
+/// let dispatcher = CoalescingDispatcher::new(ScriptedLlm::new(["an answer"]), config);
+/// let response = dispatcher.complete(&ChatRequest::simple("prompt")).unwrap();
+/// assert_eq!(response.content, "an answer");
+/// assert_eq!(dispatcher.stats().batches, 1);
+/// ```
 pub struct CoalescingDispatcher<M> {
     inner: M,
     config: DispatcherConfig,
@@ -131,6 +154,7 @@ pub struct CoalescingDispatcher<M> {
 }
 
 impl<M: ChatModel> CoalescingDispatcher<M> {
+    /// A dispatcher applying `config`'s policies in front of `inner`.
     pub fn new(inner: M, config: DispatcherConfig) -> Self {
         let bucket = config.rate_limit.map(|limit| {
             Mutex::new(TokenBucket { tokens: limit.burst.max(1.0), last_refill: Instant::now() })
@@ -158,6 +182,7 @@ impl<M: ChatModel> CoalescingDispatcher<M> {
         Self::new(inner, DispatcherConfig::default())
     }
 
+    /// The configured policy stack.
     pub fn config(&self) -> &DispatcherConfig {
         &self.config
     }
@@ -335,10 +360,18 @@ impl<M: ChatModel> ChatModel for CoalescingDispatcher<M> {
 
     /// Batch calls already arrive amortised; the dispatcher still dedupes
     /// identical prompts within the batch (each duplicate counts as
-    /// coalesced) and rate-limits the distinct remainder as one dispatch.
+    /// coalesced) and routes the distinct remainder through the same
+    /// single-flight table the [`complete`](ChatModel::complete) path uses.
+    /// That makes coalescing work *across* batches too: when two concurrent
+    /// identical batches arrive, the first to register a prompt dispatches
+    /// it and the second piggybacks on the flight instead of paying a
+    /// duplicate backend call. Prompts this call does own are dispatched at
+    /// once (no window — the batch is already amortised), or handed to an
+    /// open batch window's leader if one is collecting.
     fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+        // In-batch dedupe: map every request slot to its first occurrence.
         let mut first_slot: HashMap<u64, usize> = HashMap::with_capacity(requests.len());
-        let mut distinct: Vec<ChatRequest> = Vec::with_capacity(requests.len());
+        let mut distinct: Vec<(u64, ChatRequest)> = Vec::with_capacity(requests.len());
         let mut slots: Vec<usize> = Vec::with_capacity(requests.len());
         for request in requests {
             let key = request.fingerprint();
@@ -350,7 +383,7 @@ impl<M: ChatModel> ChatModel for CoalescingDispatcher<M> {
                 None => {
                     let slot = distinct.len();
                     first_slot.insert(key, slot);
-                    distinct.push(request.clone());
+                    distinct.push((key, request.clone()));
                     slot
                 }
             };
@@ -359,14 +392,46 @@ impl<M: ChatModel> ChatModel for CoalescingDispatcher<M> {
         if distinct.is_empty() {
             return Vec::new();
         }
-        self.throttle(distinct.len());
-        let responses = self.guarded_batch(&distinct);
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_prompts.fetch_add(distinct.len(), Ordering::Relaxed);
-        slots
-            .into_iter()
-            .map(|i| responses.get(i).cloned().unwrap_or_else(|| Err(Self::short_batch_error())))
-            .collect()
+
+        // Cross-batch single-flight: register every distinct prompt in the
+        // flights table. Prompts already pending or in flight (registered
+        // by a concurrent batch or a `complete` caller) are piggybacked;
+        // the rest become flights owned by this call.
+        let mut owned: Vec<(u64, ChatRequest)> = Vec::with_capacity(distinct.len());
+        {
+            let mut queue = self.queue.lock().expect("dispatch lock");
+            for (key, request) in &distinct {
+                match queue.flights.get_mut(key) {
+                    Some(flight) => {
+                        flight.waiters += 1;
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        queue.flights.insert(*key, Flight { result: None, waiters: 1 });
+                        owned.push((*key, request.clone()));
+                    }
+                }
+            }
+            if !owned.is_empty() && queue.collecting {
+                // A window leader is collecting: hand it our prompts so the
+                // backend sees one merged batch, and wake it in case the
+                // arrivals push `pending` past `max_batch`.
+                queue.pending.append(&mut owned);
+                self.signal.notify_all();
+            }
+        }
+        if !owned.is_empty() {
+            self.dispatch(owned);
+        }
+
+        // Collect each distinct prompt's result (piggybacked flights may
+        // resolve later, so this can block on the other dispatcher), then
+        // scatter to the original slots.
+        let results: Vec<Result<ChatResponse>> = distinct
+            .iter()
+            .map(|(key, _)| self.await_result(self.queue.lock().expect("dispatch lock"), *key))
+            .collect();
+        slots.into_iter().map(|i| results[i].clone()).collect()
     }
 }
 
@@ -520,6 +585,132 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.coalesced, 2, "two duplicate 'a' prompts merged");
         assert_eq!(d.inner().batch_sizes.lock().unwrap().as_slice(), &[2]);
+    }
+
+    /// Echoes prompts like [`EchoBackend`], but holds every batch inside
+    /// the backend until the test releases the gate — so a second caller
+    /// provably arrives while the first batch is still in flight.
+    struct GatedBackend {
+        entered: AtomicUsize,
+        release: std::sync::atomic::AtomicBool,
+        batch_sizes: Mutex<Vec<usize>>,
+    }
+
+    impl GatedBackend {
+        fn new() -> Self {
+            GatedBackend {
+                entered: AtomicUsize::new(0),
+                release: std::sync::atomic::AtomicBool::new(false),
+                batch_sizes: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn wait_until(&self, what: impl Fn() -> bool) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !what() {
+                assert!(Instant::now() < deadline, "gated backend timed out");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    impl ChatModel for GatedBackend {
+        fn model_name(&self) -> &str {
+            "gated"
+        }
+
+        fn complete(&self, request: &ChatRequest) -> Result<ChatResponse> {
+            Ok(ChatResponse {
+                content: format!("echo: {}", request.user_text()),
+                usage: Default::default(),
+            })
+        }
+
+        fn complete_batch(&self, requests: &[ChatRequest]) -> Vec<Result<ChatResponse>> {
+            self.entered.fetch_add(1, Ordering::Relaxed);
+            self.wait_until(|| self.release.load(Ordering::Relaxed));
+            self.batch_sizes.lock().unwrap().push(requests.len());
+            requests.iter().map(|r| self.complete(r)).collect()
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_batches_single_flight() {
+        // Two identical batches, the second arriving while the first is
+        // provably still inside the backend. Cross-batch single-flight must
+        // dispatch each distinct prompt exactly once: the first batch owns
+        // the flights, the second piggybacks on them.
+        let d = CoalescingDispatcher::new(GatedBackend::new(), windowed(0));
+        let d = &d;
+        let requests: Vec<ChatRequest> =
+            (0..4).map(|i| ChatRequest::simple(format!("p{i}"))).collect();
+        let (first, second) = std::thread::scope(|s| {
+            let first = {
+                let requests = requests.clone();
+                s.spawn(move || d.complete_batch(&requests))
+            };
+            // Wait until the first batch is inside the backend…
+            d.inner().wait_until(|| d.inner().entered.load(Ordering::Relaxed) >= 1);
+            let second = {
+                let requests = requests.clone();
+                s.spawn(move || d.complete_batch(&requests))
+            };
+            // …and until the second has registered (its piggybacks show up
+            // in the coalesced counter), then let the backend answer.
+            d.inner().wait_until(|| d.stats().coalesced >= 4);
+            d.inner().release.store(true, Ordering::Relaxed);
+            (first.join().unwrap(), second.join().unwrap())
+        });
+        for responses in [&first, &second] {
+            assert_eq!(responses.len(), 4);
+            for (i, r) in responses.iter().enumerate() {
+                assert_eq!(r.as_ref().unwrap().content, format!("echo: p{i}"));
+            }
+        }
+        let sizes = d.inner().batch_sizes.lock().unwrap().clone();
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            4,
+            "each distinct prompt reaches the backend exactly once across both batches: {sizes:?}"
+        );
+        assert_eq!(d.stats().coalesced, 4, "the second batch piggybacked all four prompts");
+        assert_eq!(d.stats().batches, 1);
+    }
+
+    #[test]
+    fn sequential_identical_batches_both_dispatch() {
+        // Cross-batch single-flight is not a cache: once the first batch's
+        // flights resolve and drain, a later identical batch re-dispatches.
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(0));
+        let requests = vec![ChatRequest::simple("a"), ChatRequest::simple("b")];
+        d.complete_batch(&requests);
+        d.complete_batch(&requests);
+        assert_eq!(d.inner().batch_sizes.lock().unwrap().iter().sum::<usize>(), 4);
+        assert_eq!(d.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn batch_prompts_join_an_open_window() {
+        // A complete() leader holds a 200ms window open; a complete_batch
+        // arriving inside it must hand the leader its prompts so the
+        // backend sees one merged dispatch.
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(200));
+        let d = &d;
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| d.complete(&ChatRequest::simple("single")).unwrap().content);
+            // Give the leader time to open its window.
+            std::thread::sleep(Duration::from_millis(30));
+            let batch = s.spawn(|| {
+                d.complete_batch(&[ChatRequest::simple("b0"), ChatRequest::simple("b1")])
+            });
+            assert_eq!(leader.join().unwrap(), "echo: single");
+            let responses = batch.join().unwrap();
+            assert_eq!(responses[0].as_ref().unwrap().content, "echo: b0");
+            assert_eq!(responses[1].as_ref().unwrap().content, "echo: b1");
+        });
+        let sizes = d.inner().batch_sizes.lock().unwrap().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 3, "every prompt dispatched once: {sizes:?}");
+        assert_eq!(sizes.len(), 1, "window merged the batch into one dispatch: {sizes:?}");
     }
 
     #[test]

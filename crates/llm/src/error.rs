@@ -9,7 +9,12 @@ pub enum LlmError {
     Completion(String),
     /// The response did not contain the expected payload (e.g. no JSON
     /// fence, malformed JSON/YAML).
-    Malformed { expected: &'static str, detail: String },
+    Malformed {
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// The offending response text.
+        detail: String,
+    },
     /// The model refused or returned an empty response.
     Empty,
 }

@@ -13,15 +13,22 @@ use std::fmt;
 /// our payloads, which never rely on duplicate or ordered keys.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// JSON `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (always stored as `f64`).
     Number(f64),
+    /// A string literal.
     String(String),
+    /// An ordered array.
     Array(Vec<Json>),
+    /// An object; keys sorted by `BTreeMap`.
     Object(BTreeMap<String, Json>),
 }
 
 impl Json {
+    /// The string value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::String(s) => Some(s),
@@ -29,6 +36,7 @@ impl Json {
         }
     }
 
+    /// The numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Number(n) => Some(*n),
@@ -36,6 +44,7 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a bool.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -43,6 +52,7 @@ impl Json {
         }
     }
 
+    /// The elements, if this is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Array(a) => Some(a),
@@ -50,6 +60,7 @@ impl Json {
         }
     }
 
+    /// The members, if this is an object.
     pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
         match self {
             Json::Object(o) => Some(o),

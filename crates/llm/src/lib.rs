@@ -23,6 +23,8 @@
 //! * [`transcript`] — a recording wrapper for HIL reports and token
 //!   accounting.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod chat;
 pub mod dispatch;

@@ -14,16 +14,27 @@ pub const CONTEXT_MARKER: &str = "### context (JSON)";
 
 /// Task tags carried in the context block.
 pub mod task {
+    /// Figure 2 string-outlier detection.
     pub const STRING_OUTLIERS_DETECT: &str = "string_outliers_detect";
+    /// Figure 3 string-outlier cleaning map.
     pub const STRING_OUTLIERS_CLEAN: &str = "string_outliers_clean";
+    /// Pattern review and standardisation (§2.1.2).
     pub const PATTERN_REVIEW: &str = "pattern_review";
+    /// Disguised-missing-value detection (§2.1.3).
     pub const DMV_DETECT: &str = "dmv_detect";
+    /// Column-type suggestion (§2.1.4).
     pub const COLUMN_TYPE: &str = "column_type";
+    /// Numeric acceptable-range review (§2.1.5).
     pub const NUMERIC_RANGE: &str = "numeric_range";
+    /// FD meaningfulness review (§2.1.6).
     pub const FD_REVIEW: &str = "fd_review";
+    /// FD violating-group repair mapping (§2.1.6).
     pub const FD_MAPPING: &str = "fd_mapping";
+    /// Duplication acceptability review (§2.1.7).
     pub const DUPLICATION_REVIEW: &str = "duplication_review";
+    /// Column-uniqueness review (§2.1.8).
     pub const UNIQUENESS_REVIEW: &str = "uniqueness_review";
+    /// Unit/format conversion for numeric repairs.
     pub const NUMERIC_CONVERSION: &str = "numeric_conversion";
 }
 

@@ -12,8 +12,11 @@ use crate::yaml;
 /// Figure 2 verdict for detection prompts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectVerdict {
+    /// The model's reasoning text, quoted in reports.
     pub reasoning: String,
+    /// Whether the values were flagged as unusual.
     pub unusual: bool,
+    /// One-line summary of the finding.
     pub summary: String,
 }
 
@@ -34,6 +37,7 @@ pub fn parse_detect_verdict(text: &str) -> Result<DetectVerdict> {
 /// Figure 3 cleaning map.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CleaningMap {
+    /// The model's explanation of the mapping.
     pub explanation: String,
     /// old value → new value ("" = meaningless, maps to NULL downstream).
     pub mapping: Vec<(String, String)>,
@@ -52,9 +56,11 @@ pub fn parse_cleaning_map(text: &str) -> Result<CleaningMap> {
 /// Pattern-review plan (§2.1.2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PatternPlan {
+    /// The model's reasoning text.
     pub reasoning: String,
     /// Meaningful patterns covering the column.
     pub patterns: Vec<String>,
+    /// Whether the column mixes incompatible formats.
     pub inconsistent: bool,
     /// (pattern, replacement) regex transformations to standardise.
     pub transforms: Vec<(String, String)>,
@@ -93,7 +99,9 @@ pub fn parse_pattern_plan(text: &str) -> Result<PatternPlan> {
 /// DMV detection verdict (§2.1.3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DmvVerdict {
+    /// The model's reasoning text.
     pub reasoning: String,
+    /// Tokens judged to be disguised missing values.
     pub tokens: Vec<String>,
 }
 
@@ -116,6 +124,7 @@ pub fn parse_dmv_verdict(text: &str) -> Result<DmvVerdict> {
 /// Column-type suggestion (§2.1.4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TypeVerdict {
+    /// The model's reasoning text.
     pub reasoning: String,
     /// SQL type name (BOOLEAN, BIGINT, DOUBLE, DATE, TIME, VARCHAR).
     pub type_name: String,
@@ -138,8 +147,11 @@ pub fn parse_type_verdict(text: &str) -> Result<TypeVerdict> {
 /// Numeric acceptable-range verdict (§2.1.5).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RangeVerdict {
+    /// The model's reasoning text.
     pub reasoning: String,
+    /// Lower bound of the acceptable range (`None` = unbounded).
     pub low: Option<f64>,
+    /// Upper bound of the acceptable range (`None` = unbounded).
     pub high: Option<f64>,
 }
 
@@ -156,7 +168,9 @@ pub fn parse_range_verdict(text: &str) -> Result<RangeVerdict> {
 /// FD meaningfulness verdict (§2.1.6).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FdVerdict {
+    /// The model's reasoning text.
     pub reasoning: String,
+    /// Whether the dependency is semantically meaningful.
     pub meaningful: bool,
 }
 
@@ -176,7 +190,9 @@ pub fn parse_fd_verdict(text: &str) -> Result<FdVerdict> {
 /// Duplication acceptability verdict (§2.1.7).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DupVerdict {
+    /// The model's reasoning text.
     pub reasoning: String,
+    /// Whether fully duplicate rows are acceptable here.
     pub acceptable: bool,
 }
 
@@ -196,7 +212,9 @@ pub fn parse_dup_verdict(text: &str) -> Result<DupVerdict> {
 /// Column-uniqueness verdict (§2.1.8).
 #[derive(Debug, Clone, PartialEq)]
 pub struct UniqueVerdict {
+    /// The model's reasoning text.
     pub reasoning: String,
+    /// Whether the column should hold unique values.
     pub should_be_unique: bool,
     /// Column used to prioritise the surviving record, if any.
     pub order_by: Option<String>,

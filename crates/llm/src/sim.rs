@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 pub struct SimLlm;
 
 impl SimLlm {
+    /// The oracle; stateless, so every instance is equivalent.
     pub fn new() -> Self {
         SimLlm
     }

@@ -12,8 +12,11 @@ use std::sync::Mutex;
 /// One recorded exchange.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Exchange {
+    /// The user-visible prompt text.
     pub prompt: String,
+    /// The model's answer.
     pub response: String,
+    /// Token accounting for the exchange.
     pub usage: Usage,
 }
 
@@ -29,6 +32,7 @@ pub struct Transcript<M> {
 }
 
 impl<M: ChatModel> Transcript<M> {
+    /// Starts recording over `inner`.
     pub fn new(inner: M) -> Self {
         Transcript { inner, exchanges: Mutex::new(Vec::new()) }
     }

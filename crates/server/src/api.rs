@@ -1,6 +1,6 @@
-//! Request/response schemas and routing.
+//! Request/response schemas, routing, and content negotiation.
 //!
-//! Every endpoint speaks JSON. The clean request body is
+//! The default wire format is JSON. The clean request body is
 //!
 //! ```json
 //! {
@@ -15,19 +15,32 @@
 //! and the response carries the cleaned table (CSV always, typed JSON rows
 //! on request), the applied ops with their SQL, the run notes, and the full
 //! commented SQL script — the paper's Figure 5 artifact over HTTP.
+//!
+//! `POST /v1/clean` and `POST /v1/jobs` additionally accept a **raw CSV
+//! body** (`Content-Type: text/csv`): the document is parsed incrementally
+//! straight off the request reader via [`cocoon_table::csv::CsvStream`] —
+//! no JSON envelope to build, escape or parse, chunked-transfer friendly,
+//! and the table is byte-identical to what the JSON `"csv"` field would
+//! have produced. Symmetrically, `Accept: text/csv` on `/v1/clean` returns
+//! just the cleaned table as `text/csv` instead of the JSON report.
 
-use crate::http::{json_escape, Request, Response};
-use crate::jobs::JobStatus;
+use crate::http::{json_escape, BodyReader, Head, HttpError, Request, Response};
+use crate::jobs::{DeleteOutcome, JobStatus};
 use crate::server::AppState;
 use cocoon_core::{CleanerConfig, CleaningRun, ProgressSnapshot};
 use cocoon_llm::Json;
+use cocoon_table::csv::CsvStream;
 use cocoon_table::{csv, json as table_json, Table};
 
 /// A parsed, validated clean request — what travels through the job queue.
 #[derive(Clone)]
 pub struct CleanPayload {
+    /// The ingested dirty table.
     pub table: Table,
+    /// Effective pipeline configuration (defaults overlaid with the
+    /// request's partial `"config"`).
     pub config: CleanerConfig,
+    /// Whether the response should embed typed JSON rows.
     pub include_rows: bool,
 }
 
@@ -204,6 +217,124 @@ fn datasets_body() -> String {
     out
 }
 
+/// Whether `head` is a CSV-ingest request: a POST to a cleaning endpoint
+/// declaring `Content-Type: text/csv`. Such bodies are streamed through
+/// [`route_csv`] instead of being materialised.
+pub fn is_csv_ingest(head: &Head) -> bool {
+    head.method == "POST"
+        && matches!(head.path.as_str(), "/v1/clean" | "/v1/jobs")
+        && content_type_is_csv(head.header("Content-Type"))
+}
+
+fn content_type_is_csv(value: Option<&str>) -> bool {
+    // Parameters (`; charset=utf-8`) are tolerated and ignored.
+    value
+        .and_then(|v| v.split(';').next())
+        .map(|t| t.trim().eq_ignore_ascii_case("text/csv"))
+        .unwrap_or(false)
+}
+
+/// Whether the client asked for a CSV response (`Accept: text/csv`,
+/// anywhere in the Accept list; quality parameters are ignored).
+fn wants_csv(accept: Option<&str>) -> bool {
+    accept
+        .map(|v| {
+            v.split(',').any(|item| {
+                item.split(';').next().unwrap_or("").trim().eq_ignore_ascii_case("text/csv")
+            })
+        })
+        .unwrap_or(false)
+}
+
+/// Renders a finished synchronous clean per the client's Accept header:
+/// the full JSON report by default, just the cleaned table as `text/csv`
+/// on request.
+fn render_clean(run: &CleaningRun, include_rows: bool, accept_csv: bool) -> Response {
+    if accept_csv {
+        Response::csv(200, csv::write_str(&run.table))
+    } else {
+        Response::json(200, clean_response_body(run, include_rows))
+    }
+}
+
+/// The `202 Accepted` body for a submitted job.
+fn job_submitted_response(id: u64) -> Response {
+    Response::json(
+        202,
+        format!(
+            "{{\"id\": {id}, \"status\": {}, \"poll\": {}}}",
+            json_escape(JobStatus::Queued.label()),
+            json_escape(&format!("/v1/jobs/{id}")),
+        ),
+    )
+}
+
+/// Routes one CSV-ingest request ([`is_csv_ingest`]), streaming the body
+/// through the incremental CSV parser — the table never exists as a JSON
+/// document or a single body buffer. CSV syntax errors are 400 responses;
+/// transport and framing failures propagate as [`HttpError`] and are
+/// counted by the connection handler's error path, exactly like a JSON
+/// request whose body failed to materialise — so `requests.total` stays
+/// one count per response sent. Successful reads count like [`route`].
+pub fn route_csv<R: std::io::Read>(
+    state: &AppState,
+    head: &Head,
+    body: &mut BodyReader<'_, R>,
+) -> Result<Response, HttpError> {
+    let response = dispatch_csv(state, head, body)?;
+    state.metrics.count_request();
+    state.metrics.count_status(response.status);
+    Ok(response)
+}
+
+fn dispatch_csv<R: std::io::Read>(
+    state: &AppState,
+    head: &Head,
+    body: &mut BodyReader<'_, R>,
+) -> Result<Response, HttpError> {
+    let mut stream = CsvStream::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let parsed: std::result::Result<Table, String> = loop {
+        let n = body.read(&mut chunk)?;
+        if n == 0 {
+            break stream.finish_table().map_err(|e| format!("invalid csv: {e}"));
+        }
+        if let Err(e) = stream.push_bytes(&chunk[..n]) {
+            // Abandons the rest of the body; the caller closes the
+            // connection after delivering this 400.
+            break Err(format!("invalid csv: {e}"));
+        }
+    };
+    // Endpoint counting waits until the transport has delivered the body:
+    // a malformed CSV still counts against the endpoint it was aimed at
+    // (like a malformed JSON body), but a framing/transport failure is the
+    // connection handler's to count, like any other unreadable request.
+    match head.path.as_str() {
+        "/v1/clean" => state.metrics.count_clean(),
+        _ => state.metrics.count_job_submitted(),
+    }
+    let table = match parsed {
+        Ok(table) => table,
+        Err(message) => return Ok(Response::error(400, &message)),
+    };
+    if table.height() == 0 {
+        return Ok(Response::error(400, "table has no rows"));
+    }
+    // CSV ingest carries no envelope, so config and include_rows take
+    // their defaults; clients needing overrides use the JSON body.
+    let payload = CleanPayload { table, config: CleanerConfig::default(), include_rows: false };
+    Ok(match head.path.as_str() {
+        "/v1/clean" => match state.run_clean(&payload, None) {
+            Ok(run) => render_clean(&run, payload.include_rows, wants_csv(head.header("Accept"))),
+            Err(e) => Response::error(500, &format!("clean failed: {e}")),
+        },
+        _ => match state.jobs.submit(payload) {
+            Some(id) => job_submitted_response(id),
+            None => Response::error(429, "job queue is full; retry after polling existing jobs"),
+        },
+    })
+}
+
 /// Routes one request to its handler and counts it. The returned response
 /// is ready to serialise.
 pub fn route(state: &AppState, request: &Request) -> Response {
@@ -241,7 +372,8 @@ fn dispatch(state: &AppState, request: &Request) -> Response {
         },
         _ => match (method, path.strip_prefix("/v1/jobs/")) {
             ("GET", Some(id)) => handle_poll(state, id),
-            (_, Some(_)) => Response::error(405, "use GET /v1/jobs/{id}"),
+            ("DELETE", Some(id)) => handle_delete(state, id),
+            (_, Some(_)) => Response::error(405, "use GET or DELETE /v1/jobs/{id}"),
             _ => Response::error(404, &format!("no route for {path}")),
         },
     }
@@ -254,7 +386,7 @@ fn handle_clean(state: &AppState, request: &Request) -> Response {
         Err(message) => return Response::error(400, &message),
     };
     match state.run_clean(&payload, None) {
-        Ok(body) => Response::json(200, body),
+        Ok(run) => render_clean(&run, payload.include_rows, wants_csv(request.header("Accept"))),
         Err(e) => Response::error(500, &format!("clean failed: {e}")),
     }
 }
@@ -267,17 +399,10 @@ fn handle_submit(state: &AppState, request: &Request) -> Response {
         Ok(payload) => payload,
         Err(message) => return Response::error(400, &message),
     };
-    let Some(id) = state.jobs.submit(payload) else {
-        return Response::error(429, "job queue is full; retry after polling existing jobs");
-    };
-    Response::json(
-        202,
-        format!(
-            "{{\"id\": {id}, \"status\": {}, \"poll\": {}}}",
-            json_escape(JobStatus::Queued.label()),
-            json_escape(&format!("/v1/jobs/{id}")),
-        ),
-    )
+    match state.jobs.submit(payload) {
+        Some(id) => job_submitted_response(id),
+        None => Response::error(429, "job queue is full; retry after polling existing jobs"),
+    }
 }
 
 fn handle_poll(state: &AppState, id: &str) -> Response {
@@ -288,6 +413,20 @@ fn handle_poll(state: &AppState, id: &str) -> Response {
     match state.jobs.view(id) {
         Some(view) => Response::json(200, job_body(&view)),
         None => Response::error(404, &format!("no job {id}")),
+    }
+}
+
+fn handle_delete(state: &AppState, id: &str) -> Response {
+    state.metrics.count_job_deleted();
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, &format!("job id must be an integer, got {id:?}"));
+    };
+    match state.jobs.delete(id) {
+        DeleteOutcome::Deleted => Response::no_content(),
+        DeleteOutcome::Running => {
+            Response::error(409, &format!("job {id} is running; poll until it finishes"))
+        }
+        DeleteOutcome::NotFound => Response::error(404, &format!("no job {id}")),
     }
 }
 

@@ -1,14 +1,19 @@
-//! Vendored mini HTTP/1.1 — request parsing, bodies, keep-alive, responses.
+//! Vendored mini HTTP/1.1 — request parsing, streamed bodies, keep-alive,
+//! responses.
 //!
 //! The build environment has no crates.io access, so in the spirit of the
 //! `crates/compat` shims this module implements exactly the protocol slice
-//! a JSON service needs on top of `std::net`:
+//! a JSON+CSV service needs on top of `std::net`:
 //!
 //! * request-line and header parsing from a byte stream, robust to split
 //!   reads (a [`RequestReader`] buffers across `read` calls and carries
 //!   pipelined leftovers to the next request),
 //! * bodies via `Content-Length` **or** `Transfer-Encoding: chunked`, with
-//!   a hard size cap (over-cap → 413, malformed → 400),
+//!   a hard size cap (over-cap → 413, malformed → 400) — readable either
+//!   *incrementally* through a [`BodyReader`] (the streaming CSV ingest
+//!   path: head first via [`RequestReader::next_head`], then body chunks
+//!   as they arrive off the socket) or materialised in one step via
+//!   [`RequestReader::next_request`] (the JSON path),
 //! * HTTP/1.1 keep-alive semantics (1.1 persistent by default, 1.0 only
 //!   with `Connection: keep-alive`, `Connection: close` always wins),
 //! * response serialisation with `Content-Length` framing.
@@ -25,19 +30,71 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// CSV). Larger bodies are rejected as 413.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
-/// A parsed HTTP request.
+/// How a request's body is framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// `Content-Length: n` — exactly `n` bytes follow the head.
+    Length(usize),
+    /// `Transfer-Encoding: chunked` — hex-sized chunks until a zero chunk.
+    Chunked,
+    /// No body headers at all.
+    None,
+}
+
+/// A parsed request head — everything before the body. Obtained from
+/// [`RequestReader::next_head`] when the handler wants to stream the body
+/// instead of materialising it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
+pub struct Head {
+    /// Request method, as sent (`GET`, `POST`, `DELETE`, …).
     pub method: String,
     /// Request target with any `?query` suffix stripped.
     pub path: String,
     /// Header name/value pairs in arrival order (names as sent).
     pub headers: Vec<(String, String)>,
+    /// How the body (if any) is framed.
+    pub framing: BodyFraming,
+    keep_alive: bool,
+}
+
+impl Head {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+}
+
+/// A parsed HTTP request with its body fully materialised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as sent.
+    pub method: String,
+    /// Request target with any `?query` suffix stripped.
+    pub path: String,
+    /// Header name/value pairs in arrival order (names as sent).
+    pub headers: Vec<(String, String)>,
+    /// The complete body bytes (empty when the request had none).
     pub body: Vec<u8>,
     keep_alive: bool,
 }
 
 impl Request {
+    /// Assembles a request from a streamed head and its collected body.
+    pub fn from_parts(head: Head, body: Vec<u8>) -> Request {
+        Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+            keep_alive: head.keep_alive,
+        }
+    }
+
     /// Case-insensitive header lookup (first match).
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
@@ -95,6 +152,7 @@ pub struct RequestReader<R> {
 }
 
 impl<R: Read> RequestReader<R> {
+    /// A reader over `source` enforcing `max_body` on request bodies.
     pub fn new(source: R, max_body: usize) -> Self {
         RequestReader { source, buffer: Vec::new(), max_body }
     }
@@ -108,25 +166,25 @@ impl<R: Read> RequestReader<R> {
         Ok(n > 0)
     }
 
-    /// Ensures at least `n` bytes are buffered.
-    fn fill_to(&mut self, n: usize) -> Result<(), HttpError> {
-        while self.buffer.len() < n {
-            if !self.fill()? {
-                return Err(HttpError::Malformed("unexpected eof in body".into()));
-            }
-        }
-        Ok(())
-    }
-
     /// Takes the first `n` buffered bytes.
     fn take(&mut self, n: usize) -> Vec<u8> {
         let rest = self.buffer.split_off(n);
         std::mem::replace(&mut self.buffer, rest)
     }
 
-    /// Reads the next request. [`HttpError::Closed`] means the peer hung up
-    /// cleanly between requests.
+    /// Reads the next request, materialising its body. [`HttpError::Closed`]
+    /// means the peer hung up cleanly between requests.
     pub fn next_request(&mut self) -> Result<Request, HttpError> {
+        let head = self.next_head()?;
+        let mut body = Vec::new();
+        self.body(&head).read_to_end_into(&mut body)?;
+        Ok(Request::from_parts(head, body))
+    }
+
+    /// Reads the next request *head* only, leaving the body on the wire for
+    /// [`body`](Self::body) to stream. [`HttpError::Closed`] means the peer
+    /// hung up cleanly between requests.
+    pub fn next_head(&mut self) -> Result<Head, HttpError> {
         // Head: everything up to the blank line.
         let head_end = loop {
             if let Some(pos) = find_head_end(&self.buffer) {
@@ -178,13 +236,13 @@ impl<R: Read> RequestReader<R> {
         // Any transfer coding other than plain `chunked` would leave the
         // body unframed — request-desync territory — so it is refused
         // rather than ignored (RFC 9112 §6.1).
-        let body = if let Some(encoding) = header("Transfer-Encoding") {
+        let framing = if let Some(encoding) = header("Transfer-Encoding") {
             if !encoding.eq_ignore_ascii_case("chunked") {
                 return Err(HttpError::Malformed(format!(
                     "unsupported Transfer-Encoding {encoding:?}"
                 )));
             }
-            self.read_chunked_body()?
+            BodyFraming::Chunked
         } else if let Some(raw) = header("Content-Length") {
             // Conflicting duplicate lengths are the classic
             // request-smuggling vector: an intermediary that honours a
@@ -206,10 +264,9 @@ impl<R: Read> RequestReader<R> {
             if declared > self.max_body {
                 return Err(HttpError::PayloadTooLarge);
             }
-            self.fill_to(declared)?;
-            self.take(declared)
+            BodyFraming::Length(declared)
         } else {
-            Vec::new()
+            BodyFraming::None
         };
 
         let keep_alive = match header("Connection") {
@@ -218,37 +275,38 @@ impl<R: Read> RequestReader<R> {
             _ => version == "HTTP/1.1",
         };
         let path = target.split('?').next().unwrap_or(target).to_string();
-        Ok(Request { method: method.to_string(), path, headers, body, keep_alive })
+        Ok(Head { method: method.to_string(), path, headers, framing, keep_alive })
     }
 
-    /// Decodes a chunked body: `hex-size CRLF data CRLF`, terminated by a
-    /// zero-size chunk. Trailer headers are consumed and discarded.
-    fn read_chunked_body(&mut self) -> Result<Vec<u8>, HttpError> {
-        let mut body = Vec::new();
-        loop {
-            let line = self.read_line()?;
-            let size_text = line.split(';').next().unwrap_or("").trim();
-            let size = usize::from_str_radix(size_text, 16)
-                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
-            if body.len() + size > self.max_body {
-                return Err(HttpError::PayloadTooLarge);
-            }
-            if size == 0 {
-                // Consume optional trailers up to the final blank line.
-                loop {
-                    if self.read_line()?.is_empty() {
-                        break;
-                    }
-                }
-                return Ok(body);
-            }
-            self.fill_to(size)?;
-            body.extend_from_slice(&self.take(size));
-            let sep = self.read_line()?;
-            if !sep.is_empty() {
-                return Err(HttpError::Malformed("missing CRLF after chunk".into()));
-            }
+    /// A streaming reader over the body that `head` frames. Call after
+    /// [`next_head`](Self::next_head); the body **must** be read to
+    /// completion ([`BodyReader::is_complete`]) before this connection can
+    /// serve another request — a handler that abandons a body mid-stream
+    /// must close the connection.
+    pub fn body<'a>(&'a mut self, head: &Head) -> BodyReader<'a, R> {
+        let state = match head.framing {
+            BodyFraming::None | BodyFraming::Length(0) => BodyState::Done,
+            BodyFraming::Length(n) => BodyState::Fixed { remaining: n },
+            BodyFraming::Chunked => BodyState::ChunkSize,
+        };
+        BodyReader { reader: self, state, streamed: 0 }
+    }
+
+    /// Reads up to `limit` body bytes into `buf`, serving the parse buffer
+    /// first and the raw source after (large bodies bypass the buffer
+    /// entirely). Returns 0 only on source EOF.
+    fn read_some(&mut self, buf: &mut [u8], limit: usize) -> Result<usize, HttpError> {
+        let want = buf.len().min(limit);
+        if want == 0 {
+            return Ok(0);
         }
+        if !self.buffer.is_empty() {
+            let n = want.min(self.buffer.len());
+            buf[..n].copy_from_slice(&self.buffer[..n]);
+            self.buffer.drain(..n);
+            return Ok(n);
+        }
+        self.source.read(&mut buf[..want]).map_err(HttpError::Io)
     }
 
     /// Reads one CRLF-terminated line (LF tolerated), without the ending.
@@ -270,6 +328,125 @@ impl<R: Read> RequestReader<R> {
             line.pop();
         }
         String::from_utf8(line).map_err(|_| HttpError::Malformed("line is not utf-8".into()))
+    }
+}
+
+/// Where a [`BodyReader`] stands in its body.
+enum BodyState {
+    /// `Content-Length` framing with this many bytes still to deliver.
+    Fixed { remaining: usize },
+    /// Chunked framing, positioned before a `hex-size CRLF` line.
+    ChunkSize,
+    /// Chunked framing, inside a chunk's data with this much left.
+    ChunkData { remaining: usize },
+    /// The body is fully consumed (terminal).
+    Done,
+}
+
+/// Streams one request's body off the connection, chunk-decoding and
+/// cap-enforcing as bytes arrive — the handler sees plain body bytes
+/// regardless of wire framing, without the body ever being materialised.
+///
+/// Obtained from [`RequestReader::body`]. Dropping a reader mid-body leaves
+/// unread body bytes on the connection; the caller must then close it
+/// (checking [`is_complete`](Self::is_complete)) or the next "request"
+/// would be parsed out of body bytes.
+pub struct BodyReader<'a, R> {
+    reader: &'a mut RequestReader<R>,
+    state: BodyState,
+    /// Chunked-body bytes delivered so far, for the cumulative size cap.
+    streamed: usize,
+}
+
+impl<R: Read> BodyReader<'_, R> {
+    /// Delivers some body bytes into `buf`; `Ok(0)` means the body is
+    /// complete — or that `buf` was empty, which no-ops rather than
+    /// misreading a zero-length transfer as source EOF. Over-cap chunked
+    /// bodies fail with [`HttpError::PayloadTooLarge`] the moment the
+    /// declared chunk sizes cross the cap.
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize, HttpError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            match self.state {
+                BodyState::Done => return Ok(0),
+                BodyState::Fixed { remaining } => {
+                    let n = self.reader.read_some(buf, remaining)?;
+                    if n == 0 {
+                        return Err(HttpError::Malformed("unexpected eof in body".into()));
+                    }
+                    let remaining = remaining - n;
+                    self.state = if remaining == 0 {
+                        BodyState::Done
+                    } else {
+                        BodyState::Fixed { remaining }
+                    };
+                    return Ok(n);
+                }
+                BodyState::ChunkSize => {
+                    let line = self.reader.read_line()?;
+                    let size_text = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(size_text, 16).map_err(|_| {
+                        HttpError::Malformed(format!("bad chunk size {size_text:?}"))
+                    })?;
+                    if self.streamed + size > self.reader.max_body {
+                        return Err(HttpError::PayloadTooLarge);
+                    }
+                    if size == 0 {
+                        // Consume optional trailers up to the final blank
+                        // line.
+                        loop {
+                            if self.reader.read_line()?.is_empty() {
+                                break;
+                            }
+                        }
+                        self.state = BodyState::Done;
+                        return Ok(0);
+                    }
+                    self.state = BodyState::ChunkData { remaining: size };
+                }
+                BodyState::ChunkData { remaining } => {
+                    let n = self.reader.read_some(buf, remaining)?;
+                    if n == 0 {
+                        return Err(HttpError::Malformed("unexpected eof in chunked body".into()));
+                    }
+                    self.streamed += n;
+                    let remaining = remaining - n;
+                    if remaining == 0 {
+                        let sep = self.reader.read_line()?;
+                        if !sep.is_empty() {
+                            return Err(HttpError::Malformed("missing CRLF after chunk".into()));
+                        }
+                        self.state = BodyState::ChunkSize;
+                    } else {
+                        self.state = BodyState::ChunkData { remaining };
+                    }
+                    return Ok(n);
+                }
+            }
+        }
+    }
+
+    /// True once the whole body has been delivered — the condition for the
+    /// connection to be reusable.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, BodyState::Done)
+    }
+
+    /// Materialises the rest of the body into `out` (the JSON path).
+    pub fn read_to_end_into(&mut self, out: &mut Vec<u8>) -> Result<(), HttpError> {
+        if let BodyState::Fixed { remaining } = self.state {
+            out.reserve(remaining);
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let n = self.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(());
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
     }
 }
 
@@ -297,8 +474,11 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
 /// An HTTP response ready to serialise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
+    /// HTTP status code.
     pub status: u16,
+    /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// Response body bytes.
     pub body: Vec<u8>,
 }
 
@@ -308,24 +488,42 @@ impl Response {
         Response { status, content_type: "application/json", body: body.into().into_bytes() }
     }
 
+    /// A CSV response — the `Accept: text/csv` content-negotiation mode.
+    pub fn csv(status: u16, body: impl Into<String>) -> Response {
+        Response { status, content_type: "text/csv", body: body.into().into_bytes() }
+    }
+
+    /// An empty 204 — the success shape of `DELETE /v1/jobs/{id}`.
+    pub fn no_content() -> Response {
+        Response { status: 204, content_type: "application/json", body: Vec::new() }
+    }
+
     /// The uniform error shape: `{"error": "..."}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(status, format!("{{\"error\": {}}}", json_escape(message)))
     }
 
     /// Serialises with `Content-Length` framing and the connection's
-    /// keep-alive decision.
+    /// keep-alive decision. A 204 is framed per RFC 9110 §8.6: no
+    /// `Content-Length` (and no `Content-Type`) — the status itself says
+    /// there is no body.
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = if self.status == 204 {
+            format!("HTTP/1.1 204 {}\r\nConnection: {connection}\r\n\r\n", reason(204))
+        } else {
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+                self.status,
+                reason(self.status),
+                self.content_type,
+                self.body.len(),
+            )
+        };
         w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        if self.status != 204 {
+            w.write_all(&self.body)?;
+        }
         w.flush()
     }
 }
@@ -340,12 +538,15 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        204 => "No Content",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -548,6 +749,80 @@ mod tests {
     }
 
     #[test]
+    fn streamed_body_matches_materialised_body() {
+        // Content-Length and chunked framings, trickled at awkward step
+        // sizes, must deliver exactly the bytes next_request() would.
+        let fixed = b"POST /p HTTP/1.1\r\nContent-Length: 9\r\n\r\nwiki body";
+        let chunked = b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                        4\r\nwiki\r\n5\r\n body\r\n0\r\n\r\n";
+        for raw in [fixed.as_slice(), chunked.as_slice()] {
+            for step in [1, 3, 7, 1024] {
+                let mut reader = RequestReader::new(Trickle::new(raw, step), 1024);
+                let head = reader.next_head().unwrap();
+                assert_eq!(head.method, "POST");
+                let mut body = reader.body(&head);
+                let mut collected = Vec::new();
+                let mut buf = [0u8; 3];
+                loop {
+                    let n = body.read(&mut buf).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    collected.extend_from_slice(&buf[..n]);
+                }
+                assert!(body.is_complete());
+                assert_eq!(collected, b"wiki body", "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_chunked_body_enforces_the_cap_incrementally() {
+        // The declared chunk sizes cross the cap long before the client
+        // finishes sending: the reader must fail at that moment.
+        let raw = b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n40\r\n0123456789";
+        let mut reader = RequestReader::new(raw.as_slice(), 32);
+        let head = reader.next_head().unwrap();
+        let mut body = reader.body(&head);
+        let err = body.read(&mut [0u8; 256]).unwrap_err();
+        assert!(matches!(err, HttpError::PayloadTooLarge));
+    }
+
+    #[test]
+    fn abandoned_body_reports_incomplete() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        let mut reader = RequestReader::new(raw.as_slice(), 1024);
+        let head = reader.next_head().unwrap();
+        let mut body = reader.body(&head);
+        body.read(&mut [0u8; 4]).unwrap();
+        assert!(!body.is_complete(), "6 bytes still unread");
+    }
+
+    #[test]
+    fn bodyless_head_streams_an_empty_complete_body() {
+        let mut reader = RequestReader::new(b"GET / HTTP/1.1\r\n\r\n".as_slice(), 1024);
+        let head = reader.next_head().unwrap();
+        assert_eq!(head.framing, BodyFraming::None);
+        let mut body = reader.body(&head);
+        assert!(body.is_complete());
+        assert_eq!(body.read(&mut [0u8; 8]).unwrap(), 0);
+    }
+
+    #[test]
+    fn pipelined_request_survives_a_streamed_predecessor() {
+        // Fully consuming a streamed body must leave the reader positioned
+        // exactly at the next pipelined request.
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                    GET /b HTTP/1.1\r\n\r\n";
+        let mut reader = RequestReader::new(raw.as_slice(), 1024);
+        let head = reader.next_head().unwrap();
+        let mut collected = Vec::new();
+        reader.body(&head).read_to_end_into(&mut collected).unwrap();
+        assert_eq!(collected, b"hi");
+        assert_eq!(reader.next_request().unwrap().path, "/b");
+    }
+
+    #[test]
     fn responses_serialise_with_framing() {
         let mut out = Vec::new();
         Response::json(200, "{}").write_to(&mut out, true).unwrap();
@@ -563,5 +838,26 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("{\"error\": \"no such route\"}"));
+
+        // 204 frames per RFC 9110 §8.6: no Content-Length, no body.
+        let mut out = Vec::new();
+        Response::no_content().write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 204 No Content\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.ends_with("\r\n\r\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_buffer_reads_do_not_fake_eof() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut reader = RequestReader::new(raw.as_slice(), 1024);
+        let head = reader.next_head().unwrap();
+        let mut body = reader.body(&head);
+        assert_eq!(body.read(&mut []).unwrap(), 0, "empty buffer is a no-op");
+        assert!(!body.is_complete(), "the body is still there");
+        let mut collected = Vec::new();
+        body.read_to_end_into(&mut collected).unwrap();
+        assert_eq!(collected, b"hello");
     }
 }

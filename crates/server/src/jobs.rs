@@ -1,4 +1,5 @@
-//! The asynchronous job store behind `POST /v1/jobs` / `GET /v1/jobs/{id}`.
+//! The asynchronous job store behind `POST /v1/jobs` / `GET /v1/jobs/{id}`
+//! / `DELETE /v1/jobs/{id}`.
 //!
 //! Submissions enter a FIFO queue; dedicated job-worker threads pop them,
 //! run the clean, and publish the result. Pollers read a [`JobView`]:
@@ -6,24 +7,37 @@
 //! [`cocoon_core::RunProgress`]), and — once done — the same response body
 //! a synchronous `/v1/clean` would have returned.
 //!
+//! Finished jobs are bounded two ways, because each Done entry retains its
+//! full response body and a long-lived server would otherwise grow without
+//! limit: a retention cap ([`MAX_FINISHED_JOBS`]) evicts the oldest beyond
+//! a count, and an optional TTL expires them beyond an age (swept lazily on
+//! every store operation — no dedicated sweeper thread). Clients that are
+//! done polling can free an entry immediately with
+//! [`delete`](JobStore::delete), which also cancels still-queued jobs.
+//!
 //! The store is payload-generic so it can be unit-tested without building
 //! tables; the server instantiates it with its parsed clean payload.
 
 use cocoon_core::{ProgressSnapshot, RunProgress};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Lifecycle of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
+    /// Waiting in the FIFO queue for a worker.
     Queued,
+    /// A worker is cleaning it.
     Running,
+    /// Finished; the response body is ready to poll.
     Done,
+    /// The clean failed; the error text is ready to poll.
     Failed,
 }
 
 impl JobStatus {
+    /// The wire label (`"queued"` / `"running"` / `"done"` / `"failed"`).
     pub fn label(&self) -> &'static str {
         match self {
             JobStatus::Queued => "queued",
@@ -37,8 +51,11 @@ impl JobStatus {
 /// What a poller sees.
 #[derive(Debug, Clone)]
 pub struct JobView {
+    /// The job's id.
     pub id: u64,
+    /// Where the job stands.
     pub status: JobStatus,
+    /// Live stage-by-stage progress.
     pub progress: ProgressSnapshot,
     /// The finished response body (status `Done` only).
     pub result: Option<String>,
@@ -46,13 +63,35 @@ pub struct JobView {
     pub error: Option<String>,
 }
 
-/// Aggregate counts for the metrics endpoint.
+/// What `DELETE /v1/jobs/{id}` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteOutcome {
+    /// The job was removed (a queued job is cancelled, a finished one
+    /// freed).
+    Deleted,
+    /// The job is mid-clean and cannot be removed — poll until it
+    /// finishes, then delete.
+    Running,
+    /// No such job (never submitted, already deleted, evicted or expired).
+    NotFound,
+}
+
+/// Aggregate counts for the metrics endpoint. Status counts are a live
+/// census; `expired`/`deleted` are cumulative since startup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JobCounts {
+    /// Jobs currently waiting in the queue.
     pub queued: usize,
+    /// Jobs currently being cleaned.
     pub running: usize,
+    /// Finished jobs currently retained for polling.
     pub done: usize,
+    /// Failed jobs currently retained for polling.
     pub failed: usize,
+    /// Finished jobs removed by the TTL sweep since startup.
+    pub expired: usize,
+    /// Jobs removed by `DELETE /v1/jobs/{id}` since startup.
+    pub deleted: usize,
 }
 
 struct JobEntry {
@@ -75,15 +114,21 @@ pub const MAX_QUEUED_JOBS: usize = 64;
 struct Inner<P> {
     jobs: HashMap<u64, JobEntry>,
     queue: VecDeque<(u64, P)>,
-    /// Finished ids in completion order, for retention eviction.
-    finished: VecDeque<u64>,
+    /// Finished (id, finished-at) pairs in completion order, for retention
+    /// eviction and the TTL sweep.
+    finished: VecDeque<(u64, Instant)>,
     next_id: u64,
+    expired: usize,
+    deleted: usize,
 }
 
 /// Thread-safe FIFO job store; `P` is the parsed work payload.
 pub struct JobStore<P> {
     inner: Mutex<Inner<P>>,
     arrival: Condvar,
+    /// Finished jobs older than this are expired by the lazy sweep;
+    /// `None` disables the sweep (retention cap only).
+    ttl: Option<Duration>,
 }
 
 impl<P> Default for JobStore<P> {
@@ -93,15 +138,48 @@ impl<P> Default for JobStore<P> {
 }
 
 impl<P> JobStore<P> {
+    /// A store with no TTL: finished jobs live until the retention cap
+    /// evicts them or a `DELETE` removes them.
     pub fn new() -> Self {
+        Self::with_ttl(None)
+    }
+
+    /// A store whose finished jobs additionally expire `ttl` after they
+    /// finish (`None` = never).
+    pub fn with_ttl(ttl: Option<Duration>) -> Self {
         JobStore {
             inner: Mutex::new(Inner {
                 jobs: HashMap::new(),
                 queue: VecDeque::new(),
                 finished: VecDeque::new(),
                 next_id: 1,
+                expired: 0,
+                deleted: 0,
             }),
             arrival: Condvar::new(),
+            ttl,
+        }
+    }
+
+    /// The configured finished-job TTL, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// Removes finished jobs older than the TTL. `finished` is in
+    /// completion order, so the sweep stops at the first survivor.
+    fn sweep(ttl: Option<Duration>, inner: &mut Inner<P>) {
+        let Some(ttl) = ttl else { return };
+        let now = Instant::now();
+        while let Some((id, at)) = inner.finished.front() {
+            if now.duration_since(*at) < ttl {
+                break;
+            }
+            let id = *id;
+            inner.finished.pop_front();
+            if inner.jobs.remove(&id).is_some() {
+                inner.expired += 1;
+            }
         }
     }
 
@@ -111,6 +189,7 @@ impl<P> JobStore<P> {
     /// caller maps `None` to 429.
     pub fn submit(&self, payload: P) -> Option<u64> {
         let mut inner = self.inner.lock().expect("job lock");
+        Self::sweep(self.ttl, &mut inner);
         if inner.queue.len() >= MAX_QUEUED_JOBS {
             return None;
         }
@@ -156,10 +235,11 @@ impl<P> JobStore<P> {
         }
     }
 
-    /// Publishes a finished job's outcome and evicts the oldest finished
-    /// jobs beyond [`MAX_FINISHED_JOBS`].
+    /// Publishes a finished job's outcome, stamps its expiry clock, and
+    /// evicts the oldest finished jobs beyond [`MAX_FINISHED_JOBS`].
     pub fn finish(&self, id: u64, outcome: Result<String, String>) {
         let mut inner = self.inner.lock().expect("job lock");
+        Self::sweep(self.ttl, &mut inner);
         if let Some(entry) = inner.jobs.get_mut(&id) {
             match outcome {
                 Ok(body) => {
@@ -171,9 +251,9 @@ impl<P> JobStore<P> {
                     entry.error = Some(message);
                 }
             }
-            inner.finished.push_back(id);
+            inner.finished.push_back((id, Instant::now()));
             while inner.finished.len() > MAX_FINISHED_JOBS {
-                let evicted = inner.finished.pop_front().expect("non-empty");
+                let (evicted, _) = inner.finished.pop_front().expect("non-empty");
                 inner.jobs.remove(&evicted);
             }
         }
@@ -181,7 +261,8 @@ impl<P> JobStore<P> {
 
     /// A poller's view of one job.
     pub fn view(&self, id: u64) -> Option<JobView> {
-        let inner = self.inner.lock().expect("job lock");
+        let mut inner = self.inner.lock().expect("job lock");
+        Self::sweep(self.ttl, &mut inner);
         inner.jobs.get(&id).map(|entry| JobView {
             id,
             status: entry.status,
@@ -191,14 +272,42 @@ impl<P> JobStore<P> {
         })
     }
 
+    /// Removes a job: queued jobs are cancelled (their worker never sees
+    /// them), finished jobs are freed, running jobs are refused — the
+    /// worker holds the payload and will publish into the entry.
+    pub fn delete(&self, id: u64) -> DeleteOutcome {
+        let mut inner = self.inner.lock().expect("job lock");
+        Self::sweep(self.ttl, &mut inner);
+        match inner.jobs.get(&id).map(|e| e.status) {
+            None => DeleteOutcome::NotFound,
+            Some(JobStatus::Running) => DeleteOutcome::Running,
+            Some(JobStatus::Queued) => {
+                inner.queue.retain(|(qid, _)| *qid != id);
+                inner.jobs.remove(&id);
+                inner.deleted += 1;
+                DeleteOutcome::Deleted
+            }
+            Some(JobStatus::Done | JobStatus::Failed) => {
+                inner.finished.retain(|(fid, _)| *fid != id);
+                inner.jobs.remove(&id);
+                inner.deleted += 1;
+                DeleteOutcome::Deleted
+            }
+        }
+    }
+
     /// Jobs waiting for a worker.
     pub fn depth(&self) -> usize {
         self.inner.lock().expect("job lock").queue.len()
     }
 
+    /// Aggregate counts for the metrics endpoint (sweeping first, so the
+    /// census never reports entries the TTL has already claimed).
     pub fn counts(&self) -> JobCounts {
-        let inner = self.inner.lock().expect("job lock");
-        let mut counts = JobCounts::default();
+        let mut inner = self.inner.lock().expect("job lock");
+        Self::sweep(self.ttl, &mut inner);
+        let mut counts =
+            JobCounts { expired: inner.expired, deleted: inner.deleted, ..JobCounts::default() };
         for entry in inner.jobs.values() {
             match entry.status {
                 JobStatus::Queued => counts.queued += 1,
@@ -331,5 +440,75 @@ mod tests {
             let (_, payload, _) = worker.join().unwrap().unwrap();
             assert_eq!(payload, 7);
         });
+    }
+
+    #[test]
+    fn finished_jobs_expire_after_the_ttl() {
+        let store: JobStore<()> = JobStore::with_ttl(Some(Duration::from_millis(30)));
+        let id = store.submit(()).unwrap();
+        store.next_job(|| false);
+        store.finish(id, Ok("body".into()));
+        assert_eq!(store.view(id).unwrap().status, JobStatus::Done, "fresh job polls fine");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(store.view(id).is_none(), "expired job polls as unknown");
+        let counts = store.counts();
+        assert_eq!(counts.expired, 1);
+        assert_eq!(counts.done, 0);
+    }
+
+    #[test]
+    fn ttl_spares_unfinished_jobs() {
+        // The TTL clock starts at finish time, not submit time: a queued or
+        // running job can never expire no matter how old it is.
+        let store: JobStore<()> = JobStore::with_ttl(Some(Duration::from_millis(10)));
+        let running = store.submit(()).unwrap();
+        let queued = store.submit(()).unwrap();
+        assert_eq!(store.next_job(|| false).unwrap().0, running);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(store.view(queued).is_some());
+        assert!(store.view(running).is_some());
+        assert_eq!(store.counts().expired, 0);
+    }
+
+    #[test]
+    fn delete_lifecycle() {
+        let store: JobStore<u32> = JobStore::new();
+        // Unknown id.
+        assert_eq!(store.delete(999), DeleteOutcome::NotFound);
+        // Queued: cancelled, never reaches a worker.
+        let cancelled = store.submit(1).unwrap();
+        let kept = store.submit(2).unwrap();
+        assert_eq!(store.delete(cancelled), DeleteOutcome::Deleted);
+        assert!(store.view(cancelled).is_none());
+        assert_eq!(store.next_job(|| false).unwrap().0, kept, "cancelled job skipped");
+        // Running: refused.
+        assert_eq!(store.delete(kept), DeleteOutcome::Running);
+        assert!(store.view(kept).is_some(), "running job survives a delete attempt");
+        // Finished: freed.
+        store.finish(kept, Ok("body".into()));
+        assert_eq!(store.delete(kept), DeleteOutcome::Deleted);
+        assert!(store.view(kept).is_none());
+        // Deleting twice is NotFound.
+        assert_eq!(store.delete(kept), DeleteOutcome::NotFound);
+        assert_eq!(store.counts().deleted, 2);
+    }
+
+    #[test]
+    fn delete_frees_retention_slots() {
+        // A deleted finished job must not keep occupying the retention
+        // window (the finished deque is purged, not left stale).
+        let store: JobStore<()> = JobStore::new();
+        let a = store.submit(()).unwrap();
+        store.next_job(|| false);
+        store.finish(a, Ok("a".into()));
+        store.delete(a);
+        for _ in 0..MAX_FINISHED_JOBS {
+            let id = store.submit(()).unwrap();
+            store.next_job(|| false);
+            store.finish(id, Ok("body".into()));
+        }
+        // All MAX_FINISHED_JOBS survivors are the later ones; none were
+        // evicted early by a's stale slot.
+        assert_eq!(store.counts().done, MAX_FINISHED_JOBS);
     }
 }

@@ -8,32 +8,42 @@
 //!
 //! | Route | What it does |
 //! |---|---|
-//! | `POST /v1/clean` | Synchronous clean: CSV/JSON table in, cleaned table + ops + SQL script out |
+//! | `POST /v1/clean` | Synchronous clean: CSV (`text/csv`) or JSON table in, cleaned table + ops + SQL script out (JSON, or `text/csv` via `Accept`) |
 //! | `POST /v1/jobs` | Submit the same payload asynchronously; returns a job id |
 //! | `GET /v1/jobs/{id}` | Poll: status, stage-by-stage progress, result when done |
+//! | `DELETE /v1/jobs/{id}` | Cancel a queued job / free a finished one |
 //! | `GET /v1/datasets` | The benchmark catalog (paper Table 1 datasets) |
-//! | `GET /v1/metrics` | Request counters, LLM cache hit/miss, dispatcher and queue state |
+//! | `GET /v1/metrics` | Request counters, accept-queue state, LLM cache hit/miss/eviction, dispatcher and job-store state |
+//!
+//! The full request/response reference lives in `docs/API.md` at the repo
+//! root; `docs/ARCHITECTURE.md` traces a request end to end.
 //!
 //! ## Architecture
 //!
 //! * [`http`] — vendored mini HTTP/1.1 (no crates.io in the build env), in
 //!   the spirit of the `crates/compat` shims: split-read-safe parsing,
-//!   `Content-Length`/chunked bodies, keep-alive, 413 body caps.
-//! * [`server`] — scoped connection/job workers around one
-//!   [`AppState`](server::AppState); worker counts follow the
-//!   `compat/threadpool` parallelism policy.
+//!   `Content-Length`/chunked bodies readable incrementally
+//!   ([`http::BodyReader`]) or materialised, keep-alive, 413 body caps.
+//! * [`server`] — a dedicated acceptor thread feeding a bounded connection
+//!   queue drained by a fixed handler pool (slow clients pin handlers,
+//!   never the accept path; a full queue answers 503), plus scoped job
+//!   workers, all around one [`server::AppState`].
 //! * One process-wide model stack
 //!   [`CachedLlm<CoalescingDispatcher<SimLlm>>`](server::SharedLlm):
-//!   repeat prompts replay from the cache, concurrent identical cold
-//!   prompts single-flight, distinct ones batch, and a token bucket
-//!   bounds what the backend sees. All of it is observable via
-//!   `/v1/metrics`.
-//! * [`jobs`] — FIFO store polled through
-//!   [`cocoon_core::RunProgress`] snapshots.
+//!   repeat prompts replay from the LRU-bounded cache, concurrent
+//!   identical cold prompts single-flight (within and across batches),
+//!   distinct ones batch, and a token bucket bounds what the backend
+//!   sees. All of it is observable via `/v1/metrics`.
+//! * [`jobs`] — FIFO store polled through [`cocoon_core::RunProgress`]
+//!   snapshots; finished jobs bounded by a retention cap *and* a TTL
+//!   sweep, and deletable by clients.
 //!
 //! Responses are deterministic: with the offline `SimLlm` oracle, a served
 //! clean is byte-identical to a direct [`cocoon_core::Cleaner`] run on the
-//! same table (the root `tests/server_e2e.rs` holds the service to that).
+//! same table, whichever ingest format carried it (the root
+//! `tests/server_e2e.rs` holds the service to that).
+
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod http;
@@ -43,6 +53,6 @@ pub mod server;
 
 pub use api::CleanPayload;
 pub use http::{Request, Response};
-pub use jobs::{JobCounts, JobStatus, JobStore, JobView};
+pub use jobs::{DeleteOutcome, JobCounts, JobStatus, JobStore, JobView};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{AppState, Server, ServerConfig, ServerHandle, SharedLlm};

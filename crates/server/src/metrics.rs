@@ -1,64 +1,105 @@
-//! Request counters for `GET /v1/metrics`.
+//! Request and connection counters for `GET /v1/metrics`.
 //!
 //! Plain relaxed atomics: a snapshot racing a concurrent request may be one
 //! count stale, never torn. LLM cache and dispatcher figures are read live
-//! from the shared model stack at render time, not mirrored here.
+//! from the shared model stack at render time, not mirrored here; likewise
+//! the accept-queue depth is read live from the connection queue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Per-endpoint and per-status request accounting.
+/// Per-endpoint, per-status and per-connection accounting.
 #[derive(Debug, Default)]
 pub struct Metrics {
     requests_total: AtomicUsize,
     clean_requests: AtomicUsize,
     jobs_submitted: AtomicUsize,
     jobs_polled: AtomicUsize,
+    jobs_deleted: AtomicUsize,
     dataset_requests: AtomicUsize,
     metrics_requests: AtomicUsize,
     responses_4xx: AtomicUsize,
     responses_5xx: AtomicUsize,
+    connections_accepted: AtomicUsize,
+    connections_rejected: AtomicUsize,
 }
 
 /// A point-in-time copy of every counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
+    /// All requests routed, across every endpoint.
     pub requests_total: usize,
+    /// `POST /v1/clean` requests.
     pub clean_requests: usize,
+    /// `POST /v1/jobs` submissions (including refused ones).
     pub jobs_submitted: usize,
+    /// `GET /v1/jobs/{id}` polls.
     pub jobs_polled: usize,
+    /// `DELETE /v1/jobs/{id}` requests (including refused ones).
+    pub jobs_deleted: usize,
+    /// `GET /v1/datasets` requests.
     pub dataset_requests: usize,
+    /// `GET /v1/metrics` requests.
     pub metrics_requests: usize,
+    /// Responses with a 4xx status.
     pub responses_4xx: usize,
+    /// Responses with a 5xx status.
     pub responses_5xx: usize,
+    /// Connections the acceptor handed to the handler pool.
+    pub connections_accepted: usize,
+    /// Connections refused with a fast 503 because the accept queue was
+    /// full — the saturation signal.
+    pub connections_rejected: usize,
 }
 
 impl Metrics {
+    /// Fresh zeroed counters.
     pub fn new() -> Self {
         Metrics::default()
     }
 
+    /// Counts one routed request.
     pub fn count_request(&self) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one `POST /v1/clean`.
     pub fn count_clean(&self) {
         self.clean_requests.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one `POST /v1/jobs`.
     pub fn count_job_submitted(&self) {
         self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one `GET /v1/jobs/{id}`.
     pub fn count_job_polled(&self) {
         self.jobs_polled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one `DELETE /v1/jobs/{id}`.
+    pub fn count_job_deleted(&self) {
+        self.jobs_deleted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `GET /v1/datasets`.
     pub fn count_datasets(&self) {
         self.dataset_requests.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one `GET /v1/metrics`.
     pub fn count_metrics(&self) {
         self.metrics_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection handed to the handler pool.
+    pub fn count_connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection refused with a fast 503 at the accept queue.
+    pub fn count_connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Buckets a response status (4xx/5xx; success statuses count nothing).
@@ -74,16 +115,20 @@ impl Metrics {
         }
     }
 
+    /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
             clean_requests: self.clean_requests.load(Ordering::Relaxed),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_polled: self.jobs_polled.load(Ordering::Relaxed),
+            jobs_deleted: self.jobs_deleted.load(Ordering::Relaxed),
             dataset_requests: self.dataset_requests.load(Ordering::Relaxed),
             metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,12 +143,17 @@ mod tests {
         m.count_request();
         m.count_request();
         m.count_clean();
+        m.count_connection_accepted();
+        m.count_connection_rejected();
+        m.count_job_deleted();
         m.count_status(200);
         m.count_status(404);
         m.count_status(500);
         let s = m.snapshot();
         assert_eq!(s.requests_total, 2);
         assert_eq!(s.clean_requests, 1);
+        assert_eq!((s.connections_accepted, s.connections_rejected), (1, 1));
+        assert_eq!(s.jobs_deleted, 1);
         assert_eq!((s.responses_4xx, s.responses_5xx), (1, 1));
     }
 

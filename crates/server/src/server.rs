@@ -1,15 +1,19 @@
 //! The listener, worker fan-out, and shared application state.
 //!
-//! `serve()` runs connection workers and job workers as *scoped* threads
-//! (the same discipline as the `compat/threadpool` detection fan-out): the
-//! call blocks until [`ServerHandle::stop`], and every thread is joined
-//! before it returns — no detached threads, no `'static` state beyond the
-//! `Arc<AppState>` the handle shares.
+//! `serve()` runs one *acceptor* thread, a fixed pool of *handler* threads
+//! and the job workers as *scoped* threads (the same discipline as the
+//! `compat/threadpool` detection fan-out): the call blocks until
+//! [`ServerHandle::stop`], and every thread is joined before it returns —
+//! no detached threads, no `'static` state beyond the `Arc<AppState>` the
+//! handle shares.
 //!
-//! Each connection worker owns one accepted connection at a time and
-//! serves its keep-alive request loop to completion, so `workers` bounds
-//! the concurrent connections; the default covers the ISSUE's ≥ 8
-//! concurrent-client bar with headroom.
+//! The accept path is decoupled from request handling: the acceptor only
+//! ever `accept()`s and pushes the connection onto a bounded queue, which
+//! the handler pool drains. A slow or silent client therefore pins at most
+//! one *handler*, never the accept path; when every handler is busy new
+//! connections wait in the queue, and when the queue itself is full they
+//! are refused with an immediate 503 instead of wedging — saturation
+//! degrades loudly and recoverably.
 
 use crate::api::{self, CleanPayload};
 use crate::http::{RequestReader, Response, DEFAULT_MAX_BODY_BYTES};
@@ -17,22 +21,36 @@ use crate::jobs::JobStore;
 use crate::metrics::Metrics;
 use cocoon_core::{Cleaner, CleaningRun, RunProgress};
 use cocoon_llm::{CachedLlm, ChatModel, CoalescingDispatcher, DispatcherConfig, SimLlm};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Server tunables; `Default` is a sensible local deployment.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port (tests).
     pub addr: String,
-    /// Connection workers — the concurrent-connection bound.
+    /// Handler threads — the concurrent-request bound.
     pub workers: usize,
     /// Dedicated workers draining the async job queue.
     pub job_workers: usize,
+    /// Accepted connections allowed to wait for a free handler; beyond
+    /// this the acceptor answers 503 immediately.
+    pub accept_backlog: usize,
+    /// How long a connection may sit without delivering a byte before its
+    /// handler reclaims itself (any byte resets the clock) — the
+    /// slow-loris bound.
+    pub idle_timeout: Duration,
     /// Request-body cap in bytes (over → 413).
     pub max_body: usize,
+    /// LRU bound on the shared completion cache (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Finished jobs expire this long after finishing (`None` = never;
+    /// the retention cap still applies).
+    pub job_ttl: Option<Duration>,
     /// Policy of the shared LLM dispatcher.
     pub dispatcher: DispatcherConfig,
 }
@@ -43,7 +61,11 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: threadpool::default_threads().max(8),
             job_workers: 2,
+            accept_backlog: 64,
+            idle_timeout: Duration::from_secs(30),
             max_body: DEFAULT_MAX_BODY_BYTES,
+            cache_capacity: Some(16 * 1024),
+            job_ttl: Some(Duration::from_secs(900)),
             dispatcher: DispatcherConfig::default(),
         }
     }
@@ -55,26 +77,94 @@ impl Default for ServerConfig {
 /// cross-request coalescing and cache reuse possible at all.
 pub type SharedLlm = CachedLlm<CoalescingDispatcher<SimLlm>>;
 
+/// The bounded hand-off between the acceptor and the handler pool.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    arrival: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue { inner: Mutex::new(VecDeque::new()), arrival: Condvar::new(), capacity }
+    }
+
+    /// Enqueues an accepted connection, or gives it back when the queue is
+    /// full (the acceptor then answers 503).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.inner.lock().expect("conn queue lock");
+        if queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.arrival.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available or `give_up` turns true.
+    fn pop(&self, give_up: impl Fn() -> bool) -> Option<TcpStream> {
+        let mut queue = self.inner.lock().expect("conn queue lock");
+        loop {
+            if give_up() {
+                return None;
+            }
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            // Timed wait so a `give_up` flip without a notify still ends
+            // the handler promptly.
+            let (guard, _) =
+                self.arrival.wait_timeout(queue, Duration::from_millis(50)).expect("conn queue");
+            queue = guard;
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("conn queue lock").len()
+    }
+
+    fn wake_all(&self) {
+        self.arrival.notify_all();
+    }
+}
+
 /// State shared by every worker thread.
 pub struct AppState {
+    /// The process-wide model stack.
     pub llm: SharedLlm,
+    /// Request/connection counters.
     pub metrics: Metrics,
+    /// The async job store.
     pub jobs: JobStore<CleanPayload>,
+    /// Request-body cap in bytes.
     pub max_body: usize,
+    /// The slow-loris idle bound (see [`ServerConfig::idle_timeout`]).
+    pub idle_timeout: Duration,
+    conns: ConnQueue,
     shutdown: AtomicBool,
 }
 
 impl AppState {
+    /// Builds the shared state for `config`.
     pub fn new(config: &ServerConfig) -> Self {
+        let dispatcher = CoalescingDispatcher::new(SimLlm::new(), config.dispatcher);
+        let llm = match config.cache_capacity {
+            Some(capacity) => CachedLlm::with_capacity(dispatcher, capacity),
+            None => CachedLlm::new(dispatcher),
+        };
         AppState {
-            llm: CachedLlm::new(CoalescingDispatcher::new(SimLlm::new(), config.dispatcher)),
+            llm,
             metrics: Metrics::new(),
-            jobs: JobStore::new(),
+            jobs: JobStore::with_ttl(config.job_ttl),
             max_body: config.max_body,
+            idle_timeout: config.idle_timeout,
+            conns: ConnQueue::new(config.accept_backlog.max(1)),
             shutdown: AtomicBool::new(false),
         }
     }
 
+    /// True once [`ServerHandle::stop`] has run.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
     }
@@ -83,51 +173,63 @@ impl AppState {
         self.shutdown.store(true, Ordering::Relaxed);
     }
 
-    /// Runs one clean against the shared model stack and renders the
-    /// response body. Identical logic for the synchronous endpoint
-    /// (`progress: None`) and job workers (who pass the job's progress),
-    /// so the two paths return byte-identical bodies for the same input.
+    /// Runs one clean against the shared model stack. Identical logic for
+    /// the synchronous endpoint (`progress: None`) and job workers (who
+    /// pass the job's progress), so the two paths produce byte-identical
+    /// artifacts for the same input; rendering (JSON or CSV) is the
+    /// caller's choice.
     pub fn run_clean(
         &self,
         payload: &CleanPayload,
         progress: Option<&RunProgress>,
-    ) -> Result<String, cocoon_core::CoreError> {
+    ) -> Result<CleaningRun, cocoon_core::CoreError> {
         let cleaner = Cleaner::with_config(&self.llm, payload.config.clone())?;
-        let run: CleaningRun = match progress {
-            Some(progress) => cleaner.clean_with_progress(&payload.table, progress)?,
-            None => cleaner.clean(&payload.table)?,
-        };
-        Ok(api::clean_response_body(&run, payload.include_rows))
+        match progress {
+            Some(progress) => cleaner.clean_with_progress(&payload.table, progress),
+            None => cleaner.clean(&payload.table),
+        }
     }
 
-    /// The `/v1/metrics` body: request counters, the live LLM cache and
-    /// dispatcher figures, and job-store state.
+    /// The `/v1/metrics` body: request counters, accept-queue state, the
+    /// live LLM cache and dispatcher figures, and job-store state.
     pub fn metrics_body(&self) -> String {
         let m = self.metrics.snapshot();
         let d = self.llm.inner().stats();
         let j = self.jobs.counts();
         format!(
             "{{\"requests\": {{\"total\": {}, \"clean\": {}, \"jobs_submitted\": {}, \
-             \"jobs_polled\": {}, \"datasets\": {}, \"metrics\": {}, \
+             \"jobs_polled\": {}, \"jobs_deleted\": {}, \"datasets\": {}, \"metrics\": {}, \
              \"responses_4xx\": {}, \"responses_5xx\": {}}}, \
+             \"accept\": {{\"accepted\": {}, \"rejected_busy\": {}, \"queue_depth\": {}, \
+             \"queue_capacity\": {}}}, \
              \"llm\": {{\"model\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"cached_responses\": {}, \
+             \"cache_evictions\": {}, \"cached_responses\": {}, \"cache_capacity\": {}, \
              \"dispatcher\": {{\"coalesced\": {}, \"batches\": {}, \"batched_prompts\": {}, \
              \"rate_limit_waits\": {}, \"rate_limited_ms\": {}}}}}, \
              \"jobs\": {{\"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \
-             \"queue_depth\": {}}}}}",
+             \"expired\": {}, \"deleted\": {}, \"queue_depth\": {}}}}}",
             m.requests_total,
             m.clean_requests,
             m.jobs_submitted,
             m.jobs_polled,
+            m.jobs_deleted,
             m.dataset_requests,
             m.metrics_requests,
             m.responses_4xx,
             m.responses_5xx,
+            m.connections_accepted,
+            m.connections_rejected,
+            self.conns.depth(),
+            self.conns.capacity,
             crate::http::json_escape(self.llm.model_name()),
             self.llm.hits(),
             self.llm.misses(),
+            self.llm.evictions(),
             self.llm.len(),
+            match self.llm.capacity() {
+                Some(capacity) => capacity.to_string(),
+                None => "null".to_string(),
+            },
             d.coalesced,
             d.batches,
             d.batched_prompts,
@@ -137,6 +239,8 @@ impl AppState {
             j.running,
             j.done,
             j.failed,
+            j.expired,
+            j.deleted,
             self.jobs.depth(),
         )
     }
@@ -163,10 +267,12 @@ impl Server {
         })
     }
 
+    /// The bound address (the ephemeral port, under `addr: "…:0"`).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
+    /// The shared state (tests read counters through this).
     pub fn state(&self) -> &Arc<AppState> {
         &self.state
     }
@@ -174,24 +280,18 @@ impl Server {
     /// A handle that can stop a running [`serve`](Self::serve) from another
     /// thread.
     pub fn handle(&self) -> io::Result<ServerHandle> {
-        Ok(ServerHandle {
-            addr: self.local_addr()?,
-            state: Arc::clone(&self.state),
-            workers: self.workers,
-        })
+        Ok(ServerHandle { addr: self.local_addr()?, state: Arc::clone(&self.state) })
     }
 
     /// Accepts and serves until the handle stops the server. Blocks the
-    /// calling thread; workers are scoped inside.
+    /// calling thread; the acceptor, handler pool and job workers are
+    /// scoped inside.
     pub fn serve(&self) -> io::Result<()> {
-        let mut listeners = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
-            listeners.push(self.listener.try_clone()?);
-        }
         let state = &self.state;
         std::thread::scope(|scope| {
-            for listener in listeners {
-                scope.spawn(move || accept_loop(state, listener));
+            scope.spawn(move || accept_loop(state, &self.listener));
+            for _ in 0..self.workers {
+                scope.spawn(move || handler_loop(state));
             }
             for _ in 0..self.job_workers {
                 scope.spawn(move || job_loop(state));
@@ -201,35 +301,43 @@ impl Server {
     }
 }
 
-/// Stops a running server: raises the shutdown flag, wakes idle job
-/// workers, and pokes every acceptor awake with a throwaway connection.
+/// Stops a running server: raises the shutdown flag, wakes idle handler
+/// and job workers, and pokes the acceptor awake with a throwaway
+/// connection.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
-    workers: usize,
 }
 
 impl ServerHandle {
+    /// The served address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
+    /// The shared state (tests read counters through this).
     pub fn state(&self) -> &Arc<AppState> {
         &self.state
     }
 
+    /// Stops the server. Wedge-free by construction: the acceptor is
+    /// unblocked by one throwaway connection, idle handlers and job
+    /// workers wake from their condvars (and re-check the flag on a 50 ms
+    /// timer regardless), busy handlers observe the flag through their
+    /// sockets' read timeouts, and queued-but-unhandled connections are
+    /// simply dropped.
     pub fn stop(&self) {
         self.state.request_shutdown();
         self.state.jobs.wake_all();
-        for _ in 0..self.workers {
-            // Each throwaway connection unblocks one accept(); the worker
-            // then observes the flag and exits.
-            let _ = TcpStream::connect(self.addr);
-        }
+        self.state.conns.wake_all();
+        // Unblock the acceptor's accept(); it then observes the flag.
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
-fn accept_loop(state: &AppState, listener: TcpListener) {
+/// The dedicated accept loop: accept, enqueue, repeat. Never parses a
+/// byte, so no client behaviour can stall it.
+fn accept_loop(state: &AppState, listener: &TcpListener) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -238,29 +346,61 @@ fn accept_loop(state: &AppState, listener: TcpListener) {
                     return;
                 }
                 // Persistent accept errors (fd exhaustion, ENFILE) must
-                // back off, not hot-spin every worker.
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                // back off, not hot-spin.
+                std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
         if state.shutdown_requested() {
             return;
         }
+        match state.conns.push(stream) {
+            Ok(()) => state.metrics.count_connection_accepted(),
+            Err(stream) => {
+                // Saturation: every handler busy and the backlog full.
+                // Refuse fast and loudly rather than queuing without bound.
+                state.metrics.count_connection_rejected();
+                state.metrics.count_status(503);
+                refuse_busy(stream);
+            }
+        }
+    }
+}
+
+/// Writes a best-effort 503 to a connection the queue could not take and
+/// closes it. The client's request was never read, so closing immediately
+/// would RST the connection and could destroy the 503 before the client
+/// reads it; one short read clears the typically-already-buffered request
+/// so the close is clean. This runs on the acceptor, so it is bounded by
+/// tight socket timeouts rather than an EOF-observing drain — a burst of
+/// refusals costs milliseconds each, not a read-timeout each. A client
+/// still mid-send may see its 503 lost to an RST; that is the documented
+/// best-effort trade on the saturation path.
+fn refuse_busy(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    if Response::error(503, "server is at capacity; retry shortly")
+        .write_to(&mut stream, false)
+        .is_ok()
+    {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+        let _ = stream.read(&mut [0u8; 16 * 1024]);
+    }
+}
+
+/// One handler: pop connections off the queue and serve each keep-alive
+/// loop to completion, until shutdown.
+fn handler_loop(state: &AppState) {
+    while let Some(stream) = state.conns.pop(|| state.shutdown_requested()) {
         handle_connection(state, stream);
     }
 }
 
-/// How long a connection may sit without delivering a byte before its
-/// worker reclaims itself (each received byte resets the clock). In the
-/// worker-per-connection model this bounds how long `workers` silent
-/// clients can pin the whole service — the slow-loris cap.
-const IDLE_CONNECTION_LIMIT: std::time::Duration = std::time::Duration::from_secs(30);
-
 /// A read half that surfaces shutdown and idleness instead of blocking
 /// forever: reads run under a short socket timeout, and each expiry
 /// re-checks the shutdown flag and the idle deadline. On either, the
-/// connection turns into a clean EOF so its worker can move on (join on
-/// shutdown, next accept on idle timeout). Slow-but-live clients are
+/// connection turns into a clean EOF so its handler can move on (join on
+/// shutdown, next connection on idle timeout). Slow-but-live clients are
 /// unaffected — any byte resets the idle clock.
 struct ShutdownAwareStream<'a> {
     stream: TcpStream,
@@ -276,7 +416,7 @@ impl std::io::Read for ShutdownAwareStream<'_> {
                     if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
                 {
                     if self.state.shutdown_requested()
-                        || self.last_activity.elapsed() > IDLE_CONNECTION_LIMIT
+                        || self.last_activity.elapsed() > self.state.idle_timeout
                     {
                         return Ok(0);
                     }
@@ -293,10 +433,13 @@ impl std::io::Read for ShutdownAwareStream<'_> {
     }
 }
 
-/// Serves one connection's keep-alive request loop to completion.
+/// Serves one connection's keep-alive request loop to completion. Requests
+/// whose body the handler streams (CSV ingest) keep the connection only if
+/// the body was fully consumed; a mid-body error closes it, because the
+/// unread remainder would otherwise be parsed as the next request.
 fn handle_connection(state: &AppState, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = RequestReader::new(
         ShutdownAwareStream { stream: read_half, state, last_activity: std::time::Instant::now() },
@@ -304,11 +447,23 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     );
     let mut writer = stream;
     loop {
-        match reader.next_request() {
-            Ok(request) => {
-                let response = api::route(state, &request);
-                let keep_alive = request.keep_alive() && !state.shutdown_requested();
-                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+        match serve_one(state, &mut reader) {
+            Ok(Served { response, reusable, abandoned_body }) => {
+                let keep_alive = reusable && !state.shutdown_requested();
+                if response.write_to(&mut writer, keep_alive).is_err() {
+                    return;
+                }
+                if abandoned_body {
+                    // The client is still mid-send (a CSV parse error cut
+                    // the ingest short): drain briefly so closing does not
+                    // RST away the error response before the client reads
+                    // it. Fully-consumed requests skip this — nothing is
+                    // unread, and waiting out the read timeout would add
+                    // its full duration to every `Connection: close`
+                    // exchange.
+                    drain_briefly(&mut writer);
+                }
+                if !keep_alive {
                     return;
                 }
             }
@@ -332,15 +487,53 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     }
 }
 
+/// One request's outcome: the response plus what the connection may do
+/// next.
+struct Served {
+    response: Response,
+    /// Whether the connection may serve another request (client asked for
+    /// keep-alive *and* the body was fully consumed).
+    reusable: bool,
+    /// True when the handler stopped mid-body (CSV parse error): unread
+    /// request bytes remain on the wire and the close path must drain
+    /// them so the error response survives.
+    abandoned_body: bool,
+}
+
+/// Reads and routes one request. CSV-ingest requests stream their body
+/// straight into the parser; everything else materialises it.
+fn serve_one<R: std::io::Read>(
+    state: &AppState,
+    reader: &mut RequestReader<R>,
+) -> Result<Served, crate::http::HttpError> {
+    let head = reader.next_head()?;
+    if api::is_csv_ingest(&head) {
+        let mut body = reader.body(&head);
+        let response = api::route_csv(state, &head, &mut body)?;
+        // An ingest that stopped mid-body poisons the connection for
+        // further requests — the remainder would parse as a new request.
+        let complete = body.is_complete();
+        Ok(Served { response, reusable: head.keep_alive() && complete, abandoned_body: !complete })
+    } else {
+        let mut body = Vec::new();
+        reader.body(&head).read_to_end_into(&mut body)?;
+        let request = crate::http::Request::from_parts(head, body);
+        let reusable = request.keep_alive();
+        Ok(Served { response: api::route(state, &request), reusable, abandoned_body: false })
+    }
+}
+
 /// Best-effort bounded drain of a socket about to be closed after an error
-/// response. Reads until EOF, a quiet timeout, an error, or a size cap —
-/// enough to clear buffered request bytes without letting a hostile client
-/// stream forever.
+/// response. Reads until EOF, a quiet timeout, an error, a size cap, or a
+/// wall-clock deadline — enough to clear buffered request bytes without
+/// letting a hostile client stream (or trickle: the byte cap alone would
+/// let 1-byte-per-read-timeout clients hold the drain for hours) forever.
 fn drain_briefly(stream: &mut TcpStream) {
     use std::io::Read;
+    let deadline = std::time::Instant::now() + Duration::from_millis(250);
     let mut scratch = [0u8; 16 * 1024];
     let mut drained = 0usize;
-    while drained < 1024 * 1024 {
+    while drained < 1024 * 1024 && std::time::Instant::now() < deadline {
         match stream.read(&mut scratch) {
             Ok(0) | Err(_) => return,
             Ok(n) => drained += n,
@@ -348,11 +541,14 @@ fn drain_briefly(stream: &mut TcpStream) {
     }
 }
 
-/// Drains the job queue until shutdown.
+/// Drains the job queue until shutdown. Job results are always rendered as
+/// the JSON body a synchronous `/v1/clean` would have returned.
 fn job_loop(state: &AppState) {
     while let Some((id, payload, progress)) = state.jobs.next_job(|| state.shutdown_requested()) {
-        let outcome =
-            state.run_clean(&payload, Some(&progress)).map_err(|e| format!("clean failed: {e}"));
+        let outcome = state
+            .run_clean(&payload, Some(&progress))
+            .map(|run| api::clean_response_body(&run, payload.include_rows))
+            .map_err(|e| format!("clean failed: {e}"));
         state.jobs.finish(id, outcome);
     }
 }
@@ -377,6 +573,24 @@ mod tests {
             .unwrap()
     }
 
+    fn delete(path: &str) -> Request {
+        RequestReader::new(format!("DELETE {path} HTTP/1.1\r\n\r\n").as_bytes(), 1024)
+            .next_request()
+            .unwrap()
+    }
+
+    /// Runs the queued job inline (no worker threads in unit tests),
+    /// exactly as `job_loop` would.
+    fn run_one_job(state: &AppState) -> u64 {
+        let (id, payload, progress) = state.jobs.next_job(|| false).unwrap();
+        let outcome = state
+            .run_clean(&payload, Some(&progress))
+            .map(|run| api::clean_response_body(&run, payload.include_rows))
+            .map_err(|e| e.to_string());
+        state.jobs.finish(id, outcome);
+        id
+    }
+
     #[test]
     fn sync_clean_and_job_clean_produce_identical_bodies() {
         let state = test_state();
@@ -386,10 +600,7 @@ mod tests {
 
         let submit = api::route(&state, &post("/v1/jobs", body));
         assert_eq!(submit.status, 202);
-        // Run the queued job inline (no worker threads in this unit test).
-        let (id, payload, progress) = state.jobs.next_job(|| false).unwrap();
-        let outcome = state.run_clean(&payload, Some(&progress)).map_err(|e| e.to_string());
-        state.jobs.finish(id, outcome);
+        let id = run_one_job(&state);
 
         let poll = api::route(&state, &get(&format!("/v1/jobs/{id}")));
         assert_eq!(poll.status, 200);
@@ -412,6 +623,33 @@ mod tests {
         assert_eq!(api::route(&state, &post("/v1/clean", "{")).status, 400);
         assert_eq!(api::route(&state, &get("/v1/datasets")).status, 200);
         assert_eq!(api::route(&state, &get("/v1/metrics")).status, 200);
+        assert_eq!(api::route(&state, &delete("/v1/jobs/999")).status, 404);
+        assert_eq!(api::route(&state, &delete("/v1/jobs/abc")).status, 400);
+        assert_eq!(api::route(&state, &post("/v1/jobs/1", "x")).status, 405);
+    }
+
+    #[test]
+    fn delete_endpoint_lifecycle() {
+        let state = test_state();
+        let body = r#"{"csv": "id,lang\n1,eng\n2,eng\n3,eng\n4,English\n"}"#;
+        let submit = api::route(&state, &post("/v1/jobs", body));
+        assert_eq!(submit.status, 202);
+        let submitted =
+            cocoon_llm::json::parse(std::str::from_utf8(&submit.body).unwrap()).unwrap();
+        let id = submitted.get("id").unwrap().as_f64().unwrap() as u64;
+
+        // Deleting the queued job cancels it.
+        assert_eq!(api::route(&state, &delete(&format!("/v1/jobs/{id}"))).status, 204);
+        assert_eq!(api::route(&state, &get(&format!("/v1/jobs/{id}"))).status, 404);
+        assert!(state.jobs.next_job(|| true).is_none(), "no job left for a worker");
+
+        // A finished job deletes too; a second delete is 404.
+        api::route(&state, &post("/v1/jobs", body));
+        let id = run_one_job(&state);
+        assert_eq!(api::route(&state, &get(&format!("/v1/jobs/{id}"))).status, 200);
+        assert_eq!(api::route(&state, &delete(&format!("/v1/jobs/{id}"))).status, 204);
+        assert_eq!(api::route(&state, &delete(&format!("/v1/jobs/{id}"))).status, 404);
+        assert_eq!(state.jobs.counts().deleted, 2);
     }
 
     #[test]
@@ -427,8 +665,35 @@ mod tests {
         assert_eq!(requests.get("responses_4xx").unwrap().as_f64(), Some(1.0));
         let llm = json.get("llm").unwrap();
         assert!(llm.get("cache_misses").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(llm.get("cache_evictions").unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            llm.get("cache_capacity").unwrap().as_f64(),
+            Some((16 * 1024) as f64),
+            "the default capacity is visible"
+        );
+        assert!(
+            llm.get("cached_responses").unwrap().as_f64().unwrap() > 0.0,
+            "entry count is visible"
+        );
         assert!(llm.get("dispatcher").unwrap().get("batches").is_some());
-        assert!(json.get("jobs").unwrap().get("queue_depth").is_some());
+        let accept = json.get("accept").unwrap();
+        assert_eq!(accept.get("queue_depth").unwrap().as_f64(), Some(0.0));
+        assert_eq!(accept.get("queue_capacity").unwrap().as_f64(), Some(64.0));
+        let jobs = json.get("jobs").unwrap();
+        assert!(jobs.get("queue_depth").is_some());
+        assert_eq!(jobs.get("expired").unwrap().as_f64(), Some(0.0));
+        assert_eq!(jobs.get("deleted").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn unbounded_cache_reports_null_capacity() {
+        let state = AppState::new(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_capacity: None,
+            ..ServerConfig::default()
+        });
+        let json = cocoon_llm::json::parse(&state.metrics_body()).unwrap();
+        assert_eq!(json.get("llm").unwrap().get("cache_capacity"), Some(&cocoon_llm::Json::Null));
     }
 
     #[test]
@@ -445,5 +710,13 @@ mod tests {
             "second clean is served entirely from the shared cache"
         );
         assert!(state.llm.hits() > 0);
+    }
+
+    #[test]
+    fn conn_queue_bounds_and_wakes() {
+        let queue = ConnQueue::new(1);
+        assert_eq!(queue.depth(), 0);
+        // give_up pops nothing and returns promptly.
+        assert!(queue.pop(|| true).is_none());
     }
 }

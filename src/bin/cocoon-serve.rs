@@ -6,7 +6,8 @@
 //!      -d '{"csv": "id,lang\n1,eng\n2,eng\n3,eng\n4,English\n"}'
 //! ```
 //!
-//! See the README "Serving" section for the endpoint and flag reference.
+//! See `docs/API.md` for the full endpoint/flag reference and the README
+//! "Serving" section for an overview.
 
 use cocoon_llm::{DispatcherConfig, RateLimit};
 use cocoon_server::{Server, ServerConfig};
@@ -18,9 +19,18 @@ USAGE: cocoon-serve [FLAGS]
 
 FLAGS:
   --addr HOST:PORT        bind address        (default 127.0.0.1:7878; port 0 = ephemeral)
-  --workers N             connection workers  (default max(8, cores); bounds concurrent connections)
+  --workers N             request handlers    (default max(8, cores); bounds concurrent requests)
   --job-workers N         async job workers   (default 2)
+  --accept-backlog N      accepted connections allowed to wait for a free
+                          handler; beyond this new connections get an
+                          immediate 503 (default 64)
+  --idle-timeout-secs S   silent-connection reclaim time — the slow-loris
+                          bound (default 30)
   --max-body BYTES        request body cap    (default 8388608; over => 413)
+  --cache-capacity N      LRU bound on the shared completion cache
+                          (default 16384; 0 = unbounded)
+  --job-ttl-secs S        finished jobs expire S seconds after finishing
+                          (default 900; 0 = never)
   --batch-window-ms MS    LLM batch window    (default 2)
   --max-batch N           LLM batch size cap  (default 64)
   --rate-limit RPS[:BURST]
@@ -46,7 +56,35 @@ fn parse_flags() -> ServerConfig {
             "--job-workers" => {
                 config.job_workers = parse_num(&value("--job-workers"), "--job-workers")
             }
+            "--accept-backlog" => {
+                config.accept_backlog = parse_num(&value("--accept-backlog"), "--accept-backlog")
+            }
+            "--idle-timeout-secs" => {
+                // Unlike the sibling 0-means-off flags, a zero idle bound
+                // would disconnect every briefly-quiet client; refuse it.
+                config.idle_timeout =
+                    match parse_num::<u64>(&value("--idle-timeout-secs"), "--idle-timeout-secs") {
+                        0 => fail("--idle-timeout-secs must be positive"),
+                        s => Duration::from_secs(s),
+                    }
+            }
             "--max-body" => config.max_body = parse_num(&value("--max-body"), "--max-body"),
+            "--cache-capacity" => {
+                // 0 means unbounded, matching the library's `CachedLlm::new`.
+                config.cache_capacity =
+                    match parse_num::<usize>(&value("--cache-capacity"), "--cache-capacity") {
+                        0 => None,
+                        n => Some(n),
+                    }
+            }
+            "--job-ttl-secs" => {
+                // 0 means never expire (retention cap still applies).
+                config.job_ttl = match parse_num::<u64>(&value("--job-ttl-secs"), "--job-ttl-secs")
+                {
+                    0 => None,
+                    s => Some(Duration::from_secs(s)),
+                }
+            }
             "--batch-window-ms" => {
                 config.dispatcher.batch_window = Duration::from_millis(parse_num::<u64>(
                     &value("--batch-window-ms"),
@@ -105,7 +143,7 @@ fn main() {
             None => "off".to_string(),
         }
     );
-    println!("  endpoints: POST /v1/clean · POST /v1/jobs · GET /v1/jobs/{{id}} · GET /v1/datasets · GET /v1/metrics");
+    println!("  endpoints: POST /v1/clean · POST /v1/jobs · GET|DELETE /v1/jobs/{{id}} · GET /v1/datasets · GET /v1/metrics");
     if let Err(e) = server.serve() {
         eprintln!("server stopped: {e}");
         std::process::exit(1);

@@ -30,13 +30,32 @@ fn clean_body(csv_text: &str) -> String {
 /// Minimal HTTP client: one request per connection (`Connection: close`, so
 /// EOF frames the response). Returns (status, body).
 fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    http_with_headers(addr, method, path, &[], body)
+}
+
+/// Like [`http`], with extra request headers (name, value).
+fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let mut request = format!("{method} {path} HTTP/1.1\r\nHost: cocoon\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
     match body {
         Some(body) => request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len())),
         None => request.push_str("\r\n"),
     }
     stream.write_all(request.as_bytes()).expect("send request");
+    read_response(&mut stream)
+}
+
+/// Reads a `Connection: close` response to EOF. Returns (status, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
     let status: u16 = raw
@@ -53,15 +72,21 @@ fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
     (status, cocoon_llm::json::parse(&body).unwrap_or_else(|e| panic!("{path}: {e}: {body}")))
 }
 
-/// Runs `test` against a freshly bound server, stopping it afterwards.
+/// Runs `test` against a freshly bound server, stopping it afterwards —
+/// including when `test` panics: without the catch, the scope would wait
+/// forever on the still-serving worker threads and a failing assertion
+/// would hang the suite instead of failing it.
 fn with_server(config: ServerConfig, test: impl FnOnce(&ServerHandle)) {
     let server = Server::bind(config).expect("bind");
     let handle = server.handle().expect("handle");
     std::thread::scope(|scope| {
         let serving = scope.spawn(|| server.serve());
-        test(&handle);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(&handle)));
         handle.stop();
         serving.join().expect("serve thread").expect("serve result");
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
     });
 }
 
@@ -141,9 +166,23 @@ fn concurrent_cleans_are_byte_identical_to_direct_runs() {
             "the token bucket must have enforced waits: {dispatcher}"
         );
         let llm = metrics.get("llm").unwrap();
+        // With cross-batch single-flight the 8 concurrent cleans can run in
+        // perfect lockstep — every lookup misses and coalesces instead of
+        // hitting — so cache sharing is proven by a follow-up clean, which
+        // must be served entirely from the shared cache.
+        let misses_after_wave = llm.get("cache_misses").and_then(Json::as_f64).unwrap();
+        let (status, _) = http(addr, "POST", "/v1/clean", Some(&body));
+        assert_eq!(status, 200);
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let llm = metrics.get("llm").unwrap();
+        assert_eq!(
+            llm.get("cache_misses").and_then(Json::as_f64),
+            Some(misses_after_wave),
+            "a ninth identical clean replays from the shared cache: {llm}"
+        );
         assert!(
             llm.get("cache_hits").and_then(Json::as_f64).unwrap() >= 1.0,
-            "8 identical cleans share the process-wide cache: {llm}"
+            "the follow-up clean hit the process-wide cache: {llm}"
         );
     });
 }
@@ -224,6 +263,253 @@ fn protocol_and_routing_errors_over_the_wire() {
         let (_, metrics) = get_json(addr, "/v1/metrics");
         let requests = metrics.get("requests").expect("requests");
         assert!(requests.get("responses_4xx").and_then(Json::as_f64).unwrap() >= 5.0);
+    });
+}
+
+#[test]
+fn csv_ingest_and_response_are_byte_equivalent_to_the_json_path() {
+    // The acceptance bar: on Movies (the paper's largest benchmark), a
+    // `text/csv` in → `text/csv` out clean must be byte-identical to the
+    // `cleaned_csv` field the JSON path reports for the same table.
+    let movies_csv = csv::write_str(&cocoon_datasets::movies::generate().dirty);
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        let (status, json_body) = http(addr, "POST", "/v1/clean", Some(&clean_body(&movies_csv)));
+        assert_eq!(status, 200, "{json_body}");
+        let json = cocoon_llm::json::parse(&json_body).expect("json response");
+        let expected_csv = json.get("cleaned_csv").and_then(Json::as_str).expect("cleaned_csv");
+
+        let (status, csv_out) = http_with_headers(
+            addr,
+            "POST",
+            "/v1/clean",
+            &[("Content-Type", "text/csv"), ("Accept", "text/csv")],
+            Some(&movies_csv),
+        );
+        assert_eq!(status, 200, "{csv_out}");
+        assert_eq!(csv_out, expected_csv, "CSV-in/CSV-out == the JSON path's cleaned_csv");
+
+        // CSV in, JSON out (no Accept header): the full report, identical
+        // to the JSON-ingest report.
+        let (status, mixed) = http_with_headers(
+            addr,
+            "POST",
+            "/v1/clean",
+            &[("Content-Type", "text/csv")],
+            Some(&movies_csv),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(mixed, json_body, "ingest format does not leak into the JSON report");
+
+        // JSON in, CSV out.
+        let (status, csv_from_json) = http_with_headers(
+            addr,
+            "POST",
+            "/v1/clean",
+            &[("Accept", "text/csv")],
+            Some(&clean_body(&movies_csv)),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(csv_from_json, expected_csv);
+    });
+}
+
+#[test]
+fn chunked_csv_upload_streams_through() {
+    // A chunked transfer (no Content-Length anywhere) must parse
+    // incrementally and clean identically — the streaming-friendly shape.
+    let csv_text = messy_csv();
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        let (_, json_body) = http(addr, "POST", "/v1/clean", Some(&clean_body(&csv_text)));
+        let expected = cocoon_llm::json::parse(&json_body)
+            .expect("json response")
+            .get("cleaned_csv")
+            .and_then(Json::as_str)
+            .expect("cleaned_csv")
+            .to_string();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /v1/clean HTTP/1.1\r\nHost: cocoon\r\nConnection: close\r\n\
+                  Content-Type: text/csv\r\nAccept: text/csv\r\n\
+                  Transfer-Encoding: chunked\r\n\r\n",
+            )
+            .expect("send head");
+        // Dribble the CSV in small chunks with pauses, like a real
+        // streaming producer.
+        for piece in csv_text.as_bytes().chunks(64) {
+            let chunk = format!("{:x}\r\n", piece.len());
+            stream.write_all(chunk.as_bytes()).expect("chunk size");
+            stream.write_all(piece).expect("chunk data");
+            stream.write_all(b"\r\n").expect("chunk end");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stream.write_all(b"0\r\n\r\n").expect("final chunk");
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected);
+    });
+}
+
+#[test]
+fn malformed_csv_ingest_is_a_client_error() {
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        for (bad, why) in [
+            ("a\n\"oops\n", "unterminated quote"),
+            ("a\nab\"c\n", "quote mid-field"),
+            ("a,b\n", "no rows"),
+        ] {
+            let (status, body) = http_with_headers(
+                addr,
+                "POST",
+                "/v1/clean",
+                &[("Content-Type", "text/csv")],
+                Some(bad),
+            );
+            assert_eq!(status, 400, "{why}: {body}");
+        }
+    });
+}
+
+#[test]
+fn stalled_client_does_not_block_accepts() {
+    // One handler, a one-deep accept queue, and a short slow-loris bound.
+    // A silent client pins the only handler; the accept path must keep
+    // accepting: the next client queues (and is eventually served once the
+    // idle reclaim frees the handler), and the one after that — with the
+    // queue full — gets an immediate 503 instead of a hang.
+    let mut config = test_config();
+    config.workers = 1;
+    config.accept_backlog = 1;
+    config.idle_timeout = Duration::from_millis(400);
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        // The staller: sends half a request line, then goes silent,
+        // pinning the handler until the idle reclaim.
+        let mut staller = TcpStream::connect(addr).expect("staller connects");
+        staller.write_all(b"GET /v1/metr").expect("partial request");
+        std::thread::sleep(Duration::from_millis(150)); // handler owns it now
+
+        // The queued client: accepted immediately, served after reclaim.
+        let queued = std::thread::spawn(move || http(addr, "GET", "/v1/metrics", None));
+        std::thread::sleep(Duration::from_millis(100)); // it sits in the queue
+
+        // The overflow client: queue full → fast 503.
+        let start = Instant::now();
+        let (status, body) = http(addr, "GET", "/v1/metrics", None);
+        assert_eq!(status, 503, "{body}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "the 503 must be immediate, not a queue-wedge timeout: {:?}",
+            start.elapsed()
+        );
+
+        // The queued client is served once the staller is reclaimed.
+        let (status, body) = queued.join().expect("queued client");
+        assert_eq!(status, 200, "queued client eventually served: {body}");
+
+        drop(staller);
+        // Metrics saw the whole story.
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let accept = metrics.get("accept").expect("accept section");
+        assert!(accept.get("accepted").and_then(Json::as_f64).unwrap() >= 2.0);
+        assert!(accept.get("rejected_busy").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert_eq!(accept.get("queue_capacity").and_then(Json::as_f64), Some(1.0));
+    });
+}
+
+#[test]
+fn cache_stays_bounded_under_a_concurrent_hammer() {
+    // 8 clients hammer distinct tables through a tiny LRU: the shared
+    // cache must never exceed its capacity, and the churn must show up in
+    // the eviction counter.
+    let mut config = test_config();
+    config.cache_capacity = Some(8);
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        std::thread::scope(|scope| {
+            for client in 0..8 {
+                scope.spawn(move || {
+                    for i in 0..3 {
+                        // Distinct values per client and iteration ⇒
+                        // distinct prompts ⇒ constant cache churn.
+                        let csv_text = format!(
+                            "id,code\n1,alpha{client}{i}\n2,alpha{client}{i}\n3,beta{client}{i}\n"
+                        );
+                        let (status, body) = http_with_headers(
+                            addr,
+                            "POST",
+                            "/v1/clean",
+                            &[("Content-Type", "text/csv")],
+                            Some(&csv_text),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                    }
+                });
+            }
+        });
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let llm = metrics.get("llm").expect("llm section");
+        let cached = llm.get("cached_responses").and_then(Json::as_f64).unwrap();
+        assert!(cached <= 8.0, "cache grew past its capacity: {cached}");
+        assert_eq!(llm.get("cache_capacity").and_then(Json::as_f64), Some(8.0));
+        assert!(
+            llm.get("cache_evictions").and_then(Json::as_f64).unwrap() > 0.0,
+            "24 distinct cleans through 8 slots must evict: {llm}"
+        );
+    });
+}
+
+#[test]
+fn job_ttl_and_delete_lifecycle_over_the_wire() {
+    // The TTL must comfortably outlast a poll round-trip (so the client
+    // reliably observes "done" before expiry) while keeping the test quick.
+    let mut config = test_config();
+    config.job_ttl = Some(Duration::from_millis(500));
+    let body = clean_body(&messy_csv());
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let poll_done = |poll_path: &str| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let (status, view) = get_json(addr, poll_path);
+                assert_eq!(status, 200);
+                if view.get("status").and_then(Json::as_str) == Some("done") {
+                    return;
+                }
+                assert!(Instant::now() < deadline, "job did not finish: {view}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+        let submit = |body: &str| {
+            let (status, submitted) = http(addr, "POST", "/v1/jobs", Some(body));
+            assert_eq!(status, 202, "{submitted}");
+            let json = cocoon_llm::json::parse(&submitted).expect("submit json");
+            json.get("poll").and_then(Json::as_str).expect("poll path").to_string()
+        };
+
+        // TTL: a finished job expires and then polls as 404.
+        let poll_path = submit(&body);
+        poll_done(&poll_path);
+        std::thread::sleep(Duration::from_millis(1100));
+        let (status, _) = http(addr, "GET", &poll_path, None);
+        assert_eq!(status, 404, "expired job polls as unknown");
+
+        // DELETE: a finished job is freed immediately; repeats are 404.
+        let poll_path = submit(&body);
+        poll_done(&poll_path);
+        let (status, _) = http(addr, "DELETE", &poll_path, None);
+        assert_eq!(status, 204);
+        assert_eq!(http(addr, "GET", &poll_path, None).0, 404);
+        assert_eq!(http(addr, "DELETE", &poll_path, None).0, 404);
+
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let jobs = metrics.get("jobs").expect("jobs section");
+        assert!(jobs.get("expired").and_then(Json::as_f64).unwrap() >= 1.0, "{jobs}");
+        assert!(jobs.get("deleted").and_then(Json::as_f64).unwrap() >= 1.0, "{jobs}");
     });
 }
 
