@@ -137,5 +137,80 @@ fn bench_ingest_parse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_served_clean, bench_ingest_parse);
+/// How many concurrent keep-alive connections the serve core can multiplex
+/// — the PR 6 question. For each sweep point, N keep-alive connections stay
+/// open for the whole measurement; one iteration writes `GET /v1/metrics`
+/// on every connection and then reads every framed response. Throughput
+/// therefore prints requests/s across the whole fleet, and the interesting
+/// comparison is how the per-request cost holds up as N grows from 1 to
+/// 1024 — `BENCH_PR6.json` records the sweep before (thread-per-connection)
+/// and after (readiness loop) the rebuild.
+fn bench_concurrency_sweep(c: &mut Criterion) {
+    const REQUEST: &[u8] = b"GET /v1/metrics HTTP/1.1\r\nHost: bench\r\n\r\n";
+    for n in [1usize, 64, 1024] {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            request_backlog: 2048,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let handle = server.handle().expect("handle");
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve().expect("serve"));
+            let mut conns: Vec<TcpStream> = (0..n)
+                .map(|_| {
+                    let stream = TcpStream::connect(handle.addr()).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    stream
+                })
+                .collect();
+
+            let mut group = c.benchmark_group("concurrency");
+            group.sample_size(10);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_function(format!("{n} conns"), |b| {
+                b.iter(|| {
+                    // Fan the writes out first, then collect: the server
+                    // must multiplex N in-flight exchanges at once.
+                    for conn in &mut conns {
+                        conn.write_all(REQUEST).expect("send");
+                    }
+                    let mut total = 0usize;
+                    for conn in &mut conns {
+                        total += read_framed_response(conn);
+                    }
+                    black_box(total)
+                })
+            });
+            group.finish();
+            drop(conns);
+            handle.stop();
+        });
+    }
+}
+
+/// Reads one `Content-Length`-framed keep-alive response; panics on
+/// non-200. Returns the body length so the read cannot be optimised away.
+fn read_framed_response(stream: &mut TcpStream) -> usize {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("head byte");
+        head.push(byte[0]);
+    }
+    let head = std::str::from_utf8(&head).expect("utf-8 head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("content-length")
+        .trim()
+        .parse()
+        .expect("length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("body");
+    length
+}
+
+criterion_group!(benches, bench_served_clean, bench_ingest_parse, bench_concurrency_sweep);
 criterion_main!(benches);

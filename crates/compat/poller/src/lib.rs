@@ -1,0 +1,530 @@
+//! Minimal epoll readiness poller — the offline stand-in for mio.
+//!
+//! The build environment has no crates.io access, so the workspace cannot
+//! depend on `mio` (or even `libc`). In the spirit of the sibling compat
+//! shims, this crate implements exactly the readiness slice the
+//! `cocoon-server` event loop needs, directly on raw Linux syscalls
+//! (`core::arch::asm!`, x86_64 and aarch64):
+//!
+//! * [`Poller`] — an `epoll` instance. Register file descriptors with a
+//!   caller-chosen `u64` token and an [`Interest`] (read/write), then
+//!   [`wait`](Poller::wait) for [`Event`]s. Level-triggered, the simplest
+//!   semantics to reason about: a readiness condition keeps reporting until
+//!   it is drained.
+//! * [`Waker`] — an `eventfd` registered with the poller, so *other*
+//!   threads (worker pools handing back finished responses) can interrupt
+//!   a blocked [`wait`](Poller::wait) without the poller owning any
+//!   cross-thread channel.
+//! * [`raise_nofile_limit`] — a `prlimit64` helper: a process multiplexing
+//!   tens of thousands of sockets first has to be *allowed* to hold them.
+//!
+//! API contract for a future swap-back to mio: tokens are opaque `u64`s,
+//! registration is (fd, token, interest), and `wait` fills a reusable
+//! [`Events`] buffer — a mechanical mapping onto `mio::Poll`/`mio::Waker`.
+//!
+//! Non-Linux platforms get a compile error: readiness APIs cannot be
+//! expressed in portable `std`, and every deployment target of this
+//! workspace (CI and the paper-reproduction containers) is Linux.
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "the vendored `poller` shim implements epoll via raw Linux syscalls; \
+     build on Linux or swap in mio via [workspace.dependencies]"
+);
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Raw syscall plumbing: numbers and invocation for x86_64 and aarch64.
+mod sys {
+    /// Syscall numbers for the two supported architectures.
+    #[cfg(target_arch = "x86_64")]
+    pub mod nr {
+        pub const READ: usize = 0;
+        pub const WRITE: usize = 1;
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EVENTFD2: usize = 290;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const PRLIMIT64: usize = 302;
+    }
+
+    /// Syscall numbers for the two supported architectures.
+    #[cfg(target_arch = "aarch64")]
+    pub mod nr {
+        pub const READ: usize = 63;
+        pub const WRITE: usize = 64;
+        pub const CLOSE: usize = 57;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EVENTFD2: usize = 19;
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const PRLIMIT64: usize = 261;
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    compile_error!("the `poller` shim knows the syscall ABI for x86_64 and aarch64 only");
+
+    /// Invokes a syscall with up to six arguments, returning the raw
+    /// (possibly negative-errno) result.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass arguments valid for the specific syscall —
+    /// pointers must reference live memory of the size the kernel expects.
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Invokes a syscall with up to six arguments, returning the raw
+    /// (possibly negative-errno) result.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass arguments valid for the specific syscall —
+    /// pointers must reference live memory of the size the kernel expects.
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Converts a raw syscall return into `io::Result<usize>` (the kernel
+    /// encodes errors as `-errno` in `[-4095, -1]`).
+    pub fn check(ret: isize) -> std::io::Result<usize> {
+        if (-4095..0).contains(&ret) {
+            Err(std::io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+}
+
+/// Invokes `sys::syscall6` with zero-padding for the unused arguments.
+macro_rules! syscall {
+    ($nr:expr $(, $arg:expr)*) => {{
+        let args = [$($arg as usize,)* 0usize, 0, 0, 0, 0, 0];
+        sys::check(unsafe { sys::syscall6($nr, args[0], args[1], args[2], args[3], args[4], args[5]) })
+    }};
+}
+
+// epoll event bits (uapi/linux/eventpoll.h).
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+
+const EPOLL_CLOEXEC: usize = 0x80000;
+const EFD_CLOEXEC: usize = 0x80000;
+const EFD_NONBLOCK: usize = 0x800;
+
+/// The kernel's `struct epoll_event`. Packed on x86_64 only, exactly as
+/// the uapi header declares it.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Which readiness conditions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest { read: true, write: false };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest { read: false, write: true };
+    /// Both read and write readiness.
+    pub const BOTH: Interest = Interest { read: true, write: true };
+    /// No readiness at all — the registration stays alive (hangup and
+    /// error conditions still report) but delivers no read/write events.
+    /// Used while a request is parked with a worker.
+    pub const NONE: Interest = Interest { read: false, write: false };
+
+    fn bits(self) -> u32 {
+        // EPOLLRDHUP is always on: a peer that half-closes mid-exchange
+        // should surface as an event, not as a silent stall.
+        let mut bits = EPOLLRDHUP;
+        if self.read {
+            bits |= EPOLLIN;
+        }
+        if self.write {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (data, or a pending accept).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up or the descriptor is in an error state — the
+    /// connection is finished regardless of the other flags.
+    pub closed: bool,
+}
+
+/// A reusable buffer of readiness reports, filled by [`Poller::wait`].
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { raw: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)], len: 0 }
+    }
+
+    /// Iterates the events delivered by the most recent wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| Event {
+            token: raw.data,
+            readable: raw.events & EPOLLIN != 0,
+            writable: raw.events & EPOLLOUT != 0,
+            closed: raw.events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+        })
+    }
+
+    /// Number of events delivered by the most recent wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the most recent wait delivered nothing (it timed out).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance: register descriptors, wait for readiness.
+///
+/// Level-triggered throughout. The poller owns only the epoll descriptor —
+/// registered sockets stay owned by the caller, and closing a socket
+/// removes its registration automatically (provided the fd was not
+/// duplicated).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = syscall!(sys::nr::EPOLL_CREATE1, EPOLL_CLOEXEC)?;
+        Ok(Poller { epfd: epfd as RawFd })
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let event = EpollEvent { events: interest.bits(), data: token };
+        syscall!(sys::nr::EPOLL_CTL, self.epfd, op, fd, std::ptr::addr_of!(event))?;
+        Ok(())
+    }
+
+    /// Registers `fd` under `token`; events report level-triggered.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the interest (and token) of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Removes `fd`'s registration. Closing the fd does this implicitly;
+    /// the explicit form exists for handing a still-open socket elsewhere.
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        let event = EpollEvent { events: 0, data: 0 };
+        syscall!(sys::nr::EPOLL_CTL, self.epfd, EPOLL_CTL_DEL, fd, std::ptr::addr_of!(event))?;
+        Ok(())
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the
+    /// timeout elapses (`events` then reports empty), or a [`Waker`] fires.
+    /// `None` waits indefinitely. Interrupted waits (`EINTR`) report as a
+    /// timeout rather than an error.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: isize = match timeout {
+            // Round up so a 0 < t < 1ms request still sleeps.
+            Some(t) => t.as_millis().max(1).min(isize::MAX as u128) as isize,
+            None => -1,
+        };
+        let n = match syscall!(
+            sys::nr::EPOLL_PWAIT,
+            self.epfd,
+            events.raw.as_mut_ptr(),
+            events.raw.len(),
+            timeout_ms,
+            0usize, // no sigmask
+            8usize  // sigsetsize
+        ) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        events.len = n;
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        let _ = syscall!(sys::nr::CLOSE, self.epfd);
+    }
+}
+
+/// Wakes a [`Poller::wait`] from another thread.
+///
+/// An `eventfd` registered with the poller: [`wake`](Waker::wake) makes the
+/// poller report an event under the waker's token, and the poller thread
+/// calls [`clear`](Waker::clear) to re-arm it. Send + Sync; clone by `Arc`.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates an eventfd and registers it with `poller` under `token`.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        let fd = syscall!(sys::nr::EVENTFD2, 0usize, EFD_CLOEXEC | EFD_NONBLOCK)? as RawFd;
+        let waker = Waker { fd };
+        poller.add(fd, token, Interest::READ)?;
+        Ok(waker)
+    }
+
+    /// Makes the poller report readiness under this waker's token. Cheap,
+    /// non-blocking, callable from any thread; redundant wakes coalesce.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // EAGAIN means the counter is already saturated — the poller is
+        // guaranteed to wake, which is all a wake asks for.
+        let _ = syscall!(sys::nr::WRITE, self.fd, std::ptr::addr_of!(one), 8usize);
+    }
+
+    /// Drains the eventfd so level-triggered polling stops reporting it.
+    /// The poller thread calls this on every event carrying the waker's
+    /// token.
+    pub fn clear(&self) {
+        let mut count: u64 = 0;
+        let _ = syscall!(sys::nr::READ, self.fd, std::ptr::addr_of_mut!(count), 8usize);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        let _ = syscall!(sys::nr::CLOSE, self.fd);
+    }
+}
+
+/// `struct rlimit64` for [`raise_nofile_limit`].
+#[repr(C)]
+struct Rlimit64 {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: usize = 7;
+
+/// Raises the open-file-descriptor limit to at least `want` descriptors,
+/// returning the resulting soft limit.
+///
+/// A process multiplexing tens of thousands of sockets must be allowed to
+/// hold them: this lifts the soft limit (and, when privileged, the hard
+/// limit) via `prlimit64`. Unprivileged processes are clamped to their
+/// hard limit — the returned value tells the caller what was actually
+/// granted, so scale tests can size themselves to reality.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut current = Rlimit64 { cur: 0, max: 0 };
+    syscall!(sys::nr::PRLIMIT64, 0usize, RLIMIT_NOFILE, 0usize, std::ptr::addr_of_mut!(current))?;
+    if current.cur >= want {
+        return Ok(current.cur);
+    }
+    // Privileged processes may raise the hard limit too; try that first
+    // and fall back to the existing ceiling.
+    let attempt = Rlimit64 { cur: want, max: want.max(current.max) };
+    if syscall!(sys::nr::PRLIMIT64, 0usize, RLIMIT_NOFILE, std::ptr::addr_of!(attempt), 0usize)
+        .is_ok()
+    {
+        return Ok(want);
+    }
+    let clamped = Rlimit64 { cur: want.min(current.max), max: current.max };
+    syscall!(sys::nr::PRLIMIT64, 0usize, RLIMIT_NOFILE, std::ptr::addr_of!(clamped), 0usize)?;
+    Ok(clamped.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn empty_wait_times_out() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn listener_reports_readable_on_pending_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing pending: timeout.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+        // A pending connection: readable under our token.
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+        assert!(!event.closed);
+    }
+
+    #[test]
+    fn data_and_hangup_report_on_a_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 42, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        client.write_all(b"ping").unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        let event = events.iter().next().unwrap();
+        assert!(event.readable && event.token == 42);
+        let mut buf = [0u8; 8];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Level-triggered: drained means quiet again.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+
+        // Peer close surfaces as a closed (and readable-EOF) event.
+        drop(client);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().closed);
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let poller = Poller::new().unwrap();
+        // An idle socket is writable immediately.
+        poller.add(client.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().writable);
+        // Interest NONE silences it.
+        poller.modify(client.as_raw_fd(), 1, Interest::NONE).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+        // And removal is permanent.
+        poller.modify(client.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        poller.remove(client.as_raw_fd()).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+    }
+
+    #[test]
+    fn waker_interrupts_a_wait_from_another_thread() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poller, u64::MAX).unwrap());
+        let mut events = Events::with_capacity(8);
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+            remote.wake(); // redundant wakes coalesce
+        });
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token, u64::MAX);
+        waker.clear();
+        // Cleared: quiet again.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_raisable() {
+        // Whatever privileges the test runs under, asking for the current
+        // limit back must succeed and report something sane.
+        let granted = raise_nofile_limit(64).expect("prlimit64 works");
+        assert!(granted >= 64, "any real environment allows 64 fds, got {granted}");
+    }
+}

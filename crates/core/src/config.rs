@@ -8,13 +8,21 @@ use cocoon_llm::Json;
 /// the ablation benches toggle these.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IssueToggles {
+    /// §2.1.1 — rare string values that are typos of frequent ones.
     pub string_outliers: bool,
+    /// §2.1.2 — values breaking the column's dominant character pattern.
     pub pattern_outliers: bool,
+    /// §2.1.3 — sentinel strings standing in for NULL ("N/A", "-").
     pub disguised_missing: bool,
+    /// §2.1.4 — text columns that should be typed (int, date, …).
     pub column_type: bool,
+    /// §2.1.5 — numeric values outside plausible bounds.
     pub numeric_outliers: bool,
+    /// §2.1.6 — rows violating discovered functional dependencies.
     pub functional_dependencies: bool,
+    /// §2.1.7 — exact duplicate rows.
     pub duplication: bool,
+    /// §2.1.8 — duplicate values in key-like columns.
     pub uniqueness: bool,
 }
 

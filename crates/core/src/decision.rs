@@ -23,20 +23,28 @@ pub enum Decision {
 /// A proposed detection shown to the human.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionReview<'a> {
+    /// Issue type the detector flagged.
     pub issue: IssueKind,
+    /// Column under review; `None` for table-level issues (duplication).
     pub column: Option<&'a str>,
+    /// The profiler statistics that triggered the detection.
     pub statistical_evidence: &'a str,
+    /// The model's verdict on whether the anomaly is a genuine error.
     pub llm_reasoning: &'a str,
 }
 
 /// A proposed cleaning shown to the human.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CleaningReview<'a> {
+    /// Issue type being repaired.
     pub issue: IssueKind,
+    /// Column being repaired; `None` for table-level repairs.
     pub column: Option<&'a str>,
+    /// The model's explanation of the proposed repair.
     pub llm_explanation: &'a str,
     /// old → new pairs ("" = NULL).
     pub mapping: &'a [(String, String)],
+    /// The generated SQL, as it would execute.
     pub sql_preview: &'a str,
 }
 
@@ -65,6 +73,7 @@ impl DecisionHook for AutoApprove {
 /// Rejects specific issue kinds (e.g. a user who never wants row dedup).
 #[derive(Debug, Clone, Default)]
 pub struct RejectIssues {
+    /// Issue kinds to reject at both review points.
     pub rejected: Vec<IssueKind>,
 }
 
@@ -89,7 +98,9 @@ impl DecisionHook for RejectIssues {
 /// Records every review it sees (testing aid) while approving.
 #[derive(Debug, Default)]
 pub struct RecordingHook {
+    /// Every detection review seen: issue kind and column.
     pub detections: Vec<(IssueKind, Option<String>)>,
+    /// Every cleaning review seen: issue kind and mapping size.
     pub cleanings: Vec<(IssueKind, usize)>,
 }
 

@@ -8,8 +8,11 @@ use std::fmt;
 /// Errors surfaced by the cleaning pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
+    /// Error from the table substrate.
     Table(TableError),
+    /// Error from SQL generation or execution.
     Sql(SqlError),
+    /// Error from the model client.
     Llm(LlmError),
     /// A configuration value is out of range.
     Config(String),

@@ -28,6 +28,8 @@
 //! println!("{}", run.sql_script()); // the commented SQL artifact
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod apply;
 pub mod config;
 pub mod decision;

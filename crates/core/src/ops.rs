@@ -10,13 +10,21 @@ use std::fmt;
 /// The issue taxonomy of §2.1, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IssueKind {
+    /// Rare string values that are variants of frequent ones (§2.1.1).
     StringOutliers,
+    /// Values breaking the column's dominant character pattern (§2.1.2).
     PatternOutliers,
+    /// Sentinel strings standing in for NULL (§2.1.3).
     DisguisedMissing,
+    /// Text columns that should carry a concrete type (§2.1.4).
     ColumnType,
+    /// Numeric values outside plausible bounds (§2.1.5).
     NumericOutliers,
+    /// Rows violating discovered functional dependencies (§2.1.6).
     FunctionalDependency,
+    /// Exact duplicate rows (§2.1.7).
     Duplication,
+    /// Duplicate values in key-like columns (§2.1.8).
     Uniqueness,
 }
 
@@ -59,6 +67,7 @@ impl fmt::Display for IssueKind {
 /// One applied cleaning operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CleaningOp {
+    /// Which issue type this step repaired.
     pub issue: IssueKind,
     /// Target column, or `None` for whole-table operations.
     pub column: Option<String>,

@@ -101,6 +101,7 @@ impl<M: ChatModel> Cleaner<M> {
         Ok(Cleaner { llm, config: config.validated()? })
     }
 
+    /// The validated configuration this cleaner runs with.
     pub fn config(&self) -> &CleanerConfig {
         &self.config
     }

@@ -41,6 +41,7 @@ pub struct ProgressSnapshot {
 }
 
 impl RunProgress {
+    /// A progress tracker with nothing started yet.
     pub fn new() -> Self {
         RunProgress::default()
     }

@@ -28,8 +28,11 @@ use threadpool::ThreadPool;
 /// (thread-safe) model, and the configuration. Cheap to share by reference
 /// across detection workers.
 pub struct DetectCtx<'a> {
+    /// The table as it stood when the stage began.
     pub table: &'a Table,
+    /// The model answering detection prompts.
     pub llm: &'a dyn ChatModel,
+    /// Pipeline configuration (thresholds, toggles).
     pub config: &'a CleanerConfig,
 }
 
@@ -90,8 +93,11 @@ pub(crate) enum Outcome<F> {
 pub struct PipelineState<'a> {
     /// The table, progressively rewritten by each applied op.
     pub table: Table,
+    /// The model consulted by detection and cleaning prompts.
     pub llm: &'a dyn ChatModel,
+    /// Pipeline configuration (thresholds, toggles).
     pub config: &'a CleanerConfig,
+    /// Human-in-the-loop decision boundary.
     pub hook: &'a mut dyn DecisionHook,
     /// Worker policy for the per-stage detection fan-out.
     pub pool: ThreadPool,
@@ -102,6 +108,7 @@ pub struct PipelineState<'a> {
 }
 
 impl<'a> PipelineState<'a> {
+    /// Fresh state for one cleaning run over `table`.
     pub fn new(
         table: Table,
         llm: &'a dyn ChatModel,

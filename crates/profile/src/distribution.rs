@@ -9,7 +9,9 @@ use cocoon_table::{Column, Value};
 /// One distinct value with its occurrence count and share.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValueFrequency {
+    /// The distinct value.
     pub value: Value,
+    /// How many cells hold it.
     pub count: usize,
     /// Share of the column's non-null cells, in [0, 1].
     pub fraction: f64,
@@ -20,7 +22,9 @@ pub struct ValueFrequency {
 pub struct Distribution {
     /// Descending by count, ties broken by value order (deterministic).
     pub frequencies: Vec<ValueFrequency>,
+    /// Cells that are not NULL.
     pub non_null_count: usize,
+    /// Cells that are NULL.
     pub null_count: usize,
 }
 

@@ -140,7 +140,9 @@ pub fn conditional_entropy(lhs: &[Value], rhs: &[Value]) -> f64 {
 /// `lhs_column → rhs_column`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FdCandidate {
+    /// Determinant column index.
     pub lhs: usize,
+    /// Dependent column index.
     pub rhs: usize,
     /// H(rhs | lhs) in bits; 0 means the FD holds exactly.
     pub conditional_entropy: f64,
@@ -173,6 +175,7 @@ pub struct FdScan<'a> {
 }
 
 impl<'a> FdScan<'a> {
+    /// Prepares a scan over `table`, encoding each column once.
     pub fn new(table: &'a Table) -> Self {
         let columns = (0..table.width())
             .map(|c| {

@@ -16,6 +16,8 @@
 //! * [frequent-value samples and batching](sampling) (§2.1.1),
 //! * a [whole-table aggregation](profile) with prompt-ready rendering.
 
+#![warn(missing_docs)]
+
 pub mod distribution;
 pub mod entropy;
 pub mod numeric;

@@ -10,9 +10,11 @@ use cocoon_table::Column;
 /// ignored — mid-cleaning columns are often mixed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NumericProfile {
+    /// Summary statistics over the cells that parsed as numbers.
     pub stats: NumericStats,
     /// Tukey 1.5·IQR fences.
     pub fence_low: f64,
+    /// Upper Tukey fence (see `fence_low`).
     pub fence_high: f64,
     /// Count of parsed values outside the fences.
     pub outlier_count: usize,

@@ -17,13 +17,19 @@ use cocoon_table::{infer_column_type, DataType, Table, TypeInference};
 /// Complete statistical profile of one column.
 #[derive(Debug, Clone)]
 pub struct ColumnProfile {
+    /// Column name.
     pub name: String,
     /// Declared type from the table's schema ("the database catalog").
     pub declared_type: DataType,
+    /// What the values actually look like, with a confidence score.
     pub inference: TypeInference,
+    /// Value frequencies and null counts.
     pub distribution: Distribution,
+    /// Distinct/duplicate structure — the key-likeness signal.
     pub uniqueness: UniquenessProfile,
+    /// Numeric summary, when enough cells parse as numbers.
     pub numeric: Option<NumericProfile>,
+    /// Character-pattern census (LD/LDL shapes).
     pub patterns: PatternCensus,
 }
 
@@ -58,9 +64,13 @@ impl ColumnProfile {
 /// Complete statistical profile of a table.
 #[derive(Debug, Clone)]
 pub struct TableProfile {
+    /// Per-column profiles, in schema order.
     pub columns: Vec<ColumnProfile>,
+    /// Exact-duplicate-row census.
     pub duplicates: DuplicateProfile,
+    /// Scored single-attribute functional-dependency candidates.
     pub fd_candidates: Vec<FdCandidate>,
+    /// Table height at profiling time.
     pub rows: usize,
 }
 

@@ -3,14 +3,21 @@
 /// Summary statistics over a set of numeric observations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NumericStats {
+    /// Number of finite observations.
     pub count: usize,
+    /// Smallest observation.
     pub min: f64,
+    /// Largest observation.
     pub max: f64,
+    /// Arithmetic mean.
     pub mean: f64,
     /// Population standard deviation.
     pub std_dev: f64,
+    /// 50th percentile (linear interpolation).
     pub median: f64,
+    /// 25th percentile.
     pub q1: f64,
+    /// 75th percentile.
     pub q3: f64,
 }
 

@@ -9,7 +9,9 @@ use std::collections::HashMap;
 /// Uniqueness profile of one column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UniquenessProfile {
+    /// Number of distinct non-null values.
     pub distinct: usize,
+    /// Number of non-null cells.
     pub non_null: usize,
     /// distinct / non_null in [0, 1]; 1.0 means fully unique (key-like).
     pub unique_ratio: f64,

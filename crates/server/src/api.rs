@@ -305,6 +305,28 @@ fn dispatch_csv<R: std::io::Read>(
             break Err(format!("invalid csv: {e}"));
         }
     };
+    Ok(finish_csv_clean(state, head, parsed))
+}
+
+/// Routes one CSV-ingest request whose body the *event loop* already
+/// streamed through [`CsvStream`] (`parsed` carries the table or the CSV
+/// syntax error). The nonblocking twin of [`route_csv`]: same counting,
+/// same responses, but the parse happened incrementally as bytes arrived,
+/// so the worker only ever runs the clean.
+pub fn route_streamed_csv(
+    state: &AppState,
+    head: &Head,
+    parsed: Result<Table, String>,
+) -> Response {
+    let response = finish_csv_clean(state, head, parsed);
+    state.metrics.count_request();
+    state.metrics.count_status(response.status);
+    response
+}
+
+/// The shared tail of both CSV-ingest paths: counts the endpoint, rejects
+/// parse failures and empty tables, then cleans or submits.
+fn finish_csv_clean(state: &AppState, head: &Head, parsed: Result<Table, String>) -> Response {
     // Endpoint counting waits until the transport has delivered the body:
     // a malformed CSV still counts against the endpoint it was aimed at
     // (like a malformed JSON body), but a framing/transport failure is the
@@ -315,15 +337,15 @@ fn dispatch_csv<R: std::io::Read>(
     }
     let table = match parsed {
         Ok(table) => table,
-        Err(message) => return Ok(Response::error(400, &message)),
+        Err(message) => return Response::error(400, &message),
     };
     if table.height() == 0 {
-        return Ok(Response::error(400, "table has no rows"));
+        return Response::error(400, "table has no rows");
     }
     // CSV ingest carries no envelope, so config and include_rows take
     // their defaults; clients needing overrides use the JSON body.
     let payload = CleanPayload { table, config: CleanerConfig::default(), include_rows: false };
-    Ok(match head.path.as_str() {
+    match head.path.as_str() {
         "/v1/clean" => match state.run_clean(&payload, None) {
             Ok(run) => render_clean(&run, payload.include_rows, wants_csv(head.header("Accept"))),
             Err(e) => Response::error(500, &format!("clean failed: {e}")),
@@ -332,7 +354,7 @@ fn dispatch_csv<R: std::io::Read>(
             Some(id) => job_submitted_response(id),
             None => Response::error(429, "job queue is full; retry after polling existing jobs"),
         },
-    })
+    }
 }
 
 /// Routes one request to its handler and counts it. The returned response
@@ -371,7 +393,7 @@ fn dispatch(state: &AppState, request: &Request) -> Response {
             _ => Response::error(405, "use GET /v1/metrics"),
         },
         _ => match (method, path.strip_prefix("/v1/jobs/")) {
-            ("GET", Some(id)) => handle_poll(state, id),
+            ("GET", Some(id)) => handle_poll(state, id, wants_csv(request.header("Accept"))),
             ("DELETE", Some(id)) => handle_delete(state, id),
             (_, Some(_)) => Response::error(405, "use GET or DELETE /v1/jobs/{id}"),
             _ => Response::error(404, &format!("no route for {path}")),
@@ -405,15 +427,32 @@ fn handle_submit(state: &AppState, request: &Request) -> Response {
     }
 }
 
-fn handle_poll(state: &AppState, id: &str) -> Response {
+fn handle_poll(state: &AppState, id: &str, accept_csv: bool) -> Response {
     state.metrics.count_job_polled();
     let Ok(id) = id.parse::<u64>() else {
         return Response::error(400, &format!("job id must be an integer, got {id:?}"));
     };
     match state.jobs.view(id) {
-        Some(view) => Response::json(200, job_body(&view)),
+        Some(view) => {
+            // `Accept: text/csv` on a *finished* job returns just the
+            // cleaned table, mirroring the synchronous endpoint's content
+            // negotiation; any other status still reports as JSON (there
+            // is no table to render yet — or ever, for a failed run).
+            if accept_csv && view.status == JobStatus::Done {
+                if let Some(table) = result_csv(view.result.as_deref()) {
+                    return Response::csv(200, table);
+                }
+            }
+            Response::json(200, job_body(&view))
+        }
         None => Response::error(404, &format!("no job {id}")),
     }
+}
+
+/// Extracts the cleaned table from a finished job's stored JSON report.
+fn result_csv(result: Option<&str>) -> Option<String> {
+    let json = cocoon_llm::json::parse(result?).ok()?;
+    Some(json.get("cleaned_csv")?.as_str()?.to_string())
 }
 
 fn handle_delete(state: &AppState, id: &str) -> Response {

@@ -284,12 +284,116 @@ impl<R: Read> RequestReader<R> {
     /// serve another request — a handler that abandons a body mid-stream
     /// must close the connection.
     pub fn body<'a>(&'a mut self, head: &Head) -> BodyReader<'a, R> {
+        BodyReader { progress: self.begin_body(head), reader: self }
+    }
+
+    /// Starts tracking the body that `head` frames as an owned
+    /// [`BodyProgress`] value — the resumable form of [`body`](Self::body).
+    /// An event-driven caller stores the progress beside the reader and
+    /// calls [`read_body`](Self::read_body) each time the socket turns
+    /// readable; a [`WouldBlock`](std::io::ErrorKind::WouldBlock) read
+    /// loses nothing, because all framing state lives in the progress
+    /// value and the reader's buffer.
+    pub fn begin_body(&self, head: &Head) -> BodyProgress {
         let state = match head.framing {
             BodyFraming::None | BodyFraming::Length(0) => BodyState::Done,
             BodyFraming::Length(n) => BodyState::Fixed { remaining: n },
             BodyFraming::Chunked => BodyState::ChunkSize,
         };
-        BodyReader { reader: self, state, streamed: 0 }
+        BodyProgress { state, streamed: 0 }
+    }
+
+    /// Delivers some body bytes into `buf`, advancing `progress`; `Ok(0)`
+    /// means the body is complete — or that `buf` was empty, which no-ops
+    /// rather than misreading a zero-length transfer as source EOF.
+    /// Over-cap chunked bodies fail with [`HttpError::PayloadTooLarge`]
+    /// the moment the declared chunk sizes cross the cap.
+    pub fn read_body(
+        &mut self,
+        progress: &mut BodyProgress,
+        buf: &mut [u8],
+    ) -> Result<usize, HttpError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            match progress.state {
+                BodyState::Done => return Ok(0),
+                BodyState::Fixed { remaining } => {
+                    let n = self.read_some(buf, remaining)?;
+                    if n == 0 {
+                        return Err(HttpError::Malformed("unexpected eof in body".into()));
+                    }
+                    let remaining = remaining - n;
+                    progress.state = if remaining == 0 {
+                        BodyState::Done
+                    } else {
+                        BodyState::Fixed { remaining }
+                    };
+                    return Ok(n);
+                }
+                BodyState::ChunkSize => {
+                    let line = self.read_line()?;
+                    let size_text = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(size_text, 16).map_err(|_| {
+                        HttpError::Malformed(format!("bad chunk size {size_text:?}"))
+                    })?;
+                    if progress.streamed + size > self.max_body {
+                        return Err(HttpError::PayloadTooLarge);
+                    }
+                    progress.state = if size == 0 {
+                        BodyState::Trailers
+                    } else {
+                        BodyState::ChunkData { remaining: size }
+                    };
+                }
+                BodyState::ChunkData { remaining } => {
+                    let n = self.read_some(buf, remaining)?;
+                    if n == 0 {
+                        return Err(HttpError::Malformed("unexpected eof in chunked body".into()));
+                    }
+                    progress.streamed += n;
+                    let remaining = remaining - n;
+                    progress.state = if remaining == 0 {
+                        BodyState::ChunkEnd
+                    } else {
+                        BodyState::ChunkData { remaining }
+                    };
+                    return Ok(n);
+                }
+                BodyState::ChunkEnd => {
+                    let sep = self.read_line()?;
+                    if !sep.is_empty() {
+                        return Err(HttpError::Malformed("missing CRLF after chunk".into()));
+                    }
+                    progress.state = BodyState::ChunkSize;
+                }
+                BodyState::Trailers => {
+                    // Consume optional trailers up to the final blank line.
+                    // Each consumed line is gone from the buffer, so a
+                    // WouldBlock mid-section resumes at the next line.
+                    loop {
+                        if self.read_line()?.is_empty() {
+                            break;
+                        }
+                    }
+                    progress.state = BodyState::Done;
+                    return Ok(0);
+                }
+            }
+        }
+    }
+
+    /// The byte source the reader pulls from. The event loop uses this to
+    /// write responses back down the same socket the reader parses, and to
+    /// reach socket-level controls (`set_nonblocking`, `as_raw_fd`).
+    pub fn source_mut(&mut self) -> &mut R {
+        &mut self.source
+    }
+
+    /// Shared access to the byte source (see [`source_mut`](Self::source_mut)).
+    pub fn source_ref(&self) -> &R {
+        &self.source
     }
 
     /// Reads up to `limit` body bytes into `buf`, serving the parse buffer
@@ -331,7 +435,11 @@ impl<R: Read> RequestReader<R> {
     }
 }
 
-/// Where a [`BodyReader`] stands in its body.
+/// Where a body stands between reads. Every variant is a safe suspension
+/// point: a `WouldBlock` from the source leaves the state (and the
+/// reader's buffer) positioned to resume exactly where parsing stopped —
+/// the property the event loop's nonblocking sockets rely on.
+#[derive(Debug, Clone, Copy)]
 enum BodyState {
     /// `Content-Length` framing with this many bytes still to deliver.
     Fixed { remaining: usize },
@@ -339,8 +447,29 @@ enum BodyState {
     ChunkSize,
     /// Chunked framing, inside a chunk's data with this much left.
     ChunkData { remaining: usize },
+    /// Chunked framing, positioned before the CRLF that closes a chunk.
+    ChunkEnd,
+    /// Chunked framing, consuming trailer lines after the zero chunk.
+    Trailers,
     /// The body is fully consumed (terminal).
     Done,
+}
+
+/// Resumable progress through one request's body — the owned counterpart
+/// of [`BodyReader`], advanced by [`RequestReader::read_body`].
+#[derive(Debug, Clone, Copy)]
+pub struct BodyProgress {
+    state: BodyState,
+    /// Chunked-body bytes delivered so far, for the cumulative size cap.
+    streamed: usize,
+}
+
+impl BodyProgress {
+    /// True once the whole body has been delivered — the condition for the
+    /// connection to be reusable.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, BodyState::Done)
+    }
 }
 
 /// Streams one request's body off the connection, chunk-decoding and
@@ -353,9 +482,7 @@ enum BodyState {
 /// would be parsed out of body bytes.
 pub struct BodyReader<'a, R> {
     reader: &'a mut RequestReader<R>,
-    state: BodyState,
-    /// Chunked-body bytes delivered so far, for the cumulative size cap.
-    streamed: usize,
+    progress: BodyProgress,
 }
 
 impl<R: Read> BodyReader<'_, R> {
@@ -365,78 +492,18 @@ impl<R: Read> BodyReader<'_, R> {
     /// bodies fail with [`HttpError::PayloadTooLarge`] the moment the
     /// declared chunk sizes cross the cap.
     pub fn read(&mut self, buf: &mut [u8]) -> Result<usize, HttpError> {
-        if buf.is_empty() {
-            return Ok(0);
-        }
-        loop {
-            match self.state {
-                BodyState::Done => return Ok(0),
-                BodyState::Fixed { remaining } => {
-                    let n = self.reader.read_some(buf, remaining)?;
-                    if n == 0 {
-                        return Err(HttpError::Malformed("unexpected eof in body".into()));
-                    }
-                    let remaining = remaining - n;
-                    self.state = if remaining == 0 {
-                        BodyState::Done
-                    } else {
-                        BodyState::Fixed { remaining }
-                    };
-                    return Ok(n);
-                }
-                BodyState::ChunkSize => {
-                    let line = self.reader.read_line()?;
-                    let size_text = line.split(';').next().unwrap_or("").trim();
-                    let size = usize::from_str_radix(size_text, 16).map_err(|_| {
-                        HttpError::Malformed(format!("bad chunk size {size_text:?}"))
-                    })?;
-                    if self.streamed + size > self.reader.max_body {
-                        return Err(HttpError::PayloadTooLarge);
-                    }
-                    if size == 0 {
-                        // Consume optional trailers up to the final blank
-                        // line.
-                        loop {
-                            if self.reader.read_line()?.is_empty() {
-                                break;
-                            }
-                        }
-                        self.state = BodyState::Done;
-                        return Ok(0);
-                    }
-                    self.state = BodyState::ChunkData { remaining: size };
-                }
-                BodyState::ChunkData { remaining } => {
-                    let n = self.reader.read_some(buf, remaining)?;
-                    if n == 0 {
-                        return Err(HttpError::Malformed("unexpected eof in chunked body".into()));
-                    }
-                    self.streamed += n;
-                    let remaining = remaining - n;
-                    if remaining == 0 {
-                        let sep = self.reader.read_line()?;
-                        if !sep.is_empty() {
-                            return Err(HttpError::Malformed("missing CRLF after chunk".into()));
-                        }
-                        self.state = BodyState::ChunkSize;
-                    } else {
-                        self.state = BodyState::ChunkData { remaining };
-                    }
-                    return Ok(n);
-                }
-            }
-        }
+        self.reader.read_body(&mut self.progress, buf)
     }
 
     /// True once the whole body has been delivered — the condition for the
     /// connection to be reusable.
     pub fn is_complete(&self) -> bool {
-        matches!(self.state, BodyState::Done)
+        self.progress.is_complete()
     }
 
     /// Materialises the rest of the body into `out` (the JSON path).
     pub fn read_to_end_into(&mut self, out: &mut Vec<u8>) -> Result<(), HttpError> {
-        if let BodyState::Fixed { remaining } = self.state {
+        if let BodyState::Fixed { remaining } = self.progress.state {
             out.reserve(remaining);
         }
         let mut chunk = [0u8; 16 * 1024];
@@ -846,6 +913,62 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 204 No Content\r\n"), "{text}");
         assert!(!text.contains("Content-Length"), "{text}");
         assert!(text.ends_with("\r\n\r\n"), "{text}");
+    }
+
+    /// A source that yields one byte per read and interleaves WouldBlock
+    /// errors — the nonblocking-socket torture test for resumable parsing.
+    struct Intermittent {
+        data: Vec<u8>,
+        pos: usize,
+        starve: bool,
+    }
+
+    impl Read for Intermittent {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.starve = !self.starve;
+            if self.starve {
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            let n = 1.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn parsing_resumes_across_would_block_at_every_byte() {
+        // Head, fixed body, and chunked body (incl. chunk separators and
+        // trailers) must all suspend on WouldBlock and resume losslessly —
+        // the contract the event loop's nonblocking sockets depend on.
+        let fixed = b"POST /p HTTP/1.1\r\nContent-Length: 9\r\n\r\nwiki body".as_slice();
+        let chunked = b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                        4\r\nwiki\r\n5\r\n body\r\n0\r\nx-trailer: ok\r\n\r\n"
+            .as_slice();
+        for raw in [fixed, chunked] {
+            let source = Intermittent { data: raw.to_vec(), pos: 0, starve: false };
+            let mut reader = RequestReader::new(source, 1024);
+            let head = loop {
+                match reader.next_head() {
+                    Ok(head) => break head,
+                    Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(other) => panic!("{other}"),
+                }
+            };
+            let mut progress = reader.begin_body(&head);
+            let mut collected = Vec::new();
+            let mut buf = [0u8; 3];
+            loop {
+                match reader.read_body(&mut progress, &mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => collected.extend_from_slice(&buf[..n]),
+                    Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(other) => panic!("{other}"),
+                }
+            }
+            assert!(progress.is_complete());
+            assert_eq!(collected, b"wiki body");
+        }
     }
 
     #[test]

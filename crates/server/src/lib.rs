@@ -10,10 +10,10 @@
 //! |---|---|
 //! | `POST /v1/clean` | Synchronous clean: CSV (`text/csv`) or JSON table in, cleaned table + ops + SQL script out (JSON, or `text/csv` via `Accept`) |
 //! | `POST /v1/jobs` | Submit the same payload asynchronously; returns a job id |
-//! | `GET /v1/jobs/{id}` | Poll: status, stage-by-stage progress, result when done |
+//! | `GET /v1/jobs/{id}` | Poll: status, stage-by-stage progress, result when done (JSON report, or just the cleaned CSV via `Accept: text/csv`) |
 //! | `DELETE /v1/jobs/{id}` | Cancel a queued job / free a finished one |
 //! | `GET /v1/datasets` | The benchmark catalog (paper Table 1 datasets) |
-//! | `GET /v1/metrics` | Request counters, accept-queue state, LLM cache hit/miss/eviction, dispatcher and job-store state |
+//! | `GET /v1/metrics` | Request counters, work-queue and connection state (open/peak/reaped/partial writes), LLM cache hit/miss/eviction, dispatcher and job-store state |
 //!
 //! The full request/response reference lives in `docs/API.md` at the repo
 //! root; `docs/ARCHITECTURE.md` traces a request end to end.
@@ -21,13 +21,18 @@
 //! ## Architecture
 //!
 //! * [`http`] — vendored mini HTTP/1.1 (no crates.io in the build env), in
-//!   the spirit of the `crates/compat` shims: split-read-safe parsing,
-//!   `Content-Length`/chunked bodies readable incrementally
-//!   ([`http::BodyReader`]) or materialised, keep-alive, 413 body caps.
-//! * [`server`] — a dedicated acceptor thread feeding a bounded connection
-//!   queue drained by a fixed handler pool (slow clients pin handlers,
-//!   never the accept path; a full queue answers 503), plus scoped job
-//!   workers, all around one [`server::AppState`].
+//!   the spirit of the `crates/compat` shims: split-read-safe parsing that
+//!   suspends losslessly on `WouldBlock` (heads *and* bodies, fixed or
+//!   chunked), bodies readable incrementally ([`http::BodyReader`]) or
+//!   materialised, keep-alive, 413 body caps.
+//! * [`server`] — a readiness-driven core on a vendored epoll shim
+//!   (`crates/compat/poller`): a few event threads own every socket
+//!   nonblocking and parse incrementally, so 10k+ idle keep-alive
+//!   connections cost no threads and a stalled client costs nothing but
+//!   its parked parser state; only *complete* requests cross a bounded
+//!   work queue to the fixed worker pool (full queue → immediate 503,
+//!   connection cap → refused at accept), plus scoped job workers, all
+//!   around one [`server::AppState`].
 //! * One process-wide model stack
 //!   [`CachedLlm<CoalescingDispatcher<SimLlm>>`](server::SharedLlm):
 //!   repeat prompts replay from the LRU-bounded cache, concurrent
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+mod event;
 pub mod http;
 pub mod jobs;
 pub mod metrics;

@@ -3,7 +3,7 @@
 //! Plain relaxed atomics: a snapshot racing a concurrent request may be one
 //! count stale, never torn. LLM cache and dispatcher figures are read live
 //! from the shared model stack at render time, not mirrored here; likewise
-//! the accept-queue depth is read live from the connection queue.
+//! the work-queue depth is read live from the queue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -21,6 +21,10 @@ pub struct Metrics {
     responses_5xx: AtomicUsize,
     connections_accepted: AtomicUsize,
     connections_rejected: AtomicUsize,
+    connections_open: AtomicUsize,
+    connections_peak: AtomicUsize,
+    idle_reaped: AtomicUsize,
+    partial_writes: AtomicUsize,
 }
 
 /// A point-in-time copy of every counter.
@@ -46,9 +50,20 @@ pub struct MetricsSnapshot {
     pub responses_5xx: usize,
     /// Connections the acceptor handed to the handler pool.
     pub connections_accepted: usize,
-    /// Connections refused with a fast 503 because the accept queue was
-    /// full — the saturation signal.
+    /// Connections refused with a fast 503 because the connection cap was
+    /// reached — the saturation signal.
     pub connections_rejected: usize,
+    /// Connections open right now, across all event threads.
+    pub connections_open: usize,
+    /// High-water mark of [`connections_open`](Self::connections_open)
+    /// since the server started.
+    pub connections_peak: usize,
+    /// Connections the event loops reclaimed for sitting idle past the
+    /// configured timeout — the slow-loris counter.
+    pub idle_reaped: usize,
+    /// Responses that needed more than one write pass because the client's
+    /// receive window filled; completed later via write-readiness.
+    pub partial_writes: usize,
 }
 
 impl Metrics {
@@ -92,14 +107,41 @@ impl Metrics {
         self.metrics_requests.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a connection handed to the handler pool.
+    /// Counts a connection accepted into an event loop.
     pub fn count_connection_accepted(&self) {
         self.connections_accepted.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a connection refused with a fast 503 at the accept queue.
+    /// Counts a connection refused with a fast 503 at the connection cap.
     pub fn count_connection_rejected(&self) {
         self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a connection entering an event loop: bumps the open gauge
+    /// and folds it into the peak.
+    pub fn conn_opened(&self) {
+        let open = self.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.connections_peak.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Registers a connection leaving an event loop.
+    pub fn conn_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections open right now.
+    pub fn open_connections(&self) -> usize {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// Counts a connection reclaimed by the idle sweep.
+    pub fn count_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a response that could not be written in one pass.
+    pub fn count_partial_write(&self) {
+        self.partial_writes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Buckets a response status (4xx/5xx; success statuses count nothing).
@@ -129,6 +171,10 @@ impl Metrics {
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_peak: self.connections_peak.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,6 +201,23 @@ mod tests {
         assert_eq!((s.connections_accepted, s.connections_rejected), (1, 1));
         assert_eq!(s.jobs_deleted, 1);
         assert_eq!((s.responses_4xx, s.responses_5xx), (1, 1));
+    }
+
+    #[test]
+    fn open_gauge_tracks_peak() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_opened();
+        assert_eq!(m.open_connections(), 3);
+        m.conn_closed();
+        m.conn_closed();
+        let s = m.snapshot();
+        assert_eq!((s.connections_open, s.connections_peak), (1, 3));
+        m.count_idle_reaped();
+        m.count_partial_write();
+        let s = m.snapshot();
+        assert_eq!((s.idle_reaped, s.partial_writes), (1, 1));
     }
 
     #[test]

@@ -1,31 +1,34 @@
-//! The listener, worker fan-out, and shared application state.
+//! The serve core: event threads, worker fan-out, and shared application
+//! state.
 //!
-//! `serve()` runs one *acceptor* thread, a fixed pool of *handler* threads
-//! and the job workers as *scoped* threads (the same discipline as the
-//! `compat/threadpool` detection fan-out): the call blocks until
-//! [`ServerHandle::stop`], and every thread is joined before it returns —
-//! no detached threads, no `'static` state beyond the `Arc<AppState>` the
-//! handle shares.
+//! `serve()` runs a small number of *event* threads (the readiness loops
+//! in [`crate::event`] — they own every socket, nonblocking), a fixed pool
+//! of *worker* threads (they run the actual cleans), and the job workers,
+//! all as *scoped* threads: the call blocks until [`ServerHandle::stop`],
+//! and every thread is joined before it returns — no detached threads, no
+//! `'static` state beyond the `Arc<AppState>` the handle shares.
 //!
-//! The accept path is decoupled from request handling: the acceptor only
-//! ever `accept()`s and pushes the connection onto a bounded queue, which
-//! the handler pool drains. A slow or silent client therefore pins at most
-//! one *handler*, never the accept path; when every handler is busy new
-//! connections wait in the queue, and when the queue itself is full they
-//! are refused with an immediate 503 instead of wedging — saturation
-//! degrades loudly and recoverably.
+//! The division of labour is strict: event threads do all socket I/O and
+//! all protocol parsing, incrementally, exactly as far as the bytes at
+//! hand allow; workers only ever see *complete* requests, handed over
+//! through a bounded [`event::WorkQueue`]. A slow, stalled, or hostile
+//! client therefore costs one parked connection struct in an event thread
+//! — never a worker, and never the accept path. When the work queue is
+//! full new requests are refused with an immediate 503, and when the
+//! connection cap is reached new connections are — saturation degrades
+//! loudly and recoverably at two explicit valves.
 
 use crate::api::{self, CleanPayload};
-use crate::http::{RequestReader, Response, DEFAULT_MAX_BODY_BYTES};
+use crate::event::{self, Mail, Shard, Work, WorkKind, WorkQueue};
+use crate::http::DEFAULT_MAX_BODY_BYTES;
 use crate::jobs::JobStore;
 use crate::metrics::Metrics;
 use cocoon_core::{Cleaner, CleaningRun, RunProgress};
 use cocoon_llm::{CachedLlm, ChatModel, CoalescingDispatcher, DispatcherConfig, SimLlm};
-use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Server tunables; `Default` is a sensible local deployment.
@@ -33,16 +36,23 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port (tests).
     pub addr: String,
-    /// Handler threads — the concurrent-request bound.
+    /// Worker threads running cleans — the concurrent-request bound.
     pub workers: usize,
     /// Dedicated workers draining the async job queue.
     pub job_workers: usize,
-    /// Accepted connections allowed to wait for a free handler; beyond
-    /// this the acceptor answers 503 immediately.
-    pub accept_backlog: usize,
-    /// How long a connection may sit without delivering a byte before its
-    /// handler reclaims itself (any byte resets the clock) — the
-    /// slow-loris bound.
+    /// Event threads owning the sockets. One loop comfortably multiplexes
+    /// thousands of connections; raise only when event-loop work (parsing,
+    /// response writing) itself saturates a core.
+    pub event_threads: usize,
+    /// Complete requests allowed to wait for a free worker; beyond this
+    /// the event loop answers 503 immediately.
+    pub request_backlog: usize,
+    /// Open-connection cap across all event threads; beyond it new
+    /// connections are refused with an immediate 503.
+    pub max_conns: usize,
+    /// How long a connection may sit without moving a byte before the
+    /// event loop reclaims it (any byte resets the clock) — the
+    /// slow-loris bound. Requests parked with a worker are exempt.
     pub idle_timeout: Duration,
     /// Request-body cap in bytes (over → 413).
     pub max_body: usize,
@@ -61,7 +71,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: threadpool::default_threads().max(8),
             job_workers: 2,
-            accept_backlog: 64,
+            event_threads: 1,
+            request_backlog: 64,
+            max_conns: 10_000,
             idle_timeout: Duration::from_secs(30),
             max_body: DEFAULT_MAX_BODY_BYTES,
             cache_capacity: Some(16 * 1024),
@@ -72,64 +84,12 @@ impl Default for ServerConfig {
 }
 
 /// The process-wide model stack: one completion cache over one coalescing
-/// dispatcher over the deterministic offline oracle. Every request handler
+/// dispatcher over the deterministic offline oracle. Every request worker
 /// and job worker cleans through this shared stack, which is what makes
 /// cross-request coalescing and cache reuse possible at all.
 pub type SharedLlm = CachedLlm<CoalescingDispatcher<SimLlm>>;
 
-/// The bounded hand-off between the acceptor and the handler pool.
-struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
-    arrival: Condvar,
-    capacity: usize,
-}
-
-impl ConnQueue {
-    fn new(capacity: usize) -> Self {
-        ConnQueue { inner: Mutex::new(VecDeque::new()), arrival: Condvar::new(), capacity }
-    }
-
-    /// Enqueues an accepted connection, or gives it back when the queue is
-    /// full (the acceptor then answers 503).
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut queue = self.inner.lock().expect("conn queue lock");
-        if queue.len() >= self.capacity {
-            return Err(stream);
-        }
-        queue.push_back(stream);
-        drop(queue);
-        self.arrival.notify_one();
-        Ok(())
-    }
-
-    /// Blocks until a connection is available or `give_up` turns true.
-    fn pop(&self, give_up: impl Fn() -> bool) -> Option<TcpStream> {
-        let mut queue = self.inner.lock().expect("conn queue lock");
-        loop {
-            if give_up() {
-                return None;
-            }
-            if let Some(stream) = queue.pop_front() {
-                return Some(stream);
-            }
-            // Timed wait so a `give_up` flip without a notify still ends
-            // the handler promptly.
-            let (guard, _) =
-                self.arrival.wait_timeout(queue, Duration::from_millis(50)).expect("conn queue");
-            queue = guard;
-        }
-    }
-
-    fn depth(&self) -> usize {
-        self.inner.lock().expect("conn queue lock").len()
-    }
-
-    fn wake_all(&self) {
-        self.arrival.notify_all();
-    }
-}
-
-/// State shared by every worker thread.
+/// State shared by every event, worker, and job thread.
 pub struct AppState {
     /// The process-wide model stack.
     pub llm: SharedLlm,
@@ -141,25 +101,43 @@ pub struct AppState {
     pub max_body: usize,
     /// The slow-loris idle bound (see [`ServerConfig::idle_timeout`]).
     pub idle_timeout: Duration,
-    conns: ConnQueue,
+    /// The open-connection cap (see [`ServerConfig::max_conns`]).
+    pub(crate) max_conns: usize,
+    /// The bounded hand-off of complete requests to the worker pool.
+    pub(crate) work: WorkQueue,
+    /// One shard per event thread: poller + waker + mailbox.
+    pub(crate) shards: Vec<Shard>,
+    next_shard: AtomicUsize,
     shutdown: AtomicBool,
 }
 
 impl AppState {
-    /// Builds the shared state for `config`.
+    /// Builds the shared state for `config`, including one poller shard
+    /// per event thread.
+    ///
+    /// # Panics
+    ///
+    /// If the kernel refuses an epoll instance or eventfd — as
+    /// unrecoverable as a poisoned lock, and treated the same way.
     pub fn new(config: &ServerConfig) -> Self {
         let dispatcher = CoalescingDispatcher::new(SimLlm::new(), config.dispatcher);
         let llm = match config.cache_capacity {
             Some(capacity) => CachedLlm::with_capacity(dispatcher, capacity),
             None => CachedLlm::new(dispatcher),
         };
+        let shards = (0..config.event_threads.max(1))
+            .map(|_| Shard::new().expect("create event poller"))
+            .collect();
         AppState {
             llm,
             metrics: Metrics::new(),
             jobs: JobStore::with_ttl(config.job_ttl),
             max_body: config.max_body,
             idle_timeout: config.idle_timeout,
-            conns: ConnQueue::new(config.accept_backlog.max(1)),
+            max_conns: config.max_conns.max(1),
+            work: WorkQueue::new(config.request_backlog.max(1)),
+            shards,
+            next_shard: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -171,6 +149,11 @@ impl AppState {
 
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// The round-robin counter distributing new connections over shards.
+    pub(crate) fn next_shard(&self) -> usize {
+        self.next_shard.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Runs one clean against the shared model stack. Identical logic for
@@ -190,8 +173,9 @@ impl AppState {
         }
     }
 
-    /// The `/v1/metrics` body: request counters, accept-queue state, the
-    /// live LLM cache and dispatcher figures, and job-store state.
+    /// The `/v1/metrics` body: request counters, work-queue and
+    /// connection state, the live LLM cache and dispatcher figures, and
+    /// job-store state.
     pub fn metrics_body(&self) -> String {
         let m = self.metrics.snapshot();
         let d = self.llm.inner().stats();
@@ -202,6 +186,8 @@ impl AppState {
              \"responses_4xx\": {}, \"responses_5xx\": {}}}, \
              \"accept\": {{\"accepted\": {}, \"rejected_busy\": {}, \"queue_depth\": {}, \
              \"queue_capacity\": {}}}, \
+             \"connections\": {{\"open\": {}, \"peak\": {}, \"idle_reaped\": {}, \
+             \"partial_writes\": {}, \"event_threads\": {}}}, \
              \"llm\": {{\"model\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_evictions\": {}, \"cached_responses\": {}, \"cache_capacity\": {}, \
              \"dispatcher\": {{\"coalesced\": {}, \"batches\": {}, \"batched_prompts\": {}, \
@@ -219,8 +205,13 @@ impl AppState {
             m.responses_5xx,
             m.connections_accepted,
             m.connections_rejected,
-            self.conns.depth(),
-            self.conns.capacity,
+            self.work.depth(),
+            self.work.capacity,
+            m.connections_open,
+            m.connections_peak,
+            m.idle_reaped,
+            m.partial_writes,
+            self.shards.len(),
             crate::http::json_escape(self.llm.model_name()),
             self.llm.hits(),
             self.llm.misses(),
@@ -255,10 +246,12 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state. The server is not
-    /// accepting until [`serve`](Self::serve) runs.
+    /// Binds the listener (nonblocking — it lives in shard 0's poller) and
+    /// builds the shared state. The server is not accepting until
+    /// [`serve`](Self::serve) runs.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
             state: Arc::new(AppState::new(&config)),
@@ -284,14 +277,18 @@ impl Server {
     }
 
     /// Accepts and serves until the handle stops the server. Blocks the
-    /// calling thread; the acceptor, handler pool and job workers are
+    /// calling thread; the event threads, worker pool and job workers are
     /// scoped inside.
     pub fn serve(&self) -> io::Result<()> {
         let state = &self.state;
         std::thread::scope(|scope| {
-            scope.spawn(move || accept_loop(state, &self.listener));
+            for shard_index in 0..state.shards.len() {
+                // Shard 0 owns the listener and accepts for everyone.
+                let listener = (shard_index == 0).then_some(&self.listener);
+                scope.spawn(move || event::event_loop(state, shard_index, listener));
+            }
             for _ in 0..self.workers {
-                scope.spawn(move || handler_loop(state));
+                scope.spawn(move || worker_loop(state));
             }
             for _ in 0..self.job_workers {
                 scope.spawn(move || job_loop(state));
@@ -301,9 +298,8 @@ impl Server {
     }
 }
 
-/// Stops a running server: raises the shutdown flag, wakes idle handler
-/// and job workers, and pokes the acceptor awake with a throwaway
-/// connection.
+/// Stops a running server: raises the shutdown flag and wakes every
+/// blocked thread.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
@@ -320,224 +316,34 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Stops the server. Wedge-free by construction: the acceptor is
-    /// unblocked by one throwaway connection, idle handlers and job
-    /// workers wake from their condvars (and re-check the flag on a 50 ms
-    /// timer regardless), busy handlers observe the flag through their
-    /// sockets' read timeouts, and queued-but-unhandled connections are
-    /// simply dropped.
+    /// Stops the server. Wedge-free by construction: each event thread is
+    /// woken through its shard's eventfd and re-checks the flag (its poll
+    /// waits are bounded by the sweep tick regardless), idle workers and
+    /// job workers wake from their condvars (and re-check on a 50 ms timer
+    /// regardless), busy workers finish their current request first, and
+    /// connections still open — parked, mid-parse, or mid-response — are
+    /// simply closed.
     pub fn stop(&self) {
         self.state.request_shutdown();
         self.state.jobs.wake_all();
-        self.state.conns.wake_all();
-        // Unblock the acceptor's accept(); it then observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        self.state.work.wake_all();
+        for shard in &self.state.shards {
+            shard.waker.wake();
+        }
     }
 }
 
-/// The dedicated accept loop: accept, enqueue, repeat. Never parses a
-/// byte, so no client behaviour can stall it.
-fn accept_loop(state: &AppState, listener: &TcpListener) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if state.shutdown_requested() {
-                    return;
-                }
-                // Persistent accept errors (fd exhaustion, ENFILE) must
-                // back off, not hot-spin.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
+/// One worker: pop complete requests off the queue, run them, and post the
+/// response back to the owning shard, until shutdown. Workers never touch
+/// a socket.
+fn worker_loop(state: &AppState) {
+    while let Some(work) = state.work.pop(|| state.shutdown_requested()) {
+        let Work { shard, token, kind, reusable, drain } = work;
+        let response = match kind {
+            WorkKind::Request(request) => api::route(state, &request),
+            WorkKind::CsvClean { head, table } => api::route_streamed_csv(state, &head, table),
         };
-        if state.shutdown_requested() {
-            return;
-        }
-        match state.conns.push(stream) {
-            Ok(()) => state.metrics.count_connection_accepted(),
-            Err(stream) => {
-                // Saturation: every handler busy and the backlog full.
-                // Refuse fast and loudly rather than queuing without bound.
-                state.metrics.count_connection_rejected();
-                state.metrics.count_status(503);
-                refuse_busy(stream);
-            }
-        }
-    }
-}
-
-/// Writes a best-effort 503 to a connection the queue could not take and
-/// closes it. The client's request was never read, so closing immediately
-/// would RST the connection and could destroy the 503 before the client
-/// reads it; one short read clears the typically-already-buffered request
-/// so the close is clean. This runs on the acceptor, so it is bounded by
-/// tight socket timeouts rather than an EOF-observing drain — a burst of
-/// refusals costs milliseconds each, not a read-timeout each. A client
-/// still mid-send may see its 503 lost to an RST; that is the documented
-/// best-effort trade on the saturation path.
-fn refuse_busy(mut stream: TcpStream) {
-    use std::io::Read;
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
-    if Response::error(503, "server is at capacity; retry shortly")
-        .write_to(&mut stream, false)
-        .is_ok()
-    {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
-        let _ = stream.read(&mut [0u8; 16 * 1024]);
-    }
-}
-
-/// One handler: pop connections off the queue and serve each keep-alive
-/// loop to completion, until shutdown.
-fn handler_loop(state: &AppState) {
-    while let Some(stream) = state.conns.pop(|| state.shutdown_requested()) {
-        handle_connection(state, stream);
-    }
-}
-
-/// A read half that surfaces shutdown and idleness instead of blocking
-/// forever: reads run under a short socket timeout, and each expiry
-/// re-checks the shutdown flag and the idle deadline. On either, the
-/// connection turns into a clean EOF so its handler can move on (join on
-/// shutdown, next connection on idle timeout). Slow-but-live clients are
-/// unaffected — any byte resets the idle clock.
-struct ShutdownAwareStream<'a> {
-    stream: TcpStream,
-    state: &'a AppState,
-    last_activity: std::time::Instant,
-}
-
-impl std::io::Read for ShutdownAwareStream<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        loop {
-            match self.stream.read(buf) {
-                Err(e)
-                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-                {
-                    if self.state.shutdown_requested()
-                        || self.last_activity.elapsed() > self.state.idle_timeout
-                    {
-                        return Ok(0);
-                    }
-                }
-                Ok(n) => {
-                    if n > 0 {
-                        self.last_activity = std::time::Instant::now();
-                    }
-                    return Ok(n);
-                }
-                other => return other,
-            }
-        }
-    }
-}
-
-/// Serves one connection's keep-alive request loop to completion. Requests
-/// whose body the handler streams (CSV ingest) keep the connection only if
-/// the body was fully consumed; a mid-body error closes it, because the
-/// unread remainder would otherwise be parsed as the next request.
-fn handle_connection(state: &AppState, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = RequestReader::new(
-        ShutdownAwareStream { stream: read_half, state, last_activity: std::time::Instant::now() },
-        state.max_body,
-    );
-    let mut writer = stream;
-    loop {
-        match serve_one(state, &mut reader) {
-            Ok(Served { response, reusable, abandoned_body }) => {
-                let keep_alive = reusable && !state.shutdown_requested();
-                if response.write_to(&mut writer, keep_alive).is_err() {
-                    return;
-                }
-                if abandoned_body {
-                    // The client is still mid-send (a CSV parse error cut
-                    // the ingest short): drain briefly so closing does not
-                    // RST away the error response before the client reads
-                    // it. Fully-consumed requests skip this — nothing is
-                    // unread, and waiting out the read timeout would add
-                    // its full duration to every `Connection: close`
-                    // exchange.
-                    drain_briefly(&mut writer);
-                }
-                if !keep_alive {
-                    return;
-                }
-            }
-            Err(error) => {
-                // Protocol errors get a status; clean closes and transport
-                // failures end the connection silently.
-                if let Some(status) = error.status() {
-                    state.metrics.count_request();
-                    state.metrics.count_status(status);
-                    let _ =
-                        Response::error(status, &error.to_string()).write_to(&mut writer, false);
-                    // Drain what the client already sent before closing:
-                    // closing with unread data RSTs the connection and can
-                    // destroy the error response before the client reads
-                    // it (the oversized-body 413 case especially).
-                    drain_briefly(&mut writer);
-                }
-                return;
-            }
-        }
-    }
-}
-
-/// One request's outcome: the response plus what the connection may do
-/// next.
-struct Served {
-    response: Response,
-    /// Whether the connection may serve another request (client asked for
-    /// keep-alive *and* the body was fully consumed).
-    reusable: bool,
-    /// True when the handler stopped mid-body (CSV parse error): unread
-    /// request bytes remain on the wire and the close path must drain
-    /// them so the error response survives.
-    abandoned_body: bool,
-}
-
-/// Reads and routes one request. CSV-ingest requests stream their body
-/// straight into the parser; everything else materialises it.
-fn serve_one<R: std::io::Read>(
-    state: &AppState,
-    reader: &mut RequestReader<R>,
-) -> Result<Served, crate::http::HttpError> {
-    let head = reader.next_head()?;
-    if api::is_csv_ingest(&head) {
-        let mut body = reader.body(&head);
-        let response = api::route_csv(state, &head, &mut body)?;
-        // An ingest that stopped mid-body poisons the connection for
-        // further requests — the remainder would parse as a new request.
-        let complete = body.is_complete();
-        Ok(Served { response, reusable: head.keep_alive() && complete, abandoned_body: !complete })
-    } else {
-        let mut body = Vec::new();
-        reader.body(&head).read_to_end_into(&mut body)?;
-        let request = crate::http::Request::from_parts(head, body);
-        let reusable = request.keep_alive();
-        Ok(Served { response: api::route(state, &request), reusable, abandoned_body: false })
-    }
-}
-
-/// Best-effort bounded drain of a socket about to be closed after an error
-/// response. Reads until EOF, a quiet timeout, an error, a size cap, or a
-/// wall-clock deadline — enough to clear buffered request bytes without
-/// letting a hostile client stream (or trickle: the byte cap alone would
-/// let 1-byte-per-read-timeout clients hold the drain for hours) forever.
-fn drain_briefly(stream: &mut TcpStream) {
-    use std::io::Read;
-    let deadline = std::time::Instant::now() + Duration::from_millis(250);
-    let mut scratch = [0u8; 16 * 1024];
-    let mut drained = 0usize;
-    while drained < 1024 * 1024 && std::time::Instant::now() < deadline {
-        match stream.read(&mut scratch) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => drained += n,
-        }
+        state.shards[shard].post(Mail::Done { token, response, reusable, drain });
     }
 }
 
@@ -556,7 +362,7 @@ fn job_loop(state: &AppState) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::Request;
+    use crate::http::{Request, RequestReader};
 
     fn test_state() -> AppState {
         AppState::new(&ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() })
@@ -679,6 +485,12 @@ mod tests {
         let accept = json.get("accept").unwrap();
         assert_eq!(accept.get("queue_depth").unwrap().as_f64(), Some(0.0));
         assert_eq!(accept.get("queue_capacity").unwrap().as_f64(), Some(64.0));
+        let connections = json.get("connections").unwrap();
+        assert_eq!(connections.get("open").unwrap().as_f64(), Some(0.0));
+        assert_eq!(connections.get("peak").unwrap().as_f64(), Some(0.0));
+        assert_eq!(connections.get("idle_reaped").unwrap().as_f64(), Some(0.0));
+        assert_eq!(connections.get("partial_writes").unwrap().as_f64(), Some(0.0));
+        assert_eq!(connections.get("event_threads").unwrap().as_f64(), Some(1.0));
         let jobs = json.get("jobs").unwrap();
         assert!(jobs.get("queue_depth").is_some());
         assert_eq!(jobs.get("expired").unwrap().as_f64(), Some(0.0));
@@ -713,8 +525,8 @@ mod tests {
     }
 
     #[test]
-    fn conn_queue_bounds_and_wakes() {
-        let queue = ConnQueue::new(1);
+    fn work_queue_bounds_and_wakes() {
+        let queue = WorkQueue::new(1);
         assert_eq!(queue.depth(), 0);
         // give_up pops nothing and returns promptly.
         assert!(queue.pop(|| true).is_none());

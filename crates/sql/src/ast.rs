@@ -11,26 +11,42 @@ use cocoon_table::{DataType, Value};
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
+    /// Logical `NOT`.
     Not,
+    /// Arithmetic negation.
     Neg,
+    /// `IS NULL` postfix test.
     IsNull,
+    /// `IS NOT NULL` postfix test.
     IsNotNull,
 }
 
 /// Binary operators, in SQL spelling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
+    /// `=`
     Eq,
+    /// `<>`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/`
     Div,
+    /// `AND`
     And,
+    /// `OR`
     Or,
 }
 
@@ -61,13 +77,20 @@ pub enum Expr {
     Column(String),
     /// Literal value.
     Literal(Value),
+    /// Unary operator application (prefix `NOT`/`-`, postfix null tests).
     Unary {
+        /// The operator.
         op: UnaryOp,
+        /// The operand.
         expr: Box<Expr>,
     },
+    /// Binary operator application.
     Binary {
+        /// The operator.
         op: BinaryOp,
+        /// Left operand.
         left: Box<Expr>,
+        /// Right operand.
         right: Box<Expr>,
     },
     /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
@@ -75,71 +98,93 @@ pub enum Expr {
     /// With an operand this is the "simple" form (`CASE col WHEN 'a' THEN
     /// 'b' …`), otherwise the "searched" form (`CASE WHEN cond THEN …`).
     Case {
+        /// Simple-form scrutinee; `None` selects the searched form.
         operand: Option<Box<Expr>>,
+        /// `WHEN … THEN …` pairs, tried in order.
         arms: Vec<(Expr, Expr)>,
+        /// `ELSE` result; omitting it yields NULL when no arm matches.
         otherwise: Option<Box<Expr>>,
     },
     /// `CAST(expr AS type)`; `lenient` renders as `TRY_CAST` and yields NULL
     /// instead of erroring on bad input.
     Cast {
+        /// Value being converted.
         expr: Box<Expr>,
+        /// Target type.
         ty: DataType,
+        /// `true` renders as `TRY_CAST`: bad input becomes NULL, not an error.
         lenient: bool,
     },
     /// Scalar function call (uppercase canonical name).
     Func {
+        /// Canonical (uppercase) function name.
         name: String,
+        /// Positional arguments.
         args: Vec<Expr>,
     },
     /// `expr [NOT] IN (v1, v2, …)`.
     InList {
+        /// Value being tested for membership.
         expr: Box<Expr>,
+        /// Candidate values.
         list: Vec<Expr>,
+        /// `true` spells `NOT IN`.
         negated: bool,
     },
 }
 
 impl Expr {
+    /// Column reference.
     pub fn col(name: impl Into<String>) -> Expr {
         Expr::Column(name.into())
     }
 
+    /// Literal value.
     pub fn lit(value: impl Into<Value>) -> Expr {
         Expr::Literal(value.into())
     }
 
+    /// The NULL literal.
     pub fn null() -> Expr {
         Expr::Literal(Value::Null)
     }
 
+    /// `left op right`.
     pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
         Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
     }
 
+    /// `left = right`.
     pub fn eq(left: Expr, right: Expr) -> Expr {
         Expr::binary(BinaryOp::Eq, left, right)
     }
 
+    /// `left AND right`.
     pub fn and(left: Expr, right: Expr) -> Expr {
         Expr::binary(BinaryOp::And, left, right)
     }
 
+    /// `left OR right`.
     pub fn or(left: Expr, right: Expr) -> Expr {
         Expr::binary(BinaryOp::Or, left, right)
     }
 
+    /// `expr IS NULL`.
     pub fn is_null(expr: Expr) -> Expr {
         Expr::Unary { op: UnaryOp::IsNull, expr: Box::new(expr) }
     }
 
+    /// Function call; the name is canonicalised to uppercase.
     pub fn func(name: &str, args: Vec<Expr>) -> Expr {
         Expr::Func { name: name.to_ascii_uppercase(), args }
     }
 
+    /// `CAST(expr AS ty)` — errors on unconvertible input.
     pub fn cast(expr: Expr, ty: DataType) -> Expr {
         Expr::Cast { expr: Box::new(expr), ty, lenient: false }
     }
 
+    /// `TRY_CAST(expr AS ty)` — NULL on unconvertible input.
     pub fn try_cast(expr: Expr, ty: DataType) -> Expr {
         Expr::Cast { expr: Box::new(expr), ty, lenient: true }
     }
@@ -209,7 +254,9 @@ impl Expr {
 /// Sort direction for window ordering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SortOrder {
+    /// Ascending (`ASC`).
     Asc,
+    /// Descending (`DESC`).
     Desc,
 }
 
@@ -217,7 +264,9 @@ pub enum SortOrder {
 /// dedup window of §2.1.8.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RowNumberFilter {
+    /// Duplicate-group key: rows agreeing on these expressions compete.
     pub partition_by: Vec<Expr>,
+    /// Ranking within each partition — the first `keep` rows survive.
     pub order_by: Vec<(Expr, SortOrder)>,
     /// Rows kept per partition (1 = keep best row only).
     pub keep: usize,
@@ -229,10 +278,16 @@ pub enum Projection {
     /// `*` — every input column unchanged.
     Star,
     /// An expression with an optional alias.
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name; defaults to the rendered expression.
+        alias: Option<String>,
+    },
 }
 
 impl Projection {
+    /// `expr AS alias`.
     pub fn aliased(expr: Expr, alias: impl Into<String>) -> Projection {
         Projection::Expr { expr, alias: Some(alias.into()) }
     }
@@ -241,11 +296,15 @@ impl Projection {
 /// A single-table `SELECT` statement (the only statement Cocoon emits).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Select {
+    /// `SELECT DISTINCT` — the paper's table-level dedup step.
     pub distinct: bool,
+    /// Output columns, in order.
     pub projections: Vec<Projection>,
     /// Source table name (documentation only; the executor binds a table).
     pub from: String,
+    /// Row filter (`WHERE`).
     pub where_clause: Option<Expr>,
+    /// Post-window filter (`QUALIFY`), used for keyed dedup.
     pub qualify: Option<RowNumberFilter>,
     /// Human-readable reasoning rendered as a leading SQL comment
     /// (the paper's Figure 5 "well-commented SQL queries").
@@ -265,6 +324,7 @@ impl Select {
         }
     }
 
+    /// Attaches the human-readable reasoning comment.
     pub fn with_comment(mut self, comment: impl Into<String>) -> Select {
         self.comment = Some(comment.into());
         self

@@ -11,15 +11,32 @@ pub enum SqlError {
     /// Unknown scalar function.
     UnknownFunction(String),
     /// Function called with the wrong number of arguments.
-    Arity { function: String, expected: String, actual: usize },
+    Arity {
+        /// Function name.
+        function: String,
+        /// Expected argument count, as prose (e.g. "1" or "2 or 3").
+        expected: String,
+        /// Argument count actually supplied.
+        actual: usize,
+    },
     /// A value had the wrong type for an operation.
-    Type { context: String, value: String },
+    Type {
+        /// Operation that rejected the value.
+        context: String,
+        /// Rendering of the offending value.
+        value: String,
+    },
     /// An invalid regular expression reached the engine.
     Pattern(String),
     /// Division by zero.
     DivisionByZero,
     /// SQL text failed to parse.
-    Parse { position: usize, message: String },
+    Parse {
+        /// Char offset of the failure in the SQL text.
+        position: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
     /// Underlying table error.
     Table(TableError),
 }

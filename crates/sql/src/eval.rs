@@ -17,6 +17,7 @@ pub struct RowContext<'a> {
 }
 
 impl<'a> RowContext<'a> {
+    /// Binds evaluation to `row` of `table`.
     pub fn new(table: &'a Table, row: usize) -> Self {
         RowContext { table, row }
     }
@@ -252,6 +253,7 @@ pub enum Selection<'a> {
 
 impl Selection<'_> {
     /// Number of selected rows.
+    /// Number of selected rows.
     pub fn len(&self) -> usize {
         match self {
             Selection::All(n) => *n,
@@ -259,6 +261,7 @@ impl Selection<'_> {
         }
     }
 
+    /// True when no rows are selected.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

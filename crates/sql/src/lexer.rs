@@ -13,31 +13,47 @@ pub enum Token {
     String(String),
     /// Numeric literal (lexed as text; parser decides int vs float).
     Number(String),
+    /// Punctuation or operator.
     Symbol(Symbol),
 }
 
 /// Punctuation and operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Symbol {
+    /// `(`
     LParen,
+    /// `)`
     RParen,
+    /// `,`
     Comma,
+    /// `=`
     Eq,
+    /// `<>` or `!=`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// `+`
     Plus,
+    /// `-`
     Minus,
+    /// `*`
     Star,
+    /// `/`
     Slash,
 }
 
 /// A token with its source position (char offset).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
+    /// The token itself.
     pub token: Token,
+    /// Char offset of the token's first character in the input.
     pub position: usize,
 }
 

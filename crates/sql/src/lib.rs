@@ -21,6 +21,8 @@
 //! [`exec`]/[`eval`] run them against [`cocoon_table::Table`]s with SQL
 //! NULL/three-valued-logic semantics.
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod error;
 pub mod eval;

@@ -15,6 +15,7 @@ pub struct Column {
 }
 
 impl Column {
+    /// Wraps a cell vector as a column.
     pub fn new(values: Vec<Value>) -> Self {
         Column { values }
     }
@@ -24,14 +25,17 @@ impl Column {
         Column { values: items.into_iter().map(|s| Value::Text(s.into())).collect() }
     }
 
+    /// Number of cells.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// True for the zero-row column.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
+    /// The cells, in row order.
     pub fn values(&self) -> &[Value] {
         &self.values
     }
@@ -42,16 +46,19 @@ impl Column {
         self.values
     }
 
+    /// Mutable view of the cells, for in-place rewrites.
     pub fn values_mut(&mut self) -> &mut [Value] {
         &mut self.values
     }
 
+    /// The cell at `row`.
     pub fn get(&self, row: usize) -> Result<&Value> {
         self.values
             .get(row)
             .ok_or(TableError::RowIndexOutOfBounds { index: row, height: self.values.len() })
     }
 
+    /// Overwrites the cell at `row`.
     pub fn set(&mut self, row: usize, value: Value) -> Result<()> {
         let height = self.values.len();
         let slot = self
@@ -62,6 +69,7 @@ impl Column {
         Ok(())
     }
 
+    /// Appends a cell.
     pub fn push(&mut self, value: Value) {
         self.values.push(value);
     }

@@ -49,14 +49,17 @@ impl Date {
         Some(Date { year, month, day })
     }
 
+    /// Calendar year (may be negative for BCE, though cleaning never is).
     pub fn year(&self) -> i32 {
         self.year
     }
 
+    /// Month, 1–12.
     pub fn month(&self) -> u8 {
         self.month
     }
 
+    /// Day of month, 1-based.
     pub fn day(&self) -> u8 {
         self.day
     }
@@ -149,10 +152,12 @@ impl TimeOfDay {
         Some(TimeOfDay { minutes_since_midnight: u16::from(hour) * 60 + u16::from(minute) })
     }
 
+    /// Hour, 0–23.
     pub fn hour(&self) -> u8 {
         (self.minutes_since_midnight / 60) as u8
     }
 
+    /// Minute, 0–59.
     pub fn minute(&self) -> u8 {
         (self.minutes_since_midnight % 60) as u8
     }

@@ -8,19 +8,49 @@ pub enum TableError {
     /// A column name was not found in the schema.
     UnknownColumn(String),
     /// A column index was out of bounds.
-    ColumnIndexOutOfBounds { index: usize, width: usize },
+    ColumnIndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// Number of columns in the table.
+        width: usize,
+    },
     /// A row index was out of bounds.
-    RowIndexOutOfBounds { index: usize, height: usize },
+    RowIndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// Number of rows in the table.
+        height: usize,
+    },
     /// Two columns (or a column and the schema) disagree on length.
-    LengthMismatch { expected: usize, actual: usize },
+    LengthMismatch {
+        /// Length required for consistency.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
     /// A value could not be converted to the requested type.
-    TypeMismatch { expected: &'static str, actual: String },
+    TypeMismatch {
+        /// Name of the requested type.
+        expected: &'static str,
+        /// Rendering of the incompatible value.
+        actual: String,
+    },
     /// A duplicate column name was supplied where names must be unique.
     DuplicateColumn(String),
     /// Malformed CSV input.
-    Csv { line: usize, message: String },
+    Csv {
+        /// 1-based source line of the malformed record.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
     /// A textual value failed to parse as the requested type.
-    Parse { value: String, target: &'static str },
+    Parse {
+        /// The unparseable text.
+        value: String,
+        /// Name of the type it was parsed as.
+        target: &'static str,
+    },
     /// An I/O failure while reading or writing data.
     Io(String),
 }

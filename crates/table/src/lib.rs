@@ -16,6 +16,8 @@
 //! Everything else in the workspace (profiler, SQL executor, cleaning
 //! pipeline, baselines, benchmarks) is built on these types.
 
+#![warn(missing_docs)]
+
 pub mod column;
 pub mod csv;
 pub mod date;

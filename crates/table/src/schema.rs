@@ -13,6 +13,7 @@ pub struct Field {
 }
 
 impl Field {
+    /// A field named `name` of type `data_type`.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
         Field { name: name.into(), data_type }
     }
@@ -22,10 +23,12 @@ impl Field {
         Field::new(name, DataType::Text)
     }
 
+    /// Column name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Declared type.
     pub fn data_type(&self) -> DataType {
         self.data_type
     }
@@ -66,14 +69,17 @@ impl Schema {
         Schema::new(names.iter().map(|n| Field::text(n.as_ref())).collect())
     }
 
+    /// The fields, in column order.
     pub fn fields(&self) -> &[Field] {
         &self.fields
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.fields.len()
     }
 
+    /// True for the zero-column schema.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }
@@ -83,16 +89,19 @@ impl Schema {
         self.index.get(name).copied().ok_or_else(|| TableError::UnknownColumn(name.to_string()))
     }
 
+    /// True when a column named `name` exists.
     pub fn contains(&self, name: &str) -> bool {
         self.index.contains_key(name)
     }
 
+    /// The field at `index`.
     pub fn field(&self, index: usize) -> Result<&Field> {
         self.fields
             .get(index)
             .ok_or(TableError::ColumnIndexOutOfBounds { index, width: self.fields.len() })
     }
 
+    /// The field named `name`.
     pub fn field_by_name(&self, name: &str) -> Result<&Field> {
         self.field(self.index_of(name)?)
     }

@@ -79,6 +79,7 @@ impl Table {
         Table::new(schema, columns)
     }
 
+    /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -93,6 +94,7 @@ impl Table {
         self.columns.first().map_or(0, |c| c.len())
     }
 
+    /// The column at `index`.
     pub fn column(&self, index: usize) -> Result<&Column> {
         self.columns
             .get(index)
@@ -119,10 +121,12 @@ impl Table {
             .ok_or(TableError::ColumnIndexOutOfBounds { index, width })
     }
 
+    /// The column named `name`.
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
         self.column(self.schema.index_of(name)?)
     }
 
+    /// Mutable access to the column named `name`; copy-on-write if shared.
     pub fn column_by_name_mut(&mut self, name: &str) -> Result<&mut Column> {
         let idx = self.schema.index_of(name)?;
         self.column_mut(idx)

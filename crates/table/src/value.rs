@@ -73,11 +73,17 @@ impl fmt::Display for DataType {
 pub enum Value {
     /// SQL NULL (also the target of disguised-missing-value cleaning).
     Null,
+    /// Boolean.
     Bool(bool),
+    /// 64-bit signed integer.
     Int(i64),
+    /// 64-bit IEEE float.
     Float(f64),
+    /// Calendar date.
     Date(Date),
+    /// Time of day.
     Time(TimeOfDay),
+    /// UTF-8 text.
     Text(String),
 }
 
@@ -95,6 +101,7 @@ impl Value {
         }
     }
 
+    /// True for SQL NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -116,6 +123,7 @@ impl Value {
         }
     }
 
+    /// Borrows the integer payload; floats do NOT narrow.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
@@ -123,6 +131,7 @@ impl Value {
         }
     }
 
+    /// Borrows the boolean payload.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -130,6 +139,7 @@ impl Value {
         }
     }
 
+    /// Copies out the date payload.
     pub fn as_date(&self) -> Option<Date> {
         match self {
             Value::Date(d) => Some(*d),
@@ -137,6 +147,7 @@ impl Value {
         }
     }
 
+    /// Copies out the time payload.
     pub fn as_time(&self) -> Option<TimeOfDay> {
         match self {
             Value::Time(t) => Some(*t),

@@ -19,13 +19,18 @@ USAGE: cocoon-serve [FLAGS]
 
 FLAGS:
   --addr HOST:PORT        bind address        (default 127.0.0.1:7878; port 0 = ephemeral)
-  --workers N             request handlers    (default max(8, cores); bounds concurrent requests)
+  --workers N             request workers     (default max(8, cores); bounds concurrent cleans)
   --job-workers N         async job workers   (default 2)
-  --accept-backlog N      accepted connections allowed to wait for a free
-                          handler; beyond this new connections get an
-                          immediate 503 (default 64)
+  --event-threads N       readiness loops owning the sockets (default 1;
+                          one loop multiplexes thousands of connections)
+  --max-conns N           open-connection cap across all event threads;
+                          beyond it new connections get an immediate 503
+                          (default 10000)
+  --request-backlog N     complete requests allowed to wait for a free
+                          worker; beyond this requests get an immediate
+                          503 (default 64; --accept-backlog is an alias)
   --idle-timeout-secs S   silent-connection reclaim time — the slow-loris
-                          bound (default 30)
+                          bound; any byte resets the clock (default 30)
   --max-body BYTES        request body cap    (default 8388608; over => 413)
   --cache-capacity N      LRU bound on the shared completion cache
                           (default 16384; 0 = unbounded)
@@ -56,8 +61,23 @@ fn parse_flags() -> ServerConfig {
             "--job-workers" => {
                 config.job_workers = parse_num(&value("--job-workers"), "--job-workers")
             }
-            "--accept-backlog" => {
-                config.accept_backlog = parse_num(&value("--accept-backlog"), "--accept-backlog")
+            "--event-threads" => {
+                config.event_threads =
+                    match parse_num::<usize>(&value("--event-threads"), "--event-threads") {
+                        0 => fail("--event-threads must be positive"),
+                        n => n,
+                    }
+            }
+            "--max-conns" => {
+                config.max_conns = match parse_num::<usize>(&value("--max-conns"), "--max-conns") {
+                    0 => fail("--max-conns must be positive"),
+                    n => n,
+                }
+            }
+            // --accept-backlog survives as an alias from the pre-event-loop
+            // server, where the same valve sat at the accept queue.
+            "--request-backlog" | "--accept-backlog" => {
+                config.request_backlog = parse_num(&value("--request-backlog"), "--request-backlog")
             }
             "--idle-timeout-secs" => {
                 // Unlike the sibling 0-means-off flags, a zero idle bound

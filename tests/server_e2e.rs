@@ -72,6 +72,33 @@ fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
     (status, cocoon_llm::json::parse(&body).unwrap_or_else(|e| panic!("{path}: {e}: {body}")))
 }
 
+/// Reads one `Content-Length`-framed response off a keep-alive connection.
+/// Returns (status, body).
+fn read_framed_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("head byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("utf-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {head:?}"));
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("content-length")
+        .trim()
+        .parse()
+        .expect("length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
 /// Runs `test` against a freshly bound server, stopping it afterwards —
 /// including when `test` panics: without the catch, the scope would wait
 /// forever on the still-serving worker threads and a failing assertion
@@ -375,29 +402,69 @@ fn malformed_csv_ingest_is_a_client_error() {
 }
 
 #[test]
-fn stalled_client_does_not_block_accepts() {
-    // One handler, a one-deep accept queue, and a short slow-loris bound.
-    // A silent client pins the only handler; the accept path must keep
-    // accepting: the next client queues (and is eventually served once the
-    // idle reclaim frees the handler), and the one after that — with the
-    // queue full — gets an immediate 503 instead of a hang.
+fn stalled_client_costs_no_worker_and_overload_is_refused() {
+    // One worker, a one-deep request queue, a short slow-loris bound, and
+    // a throttled model. In the readiness core a silent client is parked
+    // parser state inside the event loop, never a pinned worker: with the
+    // staller sitting mid-request-line, the lone worker must still serve
+    // live traffic immediately. Overload bites at the *work queue*: with
+    // the worker busy on a slow clean and one complete request already
+    // queued, the next complete request gets an immediate 503. The staller
+    // itself is reclaimed by the idle sweep.
     let mut config = test_config();
     config.workers = 1;
-    config.accept_backlog = 1;
-    config.idle_timeout = Duration::from_millis(400);
+    config.request_backlog = 1;
+    config.idle_timeout = Duration::from_millis(600);
+    // Burst 1 makes every prompt after the first wait ~500ms, so the
+    // worker is demonstrably busy for the whole overload sequence.
+    config.dispatcher.rate_limit = Some(RateLimit::new(2.0, 1.0));
     with_server(config, |handle| {
         let addr = handle.addr();
-        // The staller: sends half a request line, then goes silent,
-        // pinning the handler until the idle reclaim.
+        let state = handle.state();
+        // The staller: half a request line, then silence.
         let mut staller = TcpStream::connect(addr).expect("staller connects");
         staller.write_all(b"GET /v1/metr").expect("partial request");
-        std::thread::sleep(Duration::from_millis(150)); // handler owns it now
+        std::thread::sleep(Duration::from_millis(100));
 
-        // The queued client: accepted immediately, served after reclaim.
-        let queued = std::thread::spawn(move || http(addr, "GET", "/v1/metrics", None));
-        std::thread::sleep(Duration::from_millis(100)); // it sits in the queue
+        // The lone worker is free despite the staller: a live request is
+        // served promptly, not after the idle reclaim.
+        let start = Instant::now();
+        let (status, _) = http(addr, "GET", "/v1/metrics", None);
+        assert_eq!(status, 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "a stalled connection must not occupy the worker: {:?}",
+            start.elapsed()
+        );
 
-        // The overflow client: queue full → fast 503.
+        // Occupy the worker with a slow clean, and the queue with another.
+        // Distinct tables so neither is a cache replay.
+        let busy = std::thread::spawn(move || {
+            http(addr, "POST", "/v1/clean", Some(&clean_body(&messy_csv())))
+        });
+        let spin_until = |what: &str, done: &dyn Fn() -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !done() {
+                assert!(Instant::now() < deadline, "timed out waiting: {what}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        let requests_before = state.metrics.snapshot().requests_total;
+        spin_until("worker picks up the slow clean", &|| {
+            state.metrics.snapshot().requests_total > requests_before
+        });
+        let queued_csv = messy_csv().replace("7.5", "6.5");
+        let queued = std::thread::spawn(move || {
+            http(addr, "POST", "/v1/clean", Some(&clean_body(&queued_csv)))
+        });
+        let queue_depth = || {
+            let body = state.metrics_body();
+            let json = cocoon_llm::json::parse(&body).expect("metrics body");
+            json.get("accept").unwrap().get("queue_depth").unwrap().as_f64().unwrap()
+        };
+        spin_until("second clean queues", &|| queue_depth() >= 1.0);
+
+        // The overflow client: worker busy + queue full → fast 503.
         let start = Instant::now();
         let (status, body) = http(addr, "GET", "/v1/metrics", None);
         assert_eq!(status, 503, "{body}");
@@ -407,17 +474,24 @@ fn stalled_client_does_not_block_accepts() {
             start.elapsed()
         );
 
-        // The queued client is served once the staller is reclaimed.
-        let (status, body) = queued.join().expect("queued client");
-        assert_eq!(status, 200, "queued client eventually served: {body}");
+        // Both cleans complete once the worker gets to them.
+        assert_eq!(busy.join().expect("busy client").0, 200);
+        assert_eq!(queued.join().expect("queued client").0, 200);
 
-        drop(staller);
+        // The staller is reclaimed by the idle sweep: its connection just
+        // closes (EOF), with no worker ever having touched it.
+        staller.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut sink = Vec::new();
+        staller.read_to_end(&mut sink).expect("staller sees EOF, not a hang");
+
         // Metrics saw the whole story.
         let (_, metrics) = get_json(addr, "/v1/metrics");
         let accept = metrics.get("accept").expect("accept section");
-        assert!(accept.get("accepted").and_then(Json::as_f64).unwrap() >= 2.0);
+        assert!(accept.get("accepted").and_then(Json::as_f64).unwrap() >= 4.0);
         assert!(accept.get("rejected_busy").and_then(Json::as_f64).unwrap() >= 1.0);
         assert_eq!(accept.get("queue_capacity").and_then(Json::as_f64), Some(1.0));
+        let connections = metrics.get("connections").expect("connections section");
+        assert!(connections.get("idle_reaped").and_then(Json::as_f64).unwrap() >= 1.0);
     });
 }
 
@@ -529,6 +603,304 @@ fn stop_returns_even_with_an_idle_keep_alive_connection_open() {
         handle.stop();
         serving.join().expect("serve thread").expect("serve result");
         drop(stream);
+    });
+}
+
+#[test]
+fn job_results_negotiate_csv_like_the_sync_path() {
+    // `Accept: text/csv` on a finished job's poll returns just the cleaned
+    // table — byte-identical to what the synchronous endpoint negotiates
+    // for the same input.
+    let body = clean_body(&messy_csv());
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        let (status, sync_csv) =
+            http_with_headers(addr, "POST", "/v1/clean", &[("Accept", "text/csv")], Some(&body));
+        assert_eq!(status, 200, "{sync_csv}");
+
+        let (status, submitted) = http(addr, "POST", "/v1/jobs", Some(&body));
+        assert_eq!(status, 202, "{submitted}");
+        let poll_path = cocoon_llm::json::parse(&submitted)
+            .expect("submit json")
+            .get("poll")
+            .and_then(Json::as_str)
+            .expect("poll path")
+            .to_string();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (status, view) = get_json(addr, &poll_path);
+            assert_eq!(status, 200);
+            if view.get("status").and_then(Json::as_str) == Some("done") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job did not finish: {view}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let (status, csv_out) =
+            http_with_headers(addr, "GET", &poll_path, &[("Accept", "text/csv")], None);
+        assert_eq!(status, 200, "{csv_out}");
+        assert_eq!(csv_out, sync_csv, "job CSV == sync CSV for the same table");
+        // Without the Accept header the poll still reports the JSON view.
+        let (_, view) = get_json(addr, &poll_path);
+        assert_eq!(view.get("status").and_then(Json::as_str), Some("done"));
+    });
+}
+
+#[test]
+fn pipelined_requests_are_served_in_order() {
+    // Two requests in one write. The second arrives in the same read as
+    // the first — after responding, the event loop must re-parse its own
+    // buffered leftovers rather than wait for readiness that will never
+    // fire (the kernel has no unread bytes to report).
+    with_server(test_config(), |handle| {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(
+                b"GET /v1/metrics HTTP/1.1\r\nHost: cocoon\r\n\r\n\
+                  GET /v1/datasets HTTP/1.1\r\nHost: cocoon\r\n\r\n",
+            )
+            .expect("pipelined pair");
+        let (status, first) = read_framed_response(&mut stream);
+        assert_eq!(status, 200, "{first}");
+        let first = cocoon_llm::json::parse(&first).expect("metrics json");
+        assert!(first.get("requests").is_some());
+        let (status, second) = read_framed_response(&mut stream);
+        assert_eq!(status, 200, "{second}");
+        let second = cocoon_llm::json::parse(&second).expect("datasets json");
+        assert!(second.get("datasets").is_some());
+    });
+}
+
+#[test]
+fn mid_body_stall_parks_in_the_event_loop() {
+    // A client that stalls halfway through a streaming CSV body is parked
+    // parser state in the event loop — the lone worker serves live traffic
+    // meanwhile — and on resume the parse picks up exactly where the bytes
+    // stopped.
+    let mut config = test_config();
+    config.workers = 1;
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let csv_text = messy_csv();
+        let split_at = csv_text.len() / 2;
+        let mut staller = TcpStream::connect(addr).expect("connect");
+        staller
+            .write_all(
+                format!(
+                    "POST /v1/clean HTTP/1.1\r\nHost: cocoon\r\nConnection: close\r\n\
+                     Content-Type: text/csv\r\nAccept: text/csv\r\n\
+                     Content-Length: {}\r\n\r\n",
+                    csv_text.len()
+                )
+                .as_bytes(),
+            )
+            .expect("head");
+        staller.write_all(&csv_text.as_bytes()[..split_at]).expect("half the body");
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The worker is free while the body stalls.
+        let start = Instant::now();
+        let (status, _) = http(addr, "GET", "/v1/metrics", None);
+        assert_eq!(status, 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "a mid-body stall must not occupy the worker: {:?}",
+            start.elapsed()
+        );
+
+        // Resume: the clean completes as if the body had arrived in one piece.
+        staller.write_all(&csv_text.as_bytes()[split_at..]).expect("rest of the body");
+        let (status, body) = read_response(&mut staller);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.starts_with("record_id,"), "cleaned CSV came back: {body:.40}");
+    });
+}
+
+#[test]
+fn large_response_completes_via_write_readiness() {
+    // A response bigger than the socket buffers against a slow reader: the
+    // event loop writes what fits, parks the rest in the connection's
+    // outbound buffer, and finishes on write-readiness — no worker blocked
+    // on the send, which `partial_writes` makes observable. Loopback
+    // absorbs ~4MB against a stalled reader (send buffer auto-tuning), so
+    // the response is sized ~3× that: wide cells with few distinct values
+    // keep the clean cheap, and unique ids keep the deduplication stage
+    // from collapsing the table.
+    let wide: Vec<String> = ["alpha", "beta", "gamma"].iter().map(|word| word.repeat(60)).collect();
+    let mut rows = String::from("id,code\n");
+    for i in 0..20_000 {
+        rows.push_str(&format!("{i},{}\n", wide[i % 3]));
+    }
+    let body = format!("{{\"csv\": {}, \"include_rows\": true}}", cocoon_llm::json::escape(&rows));
+    let mut config = test_config();
+    config.max_body = 64 * 1024 * 1024;
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let state = handle.state();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/clean HTTP/1.1\r\nHost: cocoon\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send request");
+        // Do not read yet: the server must hit WouldBlock mid-response.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while state.metrics.snapshot().partial_writes == 0 {
+            assert!(Instant::now() < deadline, "no partial write observed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Now drain: the buffered remainder arrives via write-readiness.
+        let (status, response) = read_framed_response(&mut stream);
+        assert_eq!(status, 200);
+        let json = cocoon_llm::json::parse(&response).expect("response json");
+        assert_eq!(
+            json.get("cleaned_rows").and_then(Json::as_array).map(<[Json]>::len),
+            Some(20_000),
+            "the full body arrived intact"
+        );
+        assert!(state.metrics.snapshot().partial_writes >= 1);
+    });
+}
+
+/// `Threads:` from `/proc/self/status` — the whole-process thread count.
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("proc status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// How many keep-alive connections the herd opens.
+const HERD_SIZE: usize = 10_050;
+
+/// Not a test of its own — the client half of
+/// [`ten_thousand_idle_connections_served_alongside_live_traffic`], run in
+/// a *child process* so each side of the 10k connection pairs gets its own
+/// file-descriptor budget (this container hard-caps RLIMIT_NOFILE at
+/// 20000, and 10k pairs need ~20k fds). No-ops unless `HERD_ADDR` is set.
+#[test]
+fn herd_client_helper() {
+    let Ok(addr) = std::env::var("HERD_ADDR") else { return };
+    let addr: SocketAddr = addr.parse().expect("HERD_ADDR parses");
+    let _ = poller::raise_nofile_limit((HERD_SIZE + 1000) as u64);
+    let mut herd = Vec::with_capacity(HERD_SIZE);
+    for i in 0..HERD_SIZE {
+        let stream = (0..1000)
+            .find_map(|_| match TcpStream::connect(addr) {
+                Ok(stream) => Some(stream),
+                // Transient backlog pressure; the event loop is draining
+                // accepts as fast as readiness reports them.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    None
+                }
+            })
+            .unwrap_or_else(|| panic!("connection {i} would not open"));
+        herd.push(stream);
+        // Every 1000th connection talks, proving the server serves live
+        // keep-alive traffic while the idle herd grows around it.
+        if i % 1000 == 999 {
+            let stream = herd.last_mut().unwrap();
+            stream
+                .write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: cocoon\r\n\r\n")
+                .expect("live request");
+            let (status, body) = read_framed_response(stream);
+            assert_eq!(status, 200, "live traffic at {} conns: {body}", i + 1);
+        }
+    }
+    println!("HERD_READY");
+    // Hold the herd open until the parent closes our stdin.
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+}
+
+#[test]
+fn ten_thousand_idle_connections_served_alongside_live_traffic() {
+    use std::io::BufRead;
+
+    // The headline number: 10k+ concurrent keep-alive connections on one
+    // event thread, costing no threads at all — while live requests keep
+    // being served among them. The client herd runs as a child process
+    // (see [`herd_client_helper`]); the server and its metrics live here.
+    let _ = poller::raise_nofile_limit((HERD_SIZE + 1000) as u64);
+    let mut config = test_config();
+    config.max_conns = 12_000;
+    config.workers = 4;
+    // Idle is legitimate here; don't let the sweep reap the herd.
+    config.idle_timeout = Duration::from_secs(300);
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let state = handle.state();
+        let threads_before = process_threads();
+        let child = std::process::Command::new(std::env::current_exe().expect("test binary"))
+            .args(["herd_client_helper", "--exact", "--nocapture", "--test-threads", "1"])
+            .env("HERD_ADDR", addr.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn herd client");
+        // The child must not outlive a failing assertion below — an
+        // orphaned herd would wedge the server stop this scope waits on.
+        struct Reap(Option<std::process::Child>);
+        impl Drop for Reap {
+            fn drop(&mut self) {
+                if let Some(mut child) = self.0.take() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
+        let mut guard = Reap(Some(child));
+        let child = guard.0.as_mut().unwrap();
+
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let ready = lines.by_ref().map_while(Result::ok).any(|line| line.contains("HERD_READY"));
+        assert!(ready, "herd client died before opening {HERD_SIZE} connections");
+
+        // The server has registered (essentially) the whole herd.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while state.metrics.open_connections() < 10_000 {
+            assert!(
+                Instant::now() < deadline,
+                "only {} connections registered",
+                state.metrics.open_connections()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // 10k connections, zero new threads (slack for unrelated runtime
+        // threads, not per-connection ones).
+        let threads_after = process_threads();
+        assert!(
+            threads_after <= threads_before + 4,
+            "connections must not cost threads: {threads_before} -> {threads_after}"
+        );
+        assert!(state.metrics.snapshot().connections_peak >= 10_000);
+
+        // One more live exchange with the herd fully parked.
+        let (status, metrics) = get_json(addr, "/v1/metrics");
+        assert_eq!(status, 200);
+        let connections = metrics.get("connections").expect("connections section");
+        assert!(connections.get("open").and_then(Json::as_f64).unwrap() >= 10_000.0);
+
+        // Release the herd: closing stdin lets the child exit, dropping
+        // all 10k connections at once; the event loop reaps the EOFs.
+        // Drain its remaining output first — a closed pipe would kill the
+        // child mid-print and mask its real exit status.
+        drop(child.stdin.take());
+        for _ in lines.by_ref() {}
+        let outcome = guard.0.take().unwrap().wait().expect("herd client exit");
+        assert!(outcome.success(), "herd client reported failure");
     });
 }
 
