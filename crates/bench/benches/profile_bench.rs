@@ -1,8 +1,11 @@
 //! Timing: statistical profiling (the per-issue statistical detection that
 //! feeds every LLM prompt) over the benchmark tables.
 
-use cocoon_profile::{fd_candidates, pattern_census, profile_table, ProfileOptions};
+use cocoon_profile::{
+    fd_candidates, pattern_census, profile_table, profile_table_chunked, ProfileOptions,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use threadpool::ThreadPool;
 
 fn bench_profile_hospital(c: &mut Criterion) {
     let dataset = cocoon_datasets::hospital::generate();
@@ -30,5 +33,38 @@ fn bench_pattern_census(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_profile_hospital, bench_fd_discovery, bench_pattern_census);
+/// Chunk-parallel profiling vs the whole-table pass, on Movies (the
+/// paper's largest benchmark table): thread scaling at a fixed chunk size,
+/// then a chunk-count sweep at a fixed pool — the merge fold's overhead as
+/// the partial count grows. Every variant produces the identical profile.
+fn bench_chunked_profile(c: &mut Criterion) {
+    let dataset = cocoon_datasets::movies::generate();
+    let table = &dataset.dirty;
+    let options = ProfileOptions::default();
+    c.bench_function("profile/whole-table pass (Movies)", |b| {
+        b.iter(|| profile_table(black_box(table), &options))
+    });
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        let name = format!("profile/chunked 512-row chunks, {threads} threads (Movies)");
+        c.bench_function(&name, |b| {
+            b.iter(|| profile_table_chunked(black_box(table), &options, &pool, 512))
+        });
+    }
+    let pool = ThreadPool::new(4);
+    for chunk_rows in [128usize, 512, 2048, 8192] {
+        let name = format!("profile/chunk sweep {chunk_rows} rows per chunk, 4 threads (Movies)");
+        c.bench_function(&name, |b| {
+            b.iter(|| profile_table_chunked(black_box(table), &options, &pool, chunk_rows))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_profile_hospital,
+    bench_fd_discovery,
+    bench_pattern_census,
+    bench_chunked_profile
+);
 criterion_main!(benches);

@@ -112,7 +112,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Size specification accepted by [`vec`] / [`btree_map`]: an exact
+    /// Size specification accepted by [`vec()`] / [`btree_map`]: an exact
     /// count, a half-open range, or an inclusive range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

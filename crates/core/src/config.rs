@@ -3,6 +3,7 @@
 
 use crate::error::{CoreError, Result};
 use cocoon_llm::Json;
+use cocoon_profile::ProfileOptions;
 
 /// Which issue types (§2.1.1–2.1.8) the pipeline runs. All on by default;
 /// the ablation benches toggle these.
@@ -186,6 +187,20 @@ impl CleanerConfig {
         ])
     }
 
+    /// The profiling options this configuration implies — the bridge from
+    /// pipeline thresholds to [`ProfileOptions`]. A prebuilt
+    /// [`TableProfile`](cocoon_profile::TableProfile) is reusable by the
+    /// pipeline only when it was computed under exactly these options
+    /// (`TableProfile::matches` checks that); anything else is reprofiled.
+    pub fn profile_options(&self) -> ProfileOptions {
+        ProfileOptions {
+            type_tolerance: self.type_tolerance,
+            fd_min_strength: self.fd_min_strength,
+            fd_max_unique_ratio: self.fd_max_unique_ratio,
+            exact_patterns: true,
+        }
+    }
+
     /// A configuration with every semantic step disabled except `only` —
     /// used by ablations.
     pub fn only_issue(issue: &str) -> Self {
@@ -338,6 +353,21 @@ mod tests {
     fn null_threads_means_environment_default() {
         let json = cocoon_llm::json::parse(r#"{"threads": null}"#).unwrap();
         assert_eq!(CleanerConfig::from_json(&json).unwrap().threads, None);
+    }
+
+    #[test]
+    fn profile_options_mirror_pipeline_thresholds() {
+        let config = CleanerConfig {
+            type_tolerance: 0.5,
+            fd_min_strength: 0.7,
+            fd_max_unique_ratio: 0.8,
+            ..CleanerConfig::default()
+        };
+        let options = config.profile_options();
+        assert_eq!(options.type_tolerance, 0.5);
+        assert_eq!(options.fd_min_strength, 0.7);
+        assert_eq!(options.fd_max_unique_ratio, 0.8);
+        assert!(options.exact_patterns);
     }
 
     #[test]

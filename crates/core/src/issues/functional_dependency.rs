@@ -56,8 +56,15 @@ pub fn run(state: &mut PipelineState<'_>) {
     // borrow of `state.table` ends before the decide phase mutates it.
     let outcomes = {
         let scan = FdScan::new(&state.table);
-        let candidates =
-            scan.candidates(state.config.fd_min_strength, state.config.fd_max_unique_ratio);
+        // When the run's entry profile is still valid its candidates were
+        // scored under the same thresholds (`CleanerConfig::profile_options`
+        // maps them), on this exact table — reuse them instead of scoring
+        // every column pair again. The scan is still needed for group
+        // extraction either way.
+        let candidates = match state.detect_ctx().profile {
+            Some(profile) => profile.fd_candidates.clone(),
+            None => scan.candidates(state.config.fd_min_strength, state.config.fd_max_unique_ratio),
+        };
         state.detect_map(candidates, |ctx, candidate| detect_candidate(ctx, &scan, candidate))
     };
     // Becomes true once a repair lands; later candidates then recompute
@@ -87,7 +94,7 @@ fn groups_text_of(table: &Table, lhs: usize, rhs: usize) -> crate::error::Result
 
 fn detect_candidate(
     ctx: &DetectCtx<'_>,
-    scan: &FdScan<'_>,
+    scan: &FdScan,
     candidate: FdCandidate,
 ) -> Outcome<Finding> {
     match detect_inner(ctx, scan, &candidate) {
@@ -98,7 +105,7 @@ fn detect_candidate(
 
 fn detect_inner(
     ctx: &DetectCtx<'_>,
-    scan: &FdScan<'_>,
+    scan: &FdScan,
     candidate: &FdCandidate,
 ) -> crate::error::Result<Outcome<Finding>> {
     let lhs_name = ctx.table.schema().field(candidate.lhs)?.name().to_string();

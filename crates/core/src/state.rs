@@ -5,7 +5,7 @@
 //! * a **detect** phase — read-only against the table as it stood when the
 //!   stage began. Each unit of detection (a column, an FD candidate) runs
 //!   as an independent task on the stage's thread pool; tasks profile,
-//!   prompt the LLM, and assemble candidate [findings](Outcome::Finding).
+//!   prompt the LLM, and assemble candidate findings (`Outcome::Finding`).
 //!   Results come back in submission order, so output never depends on
 //!   worker scheduling.
 //! * a **decide** phase — sequential and ordered. Findings pass through the
@@ -21,6 +21,7 @@ use crate::decision::DecisionHook;
 use crate::error::Result;
 use crate::ops::CleaningOp;
 use cocoon_llm::{ChatModel, ChatRequest};
+use cocoon_profile::{ColumnProfile, TableProfile};
 use cocoon_table::Table;
 use threadpool::ThreadPool;
 
@@ -34,6 +35,11 @@ pub struct DetectCtx<'a> {
     pub llm: &'a dyn ChatModel,
     /// Pipeline configuration (thresholds, toggles).
     pub config: &'a CleanerConfig,
+    /// The run's entry profile, served only while the table still *is* the
+    /// profiled entry table (no op applied yet). Stages prefer these
+    /// prebuilt statistics over reprofiling their columns; once an op
+    /// mutates the table this is `None` and stages recompute as before.
+    pub profile: Option<&'a TableProfile>,
 }
 
 impl DetectCtx<'_> {
@@ -76,6 +82,13 @@ impl DetectCtx<'_> {
         }
         out
     }
+
+    /// The entry profile's statistics for one column, when still valid
+    /// (see [`DetectCtx::profile`]). Columns are in schema order, so the
+    /// index is the table's column index.
+    pub fn column_profile(&self, index: usize) -> Option<&ColumnProfile> {
+        self.profile.and_then(|profile| profile.columns.get(index))
+    }
 }
 
 /// What one read-only detection unit concluded, queued for the decide phase.
@@ -101,6 +114,10 @@ pub struct PipelineState<'a> {
     pub hook: &'a mut dyn DecisionHook,
     /// Worker policy for the per-stage detection fan-out.
     pub pool: ThreadPool,
+    /// Statistical profile of the table as the run began — computed
+    /// chunk-parallel up front (or handed in by a streaming ingester) and
+    /// served to detection workers until the first op invalidates it.
+    pub entry_profile: Option<TableProfile>,
     /// Applied operations, in order.
     pub ops: Vec<CleaningOp>,
     /// Narrative notes: rejected FDs, skipped steps, LLM failures.
@@ -119,14 +136,26 @@ impl<'a> PipelineState<'a> {
             Some(n) => ThreadPool::new(n),
             None => ThreadPool::from_env(),
         };
-        PipelineState { table, llm, config, hook, pool, ops: Vec::new(), notes: Vec::new() }
+        PipelineState {
+            table,
+            llm,
+            config,
+            hook,
+            pool,
+            entry_profile: None,
+            ops: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// The read-only view detection workers receive. Borrows the *current*
     /// table: stages construct it once, before their decide phase mutates
     /// anything, so every detection unit of a stage sees the same snapshot.
     pub fn detect_ctx(&self) -> DetectCtx<'_> {
-        DetectCtx { table: &self.table, llm: self.llm, config: self.config }
+        // The entry profile describes the table as the run began; serve it
+        // only while no applied op can have mutated the table.
+        let profile = if self.ops.is_empty() { self.entry_profile.as_ref() } else { None };
+        DetectCtx { table: &self.table, llm: self.llm, config: self.config, profile }
     }
 
     /// Fans `detect` out over `items` on the stage pool and returns the
@@ -245,6 +274,30 @@ mod tests {
             let out = state.detect_map((0..32).collect::<Vec<usize>>(), |_, i| i * 2);
             assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn entry_profile_served_only_until_first_op() {
+        let llm = SimLlm::new();
+        let config = CleanerConfig::default();
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table(), &llm, &config, &mut hook);
+        assert!(state.detect_ctx().profile.is_none());
+        state.entry_profile =
+            Some(cocoon_profile::profile_table(&state.table, &config.profile_options()));
+        assert!(state.detect_ctx().profile.is_some());
+        assert!(state.detect_ctx().column_profile(0).is_some());
+        assert!(state.detect_ctx().column_profile(9).is_none());
+        // Any applied op invalidates the entry snapshot.
+        state.ops.push(crate::ops::CleaningOp {
+            issue: crate::ops::IssueKind::Duplication,
+            column: None,
+            statistical_evidence: String::new(),
+            llm_reasoning: String::new(),
+            sql: cocoon_sql::Select::star("input"),
+            cells_changed: 0,
+        });
+        assert!(state.detect_ctx().profile.is_none());
     }
 
     #[test]

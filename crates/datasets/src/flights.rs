@@ -36,7 +36,7 @@ pub fn generate() -> Dataset {
 }
 
 /// Builds the dataset from an explicit seed (memoised per seed; see
-/// [`crate::cache`]).
+/// `crate::cache`).
 pub fn generate_seeded(seed: u64) -> Dataset {
     crate::cache::cached("flights", seed, build_seeded)
 }

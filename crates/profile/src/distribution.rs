@@ -31,10 +31,18 @@ pub struct Distribution {
 impl Distribution {
     /// Profiles `column`.
     pub fn of(column: &Column) -> Self {
-        let null_count = column.null_count();
-        let non_null_count = column.len() - null_count;
-        let frequencies = column
-            .distinct_by_frequency()
+        Distribution::from_distinct(column.distinct_by_frequency(), column.null_count())
+    }
+
+    /// Builds the distribution from an already-censused column: distinct
+    /// `(value, count)` pairs in [`Column::distinct_by_frequency`] order
+    /// (descending count, ties by ascending value) plus the null count.
+    /// [`Distribution::of`] and the chunk-merged profile path
+    /// (`crate::PartialProfile`) both reduce to this constructor, so the
+    /// two cannot drift.
+    pub fn from_distinct(sorted: Vec<(Value, usize)>, null_count: usize) -> Self {
+        let non_null_count: usize = sorted.iter().map(|(_, count)| count).sum();
+        let frequencies = sorted
             .into_iter()
             .map(|(value, count)| ValueFrequency {
                 value,

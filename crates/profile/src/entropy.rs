@@ -27,43 +27,104 @@ pub fn entropy(counts: &[usize]) -> f64 {
 }
 
 /// Code reserved for NULL cells in a [`CodedColumn`].
-const NULL_CODE: u32 = u32::MAX;
+pub(crate) const NULL_CODE: u32 = u32::MAX;
 
 /// A dictionary-coded column: one `u32` code per row (`NULL_CODE` for NULL,
-/// otherwise codes are dense in first-appearance order) plus per-code row
-/// counts. Encoding each column **once** turns every pairwise FD scan from
-/// nested `Value`-keyed hash maps (string hashing per row per pair) into
-/// integer sorting — the difference between an O(width²·rows) string-hash
-/// workload and an O(width·rows) one with cheap integer passes per pair.
-struct CodedColumn {
-    codes: Vec<u32>,
-    counts: Vec<usize>,
+/// otherwise codes are dense in first-appearance order), per-code row
+/// counts, and the dictionary itself (one representative [`Value`] per
+/// code, in code order). Encoding each column **once** turns every pairwise
+/// FD scan from nested `Value`-keyed hash maps (string hashing per row per
+/// pair) into integer passes — the difference between an O(width²·rows)
+/// string-hash workload and an O(width·rows) one.
+///
+/// A `CodedColumn` is also a *complete sufficient statistic* for every
+/// per-column profile: value counts are `dict × counts`, the null count is
+/// `codes.len() − Σcounts`, and [`absorb`](Self::absorb) merges the coded
+/// state of consecutive row chunks into exactly the coding a whole-column
+/// pass would produce — the foundation of [`crate::PartialProfile`].
+#[derive(Debug, Clone)]
+pub(crate) struct CodedColumn {
+    /// One code per row, `NULL_CODE` for NULL cells.
+    pub(crate) codes: Vec<u32>,
+    /// Rows per code, indexed by code.
+    pub(crate) counts: Vec<usize>,
+    /// The value each code stands for, indexed by code. Codes are dense in
+    /// first-appearance order, so `dict` doubles as the decode table.
+    pub(crate) dict: Vec<Value>,
 }
 
 impl CodedColumn {
-    fn encode(values: &[Value]) -> CodedColumn {
-        let mut dict: HashMap<&Value, u32> = HashMap::new();
+    pub(crate) fn encode(values: &[Value]) -> CodedColumn {
+        let mut index: HashMap<&Value, u32> = HashMap::new();
         let mut codes = Vec::with_capacity(values.len());
         let mut counts: Vec<usize> = Vec::new();
+        let mut dict: Vec<Value> = Vec::new();
         for v in values {
             if v.is_null() {
                 codes.push(NULL_CODE);
                 continue;
             }
             let next = dict.len() as u32;
-            let code = *dict.entry(v).or_insert(next);
+            let code = *index.entry(v).or_insert(next);
             if code == next {
                 counts.push(0);
+                dict.push(v.clone());
             }
             counts[code as usize] += 1;
             codes.push(code);
         }
-        CodedColumn { codes, counts }
+        CodedColumn { codes, counts, dict }
+    }
+
+    /// Merges the coding of the *next* row chunk into this one.
+    ///
+    /// Folding chunk codings in row order through `absorb` yields exactly
+    /// `CodedColumn::encode` of the concatenated rows: values new to `self`
+    /// are appended in `other`'s first-appearance order — which is their
+    /// first-appearance order in the concatenation — so codes, counts and
+    /// dictionary all come out identical to the whole-column pass. This is
+    /// the associativity proof obligation of the mergeable-profile design,
+    /// pinned by the differential proptests in `partial.rs`.
+    pub(crate) fn absorb(&mut self, other: CodedColumn) {
+        let mut index: HashMap<Value, u32> = self.dict.iter().cloned().zip(0u32..).collect();
+        let mut remap: Vec<u32> = Vec::with_capacity(other.dict.len());
+        for (value, count) in other.dict.into_iter().zip(other.counts) {
+            let code = match index.get(&value) {
+                Some(&code) => code,
+                None => {
+                    let code = self.dict.len() as u32;
+                    index.insert(value.clone(), code);
+                    self.dict.push(value);
+                    self.counts.push(0);
+                    code
+                }
+            };
+            self.counts[code as usize] += count;
+            remap.push(code);
+        }
+        self.codes.extend(other.codes.iter().map(|&c| {
+            if c == NULL_CODE {
+                NULL_CODE
+            } else {
+                remap[c as usize]
+            }
+        }));
     }
 
     /// Distinct non-null values.
-    fn cardinality(&self) -> usize {
+    pub(crate) fn cardinality(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Rows covered by this coding (NULL cells included).
+    #[cfg(test)]
+    fn rows(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// NULL cells in this coding.
+    pub(crate) fn null_count(&self) -> usize {
+        self.codes.len() - self.counts.iter().sum::<usize>()
     }
 }
 
@@ -85,6 +146,76 @@ fn pair_counts(lhs: &CodedColumn, rhs: &CodedColumn) -> (Vec<(u64, usize)>, usiz
         match pairs.last_mut() {
             Some((last, count)) if *last == key => *count += 1,
             _ => pairs.push((key, 1)),
+        }
+    }
+    (pairs, total)
+}
+
+/// Row indices grouped by lhs code: `rows[starts[c]..starts[c + 1]]` are
+/// the rows holding code `c`, built by one counting-sort pass. Computed
+/// once per eligible lhs column and reused across every rhs — the
+/// lhs-grouped scan that replaces the per-pair key sort.
+struct LhsGroups {
+    rows: Vec<u32>,
+    starts: Vec<usize>,
+}
+
+fn group_rows_by_code(coded: &CodedColumn) -> LhsGroups {
+    let cardinality = coded.cardinality();
+    let mut starts = vec![0usize; cardinality + 1];
+    for &c in &coded.codes {
+        if c != NULL_CODE {
+            starts[c as usize + 1] += 1;
+        }
+    }
+    for i in 1..=cardinality {
+        starts[i] += starts[i - 1];
+    }
+    let mut cursor = starts.clone();
+    let mut rows = vec![0u32; starts[cardinality]];
+    for (row, &c) in coded.codes.iter().enumerate() {
+        if c != NULL_CODE {
+            rows[cursor[c as usize]] = row as u32;
+            cursor[c as usize] += 1;
+        }
+    }
+    LhsGroups { rows, starts }
+}
+
+/// [`pair_counts`] served from a prebuilt lhs grouping: for each lhs group
+/// (codes ascending) the rhs codes are tallied into a scratch table and
+/// emitted in sorted order, so the output is *identical* to the sort-based
+/// scan — same keys, same order, same counts — without sorting a
+/// row-length key vector per pair. `scratch` must be all-zero on entry and
+/// is restored to all-zero before returning.
+fn pair_counts_grouped(
+    groups: &LhsGroups,
+    rhs: &CodedColumn,
+    scratch: &mut Vec<usize>,
+    touched: &mut Vec<u32>,
+) -> (Vec<(u64, usize)>, usize) {
+    if scratch.len() < rhs.cardinality() {
+        scratch.resize(rhs.cardinality(), 0);
+    }
+    let mut pairs: Vec<(u64, usize)> = Vec::new();
+    let mut total = 0usize;
+    for lhs_code in 0..groups.starts.len() - 1 {
+        touched.clear();
+        for &row in &groups.rows[groups.starts[lhs_code]..groups.starts[lhs_code + 1]] {
+            let r = rhs.codes[row as usize];
+            if r == NULL_CODE {
+                continue;
+            }
+            if scratch[r as usize] == 0 {
+                touched.push(r);
+            }
+            scratch[r as usize] += 1;
+            total += 1;
+        }
+        touched.sort_unstable();
+        for &r in touched.iter() {
+            pairs.push(((u64::from(lhs_code as u32) << 32) | u64::from(r), scratch[r as usize]));
+            scratch[r as usize] = 0;
         }
     }
     (pairs, total)
@@ -161,31 +292,36 @@ type PairMemo = Mutex<HashMap<(usize, usize), Arc<Vec<(u64, usize)>>>>;
 /// serving both candidate scoring and per-candidate violating-group
 /// extraction without re-hashing any value. Shareable across detection
 /// workers (`&self` methods only; the pair memo locks internally).
-pub struct FdScan<'a> {
-    /// Per column: the raw values plus their encoding (None for columns
-    /// that cannot be read).
-    columns: Vec<Option<(&'a [Value], CodedColumn)>>,
+///
+/// The scan owns its codings, so it can be built either from a table
+/// ([`FdScan::new`]) or from codings merged out of row-chunk partials
+/// (`from_columns`, the [`crate::PartialProfile`] path) — the two produce
+/// identical candidates because chunk merging reproduces the whole-column
+/// coding exactly.
+pub struct FdScan {
+    /// Per column: the coding (None for columns that cannot be read).
+    columns: Vec<Option<CodedColumn>>,
     height: usize,
     /// Sorted pair scans kept from [`candidates`](Self::candidates) for the
     /// pairs that became candidates — exactly the ones
     /// [`violating_groups`](Self::violating_groups) is later asked about,
-    /// so the group extraction skips the re-sort (~20 ms across Movies' 43
+    /// so the group extraction skips the re-scan (~20 ms across Movies' 43
     /// candidates).
     pair_memo: PairMemo,
 }
 
-impl<'a> FdScan<'a> {
+impl FdScan {
     /// Prepares a scan over `table`, encoding each column once.
-    pub fn new(table: &'a Table) -> Self {
+    pub fn new(table: &Table) -> Self {
         let columns = (0..table.width())
-            .map(|c| {
-                table.column(c).ok().map(|col| {
-                    let values = col.values();
-                    (values, CodedColumn::encode(values))
-                })
-            })
+            .map(|c| table.column(c).ok().map(|col| CodedColumn::encode(col.values())))
             .collect();
-        FdScan { columns, height: table.height(), pair_memo: Mutex::new(HashMap::new()) }
+        FdScan::from_columns(columns, table.height())
+    }
+
+    /// Wraps prebuilt codings (the merged-partial path).
+    pub(crate) fn from_columns(columns: Vec<Option<CodedColumn>>, height: usize) -> Self {
+        FdScan { columns, height, pair_memo: Mutex::new(HashMap::new()) }
     }
 
     /// Scores every ordered column pair as an FD candidate and returns
@@ -195,6 +331,12 @@ impl<'a> FdScan<'a> {
     /// above `max_unique_ratio`) are skipped: `id → anything` is trivially
     /// strong but semantically vacuous, and the paper's LLM review would
     /// reject it anyway.
+    ///
+    /// Each eligible lhs column's rows are grouped by code **once**
+    /// (counting sort) and every rhs is tallied in a single pass over those
+    /// groups — no per-pair sort of a row-length key vector. The emitted
+    /// pair counts are identical to the sort-based scan, so downstream
+    /// entropy summation order (and thus every float) is unchanged.
     pub fn candidates(&self, min_strength: f64, max_unique_ratio: f64) -> Vec<FdCandidate> {
         let height = self.height;
         if height == 0 {
@@ -204,19 +346,22 @@ impl<'a> FdScan<'a> {
         let column_entropy: Vec<f64> = self
             .columns
             .iter()
-            .map(|c| c.as_ref().map(|(_, coded)| entropy(&coded.counts)).unwrap_or(0.0))
+            .map(|c| c.as_ref().map(|coded| entropy(&coded.counts)).unwrap_or(0.0))
             .collect();
+        let mut scratch: Vec<usize> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
         for lhs in 0..self.columns.len() {
-            let Some((_, lhs_coded)) = self.columns[lhs].as_ref() else { continue };
+            let Some(lhs_coded) = self.columns[lhs].as_ref() else { continue };
             let lhs_unique_ratio = lhs_coded.cardinality() as f64 / height as f64;
             if lhs_unique_ratio > max_unique_ratio || lhs_coded.cardinality() <= 1 {
                 continue;
             }
+            let groups = group_rows_by_code(lhs_coded);
             for (rhs, rhs_column) in self.columns.iter().enumerate() {
                 if lhs == rhs {
                     continue;
                 }
-                let Some((_, rhs_coded)) = rhs_column.as_ref() else { continue };
+                let Some(rhs_coded) = rhs_column.as_ref() else { continue };
                 let rhs_distinct = rhs_coded.cardinality();
                 if rhs_distinct <= 1 {
                     continue;
@@ -226,7 +371,8 @@ impl<'a> FdScan<'a> {
                 if rhs_distinct as f64 / height as f64 > max_unique_ratio {
                     continue;
                 }
-                let (pairs, total) = pair_counts(lhs_coded, rhs_coded);
+                let (pairs, total) =
+                    pair_counts_grouped(&groups, rhs_coded, &mut scratch, &mut touched);
                 let h_cond = conditional_entropy_from_pairs(&pairs, total);
                 let h_rhs = column_entropy[rhs];
                 let strength = if h_rhs == 0.0 { 0.0 } else { 1.0 - h_cond / h_rhs };
@@ -255,10 +401,10 @@ impl<'a> FdScan<'a> {
 
     /// Violating groups of `lhs → rhs` (see [`fd_violating_groups`]),
     /// served from the prebuilt encodings — and from the memoised pair
-    /// scan when [`candidates`](Self::candidates) already sorted this pair.
+    /// scan when [`candidates`](Self::candidates) already scored this pair.
     /// Empty when either column index is unreadable.
     pub fn violating_groups(&self, lhs: usize, rhs: usize) -> Vec<(Value, Vec<(Value, usize)>)> {
-        let (Some(Some((lhs_values, lhs_coded))), Some(Some((rhs_values, rhs_coded)))) =
+        let (Some(Some(lhs_coded)), Some(Some(rhs_coded))) =
             (self.columns.get(lhs), self.columns.get(rhs))
         else {
             return Vec::new();
@@ -268,7 +414,7 @@ impl<'a> FdScan<'a> {
             Some(pairs) => pairs,
             None => Arc::new(pair_counts(lhs_coded, rhs_coded).0),
         };
-        groups_from_pairs(lhs_values, lhs_coded, rhs_values, rhs_coded, &pairs)
+        groups_from_pairs(lhs_coded, rhs_coded, &pairs)
     }
 
     /// Number of memoised pair scans (test observability).
@@ -291,29 +437,17 @@ pub fn fd_violating_groups(lhs: &[Value], rhs: &[Value]) -> Vec<(Value, Vec<(Val
     let lhs_coded = CodedColumn::encode(lhs);
     let rhs_coded = CodedColumn::encode(rhs);
     let (pairs, _) = pair_counts(&lhs_coded, &rhs_coded);
-    groups_from_pairs(lhs, &lhs_coded, rhs, &rhs_coded, &pairs)
+    groups_from_pairs(&lhs_coded, &rhs_coded, &pairs)
 }
 
 /// Shared group extraction: read the violating groups off the sorted pair
-/// keys; values are decoded (and cloned) only for the violating minority.
+/// keys; values are decoded straight from the dictionaries (and cloned)
+/// only for the violating minority.
 fn groups_from_pairs(
-    lhs: &[Value],
     lhs_coded: &CodedColumn,
-    rhs: &[Value],
     rhs_coded: &CodedColumn,
     pairs: &[(u64, usize)],
 ) -> Vec<(Value, Vec<(Value, usize)>)> {
-    fn decode<'a>(values: &'a [Value], coded: &CodedColumn) -> Vec<&'a Value> {
-        let mut table: Vec<Option<&Value>> = vec![None; coded.cardinality()];
-        for (v, &code) in values.iter().zip(&coded.codes) {
-            if code != NULL_CODE && table[code as usize].is_none() {
-                table[code as usize] = Some(v);
-            }
-        }
-        table.into_iter().map(|v| v.expect("every code has a value")).collect()
-    }
-    let lhs_values = decode(lhs, lhs_coded);
-    let rhs_values = decode(rhs, rhs_coded);
     let mut out: Vec<(Value, Vec<(Value, usize)>)> = Vec::new();
     let mut i = 0;
     while i < pairs.len() {
@@ -327,10 +461,10 @@ fn groups_from_pairs(
         }
         let mut census: Vec<(Value, usize)> = pairs[start..i]
             .iter()
-            .map(|&(key, count)| (rhs_values[(key & 0xFFFF_FFFF) as usize].clone(), count))
+            .map(|&(key, count)| (rhs_coded.dict[(key & 0xFFFF_FFFF) as usize].clone(), count))
             .collect();
         census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        out.push((lhs_values[group as usize].clone(), census));
+        out.push((lhs_coded.dict[group as usize].clone(), census));
     }
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
@@ -433,6 +567,51 @@ mod tests {
             cold,
             fd_violating_groups(t.column(2).unwrap().values(), t.column(0).unwrap().values(),)
         );
+    }
+
+    #[test]
+    fn grouped_scan_matches_sorted_scan_exactly() {
+        // The lhs-grouped pass must emit the identical sorted pair vector
+        // (keys, order, counts, total) as the sort-based pass — including
+        // NULLs on either side.
+        let lhs = CodedColumn::encode(
+            &["b", "a", "", "b", "c", "a", "b", ""]
+                .iter()
+                .map(|s| if s.is_empty() { Value::Null } else { Value::from(*s) })
+                .collect::<Vec<_>>(),
+        );
+        let rhs = CodedColumn::encode(
+            &["y", "x", "z", "", "z", "x", "y", "w"]
+                .iter()
+                .map(|s| if s.is_empty() { Value::Null } else { Value::from(*s) })
+                .collect::<Vec<_>>(),
+        );
+        let groups = group_rows_by_code(&lhs);
+        let mut scratch = Vec::new();
+        let mut touched = Vec::new();
+        assert_eq!(
+            pair_counts_grouped(&groups, &rhs, &mut scratch, &mut touched),
+            pair_counts(&lhs, &rhs)
+        );
+        assert!(scratch.iter().all(|&c| c == 0), "scratch restored to zero");
+    }
+
+    #[test]
+    fn absorb_reproduces_whole_column_encoding() {
+        let values: Vec<Value> = ["b", "", "a", "b", "c", "a", "", "d", "b"]
+            .iter()
+            .map(|s| if s.is_empty() { Value::Null } else { Value::from(*s) })
+            .collect();
+        let whole = CodedColumn::encode(&values);
+        for split in 0..=values.len() {
+            let mut merged = CodedColumn::encode(&values[..split]);
+            merged.absorb(CodedColumn::encode(&values[split..]));
+            assert_eq!(merged.codes, whole.codes, "split at {split}");
+            assert_eq!(merged.counts, whole.counts, "split at {split}");
+            assert_eq!(merged.dict, whole.dict, "split at {split}");
+        }
+        assert_eq!(whole.null_count(), 2);
+        assert_eq!(whole.rows(), 9);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! review the acceptable range semantically."
 
 use crate::stats::NumericStats;
-use cocoon_table::Column;
+use cocoon_table::{Column, Value};
 
 /// Numeric profile of a column (cells that don't parse as numbers are
 /// ignored — mid-cleaning columns are often mixed).
@@ -25,12 +25,22 @@ pub struct NumericProfile {
 /// Profiles the numeric content of `column`. Returns `None` if no cell is
 /// numeric (neither a numeric value nor numeric-looking text).
 pub fn numeric_profile(column: &Column) -> Option<NumericProfile> {
+    numeric_from_distinct(&column.distinct_by_frequency())
+}
+
+/// [`numeric_profile`] over an already-censused column: each distinct
+/// `(value, count)` pair contributes its parse `count` times. Parsing is
+/// deterministic per value and [`NumericStats::compute`] sorts its input
+/// before any summation, so the expanded multiset yields exactly the
+/// per-cell statistics. Shared with the chunk-merged profile path
+/// (`crate::PartialProfile`).
+pub fn numeric_from_distinct(distinct: &[(Value, usize)]) -> Option<NumericProfile> {
     let mut parsed = Vec::new();
     let mut non_numeric = 0usize;
-    for v in column.non_null() {
+    for (v, count) in distinct {
         match v.as_f64().or_else(|| v.as_text().and_then(|s| s.trim().parse::<f64>().ok())) {
-            Some(x) if x.is_finite() => parsed.push(x),
-            _ => non_numeric += 1,
+            Some(x) if x.is_finite() => parsed.extend(std::iter::repeat_n(x, *count)),
+            _ => non_numeric += count,
         }
     }
     let stats = NumericStats::compute(&parsed)?;

@@ -34,14 +34,21 @@ pub struct PatternCensus {
 /// Builds the census using the exact digest when `exact` is true (counted
 /// classes: `\d{2}`), the loose digest otherwise (`\d+`).
 pub fn pattern_census(column: &Column, exact: bool) -> PatternCensus {
+    pattern_census_from_distinct(column.distinct_by_frequency(), column.null_count(), exact)
+}
+
+/// [`pattern_census`] over an already-censused column: distinct
+/// `(value, count)` pairs in [`Column::distinct_by_frequency`] order
+/// (which frequency-ranks the example lists) plus the null count. Shared
+/// with the chunk-merged profile path (`crate::PartialProfile`).
+pub fn pattern_census_from_distinct(
+    distinct: Vec<(Value, usize)>,
+    null_count: usize,
+    exact: bool,
+) -> PatternCensus {
     const MAX_EXAMPLES: usize = 5;
     let mut counts: HashMap<String, (usize, Vec<(String, usize)>)> = HashMap::new();
-    let mut skipped = 0usize;
-
-    // Census distinct values first so example lists are frequency-ranked.
-    let mut distinct: Vec<(Value, usize)> = column.value_counts().into_iter().collect();
-    distinct.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    skipped += column.null_count();
+    let mut skipped = null_count;
 
     for (value, count) in distinct {
         let Some(text) = value.as_text() else {

@@ -6,16 +6,15 @@
 //! seeing all of it.
 
 use crate::distribution::Distribution;
-use crate::entropy::{fd_candidates, FdCandidate};
-use crate::numeric::{numeric_profile, NumericProfile};
-use crate::patterns::{pattern_census, PatternCensus};
-use crate::uniqueness::{
-    duplicate_profile, uniqueness_profile, DuplicateProfile, UniquenessProfile,
-};
-use cocoon_table::{infer_column_type, DataType, Table, TypeInference};
+use crate::entropy::FdCandidate;
+use crate::numeric::NumericProfile;
+use crate::partial::PartialProfile;
+use crate::patterns::PatternCensus;
+use crate::uniqueness::{DuplicateProfile, UniquenessProfile};
+use cocoon_table::{DataType, Table, TypeInference};
 
 /// Complete statistical profile of one column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnProfile {
     /// Column name.
     pub name: String,
@@ -62,7 +61,7 @@ impl ColumnProfile {
 }
 
 /// Complete statistical profile of a table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableProfile {
     /// Per-column profiles, in schema order.
     pub columns: Vec<ColumnProfile>,
@@ -72,10 +71,13 @@ pub struct TableProfile {
     pub fd_candidates: Vec<FdCandidate>,
     /// Table height at profiling time.
     pub rows: usize,
+    /// The options the profile was computed with — consumers that want to
+    /// reuse a prebuilt profile check these via [`TableProfile::matches`].
+    pub options: ProfileOptions,
 }
 
 /// Tunables for table profiling.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileOptions {
     /// Tolerance for type inference (fraction of values that must parse).
     pub type_tolerance: f64,
@@ -99,32 +101,34 @@ impl Default for ProfileOptions {
 }
 
 /// Profiles every column of `table` plus table-level statistics.
+///
+/// Implemented as the one-chunk case of the mergeable-partial machinery
+/// ([`PartialProfile`]): the whole table is accumulated as a single chunk
+/// and finalised. There is deliberately **no second code path** — the
+/// chunk-parallel and streaming profilers produce the same bytes because
+/// they run the same code, not because two implementations are kept in
+/// sync by hand.
 pub fn profile_table(table: &Table, options: &ProfileOptions) -> TableProfile {
-    let mut columns = Vec::with_capacity(table.width());
-    for (idx, field) in table.schema().fields().iter().enumerate() {
-        let column = table.column(idx).expect("index in range");
-        columns.push(ColumnProfile {
-            name: field.name().to_string(),
-            declared_type: field.data_type(),
-            inference: infer_column_type(column, options.type_tolerance),
-            distribution: Distribution::of(column),
-            uniqueness: uniqueness_profile(column),
-            numeric: numeric_profile(column),
-            patterns: pattern_census(column, options.exact_patterns),
-        });
-    }
-    TableProfile {
-        columns,
-        duplicates: duplicate_profile(table),
-        fd_candidates: fd_candidates(table, options.fd_min_strength, options.fd_max_unique_ratio),
-        rows: table.height(),
-    }
+    PartialProfile::of_rows(table, 0..table.height()).finalize(options)
 }
 
 impl TableProfile {
     /// Finds a column's profile by name.
     pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
         self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// True when this profile describes `table` as profiled under
+    /// `options`: same options, same height, same column names and
+    /// declared types. Consumers handing a prebuilt profile to the
+    /// cleaning pipeline use this to reject stale or mismatched profiles.
+    pub fn matches(&self, table: &Table, options: &ProfileOptions) -> bool {
+        self.options == *options
+            && self.rows == table.height()
+            && self.columns.len() == table.width()
+            && self.columns.iter().zip(table.schema().fields()).all(|(profile, field)| {
+                profile.name == field.name() && profile.declared_type == field.data_type()
+            })
     }
 }
 

@@ -21,12 +21,19 @@ pub struct UniquenessProfile {
 
 /// Profiles the uniqueness of `column`.
 pub fn uniqueness_profile(column: &Column) -> UniquenessProfile {
-    let counts = column.value_counts();
-    let non_null = column.len() - column.null_count();
-    let distinct = counts.len();
-    let mut duplicated_values: Vec<(Value, usize)> =
-        counts.into_iter().filter(|(_, c)| *c > 1).collect();
-    duplicated_values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    uniqueness_from_distinct(&column.distinct_by_frequency())
+}
+
+/// [`uniqueness_profile`] over an already-censused column: distinct
+/// `(value, count)` pairs in [`Column::distinct_by_frequency`] order. The
+/// duplicated-value ordering (descending count, ties by ascending value)
+/// is exactly the census order, so filtering preserves it. Shared with the
+/// chunk-merged profile path (`crate::PartialProfile`).
+pub fn uniqueness_from_distinct(sorted: &[(Value, usize)]) -> UniquenessProfile {
+    let non_null: usize = sorted.iter().map(|(_, count)| count).sum();
+    let distinct = sorted.len();
+    let duplicated_values: Vec<(Value, usize)> =
+        sorted.iter().filter(|(_, count)| *count > 1).cloned().collect();
     UniquenessProfile {
         distinct,
         non_null,
@@ -52,9 +59,27 @@ pub fn duplicate_profile(table: &Table) -> DuplicateProfile {
     for row in table.rows() {
         *counts.entry(row).or_insert(0) += 1;
     }
-    let duplicated_groups = counts.values().filter(|&&c| c > 1).count();
-    let duplicate_rows = counts.values().filter(|&&c| c > 1).map(|c| c - 1).sum();
-    DuplicateProfile { rows: table.height(), duplicate_rows, duplicated_groups }
+    duplicates_from_group_counts(table.height(), counts.into_values())
+}
+
+/// [`DuplicateProfile`] from per-group row counts (one count per distinct
+/// row value). The chunk-merged profile path groups rows by their
+/// per-column dictionary code tuples instead of cloned cell vectors —
+/// rows are `Value`-equal exactly when their code tuples are equal — and
+/// funnels the group counts through here.
+pub(crate) fn duplicates_from_group_counts(
+    rows: usize,
+    counts: impl Iterator<Item = usize>,
+) -> DuplicateProfile {
+    let mut duplicated_groups = 0usize;
+    let mut duplicate_rows = 0usize;
+    for count in counts {
+        if count > 1 {
+            duplicated_groups += 1;
+            duplicate_rows += count - 1;
+        }
+    }
+    DuplicateProfile { rows, duplicate_rows, duplicated_groups }
 }
 
 #[cfg(test)]

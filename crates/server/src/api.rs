@@ -25,9 +25,10 @@
 //! just the cleaned table as `text/csv` instead of the JSON report.
 
 use crate::http::{json_escape, BodyReader, Head, HttpError, Request, Response};
+use crate::ingest::StreamProfiler;
 use crate::jobs::{DeleteOutcome, JobStatus};
 use crate::server::AppState;
-use cocoon_core::{CleanerConfig, CleaningRun, ProgressSnapshot};
+use cocoon_core::{CleanerConfig, CleaningRun, ProgressSnapshot, TableProfile};
 use cocoon_llm::Json;
 use cocoon_table::csv::CsvStream;
 use cocoon_table::{csv, json as table_json, Table};
@@ -42,6 +43,11 @@ pub struct CleanPayload {
     pub config: CleanerConfig,
     /// Whether the response should embed typed JSON rows.
     pub include_rows: bool,
+    /// Entry profile prebuilt during ingest (the streamed-CSV paths fold
+    /// one up while the body arrives). The pipeline validates it against
+    /// the table and reprofiles on mismatch, so a stale or absent profile
+    /// costs correctness nothing.
+    pub profile: Option<TableProfile>,
 }
 
 /// Parses and validates a clean request body. Errors are client errors
@@ -79,7 +85,7 @@ pub fn parse_clean_payload(body: &[u8]) -> Result<CleanPayload, String> {
         Some(other) => return Err(format!("\"include_rows\" must be a boolean, got {other}")),
         None => false,
     };
-    Ok(CleanPayload { table, config, include_rows })
+    Ok(CleanPayload { table, config, include_rows, profile: None })
 }
 
 /// Builds a table from `"columns"` + `"rows"` JSON. Cells are rendered to
@@ -293,19 +299,22 @@ fn dispatch_csv<R: std::io::Read>(
     body: &mut BodyReader<'_, R>,
 ) -> Result<Response, HttpError> {
     let mut stream = CsvStream::new();
+    let mut profiler = StreamProfiler::new(state.profile_chunk_rows);
     let mut chunk = [0u8; 16 * 1024];
-    let parsed: std::result::Result<Table, String> = loop {
+    let (parsed, profile): (std::result::Result<Table, String>, Option<TableProfile>) = loop {
         let n = body.read(&mut chunk)?;
         if n == 0 {
-            break stream.finish_table().map_err(|e| format!("invalid csv: {e}"));
+            let profile = profiler.finish(&stream);
+            break (stream.finish_table().map_err(|e| format!("invalid csv: {e}")), profile);
         }
         if let Err(e) = stream.push_bytes(&chunk[..n]) {
             // Abandons the rest of the body; the caller closes the
             // connection after delivering this 400.
-            break Err(format!("invalid csv: {e}"));
+            break (Err(format!("invalid csv: {e}")), None);
         }
+        profiler.observe(&stream);
     };
-    Ok(finish_csv_clean(state, head, parsed))
+    Ok(finish_csv_clean(state, head, parsed, profile))
 }
 
 /// Routes one CSV-ingest request whose body the *event loop* already
@@ -317,8 +326,9 @@ pub fn route_streamed_csv(
     state: &AppState,
     head: &Head,
     parsed: Result<Table, String>,
+    profile: Option<TableProfile>,
 ) -> Response {
-    let response = finish_csv_clean(state, head, parsed);
+    let response = finish_csv_clean(state, head, parsed, profile);
     state.metrics.count_request();
     state.metrics.count_status(response.status);
     response
@@ -326,7 +336,12 @@ pub fn route_streamed_csv(
 
 /// The shared tail of both CSV-ingest paths: counts the endpoint, rejects
 /// parse failures and empty tables, then cleans or submits.
-fn finish_csv_clean(state: &AppState, head: &Head, parsed: Result<Table, String>) -> Response {
+fn finish_csv_clean(
+    state: &AppState,
+    head: &Head,
+    parsed: Result<Table, String>,
+    profile: Option<TableProfile>,
+) -> Response {
     // Endpoint counting waits until the transport has delivered the body:
     // a malformed CSV still counts against the endpoint it was aimed at
     // (like a malformed JSON body), but a framing/transport failure is the
@@ -343,8 +358,11 @@ fn finish_csv_clean(state: &AppState, head: &Head, parsed: Result<Table, String>
         return Response::error(400, "table has no rows");
     }
     // CSV ingest carries no envelope, so config and include_rows take
-    // their defaults; clients needing overrides use the JSON body.
-    let payload = CleanPayload { table, config: CleanerConfig::default(), include_rows: false };
+    // their defaults; clients needing overrides use the JSON body. The
+    // ingest-time profile rides along, for the sync clean and through the
+    // job queue alike.
+    let payload =
+        CleanPayload { table, config: CleanerConfig::default(), include_rows: false, profile };
     match head.path.as_str() {
         "/v1/clean" => match state.run_clean(&payload, None) {
             Ok(run) => render_clean(&run, payload.include_rows, wants_csv(head.header("Accept"))),

@@ -33,7 +33,9 @@
 
 use crate::api;
 use crate::http::{BodyProgress, Head, HttpError, Request, RequestReader, Response};
+use crate::ingest::StreamProfiler;
 use crate::server::AppState;
+use cocoon_profile::TableProfile;
 use cocoon_table::csv::CsvStream;
 use cocoon_table::Table;
 use poller::{Events, Interest, Poller, Waker};
@@ -41,7 +43,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Token of the listening socket (registered in shard 0 only).
@@ -122,6 +124,9 @@ pub(crate) enum WorkKind {
         head: Head,
         /// The parsed table, or the client-error message.
         table: Result<Table, String>,
+        /// The entry profile accumulated chunk-by-chunk while the body
+        /// streamed in — the pipeline skips its whole-table profiling pass.
+        profile: Option<TableProfile>,
     },
 }
 
@@ -203,14 +208,26 @@ enum Phase {
     /// Feeding a CSV-ingest body through the incremental parser as chunks
     /// arrive. `parsed` flips to `Err` on the first CSV syntax error; the
     /// error still dispatches (for uniform 400 rendering and counting).
-    StreamingCsv { head: Head, progress: BodyProgress, parsed: Result<CsvStream, String> },
+    /// The profiler folds completed records into a partial profile as they
+    /// land, so profiling overlaps the transfer and the table needs no
+    /// whole-table profiling pass after dispatch.
+    StreamingCsv {
+        head: Head,
+        progress: BodyProgress,
+        parsed: Result<CsvStream, String>,
+        profiler: Box<StreamProfiler>,
+    },
     /// The complete request is with a worker; no read/write interest (the
     /// poller still reports hangups, which free the connection early).
     Dispatched,
-    /// Writing the serialised response; what the socket refuses waits here
-    /// for write-readiness.
+    /// Writing the response; what the socket refuses waits here for
+    /// write-readiness. The body is the response's shared allocation
+    /// (written straight from the `Arc`, never copied into a connection
+    /// buffer); only the few hundred head bytes are serialised per
+    /// connection. `written` counts across head then body.
     Writing {
-        buf: Vec<u8>,
+        head: Vec<u8>,
+        body: Arc<[u8]>,
         written: usize,
         close_after: bool,
         drain: bool,
@@ -334,7 +351,7 @@ pub(crate) fn event_loop(state: &AppState, shard_index: usize, listener: Option<
                     let Some(conn) = conns.get_mut(&token) else { continue };
                     let keep_alive = reusable && !state.shutdown_requested();
                     let ctx = Ctx { state, shard_index, token };
-                    let next = start_write(&ctx, conn, &response, keep_alive, drain);
+                    let next = start_write(&ctx, conn, response, keep_alive, drain);
                     settle(state, shard, &mut conns, token, next);
                 }
             }
@@ -510,7 +527,12 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
                     conn.last_activity = Instant::now();
                     let progress = conn.reader.begin_body(&head);
                     conn.phase = if api::is_csv_ingest(&head) {
-                        Phase::StreamingCsv { head, progress, parsed: Ok(CsvStream::new()) }
+                        Phase::StreamingCsv {
+                            head,
+                            progress,
+                            parsed: Ok(CsvStream::new()),
+                            profiler: Box::new(StreamProfiler::new(ctx.state.profile_chunk_rows)),
+                        }
                     } else {
                         Phase::ReadingBody { head, progress, body: Vec::new() }
                     };
@@ -540,20 +562,27 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
                     Err(e) => return fail_request(ctx, conn, &e),
                 }
             }
-            Phase::StreamingCsv { progress, parsed, .. } => {
+            Phase::StreamingCsv { progress, parsed, profiler, .. } => {
                 let mut chunk = [0u8; 16 * 1024];
                 match conn.reader.read_body(progress, &mut chunk) {
                     Ok(0) => {
-                        let Phase::StreamingCsv { head, parsed, .. } =
+                        let Phase::StreamingCsv { head, parsed, profiler, .. } =
                             std::mem::replace(&mut conn.phase, Phase::Dispatched)
                         else {
                             unreachable!("phase checked above")
+                        };
+                        // The profile finalises from the already-folded
+                        // partials before the stream is consumed into the
+                        // table — no whole-table pass happens here.
+                        let profile = match &parsed {
+                            Ok(stream) => profiler.finish(stream),
+                            Err(_) => None,
                         };
                         let table = parsed.and_then(|stream| {
                             stream.finish_table().map_err(|e| format!("invalid csv: {e}"))
                         });
                         let reusable = head.keep_alive();
-                        let kind = WorkKind::CsvClean { head, table };
+                        let kind = WorkKind::CsvClean { head, table, profile };
                         return dispatch(ctx, conn, kind, reusable, false);
                     }
                     Ok(n) => {
@@ -573,9 +602,11 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
                                 let kind = WorkKind::CsvClean {
                                     head,
                                     table: Err(format!("invalid csv: {e}")),
+                                    profile: None,
                                 };
                                 return dispatch(ctx, conn, kind, false, true);
                             }
+                            profiler.observe(stream);
                         }
                     }
                     Err(e) if is_would_block(&e) => return Next::Keep,
@@ -602,7 +633,7 @@ fn dispatch(ctx: &Ctx<'_>, conn: &mut Conn, kind: WorkKind, reusable: bool, drai
         ctx.state.metrics.count_connection_rejected();
         ctx.state.metrics.count_status(503);
         let response = Response::error(503, "server is at capacity; retry shortly");
-        start_write(ctx, conn, &response, false, drain)
+        start_write(ctx, conn, response, false, drain)
     }
 }
 
@@ -616,25 +647,27 @@ fn fail_request(ctx: &Ctx<'_>, conn: &mut Conn, error: &HttpError) -> Next {
             let response = Response::error(status, &error.to_string());
             // The client may still be mid-send (oversized or malformed
             // body): drain before closing so the response survives.
-            start_write(ctx, conn, &response, false, true)
+            start_write(ctx, conn, response, false, true)
         }
         None => Next::Close { reaped: false },
     }
 }
 
-/// Serialises `response` into the connection's outbound buffer and pushes
-/// as much as the socket takes right now.
+/// Serialises `response`'s head into the connection's outbound buffer,
+/// adopts the shared body allocation as-is (zero-copy), and pushes as much
+/// as the socket takes right now.
 fn start_write(
     ctx: &Ctx<'_>,
     conn: &mut Conn,
-    response: &Response,
+    response: Response,
     keep_alive: bool,
     drain: bool,
 ) -> Next {
-    let mut buf = Vec::with_capacity(response.body.len() + 256);
-    response.write_to(&mut buf, keep_alive).expect("serialising into a Vec cannot fail");
+    let head = response.head_bytes(keep_alive);
+    // A 204 carries no body on the wire whatever the struct holds.
+    let body: Arc<[u8]> = if response.status == 204 { Vec::new().into() } else { response.body };
     conn.phase =
-        Phase::Writing { buf, written: 0, close_after: !keep_alive, drain, counted: false };
+        Phase::Writing { head, body, written: 0, close_after: !keep_alive, drain, counted: false };
     drive_write(ctx, conn)
 }
 
@@ -644,10 +677,11 @@ fn start_write(
 /// the poller cannot see).
 fn drive_write(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
     loop {
-        let Phase::Writing { buf, written, close_after, drain, counted } = &mut conn.phase else {
+        let Phase::Writing { head, body, written, close_after, drain, counted } = &mut conn.phase
+        else {
             return Next::Keep;
         };
-        if *written == buf.len() {
+        if *written == head.len() + body.len() {
             let (close_after, drain) = (*close_after, *drain);
             if close_after {
                 if drain {
@@ -663,7 +697,10 @@ fn drive_write(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
             conn.last_activity = Instant::now();
             return drive_read(ctx, conn);
         }
-        match conn.reader.source_mut().write(&buf[*written..]) {
+        // Head first, then the shared body, one offset across both.
+        let slice: &[u8] =
+            if *written < head.len() { &head[*written..] } else { &body[*written - head.len()..] };
+        match conn.reader.source_mut().write(slice) {
             Ok(0) => return Next::Close { reaped: false },
             Ok(n) => {
                 *written += n;

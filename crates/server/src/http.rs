@@ -22,6 +22,7 @@
 //! a reverse proxy terminates those in any real deployment.
 
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Cap on the request line + headers. Larger heads are rejected as 400.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -545,24 +546,27 @@ pub struct Response {
     pub status: u16,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body bytes.
-    pub body: Vec<u8>,
+    /// Response body bytes. Shared so the event loop's write path (and a
+    /// cached job result served to several pollers) can reference the
+    /// payload without copying it into per-connection buffers; cloning a
+    /// `Response` bumps a refcount instead of duplicating the body.
+    pub body: Arc<[u8]>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, content_type: "application/json", body: body.into().into_bytes() }
+        Response { status, content_type: "application/json", body: body.into().into_bytes().into() }
     }
 
     /// A CSV response — the `Accept: text/csv` content-negotiation mode.
     pub fn csv(status: u16, body: impl Into<String>) -> Response {
-        Response { status, content_type: "text/csv", body: body.into().into_bytes() }
+        Response { status, content_type: "text/csv", body: body.into().into_bytes().into() }
     }
 
     /// An empty 204 — the success shape of `DELETE /v1/jobs/{id}`.
     pub fn no_content() -> Response {
-        Response { status: 204, content_type: "application/json", body: Vec::new() }
+        Response { status: 204, content_type: "application/json", body: Vec::new().into() }
     }
 
     /// The uniform error shape: `{"error": "..."}`.
@@ -570,11 +574,13 @@ impl Response {
         Response::json(status, format!("{{\"error\": {}}}", json_escape(message)))
     }
 
-    /// Serialises with `Content-Length` framing and the connection's
-    /// keep-alive decision. A 204 is framed per RFC 9110 §8.6: no
-    /// `Content-Length` (and no `Content-Type`) — the status itself says
-    /// there is no body.
-    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+    /// Serialises just the status line + headers, with `Content-Length`
+    /// framing and the connection's keep-alive decision. A 204 is framed
+    /// per RFC 9110 §8.6: no `Content-Length` (and no `Content-Type`) —
+    /// the status itself says there is no body. The body is *not*
+    /// included: the event loop writes `self.body` directly from the
+    /// shared allocation instead of copying it after the head.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let head = if self.status == 204 {
             format!("HTTP/1.1 204 {}\r\nConnection: {connection}\r\n\r\n", reason(204))
@@ -587,7 +593,13 @@ impl Response {
                 self.body.len(),
             )
         };
-        w.write_all(head.as_bytes())?;
+        head.into_bytes()
+    }
+
+    /// Serialises head then body to `w` — the blocking-writer counterpart
+    /// of the event loop's zero-copy head/body split.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        w.write_all(&self.head_bytes(keep_alive))?;
         if self.status != 204 {
             w.write_all(&self.body)?;
         }

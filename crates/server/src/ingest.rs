@@ -1,0 +1,139 @@
+//! Incremental profiling of streamed CSV ingest.
+//!
+//! `text/csv` bodies arrive chunk-by-chunk in the event loop and are parsed
+//! in place by [`CsvStream`]. A [`StreamProfiler`] rides along: every time
+//! `chunk_rows` new records complete, it materialises just those rows as a
+//! mini-table and folds them into a running
+//! [`PartialProfile`](cocoon_profile::PartialProfile). By the time the last
+//! body byte lands, the entry profile the pipeline needs is already built —
+//! profiling overlapped the network transfer, its working set stayed
+//! bounded by the chunk size, and no whole-table profiling pass runs after
+//! ingest. Merge associativity (property-tested in `cocoon-profile`)
+//! guarantees the finalised profile is identical to profiling the
+//! materialised table in one pass.
+
+use cocoon_core::CleanerConfig;
+use cocoon_profile::{PartialProfile, TableProfile};
+use cocoon_table::csv::CsvStream;
+use cocoon_table::Table;
+
+/// Accumulates a table profile chunk-by-chunk off a [`CsvStream`], so the
+/// profiling phase overlaps the body transfer.
+pub(crate) struct StreamProfiler {
+    /// Rows per mini-table; bounds the profiling working set.
+    chunk_rows: usize,
+    /// Completed records consumed so far (`records()[0]` is the header, so
+    /// the cursor starts past it).
+    cursor: usize,
+    header: Option<Vec<String>>,
+    partial: Option<PartialProfile>,
+    /// Set when a mini-table fails to build (ragged row): the final
+    /// whole-document parse will fail identically, so the profile is moot.
+    abandoned: bool,
+}
+
+impl StreamProfiler {
+    pub(crate) fn new(chunk_rows: usize) -> Self {
+        StreamProfiler {
+            chunk_rows: chunk_rows.max(1),
+            cursor: 1,
+            header: None,
+            partial: None,
+            abandoned: false,
+        }
+    }
+
+    /// Absorbs every *full* chunk of completed records; partial chunks wait
+    /// for more bytes (or for [`finish`](Self::finish)).
+    pub(crate) fn observe(&mut self, stream: &CsvStream) {
+        self.drain(stream.records(), false);
+    }
+
+    /// Absorbs the remaining tail and finalises. CSV ingest always runs the
+    /// default configuration (there is no JSON envelope to override it), so
+    /// the profile is finalised under the options the pipeline will check
+    /// it against — and `clean_seeded` revalidates regardless.
+    pub(crate) fn finish(mut self, stream: &CsvStream) -> Option<TableProfile> {
+        self.drain(stream.records(), true);
+        let partial = self.partial?;
+        Some(partial.finalize(&CleanerConfig::default().profile_options()))
+    }
+
+    fn drain(&mut self, records: &[Vec<String>], force_tail: bool) {
+        if self.abandoned {
+            return;
+        }
+        if self.header.is_none() {
+            let Some(first) = records.first() else { return };
+            self.header = Some(first.clone());
+        }
+        let header = self.header.clone().expect("header captured above");
+        while self.cursor < records.len() {
+            let available = records.len() - self.cursor;
+            if available < self.chunk_rows && !force_tail {
+                return;
+            }
+            let take = available.min(self.chunk_rows);
+            let rows = &records[self.cursor..self.cursor + take];
+            let mini = match Table::from_text_rows(&header, rows) {
+                Ok(mini) => mini,
+                Err(_) => {
+                    self.abandoned = true;
+                    self.partial = None;
+                    return;
+                }
+            };
+            let chunk = PartialProfile::of_rows(&mini, 0..mini.height());
+            match &mut self.partial {
+                Some(partial) => partial.merge(chunk),
+                None => self.partial = Some(chunk),
+            }
+            self.cursor += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoon_table::csv;
+
+    const DOC: &str = "id,lang,score\n1,eng,3.5\n2,eng,4.0\n3,English,3.5\n4,eng,\n5,fra,2.0\n6,eng,3.5\n7,eng,9.9\n";
+
+    /// Feeds `doc` byte-by-byte in `step`-sized slices, observing after
+    /// every push, exactly as the event loop does.
+    fn stream_profile(doc: &str, chunk_rows: usize, step: usize) -> Option<TableProfile> {
+        let mut stream = CsvStream::new();
+        let mut profiler = StreamProfiler::new(chunk_rows);
+        for piece in doc.as_bytes().chunks(step) {
+            stream.push_bytes(piece).unwrap();
+            profiler.observe(&stream);
+        }
+        profiler.finish(&stream)
+    }
+
+    #[test]
+    fn streamed_profile_matches_whole_table_profile() {
+        let table = csv::read_str(DOC).unwrap();
+        let options = CleanerConfig::default().profile_options();
+        let whole = cocoon_profile::profile_table(&table, &options);
+        for chunk_rows in [1, 2, 3, 7, 100] {
+            for step in [1, 3, 8, DOC.len()] {
+                let streamed = stream_profile(DOC, chunk_rows, step).unwrap();
+                assert_eq!(streamed, whole, "chunk_rows={chunk_rows} step={step}");
+                assert!(streamed.matches(&table, &options));
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_row_abandons_profiling() {
+        let doc = "a,b\n1,2\n3\n4,5\n";
+        assert!(stream_profile(doc, 1, 4).is_none());
+    }
+
+    #[test]
+    fn header_only_document_yields_no_profile() {
+        assert!(stream_profile("a,b\n", 4, 2).is_none());
+    }
+}

@@ -53,6 +53,7 @@
 pub mod api;
 mod event;
 pub mod http;
+mod ingest;
 pub mod jobs;
 pub mod metrics;
 pub mod server;

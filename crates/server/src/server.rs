@@ -2,7 +2,7 @@
 //! state.
 //!
 //! `serve()` runs a small number of *event* threads (the readiness loops
-//! in [`crate::event`] — they own every socket, nonblocking), a fixed pool
+//! in `crate::event` — they own every socket, nonblocking), a fixed pool
 //! of *worker* threads (they run the actual cleans), and the job workers,
 //! all as *scoped* threads: the call blocks until [`ServerHandle::stop`],
 //! and every thread is joined before it returns — no detached threads, no
@@ -11,7 +11,7 @@
 //! The division of labour is strict: event threads do all socket I/O and
 //! all protocol parsing, incrementally, exactly as far as the bytes at
 //! hand allow; workers only ever see *complete* requests, handed over
-//! through a bounded [`event::WorkQueue`]. A slow, stalled, or hostile
+//! through a bounded `event::WorkQueue`. A slow, stalled, or hostile
 //! client therefore costs one parked connection struct in an event thread
 //! — never a worker, and never the accept path. When the work queue is
 //! full new requests are refused with an immediate 503, and when the
@@ -23,7 +23,7 @@ use crate::event::{self, Mail, Shard, Work, WorkKind, WorkQueue};
 use crate::http::DEFAULT_MAX_BODY_BYTES;
 use crate::jobs::JobStore;
 use crate::metrics::Metrics;
-use cocoon_core::{Cleaner, CleaningRun, RunProgress};
+use cocoon_core::{AutoApprove, Cleaner, CleaningRun, RunProgress};
 use cocoon_llm::{CachedLlm, ChatModel, CoalescingDispatcher, DispatcherConfig, SimLlm};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -56,6 +56,10 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Request-body cap in bytes (over → 413).
     pub max_body: usize,
+    /// Rows per profiling chunk for streamed-CSV ingest (bounds the
+    /// event-loop profiling working set; the partial-profile fold makes
+    /// any chunking equivalent).
+    pub profile_chunk_rows: usize,
     /// LRU bound on the shared completion cache (`None` = unbounded).
     pub cache_capacity: Option<usize>,
     /// Finished jobs expire this long after finishing (`None` = never;
@@ -76,6 +80,7 @@ impl Default for ServerConfig {
             max_conns: 10_000,
             idle_timeout: Duration::from_secs(30),
             max_body: DEFAULT_MAX_BODY_BYTES,
+            profile_chunk_rows: cocoon_profile::DEFAULT_PROFILE_CHUNK_ROWS,
             cache_capacity: Some(16 * 1024),
             job_ttl: Some(Duration::from_secs(900)),
             dispatcher: DispatcherConfig::default(),
@@ -101,6 +106,9 @@ pub struct AppState {
     pub max_body: usize,
     /// The slow-loris idle bound (see [`ServerConfig::idle_timeout`]).
     pub idle_timeout: Duration,
+    /// Rows per streamed-ingest profiling chunk (see
+    /// [`ServerConfig::profile_chunk_rows`]).
+    pub profile_chunk_rows: usize,
     /// The open-connection cap (see [`ServerConfig::max_conns`]).
     pub(crate) max_conns: usize,
     /// The bounded hand-off of complete requests to the worker pool.
@@ -134,6 +142,7 @@ impl AppState {
             jobs: JobStore::with_ttl(config.job_ttl),
             max_body: config.max_body,
             idle_timeout: config.idle_timeout,
+            profile_chunk_rows: config.profile_chunk_rows.max(1),
             max_conns: config.max_conns.max(1),
             work: WorkQueue::new(config.request_backlog.max(1)),
             shards,
@@ -160,17 +169,17 @@ impl AppState {
     /// the synchronous endpoint (`progress: None`) and job workers (who
     /// pass the job's progress), so the two paths produce byte-identical
     /// artifacts for the same input; rendering (JSON or CSV) is the
-    /// caller's choice.
+    /// caller's choice. A profile prebuilt during ingest seeds the
+    /// pipeline's entry profile (the pipeline revalidates it), sparing the
+    /// whole-table profiling pass.
     pub fn run_clean(
         &self,
         payload: &CleanPayload,
         progress: Option<&RunProgress>,
     ) -> Result<CleaningRun, cocoon_core::CoreError> {
         let cleaner = Cleaner::with_config(&self.llm, payload.config.clone())?;
-        match progress {
-            Some(progress) => cleaner.clean_with_progress(&payload.table, progress),
-            None => cleaner.clean(&payload.table),
-        }
+        let mut hook = AutoApprove;
+        cleaner.clean_seeded(&payload.table, &mut hook, progress, payload.profile.clone())
     }
 
     /// The `/v1/metrics` body: request counters, work-queue and
@@ -341,7 +350,9 @@ fn worker_loop(state: &AppState) {
         let Work { shard, token, kind, reusable, drain } = work;
         let response = match kind {
             WorkKind::Request(request) => api::route(state, &request),
-            WorkKind::CsvClean { head, table } => api::route_streamed_csv(state, &head, table),
+            WorkKind::CsvClean { head, table, profile } => {
+                api::route_streamed_csv(state, &head, table, profile)
+            }
         };
         state.shards[shard].post(Mail::Done { token, response, reusable, drain });
     }

@@ -8,7 +8,7 @@ use crate::ast::{BinaryOp, Expr, UnaryOp};
 use crate::error::{Result, SqlError};
 use crate::functions;
 use cocoon_table::{Column, DataType, Schema, Table, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A row-binding context for expression evaluation.
 pub struct RowContext<'a> {
@@ -357,6 +357,42 @@ pub fn eval_column(expr: &Expr, table: &Table, sel: &Selection<'_>) -> Result<Co
         {
             eval_value_map(operand, arms, otherwise.as_deref(), table, sel)
         }
+        Expr::InList { expr, list, negated }
+            if list.iter().all(|item| matches!(item, Expr::Literal(_))) =>
+        {
+            // Literal-only `IN` lists (the shape every compiled Cocoon
+            // filter emits): one hash probe per row instead of a linear
+            // scan of the list. `Value`'s `Hash`/`Eq` agree with the
+            // row-wise `==` (Int/Float cross-type included); NULL literals
+            // never enter the set — under 3VL they only turn a miss into
+            // NULL, exactly as the row-wise scan does.
+            let mut set: HashSet<&Value> = HashSet::with_capacity(list.len());
+            let mut saw_null = false;
+            for item in list {
+                let Expr::Literal(v) = item else { unreachable!("guarded by the match arm") };
+                if v.is_null() {
+                    saw_null = true;
+                } else {
+                    set.insert(v);
+                }
+            }
+            let subject = eval_column(expr, table, sel)?;
+            Ok(subject
+                .into_values()
+                .into_iter()
+                .map(|v| {
+                    if v.is_null() {
+                        Value::Null
+                    } else if set.contains(&v) {
+                        Value::Bool(!negated)
+                    } else if saw_null {
+                        Value::Null
+                    } else {
+                        Value::Bool(*negated)
+                    }
+                })
+                .collect())
+        }
         _ => sel.iter().map(|row| eval(expr, &RowContext::new(table, row))).collect(),
     }
 }
@@ -616,6 +652,40 @@ mod tests {
                 Expr::eq(Expr::binary(BinaryOp::Add, id_int(), Expr::lit(1i64)), Expr::lit(2i64)),
                 Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col("lang")) },
             ),
+        ] {
+            for sel in [Selection::All(t.height()), Selection::Rows(&[1]), Selection::Rows(&[])] {
+                let columnar = eval_column(&expr, &t, &sel).unwrap();
+                let rowwise: Vec<Value> =
+                    sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
+                assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_list_vectorises_and_matches_rowwise() {
+        let mut t = table();
+        t.set_cell(0, 1, Value::Null).unwrap();
+        let in_list = |expr: Expr, list: Vec<Expr>, negated: bool| Expr::InList {
+            expr: Box::new(expr),
+            list,
+            negated,
+        };
+        let id_int = || Expr::try_cast(Expr::col("id"), DataType::Int);
+        for expr in [
+            in_list(Expr::col("lang"), vec![Expr::lit("eng"), Expr::lit("fre")], false),
+            in_list(Expr::col("lang"), vec![Expr::lit("eng"), Expr::lit("fre")], true),
+            // NULL subject row 0 → NULL either way.
+            in_list(Expr::col("lang"), vec![Expr::lit("English")], false),
+            // NULL in the list turns misses into NULL, hits stay Bool.
+            in_list(Expr::col("lang"), vec![Expr::lit("English"), Expr::null()], false),
+            in_list(Expr::col("lang"), vec![Expr::lit("zzz"), Expr::null()], true),
+            // Int/Float cross-type hash agreement.
+            in_list(id_int(), vec![Expr::lit(1.0), Expr::lit(7i64)], false),
+            // Empty list: always a (possibly negated) miss.
+            in_list(Expr::col("lang"), vec![], false),
+            // Non-literal list items take the row-wise fallback.
+            in_list(Expr::col("lang"), vec![Expr::col("lang")], false),
         ] {
             for sel in [Selection::All(t.height()), Selection::Rows(&[1]), Selection::Rows(&[])] {
                 let columnar = eval_column(&expr, &t, &sel).unwrap();

@@ -18,7 +18,8 @@
 //!
 //! [`ast`] models these, [`render`] pretty-prints them (with the reasoning
 //! comments of Figure 5), [`parser`] reads the emitted dialect back, and
-//! [`exec`]/[`eval`] run them against [`cocoon_table::Table`]s with SQL
+//! [`exec`]/[`eval`](mod@eval) run them against [`cocoon_table::Table`]s
+//! with SQL
 //! NULL/three-valued-logic semantics.
 
 #![warn(missing_docs)]

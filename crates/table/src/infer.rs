@@ -30,12 +30,27 @@ const CANDIDATES: [DataType; 5] =
 /// `Float` ≺ `Date` ≺ `Time` ≺ `Text`). With no winner the column stays
 /// `Text` with confidence 1.0.
 pub fn infer_column_type(column: &Column, tolerance: f64) -> TypeInference {
-    let total = column.non_null().count();
+    infer_from_distinct(&column.distinct_by_frequency(), tolerance)
+}
+
+/// [`infer_column_type`] over an already-censused column: distinct
+/// `(value, count)` pairs standing in for the cells themselves. Casting is
+/// deterministic per value, so weighing each distinct value by its count
+/// yields exactly the per-cell success ratio — which is what lets
+/// chunk-merged profiles (`cocoon_profile::PartialProfile`) reproduce the
+/// whole-column inference without keeping the cells around.
+pub fn infer_from_distinct(distinct: &[(Value, usize)], tolerance: f64) -> TypeInference {
+    let total: usize = distinct.iter().map(|(_, count)| count).sum();
     if total == 0 {
         return TypeInference { data_type: DataType::Text, confidence: 1.0, violations: 0 };
     }
     for candidate in CANDIDATES {
-        let ratio = column.cast_success_ratio(candidate);
+        let ok: usize = distinct
+            .iter()
+            .filter(|(value, _)| value.cast(candidate).is_ok())
+            .map(|(_, count)| count)
+            .sum();
+        let ratio = ok as f64 / total as f64;
         if ratio >= tolerance {
             let violations = ((1.0 - ratio) * total as f64).round() as usize;
             return TypeInference { data_type: candidate, confidence: ratio, violations };
@@ -120,6 +135,17 @@ mod tests {
         let fails = parse_failures(&col, DataType::Int);
         assert_eq!(fails.len(), 2);
         assert!(fails.contains(&Value::Text("x".into())));
+    }
+
+    #[test]
+    fn distinct_census_matches_per_cell_inference() {
+        let col = Column::from_strings(["1", "2", "2", "x", "3", "3", "3", "3"]);
+        for tolerance in [0.5, 0.8, 0.95] {
+            assert_eq!(
+                infer_from_distinct(&col.distinct_by_frequency(), tolerance),
+                infer_column_type(&col, tolerance)
+            );
+        }
     }
 
     #[test]

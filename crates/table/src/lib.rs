@@ -31,7 +31,7 @@ pub mod value;
 pub use column::Column;
 pub use date::{Date, TimeOfDay};
 pub use error::{Result, TableError};
-pub use infer::{infer_column_type, TypeInference};
+pub use infer::{infer_column_type, infer_from_distinct, TypeInference};
 pub use schema::{Field, Schema};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -342,6 +342,39 @@ fn csv_ingest_and_response_are_byte_equivalent_to_the_json_path() {
 }
 
 #[test]
+fn streamed_csv_profiling_is_invisible_in_the_output() {
+    // Streamed `text/csv` ingest profiles the table chunk-by-chunk as body
+    // bytes arrive and hands the merged profile to the pipeline. With a
+    // tiny chunk size (hundreds of partial merges on Movies) the cleaned
+    // output must stay byte-identical to the materialised JSON path *and*
+    // to a direct in-process `Cleaner` run — the merge-equivalence
+    // guarantee, held to over the wire.
+    let movies = cocoon_datasets::movies::generate().dirty;
+    let movies_csv = csv::write_str(&movies);
+    let direct = Cleaner::new(SimLlm::new()).clean(&movies).expect("direct clean");
+    let expected_csv = csv::write_str(&direct.table);
+    let config = ServerConfig { profile_chunk_rows: 3, ..test_config() };
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let (status, streamed) = http_with_headers(
+            addr,
+            "POST",
+            "/v1/clean",
+            &[("Content-Type", "text/csv"), ("Accept", "text/csv")],
+            Some(&movies_csv),
+        );
+        assert_eq!(status, 200, "{streamed}");
+        assert_eq!(streamed, expected_csv, "streamed-profiled clean == direct Cleaner run");
+
+        let (status, json_body) = http(addr, "POST", "/v1/clean", Some(&clean_body(&movies_csv)));
+        assert_eq!(status, 200, "{json_body}");
+        let json = cocoon_llm::json::parse(&json_body).expect("json response");
+        let from_json = json.get("cleaned_csv").and_then(Json::as_str).expect("cleaned_csv");
+        assert_eq!(streamed, from_json, "profiled and unprofiled ingest paths agree");
+    });
+}
+
+#[test]
 fn chunked_csv_upload_streams_through() {
     // A chunked transfer (no Content-Length anywhere) must parse
     // incrementally and clean identically — the streaming-friendly shape.
