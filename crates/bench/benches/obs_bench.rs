@@ -1,0 +1,103 @@
+//! Instrumentation overhead: the same warm Movies clean with and without
+//! the observability layer attached, plus the raw cost of the cocoon-obs
+//! primitives a request pays per event (histogram record, span record).
+//!
+//! The acceptance bar for PR 9 is that attaching a stage observer that
+//! feeds a histogram *and* records spans costs < 2% on a warm clean —
+//! pinned in `BENCH_PR9.json`.
+
+use cocoon_core::{Cleaner, RunProgress, StageObserver, StageTiming};
+use cocoon_llm::SimLlm;
+use cocoon_obs::{Histogram, SpanRecorder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The server's per-request instrumentation, condensed: every finished
+/// stage feeds a shared histogram and appends a span with attributes.
+struct ObsSink {
+    histogram: Histogram,
+    recorder: SpanRecorder,
+}
+
+impl StageObserver for ObsSink {
+    fn stage_finished(&self, timing: StageTiming) {
+        self.histogram.record(timing.total.as_nanos() as u64);
+        let now = Instant::now();
+        let start = now.checked_sub(timing.total).unwrap_or(now);
+        self.recorder.record_with_attrs(
+            timing.stage,
+            start,
+            now,
+            None,
+            vec![("ops_applied", timing.ops_applied.to_string())],
+        );
+    }
+}
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let movies = cocoon_datasets::movies::generate().dirty;
+    let cleaner = Cleaner::new(SimLlm::new());
+    cleaner.clean(&movies).expect("warmup");
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(40);
+    group.bench_function("warm Movies clean, bare", |b| {
+        b.iter(|| cleaner.clean(black_box(&movies)).expect("clean"))
+    });
+    // Progress publishing alone (the pre-existing jobs-path cost), to
+    // separate it from what this PR adds on top.
+    group.bench_function("warm Movies clean, progress only", |b| {
+        b.iter(|| {
+            let progress = RunProgress::new();
+            cleaner.clean_with_progress(black_box(&movies), &progress).expect("clean")
+        })
+    });
+    group.bench_function("warm Movies clean, stage observer + spans", |b| {
+        b.iter(|| {
+            let progress = RunProgress::new();
+            progress.set_observer(Arc::new(ObsSink {
+                histogram: Histogram::new(),
+                recorder: SpanRecorder::new(),
+            }));
+            cleaner.clean_with_progress(black_box(&movies), &progress).expect("clean")
+        })
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs-primitives");
+    group.bench_function("histogram record", |b| {
+        let histogram = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            // Cheap LCG so successive records hit different buckets.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record(black_box(v >> 20));
+        })
+    });
+    group.bench_function("histogram percentile (1k samples)", |b| {
+        let histogram = Histogram::new();
+        for v in 0..1000u64 {
+            histogram.record(v * 1017);
+        }
+        b.iter(|| black_box(&histogram).percentile(99.0))
+    });
+    group.bench_function("span record with attrs", |b| {
+        let recorder = SpanRecorder::new();
+        let start = Instant::now();
+        b.iter(|| {
+            recorder.record_with_attrs(
+                "bench",
+                black_box(start),
+                Instant::now(),
+                None,
+                vec![("k", String::from("v"))],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead, bench_primitives);
+criterion_main!(benches);

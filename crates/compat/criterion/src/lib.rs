@@ -8,8 +8,9 @@
 //! `criterion_main!` macros.
 //!
 //! Statistics are intentionally simple — warm-up, then a fixed number of
-//! timed samples, reporting the mean and min per iteration, plus derived
-//! throughput when the group declares a [`Throughput`]. There is no HTML
+//! timed samples, reporting the mean, min and nearest-rank p99 per
+//! iteration, plus derived throughput when the group declares a
+//! [`Throughput`]. There is no HTML
 //! report or outlier analysis, but `--save-baseline NAME` writes a JSON
 //! summary to `target/criterion/NAME-<bench-target>.json` so perf PRs can
 //! record before/after runs. Honouring the `cargo bench` / `cargo test --benches`
@@ -49,6 +50,7 @@ struct BenchResult {
     id: String,
     mean_ns: u128,
     min_ns: u128,
+    p99_ns: u128,
     iters_per_sample: u64,
     samples: usize,
     throughput: Option<Throughput>,
@@ -170,6 +172,7 @@ impl Criterion {
             out.push_str(&format!("\"id\": \"{}\", ", escape_json(&r.id)));
             out.push_str(&format!("\"mean_ns\": {}, ", r.mean_ns));
             out.push_str(&format!("\"min_ns\": {}, ", r.min_ns));
+            out.push_str(&format!("\"p99_ns\": {}, ", r.p99_ns));
             out.push_str(&format!("\"iters_per_sample\": {}, ", r.iters_per_sample));
             out.push_str(&format!("\"samples\": {}", r.samples));
             if let (Some(t), Some(per_s)) = (r.throughput, r.per_second()) {
@@ -288,6 +291,7 @@ pub struct Bencher {
 struct Report {
     mean: Duration,
     min: Duration,
+    p99: Duration,
     iters_per_sample: u64,
 }
 
@@ -311,19 +315,30 @@ impl Bencher {
             }
             iters_per_sample *= 2;
         }
-        let mut total = Duration::ZERO;
-        let mut min = Duration::MAX;
+        let mut observed = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(f());
             }
-            let sample = start.elapsed() / iters_per_sample as u32;
-            total += sample;
-            min = min.min(sample);
+            observed.push(start.elapsed() / iters_per_sample as u32);
         }
-        self.report = Some(Report { mean: total / self.samples as u32, min, iters_per_sample });
+        let total: Duration = observed.iter().sum();
+        observed.sort_unstable();
+        self.report = Some(Report {
+            mean: total / self.samples as u32,
+            min: observed[0],
+            p99: percentile(&observed, 0.99),
+            iters_per_sample,
+        });
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample list.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentile of no samples");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn run_one<F>(
@@ -353,9 +368,10 @@ where
     match bencher.report {
         Some(r) => {
             println!(
-                "{id:<50} mean {:>12} min {:>12} ({} iter/sample, {} samples)",
+                "{id:<50} mean {:>12} min {:>12} p99 {:>12} ({} iter/sample, {} samples)",
                 format_duration(r.mean),
                 format_duration(r.min),
+                format_duration(r.p99),
                 r.iters_per_sample,
                 samples,
             );
@@ -363,6 +379,7 @@ where
                 id: id.to_string(),
                 mean_ns: r.mean.as_nanos(),
                 min_ns: r.min.as_nanos(),
+                p99_ns: r.p99.as_nanos(),
                 iters_per_sample: r.iters_per_sample,
                 samples,
                 throughput: None,

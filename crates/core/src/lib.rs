@@ -51,6 +51,6 @@ pub use decision::{
 pub use error::{CoreError, Result};
 pub use ops::{CleaningOp, IssueKind};
 pub use pipeline::{Cleaner, CleaningRun, STAGE_ORDER};
-pub use progress::{ProgressSnapshot, RunProgress};
+pub use progress::{ProgressSnapshot, RunProgress, StageObserver, StageTiming};
 pub use report::{full_report, issue_summary, workflow_trace};
 pub use state::{DetectCtx, PipelineState};

@@ -196,6 +196,7 @@ impl<M: ChatModel> Cleaner<M> {
             (toggles.uniqueness, IssueKind::Uniqueness, issues::uniqueness::run),
         ];
         let mut state = PipelineState::new(table.clone(), &self.llm, &self.config, hook);
+        state.progress = progress;
         // Profile the entry table once, chunk-parallel on the stage pool;
         // stages that need these statistics serve them from the profile
         // instead of re-deriving them, until the first applied op
@@ -353,6 +354,34 @@ mod tests {
         let plain = cleaner.clean(&messy()).unwrap();
         assert_eq!(run.table, plain.table);
         assert_eq!(run.sql_script(), plain.sql_script());
+    }
+
+    #[test]
+    fn stage_observer_times_every_enabled_stage() {
+        use crate::progress::{StageObserver, StageTiming};
+        use std::sync::{Arc, Mutex};
+        struct Collect(Mutex<Vec<StageTiming>>);
+        impl StageObserver for Collect {
+            fn stage_finished(&self, timing: StageTiming) {
+                self.0.lock().unwrap().push(timing);
+            }
+        }
+        let cleaner = Cleaner::new(SimLlm::new());
+        let collect = Arc::new(Collect(Mutex::new(Vec::new())));
+        let progress = RunProgress::new();
+        progress.set_observer(collect.clone());
+        let run = cleaner.clean_with_progress(&messy(), &progress).unwrap();
+        let events = collect.0.lock().unwrap().clone();
+        // One event per enabled stage, in pipeline order, detect ≤ total,
+        // and the final cumulative op count matches the run.
+        let names: Vec<&str> = events.iter().map(|e| e.stage).collect();
+        let expected: Vec<&str> = STAGE_ORDER.iter().map(|k| k.name()).collect();
+        assert_eq!(names, expected);
+        assert!(events.iter().all(|e| e.detect <= e.total));
+        assert_eq!(events.last().unwrap().ops_applied, run.ops.len());
+        // Observation stays invisible in the run output.
+        let plain = cleaner.clean(&messy()).unwrap();
+        assert_eq!(run.table, plain.table);
     }
 
     #[test]

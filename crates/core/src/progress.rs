@@ -12,17 +12,58 @@
 //! [`Cleaner::clean_with_progress`](crate::Cleaner::clean_with_progress)
 //! and its observers.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Wall-clock timings of one finished pipeline stage, as delivered to a
+/// [`StageObserver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name ([`IssueKind::name`](crate::IssueKind::name)).
+    pub stage: &'static str,
+    /// Total wall time of the stage (detect fan-out + decide/apply).
+    pub total: Duration,
+    /// Wall time of the concurrent detect fan-out within the stage; the
+    /// sequential decide/apply phase is `total - detect`.
+    pub detect: Duration,
+    /// Cumulative operations applied once the stage finished.
+    pub ops_applied: usize,
+}
+
+/// Observer of per-stage wall-clock cost, fired at each stage boundary by
+/// the cleaning thread. Attach one with [`RunProgress::set_observer`] and
+/// pass the progress to [`Cleaner::clean_observed`](crate::Cleaner::clean_observed)
+/// (or any `clean_*` taking a progress) — library users then see exactly
+/// the timings `cocoon-server` exports in its `latency` metrics.
+///
+/// Implementations must be `Send + Sync`: the callback runs on whichever
+/// thread executes the clean.
+pub trait StageObserver: Send + Sync {
+    /// Called once per enabled stage, after its decide phase completes.
+    fn stage_finished(&self, timing: StageTiming);
+}
 
 /// Shared, thread-safe progress state of one cleaning run.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct RunProgress {
     total_stages: AtomicUsize,
     completed_stages: AtomicUsize,
     ops_applied: AtomicUsize,
     finished: AtomicBool,
     current_stage: Mutex<Option<&'static str>>,
+    stage_started: Mutex<Option<Instant>>,
+    detect_ns: AtomicU64,
+    observer: Mutex<Option<Arc<dyn StageObserver>>>,
+}
+
+impl std::fmt::Debug for RunProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunProgress")
+            .field("snapshot", &self.snapshot())
+            .field("has_observer", &self.observer.lock().expect("progress lock").is_some())
+            .finish()
+    }
 }
 
 /// One consistent observation of a [`RunProgress`].
@@ -46,6 +87,12 @@ impl RunProgress {
         RunProgress::default()
     }
 
+    /// Attaches a stage-timing observer; replaces any previous one. The
+    /// observer is fired from the cleaning thread at each stage boundary.
+    pub fn set_observer(&self, observer: Arc<dyn StageObserver>) {
+        *self.observer.lock().expect("progress lock") = Some(observer);
+    }
+
     /// Called once when the run starts, with the number of enabled stages.
     pub(crate) fn begin(&self, total_stages: usize) {
         self.total_stages.store(total_stages, Ordering::Relaxed);
@@ -53,16 +100,33 @@ impl RunProgress {
         self.ops_applied.store(0, Ordering::Relaxed);
         self.finished.store(false, Ordering::Relaxed);
         *self.current_stage.lock().expect("progress lock") = None;
+        *self.stage_started.lock().expect("progress lock") = None;
+        self.detect_ns.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn start_stage(&self, name: &'static str) {
         *self.current_stage.lock().expect("progress lock") = Some(name);
+        *self.stage_started.lock().expect("progress lock") = Some(Instant::now());
+        self.detect_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Detect fan-outs report their wall time here; accumulated per stage
+    /// and reset by [`RunProgress::start_stage`].
+    pub(crate) fn add_detect_time(&self, elapsed: Duration) {
+        self.detect_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn finish_stage(&self, ops_applied: usize) {
         self.ops_applied.store(ops_applied, Ordering::Relaxed);
         self.completed_stages.fetch_add(1, Ordering::Relaxed);
-        *self.current_stage.lock().expect("progress lock") = None;
+        let stage = self.current_stage.lock().expect("progress lock").take();
+        let started = self.stage_started.lock().expect("progress lock").take();
+        let observer = self.observer.lock().expect("progress lock").clone();
+        if let (Some(stage), Some(started), Some(observer)) = (stage, started, observer) {
+            let total = started.elapsed();
+            let detect = Duration::from_nanos(self.detect_ns.load(Ordering::Relaxed)).min(total);
+            observer.stage_finished(StageTiming { stage, total, detect, ops_applied });
+        }
     }
 
     pub(crate) fn finish(&self, ops_applied: usize) {
@@ -118,6 +182,47 @@ mod tests {
         let s = p.snapshot();
         assert_eq!((s.total_stages, s.completed_stages, s.ops_applied), (4, 0, 0));
         assert!(!s.finished);
+    }
+
+    #[test]
+    fn observer_sees_each_stage_with_consistent_timings() {
+        struct Collect(Mutex<Vec<StageTiming>>);
+        impl StageObserver for Collect {
+            fn stage_finished(&self, timing: StageTiming) {
+                self.0.lock().unwrap().push(timing);
+            }
+        }
+        let collect = Arc::new(Collect(Mutex::new(Vec::new())));
+        let p = RunProgress::new();
+        p.set_observer(collect.clone());
+        p.begin(2);
+        p.start_stage("alpha");
+        p.add_detect_time(Duration::from_micros(5));
+        std::thread::sleep(Duration::from_millis(1));
+        p.finish_stage(1);
+        p.start_stage("beta");
+        p.finish_stage(3);
+        p.finish(3);
+        let events = collect.0.lock().unwrap().clone();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, "alpha");
+        assert!(events[0].total >= Duration::from_millis(1));
+        assert_eq!(events[0].detect, Duration::from_micros(5));
+        assert!(events[0].detect <= events[0].total);
+        assert_eq!(events[0].ops_applied, 1);
+        assert_eq!(events[1].stage, "beta");
+        // Detect accumulator resets between stages.
+        assert_eq!(events[1].detect, Duration::ZERO);
+        assert_eq!(events[1].ops_applied, 3);
+    }
+
+    #[test]
+    fn stage_timing_without_observer_is_a_no_op() {
+        let p = RunProgress::new();
+        p.begin(1);
+        p.start_stage("solo");
+        p.finish_stage(0);
+        assert_eq!(p.snapshot().completed_stages, 1);
     }
 
     #[test]

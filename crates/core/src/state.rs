@@ -20,6 +20,7 @@ use crate::config::CleanerConfig;
 use crate::decision::DecisionHook;
 use crate::error::Result;
 use crate::ops::CleaningOp;
+use crate::progress::RunProgress;
 use cocoon_llm::{ChatModel, ChatRequest};
 use cocoon_profile::{ColumnProfile, TableProfile};
 use cocoon_table::Table;
@@ -122,6 +123,9 @@ pub struct PipelineState<'a> {
     pub ops: Vec<CleaningOp>,
     /// Narrative notes: rejected FDs, skipped steps, LLM failures.
     pub notes: Vec<String>,
+    /// Progress channel of the run, when observed: detect fan-outs report
+    /// their wall time here so stage timings can split detect from decide.
+    pub progress: Option<&'a RunProgress>,
 }
 
 impl<'a> PipelineState<'a> {
@@ -145,6 +149,7 @@ impl<'a> PipelineState<'a> {
             entry_profile: None,
             ops: Vec::new(),
             notes: Vec::new(),
+            progress: None,
         }
     }
 
@@ -171,7 +176,12 @@ impl<'a> PipelineState<'a> {
         R: Send,
     {
         let ctx = self.detect_ctx();
-        self.pool.map_ordered(items, |item| detect(&ctx, item))
+        let started = std::time::Instant::now();
+        let out = self.pool.map_ordered(items, |item| detect(&ctx, item));
+        if let Some(progress) = self.progress {
+            progress.add_detect_time(started.elapsed());
+        }
+        out
     }
 
     /// Fans a per-column detection function out across every column.

@@ -34,8 +34,33 @@ use crate::chat::{ChatModel, ChatRequest, ChatResponse};
 use crate::error::{LlmError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// One backend batch round-trip, delivered to a [`DispatchObserver`] right
+/// after the batch resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// Distinct prompts the dispatched batch carried.
+    pub batch_size: usize,
+    /// Dispatcher-lifetime coalesced count at dispatch time (same counter
+    /// as [`DispatcherStats::coalesced`]).
+    pub coalesced_total: usize,
+    /// Time the batch leader slept on the token bucket before dispatching.
+    pub rate_limit_wait: Duration,
+    /// Wall time of the backend `complete_batch` call itself.
+    pub backend_elapsed: Duration,
+}
+
+/// Observer of backend round-trips, attached with
+/// [`CoalescingDispatcher::set_observer`]. Fired from whichever thread led
+/// the batch (a request worker, a detection worker), so implementations
+/// must be `Send + Sync` and cheap — the callback runs before the batch's
+/// waiters are notified.
+pub trait DispatchObserver: Send + Sync {
+    /// Called once per backend `complete_batch` call.
+    fn batch_dispatched(&self, event: BatchEvent);
+}
 
 /// A token-bucket rate limit: sustained `per_sec` requests per second with
 /// bursts of up to `burst` requests passing untrottled.
@@ -151,6 +176,7 @@ pub struct CoalescingDispatcher<M> {
     batched_prompts: AtomicUsize,
     rate_limit_waits: AtomicUsize,
     rate_limited_ns: AtomicU64,
+    observer: Mutex<Option<Arc<dyn DispatchObserver>>>,
 }
 
 impl<M: ChatModel> CoalescingDispatcher<M> {
@@ -174,7 +200,13 @@ impl<M: ChatModel> CoalescingDispatcher<M> {
             batched_prompts: AtomicUsize::new(0),
             rate_limit_waits: AtomicUsize::new(0),
             rate_limited_ns: AtomicU64::new(0),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Attaches a round-trip observer; replaces any previous one.
+    pub fn set_observer(&self, observer: Arc<dyn DispatchObserver>) {
+        *self.observer.lock().expect("observer lock") = Some(observer);
     }
 
     /// A dispatcher with default windowing and no rate limit.
@@ -206,9 +238,10 @@ impl<M: ChatModel> CoalescingDispatcher<M> {
     /// Takes `n` tokens from the bucket, sleeping while it is dry. The
     /// demand is clamped to the bucket capacity so an oversized batch
     /// drains the bucket instead of deadlocking on tokens it can never
-    /// hold. No-op without a configured rate limit.
-    fn throttle(&self, n: usize) {
-        let Some(bucket) = &self.bucket else { return };
+    /// hold. No-op without a configured rate limit. Returns the total time
+    /// slept so dispatch events can report the rate-limit share.
+    fn throttle(&self, n: usize) -> Duration {
+        let Some(bucket) = &self.bucket else { return Duration::ZERO };
         let limit = self.config.rate_limit.expect("bucket implies limit");
         let per_sec = limit.per_sec.max(f64::MIN_POSITIVE);
         let capacity = limit.burst.max(1.0);
@@ -238,6 +271,7 @@ impl<M: ChatModel> CoalescingDispatcher<M> {
         if !waited.is_zero() {
             self.rate_limited_ns.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
         }
+        waited
     }
 
     /// Blocks until `key`'s flight has a result, consumes one waiter slot,
@@ -295,11 +329,22 @@ impl<M: ChatModel> CoalescingDispatcher<M> {
     /// responses than requests (the trait cannot enforce the length) fails
     /// the unanswered tail instead of stranding its waiters.
     fn dispatch(&self, batch: Vec<(u64, ChatRequest)>) {
-        self.throttle(batch.len());
+        let rate_limit_wait = self.throttle(batch.len());
         let requests: Vec<ChatRequest> = batch.iter().map(|(_, r)| r.clone()).collect();
+        let backend_started = Instant::now();
         let mut responses = self.guarded_batch(&requests).into_iter();
+        let backend_elapsed = backend_started.elapsed();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_prompts.fetch_add(batch.len(), Ordering::Relaxed);
+        let observer = self.observer.lock().expect("observer lock").clone();
+        if let Some(observer) = observer {
+            observer.batch_dispatched(BatchEvent {
+                batch_size: batch.len(),
+                coalesced_total: self.coalesced.load(Ordering::Relaxed),
+                rate_limit_wait,
+                backend_elapsed,
+            });
+        }
         let mut queue = self.queue.lock().expect("dispatch lock");
         for (key, _) in batch {
             let response = responses.next().unwrap_or_else(|| Err(Self::short_batch_error()));
@@ -834,6 +879,54 @@ mod tests {
         // Batch path survives too.
         let responses = d.complete_batch(&[ChatRequest::simple("a")]);
         assert!(responses[0].is_err());
+    }
+
+    #[test]
+    fn observer_sees_every_backend_round_trip() {
+        struct Collect(Mutex<Vec<BatchEvent>>);
+        impl DispatchObserver for Collect {
+            fn batch_dispatched(&self, event: BatchEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+        let d = CoalescingDispatcher::new(EchoBackend::new(), windowed(0));
+        let collect = Arc::new(Collect(Mutex::new(Vec::new())));
+        d.set_observer(collect.clone());
+        d.complete(&ChatRequest::simple("one")).unwrap();
+        d.complete_batch(&[
+            ChatRequest::simple("a"),
+            ChatRequest::simple("b"),
+            ChatRequest::simple("a"),
+        ]);
+        let events = collect.0.lock().unwrap().clone();
+        assert_eq!(events.len(), 2, "one event per backend call");
+        assert_eq!(events[0].batch_size, 1);
+        assert_eq!(events[1].batch_size, 2, "in-batch duplicate deduped before dispatch");
+        assert_eq!(events[1].coalesced_total, 1);
+        assert!(events.iter().all(|e| e.rate_limit_wait.is_zero()), "no limit configured");
+    }
+
+    #[test]
+    fn observer_reports_rate_limit_sleeps() {
+        struct Collect(Mutex<Vec<BatchEvent>>);
+        impl DispatchObserver for Collect {
+            fn batch_dispatched(&self, event: BatchEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+        let config = DispatcherConfig {
+            batch_window: Duration::ZERO,
+            rate_limit: Some(RateLimit::new(50.0, 1.0)),
+            ..DispatcherConfig::default()
+        };
+        let d = CoalescingDispatcher::new(EchoBackend::new(), config);
+        let collect = Arc::new(Collect(Mutex::new(Vec::new())));
+        d.set_observer(collect.clone());
+        d.complete(&ChatRequest::simple("first")).unwrap();
+        d.complete(&ChatRequest::simple("second")).unwrap();
+        let events = collect.0.lock().unwrap().clone();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].rate_limit_wait >= Duration::from_millis(10), "{events:?}");
     }
 
     #[test]

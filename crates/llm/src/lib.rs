@@ -40,7 +40,10 @@ pub use cache::CachedLlm;
 pub use chat::{
     ChatModel, ChatRequest, ChatResponse, FailingLlm, Message, Role, ScriptedLlm, Usage,
 };
-pub use dispatch::{CoalescingDispatcher, DispatcherConfig, DispatcherStats, RateLimit};
+pub use dispatch::{
+    BatchEvent, CoalescingDispatcher, DispatchObserver, DispatcherConfig, DispatcherStats,
+    RateLimit,
+};
 pub use error::{LlmError, Result};
 pub use json::Json;
 pub use responses::{

@@ -1,0 +1,30 @@
+//! # cocoon-obs
+//!
+//! Dependency-free observability substrate for the Cocoon reproduction, in
+//! the same vendored spirit as the `crates/compat` shims: no crates.io
+//! access, so the workspace carries its own latency histogram and span
+//! recorder instead of `hdrhistogram` + `tracing`.
+//!
+//! Two primitives:
+//!
+//! * [`Histogram`] — a log-bucketed, lock-free latency histogram with a
+//!   bounded ≤1.57% relative bucket width, an associative [`Histogram::merge`],
+//!   and deterministic percentile reads. Thread ownership is simple: every
+//!   method takes `&self`, all counters are relaxed atomics, so recorders can
+//!   be shared across the event loop, worker pool and job runners without a
+//!   lock.
+//! * [`SpanRecorder`] / [`SpanRecord`] — a flat span tree for one request:
+//!   contiguous wall-clock intervals (queue-wait, parse, pipeline stages,
+//!   LLM batches, response write) stored as offsets from a common origin so
+//!   the tree can be summed against total wall time.
+//!
+//! Everything is `std`-only and unit-tested for determinism (see also the
+//! property tests in `tests/histogram_props.rs`).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use span::{format_tree, SpanRecord, SpanRecorder};

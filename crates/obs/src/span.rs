@@ -1,0 +1,248 @@
+//! Flat span trees for one request's lifecycle.
+//!
+//! A [`SpanRecorder`] is created when a request is first seen and carries a
+//! single origin [`Instant`]; every span is stored as a start offset and a
+//! duration relative to that origin, so a finished tree is plain data (no
+//! clocks) that can be summed against total wall time, serialised into the
+//! access log, or pretty-printed for slow-request dumps.
+//!
+//! Threading: the recorder is `Sync` (a mutex around the span vector)
+//! because one request's spans are written from several threads — the event
+//! loop records parse/queue/write segments, a worker thread records the
+//! handler, and the LLM dispatcher's observer records batch round-trips
+//! from whichever thread leads the batch.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One finished span: a contiguous wall-clock interval within a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Segment name, e.g. `"queue_wait"` or `"stage:string_outlier"`.
+    pub name: &'static str,
+    /// Offset of the span start from the recorder origin, nanoseconds.
+    pub start_ns: u64,
+    /// Span length in nanoseconds.
+    pub duration_ns: u64,
+    /// Index of the parent span in the recorder's vector, if nested.
+    pub parent: Option<usize>,
+    /// Free-form attributes (batch size, coalesced count, …).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Collects the spans of one request, relative to a fixed origin.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder whose origin is now.
+    pub fn new() -> Self {
+        Self::with_origin(Instant::now())
+    }
+
+    /// A recorder with an explicit origin (the moment the request's first
+    /// byte was seen, typically earlier than recorder construction).
+    pub fn with_origin(origin: Instant) -> Self {
+        SpanRecorder { origin, spans: Mutex::new(Vec::new()) }
+    }
+
+    /// The instant all span offsets are measured from.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Records the interval `[start, end]` as a span and returns its index
+    /// (usable as a `parent` for nested spans). Instants before the origin
+    /// clamp to offset 0.
+    pub fn record(
+        &self,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+        parent: Option<usize>,
+    ) -> usize {
+        self.record_with_attrs(name, start, end, parent, Vec::new())
+    }
+
+    /// [`SpanRecorder::record`] with attributes attached.
+    pub fn record_with_attrs(
+        &self,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+        parent: Option<usize>,
+        attrs: Vec<(&'static str, String)>,
+    ) -> usize {
+        let start_ns = end_offset_ns(self.origin, start);
+        let end_ns = end_offset_ns(self.origin, end).max(start_ns);
+        let record = SpanRecord { name, start_ns, duration_ns: end_ns - start_ns, parent, attrs };
+        let mut spans = self.spans.lock().unwrap();
+        spans.push(record);
+        spans.len() - 1
+    }
+
+    /// Opens a span at `start` with an as-yet-unknown end and returns its
+    /// index, so spans recorded meanwhile can parent under it. The duration
+    /// stays 0 until [`close`](Self::close) stamps the end.
+    pub fn open(&self, name: &'static str, start: Instant) -> usize {
+        self.record(name, start, start, None)
+    }
+
+    /// Closes a span previously [`open`](Self::open)ed: sets its duration
+    /// so it ends at `end`. Unknown indices are ignored.
+    pub fn close(&self, index: usize, end: Instant) {
+        let end_ns = end_offset_ns(self.origin, end);
+        let mut spans = self.spans.lock().unwrap();
+        if let Some(span) = spans.get_mut(index) {
+            span.duration_ns = end_ns.saturating_sub(span.start_ns);
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the tree in recording order.
+    pub fn finish(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+}
+
+fn end_offset_ns(origin: Instant, at: Instant) -> u64 {
+    at.checked_duration_since(origin).map_or(0, |d| d.as_nanos() as u64)
+}
+
+/// Renders a span tree as an indented text block for slow-request dumps:
+/// one line per span, children indented under their parent, durations in
+/// microseconds, attributes appended as `key=value`.
+pub fn format_tree(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (index, span) in spans.iter().enumerate() {
+        match span.parent {
+            Some(p) if p < spans.len() && p != index => children[p].push(index),
+            _ => roots.push(index),
+        }
+    }
+    fn emit(
+        out: &mut String,
+        spans: &[SpanRecord],
+        children: &[Vec<usize>],
+        index: usize,
+        depth: usize,
+    ) {
+        let span = &spans[index];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{} start={}us dur={}us",
+            span.name,
+            span.start_ns / 1_000,
+            span.duration_ns / 1_000
+        ));
+        for (key, value) in &span.attrs {
+            out.push_str(&format!(" {key}={value}"));
+        }
+        out.push('\n');
+        for &child in &children[index] {
+            emit(out, spans, children, child, depth + 1);
+        }
+    }
+    for root in roots {
+        emit(&mut out, spans, &children, root, 0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn offsets_are_relative_to_origin() {
+        let origin = Instant::now();
+        let recorder = SpanRecorder::with_origin(origin);
+        let start = origin + Duration::from_micros(10);
+        let end = origin + Duration::from_micros(35);
+        let index = recorder.record("parse", start, end, None);
+        let spans = recorder.finish();
+        assert_eq!(index, 0);
+        assert_eq!(spans[0].name, "parse");
+        assert_eq!(spans[0].start_ns, 10_000);
+        assert_eq!(spans[0].duration_ns, 25_000);
+        assert_eq!(spans[0].parent, None);
+    }
+
+    #[test]
+    fn pre_origin_instants_clamp_to_zero() {
+        let early = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        let recorder = SpanRecorder::new();
+        let spans_index = recorder.record("early", early, early, None);
+        let spans = recorder.finish();
+        assert_eq!(spans[spans_index].start_ns, 0);
+        assert_eq!(spans[spans_index].duration_ns, 0);
+    }
+
+    #[test]
+    fn tree_renders_with_nesting_and_attrs() {
+        let origin = Instant::now();
+        let recorder = SpanRecorder::with_origin(origin);
+        let t = |us| origin + Duration::from_micros(us);
+        let root = recorder.record("handler", t(0), t(100), None);
+        recorder.record_with_attrs(
+            "llm_batch",
+            t(20),
+            t(60),
+            Some(root),
+            vec![("batch_size", "4".into())],
+        );
+        let text = format_tree(&recorder.finish());
+        assert!(text.contains("handler start=0us dur=100us\n"));
+        assert!(text.contains("  llm_batch start=20us dur=40us batch_size=4\n"));
+    }
+
+    #[test]
+    fn open_close_spans_parent_their_children() {
+        let origin = Instant::now();
+        let recorder = SpanRecorder::with_origin(origin);
+        let t = |us| origin + Duration::from_micros(us);
+        let handler = recorder.open("handler", t(5));
+        let child = recorder.record("stage", t(10), t(40), Some(handler));
+        recorder.close(handler, t(50));
+        let spans = recorder.finish();
+        assert_eq!(spans[handler].duration_ns, 45_000);
+        assert_eq!(spans[child].parent, Some(handler));
+        // Closing before opening-time or an unknown index is harmless.
+        recorder.close(handler, t(1));
+        recorder.close(999, t(1));
+        assert_eq!(recorder.finish()[handler].duration_ns, 0);
+    }
+
+    #[test]
+    fn cyclic_or_dangling_parents_still_render() {
+        let spans = vec![
+            SpanRecord { name: "a", start_ns: 0, duration_ns: 1, parent: Some(99), attrs: vec![] },
+            SpanRecord { name: "b", start_ns: 0, duration_ns: 1, parent: Some(1), attrs: vec![] },
+        ];
+        let text = format_tree(&spans);
+        assert!(text.contains("a "));
+        assert!(text.contains("b "));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for histogram determinism (ISSUE 9 satellite): `merge`
+//! is associative and commutative, and chunked recording reports the same
+//! percentiles as whole-stream recording at any split point.
+
+use cocoon_obs::Histogram;
+use proptest::collection;
+use proptest::{prop_assert_eq, proptest, ProptestConfig};
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Full observable state: buckets, count, sum, max and the headline
+/// percentiles. Two histograms with equal fingerprints are interchangeable.
+fn fingerprint(h: &Histogram) -> (Vec<(u64, u64)>, u64, u64, u64, [u64; 4]) {
+    (
+        h.nonzero_buckets(),
+        h.count(),
+        h.sum(),
+        h.max(),
+        [h.percentile(50.0), h.percentile(90.0), h.percentile(99.0), h.percentile(100.0)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in collection::vec(0u64..2_000_000_000, 0..60),
+        b in collection::vec(0u64..2_000_000_000, 0..60),
+    ) {
+        let ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(fingerprint(&ab), fingerprint(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in collection::vec(0u64..2_000_000_000, 0..40),
+        b in collection::vec(0u64..2_000_000_000, 0..40),
+        c in collection::vec(0u64..2_000_000_000, 0..40),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+    }
+
+    #[test]
+    fn chunked_recording_matches_whole_stream_at_any_split(
+        samples in collection::vec(0u64..2_000_000_000, 1..80),
+        split_seed in 0usize..1000,
+    ) {
+        let split = split_seed % (samples.len() + 1);
+        let chunked = hist_of(&samples[..split]);
+        chunked.merge(&hist_of(&samples[split..]));
+        let whole = hist_of(&samples);
+        prop_assert_eq!(fingerprint(&chunked), fingerprint(&whole));
+        // And percentiles stay deterministic across repeated reads.
+        prop_assert_eq!(chunked.percentile(99.0), chunked.percentile(99.0));
+    }
+}

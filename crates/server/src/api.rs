@@ -410,6 +410,13 @@ fn dispatch(state: &AppState, request: &Request) -> Response {
             }
             _ => Response::error(405, "use GET /v1/metrics"),
         },
+        "/metrics" => match method {
+            "GET" => {
+                state.metrics.count_metrics();
+                Response::text(200, "text/plain; version=0.0.4", state.prometheus_body())
+            }
+            _ => Response::error(405, "use GET /metrics"),
+        },
         _ => match (method, path.strip_prefix("/v1/jobs/")) {
             ("GET", Some(id)) => handle_poll(state, id, wants_csv(request.header("Accept"))),
             ("DELETE", Some(id)) => handle_delete(state, id),

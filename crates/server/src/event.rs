@@ -34,6 +34,7 @@
 use crate::api;
 use crate::http::{BodyProgress, Head, HttpError, Request, RequestReader, Response};
 use crate::ingest::StreamProfiler;
+use crate::obs::{endpoint_label, RequestTrace};
 use crate::server::AppState;
 use cocoon_profile::TableProfile;
 use cocoon_table::csv::CsvStream;
@@ -142,6 +143,12 @@ pub(crate) struct Work {
     pub(crate) reusable: bool,
     /// Whether unread request bytes remain on the wire (see [`Mail::Done`]).
     pub(crate) drain: bool,
+    /// The request's trace; the worker records queue-wait and handler
+    /// spans into it (the connection keeps its own handle for the write
+    /// segment and the final seal).
+    pub(crate) trace: Option<Arc<RequestTrace>>,
+    /// When the event loop pushed this work — the queue-wait span's start.
+    pub(crate) queued_at: Instant,
 }
 
 /// The bounded hand-off between event threads and the worker pool. Beyond
@@ -233,6 +240,8 @@ enum Phase {
         drain: bool,
         /// Whether this response already counted in `partial_writes`.
         counted: bool,
+        /// Response status, for sealing the request's trace on completion.
+        status: u16,
     },
     /// Response written, connection closing, reading out what the client
     /// already sent so the close does not RST the response away.
@@ -250,6 +259,24 @@ struct Conn {
     want: Interest,
     /// The interest currently registered with the poller.
     registered: Interest,
+    /// The in-flight request's trace; created lazily when its first bytes
+    /// are seen, sealed (and cleared) when its response's last byte is
+    /// written, so a keep-alive connection gets a fresh trace per request.
+    trace: Option<Arc<RequestTrace>>,
+    /// Start of the current wall segment (head parse, body read, write);
+    /// advanced every time a segment span is recorded, keeping the
+    /// segments contiguous so the tree accounts for the full wall time.
+    seg_start: Instant,
+}
+
+/// Records the segment from `conn.seg_start` to now into the connection's
+/// trace (if any) and starts the next segment.
+fn finish_segment(conn: &mut Conn, name: &'static str) {
+    let now = Instant::now();
+    if let Some(trace) = &conn.trace {
+        trace.recorder.record(name, conn.seg_start, now, None);
+    }
+    conn.seg_start = now;
 }
 
 impl Conn {
@@ -491,6 +518,8 @@ fn register_conn(
             last_activity: Instant::now(),
             want: Interest::READ,
             registered: Interest::READ,
+            trace: None,
+            seg_start: Instant::now(),
         },
     );
 }
@@ -522,25 +551,41 @@ fn is_would_block(error: &HttpError) -> bool {
 fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
     loop {
         match &mut conn.phase {
-            Phase::ReadingHead => match conn.reader.next_head() {
-                Ok(head) => {
-                    conn.last_activity = Instant::now();
-                    let progress = conn.reader.begin_body(&head);
-                    conn.phase = if api::is_csv_ingest(&head) {
-                        Phase::StreamingCsv {
-                            head,
-                            progress,
-                            parsed: Ok(CsvStream::new()),
-                            profiler: Box::new(StreamProfiler::new(ctx.state.profile_chunk_rows)),
-                        }
-                    } else {
-                        Phase::ReadingBody { head, progress, body: Vec::new() }
-                    };
+            Phase::ReadingHead => {
+                // First readiness for a new request: open its trace, with
+                // the span origin at this moment (the first bytes are on
+                // the socket but nothing has been parsed yet).
+                if conn.trace.is_none() {
+                    let now = Instant::now();
+                    conn.trace = Some(Arc::new(ctx.state.obs.begin_request(now)));
+                    conn.seg_start = now;
                 }
-                Err(e) if is_would_block(&e) => return Next::Keep,
-                Err(HttpError::Closed) => return Next::Close { reaped: false },
-                Err(e) => return fail_request(ctx, conn, &e),
-            },
+                match conn.reader.next_head() {
+                    Ok(head) => {
+                        conn.last_activity = Instant::now();
+                        if let Some(trace) = &conn.trace {
+                            trace.set_route(endpoint_label(&head.path));
+                        }
+                        finish_segment(conn, "head_parse");
+                        let progress = conn.reader.begin_body(&head);
+                        conn.phase = if api::is_csv_ingest(&head) {
+                            Phase::StreamingCsv {
+                                head,
+                                progress,
+                                parsed: Ok(CsvStream::new()),
+                                profiler: Box::new(StreamProfiler::new(
+                                    ctx.state.profile_chunk_rows,
+                                )),
+                            }
+                        } else {
+                            Phase::ReadingBody { head, progress, body: Vec::new() }
+                        };
+                    }
+                    Err(e) if is_would_block(&e) => return Next::Keep,
+                    Err(HttpError::Closed) => return Next::Close { reaped: false },
+                    Err(e) => return fail_request(ctx, conn, &e),
+                }
+            }
             Phase::ReadingBody { progress, body, .. } => {
                 let mut chunk = [0u8; 16 * 1024];
                 match conn.reader.read_body(progress, &mut chunk) {
@@ -552,6 +597,7 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
                         };
                         let reusable = head.keep_alive();
                         let request = Request::from_parts(head, body);
+                        finish_segment(conn, "body_read");
                         return dispatch(ctx, conn, WorkKind::Request(request), reusable, false);
                     }
                     Ok(n) => {
@@ -583,6 +629,7 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
                         });
                         let reusable = head.keep_alive();
                         let kind = WorkKind::CsvClean { head, table, profile };
+                        finish_segment(conn, "csv_stream");
                         return dispatch(ctx, conn, kind, reusable, false);
                     }
                     Ok(n) => {
@@ -604,6 +651,7 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
                                     table: Err(format!("invalid csv: {e}")),
                                     profile: None,
                                 };
+                                finish_segment(conn, "csv_stream");
                                 return dispatch(ctx, conn, kind, false, true);
                             }
                             profiler.observe(stream);
@@ -625,7 +673,15 @@ fn drive_read(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
 /// request, matching the previous design's accept-queue refusals.
 fn dispatch(ctx: &Ctx<'_>, conn: &mut Conn, kind: WorkKind, reusable: bool, drain: bool) -> Next {
     conn.want = Interest::NONE;
-    let work = Work { shard: ctx.shard_index, token: ctx.token, kind, reusable, drain };
+    let work = Work {
+        shard: ctx.shard_index,
+        token: ctx.token,
+        kind,
+        reusable,
+        drain,
+        trace: conn.trace.clone(),
+        queued_at: Instant::now(),
+    };
     if ctx.state.work.push(work) {
         conn.phase = Phase::Dispatched;
         Next::Keep
@@ -659,15 +715,28 @@ fn fail_request(ctx: &Ctx<'_>, conn: &mut Conn, error: &HttpError) -> Next {
 fn start_write(
     ctx: &Ctx<'_>,
     conn: &mut Conn,
-    response: Response,
+    mut response: Response,
     keep_alive: bool,
     drain: bool,
 ) -> Next {
+    // Stamp the request id (echoed as `X-Request-Id`) and open the write
+    // segment; the trace seals when the last byte goes out.
+    if let Some(trace) = &conn.trace {
+        response.request_id = Some(trace.id);
+        conn.seg_start = Instant::now();
+    }
     let head = response.head_bytes(keep_alive);
     // A 204 carries no body on the wire whatever the struct holds.
     let body: Arc<[u8]> = if response.status == 204 { Vec::new().into() } else { response.body };
-    conn.phase =
-        Phase::Writing { head, body, written: 0, close_after: !keep_alive, drain, counted: false };
+    conn.phase = Phase::Writing {
+        head,
+        body,
+        written: 0,
+        close_after: !keep_alive,
+        drain,
+        counted: false,
+        status: response.status,
+    };
     drive_write(ctx, conn)
 }
 
@@ -677,12 +746,20 @@ fn start_write(
 /// the poller cannot see).
 fn drive_write(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
     loop {
-        let Phase::Writing { head, body, written, close_after, drain, counted } = &mut conn.phase
+        let Phase::Writing { head, body, written, close_after, drain, counted, status } =
+            &mut conn.phase
         else {
             return Next::Keep;
         };
         if *written == head.len() + body.len() {
-            let (close_after, drain) = (*close_after, *drain);
+            let (close_after, drain, status, bytes) = (*close_after, *drain, *status, body.len());
+            // The response's last byte is out: close the write segment and
+            // seal the trace (endpoint histogram, access log, slow dump,
+            // recent ring). Taking it arms the next request's lazy open.
+            if let Some(trace) = conn.trace.take() {
+                trace.recorder.record("write", conn.seg_start, Instant::now(), None);
+                ctx.state.obs.finish_request(&trace, status, bytes);
+            }
             if close_after {
                 if drain {
                     conn.phase =

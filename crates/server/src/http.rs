@@ -551,22 +551,48 @@ pub struct Response {
     /// payload without copying it into per-connection buffers; cloning a
     /// `Response` bumps a refcount instead of duplicating the body.
     pub body: Arc<[u8]>,
+    /// The request id echoed back as an `X-Request-Id` header. Handlers
+    /// leave this `None` (so identical requests produce equal responses);
+    /// the event loop stamps the connection's trace id just before
+    /// serialising.
+    pub request_id: Option<u64>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, content_type: "application/json", body: body.into().into_bytes().into() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes().into(),
+            request_id: None,
+        }
     }
 
     /// A CSV response — the `Accept: text/csv` content-negotiation mode.
     pub fn csv(status: u16, body: impl Into<String>) -> Response {
-        Response { status, content_type: "text/csv", body: body.into().into_bytes().into() }
+        Response {
+            status,
+            content_type: "text/csv",
+            body: body.into().into_bytes().into(),
+            request_id: None,
+        }
+    }
+
+    /// A plain-text response with an explicit content type (the Prometheus
+    /// exposition endpoint).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Response {
+        Response { status, content_type, body: body.into().into_bytes().into(), request_id: None }
     }
 
     /// An empty 204 — the success shape of `DELETE /v1/jobs/{id}`.
     pub fn no_content() -> Response {
-        Response { status: 204, content_type: "application/json", body: Vec::new().into() }
+        Response {
+            status: 204,
+            content_type: "application/json",
+            body: Vec::new().into(),
+            request_id: None,
+        }
     }
 
     /// The uniform error shape: `{"error": "..."}`.
@@ -582,11 +608,15 @@ impl Response {
     /// shared allocation instead of copying it after the head.
     pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
+        let request_id = match self.request_id {
+            Some(id) => format!("X-Request-Id: {id}\r\n"),
+            None => String::new(),
+        };
         let head = if self.status == 204 {
-            format!("HTTP/1.1 204 {}\r\nConnection: {connection}\r\n\r\n", reason(204))
+            format!("HTTP/1.1 204 {}\r\n{request_id}Connection: {connection}\r\n\r\n", reason(204))
         } else {
             format!(
-                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{request_id}Connection: {connection}\r\n\r\n",
                 self.status,
                 reason(self.status),
                 self.content_type,

@@ -13,7 +13,8 @@
 //! | `GET /v1/jobs/{id}` | Poll: status, stage-by-stage progress, result when done (JSON report, or just the cleaned CSV via `Accept: text/csv`) |
 //! | `DELETE /v1/jobs/{id}` | Cancel a queued job / free a finished one |
 //! | `GET /v1/datasets` | The benchmark catalog (paper Table 1 datasets) |
-//! | `GET /v1/metrics` | Request counters, work-queue and connection state (open/peak/reaped/partial writes), LLM cache hit/miss/eviction, dispatcher and job-store state |
+//! | `GET /v1/metrics` | Request counters, work-queue and connection state (open/peak/reaped/partial writes), LLM cache hit/miss/eviction, dispatcher and job-store state, and per-endpoint / per-stage latency percentiles |
+//! | `GET /metrics` | The same counters and latency histograms in Prometheus text exposition format |
 //!
 //! The full request/response reference lives in `docs/API.md` at the repo
 //! root; `docs/ARCHITECTURE.md` traces a request end to end.
@@ -42,6 +43,15 @@
 //! * [`jobs`] — FIFO store polled through [`cocoon_core::RunProgress`]
 //!   snapshots; finished jobs bounded by a retention cap *and* a TTL
 //!   sweep, and deletable by clients.
+//! * [`obs`] — the observability hop over the vendored `cocoon-obs`
+//!   crate: every request gets a monotonically-assigned id (echoed as
+//!   `X-Request-Id`) and a span tree from socket to LLM batch — head
+//!   parse, body/CSV stream, queue wait, handler, per-stage pipeline
+//!   timings, batch round-trips, response write. Latency lands in
+//!   log-bucketed histograms per endpoint and per stage, exported as
+//!   percentiles on `/v1/metrics` and as Prometheus histograms on
+//!   `GET /metrics`; `--log-format json` adds a structured access log and
+//!   `--slow-request-ms` dumps outlier span trees.
 //!
 //! Responses are deterministic: with the offline `SimLlm` oracle, a served
 //! clean is byte-identical to a direct [`cocoon_core::Cleaner`] run on the
@@ -56,10 +66,12 @@ pub mod http;
 mod ingest;
 pub mod jobs;
 pub mod metrics;
+pub mod obs;
 pub mod server;
 
 pub use api::CleanPayload;
 pub use http::{Request, Response};
 pub use jobs::{DeleteOutcome, JobCounts, JobStatus, JobStore, JobView};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use obs::{FinishedTrace, LogFormat, RequestTrace, ServerObs};
 pub use server::{AppState, Server, ServerConfig, ServerHandle, SharedLlm};

@@ -118,10 +118,24 @@ impl Metrics {
     }
 
     /// Registers a connection entering an event loop: bumps the open gauge
-    /// and folds it into the peak.
+    /// and folds it into the peak with an explicit compare-and-swap loop —
+    /// each raiser only ever replaces a *smaller* observed peak, so
+    /// concurrent opens can interleave in any order without the high-water
+    /// mark under-counting.
     pub fn conn_opened(&self) {
         let open = self.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
-        self.connections_peak.fetch_max(open, Ordering::Relaxed);
+        let mut peak = self.connections_peak.load(Ordering::Relaxed);
+        while peak < open {
+            match self.connections_peak.compare_exchange_weak(
+                peak,
+                open,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => peak = current,
+            }
+        }
     }
 
     /// Registers a connection leaving an event loop.
@@ -218,6 +232,35 @@ mod tests {
         m.count_partial_write();
         let s = m.snapshot();
         assert_eq!((s.idle_reaped, s.partial_writes), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_opens_never_undercount_the_peak() {
+        // All opens strictly precede all closes, so the true high-water
+        // mark is exactly the total open count; the CAS loop must land on
+        // it whatever the interleaving.
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        m.conn_opened();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().connections_peak, 4000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        m.conn_closed();
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!((s.connections_open, s.connections_peak), (0, 4000), "peak survives closes");
     }
 
     #[test]

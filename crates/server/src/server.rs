@@ -23,13 +23,14 @@ use crate::event::{self, Mail, Shard, Work, WorkKind, WorkQueue};
 use crate::http::DEFAULT_MAX_BODY_BYTES;
 use crate::jobs::JobStore;
 use crate::metrics::Metrics;
+use crate::obs::{self, LogFormat, ServerObs};
 use cocoon_core::{AutoApprove, Cleaner, CleaningRun, RunProgress};
 use cocoon_llm::{CachedLlm, ChatModel, CoalescingDispatcher, DispatcherConfig, SimLlm};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables; `Default` is a sensible local deployment.
 #[derive(Debug, Clone)]
@@ -67,6 +68,11 @@ pub struct ServerConfig {
     pub job_ttl: Option<Duration>,
     /// Policy of the shared LLM dispatcher.
     pub dispatcher: DispatcherConfig,
+    /// Access-log rendering on stderr (`--log-format json|off`).
+    pub log_format: LogFormat,
+    /// Requests slower than this many milliseconds dump their full span
+    /// tree to stderr (`None` = never).
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,8 @@ impl Default for ServerConfig {
             cache_capacity: Some(16 * 1024),
             job_ttl: Some(Duration::from_secs(900)),
             dispatcher: DispatcherConfig::default(),
+            log_format: LogFormat::Off,
+            slow_request_ms: None,
         }
     }
 }
@@ -102,6 +110,8 @@ pub struct AppState {
     pub metrics: Metrics,
     /// The async job store.
     pub jobs: JobStore<CleanPayload>,
+    /// Request ids, span traces, latency histograms, access-log policy.
+    pub obs: Arc<ServerObs>,
     /// Request-body cap in bytes.
     pub max_body: usize,
     /// The slow-loris idle bound (see [`ServerConfig::idle_timeout`]).
@@ -128,7 +138,12 @@ impl AppState {
     /// If the kernel refuses an epoll instance or eventfd — as
     /// unrecoverable as a poisoned lock, and treated the same way.
     pub fn new(config: &ServerConfig) -> Self {
+        let obs = Arc::new(ServerObs::new(config.log_format, config.slow_request_ms));
         let dispatcher = CoalescingDispatcher::new(SimLlm::new(), config.dispatcher);
+        // The fanout observer outlives every request; the dispatcher holds
+        // it for the process lifetime and requests subscribe per-clean.
+        let batches: Arc<dyn cocoon_llm::DispatchObserver> = obs.batches.clone();
+        dispatcher.set_observer(batches);
         let llm = match config.cache_capacity {
             Some(capacity) => CachedLlm::with_capacity(dispatcher, capacity),
             None => CachedLlm::new(dispatcher),
@@ -140,6 +155,7 @@ impl AppState {
             llm,
             metrics: Metrics::new(),
             jobs: JobStore::with_ttl(config.job_ttl),
+            obs,
             max_body: config.max_body,
             idle_timeout: config.idle_timeout,
             profile_chunk_rows: config.profile_chunk_rows.max(1),
@@ -172,6 +188,11 @@ impl AppState {
     /// caller's choice. A profile prebuilt during ingest seeds the
     /// pipeline's entry profile (the pipeline revalidates it), sparing the
     /// whole-table profiling pass.
+    ///
+    /// Every clean is observed: a [`cocoon_core::StageObserver`] feeds the
+    /// shared per-stage latency histograms (and, for a clean running
+    /// inside a traced request, stage spans under the handler), and the
+    /// request — if any — subscribes to LLM batch events for the duration.
     pub fn run_clean(
         &self,
         payload: &CleanPayload,
@@ -179,7 +200,20 @@ impl AppState {
     ) -> Result<CleaningRun, cocoon_core::CoreError> {
         let cleaner = Cleaner::with_config(&self.llm, payload.config.clone())?;
         let mut hook = AutoApprove;
-        cleaner.clean_seeded(&payload.table, &mut hook, progress, payload.profile.clone())
+        // The sync path carries no job progress; a local one hosts the
+        // stage observer so both paths time stages identically.
+        let local_progress;
+        let progress = match progress {
+            Some(progress) => progress,
+            None => {
+                local_progress = RunProgress::new();
+                &local_progress
+            }
+        };
+        progress.set_observer(self.obs.stage_observer());
+        let _batch_sub =
+            obs::current_trace().map(|(trace, parent)| self.obs.batches.subscribe(trace, parent));
+        cleaner.clean_seeded(&payload.table, &mut hook, Some(progress), payload.profile.clone())
     }
 
     /// The `/v1/metrics` body: request counters, work-queue and
@@ -202,7 +236,8 @@ impl AppState {
              \"dispatcher\": {{\"coalesced\": {}, \"batches\": {}, \"batched_prompts\": {}, \
              \"rate_limit_waits\": {}, \"rate_limited_ms\": {}}}}}, \
              \"jobs\": {{\"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \
-             \"expired\": {}, \"deleted\": {}, \"queue_depth\": {}}}}}",
+             \"expired\": {}, \"deleted\": {}, \"queue_depth\": {}}}, \
+             \"latency\": {}}}",
             m.requests_total,
             m.clean_requests,
             m.jobs_submitted,
@@ -242,7 +277,83 @@ impl AppState {
             j.expired,
             j.deleted,
             self.jobs.depth(),
+            self.obs.latency_json(),
         )
+    }
+
+    /// The `GET /metrics` body: the same counters and histograms in
+    /// Prometheus text exposition format (`text/plain; version=0.0.4`).
+    pub fn prometheus_body(&self) -> String {
+        let m = self.metrics.snapshot();
+        let j = self.jobs.counts();
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, kind: &str, value: usize| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"));
+        };
+        counter(
+            "cocoon_requests_total",
+            "Requests routed, all endpoints.",
+            "counter",
+            m.requests_total,
+        );
+        counter(
+            "cocoon_responses_4xx_total",
+            "Responses with a 4xx status.",
+            "counter",
+            m.responses_4xx,
+        );
+        counter(
+            "cocoon_responses_5xx_total",
+            "Responses with a 5xx status.",
+            "counter",
+            m.responses_5xx,
+        );
+        counter(
+            "cocoon_connections_accepted_total",
+            "Connections accepted into an event loop.",
+            "counter",
+            m.connections_accepted,
+        );
+        counter(
+            "cocoon_connections_rejected_total",
+            "Connections refused with a fast 503 at saturation.",
+            "counter",
+            m.connections_rejected,
+        );
+        counter(
+            "cocoon_connections_open",
+            "Connections open right now.",
+            "gauge",
+            m.connections_open,
+        );
+        counter(
+            "cocoon_connections_peak",
+            "High-water mark of open connections.",
+            "gauge",
+            m.connections_peak,
+        );
+        counter(
+            "cocoon_work_queue_depth",
+            "Complete requests waiting for a worker.",
+            "gauge",
+            self.work.depth(),
+        );
+        counter("cocoon_jobs_queued", "Jobs waiting in the async queue.", "gauge", j.queued);
+        counter("cocoon_jobs_running", "Jobs being cleaned right now.", "gauge", j.running);
+        counter(
+            "cocoon_llm_cache_hits_total",
+            "Completion cache hits.",
+            "counter",
+            self.llm.hits(),
+        );
+        counter(
+            "cocoon_llm_cache_misses_total",
+            "Completion cache misses.",
+            "counter",
+            self.llm.misses(),
+        );
+        self.obs.prometheus_histograms(&mut out);
+        out
     }
 }
 
@@ -347,13 +458,26 @@ impl ServerHandle {
 /// a socket.
 fn worker_loop(state: &AppState) {
     while let Some(work) = state.work.pop(|| state.shutdown_requested()) {
-        let Work { shard, token, kind, reusable, drain } = work;
-        let response = match kind {
+        let Work { shard, token, kind, reusable, drain, trace, queued_at } = work;
+        // The queue-wait segment runs from the event loop's push to this
+        // pop; the handler span opens now and closes after routing, so
+        // stage and batch spans recorded during the clean nest under it.
+        let handler = trace.as_ref().map(|trace| {
+            let now = Instant::now();
+            trace.recorder.record("queue_wait", queued_at, now, None);
+            trace.recorder.open("handler", now)
+        });
+        let current =
+            trace.as_ref().zip(handler).map(|(trace, handler)| (Arc::clone(trace), handler));
+        let response = obs::with_current_trace(current, || match kind {
             WorkKind::Request(request) => api::route(state, &request),
             WorkKind::CsvClean { head, table, profile } => {
                 api::route_streamed_csv(state, &head, table, profile)
             }
-        };
+        });
+        if let (Some(trace), Some(handler)) = (&trace, handler) {
+            trace.recorder.close(handler, Instant::now());
+        }
         state.shards[shard].post(Mail::Done { token, response, reusable, drain });
     }
 }

@@ -285,15 +285,18 @@ impl Selection<'_> {
 /// Evaluates `expr` column-at-a-time over the selected rows of `table`.
 ///
 /// Literals, column references, casts, unary and binary operators
-/// (comparison, arithmetic, `AND`/`OR`), and literal value maps (`CASE col
-/// WHEN 'a' THEN 'b' … ELSE …`, the workhorse shape of Cocoon cleaning)
-/// are computed vectorised; every other expression falls back to the
-/// row-wise [`eval`], which also serves as the semantic oracle for the
-/// differential tests. Fast paths preserve row-wise *success* semantics
-/// exactly, and error exactly when the row-wise path would — though when
-/// several rows or nested subexpressions fail, expression-at-a-time
-/// evaluation may surface a different one of those errors than the
-/// strictly row-ordered oracle.
+/// (comparison, arithmetic, `AND`/`OR`), function calls, and every `CASE`
+/// shape — from literal value maps (`CASE col WHEN 'a' THEN 'b' … ELSE …`,
+/// the workhorse of Cocoon cleaning) to general searched `CASE` — are
+/// computed vectorised; only `IN` lists with non-literal items still fall
+/// back to the row-wise [`eval`], which also serves as the semantic oracle
+/// for the differential tests. Fast paths preserve row-wise *success*
+/// semantics exactly, and error exactly when the row-wise path would —
+/// though when several rows or nested subexpressions fail,
+/// expression-at-a-time evaluation may surface a different one of those
+/// errors than the strictly row-ordered oracle. Sequential-`CASE` laziness
+/// is preserved by evaluating each arm only over the rows no earlier arm
+/// matched (see `eval_case_lazy`).
 pub fn eval_column(expr: &Expr, table: &Table, sel: &Selection<'_>) -> Result<Column> {
     match expr {
         Expr::Literal(v) => Ok(Column::new(vec![v.clone(); sel.len()])),
@@ -393,8 +396,93 @@ pub fn eval_column(expr: &Expr, table: &Table, sel: &Selection<'_>) -> Result<Co
                 })
                 .collect())
         }
+        Expr::Case { operand, arms, otherwise } => {
+            eval_case_lazy(operand.as_deref(), arms, otherwise.as_deref(), table, sel)
+        }
+        Expr::Func { name, args } => {
+            // Row-wise `Func` evaluates every argument unconditionally, so
+            // computing each argument column-at-a-time preserves
+            // success/error semantics; the scalar function itself is then
+            // applied per row (the functions are cheap — the win is the
+            // vectorised argument evaluation underneath).
+            let cols =
+                args.iter().map(|a| eval_column(a, table, sel)).collect::<Result<Vec<Column>>>()?;
+            let mut out = Vec::with_capacity(sel.len());
+            let mut row_args = Vec::with_capacity(cols.len());
+            for i in 0..sel.len() {
+                row_args.clear();
+                row_args.extend(cols.iter().map(|c| c.values()[i].clone()));
+                out.push(functions::call(name, &row_args)?);
+            }
+            Ok(Column::new(out))
+        }
         _ => sel.iter().map(|row| eval(expr, &RowContext::new(table, row))).collect(),
     }
+}
+
+/// Vectorised general `CASE`, preserving sequential laziness: each arm's
+/// `WHEN` is evaluated only over the rows no earlier arm matched, each
+/// `THEN` only over the rows its arm matched, and `ELSE` only over the
+/// rows left after every arm — exactly the rows on which the row-wise
+/// evaluator would touch those subexpressions, so an error in a branch a
+/// row never reaches cannot leak into that row's result.
+fn eval_case_lazy(
+    operand: Option<&Expr>,
+    arms: &[(Expr, Expr)],
+    otherwise: Option<&Expr>,
+    table: &Table,
+    sel: &Selection<'_>,
+) -> Result<Column> {
+    let n = sel.len();
+    let mut out: Vec<Value> = vec![Value::Null; n];
+    // Unmatched rows, paired with their slots in the output column. Both
+    // shrink together as arms claim rows.
+    let mut rows: Vec<usize> = sel.iter().collect();
+    let mut slots: Vec<usize> = (0..n).collect();
+    // Simple CASE evaluates its subject first on every row, match or not.
+    let subject = match operand {
+        Some(op) => Some(eval_column(op, table, sel)?),
+        None => None,
+    };
+    for (when, then) in arms {
+        if rows.is_empty() {
+            break;
+        }
+        let cond = eval_column(when, table, &Selection::Rows(&rows))?;
+        let cond = cond.values();
+        let (mut hit_rows, mut hit_slots) = (Vec::new(), Vec::new());
+        let (mut miss_rows, mut miss_slots) = (Vec::new(), Vec::new());
+        for (i, (&row, &slot)) in rows.iter().zip(&slots).enumerate() {
+            let matched = match &subject {
+                Some(subject) => subject.values()[slot].sql_eq(&cond[i]),
+                None => matches!(cond[i], Value::Bool(true)),
+            };
+            if matched {
+                hit_rows.push(row);
+                hit_slots.push(slot);
+            } else {
+                miss_rows.push(row);
+                miss_slots.push(slot);
+            }
+        }
+        if !hit_rows.is_empty() {
+            let then_col = eval_column(then, table, &Selection::Rows(&hit_rows))?;
+            for (v, slot) in then_col.into_values().into_iter().zip(hit_slots) {
+                out[slot] = v;
+            }
+        }
+        rows = miss_rows;
+        slots = miss_slots;
+    }
+    if let Some(otherwise) = otherwise {
+        if !rows.is_empty() {
+            let other = eval_column(otherwise, table, &Selection::Rows(&rows))?;
+            for (v, slot) in other.into_values().into_iter().zip(slots) {
+                out[slot] = v;
+            }
+        }
+    }
+    Ok(Column::new(out))
 }
 
 /// The vectorised value map evaluates `otherwise` for *every* row, while
@@ -693,6 +781,141 @@ mod tests {
                     sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
                 assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
             }
+        }
+    }
+
+    #[test]
+    fn searched_case_vectorises_and_matches_rowwise() {
+        let mut t = table();
+        t.set_cell(0, 1, Value::Null).unwrap();
+        let id_int = || Expr::try_cast(Expr::col("id"), DataType::Int);
+        for expr in [
+            // Plain searched CASE with fall-through and ELSE.
+            Expr::Case {
+                operand: None,
+                arms: vec![
+                    (Expr::eq(Expr::col("lang"), Expr::lit("English")), Expr::lit("eng")),
+                    (Expr::binary(BinaryOp::Lt, id_int(), Expr::lit(2i64)), Expr::lit("low")),
+                ],
+                otherwise: Some(Box::new(Expr::col("lang"))),
+            },
+            // No ELSE: unmatched rows yield NULL.
+            Expr::Case {
+                operand: None,
+                arms: vec![(Expr::eq(id_int(), Expr::lit(1i64)), Expr::col("lang"))],
+                otherwise: None,
+            },
+            // NULL condition counts as a miss, like row-wise.
+            Expr::Case {
+                operand: None,
+                arms: vec![(Expr::is_null(Expr::col("lang")), Expr::lit("was null"))],
+                otherwise: Some(Box::new(Expr::lit("had text"))),
+            },
+            // Simple CASE whose arms are not literals (outside the
+            // value-map fast path): compares via sql_eq per arm.
+            Expr::Case {
+                operand: Some(Box::new(Expr::col("lang"))),
+                arms: vec![(Expr::col("lang"), Expr::lit("self"))],
+                otherwise: Some(Box::new(Expr::lit("null subject"))),
+            },
+            // Nested CASE in a THEN branch.
+            Expr::Case {
+                operand: None,
+                arms: vec![(
+                    Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col("lang")) },
+                    Expr::Case {
+                        operand: None,
+                        arms: vec![(
+                            Expr::eq(Expr::col("lang"), Expr::lit("English")),
+                            Expr::lit("eng"),
+                        )],
+                        otherwise: Some(Box::new(Expr::col("lang"))),
+                    },
+                )],
+                otherwise: None,
+            },
+        ] {
+            for sel in [Selection::All(t.height()), Selection::Rows(&[1]), Selection::Rows(&[])] {
+                let columnar = eval_column(&expr, &t, &sel).unwrap();
+                let rowwise: Vec<Value> =
+                    sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
+                assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn case_arms_stay_lazy_per_row() {
+        // Row 0 ("eng") matches arm 1; arm 2's CAST would error on it but
+        // must never be evaluated there — only row 1 ("5") reaches arm 2.
+        let rows: Vec<Vec<String>> = vec![vec!["eng".into()], vec!["5".into()]];
+        let t = Table::from_text_rows(&["s"], &rows).unwrap();
+        let expr = Expr::Case {
+            operand: None,
+            arms: vec![
+                (Expr::eq(Expr::col("s"), Expr::lit("eng")), Expr::lit("hit")),
+                (
+                    Expr::binary(
+                        BinaryOp::Gt,
+                        Expr::cast(Expr::col("s"), DataType::Int),
+                        Expr::lit(0i64),
+                    ),
+                    Expr::lit("pos"),
+                ),
+            ],
+            otherwise: None,
+        };
+        let sel = Selection::All(t.height());
+        let columnar = eval_column(&expr, &t, &sel).unwrap();
+        assert_eq!(columnar.values(), &[Value::from("hit"), Value::from("pos")]);
+        // ELSE likewise: only evaluated on rows no arm claimed.
+        let expr = Expr::Case {
+            operand: None,
+            arms: vec![(Expr::eq(Expr::col("s"), Expr::lit("eng")), Expr::lit("hit"))],
+            otherwise: Some(Box::new(Expr::cast(Expr::col("s"), DataType::Int))),
+        };
+        let columnar = eval_column(&expr, &t, &sel).unwrap();
+        assert_eq!(columnar.values(), &[Value::from("hit"), Value::Int(5)]);
+        // But an error on a row that genuinely reaches the branch still
+        // surfaces, matching row-wise.
+        let sel = Selection::Rows(&[0]);
+        let expr = Expr::Case {
+            operand: None,
+            arms: vec![(Expr::lit(true), Expr::cast(Expr::col("s"), DataType::Int))],
+            otherwise: None,
+        };
+        assert!(eval_column(&expr, &t, &sel).is_err());
+        assert!(eval(&expr, &RowContext::new(&t, 0)).is_err());
+    }
+
+    #[test]
+    fn func_calls_vectorise_and_match_rowwise() {
+        let mut t = table();
+        t.set_cell(0, 1, Value::Null).unwrap();
+        for expr in [
+            Expr::func("LENGTH", vec![Expr::col("lang")]),
+            Expr::func("UPPER", vec![Expr::col("lang")]),
+            Expr::func("CONCAT", vec![Expr::col("lang"), Expr::lit("!")]),
+            Expr::func("COALESCE", vec![Expr::col("lang"), Expr::lit("fallback")]),
+            Expr::func("NULLIF", vec![Expr::col("lang"), Expr::lit("English")]),
+            Expr::func("ABS", vec![Expr::try_cast(Expr::col("id"), DataType::Int)]),
+            // Nested: function of a function.
+            Expr::func("LENGTH", vec![Expr::func("TRIM", vec![Expr::col("lang")])]),
+        ] {
+            for sel in [Selection::All(t.height()), Selection::Rows(&[1]), Selection::Rows(&[])] {
+                let columnar = eval_column(&expr, &t, &sel).unwrap();
+                let rowwise: Vec<Value> =
+                    sel.iter().map(|row| eval(&expr, &RowContext::new(&t, row)).unwrap()).collect();
+                assert_eq!(columnar.values(), &rowwise[..], "{expr:?}");
+            }
+        }
+        // Errors surface in both paths: ABS of text, unknown function.
+        for expr in [
+            Expr::func("ABS", vec![Expr::col("lang")]),
+            Expr::func("NO_SUCH_FN", vec![Expr::col("lang")]),
+        ] {
+            assert!(eval_column(&expr, &t, &Selection::Rows(&[1])).is_err(), "{expr:?}");
+            assert!(eval(&expr, &RowContext::new(&t, 1)).is_err(), "{expr:?}");
         }
     }
 

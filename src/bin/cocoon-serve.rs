@@ -45,6 +45,11 @@ FLAGS:
   --rate-limit RPS[:BURST]
                           token-bucket limit on prompts reaching the model
                           (default off; BURST defaults to RPS)
+  --log-format json|off   structured access log on stderr: one JSON line
+                          per request with id, route, status, bytes and
+                          per-segment micros (default off)
+  --slow-request-ms MS    requests slower than MS dump their full span
+                          tree to stderr (default off; 0 = dump all)
   --help                  print this text
 ";
 
@@ -129,6 +134,15 @@ fn parse_flags() -> ServerConfig {
             "--rate-limit" => {
                 config.dispatcher.rate_limit = Some(parse_rate_limit(&value("--rate-limit")))
             }
+            "--log-format" => {
+                config.log_format = value("--log-format")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&format!("--log-format: {e}")))
+            }
+            "--slow-request-ms" => {
+                config.slow_request_ms =
+                    Some(parse_num(&value("--slow-request-ms"), "--slow-request-ms"))
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -175,7 +189,7 @@ fn main() {
             None => "off".to_string(),
         }
     );
-    println!("  endpoints: POST /v1/clean · POST /v1/jobs · GET|DELETE /v1/jobs/{{id}} · GET /v1/datasets · GET /v1/metrics");
+    println!("  endpoints: POST /v1/clean · POST /v1/jobs · GET|DELETE /v1/jobs/{{id}} · GET /v1/datasets · GET /v1/metrics · GET /metrics (prometheus)");
     if let Err(e) = server.serve() {
         eprintln!("server stopped: {e}");
         std::process::exit(1);

@@ -874,7 +874,21 @@ fn ten_thousand_idle_connections_served_alongside_live_traffic() {
     with_server(config, |handle| {
         let addr = handle.addr();
         let state = handle.state();
-        let threads_before = process_threads();
+        // Baseline only after the server is demonstrably up (a served
+        // request proves the event loop and a worker) and the spawn burst
+        // has settled — measuring mid-startup would count the server's own
+        // threads as if the herd had caused them.
+        let (status, _) = get_json(addr, "/v1/metrics");
+        assert_eq!(status, 200);
+        let mut threads_before = process_threads();
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+            let now = process_threads();
+            if now == threads_before {
+                break;
+            }
+            threads_before = now;
+        }
         let child = std::process::Command::new(std::env::current_exe().expect("test binary"))
             .args(["herd_client_helper", "--exact", "--nocapture", "--test-threads", "1"])
             .env("HERD_ADDR", addr.to_string())
@@ -934,6 +948,229 @@ fn ten_thousand_idle_connections_served_alongside_live_traffic() {
         for _ in lines.by_ref() {}
         let outcome = guard.0.take().unwrap().wait().expect("herd client exit");
         assert!(outcome.success(), "herd client reported failure");
+    });
+}
+
+/// Raw HTTP exchange returning the full response text (head + body) so
+/// tests can inspect response headers.
+fn http_raw(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: cocoon\r\nConnection: close\r\n");
+    match body {
+        Some(body) => request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len())),
+        None => request.push_str("\r\n"),
+    }
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+/// Structural checks over a Prometheus text exposition: only `# HELP` /
+/// `# TYPE` comments, every histogram series' cumulative buckets monotone
+/// over ascending `le` bounds, ending at `+Inf` equal to the series'
+/// `_count`.
+fn assert_prometheus_well_formed(text: &str) {
+    use std::collections::HashMap;
+    let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "), "{line}");
+            continue;
+        }
+        let (series, value) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("no sample value: {line}"));
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("non-numeric sample: {line}"));
+        let Some((name, rest)) = series.split_once('{') else { continue };
+        let labels = rest.strip_suffix('}').unwrap_or_else(|| panic!("unclosed labels: {line}"));
+        if let Some(metric) = name.strip_suffix("_bucket") {
+            let le = labels
+                .split(',')
+                .find_map(|kv| kv.strip_prefix("le=\""))
+                .map(|v| v.trim_end_matches('"'))
+                .unwrap_or_else(|| panic!("bucket without le: {line}"));
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("le bound") };
+            let others: Vec<&str> = labels.split(',').filter(|kv| !kv.starts_with("le=")).collect();
+            buckets
+                .entry(format!("{metric}{{{}}}", others.join(",")))
+                .or_default()
+                .push((le, value));
+        } else if let Some(metric) = name.strip_suffix("_count") {
+            counts.insert(format!("{metric}{{{labels}}}"), value);
+        }
+    }
+    assert!(!buckets.is_empty(), "no histogram series in the exposition");
+    for (key, series) in buckets {
+        for pair in series.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "le bounds must ascend: {key}");
+            assert!(pair[0].1 <= pair[1].1, "cumulative buckets must be monotone: {key} {pair:?}");
+        }
+        let &(last_le, last) = series.last().expect("non-empty series");
+        assert!(last_le.is_infinite(), "{key} must end at +Inf");
+        let count = counts.get(&key).unwrap_or_else(|| panic!("no _count for {key}"));
+        assert_eq!(last, *count, "+Inf bucket equals _count: {key}");
+    }
+}
+
+#[test]
+fn request_ids_echo_and_prometheus_metrics_parse() {
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        // Seed the latency histograms with one full clean.
+        let (status, _) = http(addr, "POST", "/v1/clean", Some(&clean_body(&messy_csv())));
+        assert_eq!(status, 200);
+
+        // Every response echoes its trace id, and ids are monotonic.
+        let id_of = |raw: &str| -> u64 {
+            raw.lines()
+                .find_map(|l| l.strip_prefix("X-Request-Id: "))
+                .unwrap_or_else(|| panic!("no X-Request-Id in {raw:.300}"))
+                .trim()
+                .parse()
+                .expect("id parses")
+        };
+        let first = id_of(&http_raw(addr, "GET", "/v1/metrics", None));
+        let second = id_of(&http_raw(addr, "GET", "/v1/metrics", None));
+        assert!(second > first, "request ids are monotonic: {first} then {second}");
+
+        // `/v1/metrics` grew a latency section with endpoint and stage
+        // percentiles, including the LLM batch round-trip histogram.
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let latency = metrics.get("latency").expect("latency section");
+        let clean = latency
+            .get("endpoints")
+            .and_then(|e| e.get("/v1/clean"))
+            .unwrap_or_else(|| panic!("no /v1/clean latency: {latency}"));
+        assert_eq!(clean.get("count").and_then(Json::as_f64), Some(1.0));
+        let p50 = clean.get("p50_us").and_then(Json::as_f64).expect("p50_us");
+        let p99 = clean.get("p99_us").and_then(Json::as_f64).expect("p99_us");
+        assert!(p50 > 0.0 && p50 <= p99, "percentiles ordered: p50 {p50}, p99 {p99}");
+        let stages = latency.get("stages").expect("stages section");
+        assert!(stages.get("llm_batch").is_some(), "batch round-trips recorded: {stages}");
+
+        // `GET /metrics` renders the same state as Prometheus text.
+        let (status, text) = http(addr, "GET", "/metrics", None);
+        assert_eq!(status, 200, "{text}");
+        assert_prometheus_well_formed(&text);
+        assert!(text.contains("cocoon_requests_total"), "{text:.400}");
+        assert!(text.contains("cocoon_request_duration_seconds_bucket{endpoint=\"/v1/clean\""));
+        assert!(text.contains("cocoon_stage_duration_seconds_bucket{stage=\"llm_batch\""));
+    });
+}
+
+#[test]
+fn slow_streamed_clean_span_tree_accounts_for_wall_time() {
+    // The tracing acceptance bar: on a deliberately slow streamed-CSV clean
+    // (tiny profiling chunks on Movies), the recorded span tree must
+    // account for >= 95% of the server-measured wall time — contiguous
+    // root segments from head parse to response write, with the pipeline
+    // stages and LLM batch round-trips nested under the handler span.
+    let movies_csv = csv::write_str(&cocoon_datasets::movies::generate().dirty);
+    let config = ServerConfig { profile_chunk_rows: 3, ..test_config() };
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let (status, _) = http_with_headers(
+            addr,
+            "POST",
+            "/v1/clean",
+            &[("Content-Type", "text/csv"), ("Accept", "text/csv")],
+            Some(&movies_csv),
+        );
+        assert_eq!(status, 200);
+
+        let traces = handle.state().obs.recent_traces();
+        let trace = traces.iter().find(|t| t.route == "/v1/clean").expect("clean trace");
+        assert_eq!((trace.status, trace.bytes > 0), (200, true));
+
+        let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent.is_none()).collect();
+        let root_ns: u64 = roots.iter().map(|s| s.duration_ns).sum();
+        assert!(
+            root_ns as f64 >= trace.total_ns as f64 * 0.95,
+            "root segments account for wall time: {root_ns} of {} ns over {:?}",
+            trace.total_ns,
+            roots.iter().map(|s| (s.name, s.duration_ns)).collect::<Vec<_>>(),
+        );
+        let root_names: Vec<&str> = roots.iter().map(|s| s.name).collect();
+        for expected in ["head_parse", "csv_stream", "queue_wait", "handler", "write"] {
+            assert!(root_names.contains(&expected), "missing root {expected}: {root_names:?}");
+        }
+
+        let handler = trace.spans.iter().position(|s| s.name == "handler").expect("handler span");
+        let children: Vec<&str> =
+            trace.spans.iter().filter(|s| s.parent == Some(handler)).map(|s| s.name).collect();
+        let stage_spans = children.iter().filter(|n| **n != "llm_batch").count();
+        assert_eq!(
+            stage_spans, 8,
+            "all eight pipeline stages nest under the handler: {children:?}"
+        );
+        let batch = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "llm_batch")
+            .unwrap_or_else(|| panic!("LLM batches nest under the handler: {children:?}"));
+        assert_eq!(batch.parent, Some(handler));
+        for attr in ["batch_size", "coalesced_total", "rate_limit_wait_us", "backend_us"] {
+            assert!(batch.attrs.iter().any(|(k, _)| *k == attr), "batch attr {attr}");
+        }
+    });
+}
+
+#[test]
+fn stage_latency_histograms_match_a_direct_observer_run() {
+    use cocoon_core::{RunProgress, StageObserver, StageTiming};
+    use std::sync::{Arc, Mutex};
+
+    // A library user watching the same pipeline through the public
+    // `StageObserver` hook must see exactly the stages the server's
+    // latency registry aggregates.
+    #[derive(Default)]
+    struct Collect(Mutex<Vec<StageTiming>>);
+    impl StageObserver for Collect {
+        fn stage_finished(&self, timing: StageTiming) {
+            self.0.lock().unwrap().push(timing);
+        }
+    }
+    let csv_text = messy_csv();
+    let table = csv::read_str(&csv_text).expect("fixture parses");
+    let collector = Arc::new(Collect::default());
+    let progress = RunProgress::new();
+    progress.set_observer(collector.clone());
+    Cleaner::new(SimLlm::new()).clean_with_progress(&table, &progress).expect("direct clean");
+    let direct: Vec<StageTiming> = std::mem::take(&mut collector.0.lock().unwrap());
+    assert!(!direct.is_empty(), "the direct run reported stages");
+
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        let (status, _) = http(addr, "POST", "/v1/clean", Some(&clean_body(&csv_text)));
+        assert_eq!(status, 200);
+
+        // Identical stage label sets, one sample per stage for one clean.
+        let histograms = handle.state().obs.stage_histograms();
+        let mut server_stages: Vec<&str> = histograms.iter().map(|(name, _)| *name).collect();
+        let mut direct_stages: Vec<&str> = direct.iter().map(|t| t.stage).collect();
+        server_stages.sort_unstable();
+        direct_stages.sort_unstable();
+        assert_eq!(server_stages, direct_stages);
+        for (name, histogram) in &histograms {
+            assert_eq!(histogram.count(), 1, "{name}");
+            assert!(histogram.max() > 0, "{name} recorded a duration");
+        }
+
+        // `/v1/metrics` reports the same labels, with the single-sample
+        // percentile bracketing the recorded duration (bucket upper bound,
+        // so >= the true value up to microsecond truncation).
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let stages = metrics.get("latency").and_then(|l| l.get("stages")).expect("stages");
+        for (name, histogram) in &histograms {
+            let entry = stages.get(name).unwrap_or_else(|| panic!("{name} missing: {stages}"));
+            assert_eq!(entry.get("count").and_then(Json::as_f64), Some(1.0), "{name}");
+            let p50 = entry.get("p50_us").and_then(Json::as_f64).expect("p50_us");
+            let p99 = entry.get("p99_us").and_then(Json::as_f64).expect("p99_us");
+            assert!(p50 <= p99, "{name}: p50 {p50} > p99 {p99}");
+            let recorded_us = histogram.max() as f64 / 1_000.0;
+            assert!(p99 + 1.0 >= recorded_us, "{name}: p99 {p99}us vs recorded {recorded_us}us");
+        }
     });
 }
 
