@@ -514,10 +514,13 @@ mod tests {
         assert!(start.elapsed() < Duration::from_secs(5));
         let event = events.iter().next().unwrap();
         assert_eq!(event.token, u64::MAX);
+        // Join before clearing: the second wake may land after the first
+        // one already satisfied the wait, and clearing while it is still
+        // in flight would leave the eventfd readable again.
+        handle.join().unwrap();
         waker.clear();
         // Cleared: quiet again.
         assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
-        handle.join().unwrap();
     }
 
     #[test]

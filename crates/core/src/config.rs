@@ -59,6 +59,14 @@ pub struct CleanerConfig {
     /// Unique-ratio threshold above which a column is reviewed for
     /// semantic uniqueness (§2.1.8).
     pub uniqueness_review_threshold: f64,
+    /// Minimum combined [`Confidence`](crate::Confidence) score a repair
+    /// needs to apply automatically. Repairs scoring below are **withheld**:
+    /// the table is left untouched and the op lands in
+    /// [`CleaningRun::pending`](crate::CleaningRun::pending) for
+    /// human-in-the-loop review (`/v1/reviews` on `cocoon-server`). The
+    /// default `0.0` applies everything — confidence stays purely
+    /// observational until a policy opts in.
+    pub confidence_threshold: f64,
     /// Which issues run.
     pub issues: IssueToggles,
     /// Include statistical profiles in prompts (ablation: the paper's claim
@@ -88,6 +96,7 @@ impl Default for CleanerConfig {
             fd_max_unique_ratio: 0.95,
             type_tolerance: 0.90,
             uniqueness_review_threshold: 0.95,
+            confidence_threshold: 0.0,
             issues: IssueToggles::default(),
             statistical_context: true,
             threads: None,
@@ -109,6 +118,7 @@ impl CleanerConfig {
             ("fd_max_unique_ratio", self.fd_max_unique_ratio),
             ("type_tolerance", self.type_tolerance),
             ("uniqueness_review_threshold", self.uniqueness_review_threshold),
+            ("confidence_threshold", self.confidence_threshold),
         ] {
             if !(0.0..=1.0).contains(&v) {
                 return Err(CoreError::Config(format!("{name} must be in [0,1], got {v}")));
@@ -139,6 +149,7 @@ impl CleanerConfig {
                 "uniqueness_review_threshold" => {
                     config.uniqueness_review_threshold = f64_field(key, value)?
                 }
+                "confidence_threshold" => config.confidence_threshold = f64_field(key, value)?,
                 "statistical_context" => config.statistical_context = bool_field(key, value)?,
                 "threads" => {
                     config.threads = match value {
@@ -175,6 +186,7 @@ impl CleanerConfig {
             ("fd_max_unique_ratio".into(), Json::Number(self.fd_max_unique_ratio)),
             ("type_tolerance".into(), Json::Number(self.type_tolerance)),
             ("uniqueness_review_threshold".into(), Json::Number(self.uniqueness_review_threshold)),
+            ("confidence_threshold".into(), Json::Number(self.confidence_threshold)),
             ("statistical_context".into(), Json::Bool(self.statistical_context)),
             (
                 "threads".into(),
@@ -291,6 +303,10 @@ mod tests {
         assert!(bad.validated().is_err());
         let bad = CleanerConfig { fd_min_strength: 1.5, ..CleanerConfig::default() };
         assert!(bad.validated().is_err());
+        let bad = CleanerConfig { confidence_threshold: 1.5, ..CleanerConfig::default() };
+        assert!(bad.validated().is_err());
+        let ok = CleanerConfig { confidence_threshold: 0.9, ..CleanerConfig::default() };
+        assert!(ok.validated().is_ok());
         let bad = CleanerConfig { threads: Some(0), ..CleanerConfig::default() };
         assert!(bad.validated().is_err());
         let ok = CleanerConfig { threads: Some(8), ..CleanerConfig::default() };
@@ -303,6 +319,7 @@ mod tests {
             sample_size: 42,
             threads: Some(3),
             statistical_context: false,
+            confidence_threshold: 0.75,
             issues: CleanerConfig::only_issue("column_type").issues,
             ..CleanerConfig::default()
         };
@@ -340,6 +357,8 @@ mod tests {
             (r#"{"threads": -1}"#, "negative"),
             (r#"{"threads": 0}"#, "validation: zero threads"),
             (r#"{"fd_min_strength": 3.0}"#, "validation: out of range"),
+            (r#"{"confidence_threshold": -0.5}"#, "validation: threshold out of range"),
+            (r#"{"confidence_threshold": "high"}"#, "threshold wrong type"),
             (r#"{"issues": {"string_outliers": "yes"}}"#, "toggle wrong type"),
             (r#"{"issues": {"nope": true}}"#, "unknown toggle"),
             (r#"{"issues": [true]}"#, "toggles not an object"),

@@ -12,7 +12,7 @@
 
 use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values, restrict_mapping};
 use crate::decision::{Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_cleaning_map, parse_type_verdict, prompts};
 use cocoon_sql::Expr;
@@ -28,6 +28,7 @@ struct Finding {
     /// for numeric targets whose census holds non-parsing values.
     conversion_mapping: Vec<(String, String)>,
     conversion_reasoning: String,
+    confidence: Option<f64>,
 }
 
 fn degraded(column: &str, err: &crate::error::CoreError) -> String {
@@ -99,6 +100,7 @@ fn detect_inner(
     // sample shown in the type prompt is not enough to cast every cell.
     let mut conversion_mapping: Vec<(String, String)> = Vec::new();
     let mut conversion_reasoning = String::new();
+    let mut confidence = verdict.confidence;
     if target.is_numeric() {
         let full_census = ctx.census(index, ctx.config.sample_size);
         let failing: Vec<(String, usize)> =
@@ -109,6 +111,10 @@ fn detect_inner(
             conversion_mapping = restrict_mapping(&map.mapping, &failing);
             if !conversion_mapping.is_empty() {
                 conversion_reasoning = map.explanation;
+                confidence = match (confidence, map.confidence) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
             }
         }
     }
@@ -120,6 +126,7 @@ fn detect_inner(
         target,
         conversion_mapping,
         conversion_reasoning,
+        confidence,
     }))
 }
 
@@ -167,17 +174,20 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
             return Ok(());
         }
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::ColumnType,
-        column: Some(column.to_string()),
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: format!("{} {}", finding.reasoning, finding.conversion_reasoning)
-            .trim()
-            .to_string(),
-        sql: select,
-        cells_changed: changed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::ColumnType,
+            column: Some(column.to_string()),
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: format!("{} {}", finding.reasoning, finding.conversion_reasoning)
+                .trim()
+                .to_string(),
+            sql: select,
+            cells_changed: changed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

@@ -9,7 +9,7 @@
 
 use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values};
 use crate::decision::{CleaningReview, Decision};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_dmv_verdict, prompts};
 use cocoon_sql::{render_select, Expr};
@@ -21,6 +21,7 @@ struct Finding {
     reasoning: String,
     /// token → "" (the Figure 3 convention: empty new value means NULL).
     mapping: Vec<(String, String)>,
+    confidence: Option<f64>,
 }
 
 fn degraded(column: &str, err: &crate::error::CoreError) -> String {
@@ -77,6 +78,7 @@ fn detect_inner(
         evidence,
         reasoning: verdict.reasoning,
         mapping,
+        confidence: verdict.confidence,
     }))
 }
 
@@ -106,15 +108,18 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
     if changed == 0 {
         return Ok(());
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::DisguisedMissing,
-        column: Some(column.to_string()),
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: finding.reasoning.clone(),
-        sql: select,
-        cells_changed: changed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::DisguisedMissing,
+            column: Some(column.to_string()),
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: finding.reasoning.clone(),
+            sql: select,
+            cells_changed: changed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

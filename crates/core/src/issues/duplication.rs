@@ -9,7 +9,7 @@
 
 use crate::apply::apply_and_count;
 use crate::decision::{Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_dup_verdict, prompts};
 use cocoon_profile::duplicate_profile;
@@ -18,6 +18,7 @@ use cocoon_sql::Select;
 struct Finding {
     evidence: String,
     reasoning: String,
+    confidence: Option<f64>,
 }
 
 /// Runs duplicate-row review over the whole table.
@@ -65,7 +66,11 @@ fn detect_inner(ctx: &DetectCtx<'_>) -> crate::error::Result<Outcome<Finding>> {
             verdict.reasoning
         )));
     }
-    Ok(Outcome::Finding(Finding { evidence, reasoning: verdict.reasoning }))
+    Ok(Outcome::Finding(Finding {
+        evidence,
+        reasoning: verdict.reasoning,
+        confidence: verdict.confidence,
+    }))
 }
 
 fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Result<()> {
@@ -82,15 +87,18 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
     let mut select = Select::star("input");
     select.distinct = true;
     let (table, removed) = apply_and_count(&select, &state.table)?;
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::Duplication,
-        column: None,
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: finding.reasoning.clone(),
-        sql: select,
-        cells_changed: removed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::Duplication,
+            column: None,
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: finding.reasoning.clone(),
+            sql: select,
+            cells_changed: removed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

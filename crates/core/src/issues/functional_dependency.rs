@@ -17,7 +17,7 @@
 
 use crate::apply::apply_and_count;
 use crate::decision::{CleaningReview, Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_cleaning_map, parse_fd_verdict, prompts};
 use cocoon_profile::{fd_violating_groups, FdCandidate, FdScan};
@@ -33,11 +33,11 @@ struct Finding {
     lhs_name: String,
     rhs_name: String,
     strength: f64,
-    /// Semantic review prefetched on the snapshot: `(meaningful, reasoning)`.
-    /// `None` when the snapshot had no violating groups, so no review was
-    /// spent; the decide phase asks lazily in the rare case an earlier
-    /// repair has since created violations.
-    verdict: Option<(bool, String)>,
+    /// Semantic review prefetched on the snapshot: `(meaningful, reasoning,
+    /// self-reported confidence)`. `None` when the snapshot had no violating
+    /// groups, so no review was spent; the decide phase asks lazily in the
+    /// rare case an earlier repair has since created violations.
+    verdict: Option<(bool, String, Option<f64>)>,
     /// Violating-group count on the snapshot.
     groups_len: usize,
     /// Snapshot groups, fully rendered — only for meaningful verdicts (the
@@ -131,7 +131,7 @@ fn detect_inner(
         // The mapping step consumes the full rendered groups; only
         // meaningful verdicts get there, so only they pay the render.
         let rendered = verdict.meaningful.then(|| groups.iter().map(render).collect());
-        (Some((verdict.meaningful, verdict.reasoning)), rendered)
+        (Some((verdict.meaningful, verdict.reasoning, verdict.confidence)), rendered)
     };
     Ok(Outcome::Finding(Finding {
         lhs: candidate.lhs,
@@ -155,13 +155,15 @@ fn decide(
     let (lhs_name, rhs_name) = (finding.lhs_name.as_str(), finding.rhs_name.as_str());
     // Snapshot groups stay valid until the first applied repair; after one,
     // recompute against the live table.
-    let (groups_text, groups_len, meaningful, reasoning) = if table_changed {
+    let (groups_text, groups_len, meaningful, reasoning, review_confidence) = if table_changed {
         let groups_text = groups_text_of(&state.table, finding.lhs, finding.rhs)?;
         if groups_text.is_empty() {
             return Ok(false);
         }
-        let (meaningful, reasoning) = match &finding.verdict {
-            Some((meaningful, reasoning)) => (*meaningful, reasoning.clone()),
+        let (meaningful, reasoning, review_confidence) = match &finding.verdict {
+            Some((meaningful, reasoning, confidence)) => {
+                (*meaningful, reasoning.clone(), *confidence)
+            }
             None => {
                 // An earlier repair created violations the snapshot didn't
                 // have; ask for the semantic review now, on live groups.
@@ -173,16 +175,16 @@ fn decide(
                     &groups_text[..groups_text.len().min(5)],
                 ))?;
                 let verdict = parse_fd_verdict(&response)?;
-                (verdict.meaningful, verdict.reasoning)
+                (verdict.meaningful, verdict.reasoning, verdict.confidence)
             }
         };
         let groups_len = groups_text.len();
-        (groups_text, groups_len, meaningful, reasoning)
+        (groups_text, groups_len, meaningful, reasoning, review_confidence)
     } else {
         if finding.groups_len == 0 {
             return Ok(false);
         }
-        let (meaningful, reasoning) =
+        let (meaningful, reasoning, review_confidence) =
             finding.verdict.clone().expect("non-empty snapshot groups were reviewed");
         // Rejected candidates never need the full render.
         let groups_text = if meaningful {
@@ -190,7 +192,7 @@ fn decide(
         } else {
             GroupsText::new()
         };
-        (groups_text, finding.groups_len, meaningful, reasoning)
+        (groups_text, finding.groups_len, meaningful, reasoning, review_confidence)
     };
     let evidence =
         format!("entropy strength {:.3}; {} violating groups", finding.strength, groups_len);
@@ -288,16 +290,23 @@ fn decide(
     if changed == 0 {
         return Ok(false);
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::FunctionalDependency,
-        column: Some(rhs_name.to_string()),
-        statistical_evidence: format!("{lhs_name} → {rhs_name}: {evidence}"),
-        llm_reasoning: format!("{reasoning} {}", map.explanation),
-        sql: select,
-        cells_changed: changed,
-    });
-    Ok(true)
+    let confidence = match (review_confidence, map.confidence) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let applied = state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::FunctionalDependency,
+            column: Some(rhs_name.to_string()),
+            statistical_evidence: format!("{lhs_name} → {rhs_name}: {evidence}"),
+            llm_reasoning: format!("{reasoning} {}", map.explanation),
+            sql: select,
+            cells_changed: changed,
+            confidence: Confidence::self_reported(confidence),
+        },
+    );
+    Ok(applied)
 }
 
 #[cfg(test)]

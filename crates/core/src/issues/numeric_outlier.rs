@@ -11,7 +11,7 @@
 
 use crate::apply::{apply_and_count, column_rewrite_select};
 use crate::decision::{Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_range_verdict, prompts};
 use cocoon_profile::numeric_profile;
@@ -23,6 +23,7 @@ struct Finding {
     reasoning: String,
     low: Option<f64>,
     high: Option<f64>,
+    confidence: Option<f64>,
 }
 
 fn degraded(column: &str, err: &crate::error::CoreError) -> String {
@@ -97,6 +98,7 @@ fn detect_inner(
         reasoning: verdict.reasoning,
         low,
         high,
+        confidence: verdict.confidence,
     }))
 }
 
@@ -135,15 +137,18 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
     if changed == 0 {
         return Ok(());
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::NumericOutliers,
-        column: Some(column.to_string()),
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: finding.reasoning.clone(),
-        sql: select,
-        cells_changed: changed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::NumericOutliers,
+            column: Some(column.to_string()),
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: finding.reasoning.clone(),
+            sql: select,
+            cells_changed: changed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

@@ -11,7 +11,7 @@
 
 use crate::apply::{apply_and_count, column_rewrite_select};
 use crate::decision::{Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_pattern_plan, prompts};
 use cocoon_pattern::Regex;
@@ -25,6 +25,7 @@ struct Finding {
     reasoning: String,
     /// (pattern, replacement) pairs, all verified to compile.
     transforms: Vec<(String, String)>,
+    confidence: Option<f64>,
 }
 
 fn degraded(column: &str, err: &crate::error::CoreError) -> String {
@@ -102,6 +103,7 @@ fn detect_inner(
         evidence,
         reasoning: plan.reasoning,
         transforms: valid_transforms,
+        confidence: plan.confidence,
     }))
 }
 
@@ -131,15 +133,18 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
     if changed == 0 {
         return Ok(());
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::PatternOutliers,
-        column: Some(column.to_string()),
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: finding.reasoning.clone(),
-        sql: select,
-        cells_changed: changed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::PatternOutliers,
+            column: Some(column.to_string()),
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: finding.reasoning.clone(),
+            sql: select,
+            cells_changed: changed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

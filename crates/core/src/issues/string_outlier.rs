@@ -12,7 +12,7 @@
 
 use crate::apply::{apply_and_count, column_rewrite_select, mapping_to_values, restrict_mapping};
 use crate::decision::{CleaningReview, Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::prompts;
 use cocoon_llm::{parse_cleaning_map, parse_detect_verdict};
@@ -28,6 +28,9 @@ struct Finding {
     reasoning: String,
     explanations: Vec<String>,
     mapping: Vec<(String, String)>,
+    /// Weakest self-reported confidence across the detect and clean
+    /// completions, when any stated one.
+    confidence: Option<f64>,
 }
 
 fn degraded(column: &str, err: &crate::error::CoreError) -> String {
@@ -84,11 +87,16 @@ fn detect_inner(
     let responses = ctx.ask_batch(clean_prompts);
     let mut mapping: Vec<(String, String)> = Vec::new();
     let mut explanations: Vec<String> = Vec::new();
+    let mut confidence = verdict.confidence;
     for (batch, response) in value_batches.iter().zip(responses) {
         let map = parse_cleaning_map(&response?)?;
         if !map.explanation.is_empty() {
             explanations.push(map.explanation.clone());
         }
+        confidence = match (confidence, map.confidence) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         mapping.extend(restrict_mapping(&map.mapping, batch));
     }
     if mapping.is_empty() {
@@ -100,6 +108,7 @@ fn detect_inner(
         reasoning: verdict.reasoning,
         explanations,
         mapping,
+        confidence,
     }))
 }
 
@@ -141,15 +150,18 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
     if changed == 0 {
         return Ok(());
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::StringOutliers,
-        column: Some(column.to_string()),
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: format!("{} {}", finding.reasoning, explanation),
-        sql: select,
-        cells_changed: changed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::StringOutliers,
+            column: Some(column.to_string()),
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: format!("{} {}", finding.reasoning, explanation),
+            sql: select,
+            cells_changed: changed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

@@ -12,7 +12,7 @@
 
 use crate::apply::apply_and_count;
 use crate::decision::{Decision, DetectionReview};
-use crate::ops::{CleaningOp, IssueKind};
+use crate::ops::{CleaningOp, Confidence, IssueKind};
 use crate::state::{DetectCtx, Outcome, PipelineState};
 use cocoon_llm::{parse_unique_verdict, prompts};
 use cocoon_profile::uniqueness_profile;
@@ -23,6 +23,7 @@ struct Finding {
     evidence: String,
     reasoning: String,
     order_by: Option<String>,
+    confidence: Option<f64>,
 }
 
 fn degraded(column: &str, err: &crate::error::CoreError) -> String {
@@ -76,6 +77,7 @@ fn detect_inner(
         evidence,
         reasoning: verdict.reasoning,
         order_by: verdict.order_by,
+        confidence: verdict.confidence,
     }))
 }
 
@@ -111,15 +113,18 @@ fn decide(state: &mut PipelineState<'_>, finding: &Finding) -> crate::error::Res
     if removed == 0 {
         return Ok(());
     }
-    state.table = table;
-    state.ops.push(CleaningOp {
-        issue: IssueKind::Uniqueness,
-        column: Some(column.to_string()),
-        statistical_evidence: finding.evidence.clone(),
-        llm_reasoning: finding.reasoning.clone(),
-        sql: select,
-        cells_changed: removed,
-    });
+    state.commit_op(
+        table,
+        CleaningOp {
+            issue: IssueKind::Uniqueness,
+            column: Some(column.to_string()),
+            statistical_evidence: finding.evidence.clone(),
+            llm_reasoning: finding.reasoning.clone(),
+            sql: select,
+            cells_changed: removed,
+            confidence: Confidence::self_reported(finding.confidence),
+        },
+    );
     Ok(())
 }
 

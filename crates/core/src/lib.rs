@@ -49,7 +49,7 @@ pub use decision::{
     RejectIssues,
 };
 pub use error::{CoreError, Result};
-pub use ops::{CleaningOp, IssueKind};
+pub use ops::{CleaningOp, Confidence, IssueKind, DEFAULT_SELF_REPORT};
 pub use pipeline::{Cleaner, CleaningRun, STAGE_ORDER};
 pub use progress::{ProgressSnapshot, RunProgress, StageObserver, StageTiming};
 pub use report::{full_report, issue_summary, workflow_trace};

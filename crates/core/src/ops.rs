@@ -64,6 +64,75 @@ impl fmt::Display for IssueKind {
     }
 }
 
+/// How sure the pipeline is that a repair is correct.
+///
+/// Two signals, combined by [`score`](Confidence::score):
+///
+/// * **self-report** — the model's own 0–1 estimate, parsed from the
+///   detection/cleaning completion (absent answers default to
+///   [`DEFAULT_SELF_REPORT`]);
+/// * **agreement** — for a deterministically sampled subset of repairs, the
+///   fraction of independent re-ask variants (sent through the batch path,
+///   so a coalescing dispatcher sees them as one flight) that endorse the
+///   repair. `None` when the repair was not sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Confidence {
+    /// The model's self-reported 0–1 confidence.
+    pub self_report: f64,
+    /// Cross-variant agreement in \[0,1\], when sampled.
+    pub agreement: Option<f64>,
+}
+
+/// Self-report assumed when a completion carries no `Confidence` field —
+/// chosen so legacy models neither auto-fail a strict threshold nor claim
+/// certainty they never stated.
+pub const DEFAULT_SELF_REPORT: f64 = 0.8;
+
+impl Default for Confidence {
+    fn default() -> Self {
+        Confidence { self_report: DEFAULT_SELF_REPORT, agreement: None }
+    }
+}
+
+impl Confidence {
+    /// A confidence from an optional parsed self-report, clamped to \[0,1\].
+    pub fn self_reported(report: Option<f64>) -> Self {
+        Confidence {
+            self_report: report.unwrap_or(DEFAULT_SELF_REPORT).clamp(0.0, 1.0),
+            agreement: None,
+        }
+    }
+
+    /// The combined score a threshold policy compares against: the
+    /// self-report alone, or its even blend with agreement when the repair
+    /// was sampled for cross-variant verification.
+    pub fn score(&self) -> f64 {
+        match self.agreement {
+            Some(agreement) => (self.self_report + agreement) / 2.0,
+            None => self.self_report,
+        }
+    }
+
+    /// One-line rendering for reports and SQL comments.
+    pub fn describe(&self) -> String {
+        match self.agreement {
+            Some(agreement) => format!(
+                "{:.3} (self-report {:.2}, agreement {:.2})",
+                self.score(),
+                self.self_report,
+                agreement
+            ),
+            None => format!("{:.3} (self-report {:.2})", self.score(), self.self_report),
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
 /// One applied cleaning operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CleaningOp {
@@ -79,6 +148,8 @@ pub struct CleaningOp {
     pub sql: Select,
     /// Cells changed (or rows removed, for row-level ops).
     pub cells_changed: usize,
+    /// How sure the pipeline is that this repair is correct.
+    pub confidence: Confidence,
 }
 
 impl CleaningOp {
@@ -100,6 +171,7 @@ impl CleaningOp {
         if !self.llm_reasoning.is_empty() {
             comment.push_str(&format!("\nsemantic reasoning: {}", self.llm_reasoning));
         }
+        comment.push_str(&format!("\nconfidence: {}", self.confidence.describe()));
         sql.comment = Some(comment);
         render_select(&sql)
     }
@@ -126,11 +198,30 @@ mod tests {
             llm_reasoning: "mixed representations".into(),
             sql: Select::star("t"),
             cells_changed: 9,
+            confidence: Confidence { self_report: 0.9, agreement: Some(1.0) },
         };
         let sql = op.rendered_sql();
         assert!(sql.contains("-- [String Outliers — §2.1.1] column: lang"));
         assert!(sql.contains("-- statistical detection: 2 rare values"));
         assert!(sql.contains("-- semantic reasoning: mixed representations"));
+        assert!(sql.contains("-- confidence: 0.950 (self-report 0.90, agreement 1.00)"));
         assert!(sql.contains("SELECT *"));
+    }
+
+    #[test]
+    fn confidence_scoring() {
+        let plain = Confidence::self_reported(Some(0.7));
+        assert_eq!(plain.score(), 0.7);
+        assert_eq!(plain.agreement, None);
+        // Absent self-reports take the documented default.
+        assert_eq!(Confidence::self_reported(None).score(), DEFAULT_SELF_REPORT);
+        // Out-of-range reports clamp instead of poisoning thresholds.
+        assert_eq!(Confidence::self_reported(Some(7.0)).score(), 1.0);
+        assert_eq!(Confidence::self_reported(Some(-1.0)).score(), 0.0);
+        // Agreement blends evenly.
+        let sampled = Confidence { self_report: 0.6, agreement: Some(1.0) };
+        assert!((sampled.score() - 0.8).abs() < 1e-12);
+        assert_eq!(sampled.describe(), "0.800 (self-report 0.60, agreement 1.00)");
+        assert_eq!(Confidence::default().describe(), "0.800 (self-report 0.80)");
     }
 }

@@ -46,6 +46,10 @@ pub struct CleaningRun {
     pub table: Table,
     /// Applied operations, in order.
     pub ops: Vec<CleaningOp>,
+    /// Repairs withheld by the confidence threshold policy
+    /// ([`CleanerConfig::confidence_threshold`]): compiled, scored, but not
+    /// applied — awaiting human review. Empty at the default threshold 0.0.
+    pub pending: Vec<CleaningOp>,
     /// Narrative notes (rejected FDs, degraded steps, reviewer decisions).
     pub notes: Vec<String>,
 }
@@ -245,7 +249,12 @@ impl<M: ChatModel> Cleaner<M> {
         if let Some(p) = progress {
             p.finish(state.ops.len());
         }
-        Ok(CleaningRun { table: state.table, ops: state.ops, notes: state.notes })
+        Ok(CleaningRun {
+            table: state.table,
+            ops: state.ops,
+            pending: state.pending,
+            notes: state.notes,
+        })
     }
 }
 
@@ -417,6 +426,63 @@ mod tests {
         assert_eq!(run.table, plain.table);
         assert_eq!(run.sql_script(), plain.sql_script());
         assert!(run.notes.iter().any(|n| n.contains("reprofiled")));
+    }
+
+    #[test]
+    fn confidence_threshold_withholds_low_confidence_repairs() {
+        // Two text columns: a typo (self-report 0.95, applies) and a
+        // misplaced concept token (self-report 0.65, withheld at 0.9).
+        let mut text = String::from("drink,country\n");
+        for _ in 0..50 {
+            text.push_str("coffee,USA\n");
+        }
+        for _ in 0..10 {
+            text.push_str("tea,India\n");
+        }
+        text.push_str("cofffee,Hindi\n");
+        let table = csv::read_str(&text).unwrap();
+
+        let strict = CleanerConfig {
+            confidence_threshold: 0.9,
+            ..CleanerConfig::only_issue("string_outliers")
+        };
+        let withheld = Cleaner::with_config(SimLlm::new(), strict).unwrap().clean(&table).unwrap();
+        assert_eq!(withheld.ops.len(), 1, "typo repair applies");
+        assert_eq!(withheld.pending.len(), 1, "misplaced repair withheld");
+        assert_eq!(withheld.pending[0].column.as_deref(), Some("country"));
+        assert!(withheld.pending[0].confidence.score() < 0.9);
+        // The withheld column is untouched…
+        assert_eq!(withheld.table.render_cell(60, 1).unwrap(), "Hindi");
+        // …while the applied one is repaired, and the run says why.
+        assert_eq!(withheld.table.render_cell(60, 0).unwrap(), "coffee");
+        assert!(withheld.notes.iter().any(|n| n.contains("withheld for review")));
+
+        // Accepting the pending repair afterwards reaches the same table as
+        // an unconditional (threshold 0.0) run — the review queue only
+        // defers work, it never changes it.
+        let lenient = CleanerConfig {
+            confidence_threshold: 0.0,
+            ..CleanerConfig::only_issue("string_outliers")
+        };
+        let full = Cleaner::with_config(SimLlm::new(), lenient).unwrap().clean(&table).unwrap();
+        assert!(full.pending.is_empty());
+        let (accepted, _) =
+            crate::apply::apply_and_count(&withheld.pending[0].sql, &withheld.table).unwrap();
+        assert_eq!(accepted, full.table);
+    }
+
+    #[test]
+    fn default_threshold_is_observational() {
+        // Threshold 0.0 (the default): every op carries a confidence, none
+        // are withheld, and the run behaves exactly as before the policy.
+        let run = Cleaner::new(SimLlm::new()).clean(&messy()).unwrap();
+        assert!(run.pending.is_empty());
+        assert!(!run.ops.is_empty());
+        for op in &run.ops {
+            let score = op.confidence.score();
+            assert!((0.0..=1.0).contains(&score), "{score}");
+            assert!(op.rendered_sql().contains("confidence: "), "{}", op.rendered_sql());
+        }
     }
 
     #[test]

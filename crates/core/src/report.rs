@@ -29,6 +29,17 @@ pub fn workflow_trace(run: &CleaningRun) -> String {
             ));
         }
     }
+    if !run.pending.is_empty() {
+        out.push_str("\n  withheld for review (below confidence threshold):\n");
+        for op in &run.pending {
+            out.push_str(&format!(
+                "      {} on {} at confidence {}\n",
+                op.issue.name(),
+                op.column.as_deref().unwrap_or("<table>"),
+                op.confidence.describe()
+            ));
+        }
+    }
     if !run.notes.is_empty() {
         out.push_str("\n  decisions & notes:\n");
         for note in &run.notes {
@@ -53,6 +64,7 @@ pub fn full_report(run: &CleaningRun) -> String {
         out.push_str(&format!("statistical detection : {}\n", op.statistical_evidence));
         out.push_str(&format!("semantic reasoning    : {}\n", op.llm_reasoning));
         out.push_str(&format!("cells changed         : {}\n", op.cells_changed));
+        out.push_str(&format!("confidence            : {}\n", op.confidence.describe()));
         out.push_str("sql:\n");
         out.push_str(&op.rendered_sql());
         out.push('\n');

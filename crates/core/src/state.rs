@@ -21,8 +21,10 @@ use crate::decision::DecisionHook;
 use crate::error::Result;
 use crate::ops::CleaningOp;
 use crate::progress::RunProgress;
-use cocoon_llm::{ChatModel, ChatRequest};
+use cocoon_llm::responses::parse_repair_verdict;
+use cocoon_llm::{prompts, ChatModel, ChatRequest};
 use cocoon_profile::{ColumnProfile, TableProfile};
+use cocoon_sql::render_select;
 use cocoon_table::Table;
 use threadpool::ThreadPool;
 
@@ -121,6 +123,10 @@ pub struct PipelineState<'a> {
     pub entry_profile: Option<TableProfile>,
     /// Applied operations, in order.
     pub ops: Vec<CleaningOp>,
+    /// Repairs whose confidence fell below
+    /// [`CleanerConfig::confidence_threshold`]: fully compiled but **not**
+    /// applied, queued for human review (`/v1/reviews` on the server).
+    pub pending: Vec<CleaningOp>,
     /// Narrative notes: rejected FDs, skipped steps, LLM failures.
     pub notes: Vec<String>,
     /// Progress channel of the run, when observed: detect fan-outs report
@@ -148,6 +154,7 @@ impl<'a> PipelineState<'a> {
             pool,
             entry_profile: None,
             ops: Vec::new(),
+            pending: Vec::new(),
             notes: Vec::new(),
             progress: None,
         }
@@ -231,6 +238,93 @@ impl<'a> PipelineState<'a> {
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
     }
+
+    /// Commits a compiled repair through the confidence policy: a
+    /// deterministically sampled subset is first re-verified through
+    /// [`prompts::repair_verify`] variants (one model batch, so a
+    /// coalescing dispatcher sees a single flight) and the agreement
+    /// fraction is blended into the op's [`Confidence`](crate::Confidence).
+    /// Repairs scoring at or above [`CleanerConfig::confidence_threshold`]
+    /// apply (`table` replaces the working table, the op is recorded);
+    /// repairs below are withheld into [`pending`](PipelineState::pending)
+    /// with a note, leaving the table untouched.
+    ///
+    /// Returns whether the repair applied (`false` means withheld) — FD
+    /// iteration uses this to know the table is unchanged.
+    ///
+    /// Runs in the sequential decide phase, so sampling and re-asks are
+    /// identical at any thread count.
+    pub fn commit_op(&mut self, table: Table, mut op: CleaningOp) -> bool {
+        if sampled_for_verification(&op) {
+            let sql_text = render_select(&op.sql);
+            let requests: Vec<ChatRequest> = (0..VERIFY_VARIANTS)
+                .map(|variant| {
+                    ChatRequest::simple(prompts::repair_verify(
+                        op.issue.name(),
+                        op.column.as_deref(),
+                        &op.statistical_evidence,
+                        &op.llm_reasoning,
+                        &sql_text,
+                        variant,
+                    ))
+                })
+                .collect();
+            let verdicts: Vec<bool> = self
+                .llm
+                .complete_batch(&requests)
+                .into_iter()
+                .filter_map(|r| r.ok())
+                .filter_map(|resp| parse_repair_verdict(&resp.content).ok())
+                .map(|v| v.agree)
+                .collect();
+            // All-failed re-asks leave agreement unsampled rather than
+            // punishing the repair for a flaky backend.
+            if !verdicts.is_empty() {
+                let agree = verdicts.iter().filter(|&&a| a).count();
+                op.confidence.agreement = Some(agree as f64 / verdicts.len() as f64);
+            }
+        }
+        if op.confidence.score() >= self.config.confidence_threshold {
+            self.table = table;
+            self.ops.push(op);
+            true
+        } else {
+            self.note(format!(
+                "{} repair on {} withheld for review: confidence {} below threshold {:.2}",
+                op.issue.name(),
+                op.column.as_deref().map(|c| format!("{c:?}")).unwrap_or_else(|| "table".into()),
+                op.confidence.describe(),
+                self.config.confidence_threshold,
+            ));
+            self.pending.push(op);
+            false
+        }
+    }
+}
+
+/// How many [`prompts::repair_verify`] variants an agreement re-ask sends.
+const VERIFY_VARIANTS: usize = 3;
+
+/// One in this many repairs is sampled for cross-variant verification.
+const SAMPLE_MODULUS: u64 = 4;
+
+/// Whether a repair is in the ~25% agreement sample: a pure function of the
+/// op's identity (issue, column, evidence), so runs are reproducible across
+/// machines and thread counts — no RNG anywhere in the pipeline.
+fn sampled_for_verification(op: &CleaningOp) -> bool {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(op.issue.name().as_bytes());
+    eat(b"\x1f");
+    eat(op.column.as_deref().unwrap_or("").as_bytes());
+    eat(b"\x1f");
+    eat(op.statistical_evidence.as_bytes());
+    hash.is_multiple_of(SAMPLE_MODULUS)
 }
 
 #[cfg(test)]
@@ -306,8 +400,65 @@ mod tests {
             llm_reasoning: String::new(),
             sql: cocoon_sql::Select::star("input"),
             cells_changed: 0,
+            confidence: crate::ops::Confidence::default(),
         });
         assert!(state.detect_ctx().profile.is_none());
+    }
+
+    #[test]
+    fn commit_op_applies_or_withholds_by_threshold() {
+        use crate::ops::{CleaningOp, Confidence, IssueKind};
+        let op_with = |self_report: f64| CleaningOp {
+            issue: IssueKind::StringOutliers,
+            column: Some("x".into()),
+            statistical_evidence: "evidence".into(),
+            llm_reasoning: "reasoning".into(),
+            sql: cocoon_sql::Select::star("input"),
+            cells_changed: 1,
+            confidence: Confidence { self_report, agreement: None },
+        };
+        let llm = SimLlm::new();
+        let config = CleanerConfig { confidence_threshold: 0.9, ..CleanerConfig::default() };
+        let mut hook = AutoApprove;
+        let mut state = PipelineState::new(table(), &llm, &config, &mut hook);
+        let rewritten = {
+            let rows: Vec<Vec<String>> = vec![vec!["z".into()]];
+            Table::from_text_rows(&["x"], &rows).unwrap()
+        };
+        // High self-report applies (agreement re-asks, if sampled, endorse).
+        assert!(state.commit_op(rewritten.clone(), op_with(0.95)));
+        assert_eq!(state.ops.len(), 1);
+        assert_eq!(state.table, rewritten);
+        // Low self-report is withheld: table untouched, op queued, noted.
+        let before = state.table.clone();
+        assert!(!state.commit_op(table(), op_with(0.3)));
+        assert_eq!(state.ops.len(), 1);
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.table, before);
+        assert!(state.notes.iter().any(|n| n.contains("withheld for review")));
+    }
+
+    #[test]
+    fn verification_sampling_is_deterministic() {
+        use crate::ops::{CleaningOp, Confidence, IssueKind};
+        let op = |evidence: &str| CleaningOp {
+            issue: IssueKind::StringOutliers,
+            column: Some("x".into()),
+            statistical_evidence: evidence.into(),
+            llm_reasoning: String::new(),
+            sql: cocoon_sql::Select::star("input"),
+            cells_changed: 1,
+            confidence: Confidence::default(),
+        };
+        // Pure function of op identity: same op, same answer, ~1/4 sampled.
+        let sampled = (0..64)
+            .filter(|i| super::sampled_for_verification(&op(&format!("evidence {i}"))))
+            .count();
+        assert!(sampled > 0 && sampled < 64, "{sampled} of 64 sampled");
+        assert_eq!(
+            super::sampled_for_verification(&op("evidence 0")),
+            super::sampled_for_verification(&op("evidence 0")),
+        );
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Confidence calibration: reliability bins and expected calibration error.
+//!
+//! Every applied repair carries a [`cocoon_core::Confidence`] score; the
+//! benchmark runner pairs that score with the repair's measured accuracy
+//! (fraction of its changed cells that match ground truth). A system is
+//! *calibrated* when stated confidence tracks measured accuracy — ECE is
+//! the standard summary: bin the samples by confidence, then average the
+//! per-bin |accuracy − confidence| gap weighted by bin population.
+
+/// One confidence bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Inclusive lower edge of the bin's confidence range.
+    pub lower: f64,
+    /// Exclusive upper edge (inclusive for the last bin, so 1.0 lands in it).
+    pub upper: f64,
+    /// Number of samples that fell into this bin.
+    pub count: usize,
+    /// Mean stated confidence of the samples in the bin (0.0 when empty).
+    pub mean_confidence: f64,
+    /// Mean measured accuracy of the samples in the bin (0.0 when empty).
+    pub mean_accuracy: f64,
+}
+
+/// Buckets `(confidence, accuracy)` samples into `bins` equal-width bins
+/// over [0, 1]. Confidences outside [0, 1] are clamped into the edge bins.
+pub fn reliability(samples: &[(f64, f64)], bins: usize) -> Vec<ReliabilityBin> {
+    assert!(bins > 0, "at least one bin");
+    let width = 1.0 / bins as f64;
+    let mut totals = vec![(0usize, 0.0f64, 0.0f64); bins];
+    for &(confidence, accuracy) in samples {
+        let index = ((confidence / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        let slot = &mut totals[index];
+        slot.0 += 1;
+        slot.1 += confidence;
+        slot.2 += accuracy;
+    }
+    totals
+        .into_iter()
+        .enumerate()
+        .map(|(i, (count, conf_sum, acc_sum))| ReliabilityBin {
+            lower: i as f64 * width,
+            upper: (i + 1) as f64 * width,
+            count,
+            mean_confidence: if count == 0 { 0.0 } else { conf_sum / count as f64 },
+            mean_accuracy: if count == 0 { 0.0 } else { acc_sum / count as f64 },
+        })
+        .collect()
+}
+
+/// Expected calibration error over `bins` equal-width bins.
+///
+/// Total on every input: an empty sample set scores 0.0 (nothing is
+/// miscalibrated), never NaN.
+pub fn expected_calibration_error(samples: &[(f64, f64)], bins: usize) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    reliability(samples, bins)
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.count as f64 / n) * (b.mean_accuracy - b.mean_confidence).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_score_zero() {
+        assert_eq!(expected_calibration_error(&[], 10), 0.0);
+        let bins = reliability(&[], 10);
+        assert_eq!(bins.len(), 10);
+        assert!(bins.iter().all(|b| b.count == 0));
+    }
+
+    #[test]
+    fn perfectly_calibrated_scores_zero() {
+        // Confidence equals accuracy in every sample → every populated
+        // bin's means coincide.
+        let samples = [(0.95, 0.95), (0.75, 0.75), (0.15, 0.15), (0.95, 0.95)];
+        assert!(expected_calibration_error(&samples, 10) < 1e-12);
+    }
+
+    #[test]
+    fn overconfidence_is_the_gap() {
+        // All samples claim 0.9 but none are right: ECE = |0.0 − 0.9|.
+        let samples = [(0.9, 0.0), (0.9, 0.0)];
+        let ece = expected_calibration_error(&samples, 10);
+        assert!((ece - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_bins_weight_by_population() {
+        // Bin [0.9, 1.0): 3 samples, conf 0.9, acc 1.0 → gap 0.1.
+        // Bin [0.5, 0.6): 1 sample, conf 0.5, acc 0.5 → gap 0.0.
+        let samples = [(0.9, 1.0), (0.9, 1.0), (0.9, 1.0), (0.5, 0.5)];
+        let ece = expected_calibration_error(&samples, 10);
+        assert!((ece - 0.75 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_one_lands_in_last_bin() {
+        let bins = reliability(&[(1.0, 1.0)], 10);
+        assert_eq!(bins[9].count, 1);
+        assert!((bins[9].mean_confidence - 1.0).abs() < 1e-12);
+        // Out-of-range confidences clamp instead of panicking.
+        let bins = reliability(&[(1.5, 1.0), (-0.5, 0.0)], 10);
+        assert_eq!(bins[9].count, 1);
+        assert_eq!(bins[0].count, 1);
+    }
+}

@@ -220,4 +220,48 @@ mod tests {
         assert!(values_equivalent(&Value::Null, &Value::Null, Equivalence::Lenient));
         assert!(!values_equivalent(&Value::Null, &t("x"), Equivalence::Lenient));
     }
+
+    #[test]
+    fn dmv_forgiveness_is_exactly_the_lenient_strict_disagreement() {
+        // Every (token, NULL) pair the lenient convention forgives must be
+        // an error under strict — the Table 1 vs Table 3 gap.
+        for token in ["N/A", "null", "NULL", "-", "unknown", "none"] {
+            assert!(
+                values_equivalent(&t(token), &Value::Null, Equivalence::Lenient),
+                "{token:?} should be DMV-forgiven leniently"
+            );
+            assert!(
+                !values_equivalent(&t(token), &Value::Null, Equivalence::Strict),
+                "{token:?} must stay an error strictly"
+            );
+        }
+        // Two different disguises of missing are leniently the same cell.
+        assert!(values_equivalent(&t("N/A"), &t("unknown"), Equivalence::Lenient));
+        assert!(!values_equivalent(&t("N/A"), &t("unknown"), Equivalence::Strict));
+        // A real value never rides the DMV forgiveness.
+        assert!(!values_equivalent(&t("0"), &Value::Null, Equivalence::Lenient));
+    }
+
+    #[test]
+    fn nan_never_equivalent_negative_zero_always() {
+        // An untouched NaN cell equals itself: Value's bit-level equality
+        // keeps comparison reflexive (the table crate needs eq ≡ hash for
+        // grouping), so identical NaN bits short-circuit before the numeric
+        // tolerance path can reject them.
+        let nan = Value::Float(f64::NAN);
+        assert!(values_equivalent(&nan, &nan, Equivalence::Strict));
+        assert!(values_equivalent(&nan, &nan, Equivalence::Lenient));
+        // But NaN is never equivalent to any actual number, under either
+        // convention and via either the typed or the text route — a repair
+        // that writes NaN is never "correct".
+        assert!(!values_equivalent(&t("NaN"), &Value::Float(0.0), Equivalence::Strict));
+        assert!(!values_equivalent(&nan, &Value::Float(0.0), Equivalence::Lenient));
+        assert!(!values_equivalent(&t("NaN"), &Value::Float(f64::NAN), Equivalence::Strict));
+        // −0.0 and 0.0 are the same stored number under both conventions.
+        let neg = Value::Float(-0.0);
+        let pos = Value::Float(0.0);
+        assert!(values_equivalent(&neg, &pos, Equivalence::Strict));
+        assert!(values_equivalent(&neg, &pos, Equivalence::Lenient));
+        assert!(values_equivalent(&t("-0"), &pos, Equivalence::Strict));
+    }
 }

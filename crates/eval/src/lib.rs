@@ -6,12 +6,21 @@
 //! * [`conventions`] — the Table-1 lenient comparison (case-insensitive,
 //!   column-type and DMV forgiveness) and the Table-3 strict comparison;
 //! * [`metrics`] — precision / recall / F1 over cell repairs;
-//! * [`report`] — text rendering of Table-1/2/3-shaped grids.
+//! * [`report`] — text rendering of Table-1/2/3-shaped grids;
+//! * [`calibration`] — reliability bins and expected calibration error
+//!   over per-repair confidence scores;
+//! * [`mod@bench`] — the benchmark runner: clean every catalog dataset, score
+//!   against ground truth, attribute per issue type, gate against a
+//!   committed baseline (the `cocoon-eval` binary's engine).
 
+pub mod bench;
+pub mod calibration;
 pub mod conventions;
 pub mod metrics;
 pub mod report;
 
+pub use bench::{check_against_baseline, quality_report, score_case, BenchCase, DatasetScore};
+pub use calibration::{expected_calibration_error, reliability, ReliabilityBin};
 pub use conventions::{values_equivalent, Equivalence};
 pub use metrics::{evaluate, EvalCounts, Evaluation, Prf};
 pub use report::{render_error_table, render_results_table, SystemRow};

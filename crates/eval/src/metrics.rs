@@ -42,6 +42,22 @@ pub struct EvalCounts {
     pub repaired_errors: usize,
 }
 
+impl EvalCounts {
+    /// Converts raw counts into precision / recall / F1.
+    ///
+    /// Total on every input: a system that changed nothing (`changes == 0`)
+    /// or a dataset with no errors (`errors == 0`) scores 0.0, never NaN.
+    /// The 0/0 corners matter because the benchmark runner divides per
+    /// issue type, and many (dataset, issue) cells are legitimately empty.
+    pub fn prf(&self) -> Prf {
+        let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        Prf::new(
+            ratio(self.correct_repairs, self.changes),
+            ratio(self.repaired_errors, self.errors),
+        )
+    }
+}
+
 /// The result of scoring one system on one dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
@@ -91,14 +107,7 @@ pub fn evaluate(dirty: &Table, cleaned: &Table, truth: &Table, mode: Equivalence
             }
         }
     }
-    let precision = if counts.changes == 0 {
-        0.0
-    } else {
-        counts.correct_repairs as f64 / counts.changes as f64
-    };
-    let recall =
-        if counts.errors == 0 { 0.0 } else { counts.repaired_errors as f64 / counts.errors as f64 };
-    Evaluation { prf: Prf::new(precision, recall), counts }
+    Evaluation { prf: counts.prf(), counts }
 }
 
 #[cfg(test)]
@@ -193,5 +202,38 @@ mod tests {
         let prf = Prf::new(1.0, 0.5);
         assert!((prf.f1 - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(Prf::new(0.0, 0.0).f1, 0.0);
+    }
+
+    #[test]
+    fn counts_to_prf_is_total() {
+        // Zero true positives with zero denominators: every division is
+        // 0/0 and the conversion must still produce finite zeros.
+        let empty = EvalCounts::default();
+        let prf = empty.prf();
+        assert_eq!(prf.precision, 0.0);
+        assert_eq!(prf.recall, 0.0);
+        assert_eq!(prf.f1, 0.0);
+        assert!(prf.f1.is_finite() && !prf.f1.is_nan());
+
+        // Zero TP with non-zero denominators: a system that made only
+        // wrong changes on an error-free table.
+        let all_wrong =
+            EvalCounts { errors: 0, changes: 3, correct_repairs: 0, repaired_errors: 0 };
+        let prf = all_wrong.prf();
+        assert_eq!(prf.precision, 0.0);
+        assert_eq!(prf.recall, 0.0);
+        assert!(!prf.f1.is_nan());
+    }
+
+    #[test]
+    fn empty_table_evaluates_to_zero_not_nan() {
+        let no_rows: Vec<Vec<String>> = Vec::new();
+        let empty = Table::from_text_rows(&["a", "b"], &no_rows).unwrap();
+        let e = evaluate(&empty, &empty.clone(), &empty.clone(), Equivalence::Strict);
+        assert_eq!(e.counts, EvalCounts::default());
+        assert!(!e.prf.precision.is_nan());
+        assert!(!e.prf.recall.is_nan());
+        assert!(!e.prf.f1.is_nan());
+        assert_eq!(e.prf.f1, 0.0);
     }
 }

@@ -36,6 +36,8 @@ pub mod task {
     pub const UNIQUENESS_REVIEW: &str = "uniqueness_review";
     /// Unit/format conversion for numeric repairs.
     pub const NUMERIC_CONVERSION: &str = "numeric_conversion";
+    /// Cross-variant repair verification (confidence agreement re-ask).
+    pub const REPAIR_VERIFY: &str = "repair_verify";
 }
 
 fn values_json(values: &[(String, usize)]) -> Json {
@@ -76,7 +78,8 @@ pub fn string_outliers_detect(column: &str, values: &[(String, usize)]) -> Strin
     p.push_str("Now, respond in JSON:\n```\n{\n");
     p.push_str("\"Reasoning\": \"The values are ... They are unusual/acceptable ...\",\n");
     p.push_str("\"Unusualness\": true/false,\n");
-    p.push_str("\"Summary\": \"xxx values are unusual because ...\"\n}\n```\n");
+    p.push_str("\"Summary\": \"xxx values are unusual because ...\",\n");
+    p.push_str("\"Confidence\": 0.0-1.0\n}\n```\n");
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::STRING_OUTLIERS_DETECT.into())),
         ("column".into(), Json::String(column.into())),
@@ -101,7 +104,7 @@ pub fn string_outliers_clean(
     p.push_str("If old values are meaningless, map to empty string.\n\n");
     p.push_str("Return in the following format:\n```yml\nexplanation: >\n");
     p.push_str(
-        "The problem is ... The correct values are ...\nmapping:\nold_value: new_value\n```\n",
+        "The problem is ... The correct values are ...\nconfidence: 0.0-1.0\nmapping:\nold_value: new_value\n```\n",
     );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::STRING_OUTLIERS_CLEAN.into())),
@@ -129,7 +132,7 @@ pub fn pattern_review(column: &str, buckets: &[(String, usize, Vec<String>)]) ->
          day/month/year, but .* is not). Assess if the shapes are inconsistent representations \
          of the same concept, and if so provide regex transformations to standardise them.\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Patterns\": [...], \"Inconsistent\": true/false, \"Transforms\": [{\"pattern\": \"...\", \"replacement\": \"...\"}]}\n");
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Patterns\": [...], \"Inconsistent\": true/false, \"Transforms\": [{\"pattern\": \"...\", \"replacement\": \"...\"}], \"Confidence\": 0.0-1.0}\n");
     let buckets_json = Json::Array(
         buckets
             .iter()
@@ -161,7 +164,7 @@ pub fn dmv_detect(column: &str, values: &[(String, usize)], numeric_share: f64) 
         "Identify values that are currently not NULL, but semantically mean that the value is \
          missing (e.g., string values like \"N/A\", \"null\").\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"DisguisedMissing\": [\"...\"]}\n");
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"DisguisedMissing\": [\"...\"], \"Confidence\": 0.0-1.0}\n");
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::DMV_DETECT.into())),
         ("column".into(), Json::String(column.into())),
@@ -191,7 +194,9 @@ pub fn column_type(
          better represented as BOOLEAN). Available types: BOOLEAN, BIGINT, DOUBLE, DATE, TIME, \
          VARCHAR.\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Type\": \"...\"}\n");
+    p.push_str(
+        "Respond in JSON: {\"Reasoning\": \"...\", \"Type\": \"...\", \"Confidence\": 0.0-1.0}\n",
+    );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::COLUMN_TYPE.into())),
         ("column".into(), Json::String(column.into())),
@@ -215,7 +220,8 @@ pub fn numeric_range(column: &str, min: f64, max: f64, q1: f64, q3: f64) -> Stri
          outside the range will be treated as outliers and set to NULL.\n\n",
     );
     p.push_str(
-        "Respond in JSON: {\"Reasoning\": \"...\", \"Low\": number|null, \"High\": number|null}\n",
+        "Respond in JSON: {\"Reasoning\": \"...\", \"Low\": number|null, \"High\": number|null, \
+         \"Confidence\": 0.0-1.0}\n",
     );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::NUMERIC_RANGE.into())),
@@ -255,7 +261,10 @@ pub fn fd_review(
          semantically (a real-world rule rather than a coincidence or an inherently \
          variable measurement).\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Meaningful\": true/false}\n");
+    p.push_str(
+        "Respond in JSON: {\"Reasoning\": \"...\", \"Meaningful\": true/false, \
+         \"Confidence\": 0.0-1.0}\n",
+    );
     let examples_json = Json::Array(
         examples
             .iter()
@@ -299,7 +308,7 @@ pub fn fd_mapping(lhs: &str, rhs: &str, groups: &[(String, Vec<(String, usize)>)
     }
     p.push_str(
         "\nFor each group, provide the correct value. Map each incorrect value to the correct \
-         one.\n\nReturn in the following format:\n```yml\nexplanation: >\n  ...\nmapping:\n  old_value: new_value\n```\n",
+         one.\n\nReturn in the following format:\n```yml\nexplanation: >\n  ...\nconfidence: 0.0-1.0\nmapping:\n  old_value: new_value\n```\n",
     );
     let groups_json = Json::Array(
         groups
@@ -340,7 +349,10 @@ pub fn duplication_review(duplicate_rows: usize, total_rows: usize, columns: &[S
         "Determine if these duplications are semantically acceptable (e.g., duplication in \
          logging with coarse time granularity) or erroneous (cleaned with SELECT DISTINCT).\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Acceptable\": true/false}\n");
+    p.push_str(
+        "Respond in JSON: {\"Reasoning\": \"...\", \"Acceptable\": true/false, \
+         \"Confidence\": 0.0-1.0}\n",
+    );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::DUPLICATION_REVIEW.into())),
         ("duplicate_rows".into(), Json::Number(duplicate_rows as f64)),
@@ -363,7 +375,7 @@ pub fn uniqueness_review(column: &str, unique_ratio: f64, all_columns: &[String]
          a column that prioritises which record to keep (e.g., the latest time), or null to \
          keep the first.\n\n",
     );
-    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"ShouldBeUnique\": true/false, \"OrderBy\": \"column\"|null}\n");
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"ShouldBeUnique\": true/false, \"OrderBy\": \"column\"|null, \"Confidence\": 0.0-1.0}\n");
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::UNIQUENESS_REVIEW.into())),
         ("column".into(), Json::String(column.into())),
@@ -388,12 +400,62 @@ pub fn numeric_conversion(column: &str, failing_values: &[(String, usize)]) -> S
     p.push_str(
         "Map each value to the number it semantically denotes (e.g., \"1 hr. 30 min.\" \u{2192} \
          90 minutes, \"$1,234\" \u{2192} 1234). If a value carries no number, map to empty \
-         string.\n\nReturn in the following format:\n```yml\nexplanation: >\n  ...\nmapping:\n  old_value: new_value\n```\n",
+         string.\n\nReturn in the following format:\n```yml\nexplanation: >\n  ...\nconfidence: 0.0-1.0\nmapping:\n  old_value: new_value\n```\n",
     );
     p.push_str(&context_block(vec![
         ("task".into(), Json::String(task::NUMERIC_CONVERSION.into())),
         ("column".into(), Json::String(column.into())),
         ("values".into(), values_json(failing_values)),
+    ]));
+    p
+}
+
+/// Cross-variant repair verification: ask an independent "reviewer" variant
+/// whether a proposed repair is correct. `variant` phrases each re-ask from
+/// a different angle, so the prompts are distinct cache keys and a
+/// coalescing dispatcher sees a genuine batch rather than `n` copies of one
+/// flight.
+pub fn repair_verify(
+    issue: &str,
+    column: Option<&str>,
+    evidence: &str,
+    reasoning: &str,
+    sql: &str,
+    variant: usize,
+) -> String {
+    let mut p = String::new();
+    let angle = match variant % 3 {
+        0 => "Independently judge whether the repair below is correct.",
+        1 => "Act as a skeptical reviewer: try to find a reason the repair below is wrong.",
+        _ => "A colleague proposed the repair below; double-check it before it ships.",
+    };
+    p.push_str(angle);
+    p.push_str("\n\n");
+    p.push_str(&format!("Issue type: {issue}\n"));
+    if let Some(column) = column {
+        p.push_str(&format!("Column: {column}\n"));
+    }
+    if !evidence.is_empty() {
+        p.push_str(&format!("Statistical evidence: {evidence}\n"));
+    }
+    if !reasoning.is_empty() {
+        p.push_str(&format!("Proposed reasoning: {reasoning}\n"));
+    }
+    p.push_str(&format!("Compiled SQL:\n{sql}\n\n"));
+    p.push_str("Respond in JSON: {\"Reasoning\": \"...\", \"Agree\": true/false, \"Confidence\": 0.0-1.0}\n");
+    p.push_str(&context_block(vec![
+        ("task".into(), Json::String(task::REPAIR_VERIFY.into())),
+        ("issue".into(), Json::String(issue.into())),
+        (
+            "column".into(),
+            match column {
+                Some(c) => Json::String(c.into()),
+                None => Json::Null,
+            },
+        ),
+        ("evidence".into(), Json::String(evidence.into())),
+        ("reasoning".into(), Json::String(reasoning.into())),
+        ("variant".into(), Json::Number(variant as f64)),
     ]));
     p
 }
@@ -453,6 +515,7 @@ mod tests {
             fd_mapping("zip", "city", &[("1".into(), vec![("a".into(), 2)])]),
             duplication_review(3, 100, &["a".into()]),
             uniqueness_review("id", 0.99, &["id".into(), "t".into()]),
+            repair_verify("String Outliers", Some("lang"), "2 rare", "variants", "SELECT *", 0),
         ];
         for p in prompts {
             let ctx = parse_context(&p).expect("context parses");
@@ -470,5 +533,27 @@ mod tests {
     #[test]
     fn no_context_returns_none() {
         assert!(parse_context("just words").is_none());
+    }
+
+    #[test]
+    fn repair_verify_variants_are_distinct_prompts() {
+        let build = |v| repair_verify("Column Type", None, "", "cast to DATE", "SELECT *", v);
+        // Distinct variants must be distinct cache keys (that is the whole
+        // point of the re-ask: independent flights, not one cached answer).
+        assert_ne!(build(0), build(1));
+        assert_ne!(build(1), build(2));
+        let ctx = parse_context(&build(1)).unwrap();
+        assert_eq!(ctx.get("task").unwrap().as_str().unwrap(), task::REPAIR_VERIFY);
+        assert_eq!(ctx.get("variant").unwrap().as_f64(), Some(1.0));
+        assert!(matches!(ctx.get("column"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn prompts_request_a_confidence_self_report() {
+        assert!(string_outliers_detect("c", &census()).contains("\"Confidence\": 0.0-1.0"));
+        assert!(string_outliers_clean("c", "s", &census()).contains("confidence: 0.0-1.0"));
+        assert!(column_type("c", "VARCHAR", "BOOLEAN", 0.99, &census())
+            .contains("\"Confidence\": 0.0-1.0"));
+        assert!(fd_mapping("zip", "city", &[]).contains("confidence: 0.0-1.0"));
     }
 }

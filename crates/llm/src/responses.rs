@@ -9,6 +9,13 @@ use crate::error::{LlmError, Result};
 use crate::json::{extract, Json};
 use crate::yaml;
 
+/// The optional 0–1 self-reported `"Confidence"` field every response
+/// format may carry. Absent or non-numeric values parse as `None` (legacy
+/// completions keep parsing); numeric values are clamped to \[0,1\].
+fn confidence_of(v: &Json) -> Option<f64> {
+    v.get("Confidence").and_then(Json::as_f64).map(|c| c.clamp(0.0, 1.0))
+}
+
 /// Figure 2 verdict for detection prompts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectVerdict {
@@ -18,6 +25,8 @@ pub struct DetectVerdict {
     pub unusual: bool,
     /// One-line summary of the finding.
     pub summary: String,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses `{"Reasoning": …, "Unusualness": …, "Summary": …}`.
@@ -31,6 +40,7 @@ pub fn parse_detect_verdict(text: &str) -> Result<DetectVerdict> {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         unusual,
         summary: v.get("Summary").and_then(Json::as_str).unwrap_or("").to_string(),
+        confidence: confidence_of(&v),
     })
 }
 
@@ -41,6 +51,8 @@ pub struct CleaningMap {
     pub explanation: String,
     /// old value → new value ("" = meaningless, maps to NULL downstream).
     pub mapping: Vec<(String, String)>,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the YAML cleaning response.
@@ -50,7 +62,15 @@ pub fn parse_cleaning_map(text: &str) -> Result<CleaningMap> {
         .mapping("mapping")
         .ok_or(LlmError::Malformed { expected: "mapping block", detail: text.into() })?
         .to_vec();
-    Ok(CleaningMap { explanation: doc.scalar("explanation").unwrap_or("").to_string(), mapping })
+    let confidence = doc
+        .scalar("confidence")
+        .and_then(|c| c.trim().parse::<f64>().ok())
+        .map(|c| c.clamp(0.0, 1.0));
+    Ok(CleaningMap {
+        explanation: doc.scalar("explanation").unwrap_or("").to_string(),
+        mapping,
+        confidence,
+    })
 }
 
 /// Pattern-review plan (§2.1.2).
@@ -64,6 +84,8 @@ pub struct PatternPlan {
     pub inconsistent: bool,
     /// (pattern, replacement) regex transformations to standardise.
     pub transforms: Vec<(String, String)>,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the pattern-review JSON.
@@ -93,6 +115,7 @@ pub fn parse_pattern_plan(text: &str) -> Result<PatternPlan> {
         patterns,
         inconsistent: v.get("Inconsistent").and_then(Json::as_bool).unwrap_or(false),
         transforms,
+        confidence: confidence_of(&v),
     })
 }
 
@@ -103,6 +126,8 @@ pub struct DmvVerdict {
     pub reasoning: String,
     /// Tokens judged to be disguised missing values.
     pub tokens: Vec<String>,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the DMV JSON.
@@ -118,6 +143,7 @@ pub fn parse_dmv_verdict(text: &str) -> Result<DmvVerdict> {
     Ok(DmvVerdict {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         tokens,
+        confidence: confidence_of(&v),
     })
 }
 
@@ -128,6 +154,8 @@ pub struct TypeVerdict {
     pub reasoning: String,
     /// SQL type name (BOOLEAN, BIGINT, DOUBLE, DATE, TIME, VARCHAR).
     pub type_name: String,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the column-type JSON.
@@ -141,6 +169,7 @@ pub fn parse_type_verdict(text: &str) -> Result<TypeVerdict> {
     Ok(TypeVerdict {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         type_name,
+        confidence: confidence_of(&v),
     })
 }
 
@@ -153,6 +182,8 @@ pub struct RangeVerdict {
     pub low: Option<f64>,
     /// Upper bound of the acceptable range (`None` = unbounded).
     pub high: Option<f64>,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the numeric-range JSON.
@@ -162,6 +193,7 @@ pub fn parse_range_verdict(text: &str) -> Result<RangeVerdict> {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         low: v.get("Low").and_then(Json::as_f64),
         high: v.get("High").and_then(Json::as_f64),
+        confidence: confidence_of(&v),
     })
 }
 
@@ -172,6 +204,8 @@ pub struct FdVerdict {
     pub reasoning: String,
     /// Whether the dependency is semantically meaningful.
     pub meaningful: bool,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the FD-review JSON.
@@ -184,6 +218,7 @@ pub fn parse_fd_verdict(text: &str) -> Result<FdVerdict> {
     Ok(FdVerdict {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         meaningful,
+        confidence: confidence_of(&v),
     })
 }
 
@@ -194,6 +229,8 @@ pub struct DupVerdict {
     pub reasoning: String,
     /// Whether fully duplicate rows are acceptable here.
     pub acceptable: bool,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the duplication-review JSON.
@@ -206,6 +243,7 @@ pub fn parse_dup_verdict(text: &str) -> Result<DupVerdict> {
     Ok(DupVerdict {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         acceptable,
+        confidence: confidence_of(&v),
     })
 }
 
@@ -218,6 +256,8 @@ pub struct UniqueVerdict {
     pub should_be_unique: bool,
     /// Column used to prioritise the surviving record, if any.
     pub order_by: Option<String>,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
 }
 
 /// Parses the uniqueness-review JSON.
@@ -231,6 +271,32 @@ pub fn parse_unique_verdict(text: &str) -> Result<UniqueVerdict> {
         reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
         should_be_unique: should,
         order_by: v.get("OrderBy").and_then(Json::as_str).map(str::to_string),
+        confidence: confidence_of(&v),
+    })
+}
+
+/// Cross-variant repair-verification verdict (confidence agreement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairVerdict {
+    /// The reviewer variant's reasoning text.
+    pub reasoning: String,
+    /// Whether the variant endorses the proposed repair.
+    pub agree: bool,
+    /// Self-reported 0–1 confidence, when stated.
+    pub confidence: Option<f64>,
+}
+
+/// Parses the repair-verification JSON.
+pub fn parse_repair_verdict(text: &str) -> Result<RepairVerdict> {
+    let v = extract(text)?;
+    let agree = v
+        .get("Agree")
+        .and_then(Json::as_bool)
+        .ok_or(LlmError::Malformed { expected: "Agree bool", detail: text.into() })?;
+    Ok(RepairVerdict {
+        reasoning: v.get("Reasoning").and_then(Json::as_str).unwrap_or("").to_string(),
+        agree,
+        confidence: confidence_of(&v),
     })
 }
 
@@ -297,5 +363,49 @@ mod tests {
         assert_eq!(u.order_by.as_deref(), Some("updated"));
         let u = parse_unique_verdict(r#"{"ShouldBeUnique": false, "OrderBy": null}"#).unwrap();
         assert_eq!(u.order_by, None);
+    }
+
+    #[test]
+    fn confidence_is_optional_everywhere() {
+        // Legacy completions without the field keep parsing, as None.
+        let v = parse_detect_verdict(r#"{"Unusualness": true}"#).unwrap();
+        assert_eq!(v.confidence, None);
+        // Stated confidences come through, clamped to [0,1].
+        let v = parse_detect_verdict(r#"{"Unusualness": true, "Confidence": 0.85}"#).unwrap();
+        assert_eq!(v.confidence, Some(0.85));
+        let v = parse_detect_verdict(r#"{"Unusualness": true, "Confidence": 7}"#).unwrap();
+        assert_eq!(v.confidence, Some(1.0));
+        // Non-numeric confidence degrades to None rather than erroring.
+        let v = parse_detect_verdict(r#"{"Unusualness": true, "Confidence": "high"}"#).unwrap();
+        assert_eq!(v.confidence, None);
+        let t = parse_type_verdict(r#"{"Type": "BOOLEAN", "Confidence": 0.95}"#).unwrap();
+        assert_eq!(t.confidence, Some(0.95));
+        assert_eq!(
+            parse_fd_verdict(r#"{"Meaningful": true, "Confidence": 0.6}"#).unwrap().confidence,
+            Some(0.6)
+        );
+    }
+
+    #[test]
+    fn cleaning_map_confidence_scalar() {
+        let text =
+            "```yml\nexplanation: >\n  fix codes\nconfidence: 0.72\nmapping:\n  English: eng\n```";
+        let m = parse_cleaning_map(text).unwrap();
+        assert_eq!(m.confidence, Some(0.72));
+        let legacy = "```yml\nexplanation: >\n  fix\nmapping:\n  a: b\n```";
+        assert_eq!(parse_cleaning_map(legacy).unwrap().confidence, None);
+    }
+
+    #[test]
+    fn repair_verdict_parses() {
+        let v = parse_repair_verdict(
+            r#"{"Reasoning": "checks out", "Agree": true, "Confidence": 0.9}"#,
+        )
+        .unwrap();
+        assert!(v.agree);
+        assert_eq!(v.confidence, Some(0.9));
+        let v = parse_repair_verdict(r#"{"Agree": false}"#).unwrap();
+        assert!(!v.agree);
+        assert!(parse_repair_verdict(r#"{"Reasoning": "no verdict"}"#).is_err());
     }
 }

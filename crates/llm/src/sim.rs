@@ -16,7 +16,7 @@ use crate::chat::{ChatModel, ChatRequest, ChatResponse, Usage};
 use crate::error::{LlmError, Result};
 use crate::json::Json;
 use crate::prompts::{parse_context, task};
-use crate::yaml::emit_cleaning_response;
+use crate::yaml::emit_cleaning_response_scored;
 use cocoon_semantic as sem;
 use cocoon_table::{Date, TimeOfDay};
 use std::collections::BTreeMap;
@@ -60,6 +60,7 @@ impl ChatModel for SimLlm {
             task::DUPLICATION_REVIEW => answer_duplication(&ctx),
             task::UNIQUENESS_REVIEW => answer_uniqueness(&ctx),
             task::NUMERIC_CONVERSION => answer_numeric_conversion(&ctx),
+            task::REPAIR_VERIFY => answer_repair_verify(&ctx),
             other => {
                 return Err(LlmError::Malformed {
                     expected: "known task",
@@ -122,6 +123,31 @@ fn groups_from(ctx: &Json, key: &str) -> Vec<(String, Vec<(String, usize)>)> {
 
 fn json_fence(pairs: Vec<(String, Json)>) -> String {
     format!("```json\n{}\n```\n", Json::object(pairs))
+}
+
+/// The oracle's self-reported confidence for a string-value analysis: the
+/// weakest heuristic class that contributed. World-knowledge lookups (codes,
+/// units, typo edit distance) are near-certain; concept-misplacement
+/// inference ("India" in a language column means Hindi) is a guess the
+/// pipeline should route through review.
+fn string_confidence(issues: &[String]) -> f64 {
+    const CLASSES: [(&str, f64); 9] = [
+        ("typos", 0.95),
+        ("language values", 0.9),
+        ("state values", 0.9),
+        ("volume values", 0.9),
+        ("duration values", 0.9),
+        ("clock times", 0.85),
+        ("trailing junk", 0.9),
+        ("misplaced", 0.65),
+        ("case or spacing", 0.85),
+    ];
+    issues
+        .iter()
+        .flat_map(|issue| {
+            CLASSES.iter().filter(|(key, _)| issue.contains(key)).map(|&(_, conf)| conf)
+        })
+        .fold(0.95f64, f64::min)
 }
 
 // ---------------------------------------------------------------------------
@@ -458,6 +484,7 @@ fn answer_string_detect(ctx: &Json) -> String {
         ("Reasoning".into(), Json::String(reasoning)),
         ("Unusualness".into(), Json::Bool(unusual)),
         ("Summary".into(), Json::String(summary)),
+        ("Confidence".into(), Json::Number(string_confidence(&analysis.issues))),
     ])
 }
 
@@ -473,7 +500,7 @@ fn answer_string_clean(ctx: &Json) -> String {
             analysis.issues.join("; ")
         )
     };
-    emit_cleaning_response(&explanation, &mapping)
+    emit_cleaning_response_scored(&explanation, Some(string_confidence(&analysis.issues)), &mapping)
 }
 
 // ---------------------------------------------------------------------------
@@ -588,6 +615,7 @@ fn answer_pattern_review(ctx: &Json) -> String {
         ("Patterns".into(), Json::Array(patterns.into_iter().map(Json::String).collect())),
         ("Inconsistent".into(), Json::Bool(inconsistent)),
         ("Transforms".into(), transforms_json),
+        ("Confidence".into(), Json::Number(0.9)),
     ])
 }
 
@@ -614,6 +642,7 @@ fn answer_dmv(ctx: &Json) -> String {
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
         ("DisguisedMissing".into(), Json::Array(tokens.into_iter().map(Json::String).collect())),
+        ("Confidence".into(), Json::Number(0.92)),
     ])
 }
 
@@ -641,13 +670,14 @@ fn answer_column_type(ctx: &Json) -> String {
     let has_units =
         census.iter().any(|(v, _)| sem::is_duration(v) || leading_number_with_unit(v).is_some());
 
-    let (type_name, reasoning) = if sem::values_look_boolean(&distinct) {
-        ("BOOLEAN", "The values are yes/no-style tokens, semantically a boolean.".to_string())
+    let (type_name, reasoning, self_report) = if sem::values_look_boolean(&distinct) {
+        ("BOOLEAN", "The values are yes/no-style tokens, semantically a boolean.".to_string(), 0.9)
     } else if ["zip", "phone", "ssn", "fax", "issn", "isbn"].iter().any(|k| name.contains(k)) {
         (
             "VARCHAR",
             "Identifier-like values (zip/phone) must keep leading zeros; text is safest."
                 .to_string(),
+            0.95,
         )
     } else if has_units && total > 0 && numericish_weight * 10 >= total * 8 {
         (
@@ -655,6 +685,7 @@ fn answer_column_type(ctx: &Json) -> String {
             "The values denote numbers dressed with units (durations, percents, counts); \
              semantically a numeric column."
                 .to_string(),
+            0.85,
         )
     } else if confidence >= 0.95 && inferred != "VARCHAR" {
         (
@@ -670,13 +701,15 @@ fn answer_column_type(ctx: &Json) -> String {
                 "{:.0}% of values parse as {inferred}; the statistical type is semantically sensible.",
                 confidence * 100.0
             ),
+            confidence,
         )
     } else {
-        ("VARCHAR", "No richer type fits all values; keep text.".to_string())
+        ("VARCHAR", "No richer type fits all values; keep text.".to_string(), 0.8)
     };
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
         ("Type".into(), Json::String(type_name.into())),
+        ("Confidence".into(), Json::Number(self_report)),
     ])
 }
 
@@ -712,22 +745,24 @@ fn answer_numeric_range(ctx: &Json) -> String {
     .iter()
     .find(|(key, _, _)| column.contains(key))
     .map(|&(key, lo, hi)| (lo, hi, key));
-    let (low, high, reasoning) = match named {
+    let (low, high, reasoning, self_report) = match named {
         Some((lo, hi, key)) => (
             Some(lo),
             Some(hi),
             format!("A column about \"{key}\" plausibly lies in [{lo}, {hi}]."),
+            0.8,
         ),
         None => {
             // Semantic review of the statistical fences: triple-width Tukey.
             let iqr = (q3 - q1).abs();
             if iqr == 0.0 {
-                (None, None, "The distribution is degenerate; no range is enforced.".into())
+                (None, None, "The distribution is degenerate; no range is enforced.".into(), 0.6)
             } else {
                 (
                     Some(q1 - 3.0 * iqr),
                     Some(q3 + 3.0 * iqr),
                     "Without domain cues, only far-out statistical outliers are rejected.".into(),
+                    0.7,
                 )
             }
         }
@@ -736,6 +771,7 @@ fn answer_numeric_range(ctx: &Json) -> String {
         ("Reasoning".into(), Json::String(reasoning)),
         ("Low".into(), low.map(Json::Number).unwrap_or(Json::Null)),
         ("High".into(), high.map(Json::Number).unwrap_or(Json::Null)),
+        ("Confidence".into(), Json::Number(self_report)),
     ])
 }
 
@@ -807,6 +843,7 @@ fn answer_fd_review(ctx: &Json) -> String {
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
         ("Meaningful".into(), Json::Bool(meaningful)),
+        ("Confidence".into(), Json::Number(0.85)),
     ])
 }
 
@@ -844,7 +881,7 @@ fn answer_fd_mapping(ctx: &Json) -> String {
         "The problem is conflicting values within groups that should agree. The correct values \
          are the dominant value of each group. {skipped} ambiguous groups were left unchanged."
     );
-    emit_cleaning_response(&explanation, &mapping)
+    emit_cleaning_response_scored(&explanation, Some(0.85), &mapping)
 }
 
 // ---------------------------------------------------------------------------
@@ -888,9 +925,10 @@ fn answer_numeric_conversion(ctx: &Json) -> String {
         // No number recoverable: meaningless for a numeric column.
         mapping.push((v.clone(), String::new()));
     }
-    emit_cleaning_response(
+    emit_cleaning_response_scored(
         "The problem is values that are not plain numbers. The correct values are the numbers \
          they semantically denote; values without a number become empty.",
+        Some(0.85),
         &mapping,
     )
 }
@@ -941,6 +979,7 @@ fn answer_duplication(ctx: &Json) -> String {
     json_fence(vec![
         ("Reasoning".into(), Json::String(reasoning)),
         ("Acceptable".into(), Json::Bool(loggish)),
+        ("Confidence".into(), Json::Number(0.95)),
     ])
 }
 
@@ -982,6 +1021,42 @@ fn answer_uniqueness(ctx: &Json) -> String {
         ("Reasoning".into(), Json::String(reasoning)),
         ("ShouldBeUnique".into(), Json::Bool(should)),
         ("OrderBy".into(), order_by.map(Json::String).unwrap_or(Json::Null)),
+        ("Confidence".into(), Json::Number(0.75)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// repair verification (cross-variant agreement re-asks)
+
+fn answer_repair_verify(ctx: &Json) -> String {
+    let issue = ctx.get("issue").and_then(Json::as_str).unwrap_or("");
+    let reasoning = ctx.get("reasoning").and_then(Json::as_str).unwrap_or("");
+    let variant = ctx.get("variant").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    // The oracle endorses its own world-knowledge repairs, but the
+    // "skeptical reviewer" variant dissents on concept-misplacement guesses
+    // — the one heuristic class whose answer is genuinely underdetermined
+    // ("India" in a language column could be Hindi, English, …). This keeps
+    // cross-variant agreement a real signal: < 1.0 exactly where the
+    // self-report is lowest.
+    let guessy = reasoning.contains("misplaced") || issue.contains("misplaced");
+    let skeptical = variant % 3 == 1;
+    let agree = !(guessy && skeptical);
+    let (verdict_reasoning, self_report) = if agree {
+        (
+            "Re-deriving the repair from the evidence reaches the same conclusion.".to_string(),
+            if guessy { 0.7 } else { 0.9 },
+        )
+    } else {
+        (
+            "The repair maps a token across concepts; several targets are equally plausible."
+                .to_string(),
+            0.6,
+        )
+    };
+    json_fence(vec![
+        ("Reasoning".into(), Json::String(verdict_reasoning)),
+        ("Agree".into(), Json::Bool(agree)),
+        ("Confidence".into(), Json::Number(self_report)),
     ])
 }
 
@@ -1225,6 +1300,49 @@ mod tests {
         assert_eq!(as_map.get("$1,234").map(String::as_str), Some("1234"));
         assert_eq!(as_map.get("no number").map(String::as_str), Some(""));
         assert!(!as_map.contains_key("90"));
+    }
+
+    #[test]
+    fn oracle_self_reports_confidence() {
+        // Misplaced-concept repairs are the designated low-confidence class.
+        let census =
+            vec![("USA".to_string(), 500), ("India".to_string(), 80), ("Hindi".to_string(), 6)];
+        let clean = ask(prompts::string_outliers_clean("country", "misplaced", &census));
+        let map = parse_cleaning_map(&clean).unwrap();
+        assert_eq!(map.confidence, Some(0.65));
+
+        // Typo repairs self-report high.
+        let census =
+            vec![("coffee".to_string(), 50), ("cofffee".to_string(), 1), ("tea".to_string(), 30)];
+        let clean = ask(prompts::string_outliers_clean("drink", "typos", &census));
+        assert_eq!(parse_cleaning_map(&clean).unwrap().confidence, Some(0.95));
+
+        // JSON verdicts carry one too.
+        let detect = ask(prompts::string_outliers_detect("drink", &census));
+        assert_eq!(parse_detect_verdict(&detect).unwrap().confidence, Some(0.95));
+    }
+
+    #[test]
+    fn repair_verify_variants_agree_except_skeptic_on_guesses() {
+        let verdict = |reasoning: &str, variant: usize| {
+            let resp = ask(prompts::repair_verify(
+                "String Outliers",
+                Some("country"),
+                "1 rare value",
+                reasoning,
+                "SELECT ...",
+                variant,
+            ));
+            parse_repair_verdict(&resp).unwrap()
+        };
+        // World-knowledge repairs: all three variants endorse.
+        for v in 0..3 {
+            assert!(verdict("values look like typos", v).agree, "variant {v}");
+        }
+        // Misplacement guesses: the skeptical reviewer (variant 1) dissents.
+        assert!(verdict("values are misplaced across concepts", 0).agree);
+        assert!(!verdict("values are misplaced across concepts", 1).agree);
+        assert!(verdict("values are misplaced across concepts", 2).agree);
     }
 
     #[test]

@@ -222,11 +222,25 @@ fn unquote(s: &str) -> String {
 /// Emits the Figure 3 response shape (explanation + mapping), quoting keys
 /// and values so that any cell content round-trips.
 pub fn emit_cleaning_response(explanation: &str, mapping: &[(String, String)]) -> String {
+    emit_cleaning_response_scored(explanation, None, mapping)
+}
+
+/// [`emit_cleaning_response`] plus an optional `confidence:` scalar, the
+/// model's 0–1 self-report that [`crate::responses::parse_cleaning_map`]
+/// surfaces to the threshold policy.
+pub fn emit_cleaning_response_scored(
+    explanation: &str,
+    confidence: Option<f64>,
+    mapping: &[(String, String)],
+) -> String {
     let mut out = String::from("```yml\nexplanation: >\n");
     for line in explanation.lines() {
         out.push_str("  ");
         out.push_str(line);
         out.push('\n');
+    }
+    if let Some(c) = confidence {
+        out.push_str(&format!("confidence: {c}\n"));
     }
     out.push_str("mapping:\n");
     for (old, new) in mapping {
@@ -302,6 +316,15 @@ mod tests {
         let text = "Here you go:\n```yml\nmapping:\n  a: b\n```\n";
         let doc = extract(text).unwrap();
         assert_eq!(doc.mapping("mapping").unwrap()[0], ("a".to_string(), "b".to_string()));
+    }
+
+    #[test]
+    fn scored_emit_carries_confidence_scalar() {
+        let text = emit_cleaning_response_scored("Why.", Some(0.65), &[]);
+        let doc = extract(&text).unwrap();
+        assert_eq!(doc.scalar("confidence").unwrap(), "0.65");
+        // The unscored emitter stays byte-compatible: no confidence line.
+        assert!(!emit_cleaning_response("Why.", &[]).contains("confidence"));
     }
 
     #[test]

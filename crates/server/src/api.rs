@@ -27,6 +27,7 @@
 use crate::http::{json_escape, BodyReader, Head, HttpError, Request, Response};
 use crate::ingest::StreamProfiler;
 use crate::jobs::{DeleteOutcome, JobStatus};
+use crate::reviews::{AcceptOutcome, RejectOutcome};
 use crate::server::AppState;
 use cocoon_core::{CleanerConfig, CleaningRun, ProgressSnapshot, TableProfile};
 use cocoon_llm::Json;
@@ -154,13 +155,31 @@ pub fn clean_response_body(run: &CleaningRun, include_rows: bool) -> String {
             out.push_str(", ");
         }
         out.push_str(&format!(
-            "{{\"issue\": {}, \"column\": {}, \"cells_changed\": {}, \"sql\": {}}}",
+            "{{\"issue\": {}, \"column\": {}, \"cells_changed\": {}, \"confidence\": {}, \
+             \"sql\": {}}}",
             json_escape(op.issue.name()),
             match &op.column {
                 Some(c) => json_escape(c),
                 None => "null".to_string(),
             },
             op.cells_changed,
+            confidence_json(op.confidence.score()),
+            json_escape(&op.rendered_sql()),
+        ));
+    }
+    out.push_str("], \"pending\": [");
+    for (i, op) in run.pending.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"issue\": {}, \"column\": {}, \"confidence\": {}, \"sql\": {}}}",
+            json_escape(op.issue.name()),
+            match &op.column {
+                Some(c) => json_escape(c),
+                None => "null".to_string(),
+            },
+            confidence_json(op.confidence.score()),
             json_escape(&op.rendered_sql()),
         ));
     }
@@ -169,6 +188,13 @@ pub fn clean_response_body(run: &CleaningRun, include_rows: bool) -> String {
     out.push_str(&format!("\"sql_script\": {}, ", json_escape(&run.sql_script())));
     out.push_str(&format!("\"total_changes\": {}}}", run.total_changes()));
     out
+}
+
+/// Confidence scores on the wire, rounded to six decimals so the rendered
+/// body never depends on float formatting noise (identical runs stay
+/// byte-identical).
+fn confidence_json(score: f64) -> String {
+    format!("{}", (score * 1e6).round() / 1e6)
 }
 
 /// Renders a job view for `GET /v1/jobs/{id}`.
@@ -364,7 +390,7 @@ fn finish_csv_clean(
     let payload =
         CleanPayload { table, config: CleanerConfig::default(), include_rows: false, profile };
     match head.path.as_str() {
-        "/v1/clean" => match state.run_clean(&payload, None) {
+        "/v1/clean" => match state.run_clean(&payload, None, None) {
             Ok(run) => render_clean(&run, payload.include_rows, wants_csv(head.header("Accept"))),
             Err(e) => Response::error(500, &format!("clean failed: {e}")),
         },
@@ -403,6 +429,10 @@ fn dispatch(state: &AppState, request: &Request) -> Response {
             }
             _ => Response::error(405, "use GET /v1/datasets"),
         },
+        "/v1/reviews" => match method {
+            "GET" => handle_reviews_list(state),
+            _ => Response::error(405, "use GET /v1/reviews"),
+        },
         "/v1/metrics" => match method {
             "GET" => {
                 state.metrics.count_metrics();
@@ -421,7 +451,13 @@ fn dispatch(state: &AppState, request: &Request) -> Response {
             ("GET", Some(id)) => handle_poll(state, id, wants_csv(request.header("Accept"))),
             ("DELETE", Some(id)) => handle_delete(state, id),
             (_, Some(_)) => Response::error(405, "use GET or DELETE /v1/jobs/{id}"),
-            _ => Response::error(404, &format!("no route for {path}")),
+            _ => match (method, path.strip_prefix("/v1/reviews/")) {
+                ("POST", Some(rest)) => handle_review_action(state, rest),
+                (_, Some(_)) => {
+                    Response::error(405, "use POST /v1/reviews/{id}/accept or …/reject")
+                }
+                _ => Response::error(404, &format!("no route for {path}")),
+            },
         },
     }
 }
@@ -432,7 +468,7 @@ fn handle_clean(state: &AppState, request: &Request) -> Response {
         Ok(payload) => payload,
         Err(message) => return Response::error(400, &message),
     };
-    match state.run_clean(&payload, None) {
+    match state.run_clean(&payload, None, None) {
         Ok(run) => render_clean(&run, payload.include_rows, wants_csv(request.header("Accept"))),
         Err(e) => Response::error(500, &format!("clean failed: {e}")),
     }
@@ -486,11 +522,94 @@ fn handle_delete(state: &AppState, id: &str) -> Response {
         return Response::error(400, &format!("job id must be an integer, got {id:?}"));
     };
     match state.jobs.delete(id) {
-        DeleteOutcome::Deleted => Response::no_content(),
+        DeleteOutcome::Deleted => {
+            // A deleted job takes its review queue with it: racing accepts
+            // or rejects answer 404 afterwards, like any expired item.
+            state.reviews.drop_job(id);
+            Response::no_content()
+        }
         DeleteOutcome::Running => {
             Response::error(409, &format!("job {id} is running; poll until it finishes"))
         }
         DeleteOutcome::NotFound => Response::error(404, &format!("no job {id}")),
+    }
+}
+
+/// `GET /v1/reviews` — every retained review item, in id order.
+fn handle_reviews_list(state: &AppState) -> Response {
+    state.metrics.count_reviews_listed();
+    let mut out = String::from("{\"reviews\": [");
+    let views = state.reviews.list();
+    for (i, view) in views.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"id\": {}, \"job_id\": {}, \"status\": {}, \"issue\": {}, \"column\": {}, \
+             \"confidence\": {}, \"confidence_detail\": {}, \"evidence\": {}, \
+             \"reasoning\": {}, \"sql\": {}}}",
+            view.id,
+            match view.job_id {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            },
+            json_escape(view.status.label()),
+            json_escape(view.issue),
+            match &view.column {
+                Some(c) => json_escape(c),
+                None => "null".to_string(),
+            },
+            confidence_json(view.confidence),
+            json_escape(&view.confidence_detail),
+            json_escape(&view.evidence),
+            json_escape(&view.reasoning),
+            json_escape(&view.sql),
+        ));
+    }
+    out.push_str(&format!("], \"total\": {}}}", views.len()));
+    Response::json(200, out)
+}
+
+/// `POST /v1/reviews/{id}/accept` and `…/reject`.
+fn handle_review_action(state: &AppState, rest: &str) -> Response {
+    let Some((id, action)) = rest.split_once('/') else {
+        return Response::error(404, "use POST /v1/reviews/{id}/accept or …/reject");
+    };
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, &format!("review id must be an integer, got {id:?}"));
+    };
+    match action {
+        "accept" => {
+            state.metrics.count_review_accepted();
+            match state.reviews.accept(id) {
+                AcceptOutcome::Applied { cells_changed, csv } => Response::json(
+                    200,
+                    format!(
+                        "{{\"id\": {id}, \"status\": \"accepted\", \"cells_changed\": \
+                         {cells_changed}, \"cleaned_csv\": {}}}",
+                        json_escape(&csv),
+                    ),
+                ),
+                AcceptOutcome::Conflict => {
+                    Response::error(409, &format!("review {id} was rejected; cannot accept"))
+                }
+                AcceptOutcome::NotFound => Response::error(404, &format!("no review {id}")),
+                AcceptOutcome::Failed(e) => Response::error(500, &e),
+            }
+        }
+        "reject" => {
+            state.metrics.count_review_rejected();
+            match state.reviews.reject(id) {
+                RejectOutcome::Rejected => {
+                    Response::json(200, format!("{{\"id\": {id}, \"status\": \"rejected\"}}"))
+                }
+                RejectOutcome::Conflict => {
+                    Response::error(409, &format!("review {id} was accepted; cannot reject"))
+                }
+                RejectOutcome::NotFound => Response::error(404, &format!("no review {id}")),
+            }
+        }
+        other => Response::error(404, &format!("unknown review action {other:?}")),
     }
 }
 
@@ -559,6 +678,7 @@ mod tests {
             "columns",
             "notes",
             "ops",
+            "pending",
             "rows",
             "schema",
             "sql_script",
@@ -566,6 +686,15 @@ mod tests {
         ] {
             assert!(json.get(field).is_some(), "missing {field}");
         }
+        // Every op reports its confidence score on the wire.
+        let ops = json.get("ops").unwrap().as_array().unwrap();
+        assert!(!ops.is_empty());
+        for op in ops {
+            let confidence = op.get("confidence").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&confidence));
+        }
+        // The default threshold (0.0) withholds nothing.
+        assert!(json.get("pending").unwrap().as_array().unwrap().is_empty());
         assert_eq!(json.get("rows").unwrap().as_f64(), Some(4.0));
         assert_eq!(
             json.get("cleaned_csv").unwrap().as_str(),

@@ -67,6 +67,7 @@ mod ingest;
 pub mod jobs;
 pub mod metrics;
 pub mod obs;
+pub mod reviews;
 pub mod server;
 
 pub use api::CleanPayload;
@@ -74,4 +75,7 @@ pub use http::{Request, Response};
 pub use jobs::{DeleteOutcome, JobCounts, JobStatus, JobStore, JobView};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use obs::{FinishedTrace, LogFormat, RequestTrace, ServerObs};
+pub use reviews::{
+    AcceptOutcome, RejectOutcome, ReviewCounts, ReviewStatus, ReviewStore, ReviewView,
+};
 pub use server::{AppState, Server, ServerConfig, ServerHandle, SharedLlm};

@@ -15,6 +15,9 @@ pub struct Metrics {
     jobs_submitted: AtomicUsize,
     jobs_polled: AtomicUsize,
     jobs_deleted: AtomicUsize,
+    reviews_listed: AtomicUsize,
+    reviews_accepted: AtomicUsize,
+    reviews_rejected: AtomicUsize,
     dataset_requests: AtomicUsize,
     metrics_requests: AtomicUsize,
     responses_4xx: AtomicUsize,
@@ -40,6 +43,14 @@ pub struct MetricsSnapshot {
     pub jobs_polled: usize,
     /// `DELETE /v1/jobs/{id}` requests (including refused ones).
     pub jobs_deleted: usize,
+    /// `GET /v1/reviews` listings.
+    pub reviews_listed: usize,
+    /// `POST /v1/reviews/{id}/accept` requests (including conflicts and
+    /// misses).
+    pub reviews_accepted: usize,
+    /// `POST /v1/reviews/{id}/reject` requests (including conflicts and
+    /// misses).
+    pub reviews_rejected: usize,
     /// `GET /v1/datasets` requests.
     pub dataset_requests: usize,
     /// `GET /v1/metrics` requests.
@@ -95,6 +106,21 @@ impl Metrics {
     /// Counts one `DELETE /v1/jobs/{id}`.
     pub fn count_job_deleted(&self) {
         self.jobs_deleted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `GET /v1/reviews`.
+    pub fn count_reviews_listed(&self) {
+        self.reviews_listed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `POST /v1/reviews/{id}/accept`.
+    pub fn count_review_accepted(&self) {
+        self.reviews_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `POST /v1/reviews/{id}/reject`.
+    pub fn count_review_rejected(&self) {
+        self.reviews_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one `GET /v1/datasets`.
@@ -179,6 +205,9 @@ impl Metrics {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_polled: self.jobs_polled.load(Ordering::Relaxed),
             jobs_deleted: self.jobs_deleted.load(Ordering::Relaxed),
+            reviews_listed: self.reviews_listed.load(Ordering::Relaxed),
+            reviews_accepted: self.reviews_accepted.load(Ordering::Relaxed),
+            reviews_rejected: self.reviews_rejected.load(Ordering::Relaxed),
             dataset_requests: self.dataset_requests.load(Ordering::Relaxed),
             metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
@@ -206,6 +235,9 @@ mod tests {
         m.count_connection_accepted();
         m.count_connection_rejected();
         m.count_job_deleted();
+        m.count_reviews_listed();
+        m.count_review_accepted();
+        m.count_review_rejected();
         m.count_status(200);
         m.count_status(404);
         m.count_status(500);
@@ -214,6 +246,7 @@ mod tests {
         assert_eq!(s.clean_requests, 1);
         assert_eq!((s.connections_accepted, s.connections_rejected), (1, 1));
         assert_eq!(s.jobs_deleted, 1);
+        assert_eq!((s.reviews_listed, s.reviews_accepted, s.reviews_rejected), (1, 1, 1));
         assert_eq!((s.responses_4xx, s.responses_5xx), (1, 1));
     }
 

@@ -24,6 +24,7 @@ use crate::http::DEFAULT_MAX_BODY_BYTES;
 use crate::jobs::JobStore;
 use crate::metrics::Metrics;
 use crate::obs::{self, LogFormat, ServerObs};
+use crate::reviews::ReviewStore;
 use cocoon_core::{AutoApprove, Cleaner, CleaningRun, RunProgress};
 use cocoon_llm::{CachedLlm, ChatModel, CoalescingDispatcher, DispatcherConfig, SimLlm};
 use std::io;
@@ -110,6 +111,8 @@ pub struct AppState {
     pub metrics: Metrics,
     /// The async job store.
     pub jobs: JobStore<CleanPayload>,
+    /// Withheld low-confidence repairs awaiting human review.
+    pub reviews: ReviewStore,
     /// Request ids, span traces, latency histograms, access-log policy.
     pub obs: Arc<ServerObs>,
     /// Request-body cap in bytes.
@@ -155,6 +158,7 @@ impl AppState {
             llm,
             metrics: Metrics::new(),
             jobs: JobStore::with_ttl(config.job_ttl),
+            reviews: ReviewStore::with_ttl(config.job_ttl),
             obs,
             max_body: config.max_body,
             idle_timeout: config.idle_timeout,
@@ -193,10 +197,16 @@ impl AppState {
     /// shared per-stage latency histograms (and, for a clean running
     /// inside a traced request, stage spans under the handler), and the
     /// request — if any — subscribes to LLM batch events for the duration.
+    ///
+    /// Repairs the confidence threshold withheld are registered with the
+    /// review store under `job` (the submitting job's id, `None` for the
+    /// synchronous endpoints), so `GET /v1/reviews` surfaces them as soon
+    /// as the response ships.
     pub fn run_clean(
         &self,
         payload: &CleanPayload,
         progress: Option<&RunProgress>,
+        job: Option<u64>,
     ) -> Result<CleaningRun, cocoon_core::CoreError> {
         let cleaner = Cleaner::with_config(&self.llm, payload.config.clone())?;
         let mut hook = AutoApprove;
@@ -213,7 +223,14 @@ impl AppState {
         progress.set_observer(self.obs.stage_observer());
         let _batch_sub =
             obs::current_trace().map(|(trace, parent)| self.obs.batches.subscribe(trace, parent));
-        cleaner.clean_seeded(&payload.table, &mut hook, Some(progress), payload.profile.clone())
+        let run = cleaner.clean_seeded(
+            &payload.table,
+            &mut hook,
+            Some(progress),
+            payload.profile.clone(),
+        )?;
+        self.reviews.register(&run, job);
+        Ok(run)
     }
 
     /// The `/v1/metrics` body: request counters, work-queue and
@@ -223,6 +240,7 @@ impl AppState {
         let m = self.metrics.snapshot();
         let d = self.llm.inner().stats();
         let j = self.jobs.counts();
+        let r = self.reviews.counts();
         format!(
             "{{\"requests\": {{\"total\": {}, \"clean\": {}, \"jobs_submitted\": {}, \
              \"jobs_polled\": {}, \"jobs_deleted\": {}, \"datasets\": {}, \"metrics\": {}, \
@@ -237,6 +255,8 @@ impl AppState {
              \"rate_limit_waits\": {}, \"rate_limited_ms\": {}}}}}, \
              \"jobs\": {{\"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \
              \"expired\": {}, \"deleted\": {}, \"queue_depth\": {}}}, \
+             \"reviews\": {{\"listed\": {}, \"accept_requests\": {}, \"reject_requests\": {}, \
+             \"pending\": {}, \"accepted\": {}, \"rejected\": {}, \"dropped\": {}}}, \
              \"latency\": {}}}",
             m.requests_total,
             m.clean_requests,
@@ -277,6 +297,13 @@ impl AppState {
             j.expired,
             j.deleted,
             self.jobs.depth(),
+            m.reviews_listed,
+            m.reviews_accepted,
+            m.reviews_rejected,
+            r.pending,
+            r.accepted,
+            r.rejected,
+            r.dropped,
             self.obs.latency_json(),
         )
     }
@@ -340,6 +367,12 @@ impl AppState {
         );
         counter("cocoon_jobs_queued", "Jobs waiting in the async queue.", "gauge", j.queued);
         counter("cocoon_jobs_running", "Jobs being cleaned right now.", "gauge", j.running);
+        counter(
+            "cocoon_reviews_pending",
+            "Low-confidence repairs waiting for a reviewer.",
+            "gauge",
+            self.reviews.counts().pending,
+        );
         counter(
             "cocoon_llm_cache_hits_total",
             "Completion cache hits.",
@@ -487,7 +520,7 @@ fn worker_loop(state: &AppState) {
 fn job_loop(state: &AppState) {
     while let Some((id, payload, progress)) = state.jobs.next_job(|| state.shutdown_requested()) {
         let outcome = state
-            .run_clean(&payload, Some(&progress))
+            .run_clean(&payload, Some(&progress), Some(id))
             .map(|run| api::clean_response_body(&run, payload.include_rows))
             .map_err(|e| format!("clean failed: {e}"));
         state.jobs.finish(id, outcome);
@@ -525,7 +558,7 @@ mod tests {
     fn run_one_job(state: &AppState) -> u64 {
         let (id, payload, progress) = state.jobs.next_job(|| false).unwrap();
         let outcome = state
-            .run_clean(&payload, Some(&progress))
+            .run_clean(&payload, Some(&progress), Some(id))
             .map(|run| api::clean_response_body(&run, payload.include_rows))
             .map_err(|e| e.to_string());
         state.jobs.finish(id, outcome);
@@ -630,6 +663,12 @@ mod tests {
         assert!(jobs.get("queue_depth").is_some());
         assert_eq!(jobs.get("expired").unwrap().as_f64(), Some(0.0));
         assert_eq!(jobs.get("deleted").unwrap().as_f64(), Some(0.0));
+        let reviews = json.get("reviews").unwrap();
+        for field in
+            ["listed", "accept_requests", "reject_requests", "pending", "accepted", "rejected"]
+        {
+            assert_eq!(reviews.get(field).unwrap().as_f64(), Some(0.0), "{field}");
+        }
     }
 
     #[test]

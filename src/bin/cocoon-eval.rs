@@ -1,0 +1,183 @@
+//! `cocoon-eval` — the quality benchmark runner and CI regression gate.
+//!
+//! Cleans benchmark datasets with the full pipeline, scores them against
+//! ground truth (precision / recall / F1 under both the Table-1 lenient
+//! and Table-3 strict conventions, per issue type, per injected error
+//! type) and measures confidence calibration (ECE). Output is
+//! deterministic, so the JSON report can be committed as a baseline
+//! (`QUALITY_PR10.json`) and enforced with `--check`.
+//!
+//! ```text
+//! cocoon-eval                                   # all datasets, text table
+//! cocoon-eval --format json > QUALITY_PR10.json # refresh the baseline
+//! cocoon-eval --datasets movies,hospital \
+//!             --check QUALITY_PR10.json --epsilon 0.02 --max-ece 0.35
+//! ```
+//!
+//! Exit codes: 0 = scored (and gate passed), 1 = gate violation, 2 = usage
+//! or runtime error.
+
+use cocoon_core::CleanerConfig;
+use cocoon_eval::bench::{
+    check_against_baseline, quality_report, render_scores_text, score_case, BenchCase, DatasetScore,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cocoon-eval: clean the benchmark datasets, score against ground truth
+
+USAGE:
+    cocoon-eval [OPTIONS]
+
+OPTIONS:
+    --datasets <a,b,c>   comma-separated dataset names (default: all five)
+    --format <json|text> output format (default: text)
+    --threshold <0..1>   confidence threshold for the cleaner (default: 0.0)
+    --check <FILE>       compare against a committed baseline report;
+                         exit 1 on regression
+    --epsilon <x>        allowed F1 drop vs baseline (default: 0.02)
+    --max-ece <x>        calibration bound, fail if ECE exceeds it
+                         (default: 0.35)
+    -h, --help           show this help
+";
+
+struct Options {
+    datasets: Vec<String>,
+    format: Format,
+    threshold: f64,
+    check: Option<String>,
+    epsilon: f64,
+    max_ece: f64,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Json,
+    Text,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        datasets: Vec::new(),
+        format: Format::Text,
+        threshold: 0.0,
+        check: None,
+        epsilon: 0.02,
+        max_ece: 0.35,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--datasets" => {
+                options.datasets =
+                    value("--datasets")?.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--format" => {
+                options.format = match value("--format")? {
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    other => return Err(format!("unknown format {other:?} (json|text)")),
+                };
+            }
+            "--threshold" => {
+                options.threshold =
+                    value("--threshold")?.parse().map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "--check" => options.check = Some(value("--check")?.to_string()),
+            "--epsilon" => {
+                options.epsilon =
+                    value("--epsilon")?.parse().map_err(|e| format!("bad --epsilon: {e}"))?;
+            }
+            "--max-ece" => {
+                options.max_ece =
+                    value("--max-ece")?.parse().map_err(|e| format!("bad --max-ece: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Some(options))
+}
+
+fn to_case(dataset: &cocoon_datasets::Dataset) -> BenchCase {
+    BenchCase {
+        name: dataset.name.to_string(),
+        dirty: dataset.dirty.clone(),
+        truth: dataset.truth.clone(),
+        annotations: dataset.annotations.iter().map(|a| (a.row, a.col, a.error.label())).collect(),
+    }
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    let cases: Vec<BenchCase> = if options.datasets.is_empty() {
+        cocoon_datasets::all().iter().map(to_case).collect()
+    } else {
+        options
+            .datasets
+            .iter()
+            .map(|name| {
+                cocoon_datasets::by_name(name)
+                    .map(|d| to_case(&d))
+                    .ok_or_else(|| format!("unknown dataset {name:?}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let config =
+        CleanerConfig { confidence_threshold: options.threshold, ..CleanerConfig::default() };
+
+    let mut scores: Vec<DatasetScore> = Vec::new();
+    for case in &cases {
+        eprintln!("scoring {} ({} rows)…", case.name, case.dirty.height());
+        scores.push(score_case(case, &config)?);
+    }
+
+    match options.format {
+        Format::Json => println!("{}", quality_report(&scores)),
+        Format::Text => print!("{}", render_scores_text(&scores)),
+    }
+
+    let Some(baseline_path) = &options.check else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline =
+        cocoon_llm::json::parse(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+    let violations = check_against_baseline(&scores, &baseline, options.epsilon, options.max_ece);
+    if violations.is_empty() {
+        eprintln!(
+            "quality gate passed: {} dataset(s) vs {baseline_path} (epsilon {}, max ECE {})",
+            scores.len(),
+            options.epsilon,
+            options.max_ece
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for violation in &violations {
+            eprintln!("quality gate FAILED: {violation}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(None) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(options)) => run(&options).unwrap_or_else(|err| {
+            eprintln!("cocoon-eval: {err}");
+            ExitCode::from(2)
+        }),
+        Err(err) => {
+            eprintln!("cocoon-eval: {err}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

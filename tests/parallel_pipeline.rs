@@ -86,3 +86,76 @@ fn cached_llm_is_transparent_for_a_cold_clean() {
     assert_eq!(cached.sql_script(), plain.sql_script());
     assert_eq!(cached.notes, plain.notes);
 }
+
+mod confidence_differential {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A generated messy table: a unique-id column (so the deduplication
+    /// stage never collapses it), a skewed text column with optional typo
+    /// variants and a disguised-missing token, and a numeric column with
+    /// an optional outlier — enough surface to trigger several stages and
+    /// their confidence sampling.
+    fn messy_table() -> impl Strategy<Value = cocoon_table::Table> {
+        let dominant = "[a-d]{3}";
+        (dominant, 14usize..24, 0usize..3, prop_oneof![Just(""), Just("N/A"), Just("unknown")])
+            .prop_map(|(word, rows, typos, dmv)| {
+                let mut text = String::from("record_id,token,rating\n");
+                for i in 0..rows {
+                    text.push_str(&format!("r{i},{word},7.5\n"));
+                }
+                for i in 0..typos {
+                    // A doubled first letter: the SimLlm oracle repairs it
+                    // as a high-confidence typo of the dominant token.
+                    let first = word.chars().next().unwrap();
+                    text.push_str(&format!("t{i},{first}{word},8.0\n"));
+                }
+                if !dmv.is_empty() {
+                    text.push_str(&format!("d0,{dmv},99.0\n"));
+                }
+                csv::read_str(&text).expect("generated csv parses")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The threshold-policy differential: at `confidence_threshold`
+        /// 0.0 the gate is unconditional — nothing is ever withheld, and
+        /// the run (table, SQL script, ops, notes) is byte-identical at
+        /// any thread count, so the confidence machinery (self-reports,
+        /// sampled cross-variant re-asks through the batch path) cannot
+        /// perturb the output it annotates.
+        #[test]
+        fn threshold_zero_is_unconditional_at_any_thread_count(
+            table in messy_table(),
+            threads in 2usize..9,
+        ) {
+            let zero = |threads: usize| {
+                let config = CleanerConfig {
+                    confidence_threshold: 0.0,
+                    threads: Some(threads),
+                    ..CleanerConfig::default()
+                };
+                Cleaner::with_config(SimLlm::new(), config).unwrap().clean(&table).expect("clean")
+            };
+            let sequential = zero(1);
+            let parallel = zero(threads);
+            prop_assert!(sequential.pending.is_empty(), "threshold 0.0 withholds nothing");
+            prop_assert!(parallel.pending.is_empty());
+            prop_assert_eq!(&sequential.table, &parallel.table);
+            prop_assert_eq!(sequential.sql_script(), parallel.sql_script());
+            prop_assert_eq!(&sequential.notes, &parallel.notes);
+            // Every op carries a confidence in range, identically scored
+            // on both runs.
+            let scores = |run: &CleaningRun| -> Vec<String> {
+                run.ops.iter().map(|o| o.confidence.describe()).collect()
+            };
+            prop_assert_eq!(scores(&sequential), scores(&parallel));
+            for op in &sequential.ops {
+                let score = op.confidence.score();
+                prop_assert!((0.0..=1.0).contains(&score));
+            }
+        }
+    }
+}

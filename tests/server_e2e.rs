@@ -1203,3 +1203,244 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
         }
     });
 }
+
+/// The review fixture: one high-confidence typo ("cofffee") and one
+/// low-confidence misplaced concept ("Hindi" in a country column), so a
+/// 0.9 threshold auto-applies the first and withholds exactly the second.
+fn review_csv() -> String {
+    let mut text = String::from("drink,country\n");
+    for _ in 0..50 {
+        text.push_str("coffee,USA\n");
+    }
+    for _ in 0..10 {
+        text.push_str("tea,India\n");
+    }
+    text.push_str("cofffee,Hindi\n");
+    text
+}
+
+/// A clean request over [`review_csv`] with the string-outliers stage
+/// isolated and the given confidence threshold, via the wire config.
+fn review_body(threshold: f64) -> String {
+    let config = cocoon_core::CleanerConfig {
+        confidence_threshold: threshold,
+        ..cocoon_core::CleanerConfig::only_issue("string_outliers")
+    };
+    format!(
+        "{{\"csv\": {}, \"config\": {}}}",
+        cocoon_llm::json::escape(&review_csv()),
+        config.to_json()
+    )
+}
+
+#[test]
+fn withheld_repair_review_roundtrip_matches_unconditional_clean() {
+    // The acceptance bar for the review loop: a repair withheld by the
+    // confidence threshold is surfaced via GET /v1/reviews, applied by
+    // POST …/accept, and the final table is byte-identical to what a
+    // threshold-0.0 clean of the same request produces directly.
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+
+        // The unconditional run: every repair applied inline.
+        let (status, body) = http(addr, "POST", "/v1/clean", Some(&review_body(0.0)));
+        assert_eq!(status, 200, "{body}");
+        let unconditional = cocoon_llm::json::parse(&body).expect("json");
+        let final_csv =
+            unconditional.get("cleaned_csv").and_then(Json::as_str).expect("csv").to_string();
+        assert!(!final_csv.contains("Hindi"), "threshold 0.0 repairs everything");
+        assert!(unconditional.get("pending").and_then(Json::as_array).unwrap().is_empty());
+
+        // The gated run: the typo auto-applies, the misplaced value waits.
+        let (status, body) = http(addr, "POST", "/v1/clean", Some(&review_body(0.9)));
+        assert_eq!(status, 200, "{body}");
+        let gated = cocoon_llm::json::parse(&body).expect("json");
+        let gated_csv = gated.get("cleaned_csv").and_then(Json::as_str).expect("csv");
+        assert!(gated_csv.contains("Hindi"), "the low-confidence repair is withheld");
+        assert!(!gated_csv.contains("cofffee"), "the high-confidence repair auto-applied");
+        let pending = gated.get("pending").and_then(Json::as_array).expect("pending");
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].get("issue").and_then(Json::as_str), Some("String Outliers"));
+        assert!(pending[0].get("confidence").and_then(Json::as_f64).unwrap() < 0.9);
+        // Applied ops report their confidence on the wire too.
+        let ops = gated.get("ops").and_then(Json::as_array).expect("ops");
+        assert!(ops.iter().all(|op| {
+            let c = op.get("confidence").and_then(Json::as_f64).unwrap();
+            (0.9..=1.0).contains(&c)
+        }));
+
+        // The withheld repair is listed for review.
+        let (status, reviews) = get_json(addr, "/v1/reviews");
+        assert_eq!(status, 200);
+        assert_eq!(reviews.get("total").and_then(Json::as_f64), Some(1.0));
+        let items = reviews.get("reviews").and_then(Json::as_array).expect("reviews");
+        let item = &items[0];
+        assert_eq!(item.get("status").and_then(Json::as_str), Some("pending"));
+        assert_eq!(item.get("issue").and_then(Json::as_str), Some("String Outliers"));
+        assert_eq!(item.get("job_id"), Some(&Json::Null), "sync cleans carry no job id");
+        assert!(item.get("sql").and_then(Json::as_str).unwrap().contains("SELECT"));
+        assert!(item
+            .get("confidence_detail")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("self-report"));
+        let id = item.get("id").and_then(Json::as_f64).expect("id") as u64;
+
+        // Accepting applies the repair; the result equals the
+        // unconditional clean, byte for byte.
+        let accept_path = format!("/v1/reviews/{id}/accept");
+        let (status, body) = http(addr, "POST", &accept_path, None);
+        assert_eq!(status, 200, "{body}");
+        let accepted = cocoon_llm::json::parse(&body).expect("json");
+        assert_eq!(accepted.get("status").and_then(Json::as_str), Some("accepted"));
+        assert_eq!(
+            accepted.get("cleaned_csv").and_then(Json::as_str),
+            Some(final_csv.as_str()),
+            "review-approved table == unconditional clean"
+        );
+        assert!(accepted.get("cells_changed").and_then(Json::as_f64).unwrap() >= 1.0);
+
+        // A second accept replays the identical outcome.
+        let (status, replay) = http(addr, "POST", &accept_path, None);
+        assert_eq!(status, 200);
+        assert_eq!(replay, body, "double accept is idempotent");
+
+        // The listing now shows the item accepted, and metrics saw it all.
+        let (_, reviews) = get_json(addr, "/v1/reviews");
+        let items = reviews.get("reviews").and_then(Json::as_array).unwrap();
+        assert_eq!(items[0].get("status").and_then(Json::as_str), Some("accepted"));
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        let reviews = metrics.get("reviews").expect("reviews section");
+        assert!(reviews.get("listed").and_then(Json::as_f64).unwrap() >= 2.0);
+        assert_eq!(reviews.get("accept_requests").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(reviews.get("accepted").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(reviews.get("pending").and_then(Json::as_f64), Some(0.0));
+    });
+}
+
+#[test]
+fn review_conflicts_and_bad_requests_answer_cleanly() {
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        let (status, _) = http(addr, "POST", "/v1/clean", Some(&review_body(0.9)));
+        assert_eq!(status, 200);
+        let (_, reviews) = get_json(addr, "/v1/reviews");
+        let id = reviews.get("reviews").and_then(Json::as_array).unwrap()[0]
+            .get("id")
+            .and_then(Json::as_f64)
+            .unwrap() as u64;
+
+        // Reject, idempotently; then accepting the rejected item is 409.
+        let reject_path = format!("/v1/reviews/{id}/reject");
+        assert_eq!(http(addr, "POST", &reject_path, None).0, 200);
+        assert_eq!(http(addr, "POST", &reject_path, None).0, 200, "repeat reject");
+        let (status, body) = http(addr, "POST", &format!("/v1/reviews/{id}/accept"), None);
+        assert_eq!(status, 409, "{body}");
+
+        // Routing edges: unknown ids 404, malformed ids 400, unknown
+        // actions 404, wrong methods 405.
+        assert_eq!(http(addr, "POST", "/v1/reviews/99999/accept", None).0, 404);
+        assert_eq!(http(addr, "POST", "/v1/reviews/abc/accept", None).0, 400);
+        assert_eq!(http(addr, "POST", &format!("/v1/reviews/{id}/promote"), None).0, 404);
+        assert_eq!(http(addr, "GET", &format!("/v1/reviews/{id}/accept"), None).0, 405);
+        assert_eq!(http(addr, "POST", "/v1/reviews", None).0, 405);
+
+        // None of that disturbed the store: the listing still serves.
+        let (status, reviews) = get_json(addr, "/v1/reviews");
+        assert_eq!(status, 200);
+        assert_eq!(reviews.get("total").and_then(Json::as_f64), Some(1.0));
+    });
+}
+
+#[test]
+fn review_actions_racing_job_deletion_stay_consistent() {
+    // Fault injection: reviews born from an async job race
+    // `DELETE /v1/jobs/{id}`. Whatever the interleaving, accepts answer
+    // 200 or 404 (never a 5xx, never a poisoned lock), the delete wins
+    // eventually, and the store keeps serving.
+    with_server(test_config(), |handle| {
+        let addr = handle.addr();
+        let submit = |body: &str| -> u64 {
+            let (status, submitted) = http(addr, "POST", "/v1/jobs", Some(body));
+            assert_eq!(status, 202, "{submitted}");
+            cocoon_llm::json::parse(&submitted).unwrap().get("id").unwrap().as_f64().unwrap() as u64
+        };
+        let poll_done = |id: u64| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let (status, view) = get_json(addr, &format!("/v1/jobs/{id}"));
+                assert_eq!(status, 200);
+                if view.get("status").and_then(Json::as_str) == Some("done") {
+                    return;
+                }
+                assert!(Instant::now() < deadline, "job did not finish: {view}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+
+        let job = submit(&review_body(0.9));
+        poll_done(job);
+        let (_, reviews) = get_json(addr, "/v1/reviews");
+        let item = &reviews.get("reviews").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(
+            item.get("job_id").and_then(Json::as_f64),
+            Some(job as f64),
+            "the review remembers its job"
+        );
+        let review = item.get("id").and_then(Json::as_f64).unwrap() as u64;
+
+        // Race the accept against the job deletion.
+        let accept_path = format!("/v1/reviews/{review}/accept");
+        let delete_path = format!("/v1/jobs/{job}");
+        let (accept, delete) = std::thread::scope(|scope| {
+            let accept = scope.spawn(|| http(addr, "POST", &accept_path, None));
+            let delete = scope.spawn(|| http(addr, "DELETE", &delete_path, None));
+            (accept.join().expect("accept client"), delete.join().expect("delete client"))
+        });
+        assert_eq!(delete.0, 204, "{}", delete.1);
+        assert!(
+            accept.0 == 200 || accept.0 == 404,
+            "accept saw the item or its clean absence, got {}: {}",
+            accept.0,
+            accept.1
+        );
+
+        // After the dust settles the review is gone for good, and both
+        // verbs answer 404 — not 500, not a hang.
+        assert_eq!(http(addr, "POST", &accept_path, None).0, 404);
+        assert_eq!(http(addr, "POST", &format!("/v1/reviews/{review}/reject"), None).0, 404);
+        let (status, reviews) = get_json(addr, "/v1/reviews");
+        assert_eq!(status, 200, "the store still serves after the race");
+        assert_eq!(reviews.get("total").and_then(Json::as_f64), Some(0.0));
+        let (_, metrics) = get_json(addr, "/v1/metrics");
+        assert!(
+            metrics.get("reviews").unwrap().get("dropped").and_then(Json::as_f64).unwrap() >= 1.0
+        );
+    });
+}
+
+#[test]
+fn expired_job_reviews_answer_not_found() {
+    // Reviews expire with their job TTL: acting on one after expiry is a
+    // clean 404, and the sweep leaves the store healthy.
+    let mut config = test_config();
+    config.job_ttl = Some(Duration::from_millis(300));
+    with_server(config, |handle| {
+        let addr = handle.addr();
+        let (status, _) = http(addr, "POST", "/v1/clean", Some(&review_body(0.9)));
+        assert_eq!(status, 200);
+        let (_, reviews) = get_json(addr, "/v1/reviews");
+        assert_eq!(reviews.get("total").and_then(Json::as_f64), Some(1.0));
+        let id = reviews.get("reviews").and_then(Json::as_array).unwrap()[0]
+            .get("id")
+            .and_then(Json::as_f64)
+            .unwrap() as u64;
+
+        std::thread::sleep(Duration::from_millis(600));
+        assert_eq!(http(addr, "POST", &format!("/v1/reviews/{id}/accept"), None).0, 404);
+        assert_eq!(http(addr, "POST", &format!("/v1/reviews/{id}/reject"), None).0, 404);
+        let (status, reviews) = get_json(addr, "/v1/reviews");
+        assert_eq!(status, 200);
+        assert_eq!(reviews.get("total").and_then(Json::as_f64), Some(0.0));
+    });
+}
